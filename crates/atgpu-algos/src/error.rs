@@ -1,0 +1,81 @@
+//! Workload-library errors.
+
+use std::fmt;
+
+/// Errors raised while building or verifying workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgosError {
+    /// The problem size is incompatible with the machine (e.g. matrix
+    /// side not a multiple of `b`).
+    InvalidSize {
+        /// Explanation.
+        reason: String,
+    },
+    /// The machine is unsuitable (e.g. `b` not a power of two for the
+    /// tree reduction).
+    InvalidMachine {
+        /// Explanation.
+        reason: String,
+    },
+    /// IR construction failed.
+    Ir(atgpu_ir::IrError),
+    /// Simulation failed.
+    Sim(atgpu_sim::SimError),
+    /// The simulated output did not match the host reference.
+    Mismatch {
+        /// Which output buffer.
+        buffer: String,
+        /// First mismatching index.
+        index: usize,
+        /// Expected word.
+        expected: i64,
+        /// Simulated word.
+        actual: i64,
+    },
+}
+
+impl fmt::Display for AlgosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgosError::InvalidSize { reason } => write!(f, "invalid problem size: {reason}"),
+            AlgosError::InvalidMachine { reason } => write!(f, "invalid machine: {reason}"),
+            AlgosError::Ir(e) => write!(f, "IR error: {e}"),
+            AlgosError::Sim(e) => write!(f, "simulation error: {e}"),
+            AlgosError::Mismatch { buffer, index, expected, actual } => write!(
+                f,
+                "output mismatch in `{buffer}` at word {index}: expected {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlgosError {}
+
+impl From<atgpu_ir::IrError> for AlgosError {
+    fn from(e: atgpu_ir::IrError) -> Self {
+        AlgosError::Ir(e)
+    }
+}
+
+impl From<atgpu_sim::SimError> for AlgosError {
+    fn from(e: atgpu_sim::SimError) -> Self {
+        AlgosError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatch_message() {
+        let e = AlgosError::Mismatch {
+            buffer: "C".into(),
+            index: 3,
+            expected: 7,
+            actual: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("C") && s.contains("3") && s.contains("7") && s.contains("9"));
+    }
+}

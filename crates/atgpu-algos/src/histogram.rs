@@ -1,0 +1,232 @@
+//! Histogram — data-dependent addressing, the case the model's
+//! bank-conflict-free assumption cannot cover.
+//!
+//! `bins = b` values are counted.  Round 1 gives every lane a private
+//! bin row in shared memory (`_h[j·b + bin]`), so increments are
+//! race-free without atomics (which the model lacks, like early CUDA);
+//! lanes hitting the same *bin* still collide on the same *bank* — a
+//! genuine, input-dependent bank conflict the simulator measures and the
+//! static analyser can only bound as [`ConflictDegree::DataDependent`].
+//! Each block then column-reduces its `b×b` sub-histogram and writes a
+//! `b`-bin partial; round 2 sums the partials on a single block.
+//!
+//! [`ConflictDegree::DataDependent`]: atgpu_analyze::ConflictDegree
+
+use crate::error::AlgosError;
+use crate::gen;
+use crate::workload::{BuiltProgram, Workload};
+use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, PredExpr, ProgramBuilder};
+use atgpu_model::asymptotics::{BigO, Term};
+use atgpu_model::AtgpuMachine;
+
+/// A histogram instance over `b` bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    n: u64,
+    data: Vec<i64>,
+}
+
+impl Histogram {
+    /// Random instance of size `n`; values are drawn in `[0, b)` for the
+    /// machine the workload is built on (use 32-bin data for `b = 32`).
+    pub fn new(n: u64, bins: u64, seed: u64) -> Self {
+        Self { n, data: gen::bin_values(n, bins, seed) }
+    }
+
+    /// Instance from explicit data (caller guarantees values in `[0, b)`).
+    pub fn from_data(data: Vec<i64>) -> Self {
+        Self { n: data.len() as u64, data }
+    }
+
+    /// Host reference for `bins` bins.
+    pub fn host_reference(&self, bins: u64) -> Vec<i64> {
+        let mut h = vec![0i64; bins as usize];
+        for &v in &self.data {
+            h[v as usize] += 1;
+        }
+        h
+    }
+}
+
+impl Workload for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn size(&self) -> u64 {
+        self.n
+    }
+
+    fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
+        }
+        let b = machine.b;
+        let bi = b as i64;
+        if !b.is_power_of_two() || b < 2 {
+            return Err(AlgosError::InvalidMachine {
+                reason: format!("histogram needs b a power of two ≥ 2, got {b}"),
+            });
+        }
+        if self.data.iter().any(|&v| v < 0 || v >= bi) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("values must lie in [0, b) = [0, {b})"),
+            });
+        }
+        let n = self.n;
+        let k = machine.blocks_for(n);
+        let steps = b.trailing_zeros();
+
+        let mut pb = ProgramBuilder::new("histogram");
+        let hin = pb.host_input("A", n);
+        let hout = pb.host_output("Hist", b);
+        let din = pb.device_alloc("a", n);
+        let dpart = pb.device_alloc("partial", k * b);
+        let dhist = pb.device_alloc("hist", b);
+
+        // Round 1: per-block sub-histograms + column reduction.
+        // Shared: sub-hist [0, b²), scratch [b², b² + b).
+        let scratch = (b * b) as i64;
+        let mut kb = KernelBuilder::new("hist_blocks", k, b * b + b);
+        // Value into scratch then a register.
+        kb.glb_to_shr(AddrExpr::lane() + scratch, din, AddrExpr::block() * bi + AddrExpr::lane());
+        kb.ld_shr(0, AddrExpr::lane() + scratch);
+        // Guard padded lanes: treat out-of-range (padded-zero) values as
+        // bin 0 — they are zeros already, so no guard is needed for the
+        // value itself, but padded lanes of the last block must not count.
+        // We mask them by the global index bound: idx = i·b + j < n.
+        kb.alu(AluOp::Mul, 1, Operand::Block, Operand::Imm(bi));
+        kb.alu(AluOp::Add, 1, Operand::Reg(1), Operand::Lane);
+        kb.when(PredExpr::Lt(Operand::Reg(1), Operand::Imm(n as i64)), |kb| {
+            // _h[j·b + value] += 1  (private row: race-free)
+            kb.ld_shr(2, AddrExpr::lane() * bi + AddrExpr::reg(0));
+            kb.alu(AluOp::Add, 2, Operand::Reg(2), Operand::Imm(1));
+            kb.st_shr(AddrExpr::lane() * bi + AddrExpr::reg(0), Operand::Reg(2));
+        });
+        // Column-reduce each bin across lanes.
+        kb.repeat(b as u32, |kb| {
+            // scratch[j] ← _h[j·b + bin]   (stride-b read: full conflict)
+            kb.ld_shr(3, AddrExpr::lane() * bi + AddrExpr::loop_var(0));
+            kb.st_shr(AddrExpr::lane() + scratch, Operand::Reg(3));
+            kb.repeat(steps, |kb| {
+                kb.alu(AluOp::Shr, 4, Operand::Imm(bi / 2), Operand::LoopVar(1));
+                kb.when(PredExpr::Lt(Operand::Lane, Operand::Reg(4)), |kb| {
+                    kb.ld_shr(5, AddrExpr::lane() + scratch);
+                    kb.ld_shr(6, AddrExpr::lane() + AddrExpr::reg(4) + scratch);
+                    kb.alu(AluOp::Add, 5, Operand::Reg(5), Operand::Reg(6));
+                    kb.st_shr(AddrExpr::lane() + scratch, Operand::Reg(5));
+                });
+            });
+            kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(0)), |kb| {
+                kb.shr_to_glb(dpart, AddrExpr::block() * bi + AddrExpr::loop_var(0), AddrExpr::c(scratch));
+            });
+        });
+        pb.begin_round();
+        pb.transfer_in(hin, din, n);
+        pb.launch(kb.build());
+
+        // Round 2: sum the k partial rows.
+        let mut kb = KernelBuilder::new("hist_merge", 1, b);
+        kb.mov(0, Operand::Imm(0));
+        kb.repeat(k as u32, |kb| {
+            kb.glb_to_shr(AddrExpr::lane(), dpart, AddrExpr::loop_var(0) * bi + AddrExpr::lane());
+            kb.ld_shr(1, AddrExpr::lane());
+            kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(1));
+        });
+        kb.st_shr(AddrExpr::lane(), Operand::Reg(0));
+        kb.shr_to_glb(dhist, AddrExpr::lane(), AddrExpr::lane());
+        pb.begin_round();
+        pb.launch(kb.build());
+        pb.transfer_out(dhist, hout, b);
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.data.clone()],
+            outputs: vec![hout],
+        })
+    }
+
+    fn expected(&self) -> Vec<Vec<i64>> {
+        // Built for b-bin machines; the standard test machine has b = 32.
+        vec![self.host_reference(32)]
+    }
+
+    fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
+        vec![
+            BigO::new("rounds", Term::c(2.0)),
+            BigO::new("time", Term::b().times(Term::b().log2())),
+            BigO::new("io", Term::n().over(Term::b()).times(Term::b().plus(Term::c(2.0)))),
+            BigO::new("transfer", Term::n().plus(Term::b())),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{test_machine, test_spec, verify_on_sim};
+    use atgpu_analyze::{analyze_program, ConflictDegree};
+    use atgpu_sim::SimConfig;
+
+    #[test]
+    fn simulation_matches_host() {
+        for n in [32u64, 100, 1000, 1027] {
+            let w = Histogram::new(n, 32, n);
+            verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default())
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn skewed_data_counts_correctly() {
+        // All values identical: the worst bank-conflict case.
+        let w = Histogram::from_data(vec![7; 256]);
+        let r = verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
+        let hist = r.output(atgpu_ir::HBuf(1));
+        assert_eq!(hist[7], 256);
+        assert_eq!(hist.iter().sum::<i64>(), 256);
+    }
+
+    #[test]
+    fn analyzer_reports_data_dependent_conflicts() {
+        let m = test_machine();
+        let w = Histogram::new(256, 32, 1);
+        let built = w.build(&m).unwrap();
+        let a = analyze_program(&built.program, &m).unwrap();
+        assert!(!a.conflict_free);
+        let worst = a.rounds[0].kernel.as_ref().unwrap().bank.worst;
+        assert_eq!(worst, ConflictDegree::DataDependent);
+        // Global addressing is still affine: I/O stays exact.
+        assert!(a.io_exact);
+    }
+
+    #[test]
+    fn simulator_measures_real_conflicts() {
+        let m = test_machine();
+        let spec = test_spec();
+        // Uniform values: each lane a distinct bin — every increment hits
+        // bank (j·b + v) mod b = v: all lanes SAME bank when values equal.
+        let skew = Histogram::from_data(vec![3; 1024]);
+        let r1 = verify_on_sim(&skew, &m, &spec, &SimConfig::default()).unwrap();
+        // Distinct values per lane: lane j gets value j → banks all
+        // distinct → fewer conflict cycles.
+        let spread: Vec<i64> = (0..1024).map(|i| (i % 32) as i64).collect();
+        let spread = Histogram::from_data(spread);
+        let r2 = verify_on_sim(&spread, &m, &spec, &SimConfig::default()).unwrap();
+        let c1 = r1.rounds[0].kernel_stats.bank_conflict_cycles;
+        let c2 = r2.rounds[0].kernel_stats.bank_conflict_cycles;
+        assert!(c1 > c2, "skewed data should conflict more: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn out_of_range_values_rejected() {
+        let w = Histogram::from_data(vec![99]);
+        assert!(w.build(&test_machine()).is_err());
+    }
+
+    #[test]
+    fn two_rounds() {
+        let w = Histogram::new(1000, 32, 0);
+        assert_eq!(w.build(&test_machine()).unwrap().program.num_rounds(), 2);
+    }
+}

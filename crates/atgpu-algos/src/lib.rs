@@ -1,0 +1,64 @@
+//! # atgpu-algos — the workload library
+//!
+//! Every computational problem the paper evaluates, plus the extension
+//! workloads its future-work section calls for, each packaged uniformly:
+//!
+//! * an **IR program** (kernels + transfers) built for a given machine;
+//! * a **host reference** implementation the simulator's results are
+//!   checked against;
+//! * the **closed-form model metrics** from the paper's hand analysis
+//!   (tests assert the `atgpu-analyze` derivation matches them exactly);
+//! * the **stated asymptotic bounds** (`O(·)` terms) from the paper.
+//!
+//! ## Paper workloads (§IV)
+//!
+//! * [`vecadd`] — vector addition (Fig. 3): one round, embarrassingly
+//!   parallel, transfer-dominated;
+//! * [`reduce`] — tree reduction (Fig. 4): `⌈log_b n⌉` rounds, moderate
+//!   transfer share, with both the divergent interleaved-modulo kernel
+//!   (Harris's first kernel, which the paper cites) and the
+//!   sequential-addressing refinement;
+//! * [`matmul`] — tiled matrix multiplication (Fig. 5): compute-dominated,
+//!   transfer negligible.
+//!
+//! ## Extension workloads
+//!
+//! * [`saxpy`], [`dot`], [`gemv`], [`scan`], [`stencil`] — further computational
+//!   problems (paper §V: "carry out further experiments on other
+//!   computational problems");
+//! * [`bitonic`] — bitonic sort: `Θ(log² n)` kernel rounds, the regime
+//!   where the per-round synchronisation charge `σ` dominates, with
+//!   data-dependent gather/scatter addressing;
+//! * [`transpose`] — three variants (naive / tiled / tiled+padded)
+//!   exhibiting uncoalesced access and bank conflicts;
+//! * [`spmv`] — ELL sparse matrix–vector multiplication (the canonical
+//!   GPU gather: exact slot traffic, conservatively-bounded gather);
+//! * [`histogram`] — data-dependent addressing with measured bank
+//!   conflicts (the case the model's conflict-free assumption excludes);
+//! * [`ooc`] — out-of-core variants that partition data exceeding global
+//!   memory `G` across rounds with different communication schemes
+//!   (paper §V: "data does not fit on the global memory, thereby
+//!   requiring some sort of partitioning").
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitonic;
+pub mod dot;
+pub mod error;
+pub mod gemv;
+pub mod gen;
+pub mod histogram;
+pub mod matmul;
+pub mod ooc;
+pub mod reduce;
+pub mod saxpy;
+pub mod spmv;
+pub mod scan;
+pub mod stencil;
+pub mod transpose;
+pub mod vecadd;
+pub mod workload;
+
+pub use error::AlgosError;
+pub use workload::{verify_on_sim, BuiltProgram, Workload};

@@ -1,0 +1,321 @@
+//! Tiled matrix multiplication — the paper's §IV-C workload (Figure 5).
+//!
+//! "We use a well known GPU method for matrix multiplication in shared
+//! memory (introduced in the CUDA Programming Guide), modified for the
+//! single warp per multiprocessor of our model."
+//!
+//! Launch geometry: a 2-D grid of `(n/b) × (n/b)` thread blocks; block
+//! `(ix, iy)` computes the `b×b` output tile at tile-row `iy`, tile-column
+//! `ix`.  Each of the `n/b` tile steps stages one `A` tile and one `B`
+//! tile into shared memory (`b` coalesced row loads each), then each lane
+//! `j` accumulates column `j` of the tile across all `b` rows.  The
+//! accumulator strip lives in shared memory (`3b²` words total), relying
+//! on the machine's zero-initialised shared memory.
+//!
+//! Paper analysis: 1 round, time `O(nb)`, I/O `O((n/b)²(n+b))`, global
+//! `O(n²)`, shared `O(b²)`, transfer `O(α + βn²)` — compute dominates and
+//! data transfer is negligible, the case where SWGPU already predicts
+//! well.
+
+use crate::error::AlgosError;
+use crate::gen;
+use crate::workload::{BuiltProgram, Workload};
+use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, ProgramBuilder};
+use atgpu_model::asymptotics::{BigO, Term};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
+
+/// An `n×n` matrix-multiplication instance `C = A×B` (row-major).
+#[derive(Debug, Clone)]
+pub struct MatMul {
+    n: u64,
+    a: Vec<i64>,
+    b: Vec<i64>,
+}
+
+impl MatMul {
+    /// Random instance with side length `n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self {
+            n,
+            a: gen::matrix_entries(n * n, seed),
+            b: gen::matrix_entries(n * n, seed.wrapping_add(1)),
+        }
+    }
+
+    /// Instance from explicit row-major data.
+    pub fn from_data(n: u64, a: Vec<i64>, b: Vec<i64>) -> Result<Self, AlgosError> {
+        if a.len() as u64 != n * n || b.len() as u64 != n * n {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("matrices must be {n}×{n}"),
+            });
+        }
+        Ok(Self { n, a, b })
+    }
+
+    /// Host reference: classic triple loop.
+    pub fn host_reference(&self) -> Vec<i64> {
+        let n = self.n as usize;
+        let mut c = vec![0i64; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.a[i * n + k];
+                if aik == 0 {
+                    continue;
+                }
+                for j in 0..n {
+                    c[i * n + j] += aik * self.b[k * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    /// Lockstep time ops of our kernel encoding for side `n`, width `b`.
+    pub fn time_ops(n: u64, b: u64) -> u64 {
+        let t = n / b; // tile steps
+        // per step: 2b tile-load ops + b rows × (ld acc + b×(2 ld + mul + add) + st acc)
+        // plus the final b-row tile store.
+        t * (2 * b + b * (2 + 4 * b)) + b
+    }
+}
+
+impl Workload for MatMul {
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+
+    fn size(&self) -> u64 {
+        self.n
+    }
+
+    fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
+        let n = self.n;
+        let b = machine.b;
+        if n == 0 || !n.is_multiple_of(b) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("matrix side {n} must be a positive multiple of b = {b}"),
+            });
+        }
+        if machine.m < 3 * b * b {
+            return Err(AlgosError::InvalidMachine {
+                reason: format!(
+                    "tiled matmul needs 3b² = {} shared words, machine has M = {}",
+                    3 * b * b,
+                    machine.m
+                ),
+            });
+        }
+        let t = n / b; // tiles per side
+        let nn = n * n;
+        let bi = b as i64;
+        let ni = n as i64;
+
+        let mut pb = ProgramBuilder::new("matmul");
+        let ha = pb.host_input("A", nn);
+        let hb = pb.host_input("B", nn);
+        let hc = pb.host_output("C", nn);
+        let da = pb.device_alloc("a", nn);
+        let db = pb.device_alloc("b", nn);
+        let dc = pb.device_alloc("c", nn);
+
+        // Shared layout: A tile [0, b²), B tile [b², 2b²), C acc [2b², 3b²).
+        let sa = 0i64;
+        let sb = (b * b) as i64;
+        let sc = 2 * (b * b) as i64;
+
+        let mut kb = KernelBuilder::new_2d("matmul_kernel", (t, t), 3 * b * b);
+        kb.repeat(t as u32, |kb| {
+            // Stage A tile: row t1 of tile (iy, t0).
+            kb.repeat(b as u32, |kb| {
+                kb.glb_to_shr(
+                    AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sa,
+                    da,
+                    (AddrExpr::block_y() * bi + AddrExpr::loop_var(1)) * ni
+                        + AddrExpr::loop_var(0) * bi
+                        + AddrExpr::lane(),
+                );
+            });
+            // Stage B tile: row t1 of tile (t0, ix).
+            kb.repeat(b as u32, |kb| {
+                kb.glb_to_shr(
+                    AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sb,
+                    db,
+                    (AddrExpr::loop_var(0) * bi + AddrExpr::loop_var(1)) * ni
+                        + AddrExpr::block() * bi
+                        + AddrExpr::lane(),
+                );
+            });
+            // Accumulate: lane j owns column j of the C tile.
+            kb.repeat(b as u32, |kb| {
+                // r0 ← _C[t1·b + j]
+                kb.ld_shr(0, AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sc);
+                kb.repeat(b as u32, |kb| {
+                    // r1 ← _A[t1·b + t2] (broadcast), r2 ← _B[t2·b + j]
+                    kb.ld_shr(1, AddrExpr::loop_var(1) * bi + AddrExpr::loop_var(2) + sa);
+                    kb.ld_shr(2, AddrExpr::loop_var(2) * bi + AddrExpr::lane() + sb);
+                    kb.alu(AluOp::Mul, 3, Operand::Reg(1), Operand::Reg(2));
+                    kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(3));
+                });
+                kb.st_shr(AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sc, Operand::Reg(0));
+            });
+        });
+        // Write the C tile out, row by row.
+        kb.repeat(b as u32, |kb| {
+            kb.shr_to_glb(
+                dc,
+                (AddrExpr::block_y() * bi + AddrExpr::loop_var(0)) * ni
+                    + AddrExpr::block() * bi
+                    + AddrExpr::lane(),
+                AddrExpr::loop_var(0) * bi + AddrExpr::lane() + sc,
+            );
+        });
+
+        pb.begin_round();
+        pb.transfer_in(ha, da, nn); // A W A
+        pb.transfer_in(hb, db, nn); // B W B
+        pb.launch(kb.build());
+        pb.transfer_out(dc, hc, nn); // C W c
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.a.clone(), self.b.clone()],
+            outputs: vec![hc],
+        })
+    }
+
+    fn expected(&self) -> Vec<Vec<i64>> {
+        vec![self.host_reference()]
+    }
+
+    fn closed_form(&self, machine: &AtgpuMachine) -> Option<AlgoMetrics> {
+        let n = self.n;
+        let b = machine.b;
+        if !n.is_multiple_of(b) {
+            return None;
+        }
+        let t = n / b;
+        let k = t * t;
+        Some(AlgoMetrics::new(vec![RoundMetrics {
+            time: Self::time_ops(n, b),
+            // Per block: t steps × 2b coalesced row loads + b row stores
+            // = (n/b)²·(2n + b), the paper's I/O bound with constant 1.
+            io_blocks: k * (2 * n + b),
+            global_words: 3 * n * n,
+            shared_words: 3 * b * b,
+            inward_words: 2 * n * n,
+            inward_txns: 2,
+            outward_words: n * n,
+            outward_txns: 1,
+            blocks_launched: k,
+        }]))
+    }
+
+    fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
+        vec![
+            BigO::new("rounds", Term::c(1.0)),
+            BigO::new("time", Term::n().times(Term::b())),
+            BigO::new(
+                "io",
+                Term::n().over(Term::b()).pow(2).times(Term::n().plus(Term::b())),
+            ),
+            BigO::new("global_space", Term::n().pow(2)),
+            BigO::new("shared_space", Term::b().pow(2)),
+            BigO::new("transfer", Term::n().pow(2)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{test_machine, test_spec, verify_on_sim};
+    use atgpu_analyze::analyze_program;
+    use atgpu_sim::SimConfig;
+
+    #[test]
+    fn analyzer_matches_closed_form() {
+        let m = test_machine();
+        for n in [32u64, 64, 96] {
+            let w = MatMul::new(n, 11);
+            let built = w.build(&m).unwrap();
+            let analysis = analyze_program(&built.program, &m).unwrap();
+            assert_eq!(
+                analysis.metrics(),
+                w.closed_form(&m).unwrap(),
+                "closed form mismatch at n={n}"
+            );
+            assert!(analysis.io_exact, "matmul addressing should be exact");
+            assert!(analysis.conflict_free, "tiled matmul should be conflict-free");
+        }
+    }
+
+    #[test]
+    fn io_matches_paper_formula() {
+        let m = test_machine();
+        let n = 128u64;
+        let b = m.b;
+        let w = MatMul::new(n, 1);
+        let built = w.build(&m).unwrap();
+        let a = analyze_program(&built.program, &m).unwrap();
+        assert_eq!(a.metrics().total_io_blocks(), (n / b) * (n / b) * (2 * n + b));
+    }
+
+    #[test]
+    fn simulation_matches_host_reference() {
+        let w = MatMul::new(64, 5);
+        verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn identity_times_matrix() {
+        let n = 32u64;
+        let mut ident = vec![0i64; (n * n) as usize];
+        for i in 0..n as usize {
+            ident[i * n as usize + i] = 1;
+        }
+        let b = gen::matrix_entries(n * n, 3);
+        let w = MatMul::from_data(n, ident, b.clone()).unwrap();
+        let r = verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
+        assert_eq!(r.output(atgpu_ir::HBuf(2)), &b[..]);
+    }
+
+    #[test]
+    fn non_multiple_side_rejected() {
+        assert!(MatMul::new(33, 0).build(&test_machine()).is_err());
+        assert!(MatMul::new(0, 0).build(&test_machine()).is_err());
+    }
+
+    #[test]
+    fn tiny_shared_memory_rejected() {
+        let m = AtgpuMachine::new(1 << 10, 32, 1024, 1 << 22).unwrap(); // M < 3b²
+        assert!(MatMul::new(32, 0).build(&m).is_err());
+    }
+
+    #[test]
+    fn transfer_negligible_like_paper() {
+        // Figure 5/6c: kernel time dominates; ΔE is small.
+        let w = MatMul::new(96, 2);
+        let r = verify_on_sim(
+            &w,
+            &test_machine(),
+            &atgpu_model::GpuSpec::gtx650_like(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            r.transfer_proportion() < 0.4,
+            "matmul ΔE {} unexpectedly high",
+            r.transfer_proportion()
+        );
+    }
+
+    #[test]
+    fn parallel_mode_agrees() {
+        let w = MatMul::new(64, 9);
+        let cfg = SimConfig {
+            mode: atgpu_sim::ExecMode::Parallel { threads: 2 },
+            ..SimConfig::default()
+        };
+        verify_on_sim(&w, &test_machine(), &test_spec(), &cfg).unwrap();
+    }
+}

@@ -1,0 +1,427 @@
+//! Out-of-core workloads — the paper's future-work scenario:
+//!
+//! > "it would be interesting to analyse different approaches where the
+//! > data does not fit on the global memory, thereby requiring some sort
+//! > of partitioning, and it is hoped that differences could be
+//! > illustrated in approaches with differing host device communication
+//! > requirements."
+//!
+//! Both workloads partition the input into chunks of `chunk` words and
+//! process one chunk per round, so device memory holds only `O(chunk)`
+//! words regardless of `n` — at the price of `R = ⌈n/chunk⌉` rounds, each
+//! paying the transfer setup `α` and the synchronisation `σ`.  The chunk
+//! size is the communication-scheme knob the cost function reasons about:
+//! small chunks fit small `G` but multiply the fixed per-round costs.
+//!
+//! The out-of-core reduction additionally offers two finishing schemes
+//! with *different host–device communication requirements*:
+//!
+//! * [`OocScheme::HostFinish`] — each round ships its `⌈len/b⌉` partials
+//!   back to the host, which finishes the sum: `O(n/b)` outward words;
+//! * [`OocScheme::DeviceFinish`] — partials accumulate in a resident
+//!   device buffer and a final reduction tree runs on-device: one
+//!   outward word, but extra rounds at the end.
+
+use crate::error::AlgosError;
+use crate::gen;
+use crate::reduce::{append_reduce_rounds, reduce_round_kernel, ReduceVariant};
+use crate::workload::{BuiltProgram, Workload};
+use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, ProgramBuilder};
+use atgpu_model::asymptotics::{BigO, Term};
+use atgpu_model::AtgpuMachine;
+
+/// Out-of-core vector addition: `C = A + B` processed in chunks.
+#[derive(Debug, Clone)]
+pub struct OocVecAdd {
+    n: u64,
+    chunk: u64,
+    a: Vec<i64>,
+    b: Vec<i64>,
+}
+
+impl OocVecAdd {
+    /// Random instance of size `n` processed in `chunk`-word pieces.
+    pub fn new(n: u64, chunk: u64, seed: u64) -> Self {
+        Self {
+            n,
+            chunk,
+            a: gen::small_ints(n, seed),
+            b: gen::small_ints(n, seed.wrapping_add(1)),
+        }
+    }
+
+    /// Host reference.
+    pub fn host_reference(&self) -> Vec<i64> {
+        self.a.iter().zip(&self.b).map(|(x, y)| x + y).collect()
+    }
+
+    /// Rounds this instance needs.
+    pub fn rounds(&self) -> u64 {
+        self.n.div_ceil(self.chunk)
+    }
+}
+
+impl Workload for OocVecAdd {
+    fn name(&self) -> &'static str {
+        "ooc-vecadd"
+    }
+
+    fn size(&self) -> u64 {
+        self.n
+    }
+
+    fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
+        let b = machine.b;
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty vectors".into() });
+        }
+        if self.chunk == 0 || !self.chunk.is_multiple_of(b) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("chunk {} must be a positive multiple of b = {b}", self.chunk),
+            });
+        }
+        let n = self.n;
+        let chunk = self.chunk;
+        let bi = b as i64;
+
+        let mut pb = ProgramBuilder::new("ooc-vecadd");
+        let ha = pb.host_input("A", n);
+        let hb = pb.host_input("B", n);
+        let hc = pb.host_output("C", n);
+        // Device holds only one chunk of each operand: 3·chunk words.
+        let da = pb.device_alloc("a_chunk", chunk);
+        let db = pb.device_alloc("b_chunk", chunk);
+        let dc = pb.device_alloc("c_chunk", chunk);
+
+        let mut off = 0u64;
+        let mut round = 0u64;
+        while off < n {
+            let len = chunk.min(n - off);
+            let k = len.div_ceil(b);
+            pb.begin_round();
+            pb.transfer_in_at(ha, off, da, 0, len);
+            pb.transfer_in_at(hb, off, db, 0, len);
+            let mut kb =
+                KernelBuilder::new(format!("ooc_vecadd_r{round}"), k, 3 * b);
+            let g = AddrExpr::block() * bi + AddrExpr::lane();
+            kb.glb_to_shr(AddrExpr::lane(), da, g.clone());
+            kb.glb_to_shr(AddrExpr::lane() + bi, db, g.clone());
+            kb.ld_shr(0, AddrExpr::lane());
+            kb.ld_shr(1, AddrExpr::lane() + bi);
+            kb.alu(AluOp::Add, 2, Operand::Reg(0), Operand::Reg(1));
+            kb.st_shr(AddrExpr::lane() + 2 * bi, Operand::Reg(2));
+            kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * bi);
+            pb.launch(kb.build());
+            pb.transfer_out_at(dc, 0, hc, off, len);
+            off += len;
+            round += 1;
+        }
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.a.clone(), self.b.clone()],
+            outputs: vec![hc],
+        })
+    }
+
+    fn expected(&self) -> Vec<Vec<i64>> {
+        vec![self.host_reference()]
+    }
+
+    fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
+        vec![
+            BigO::new("rounds", Term::n().over(Term::c(1.0)).times(Term::c(1.0))),
+            BigO::new("transfer", Term::n()),
+        ]
+    }
+}
+
+/// Finishing scheme for the out-of-core reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OocScheme {
+    /// Ship every chunk's partials to the host; the host finishes.
+    HostFinish,
+    /// Accumulate partials on the device; finish with an on-device tree.
+    DeviceFinish,
+}
+
+/// Out-of-core reduction (sum) processed in chunks.
+#[derive(Debug, Clone)]
+pub struct OocReduce {
+    n: u64,
+    chunk: u64,
+    scheme: OocScheme,
+    data: Vec<i64>,
+}
+
+impl OocReduce {
+    /// Random 0/1 instance.
+    pub fn new(n: u64, chunk: u64, scheme: OocScheme, seed: u64) -> Self {
+        Self { n, chunk, scheme, data: gen::zero_ones(n, seed) }
+    }
+
+    /// Host reference sum.
+    pub fn host_reference(&self) -> i64 {
+        self.data.iter().sum()
+    }
+
+    /// The finishing scheme.
+    pub fn scheme(&self) -> OocScheme {
+        self.scheme
+    }
+
+    /// Per-chunk partial counts (used to size host buffers).
+    fn partials_per_chunk(&self, b: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut off = 0;
+        while off < self.n {
+            let len = self.chunk.min(self.n - off);
+            out.push(len.div_ceil(b));
+            off += len;
+        }
+        out
+    }
+}
+
+impl Workload for OocReduce {
+    fn name(&self) -> &'static str {
+        "ooc-reduce"
+    }
+
+    fn size(&self) -> u64 {
+        self.n
+    }
+
+    fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
+        let b = machine.b;
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
+        }
+        if self.chunk == 0 || !self.chunk.is_multiple_of(b) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("chunk {} must be a positive multiple of b = {b}", self.chunk),
+            });
+        }
+        let n = self.n;
+        let chunk = self.chunk;
+        let partials = self.partials_per_chunk(b);
+        let total_partials: u64 = partials.iter().sum();
+
+        let mut pb = ProgramBuilder::new("ooc-reduce");
+        let hin = pb.host_input("A", n);
+
+        match self.scheme {
+            OocScheme::HostFinish => {
+                let hpart = pb.host_output("Partials", total_partials);
+                let din = pb.device_alloc("chunk", chunk);
+                let dpart = pb.device_alloc("partials", chunk.div_ceil(b));
+                let mut off = 0u64;
+                let mut part_off = 0u64;
+                for (round, &kparts) in partials.iter().enumerate() {
+                    let len = chunk.min(n - off);
+                    pb.begin_round();
+                    pb.transfer_in_at(hin, off, din, 0, len);
+                    pb.launch(reduce_round_kernel(
+                        format!("ooc_reduce_r{round}"),
+                        din,
+                        dpart,
+                        kparts,
+                        machine,
+                        ReduceVariant::SequentialAddressing,
+                    ));
+                    pb.transfer_out_at(dpart, 0, hpart, part_off, kparts);
+                    off += len;
+                    part_off += kparts;
+                }
+                Ok(BuiltProgram {
+                    program: pb.build()?,
+                    inputs: vec![self.data.clone()],
+                    outputs: vec![hpart],
+                })
+            }
+            OocScheme::DeviceFinish => {
+                let hout = pb.host_output("Ans", 1);
+                let din = pb.device_alloc("chunk", chunk);
+                let dacc = pb.device_alloc("acc", total_partials);
+                let mut off = 0u64;
+                let mut part_off = 0u64;
+                for (round, &kparts) in partials.iter().enumerate() {
+                    let len = chunk.min(n - off);
+                    pb.begin_round();
+                    pb.transfer_in_at(hin, off, din, 0, len);
+                    // Like reduce_round_kernel but writing at an offset in
+                    // the resident accumulator buffer.
+                    let bi = b as i64;
+                    let steps = b.trailing_zeros();
+                    let mut kb =
+                        KernelBuilder::new(format!("ooc_reduce_r{round}"), kparts, b);
+                    kb.glb_to_shr(AddrExpr::lane(), din, AddrExpr::block() * bi + AddrExpr::lane());
+                    kb.repeat(steps, |kb| {
+                        kb.alu(AluOp::Shr, 0, Operand::Imm(bi / 2), Operand::LoopVar(0));
+                        kb.when(
+                            atgpu_ir::PredExpr::Lt(Operand::Lane, Operand::Reg(0)),
+                            |kb| {
+                                kb.ld_shr(3, AddrExpr::lane());
+                                kb.ld_shr(4, AddrExpr::lane() + AddrExpr::reg(0));
+                                kb.alu(AluOp::Add, 3, Operand::Reg(3), Operand::Reg(4));
+                                kb.st_shr(AddrExpr::lane(), Operand::Reg(3));
+                            },
+                        );
+                    });
+                    kb.when(
+                        atgpu_ir::PredExpr::Eq(Operand::Lane, Operand::Imm(0)),
+                        |kb| {
+                            kb.shr_to_glb(
+                                dacc,
+                                AddrExpr::block() + part_off as i64,
+                                AddrExpr::c(0),
+                            );
+                        },
+                    );
+                    pb.launch(kb.build());
+                    off += len;
+                    part_off += kparts;
+                }
+                // Finish on-device.
+                append_reduce_rounds(
+                    &mut pb,
+                    dacc,
+                    total_partials,
+                    machine,
+                    ReduceVariant::SequentialAddressing,
+                    hout,
+                    true,
+                )?;
+                Ok(BuiltProgram {
+                    program: pb.build()?,
+                    inputs: vec![self.data.clone()],
+                    outputs: vec![hout],
+                })
+            }
+        }
+    }
+
+    fn expected(&self) -> Vec<Vec<i64>> {
+        match self.scheme {
+            OocScheme::HostFinish => {
+                // Per-block partial sums, concatenated chunk by chunk.
+                let b = 32u64; // test machine width; recomputed in tests
+                vec![self.expected_partials(b)]
+            }
+            OocScheme::DeviceFinish => vec![vec![self.host_reference()]],
+        }
+    }
+
+    fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
+        vec![BigO::new("transfer", Term::n().plus(Term::n().over(Term::b())))]
+    }
+}
+
+impl OocReduce {
+    /// The HostFinish scheme's expected partials for warp width `b`.
+    pub fn expected_partials(&self, b: u64) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        let n = self.n as usize;
+        while off < n {
+            let len = (self.chunk as usize).min(n - off);
+            let chunk = &self.data[off..off + len];
+            for blk in chunk.chunks(b as usize) {
+                out.push(blk.iter().sum());
+            }
+            off += len;
+        }
+        out
+    }
+
+    /// Host-side finish for the HostFinish scheme.
+    pub fn finish_on_host(partials: &[i64]) -> i64 {
+        partials.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{test_spec, verify_on_sim};
+    use atgpu_analyze::analyze_program;
+    use atgpu_sim::SimConfig;
+
+    /// A machine whose global memory is far too small for the whole
+    /// problem: the out-of-core point.
+    fn small_g_machine() -> AtgpuMachine {
+        AtgpuMachine::new(1 << 16, 32, 12_288, 2048).unwrap()
+    }
+
+    #[test]
+    fn ooc_vecadd_matches_host_with_tiny_g() {
+        // n = 8192 words per operand (3n = 24576 ≫ G = 2048).
+        let w = OocVecAdd::new(8192, 512, 3);
+        assert_eq!(w.rounds(), 16);
+        verify_on_sim(&w, &small_g_machine(), &test_spec(), &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn ooc_vecadd_partial_last_chunk() {
+        let w = OocVecAdd::new(1000, 256, 5);
+        verify_on_sim(&w, &small_g_machine(), &test_spec(), &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn in_core_vecadd_rejected_by_small_machine() {
+        // The ordinary in-core workload cannot run: G is too small —
+        // exactly the situation the paper's future work poses.
+        let w = crate::vecadd::VecAdd::new(8192, 3);
+        let built = w.build(&small_g_machine()).unwrap();
+        assert!(analyze_program(&built.program, &small_g_machine()).is_err());
+    }
+
+    #[test]
+    fn ooc_reduce_device_finish_sums_correctly() {
+        let w = OocReduce::new(8192, 1024, OocScheme::DeviceFinish, 7);
+        verify_on_sim(&w, &small_g_machine(), &test_spec(), &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn ooc_reduce_host_finish_partials_correct() {
+        let w = OocReduce::new(8192, 1024, OocScheme::HostFinish, 7);
+        let r = verify_on_sim(&w, &small_g_machine(), &test_spec(), &SimConfig::default())
+            .unwrap();
+        let partials = r.output(atgpu_ir::HBuf(1));
+        assert_eq!(OocReduce::finish_on_host(partials), w.host_reference());
+    }
+
+    #[test]
+    fn schemes_have_different_communication() {
+        let m = small_g_machine();
+        let host = OocReduce::new(8192, 1024, OocScheme::HostFinish, 1);
+        let dev = OocReduce::new(8192, 1024, OocScheme::DeviceFinish, 1);
+        let a_host = analyze_program(&host.build(&m).unwrap().program, &m).unwrap();
+        let a_dev = analyze_program(&dev.build(&m).unwrap().program, &m).unwrap();
+        let out_host: u64 = a_host.metrics().rounds.iter().map(|r| r.outward_words).sum();
+        let out_dev: u64 = a_dev.metrics().rounds.iter().map(|r| r.outward_words).sum();
+        assert!(out_host > out_dev * 50, "HostFinish {out_host} vs DeviceFinish {out_dev}");
+    }
+
+    #[test]
+    fn chunk_must_be_block_multiple() {
+        assert!(OocVecAdd::new(100, 33, 0).build(&small_g_machine()).is_err());
+        assert!(OocReduce::new(100, 0, OocScheme::HostFinish, 0)
+            .build(&small_g_machine())
+            .is_err());
+    }
+
+    #[test]
+    fn smaller_chunks_mean_more_rounds() {
+        let m = small_g_machine();
+        let fine = OocVecAdd::new(4096, 128, 0).build(&m).unwrap();
+        let coarse = OocVecAdd::new(4096, 512, 0).build(&m).unwrap();
+        assert_eq!(fine.program.num_rounds(), 32);
+        assert_eq!(coarse.program.num_rounds(), 8);
+        // Fine-grained chunking pays more transfer transactions.
+        let txns = |p: &atgpu_ir::Program| -> u64 {
+            p.rounds.iter().map(|r| r.inward().1 + r.outward().1).sum()
+        };
+        assert!(txns(&fine.program) > txns(&coarse.program));
+    }
+}

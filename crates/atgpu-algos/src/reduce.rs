@@ -1,0 +1,413 @@
+//! Tree reduction — the paper's §IV-B workload (Figure 4).
+//!
+//! "We implement a simple reduction kernel \[Harris\] using the addition
+//! operator, to sum an array of `n` integers, using a tree-based method.
+//! […] each round using the output from the previous round as input."
+//!
+//! The algorithm runs `R = ⌈log_b n⌉` rounds; round `i` launches
+//! `kᵢ = ⌈nᵢ₋₁/b⌉` blocks, each reducing `b` words in shared memory and
+//! writing one partial.  Data is transferred inward once (round 1) and a
+//! single word outward (last round) — transfer complexity `O(α + βn)`.
+//!
+//! Two kernel variants are provided, mirroring Harris's optimisation
+//! steps (and the paper's future-work call for "further investigation of
+//! reduction algorithms on the ATGPU"):
+//!
+//! * [`ReduceVariant::InterleavedModulo`] — the basic kernel the paper
+//!   cites: stride `s` doubles each step and the active-lane test is
+//!   `j mod 2s = 0`, maximising divergence (3 extra ALU ops per step);
+//! * [`ReduceVariant::SequentialAddressing`] — the refined kernel:
+//!   stride halves from `b/2` and active lanes are the compact prefix
+//!   `j < s`.
+
+use crate::error::AlgosError;
+use crate::gen;
+use crate::workload::{BuiltProgram, Workload};
+use atgpu_ir::{AddrExpr, AluOp, DBuf, HBuf, Kernel, KernelBuilder, Operand, PredExpr, ProgramBuilder};
+use atgpu_model::asymptotics::{BigO, Term};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
+
+/// Which reduction kernel to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceVariant {
+    /// Harris's basic interleaved kernel with the modulo test (the
+    /// paper's choice).
+    InterleavedModulo,
+    /// The sequential-addressing refinement.
+    SequentialAddressing,
+}
+
+impl ReduceVariant {
+    /// Lockstep time ops of one round's kernel for machine width `b`.
+    pub fn round_time_ops(&self, b: u64) -> u64 {
+        let steps = b.trailing_zeros() as u64; // log2(b)
+        match self {
+            // load + steps·(shl + mul + 16-cycle rem + pred + 4-op arm)
+            // + final pred + store
+            ReduceVariant::InterleavedModulo => 1 + steps * 23 + 2,
+            // load + steps·(shr + pred + 4-op arm) + final pred + store
+            ReduceVariant::SequentialAddressing => 1 + steps * 6 + 2,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReduceVariant::InterleavedModulo => "interleaved-mod",
+            ReduceVariant::SequentialAddressing => "sequential-addr",
+        }
+    }
+}
+
+/// Requires `b` to be a power of two ≥ 2 (the tree halves each step).
+fn check_machine(machine: &AtgpuMachine) -> Result<(), AlgosError> {
+    if !machine.b.is_power_of_two() || machine.b < 2 {
+        return Err(AlgosError::InvalidMachine {
+            reason: format!("tree reduction needs b to be a power of two ≥ 2, got {}", machine.b),
+        });
+    }
+    Ok(())
+}
+
+/// Builds one reduction-round kernel: `k` blocks reduce `src` (the
+/// previous level) into one partial per block in `dst`.
+pub fn reduce_round_kernel(
+    name: impl Into<String>,
+    src: DBuf,
+    dst: DBuf,
+    k: u64,
+    machine: &AtgpuMachine,
+    variant: ReduceVariant,
+) -> Kernel {
+    let b = machine.b as i64;
+    let steps = machine.b.trailing_zeros();
+    let mut kb = KernelBuilder::new(name, k, machine.b);
+    // _s[j] ⇐ src[i·b + j]
+    kb.glb_to_shr(AddrExpr::lane(), src, AddrExpr::block() * b + AddrExpr::lane());
+    match variant {
+        ReduceVariant::InterleavedModulo => {
+            kb.repeat(steps, |kb| {
+                // s = 2^t; active iff j mod 2s = 0; _s[j] += _s[j+s]
+                kb.alu(AluOp::Shl, 0, Operand::Imm(1), Operand::LoopVar(0));
+                kb.alu(AluOp::Mul, 1, Operand::Reg(0), Operand::Imm(2));
+                kb.alu(AluOp::Rem, 2, Operand::Lane, Operand::Reg(1));
+                kb.when(PredExpr::Eq(Operand::Reg(2), Operand::Imm(0)), |kb| {
+                    kb.ld_shr(3, AddrExpr::lane());
+                    kb.ld_shr(4, AddrExpr::lane() + AddrExpr::reg(0));
+                    kb.alu(AluOp::Add, 3, Operand::Reg(3), Operand::Reg(4));
+                    kb.st_shr(AddrExpr::lane(), Operand::Reg(3));
+                });
+            });
+        }
+        ReduceVariant::SequentialAddressing => {
+            kb.repeat(steps, |kb| {
+                // s = (b/2) >> t; active iff j < s; _s[j] += _s[j+s]
+                kb.alu(AluOp::Shr, 0, Operand::Imm(b / 2), Operand::LoopVar(0));
+                kb.when(PredExpr::Lt(Operand::Lane, Operand::Reg(0)), |kb| {
+                    kb.ld_shr(3, AddrExpr::lane());
+                    kb.ld_shr(4, AddrExpr::lane() + AddrExpr::reg(0));
+                    kb.alu(AluOp::Add, 3, Operand::Reg(3), Operand::Reg(4));
+                    kb.st_shr(AddrExpr::lane(), Operand::Reg(3));
+                });
+            });
+        }
+    }
+    // if j = 0 then dst[i] ⇐ _s[0]
+    kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(0)), |kb| {
+        kb.shr_to_glb(dst, AddrExpr::block(), AddrExpr::c(0));
+    });
+    kb.build()
+}
+
+/// The level sizes `n = n₀ > n₁ > … > n_R = 1` of the reduction tree.
+pub fn level_sizes(n: u64, b: u64) -> Vec<u64> {
+    let mut out = vec![n.max(1)];
+    let mut cur = n.max(1);
+    while cur > 1 {
+        cur = cur.div_ceil(b);
+        out.push(cur);
+    }
+    out
+}
+
+/// Appends the reduction rounds for `src` (holding `n` words) to an open
+/// program.  When `start_new_round` is false the first kernel joins the
+/// currently open round (so it shares the round with the inward
+/// transfer, as the paper's program does).  The final round transfers
+/// the 1-word result to `out`.
+pub fn append_reduce_rounds(
+    pb: &mut ProgramBuilder,
+    src: DBuf,
+    n: u64,
+    machine: &AtgpuMachine,
+    variant: ReduceVariant,
+    out: HBuf,
+    start_new_round: bool,
+) -> Result<(), AlgosError> {
+    check_machine(machine)?;
+    let levels = level_sizes(n, machine.b);
+    let mut cur_buf = src;
+    let mut first = true;
+    for (depth, window) in levels.windows(2).enumerate() {
+        let (cur_n, next_n) = (window[0], window[1]);
+        debug_assert_eq!(next_n, cur_n.div_ceil(machine.b));
+        let dst = pb.device_alloc(format!("partial{depth}"), next_n);
+        if !first || start_new_round {
+            pb.begin_round();
+        }
+        pb.launch(reduce_round_kernel(
+            format!("reduce_level{depth}"),
+            cur_buf,
+            dst,
+            next_n,
+            machine,
+            variant,
+        ));
+        cur_buf = dst;
+        first = false;
+    }
+    pb.transfer_out(cur_buf, out, 1);
+    Ok(())
+}
+
+/// Exact closed-form metrics for the reduction rounds (kernel part only;
+/// callers add the transfer words of their own program shape).
+pub fn reduce_round_shapes(n: u64, machine: &AtgpuMachine, variant: ReduceVariant) -> Vec<(u64, u64, u64)> {
+    // (time, io, blocks) per kernel round.
+    let levels = level_sizes(n, machine.b);
+    levels
+        .windows(2)
+        .map(|w| {
+            let k = w[1];
+            (variant.round_time_ops(machine.b), 2 * k, k)
+        })
+        .collect()
+}
+
+/// A reduction instance: sum of `n` integers.
+#[derive(Debug, Clone)]
+pub struct Reduce {
+    n: u64,
+    data: Vec<i64>,
+    variant: ReduceVariant,
+}
+
+impl Reduce {
+    /// Random 0/1 instance of size `n` (the paper's input distribution).
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self::with_variant(n, seed, ReduceVariant::InterleavedModulo)
+    }
+
+    /// Random instance with an explicit kernel variant.
+    pub fn with_variant(n: u64, seed: u64, variant: ReduceVariant) -> Self {
+        Self { n, data: gen::zero_ones(n, seed), variant }
+    }
+
+    /// Instance from explicit data.
+    pub fn from_data(data: Vec<i64>, variant: ReduceVariant) -> Self {
+        Self { n: data.len() as u64, data, variant }
+    }
+
+    /// Host reference: the sum.
+    pub fn host_reference(&self) -> i64 {
+        self.data.iter().sum()
+    }
+
+    /// The kernel variant in use.
+    pub fn variant(&self) -> ReduceVariant {
+        self.variant
+    }
+}
+
+impl Workload for Reduce {
+    fn name(&self) -> &'static str {
+        "reduce"
+    }
+
+    fn size(&self) -> u64 {
+        self.n
+    }
+
+    fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
+        }
+        check_machine(machine)?;
+        let n = self.n;
+        let mut pb = ProgramBuilder::new("reduce");
+        let ha = pb.host_input("A", n);
+        let hout = pb.host_output("Ans", 1);
+        let d0 = pb.device_alloc("a", n);
+        pb.begin_round();
+        pb.transfer_in(ha, d0, n); // a W A
+        append_reduce_rounds(&mut pb, d0, n, machine, self.variant, hout, false)?;
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.data.clone()],
+            outputs: vec![hout],
+        })
+    }
+
+    fn expected(&self) -> Vec<Vec<i64>> {
+        vec![vec![self.host_reference()]]
+    }
+
+    fn closed_form(&self, machine: &AtgpuMachine) -> Option<AlgoMetrics> {
+        let b = machine.b;
+        let pad = |w: u64| w.div_ceil(b) * b;
+        let levels = level_sizes(self.n, b);
+        let global_words: u64 = levels.iter().map(|&w| pad(w)).sum();
+        let shapes = reduce_round_shapes(self.n, machine, self.variant);
+        let r = shapes.len();
+        let mut rounds: Vec<RoundMetrics> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(time, io, k))| RoundMetrics {
+                time,
+                io_blocks: io,
+                global_words,
+                shared_words: b,
+                inward_words: if i == 0 { self.n } else { 0 },
+                inward_txns: u64::from(i == 0),
+                outward_words: if i + 1 == r { 1 } else { 0 },
+                outward_txns: u64::from(i + 1 == r),
+                blocks_launched: k,
+            })
+            .collect();
+        if rounds.is_empty() {
+            // n = 1: a single transfer-only round.
+            rounds.push(RoundMetrics {
+                global_words,
+                shared_words: 0,
+                inward_words: 1,
+                inward_txns: 1,
+                outward_words: 1,
+                outward_txns: 1,
+                ..RoundMetrics::default()
+            });
+        }
+        Some(AlgoMetrics::new(rounds))
+    }
+
+    fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
+        // Paper: R = O(log n); time O(log b · log n); I/O O((n/b)·(1−1/b)⁻¹…);
+        // transfer O(α + βn); global space O(n); shared O(b).
+        vec![
+            BigO::new("rounds", Term::n().log_b()),
+            BigO::new("time", Term::b().log2().times(Term::n().log_b())),
+            BigO::new("io", Term::n().over(Term::b()).times(Term::c(2.2))),
+            BigO::new("global_space", Term::n().times(Term::c(1.2))),
+            BigO::new("shared_space", Term::b()),
+            BigO::new("transfer", Term::n().plus(Term::c(1.0))),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{test_machine, test_spec, verify_on_sim};
+    use atgpu_analyze::analyze_program;
+    use atgpu_sim::SimConfig;
+
+    #[test]
+    fn level_sizes_shrink_by_b() {
+        assert_eq!(level_sizes(32 * 32, 32), vec![1024, 32, 1]);
+        assert_eq!(level_sizes(1025, 32), vec![1025, 33, 2, 1]);
+        assert_eq!(level_sizes(1, 32), vec![1]);
+        assert_eq!(level_sizes(31, 32), vec![31, 1]);
+    }
+
+    #[test]
+    fn analyzer_matches_closed_form_both_variants() {
+        let m = test_machine();
+        for variant in [ReduceVariant::InterleavedModulo, ReduceVariant::SequentialAddressing] {
+            for n in [32u64, 1000, 1 << 12, (1 << 12) + 17] {
+                let w = Reduce::with_variant(n, 1, variant);
+                let built = w.build(&m).unwrap();
+                let analysis = analyze_program(&built.program, &m).unwrap();
+                assert_eq!(
+                    analysis.metrics(),
+                    w.closed_form(&m).unwrap(),
+                    "mismatch at n={n} variant={variant:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_count_is_ceil_log_b() {
+        let m = test_machine();
+        let w = Reduce::new(1 << 20, 1); // 32^4 = 2^20: exactly 4 rounds
+        let built = w.build(&m).unwrap();
+        assert_eq!(built.program.num_rounds(), 4);
+    }
+
+    #[test]
+    fn simulation_sums_correctly_interleaved() {
+        for n in [1u64, 5, 32, 100, 2048, 4099] {
+            let w = Reduce::with_variant(n, n, ReduceVariant::InterleavedModulo);
+            verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default())
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn simulation_sums_correctly_sequential() {
+        for n in [32u64, 1000, 4099] {
+            let w = Reduce::with_variant(n, n, ReduceVariant::SequentialAddressing);
+            verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default())
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn negative_values_sum_correctly() {
+        let w = Reduce::from_data(vec![-5, 3, -2, 10, 0, 1], ReduceVariant::InterleavedModulo);
+        let r = verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
+        assert_eq!(r.output(atgpu_ir::HBuf(1)), &[7]);
+    }
+
+    #[test]
+    fn interleaved_kernel_is_slower_than_sequential() {
+        // The divergent modulo kernel does more lockstep work per round.
+        let b = test_machine().b;
+        assert!(
+            ReduceVariant::InterleavedModulo.round_time_ops(b)
+                > ReduceVariant::SequentialAddressing.round_time_ops(b)
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_b_rejected() {
+        let m = AtgpuMachine::new(48 * 4, 48, 1024, 1 << 20).unwrap();
+        assert!(Reduce::new(100, 1).build(&m).is_err());
+    }
+
+    #[test]
+    fn transfer_share_moderate_like_paper() {
+        // Paper: reduction transfer ≈ 35% of total — much lower than
+        // vector addition's 84%.  Check we reproduce the *ordering*.
+        let spec = atgpu_model::GpuSpec::gtx650_like();
+        let m = test_machine();
+        let cfg = SimConfig::default();
+        let red = verify_on_sim(&Reduce::new(1 << 16, 3), &m, &spec, &cfg).unwrap();
+        let va = verify_on_sim(&crate::vecadd::VecAdd::new(1 << 16, 3), &m, &spec, &cfg).unwrap();
+        assert!(
+            red.transfer_proportion() < va.transfer_proportion(),
+            "reduce ΔE {} should be below vecadd ΔE {}",
+            red.transfer_proportion(),
+            va.transfer_proportion()
+        );
+    }
+
+    #[test]
+    fn parallel_mode_agrees() {
+        let w = Reduce::new(4096, 5);
+        let cfg = SimConfig {
+            mode: atgpu_sim::ExecMode::Parallel { threads: 2 },
+            ..SimConfig::default()
+        };
+        verify_on_sim(&w, &test_machine(), &test_spec(), &cfg).unwrap();
+    }
+}

@@ -1,0 +1,277 @@
+//! Inclusive prefix sum (scan) — extension workload with a three-round
+//! hierarchical structure.
+//!
+//! 1. **Block scan** (`k` blocks): each block Hillis–Steele-scans its `b`
+//!    words in shared memory, stores the scanned chunk and its block
+//!    total.
+//! 2. **Sums scan** (1 block): a single block walks the `k` block totals
+//!    in chunks of `b`, scanning each and carrying the running total in
+//!    shared memory — the sequential-carry pattern a single-warp machine
+//!    needs.
+//! 3. **Offset add** (`k` blocks): each block adds the scanned total of
+//!    the preceding blocks to its chunk (block 0 is guarded by the
+//!    model's single-conditional `if`).
+//!
+//! The Hillis–Steele steps are hazard-free under the model's lockstep
+//! semantics: a load instruction completes for *all* lanes before the
+//! following store issues.
+
+use crate::error::AlgosError;
+use crate::gen;
+use crate::workload::{BuiltProgram, Workload};
+use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, PredExpr, ProgramBuilder};
+use atgpu_model::asymptotics::{BigO, Term};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
+
+/// An inclusive-scan instance.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    n: u64,
+    data: Vec<i64>,
+}
+
+impl Scan {
+    /// Random instance of size `n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self { n, data: gen::vec_in_range(n, -50, 50, seed) }
+    }
+
+    /// Instance from explicit data.
+    pub fn from_data(data: Vec<i64>) -> Self {
+        Self { n: data.len() as u64, data }
+    }
+
+    /// Host reference: running sums.
+    pub fn host_reference(&self) -> Vec<i64> {
+        self.data
+            .iter()
+            .scan(0i64, |acc, &x| {
+                *acc += x;
+                Some(*acc)
+            })
+            .collect()
+    }
+}
+
+/// Emits a Hillis–Steele inclusive scan over `_s[region + j]`; `steps`
+/// iterations of `if s ≤ j then _s[j] += _s[j−s]` with `s = 2^t`.
+fn emit_hillis_steele(kb: &mut KernelBuilder, region: i64, steps: u32) {
+    kb.repeat(steps, |kb| {
+        kb.alu(AluOp::Shl, 0, Operand::Imm(1), Operand::LoopVar(0));
+        kb.when(PredExpr::Le(Operand::Reg(0), Operand::Lane), |kb| {
+            kb.ld_shr(1, AddrExpr::lane() - AddrExpr::reg(0) + region);
+            kb.ld_shr(2, AddrExpr::lane() + region);
+            kb.alu(AluOp::Add, 1, Operand::Reg(1), Operand::Reg(2));
+            kb.st_shr(AddrExpr::lane() + region, Operand::Reg(1));
+        });
+    });
+}
+
+/// Ops of one Hillis–Steele pass (used by the closed form).
+fn hillis_steele_ops(steps: u64) -> u64 {
+    steps * 6 // shl + pred + 4-op arm
+}
+
+impl Workload for Scan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn size(&self) -> u64 {
+        self.n
+    }
+
+    fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
+        }
+        if !machine.b.is_power_of_two() || machine.b < 2 {
+            return Err(AlgosError::InvalidMachine {
+                reason: format!("scan needs b to be a power of two ≥ 2, got {}", machine.b),
+            });
+        }
+        let n = self.n;
+        let b = machine.b;
+        let bi = b as i64;
+        let k = machine.blocks_for(n);
+        let steps = b.trailing_zeros();
+        let t2 = k.div_ceil(b);
+
+        let mut pb = ProgramBuilder::new("scan");
+        let hin = pb.host_input("A", n);
+        let hout = pb.host_output("Out", n);
+        let din = pb.device_alloc("a", n);
+        let dpart = pb.device_alloc("part", n);
+        let dsums = pb.device_alloc("sums", k);
+        let dout = pb.device_alloc("out", n);
+
+        // Round 1: block-local scans.
+        let mut kb = KernelBuilder::new("scan_blocks", k, b);
+        kb.glb_to_shr(AddrExpr::lane(), din, AddrExpr::block() * bi + AddrExpr::lane());
+        emit_hillis_steele(&mut kb, 0, steps);
+        kb.shr_to_glb(dpart, AddrExpr::block() * bi + AddrExpr::lane(), AddrExpr::lane());
+        kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(bi - 1)), |kb| {
+            kb.shr_to_glb(dsums, AddrExpr::block(), AddrExpr::c(bi - 1));
+        });
+        pb.begin_round();
+        pb.transfer_in(hin, din, n);
+        pb.launch(kb.build());
+
+        // Round 2: scan the block sums with a sequential carry.
+        let mut kb = KernelBuilder::new("scan_sums", 1, b + 1);
+        kb.repeat(t2 as u32, |kb| {
+            kb.glb_to_shr(AddrExpr::lane(), dsums, AddrExpr::loop_var(0) * bi + AddrExpr::lane());
+            // Inner Hillis–Steele: loop depth 1 inside this loop.
+            kb.repeat(steps, |kb| {
+                kb.alu(AluOp::Shl, 0, Operand::Imm(1), Operand::LoopVar(1));
+                kb.when(PredExpr::Le(Operand::Reg(0), Operand::Lane), |kb| {
+                    kb.ld_shr(1, AddrExpr::lane() - AddrExpr::reg(0));
+                    kb.ld_shr(2, AddrExpr::lane());
+                    kb.alu(AluOp::Add, 1, Operand::Reg(1), Operand::Reg(2));
+                    kb.st_shr(AddrExpr::lane(), Operand::Reg(1));
+                });
+            });
+            kb.ld_shr(3, AddrExpr::c(bi)); // carry
+            kb.ld_shr(4, AddrExpr::lane());
+            kb.alu(AluOp::Add, 4, Operand::Reg(4), Operand::Reg(3));
+            kb.st_shr(AddrExpr::lane(), Operand::Reg(4));
+            kb.shr_to_glb(dsums, AddrExpr::loop_var(0) * bi + AddrExpr::lane(), AddrExpr::lane());
+            kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(bi - 1)), |kb| {
+                kb.st_shr(AddrExpr::c(bi), Operand::Reg(4));
+            });
+        });
+        pb.begin_round();
+        pb.launch(kb.build());
+
+        // Round 3: add the preceding blocks' total.
+        let mut kb = KernelBuilder::new("scan_offsets", k, b + 1);
+        kb.glb_to_shr(AddrExpr::lane(), dpart, AddrExpr::block() * bi + AddrExpr::lane());
+        kb.when(PredExpr::Lt(Operand::Imm(0), Operand::Block), |kb| {
+            kb.glb_to_shr(AddrExpr::c(bi), dsums, AddrExpr::block() - 1);
+        });
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.ld_shr(1, AddrExpr::c(bi));
+        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(1));
+        kb.st_shr(AddrExpr::lane(), Operand::Reg(0));
+        kb.shr_to_glb(dout, AddrExpr::block() * bi + AddrExpr::lane(), AddrExpr::lane());
+        pb.begin_round();
+        pb.launch(kb.build());
+        pb.transfer_out(dout, hout, n);
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.data.clone()],
+            outputs: vec![hout],
+        })
+    }
+
+    fn expected(&self) -> Vec<Vec<i64>> {
+        vec![self.host_reference()]
+    }
+
+    fn closed_form(&self, machine: &AtgpuMachine) -> Option<AlgoMetrics> {
+        let n = self.n;
+        let b = machine.b;
+        let k = machine.blocks_for(n);
+        let steps = b.trailing_zeros() as u64;
+        let t2 = k.div_ceil(b);
+        let pad = |w: u64| w.div_ceil(b) * b;
+        let global_words = 3 * pad(n) + pad(k);
+        let hs = hillis_steele_ops(steps);
+        Some(AlgoMetrics::new(vec![
+            RoundMetrics {
+                time: 1 + hs + 1 + 2, // load + scan + store + guarded sums store
+                io_blocks: 3 * k,     // load + partial store + sums store (full-lane count)
+                global_words,
+                shared_words: b,
+                inward_words: n,
+                inward_txns: 1,
+                outward_words: 0,
+                outward_txns: 0,
+                blocks_launched: k,
+            },
+            RoundMetrics {
+                time: t2 * (1 + hs + 4 + 1 + 2), // load + scan + carry-add + store + guarded carry
+                io_blocks: 2 * t2,
+                global_words,
+                shared_words: b + 1,
+                inward_words: 0,
+                inward_txns: 0,
+                outward_words: 0,
+                outward_txns: 0,
+                blocks_launched: 1,
+            },
+            RoundMetrics {
+                time: 1 + 2 + 4 + 1, // load + guarded offset load + add chain + store
+                io_blocks: 3 * k,    // offset load counted for all k blocks (conservative)
+                global_words,
+                shared_words: b + 1,
+                inward_words: 0,
+                inward_txns: 0,
+                outward_words: n,
+                outward_txns: 1,
+                blocks_launched: k,
+            },
+        ]))
+    }
+
+    fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
+        vec![
+            BigO::new("rounds", Term::c(3.0)),
+            BigO::new("io", Term::n().over(Term::b()).times(Term::c(8.0))),
+            BigO::new("transfer", Term::n()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{test_machine, test_spec, verify_on_sim};
+    use atgpu_analyze::analyze_program;
+    use atgpu_sim::SimConfig;
+
+    #[test]
+    fn analyzer_matches_closed_form() {
+        let m = test_machine();
+        for n in [32u64, 1000, 4096, 4099] {
+            let w = Scan::new(n, 3);
+            let built = w.build(&m).unwrap();
+            assert_eq!(
+                analyze_program(&built.program, &m).unwrap().metrics(),
+                w.closed_form(&m).unwrap(),
+                "mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_matches_host() {
+        for n in [1u64, 31, 32, 33, 1000, 2048, 4099] {
+            let w = Scan::new(n, n);
+            verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default())
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_ones_scan_is_identity_ramp() {
+        let w = Scan::from_data(vec![1; 100]);
+        let r = verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
+        let out = r.output(atgpu_ir::HBuf(1));
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Scan::from_data(vec![]).build(&test_machine()).is_err());
+    }
+
+    #[test]
+    fn three_rounds() {
+        let w = Scan::new(10_000, 0);
+        let built = w.build(&test_machine()).unwrap();
+        assert_eq!(built.program.num_rounds(), 3);
+    }
+}

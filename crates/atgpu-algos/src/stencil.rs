@@ -1,0 +1,179 @@
+//! 1-D three-point stencil — extension workload with halo loads.
+//!
+//! `out[i] = in[i−1] + in[i] + in[i+1]` with zero boundaries.  The input
+//! is staged into a device buffer at offset 1 so the halo cells are the
+//! zero-initialised words on either side; each block loads its `b`-word
+//! chunk plus a two-word halo (a guarded, partially-masked global access).
+//! One round, transfer-dominated like vector addition but with a slightly
+//! richer access pattern.
+
+use crate::error::AlgosError;
+use crate::gen;
+use crate::workload::{BuiltProgram, Workload};
+use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, PredExpr, ProgramBuilder};
+use atgpu_model::asymptotics::{BigO, Term};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
+
+/// A stencil instance.
+#[derive(Debug, Clone)]
+pub struct Stencil {
+    n: u64,
+    data: Vec<i64>,
+}
+
+impl Stencil {
+    /// Random instance of size `n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self { n, data: gen::small_ints(n, seed) }
+    }
+
+    /// Instance from explicit data.
+    pub fn from_data(data: Vec<i64>) -> Self {
+        Self { n: data.len() as u64, data }
+    }
+
+    /// Host reference with zero boundaries.
+    pub fn host_reference(&self) -> Vec<i64> {
+        let n = self.data.len();
+        (0..n)
+            .map(|i| {
+                let left = if i == 0 { 0 } else { self.data[i - 1] };
+                let right = if i + 1 == n { 0 } else { self.data[i + 1] };
+                left + self.data[i] + right
+            })
+            .collect()
+    }
+}
+
+impl Workload for Stencil {
+    fn name(&self) -> &'static str {
+        "stencil"
+    }
+
+    fn size(&self) -> u64 {
+        self.n
+    }
+
+    fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
+        }
+        let n = self.n;
+        let b = machine.b;
+        let bi = b as i64;
+        let k = machine.blocks_for(n);
+
+        let mut pb = ProgramBuilder::new("stencil");
+        let hin = pb.host_input("A", n);
+        let hout = pb.host_output("Out", n);
+        // Input staged at offset 1; both halo words are zero-initialised.
+        // Sized k·b + 2 so the last block's halo load stays in bounds even
+        // when n is not a multiple of b.
+        let din = pb.device_alloc("a_pad", k * b + 2);
+        let dout = pb.device_alloc("out", n);
+
+        // Shared layout: window [0, b+2), staging [b+2, 2b+2).
+        let mut kb = KernelBuilder::new("stencil_kernel", k, 2 * b + 2);
+        kb.glb_to_shr(AddrExpr::lane(), din, AddrExpr::block() * bi + AddrExpr::lane());
+        kb.when(PredExpr::Lt(Operand::Lane, Operand::Imm(2)), |kb| {
+            kb.glb_to_shr(
+                AddrExpr::lane() + bi,
+                din,
+                AddrExpr::block() * bi + AddrExpr::lane() + bi,
+            );
+        });
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.ld_shr(1, AddrExpr::lane() + 1);
+        kb.ld_shr(2, AddrExpr::lane() + 2);
+        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(1));
+        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(2));
+        kb.st_shr(AddrExpr::lane() + bi + 2, Operand::Reg(0));
+        kb.shr_to_glb(dout, AddrExpr::block() * bi + AddrExpr::lane(), AddrExpr::lane() + bi + 2);
+
+        pb.begin_round();
+        pb.transfer_in_at(hin, 0, din, 1, n);
+        pb.launch(kb.build());
+        pb.transfer_out(dout, hout, n);
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.data.clone()],
+            outputs: vec![hout],
+        })
+    }
+
+    fn expected(&self) -> Vec<Vec<i64>> {
+        vec![self.host_reference()]
+    }
+
+    fn closed_form(&self, machine: &AtgpuMachine) -> Option<AlgoMetrics> {
+        let n = self.n;
+        let b = machine.b;
+        let k = machine.blocks_for(n);
+        let pad = |w: u64| w.div_ceil(b) * b;
+        Some(AlgoMetrics::new(vec![RoundMetrics {
+            // load + guarded halo (1+1) + 3 loads + 2 adds + stage + store
+            time: 1 + 2 + 3 + 2 + 1 + 1,
+            // chunk load (1/block) + halo (1/block: both words in the next
+            // memory block) + store (1/block)
+            io_blocks: 3 * k,
+            global_words: pad(k * b + 2) + pad(n),
+            shared_words: 2 * b + 2,
+            inward_words: n,
+            inward_txns: 1,
+            outward_words: n,
+            outward_txns: 1,
+            blocks_launched: k,
+        }]))
+    }
+
+    fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
+        vec![
+            BigO::new("time", Term::c(1.0)),
+            BigO::new("io", Term::n().over(Term::b()).times(Term::c(3.5))),
+            BigO::new("transfer", Term::n()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{test_machine, test_spec, verify_on_sim};
+    use atgpu_analyze::analyze_program;
+    use atgpu_sim::SimConfig;
+
+    #[test]
+    fn analyzer_matches_closed_form() {
+        let m = test_machine();
+        for n in [32u64, 1000, 4099] {
+            let w = Stencil::new(n, 3);
+            let built = w.build(&m).unwrap();
+            assert_eq!(
+                analyze_program(&built.program, &m).unwrap().metrics(),
+                w.closed_form(&m).unwrap(),
+                "mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_matches_host() {
+        for n in [1u64, 2, 31, 32, 33, 1000] {
+            let w = Stencil::new(n, n + 5);
+            verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default())
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn constant_input_gives_triples_inside() {
+        let w = Stencil::from_data(vec![5; 64]);
+        let r = verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
+        let out = r.output(atgpu_ir::HBuf(1));
+        assert_eq!(out[0], 10); // boundary
+        assert_eq!(out[1], 15);
+        assert_eq!(out[62], 15);
+        assert_eq!(out[63], 10); // boundary
+    }
+}

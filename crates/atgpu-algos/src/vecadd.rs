@@ -1,0 +1,232 @@
+//! Vector addition — the paper's §IV-A workload (Figure 3).
+//!
+//! "For two vectors `A, B` of length `n`, the addition is `A + B`.  […]
+//! An element of the answer vector is independent, making this an
+//! embarrassingly parallel problem."
+//!
+//! The paper's ATGPU analysis: 1 round, time `O(1)`, I/O `O(k)`, global
+//! space `O(n)`, shared space `O(b)`, transfer `O(α + βn)`; cost
+//! `3α + 3nβ + (t + 3kλ)/γ + σ`.  Our IR encoding has `t = 7` lockstep
+//! operations (the paper's CUDA kernel counts 13; both are the `O(1)`
+//! constant).
+
+use crate::error::AlgosError;
+use crate::gen;
+use crate::workload::{BuiltProgram, Workload};
+use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, ProgramBuilder};
+use atgpu_model::asymptotics::{BigO, Term};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
+
+/// Lockstep operations of our vector-addition kernel encoding.
+pub const VECADD_TIME_OPS: u64 = 7;
+
+/// A vector-addition instance `C = A + B`.
+#[derive(Debug, Clone)]
+pub struct VecAdd {
+    n: u64,
+    a: Vec<i64>,
+    b: Vec<i64>,
+}
+
+impl VecAdd {
+    /// Random instance of size `n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self { n, a: gen::small_ints(n, seed), b: gen::small_ints(n, seed.wrapping_add(1)) }
+    }
+
+    /// Instance from explicit data.
+    pub fn from_data(a: Vec<i64>, b: Vec<i64>) -> Result<Self, AlgosError> {
+        if a.len() != b.len() {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("vector lengths differ: {} vs {}", a.len(), b.len()),
+            });
+        }
+        Ok(Self { n: a.len() as u64, a, b })
+    }
+
+    /// Host reference: elementwise sum.
+    pub fn host_reference(&self) -> Vec<i64> {
+        self.a.iter().zip(&self.b).map(|(x, y)| x + y).collect()
+    }
+}
+
+impl Workload for VecAdd {
+    fn name(&self) -> &'static str {
+        "vecadd"
+    }
+
+    fn size(&self) -> u64 {
+        self.n
+    }
+
+    fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty vectors".into() });
+        }
+        let b = machine.b as i64;
+        let k = machine.blocks_for(self.n);
+        let n = self.n;
+
+        let mut pb = ProgramBuilder::new("vecadd");
+        let ha = pb.host_input("A", n);
+        let hb = pb.host_input("B", n);
+        let hc = pb.host_output("C", n);
+        let da = pb.device_alloc("a", n);
+        let db = pb.device_alloc("b", n);
+        let dc = pb.device_alloc("c", n);
+
+        // The paper's pseudocode: stage both operands into shared memory,
+        // add, stage the result back out — all coalesced.
+        let mut kb = KernelBuilder::new("vecadd_kernel", k, 3 * machine.b);
+        let g = AddrExpr::block() * b + AddrExpr::lane();
+        kb.glb_to_shr(AddrExpr::lane(), da, g.clone()); // _a[j] ⇐ a[ib + j]
+        kb.glb_to_shr(AddrExpr::lane() + b, db, g.clone()); // _b[j] ⇐ b[ib + j]
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.ld_shr(1, AddrExpr::lane() + b);
+        kb.alu(AluOp::Add, 2, Operand::Reg(0), Operand::Reg(1)); // _c ← _a + _b
+        kb.st_shr(AddrExpr::lane() + 2 * b, Operand::Reg(2));
+        kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * b); // c[ib + j] ⇐ _c[j]
+
+        pb.begin_round();
+        pb.transfer_in(ha, da, n); // a W A
+        pb.transfer_in(hb, db, n); // b W B
+        pb.launch(kb.build());
+        pb.transfer_out(dc, hc, n); // C W c
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.a.clone(), self.b.clone()],
+            outputs: vec![hc],
+        })
+    }
+
+    fn expected(&self) -> Vec<Vec<i64>> {
+        vec![self.host_reference()]
+    }
+
+    fn closed_form(&self, machine: &AtgpuMachine) -> Option<AlgoMetrics> {
+        let n = self.n;
+        let b = machine.b;
+        let k = machine.blocks_for(n);
+        let pad = |w: u64| w.div_ceil(b) * b;
+        Some(AlgoMetrics::new(vec![RoundMetrics {
+            time: VECADD_TIME_OPS,
+            io_blocks: 3 * k, // one coalesced transaction per buffer per block
+            global_words: 3 * pad(n),
+            shared_words: 3 * b,
+            inward_words: 2 * n,
+            inward_txns: 2,
+            outward_words: n,
+            outward_txns: 1,
+            blocks_launched: k,
+        }]))
+    }
+
+    fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
+        vec![
+            BigO::new("rounds", Term::c(1.0)),
+            BigO::new("time", Term::c(1.0)),
+            BigO::new("io", Term::n().over(Term::b()).ceil()), // O(k)
+            BigO::new("global_space", Term::n()),
+            BigO::new("shared_space", Term::b()),
+            BigO::new("transfer", Term::n()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{test_machine, test_spec, verify_on_sim};
+    use atgpu_analyze::analyze_program;
+    use atgpu_sim::SimConfig;
+
+    #[test]
+    fn analyzer_matches_closed_form() {
+        let m = test_machine();
+        for n in [32u64, 64, 1000, 4096] {
+            let w = VecAdd::new(n, 42);
+            let built = w.build(&m).unwrap();
+            let analysis = analyze_program(&built.program, &m).unwrap();
+            assert_eq!(
+                analysis.metrics(),
+                w.closed_form(&m).unwrap(),
+                "closed form mismatch at n={n}"
+            );
+            assert!(analysis.io_exact);
+            assert!(analysis.conflict_free);
+        }
+    }
+
+    #[test]
+    fn simulation_matches_host_reference() {
+        let w = VecAdd::new(1000, 7);
+        verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn simulation_matches_reference_non_multiple_of_b() {
+        let w = VecAdd::new(33, 7);
+        verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn single_element() {
+        let w = VecAdd::from_data(vec![5], vec![-3]).unwrap();
+        let r = verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
+        assert_eq!(r.output(atgpu_ir::HBuf(2)), &[2]);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let w = VecAdd::from_data(vec![], vec![]).unwrap();
+        assert!(w.build(&test_machine()).is_err());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(VecAdd::from_data(vec![1], vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn transfer_dominates_like_the_paper() {
+        // The paper observed data transfer taking ~84% of total time.
+        // Our GTX650-like simulation should land in the same regime
+        // (transfer clearly dominant).
+        let w = VecAdd::new(1 << 16, 3);
+        let r = verify_on_sim(
+            &w,
+            &test_machine(),
+            &atgpu_model::GpuSpec::gtx650_like(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let delta = r.transfer_proportion();
+        assert!(delta > 0.5, "transfer share {delta} unexpectedly small");
+    }
+
+    #[test]
+    fn bounds_hold_with_small_constant() {
+        let m = test_machine();
+        let io_bound = BigO::new("io", Term::n().over(Term::b()).ceil());
+        let mut samples = Vec::new();
+        for n in [1024u64, 4096, 16384] {
+            let w = VecAdd::new(n, 1);
+            let built = w.build(&m).unwrap();
+            let a = analyze_program(&built.program, &m).unwrap();
+            samples.push((n as f64, a.metrics().total_io_blocks() as f64));
+        }
+        let c = io_bound.fitted_constant(&samples, m.b as f64).unwrap();
+        assert!(c <= 3.5, "I/O constant {c} too large for O(n/b)");
+    }
+
+    #[test]
+    fn parallel_mode_agrees() {
+        let w = VecAdd::new(2048, 9);
+        let cfg = SimConfig {
+            mode: atgpu_sim::ExecMode::Parallel { threads: 2 },
+            ..SimConfig::default()
+        };
+        verify_on_sim(&w, &test_machine(), &test_spec(), &cfg).unwrap();
+    }
+}

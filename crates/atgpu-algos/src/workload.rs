@@ -1,0 +1,113 @@
+//! The uniform workload interface: build an IR program, supply inputs,
+//! state expectations.
+
+use crate::error::AlgosError;
+use atgpu_ir::{HBuf, Program};
+use atgpu_model::asymptotics::BigO;
+use atgpu_model::{AlgoMetrics, AtgpuMachine, GpuSpec};
+use atgpu_sim::{run_program, SimConfig, SimReport};
+
+/// A workload compiled for a particular machine.
+#[derive(Debug, Clone)]
+pub struct BuiltProgram {
+    /// The IR program.
+    pub program: Program,
+    /// Input host buffers, in declaration order.
+    pub inputs: Vec<Vec<i64>>,
+    /// Output host buffers whose contents the workload predicts.
+    pub outputs: Vec<HBuf>,
+}
+
+/// A computational problem instance: data plus the recipe for its ATGPU
+/// program, host reference and model analysis.
+pub trait Workload {
+    /// Workload name (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// The problem size `n` the paper sweeps.
+    fn size(&self) -> u64;
+
+    /// Builds the IR program and input data for `machine`.
+    fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError>;
+
+    /// Host-reference contents of each output buffer, in the same order
+    /// as [`BuiltProgram::outputs`].
+    fn expected(&self) -> Vec<Vec<i64>>;
+
+    /// The paper's closed-form model metrics for this instance (exact for
+    /// our IR encoding), if stated.  Tests assert `atgpu-analyze` derives
+    /// exactly these.
+    fn closed_form(&self, _machine: &AtgpuMachine) -> Option<AlgoMetrics> {
+        None
+    }
+
+    /// The paper's asymptotic bounds for this workload.
+    fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
+        Vec::new()
+    }
+}
+
+/// Builds, simulates and verifies a workload; returns the report.
+///
+/// Any output word differing from the host reference is an error — this
+/// is the library's end-to-end correctness gate.
+pub fn verify_on_sim(
+    w: &dyn Workload,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    config: &SimConfig,
+) -> Result<SimReport, AlgosError> {
+    let built = w.build(machine)?;
+    let report = run_program(&built.program, built.inputs, machine, spec, config)?;
+    let expected = w.expected();
+    for (out_idx, (hbuf, exp)) in built.outputs.iter().zip(expected.iter()).enumerate() {
+        let got = report.output(*hbuf);
+        let name = built
+            .program
+            .host_bufs
+            .get(hbuf.0 as usize)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("output{out_idx}"));
+        if got.len() != exp.len() {
+            return Err(AlgosError::Mismatch {
+                buffer: name,
+                index: exp.len().min(got.len()),
+                expected: exp.get(got.len()).copied().unwrap_or(0),
+                actual: got.get(exp.len()).copied().unwrap_or(0),
+            });
+        }
+        for (i, (&g, &e)) in got.iter().zip(exp.iter()).enumerate() {
+            if g != e {
+                return Err(AlgosError::Mismatch {
+                    buffer: name,
+                    index: i,
+                    expected: e,
+                    actual: g,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Standard machine used by workload unit tests: `b = 32`, GTX 650-like
+/// shared/global sizes, enough MPs for a perfect analysis.
+pub fn test_machine() -> AtgpuMachine {
+    AtgpuMachine::new(1 << 20, 32, 12_288, 1 << 26).expect("valid test machine")
+}
+
+/// Standard small GPU spec for workload unit tests (fast to simulate).
+pub fn test_spec() -> GpuSpec {
+    GpuSpec { k_prime: 2, h_limit: 8, ..GpuSpec::gtx650_like() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_fixtures_are_valid() {
+        test_machine();
+        test_spec().validate().unwrap();
+    }
+}

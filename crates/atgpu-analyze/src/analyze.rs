@@ -1,0 +1,424 @@
+//! The top-level analysis driver: IR program → ATGPU model metrics.
+
+use crate::bankconflict::{site_conflict_degree, BankConflictReport};
+use crate::coalesce::site_transactions;
+use crate::error::AnalyzeError;
+use crate::opcount::kernel_time_ops;
+use crate::space::touched_range;
+use atgpu_ir::affine::CompiledAddr;
+use atgpu_ir::{validate, Instr, Kernel, Program};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
+
+/// A global or shared memory access site found in a kernel body, together
+/// with the trip counts of its enclosing loops (outermost first).
+#[derive(Debug, Clone)]
+pub struct AccessSite {
+    /// The per-lane address (buffer-relative for global sites).
+    pub addr: CompiledAddr,
+    /// For global sites, the buffer accessed.
+    pub buf: Option<atgpu_ir::DBuf>,
+    /// Trip counts of enclosing loops.
+    pub loop_counts: Vec<u32>,
+}
+
+/// All access sites of a kernel, split by memory space.
+#[derive(Debug, Clone, Default)]
+pub struct KernelSites {
+    /// Global-memory accesses (`⇐` instructions).
+    pub global: Vec<AccessSite>,
+    /// Shared-memory accesses (`←` and the shared side of `⇐`).
+    pub shared: Vec<AccessSite>,
+}
+
+/// Collects every memory access site in a kernel body.
+pub fn collect_sites(kernel: &Kernel) -> KernelSites {
+    fn walk(body: &[Instr], counts: &mut Vec<u32>, out: &mut KernelSites) {
+        for i in body {
+            match i {
+                Instr::GlbToShr { shared, global } => {
+                    out.global.push(AccessSite {
+                        addr: global.offset.clone(),
+                        buf: Some(global.buf),
+                        loop_counts: counts.clone(),
+                    });
+                    out.shared.push(AccessSite {
+                        addr: shared.clone(),
+                        buf: None,
+                        loop_counts: counts.clone(),
+                    });
+                }
+                Instr::ShrToGlb { global, shared } => {
+                    out.global.push(AccessSite {
+                        addr: global.offset.clone(),
+                        buf: Some(global.buf),
+                        loop_counts: counts.clone(),
+                    });
+                    out.shared.push(AccessSite {
+                        addr: shared.clone(),
+                        buf: None,
+                        loop_counts: counts.clone(),
+                    });
+                }
+                Instr::LdShr { shared, .. } | Instr::StShr { shared, .. } => {
+                    out.shared.push(AccessSite {
+                        addr: shared.clone(),
+                        buf: None,
+                        loop_counts: counts.clone(),
+                    });
+                }
+                Instr::Pred { then_body, else_body, .. } => {
+                    walk(then_body, counts, out);
+                    walk(else_body, counts, out);
+                }
+                Instr::Repeat { count, body } => {
+                    counts.push(*count);
+                    walk(body, counts, out);
+                    counts.pop();
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = KernelSites::default();
+    walk(&kernel.body, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Per-kernel analysis results.
+#[derive(Debug, Clone)]
+pub struct KernelAnalysis {
+    /// Kernel name.
+    pub name: String,
+    /// Thread blocks `k` (grid product).
+    pub blocks: u64,
+    /// The model's time metric `t` for this launch.
+    pub time_ops: u64,
+    /// The model's I/O metric `q`: global memory block transactions.
+    pub io_txns: u64,
+    /// Whether `io_txns` is exact (all addresses statically analysable).
+    pub io_exact: bool,
+    /// Declared shared words per block, `m`.
+    pub shared_words: u64,
+    /// Bank-conflict report for the conflict-free assumption check.
+    pub bank: BankConflictReport,
+}
+
+/// Per-round analysis: the kernel view plus the model metrics row.
+#[derive(Debug, Clone)]
+pub struct RoundAnalysis {
+    /// The round's model metrics.
+    pub metrics: RoundMetrics,
+    /// Kernel analysis, if the round launches one.
+    pub kernel: Option<KernelAnalysis>,
+}
+
+/// Whole-program analysis: everything the cost functions and the
+/// experiment harness need.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// Per-round results.
+    pub rounds: Vec<RoundAnalysis>,
+    /// Padded device-memory footprint (the global space metric).
+    pub global_words: u64,
+    /// Whether every I/O count is exact.
+    pub io_exact: bool,
+    /// Worst bank-conflict report across all kernels.
+    pub conflict_free: bool,
+}
+
+impl ProgramAnalysis {
+    /// The metrics table consumed by [`atgpu_model::cost`].
+    pub fn metrics(&self) -> AlgoMetrics {
+        AlgoMetrics::new(self.rounds.iter().map(|r| r.metrics).collect())
+    }
+}
+
+/// Analyses a validated program on `machine`, deriving every model metric
+/// the paper defines (§III).
+pub fn analyze_program(
+    p: &Program,
+    machine: &AtgpuMachine,
+) -> Result<ProgramAnalysis, AnalyzeError> {
+    validate::validate_program(p)?;
+    let (bases, global_words) = p.buffer_layout(machine.b);
+    if global_words > machine.g {
+        return Err(atgpu_model::ModelError::GlobalMemoryExceeded {
+            required: global_words,
+            available: machine.g,
+        }
+        .into());
+    }
+
+    let mut rounds = Vec::with_capacity(p.rounds.len());
+    let mut io_exact = true;
+    let mut conflict_free = true;
+
+    for round in &p.rounds {
+        let (inward_words, inward_txns) = round.inward();
+        let (outward_words, outward_txns) = round.outward();
+
+        let kernel_analysis = match round.kernel() {
+            Some(k) => Some(analyze_kernel(k, &bases, machine)?),
+            None => None,
+        };
+
+        let (time, io, shared, blocks) = kernel_analysis
+            .as_ref()
+            .map(|ka| (ka.time_ops, ka.io_txns, ka.shared_words, ka.blocks))
+            .unwrap_or((0, 0, 0, 0));
+
+        if let Some(ka) = &kernel_analysis {
+            io_exact &= ka.io_exact;
+            conflict_free &= ka.bank.conflict_free;
+            if ka.shared_words > machine.m {
+                return Err(atgpu_model::ModelError::SharedMemoryExceeded {
+                    required: ka.shared_words,
+                    available: machine.m,
+                }
+                .into());
+            }
+        }
+
+        rounds.push(RoundAnalysis {
+            metrics: RoundMetrics {
+                time,
+                io_blocks: io,
+                global_words,
+                shared_words: shared,
+                inward_words,
+                inward_txns,
+                outward_words,
+                outward_txns,
+                blocks_launched: blocks,
+            },
+            kernel: kernel_analysis,
+        });
+    }
+
+    Ok(ProgramAnalysis { rounds, global_words, io_exact, conflict_free })
+}
+
+fn analyze_kernel(
+    k: &Kernel,
+    bases: &[u64],
+    machine: &AtgpuMachine,
+) -> Result<KernelAnalysis, AnalyzeError> {
+    let sites = collect_sites(k);
+    let b = machine.b;
+
+    let mut io_txns = 0u64;
+    let mut io_exact = true;
+    for site in &sites.global {
+        let buf = site.buf.expect("global site has a buffer");
+        let base = bases.get(buf.0 as usize).copied().unwrap_or(0);
+        let r = site_transactions(&site.addr, base, k.grid, &site.loop_counts, b);
+        io_txns += r.txns;
+        io_exact &= r.exact;
+    }
+
+    let mut bank = BankConflictReport::empty();
+    for site in &sites.shared {
+        bank.add_site(site_conflict_degree(&site.addr, b), b);
+        // Static shared accesses must stay inside the declared footprint.
+        if let Some((lo, hi)) = touched_range(&site.addr, b, (1, 1), &site.loop_counts) {
+            if lo < 0 || hi >= k.shared_words as i64 {
+                return Err(AnalyzeError::SharedOutOfRange {
+                    kernel: k.name.clone(),
+                    min: lo,
+                    max: hi,
+                    declared: k.shared_words,
+                });
+            }
+        }
+    }
+
+    Ok(KernelAnalysis {
+        name: k.name.clone(),
+        blocks: k.blocks(),
+        time_ops: kernel_time_ops(k),
+        io_txns,
+        io_exact,
+        shared_words: k.shared_words,
+        bank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, ProgramBuilder};
+
+    fn machine() -> AtgpuMachine {
+        AtgpuMachine::new(1 << 16, 32, 12_288, 1 << 22).unwrap()
+    }
+
+    /// The paper's vector-addition program at size n (multiple of b).
+    fn vecadd(n: u64) -> Program {
+        let b = 32i64;
+        let k = n / 32;
+        let mut pb = ProgramBuilder::new("vecadd");
+        let ha = pb.host_input("A", n);
+        let hb = pb.host_input("B", n);
+        let hc = pb.host_output("C", n);
+        let da = pb.device_alloc("a", n);
+        let db = pb.device_alloc("b", n);
+        let dc = pb.device_alloc("c", n);
+        let mut kb = KernelBuilder::new("vecadd_kernel", k, 3 * 32);
+        let g = AddrExpr::block() * b + AddrExpr::lane();
+        kb.glb_to_shr(AddrExpr::lane(), da, g.clone());
+        kb.glb_to_shr(AddrExpr::lane() + b, db, g.clone());
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.ld_shr(1, AddrExpr::lane() + b);
+        kb.alu(AluOp::Add, 2, Operand::Reg(0), Operand::Reg(1));
+        kb.st_shr(AddrExpr::lane() + 2 * b, Operand::Reg(2));
+        kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * b);
+        pb.begin_round();
+        pb.transfer_in(ha, da, n);
+        pb.transfer_in(hb, db, n);
+        pb.launch(kb.build());
+        pb.transfer_out(dc, hc, n);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn vecadd_metrics_match_paper_closed_form() {
+        let n = 32 * 100;
+        let k = 100;
+        let a = analyze_program(&vecadd(n), &machine()).unwrap();
+        assert_eq!(a.rounds.len(), 1);
+        let m = &a.rounds[0].metrics;
+        // q = 3k: one coalesced transaction per buffer per block.
+        assert_eq!(m.io_blocks, 3 * k);
+        // I = 2n in 2 transactions; O = n in 1 transaction.
+        assert_eq!(m.inward_words, 2 * n);
+        assert_eq!(m.inward_txns, 2);
+        assert_eq!(m.outward_words, n);
+        assert_eq!(m.outward_txns, 1);
+        // t = 7 lockstep ops in our IR encoding (the paper counts 13 for
+        // its CUDA kernel; both are O(1) constants).
+        assert_eq!(m.time, 7);
+        // Global space = 3n (all buffers block-aligned already).
+        assert_eq!(m.global_words, 3 * n);
+        // Shared space = 3b.
+        assert_eq!(m.shared_words, 96);
+        assert_eq!(m.blocks_launched, k);
+        assert!(a.io_exact);
+        assert!(a.conflict_free);
+    }
+
+    #[test]
+    fn metrics_feed_cost_function() {
+        let a = analyze_program(&vecadd(3200), &machine()).unwrap();
+        let params = atgpu_model::CostParams::unit();
+        let spec = atgpu_model::GpuSpec::gtx650_like();
+        let cost =
+            atgpu_model::cost::atgpu_cost(&params, &machine(), &spec, &a.metrics()).unwrap();
+        assert!(cost > 0.0);
+    }
+
+    #[test]
+    fn global_limit_enforced_with_padding() {
+        let m = AtgpuMachine::new(64, 32, 12_288, 95).unwrap();
+        // One 33-word buffer pads to 64; a second 32-word buffer brings the
+        // padded total to 96 > G = 95.
+        let mut pb = ProgramBuilder::new("p");
+        let _ = pb.device_alloc("a", 33);
+        let _ = pb.device_alloc("b", 32);
+        pb.begin_round();
+        pb.launch(KernelBuilder::new("k", 1, 0).build());
+        let p = pb.build().unwrap();
+        assert!(matches!(
+            analyze_program(&p, &m),
+            Err(AnalyzeError::Model(atgpu_model::ModelError::GlobalMemoryExceeded {
+                required: 96,
+                available: 95
+            }))
+        ));
+    }
+
+    #[test]
+    fn shared_limit_enforced() {
+        let m = AtgpuMachine::new(64, 32, 64, 1 << 20).unwrap();
+        let mut pb = ProgramBuilder::new("p");
+        pb.begin_round();
+        pb.launch(KernelBuilder::new("k", 1, 65).build());
+        let p = pb.build().unwrap();
+        assert!(matches!(
+            analyze_program(&p, &m),
+            Err(AnalyzeError::Model(atgpu_model::ModelError::SharedMemoryExceeded { .. }))
+        ));
+    }
+
+    #[test]
+    fn shared_out_of_range_detected() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.begin_round();
+        let mut kb = KernelBuilder::new("k", 1, 32);
+        kb.st_shr(AddrExpr::lane() + 1, Operand::Imm(0)); // touches 32
+        pb.launch(kb.build());
+        let p = pb.build().unwrap();
+        assert!(matches!(
+            analyze_program(&p, &machine()),
+            Err(AnalyzeError::SharedOutOfRange { max: 32, .. })
+        ));
+    }
+
+    #[test]
+    fn collect_sites_finds_nested_accesses() {
+        let mut kb = KernelBuilder::new("k", 4, 64);
+        kb.repeat(3, |kb| {
+            kb.glb_to_shr(AddrExpr::lane(), atgpu_ir::DBuf(0), AddrExpr::lane());
+            kb.when(
+                atgpu_ir::PredExpr::Lt(Operand::Lane, Operand::Imm(4)),
+                |kb| {
+                    kb.ld_shr(0, AddrExpr::lane());
+                },
+            );
+        });
+        let sites = collect_sites(&kb.build());
+        assert_eq!(sites.global.len(), 1);
+        assert_eq!(sites.shared.len(), 2); // shared half of ⇐ plus LdShr
+        assert_eq!(sites.global[0].loop_counts, vec![3]);
+    }
+
+    #[test]
+    fn round_without_kernel_has_zero_compute() {
+        let mut pb = ProgramBuilder::new("p");
+        let h = pb.host_input("A", 32);
+        let _o = pb.host_output("B", 32);
+        let d = pb.device_alloc("a", 32);
+        pb.begin_round();
+        pb.transfer_in(h, d, 32);
+        let p = pb.build().unwrap();
+        let a = analyze_program(&p, &machine()).unwrap();
+        assert_eq!(a.rounds[0].metrics.time, 0);
+        assert_eq!(a.rounds[0].metrics.io_blocks, 0);
+        assert_eq!(a.rounds[0].metrics.inward_words, 32);
+        assert!(a.rounds[0].kernel.is_none());
+    }
+
+    #[test]
+    fn uncoalesced_writes_counted() {
+        // Each block writes one word at c[i]: k blocks -> k transactions,
+        // but they all share memory blocks: block i writes word i, so 32
+        // consecutive blocks' single-word writes are *separate* instruction
+        // executions and cannot coalesce across blocks: q = k.
+        let k = 64;
+        let mut pb = ProgramBuilder::new("p");
+        let dc = pb.device_alloc("c", k);
+        pb.begin_round();
+        let mut kb = KernelBuilder::new("k", k, 32);
+        kb.when(
+            atgpu_ir::PredExpr::Eq(Operand::Lane, Operand::Imm(0)),
+            |kb| {
+                kb.shr_to_glb(dc, AddrExpr::block(), AddrExpr::c(0));
+            },
+        );
+        pb.launch(kb.build());
+        let p = pb.build().unwrap();
+        let a = analyze_program(&p, &machine()).unwrap();
+        // Masked global access counted with all lanes active (documented
+        // over-approximation): all lanes hit word `i` -> 1 block each.
+        assert_eq!(a.rounds[0].metrics.io_blocks, k);
+    }
+}

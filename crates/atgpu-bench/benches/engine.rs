@@ -1,0 +1,112 @@
+//! Substrate microbenches: simulator throughput, execution modes, the
+//! coalescing analyser, OLS, pretty printing.
+
+use atgpu_algos::{matmul::MatMul, vecadd::VecAdd, Workload};
+use atgpu_analyze::analyze_program;
+use atgpu_analyze::coalesce::site_transactions;
+use atgpu_bench::bench_config;
+use atgpu_calibrate::ols::{fit_line, fit_multilinear};
+use atgpu_ir::affine::CompiledAddr;
+use atgpu_ir::{pretty, AddrExpr};
+use atgpu_sim::{run_program, ExecMode, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+
+    let w = VecAdd::new(200_000, 1);
+    let built = w.build(&cfg.machine).unwrap();
+    g.bench_function("vecadd_200k_sequential", |b| {
+        b.iter(|| {
+            black_box(
+                run_program(
+                    &built.program,
+                    built.inputs.clone(),
+                    &cfg.machine,
+                    &cfg.spec,
+                    &SimConfig::default(),
+                )
+                .unwrap(),
+            )
+        });
+    });
+    g.bench_function("vecadd_200k_parallel2", |b| {
+        let sim = SimConfig { mode: ExecMode::Parallel { threads: 2 }, ..SimConfig::default() };
+        b.iter(|| {
+            black_box(
+                run_program(
+                    &built.program,
+                    built.inputs.clone(),
+                    &cfg.machine,
+                    &cfg.spec,
+                    &sim,
+                )
+                .unwrap(),
+            )
+        });
+    });
+
+    let w = MatMul::new(128, 1);
+    let built = w.build(&cfg.machine).unwrap();
+    g.bench_function("matmul_128_sequential", |b| {
+        b.iter(|| {
+            black_box(
+                run_program(
+                    &built.program,
+                    built.inputs.clone(),
+                    &cfg.machine,
+                    &cfg.spec,
+                    &SimConfig::default(),
+                )
+                .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("analyzer");
+    // The analyser is O(program size), independent of n — benchmark it at
+    // full paper scale to prove the point.
+    let w = VecAdd::new(10_000_000, 1);
+    let built = w.build(&cfg.machine).unwrap();
+    g.bench_function("vecadd_10M_static_analysis", |b| {
+        b.iter(|| black_box(analyze_program(&built.program, &cfg.machine).unwrap()));
+    });
+
+    let addr = CompiledAddr::compile(AddrExpr::block() * 32 + AddrExpr::lane() * 2 + 7);
+    g.bench_function("coalesce_site_1M_blocks", |b| {
+        b.iter(|| black_box(site_transactions(&addr, 13, (1_000_000, 1), &[8, 4], 32)));
+    });
+    g.finish();
+}
+
+fn bench_ols(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..256).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+    c.bench_function("ols_fit_line_256", |b| {
+        b.iter(|| black_box(fit_line(&xs, &ys).unwrap()));
+    });
+    let rows: Vec<Vec<f64>> = (0..128).map(|i| vec![1.0, i as f64, (i * i) as f64]).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| 1.0 + 2.0 * r[1] + 0.1 * r[2]).collect();
+    c.bench_function("ols_multilinear_3x128", |b| {
+        b.iter(|| black_box(fit_multilinear(&rows, &ys).unwrap()));
+    });
+}
+
+fn bench_pretty(c: &mut Criterion) {
+    let cfg = bench_config();
+    let built = MatMul::new(128, 1).build(&cfg.machine).unwrap();
+    c.bench_function("pretty_print_matmul", |b| {
+        b.iter(|| black_box(pretty::render_program(&built.program)));
+    });
+}
+
+criterion_group!(engine, bench_simulator_throughput, bench_analyzer, bench_ols, bench_pretty);
+criterion_main!(engine);

@@ -1,0 +1,96 @@
+//! One benchmark per paper artefact.  Each group measures the
+//! analyse+cost+simulate pipeline at a representative point of the
+//! figure's sweep, and prints the regenerated quick-scale series once so
+//! `cargo bench` doubles as a figure reproduction.
+
+use atgpu_algos::{matmul::MatMul, reduce::Reduce, vecadd::VecAdd};
+use atgpu_bench::bench_config;
+use atgpu_exp::figures::{fig3, fig4, fig5, fig6, summary, table1};
+use atgpu_exp::{run_row, SweepRow};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_rows(label: &str, rows: &[SweepRow]) {
+    eprintln!("\n[{label}] n, atgpu_cost, swgpu_cost, total_ms, kernel_ms, dE, dT");
+    for r in rows {
+        eprintln!(
+            "[{label}] {}, {:.4}, {:.4}, {:.4}, {:.4}, {:.3}, {:.3}",
+            r.n, r.atgpu_cost, r.swgpu_cost, r.total_ms, r.kernel_ms, r.delta_e, r.delta_t
+        );
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_comparison", |b| {
+        b.iter(|| black_box(table1::markdown()));
+    });
+    eprintln!("\n[table1]\n{}", table1::ascii());
+}
+
+fn bench_fig3_vecadd(c: &mut Criterion) {
+    let cfg = bench_config();
+    let rows = fig3::rows(&cfg).expect("fig3 sweep");
+    print_rows("fig3", &rows);
+    let mut g = c.benchmark_group("fig3_vecadd");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("row_n100k", |b| {
+        let w = VecAdd::new(100_000, 1);
+        b.iter(|| black_box(run_row(&w, &cfg).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_fig4_reduction(c: &mut Criterion) {
+    let cfg = bench_config();
+    let rows = fig4::rows(&cfg).expect("fig4 sweep");
+    print_rows("fig4", &rows);
+    let mut g = c.benchmark_group("fig4_reduction");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("row_n2e14", |b| {
+        let w = Reduce::new(1 << 14, 1);
+        b.iter(|| black_box(run_row(&w, &cfg).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_fig5_matmul(c: &mut Criterion) {
+    let cfg = bench_config();
+    let rows = fig5::rows(&cfg).expect("fig5 sweep");
+    print_rows("fig5", &rows);
+    let mut g = c.benchmark_group("fig5_matmul");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("row_n128", |b| {
+        let w = MatMul::new(128, 1);
+        b.iter(|| black_box(run_row(&w, &cfg).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_fig6_and_summary(c: &mut Criterion) {
+    let cfg = bench_config();
+    let va = fig3::rows(&cfg).unwrap();
+    let red = fig4::rows(&cfg).unwrap();
+    let mm = fig5::rows(&cfg).unwrap();
+    // Print the Δ panels and the summary table once.
+    for f in fig6::figures(&va, &red, &mm) {
+        eprintln!("\n[{}] ΔE/ΔT points: {:?}", f.id, f.series[0].points.len());
+    }
+    eprintln!("\n[summary]\n{}", summary::render(&va, &red, &mm));
+    c.bench_function("fig6_delta_panels", |b| {
+        b.iter(|| black_box(fig6::figures(&va, &red, &mm)));
+    });
+    c.bench_function("summary_stats", |b| {
+        b.iter(|| black_box(summary::render(&va, &red, &mm)));
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig3_vecadd,
+    bench_fig4_reduction,
+    bench_fig5_matmul,
+    bench_fig6_and_summary
+);
+criterion_main!(figures);

@@ -1,0 +1,35 @@
+//! # atgpu-bench — Criterion benchmark harness
+//!
+//! Two benchmark suites:
+//!
+//! * `benches/figures.rs` — one benchmark per paper artefact (Table I,
+//!   Figures 3–6, the §IV-D summary): each measures the full
+//!   analyse+cost+simulate pipeline at a representative sweep point and,
+//!   on first run, prints the regenerated series so `cargo bench`
+//!   doubles as a quick reproduction of every figure;
+//! * `benches/engine.rs` — substrate microbenches: simulator instruction
+//!   throughput, sequential vs parallel device execution, the
+//!   residue-class coalescing analyser, OLS fitting, and IR pretty
+//!   printing.
+//!
+//! Shared helpers live here.
+
+#![warn(missing_docs)]
+
+use atgpu_exp::{ExpConfig, Scale};
+
+/// The benchmark configuration: quick scale, deterministic (no transfer
+/// jitter).
+pub fn bench_config() -> ExpConfig {
+    let mut cfg = ExpConfig::standard(Scale::Quick);
+    cfg.sim.noise = None;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_config_is_deterministic() {
+        assert!(super::bench_config().sim.noise.is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! # atgpu-calibrate — recovering cost parameters from measurements
+//!
+//! Boyer et al. fitted their transfer function `T = Î·α + I·β` by
+//! regression over measured copies on real hardware; the paper adopts
+//! that function for ATGPU's transfer cost.  This crate does the same
+//! against the simulated device: it runs targeted microbenchmark
+//! programs, measures them with `atgpu-sim`, and recovers
+//!
+//! * `α`, `β` — from a transfer-size sweep (ordinary least squares);
+//! * `σ` — from kernel-less rounds;
+//! * `γ` — from a compute-only kernel sweep (single warp, no memory);
+//! * `λ` — from a dependent-access kernel sweep (single warp, no latency
+//!   hiding — each access's full latency is exposed).
+//!
+//! The result is a [`atgpu_model::CostParams`] an analyst would plug into
+//! the ATGPU cost function for this device — closing the loop between
+//! the abstract model and the measured machine.  The [`ols`] module
+//! provides the regression machinery (simple lines and small
+//! multi-feature systems via normal equations).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fit;
+pub mod microbench;
+pub mod ols;
+
+pub use fit::{calibrate, Calibration};

@@ -1,0 +1,186 @@
+//! Microbenchmark programs targeting one cost constant each.
+
+use atgpu_algos::AlgosError;
+use atgpu_ir::{AddrExpr, KernelBuilder, Operand, ProgramBuilder};
+use atgpu_model::{AtgpuMachine, GpuSpec};
+use atgpu_sim::{run_program, SimConfig};
+
+/// Measures one host→device transfer of `words` words; returns elapsed
+/// milliseconds.
+pub fn measure_transfer_in(
+    words: u64,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    config: &SimConfig,
+) -> Result<f64, AlgosError> {
+    let mut pb = ProgramBuilder::new("xfer-bench");
+    let h = pb.host_input("X", words);
+    let d = pb.device_alloc("x", words);
+    pb.begin_round();
+    pb.transfer_in(h, d, words);
+    let p = pb.build()?;
+    let report = run_program(&p, vec![vec![0; words as usize]], machine, spec, config)?;
+    Ok(report.rounds[0].xfer_in_ms)
+}
+
+/// Measures an empty round; returns elapsed milliseconds (the
+/// synchronisation overhead `σ`).
+pub fn measure_sync(
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    config: &SimConfig,
+) -> Result<f64, AlgosError> {
+    let mut pb = ProgramBuilder::new("sync-bench");
+    pb.begin_round();
+    pb.end_round();
+    let p = pb.build()?;
+    let report = run_program(&p, vec![], machine, spec, config)?;
+    Ok(report.rounds[0].total_ms())
+}
+
+/// Measures a compute-only kernel (one block, `ops` lockstep moves);
+/// returns elapsed milliseconds.  With a single warp the MP issues one
+/// operation per cycle, so the slope of `time(ops)` is `1/γ`.
+pub fn measure_compute(
+    ops: u32,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    config: &SimConfig,
+) -> Result<f64, AlgosError> {
+    let mut pb = ProgramBuilder::new("gamma-bench");
+    let mut kb = KernelBuilder::new("spin", 1, 0);
+    kb.repeat(ops, |kb| {
+        kb.mov(0, Operand::Imm(1));
+    });
+    pb.begin_round();
+    pb.launch(kb.build());
+    let p = pb.build()?;
+    let report = run_program(&p, vec![], machine, spec, config)?;
+    Ok(report.rounds[0].kernel_ms)
+}
+
+/// Measures a dependent-access kernel: one block performing `accesses`
+/// coalesced global reads back to back, with no other warp to hide the
+/// latency.  The slope of `time(accesses)` is the exposed per-block
+/// access cost — the model's `λ` (in time units; multiply by `γ` for
+/// cycles).
+pub fn measure_global_access(
+    accesses: u32,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    config: &SimConfig,
+) -> Result<f64, AlgosError> {
+    let b = machine.b;
+    let words = u64::from(accesses) * b;
+    let mut pb = ProgramBuilder::new("lambda-bench");
+    let d = pb.device_alloc("x", words.max(b));
+    let mut kb = KernelBuilder::new("chase", 1, b);
+    kb.repeat(accesses, |kb| {
+        // _s[j] ⇐ x[t0·b + j]: one coalesced transaction per iteration.
+        kb.glb_to_shr(
+            AddrExpr::lane(),
+            d,
+            AddrExpr::loop_var(0) * (b as i64) + AddrExpr::lane(),
+        );
+    });
+    pb.begin_round();
+    pb.launch(kb.build());
+    let p = pb.build()?;
+    let report = run_program(&p, vec![], machine, spec, config)?;
+    Ok(report.rounds[0].kernel_ms)
+}
+
+/// Measures a streaming kernel: `blocks` thread blocks each performing
+/// one coalesced global read, saturating the memory pipe.  The slope of
+/// `time(blocks)` is the **effective** per-transaction cost under full
+/// latency hiding — the `λ` that makes the cost function predictive for
+/// bandwidth-bound kernels.
+pub fn measure_streaming_access(
+    blocks: u64,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    config: &SimConfig,
+) -> Result<f64, AlgosError> {
+    let b = machine.b;
+    let words = blocks * b;
+    let mut pb = ProgramBuilder::new("lambda-stream-bench");
+    let d = pb.device_alloc("x", words);
+    let mut kb = KernelBuilder::new("stream", blocks, b);
+    kb.glb_to_shr(
+        AddrExpr::lane(),
+        d,
+        AddrExpr::block() * (b as i64) + AddrExpr::lane(),
+    );
+    pb.begin_round();
+    pb.launch(kb.build());
+    let p = pb.build()?;
+    let report = run_program(&p, vec![], machine, spec, config)?;
+    Ok(report.rounds[0].kernel_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> AtgpuMachine {
+        AtgpuMachine::new(1 << 16, 32, 12_288, 1 << 24).unwrap()
+    }
+
+    fn spec() -> GpuSpec {
+        GpuSpec::gtx650_like()
+    }
+
+    #[test]
+    fn transfer_time_is_affine_in_words() {
+        let cfg = SimConfig::default();
+        let t1 = measure_transfer_in(1000, &machine(), &spec(), &cfg).unwrap();
+        let t2 = measure_transfer_in(2000, &machine(), &spec(), &cfg).unwrap();
+        let t3 = measure_transfer_in(3000, &machine(), &spec(), &cfg).unwrap();
+        // Equal spacing in words -> equal spacing in time.
+        assert!(((t2 - t1) - (t3 - t2)).abs() < 1e-9);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn sync_measures_sigma_exactly() {
+        let cfg = SimConfig::default();
+        let s = measure_sync(&machine(), &spec(), &cfg).unwrap();
+        assert!((s - spec().sync_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_scales_linearly() {
+        let cfg = SimConfig::default();
+        let t1 = measure_compute(1000, &machine(), &spec(), &cfg).unwrap();
+        let t2 = measure_compute(2000, &machine(), &spec(), &cfg).unwrap();
+        assert!(t2 > 1.9 * t1 && t2 < 2.1 * t1, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn global_access_slope_reflects_latency() {
+        let cfg = SimConfig::default();
+        let t1 = measure_global_access(64, &machine(), &spec(), &cfg).unwrap();
+        let t2 = measure_global_access(128, &machine(), &spec(), &cfg).unwrap();
+        let slope_ms = (t2 - t1) / 64.0;
+        let cycles = slope_ms * spec().clock_cycles_per_ms;
+        let lat = spec().dram_latency_cycles as f64;
+        assert!(
+            cycles > lat * 0.9 && cycles < lat * 1.3,
+            "measured {cycles} cycles/access vs latency {lat}"
+        );
+    }
+
+    #[test]
+    fn streaming_slope_reflects_issue_interval() {
+        let cfg = SimConfig::default();
+        let t1 = measure_streaming_access(1024, &machine(), &spec(), &cfg).unwrap();
+        let t2 = measure_streaming_access(2048, &machine(), &spec(), &cfg).unwrap();
+        let slope_ms = (t2 - t1) / 1024.0;
+        let cycles = slope_ms * spec().clock_cycles_per_ms;
+        let issue = spec().dram_issue_cycles as f64;
+        assert!(
+            cycles > issue * 0.8 && cycles < issue * 1.3,
+            "measured {cycles} cycles/txn vs issue interval {issue}"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Ordinary least squares, built from scratch: simple lines and small
+//! multi-feature fits via normal equations with Gaussian elimination.
+
+/// A fitted line `y = intercept + slope·x` with its coefficient of
+/// determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept.
+    pub intercept: f64,
+    /// Slope.
+    pub slope: f64,
+    /// R² on the fitting data.
+    pub r2: f64,
+}
+
+/// Fits `y = a + b·x` by least squares.  Needs at least two distinct `x`
+/// values; returns `None` otherwise.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LinearFit { intercept, slope, r2 })
+}
+
+/// Solves the least-squares problem `X·β ≈ y` for a small feature count
+/// via the normal equations `XᵀX·β = Xᵀy`.  Each row of `rows` is one
+/// observation's feature vector (include a constant-1 column for an
+/// intercept).  Returns `None` for inconsistent shapes or a singular
+/// system.
+pub fn fit_multilinear(rows: &[Vec<f64>], ys: &[f64]) -> Option<Vec<f64>> {
+    let m = rows.first()?.len();
+    if rows.len() != ys.len() || rows.len() < m || rows.iter().any(|r| r.len() != m) {
+        return None;
+    }
+    // Normal equations.
+    let mut a = vec![vec![0.0f64; m + 1]; m]; // augmented [XtX | Xty]
+    for (row, &y) in rows.iter().zip(ys) {
+        for i in 0..m {
+            for j in 0..m {
+                a[i][j] += row[i] * row[j];
+            }
+            a[i][m] += row[i] * y;
+        }
+    }
+    gauss_solve(&mut a, m)
+}
+
+/// Gaussian elimination with partial pivoting on an `m×(m+1)` augmented
+/// matrix.
+fn gauss_solve(a: &mut [Vec<f64>], m: usize) -> Option<Vec<f64>> {
+    for col in 0..m {
+        // Pivot.
+        let piv = (col..m).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
+        })?;
+        if a[piv][col].abs() < 1e-12 {
+            return None; // singular
+        }
+        a.swap(col, piv);
+        // Eliminate below.
+        for row in col + 1..m {
+            let f = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (x, &p) in rest[0].iter_mut().zip(pivot).skip(col) {
+                *x -= f * p;
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; m];
+    for col in (0..m).rev() {
+        let mut v = a[col][m];
+        for k in col + 1..m {
+            v -= a[col][k] * x[k];
+        }
+        x[col] = v / a[col][col];
+    }
+    Some(x)
+}
+
+/// Mean absolute percentage error between predictions and observations
+/// (observations of zero are skipped).
+pub fn mape(predicted: &[f64], observed: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&p, &o) in predicted.iter().zip(observed) {
+        if o != 0.0 {
+            total += ((p - o) / o).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let f = fit_line(&xs, &ys).unwrap();
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_reasonably() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.0 + 0.5 * x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let f = fit_line(&xs, &ys).unwrap();
+        assert!((f.slope - 0.5).abs() < 0.01);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit_line(&[1.0], &[2.0]).is_none());
+        assert!(fit_line(&[2.0, 2.0], &[1.0, 3.0]).is_none()); // no x variance
+        assert!(fit_line(&[1.0, 2.0], &[1.0]).is_none()); // length mismatch
+    }
+
+    #[test]
+    fn constant_y_has_r2_one() {
+        let f = fit_line(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn multilinear_recovers_two_coefficients() {
+        // y = 4·u + 0.25·v over a small grid.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for u in 1..5 {
+            for v in [10.0, 100.0, 1000.0] {
+                rows.push(vec![u as f64, v]);
+                ys.push(4.0 * u as f64 + 0.25 * v);
+            }
+        }
+        let beta = fit_multilinear(&rows, &ys).unwrap();
+        assert!((beta[0] - 4.0).abs() < 1e-9);
+        assert!((beta[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multilinear_with_intercept_column() {
+        // y = 7 + 2·x.
+        let rows: Vec<Vec<f64>> = (0..10).map(|x| vec![1.0, x as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|x| 7.0 + 2.0 * x as f64).collect();
+        let beta = fit_multilinear(&rows, &ys).unwrap();
+        assert!((beta[0] - 7.0).abs() < 1e-9);
+        assert!((beta[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_system_rejected() {
+        // Two identical columns.
+        let rows: Vec<Vec<f64>> = (0..5).map(|x| vec![x as f64, x as f64]).collect();
+        let ys: Vec<f64> = (0..5).map(|x| 3.0 * x as f64).collect();
+        assert!(fit_multilinear(&rows, &ys).is_none());
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        assert!(fit_multilinear(&[vec![1.0, 2.0]], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn mape_basics() {
+        assert!((mape(&[110.0], &[100.0]) - 0.1).abs() < 1e-12);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! ASCII line charts for terminal output of the figures.
+
+use crate::series::Figure;
+
+/// Plot symbols assigned to series in order.
+const SYMBOLS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+/// Renders a figure as an ASCII chart of the given plot-area size.
+pub fn render(fig: &Figure, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n", fig.id, fig.title));
+
+    let all: Vec<(f64, f64)> = fig.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if y_lo > 0.0 && y_lo / y_hi.max(1e-300) > 0.5 {
+        // Keep some headroom for nearly-flat positive data.
+        y_lo = 0.0;
+    }
+    let x_span = (x_hi - x_lo).max(f64::MIN_POSITIVE);
+    let y_span = (y_hi - y_lo).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in fig.series.iter().enumerate() {
+        let sym = SYMBOLS[si % SYMBOLS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x_lo) / x_span) * (width as f64 - 1.0)).round() as usize;
+            let cy = (((y - y_lo) / y_span) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            // First-drawn symbol wins on collisions.
+            if grid[row][col] == ' ' {
+                grid[row][col] = sym;
+            }
+        }
+    }
+
+    let y_label_hi = format_num(y_hi);
+    let y_label_lo = format_num(y_lo);
+    let margin = y_label_hi.len().max(y_label_lo.len());
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            y_label_hi.clone()
+        } else if r == height - 1 {
+            y_label_lo.clone()
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{label:>margin$} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>margin$} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>margin$}  {:<w2$}{}\n",
+        "",
+        format_num(x_lo),
+        format_num(x_hi),
+        w2 = width.saturating_sub(format_num(x_hi).len()),
+    ));
+    out.push_str(&format!("{:>margin$}  x: {}   y: {}\n", "", fig.xlabel, fig.ylabel));
+    let legend: Vec<String> = fig
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", SYMBOLS[i % SYMBOLS.len()], s.label))
+        .collect();
+    out.push_str(&format!("{:>margin$}  {}\n", "", legend.join("   ")));
+    out
+}
+
+/// Compact number formatting for axis labels.
+pub fn format_num(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".into()
+    } else if a >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn sample_fig() -> Figure {
+        Figure::new(
+            "figX",
+            "test",
+            "n",
+            "ms",
+            vec![
+                Series::new("A", vec![(1.0, 1.0), (2.0, 2.0), (3.0, 4.0)]),
+                Series::new("B", vec![(1.0, 4.0), (2.0, 2.0), (3.0, 1.0)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn render_contains_symbols_and_legend() {
+        let s = render(&sample_fig(), 40, 10);
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+        assert!(s.contains("A"));
+        assert!(s.contains("B"));
+        assert!(s.contains("figX"));
+    }
+
+    #[test]
+    fn render_empty_figure() {
+        let f = Figure::new("e", "empty", "x", "y", vec![]);
+        assert!(render(&f, 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn render_single_point() {
+        let f = Figure::new("p", "point", "x", "y", vec![Series::new("S", vec![(1.0, 1.0)])]);
+        let s = render(&f, 30, 8);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn format_num_scales() {
+        assert_eq!(format_num(0.0), "0");
+        assert_eq!(format_num(1500.0), "1.5k");
+        assert_eq!(format_num(2_000_000.0), "2.0M");
+        assert_eq!(format_num(3.5e9), "3.5G");
+        assert_eq!(format_num(0.25), "0.2500");
+    }
+}

@@ -1,0 +1,389 @@
+//! Extension experiments E1–E6 (paper §V future work and stated scope).
+
+use crate::report::markdown_table;
+use crate::runner::{run_row, ExpConfig, SweepRow};
+use crate::series::{Figure, Series};
+use atgpu_algos::histogram::Histogram;
+use atgpu_algos::ooc::{OocReduce, OocScheme, OocVecAdd};
+use atgpu_algos::transpose::{Transpose, TransposeVariant};
+use atgpu_algos::vecadd::VecAdd;
+use atgpu_algos::{AlgosError, Workload};
+use atgpu_analyze::analyze_program;
+use atgpu_calibrate::calibrate;
+use atgpu_model::cost::{evaluate, CostModel};
+use atgpu_model::{occupancy, AtgpuMachine, GpuSpec};
+use atgpu_sim::run_program;
+use std::fmt::Write as _;
+
+/// E1 — out-of-core partitioning: chunk-size sweep on a machine whose
+/// global memory cannot hold the problem, plus the two reduction
+/// communication schemes.
+pub fn e1_out_of_core(cfg: &ExpConfig) -> Result<String, AlgosError> {
+    // A machine with deliberately tiny global memory.
+    let machine = AtgpuMachine::new(cfg.machine.p, cfg.machine.b, cfg.machine.m, 1 << 14)
+        .map_err(|e| AlgosError::InvalidMachine { reason: e.to_string() })?;
+    let n = 100_000u64; // 3n ≈ 300k words ≫ G = 16k
+    let mut rows = Vec::new();
+    let mut fig_points_cost = Vec::new();
+    let mut fig_points_time = Vec::new();
+    for chunk in [512u64, 1024, 2048, 4096] {
+        let w = OocVecAdd::new(n, chunk, 1);
+        let built = w.build(&machine)?;
+        let analysis = analyze_program(&built.program, &machine)
+            .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+        let metrics = analysis.metrics();
+        let cost = evaluate(CostModel::GpuCost, &cfg.params, &machine, &cfg.spec, &metrics)
+            .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+        let report = run_program(&built.program, built.inputs, &machine, &cfg.spec, &cfg.sim)?;
+        rows.push(vec![
+            chunk.to_string(),
+            w.rounds().to_string(),
+            format!("{}", metrics.total_transfer_txns()),
+            format!("{:.3}", cost.total()),
+            format!("{:.3}", report.total_ms()),
+        ]);
+        fig_points_cost.push((chunk as f64, cost.total()));
+        fig_points_time.push((chunk as f64, report.total_ms()));
+    }
+    let mut out = String::from("### E1 — out-of-core vector addition (3n ≫ G)\n\n");
+    out.push_str(&markdown_table(
+        &["chunk (words)", "rounds R", "transfer txns", "predicted cost (ms)", "observed (ms)"],
+        &rows,
+    ));
+
+    // The two reduction communication schemes.
+    let n = 65_536u64;
+    let mut rows = Vec::new();
+    for (scheme, label) in
+        [(OocScheme::HostFinish, "host-finish"), (OocScheme::DeviceFinish, "device-finish")]
+    {
+        let w = OocReduce::new(n, 4096, scheme, 2);
+        let built = w.build(&machine)?;
+        let analysis = analyze_program(&built.program, &machine)
+            .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+        let metrics = analysis.metrics();
+        let outward: u64 = metrics.rounds.iter().map(|r| r.outward_words).sum();
+        let report = run_program(&built.program, built.inputs, &machine, &cfg.spec, &cfg.sim)?;
+        rows.push(vec![
+            label.to_string(),
+            metrics.num_rounds().to_string(),
+            outward.to_string(),
+            format!("{:.3}", report.total_ms()),
+        ]);
+    }
+    out.push_str("\n### E1 — reduction communication schemes (n = 65536, chunk = 4096)\n\n");
+    out.push_str(&markdown_table(
+        &["scheme", "rounds R", "outward words", "observed total (ms)"],
+        &rows,
+    ));
+    let _ = (fig_points_cost, fig_points_time);
+    Ok(out)
+}
+
+/// E2 — verify the model on other GPUs: one medium instance of each
+/// paper workload on three device specifications.
+pub fn e2_other_gpus(cfg: &ExpConfig) -> Result<String, AlgosError> {
+    let specs: [(&str, GpuSpec); 3] = [
+        ("gtx650-like", GpuSpec::gtx650_like()),
+        ("midrange-like", GpuSpec::midrange_like()),
+        ("highend-like", GpuSpec::highend_like()),
+    ];
+    let mut rows = Vec::new();
+    for (name, spec) in specs {
+        let sub = ExpConfig {
+            spec,
+            params: spec.derived_cost_params(),
+            ..cfg.clone()
+        };
+        let workloads: [(&str, Box<dyn Workload>); 3] = [
+            ("vecadd", Box::new(VecAdd::new(400_000, 1))),
+            ("reduce", Box::new(atgpu_algos::reduce::Reduce::new(1 << 18, 1))),
+            ("matmul", Box::new(atgpu_algos::matmul::MatMul::new(128, 1))),
+        ];
+        for (wname, w) in workloads {
+            let r = run_row(w.as_ref(), &sub)?;
+            rows.push(vec![
+                name.to_string(),
+                wname.to_string(),
+                format!("{:.3}", r.total_ms),
+                format!("{:.1}%", 100.0 * r.delta_e),
+                format!("{:.1}%", 100.0 * r.delta_t),
+                format!("{:.1}%", 100.0 * (r.delta_t - r.delta_e).abs()),
+            ]);
+        }
+    }
+    let mut out = String::from("### E2 — model accuracy across device specifications\n\n");
+    out.push_str(&markdown_table(
+        &["device", "workload", "observed (ms)", "ΔE", "ΔT", "|ΔT−ΔE|"],
+        &rows,
+    ));
+    Ok(out)
+}
+
+/// E3 — the conflict-free assumption: transpose variants and the
+/// data-dependent histogram, model I/O vs measured transactions and
+/// conflict serialisation.
+pub fn e3_bank_conflicts(cfg: &ExpConfig) -> Result<String, AlgosError> {
+    let mut rows = Vec::new();
+    for v in [TransposeVariant::Naive, TransposeVariant::Tiled, TransposeVariant::TiledPadded] {
+        let w = Transpose::new(256, 1, v);
+        let built = w.build(&cfg.machine)?;
+        let analysis = analyze_program(&built.program, &cfg.machine)
+            .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+        let q_model = analysis.metrics().total_io_blocks();
+        let report =
+            run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?;
+        let stats = report.rounds[0].kernel_stats;
+        rows.push(vec![
+            format!("transpose/{}", v.label()),
+            q_model.to_string(),
+            stats.global_txns.to_string(),
+            stats.bank_conflict_cycles.to_string(),
+            format!("{:.3}", report.kernel_ms()),
+            if analysis.conflict_free { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    {
+        let w = Histogram::new(1 << 16, cfg.machine.b, 3);
+        let built = w.build(&cfg.machine)?;
+        let analysis = analyze_program(&built.program, &cfg.machine)
+            .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+        let q_model = analysis.metrics().total_io_blocks();
+        let report =
+            run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?;
+        let stats = report.rounds[0].kernel_stats;
+        rows.push(vec![
+            "histogram".to_string(),
+            q_model.to_string(),
+            stats.global_txns.to_string(),
+            stats.bank_conflict_cycles.to_string(),
+            format!("{:.3}", report.kernel_ms()),
+            if analysis.conflict_free { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    let mut out = String::from(
+        "### E3 — coalescing and the bank-conflict-free assumption\n\n",
+    );
+    out.push_str(&markdown_table(
+        &[
+            "kernel",
+            "q (model)",
+            "txns (sim)",
+            "conflict cycles (sim)",
+            "kernel ms (sim)",
+            "statically conflict-free",
+        ],
+        &rows,
+    ));
+    Ok(out)
+}
+
+/// E4 — occupancy: inflate a kernel's shared footprint so
+/// `ℓ = min(⌊M/m⌋, H)` shrinks, and compare the Expression-(2) wave
+/// factor against the simulated slowdown.
+pub fn e4_occupancy(cfg: &ExpConfig) -> Result<(String, Figure), AlgosError> {
+    let n = 400_000u64;
+    let mut rows = Vec::new();
+    let mut pred_points = Vec::new();
+    let mut obs_points = Vec::new();
+    let m = cfg.machine.m;
+    for divisor in [16u64, 8, 4, 2, 1] {
+        let m_used = m / divisor; // shared words per block
+        let w = VecAdd::new(n, 1);
+        let mut built = w.build(&cfg.machine)?;
+        // Inflate the declared shared footprint (the data layout is
+        // untouched; the extra words are simply reserved).
+        for round in &mut built.program.rounds {
+            for step in &mut round.steps {
+                if let atgpu_ir::HostStep::Launch(k) = step {
+                    k.shared_words = k.shared_words.max(m_used);
+                }
+            }
+        }
+        let analysis = analyze_program(&built.program, &cfg.machine)
+            .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+        let metrics = analysis.metrics();
+        let kernel_cost =
+            evaluate(CostModel::KernelOnly, &cfg.params, &cfg.machine, &cfg.spec, &metrics)
+                .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+        let report =
+            run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?;
+        let ell = occupancy(&cfg.machine, m_used, cfg.spec.h_limit);
+        rows.push(vec![
+            m_used.to_string(),
+            ell.to_string(),
+            format!("{:.3}", kernel_cost.total()),
+            format!("{:.3}", report.kernel_ms()),
+        ]);
+        pred_points.push((m_used as f64, kernel_cost.total()));
+        obs_points.push((m_used as f64, report.kernel_ms()));
+    }
+    let mut out = String::from("### E4 — occupancy sweep (vecadd, inflated shared footprint)\n\n");
+    out.push_str(&markdown_table(
+        &["shared words m", "ℓ = min(⌊M/m⌋,H)", "predicted kernel cost (ms)", "observed kernel (ms)"],
+        &rows,
+    ));
+    let fig = Figure::new(
+        "ext_e4",
+        "occupancy: predicted kernel cost vs observed kernel time",
+        "shared words per block",
+        "ms",
+        vec![
+            Series::new("predicted", pred_points),
+            Series::new("observed", obs_points),
+        ],
+    );
+    Ok((out, fig))
+}
+
+/// E5 — further computational problems: scan, stencil, dot, saxpy, and a
+/// (smaller) bitonic sort whose Θ(log² n) rounds stress the σ·R term.
+pub fn e5_other_problems(cfg: &ExpConfig) -> Result<(String, Vec<SweepRow>), AlgosError> {
+    let workloads: Vec<(&str, Box<dyn Workload>)> = vec![
+        ("saxpy", Box::new(atgpu_algos::saxpy::Saxpy::new(400_000, 3, 1))),
+        ("dot", Box::new(atgpu_algos::dot::Dot::new(400_000, 1))),
+        ("scan", Box::new(atgpu_algos::scan::Scan::new(400_000, 1))),
+        ("stencil", Box::new(atgpu_algos::stencil::Stencil::new(400_000, 1))),
+        ("gemv (n=512)", Box::new(atgpu_algos::gemv::Gemv::new(512, 1))),
+        ("bitonic (n=16384)", Box::new(atgpu_algos::bitonic::BitonicSort::new(16_384, 1))),
+    ];
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (name, w) in workloads {
+        let r = run_row(w.as_ref(), cfg)?;
+        table.push(vec![
+            name.to_string(),
+            format!("{:.3}", r.total_ms),
+            format!("{:.3}", r.kernel_ms),
+            format!("{:.1}%", 100.0 * r.delta_e),
+            format!("{:.1}%", 100.0 * r.delta_t),
+            format!("{:.1}%", 100.0 * (r.delta_t - r.delta_e).abs()),
+        ]);
+        rows.push(r);
+    }
+    let mut out =
+        String::from("### E5 — further computational problems (n = 400000)\n\n");
+    out.push_str(&markdown_table(
+        &["workload", "total (ms)", "kernel (ms)", "ΔE", "ΔT", "|ΔT−ΔE|"],
+        &table,
+    ));
+    Ok((out, rows))
+}
+
+/// E6 — calibration: fit `α, β, γ, λ, σ` from simulated microbenchmarks
+/// and compare against the device's ground truth.
+pub fn e6_calibration(cfg: &ExpConfig) -> Result<String, AlgosError> {
+    let cal = calibrate(&cfg.machine, &cfg.spec, &cfg.sim)?;
+    let truth = cfg.spec;
+    let mut out = String::from("### E6 — cost-parameter calibration (fit vs ground truth)\n\n");
+    let fmt = |v: f64| format!("{v:.6}");
+    out.push_str(&markdown_table(
+        &["parameter", "fitted", "ground truth", "fit R²"],
+        &[
+            vec!["α (ms)".into(), fmt(cal.alpha_ms), fmt(truth.xfer_alpha_ms), fmt(cal.transfer_r2)],
+            vec![
+                "β (ms/word)".into(),
+                format!("{:.3e}", cal.beta_ms_per_word),
+                format!("{:.3e}", truth.xfer_beta_ms_per_word),
+                fmt(cal.transfer_r2),
+            ],
+            vec!["σ (ms)".into(), fmt(cal.sigma_ms), fmt(truth.sync_ms), "-".into()],
+            vec![
+                "γ (cycles/ms)".into(),
+                format!("{:.3e}", cal.gamma_cycles_per_ms),
+                format!("{:.3e}", truth.clock_cycles_per_ms),
+                fmt(cal.gamma_r2),
+            ],
+            vec![
+                "λ effective (cycles/txn)".into(),
+                format!("{:.1}", cal.lambda_cycles),
+                format!("{} (issue interval)", truth.dram_issue_cycles),
+                fmt(cal.lambda_r2),
+            ],
+            vec![
+                "λ exposed (cycles)".into(),
+                format!("{:.1}", cal.lambda_exposed_cycles),
+                format!("{} (raw latency)", truth.dram_latency_cycles),
+                "-".into(),
+            ],
+        ],
+    ));
+
+    // Re-predict a small vecadd sweep with the fitted parameters.
+    let fitted_cfg = ExpConfig { params: cal.to_cost_params(), ..cfg.clone() };
+    let mut gaps = Vec::new();
+    for n in [100_000u64, 200_000, 400_000] {
+        let r = run_row(&VecAdd::new(n, 9), &fitted_cfg)?;
+        gaps.push((r.delta_t - r.delta_e).abs());
+    }
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let _ = writeln!(
+        out,
+        "\nMean |ΔT−ΔE| for vecadd predicted with *fitted* parameters: {:.2}%",
+        100.0 * mean_gap
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Scale;
+
+    fn cfg() -> ExpConfig {
+        ExpConfig::standard(Scale::Quick)
+    }
+
+    #[test]
+    fn e1_runs_and_reports() {
+        let s = e1_out_of_core(&cfg()).unwrap();
+        assert!(s.contains("chunk"));
+        assert!(s.contains("host-finish"));
+        assert!(s.contains("device-finish"));
+    }
+
+    #[test]
+    fn e3_shows_conflict_contrast() {
+        let s = e3_bank_conflicts(&cfg()).unwrap();
+        assert!(s.contains("transpose/naive"));
+        assert!(s.contains("transpose/tiled-padded"));
+        assert!(s.contains("histogram"));
+    }
+
+    #[test]
+    fn e4_occupancy_monotone() {
+        let (s, fig) = e4_occupancy(&cfg()).unwrap();
+        assert!(s.contains("ℓ"));
+        // Less shared per block -> higher occupancy -> faster: observed
+        // series should be non-increasing as m shrinks... the sweep goes
+        // from small m (divisor 16) to large m (divisor 1), so observed
+        // time should increase along the series.
+        let obs = &fig.series[1].points;
+        assert!(obs.last().unwrap().1 >= obs.first().unwrap().1, "{obs:?}");
+    }
+
+    #[test]
+    fn e5_reports_all_workloads() {
+        let (s, rows) = e5_other_problems(&cfg()).unwrap();
+        assert_eq!(rows.len(), 6);
+        for name in ["saxpy", "dot", "scan", "stencil", "gemv", "bitonic"] {
+            assert!(s.contains(name));
+        }
+    }
+
+    #[test]
+    fn e2_covers_all_specs() {
+        let s = e2_other_gpus(&cfg()).unwrap();
+        for name in ["gtx650-like", "midrange-like", "highend-like"] {
+            assert!(s.contains(name));
+        }
+    }
+
+    #[test]
+    fn e6_calibration_report() {
+        let s = e6_calibration(&cfg()).unwrap();
+        assert!(s.contains("fitted"));
+        assert!(s.contains("λ"));
+        assert!(s.contains("fitted* parameters") || s.contains("fitted"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 6 — proportions (Δ) of time/cost spent on data transfer:
+//! observed ΔE vs predicted ΔT for each workload.
+
+use crate::runner::SweepRow;
+use crate::series::{Figure, Series};
+
+/// Builds one Δ panel from a workload's sweep rows.
+pub fn figure(rows: &[SweepRow], id: &str, workload: &str) -> Figure {
+    Figure::new(
+        id,
+        format!("{workload}: transfer proportions"),
+        "n",
+        "Δ",
+        vec![
+            Series::new(
+                "ΔE (Observed)",
+                rows.iter().map(|r| (r.n as f64, r.delta_e)).collect(),
+            ),
+            Series::new(
+                "ΔT (Predicted)",
+                rows.iter().map(|r| (r.n as f64, r.delta_t)).collect(),
+            ),
+        ],
+    )
+}
+
+/// All three panels (6a vecadd, 6b reduction, 6c matmul).
+pub fn figures(
+    vecadd: &[SweepRow],
+    reduce: &[SweepRow],
+    matmul: &[SweepRow],
+) -> Vec<Figure> {
+    vec![
+        figure(vecadd, "fig6a", "vector addition"),
+        figure(reduce, "fig6b", "reduction"),
+        figure(matmul, "fig6c", "matrix multiplication"),
+    ]
+}
+
+/// Mean absolute gap `|ΔT − ΔE|` over a sweep — the accuracy number the
+/// paper quotes (1.5 % vecadd, 5.49 % reduction, 0.76 % matmul).
+pub fn mean_delta_gap(rows: &[SweepRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| (r.delta_t - r.delta_e).abs()).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig3;
+    use crate::runner::{ExpConfig, Scale};
+
+    #[test]
+    fn delta_panels_track_each_other() {
+        let cfg = ExpConfig::standard(Scale::Quick);
+        let rows = fig3::rows(&cfg).unwrap();
+        let gap = mean_delta_gap(&rows);
+        // The paper reports ~1.5% for vecadd; allow a loose budget.
+        assert!(gap < 0.15, "mean |ΔT−ΔE| = {gap}");
+        let f = figure(&rows, "fig6a", "vector addition");
+        assert_eq!(f.series.len(), 2);
+        assert_eq!(f.series[0].points.len(), rows.len());
+    }
+
+    #[test]
+    fn empty_rows_gap_is_zero() {
+        assert_eq!(mean_delta_gap(&[]), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! §IV-D summary statistics.
+//!
+//! The paper quotes, per workload:
+//!
+//! * the average share of total running time spent on data transfer
+//!   (84 % vector addition, 35 % reduction, "little" for matmul);
+//! * the average gap between predicted and observed transfer proportions
+//!   (within 1.5 %, 5.49 % and 0.76 % respectively);
+//! * the fraction of actual running time the SWGPU view captures
+//!   (16 %, 58 %, 89 %) — i.e. the kernel share of the total.
+
+use crate::figures::fig6::mean_delta_gap;
+use crate::report::markdown_table;
+use crate::runner::SweepRow;
+
+/// Summary statistics for one workload's sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSummary {
+    /// Mean observed transfer share ΔE.
+    pub mean_delta_e: f64,
+    /// Mean predicted transfer share ΔT.
+    pub mean_delta_t: f64,
+    /// Mean |ΔT − ΔE| (the paper's accuracy number).
+    pub mean_delta_gap: f64,
+    /// Mean kernel/total ratio — the share of reality SWGPU captures.
+    pub swgpu_capture: f64,
+}
+
+/// Computes the summary for one sweep.
+pub fn summarize(rows: &[SweepRow]) -> WorkloadSummary {
+    let n = rows.len().max(1) as f64;
+    WorkloadSummary {
+        mean_delta_e: rows.iter().map(|r| r.delta_e).sum::<f64>() / n,
+        mean_delta_t: rows.iter().map(|r| r.delta_t).sum::<f64>() / n,
+        mean_delta_gap: mean_delta_gap(rows),
+        swgpu_capture: rows
+            .iter()
+            .map(|r| if r.total_ms > 0.0 { r.kernel_ms / r.total_ms } else { 0.0 })
+            .sum::<f64>()
+            / n,
+    }
+}
+
+/// Paper-quoted reference values for the three workloads, for the
+/// side-by-side EXPERIMENTS.md table.
+pub struct PaperReference {
+    /// Workload name.
+    pub name: &'static str,
+    /// Paper's average transfer share of total time.
+    pub transfer_share: Option<f64>,
+    /// Paper's average |ΔT − ΔE|.
+    pub delta_gap: f64,
+    /// Paper's SWGPU capture fraction.
+    pub swgpu_capture: f64,
+}
+
+/// The three reference rows from §IV-D.
+pub fn paper_reference() -> [PaperReference; 3] {
+    [
+        PaperReference {
+            name: "vecadd",
+            transfer_share: Some(0.84),
+            delta_gap: 0.015,
+            swgpu_capture: 0.16,
+        },
+        PaperReference {
+            name: "reduce",
+            transfer_share: Some(0.35),
+            delta_gap: 0.0549,
+            swgpu_capture: 0.58,
+        },
+        PaperReference {
+            name: "matmul",
+            transfer_share: None, // "little difference"
+            delta_gap: 0.0076,
+            swgpu_capture: 0.89,
+        },
+    ]
+}
+
+/// Renders the paper-vs-measured summary as a markdown table.
+pub fn render(
+    vecadd: &[SweepRow],
+    reduce: &[SweepRow],
+    matmul: &[SweepRow],
+) -> String {
+    let sweeps = [vecadd, reduce, matmul];
+    let refs = paper_reference();
+    let pct = |v: f64| format!("{:.1}%", 100.0 * v);
+    let rows: Vec<Vec<String>> = refs
+        .iter()
+        .zip(sweeps)
+        .map(|(r, rows)| {
+            let s = summarize(rows);
+            vec![
+                r.name.to_string(),
+                r.transfer_share.map(pct).unwrap_or_else(|| "small".into()),
+                pct(s.mean_delta_e),
+                pct(r.delta_gap),
+                pct(s.mean_delta_gap),
+                pct(r.swgpu_capture),
+                pct(s.swgpu_capture),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            "workload",
+            "transfer share (paper)",
+            "transfer share (measured)",
+            "|ΔT−ΔE| (paper)",
+            "|ΔT−ΔE| (measured)",
+            "SWGPU capture (paper)",
+            "SWGPU capture (measured)",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(delta_e: f64, delta_t: f64, kernel: f64, total: f64) -> SweepRow {
+        SweepRow {
+            n: 1,
+            atgpu_cost: 1.0,
+            swgpu_cost: 0.5,
+            total_ms: total,
+            kernel_ms: kernel,
+            delta_e,
+            delta_t,
+        }
+    }
+
+    #[test]
+    fn summarize_averages() {
+        let rows = vec![row(0.8, 0.82, 0.1, 1.0), row(0.9, 0.86, 0.3, 1.0)];
+        let s = summarize(&rows);
+        assert!((s.mean_delta_e - 0.85).abs() < 1e-12);
+        assert!((s.mean_delta_gap - 0.03).abs() < 1e-12);
+        assert!((s.swgpu_capture - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_workloads() {
+        let rows = vec![row(0.8, 0.8, 0.1, 1.0)];
+        let md = render(&rows, &rows, &rows);
+        for name in ["vecadd", "reduce", "matmul"] {
+            assert!(md.contains(name));
+        }
+        assert!(md.contains("small")); // matmul's paper transfer share
+    }
+
+    #[test]
+    fn paper_reference_matches_quoted_numbers() {
+        let r = paper_reference();
+        assert_eq!(r[0].transfer_share, Some(0.84));
+        assert_eq!(r[1].delta_gap, 0.0549);
+        assert_eq!(r[2].swgpu_capture, 0.89);
+    }
+}

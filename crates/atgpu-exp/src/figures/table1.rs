@@ -1,0 +1,52 @@
+//! Table I — comparison of GPU abstract models.
+
+use atgpu_model::comparison::{classical_models, comparison_table, render_ascii, render_markdown};
+
+/// The table as markdown (the paper's Table I).
+pub fn markdown() -> String {
+    render_markdown(&comparison_table())
+}
+
+/// The table as fixed-width ASCII for terminals.
+pub fn ascii() -> String {
+    render_ascii(&comparison_table())
+}
+
+/// Extended table including the classical models from the related-work
+/// discussion.
+pub fn extended_markdown() -> String {
+    let mut models = classical_models();
+    models.extend(comparison_table());
+    render_markdown(&models)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_checkmarks() {
+        let md = markdown();
+        // ATGPU column exists and transfer row only ticks ATGPU.
+        let transfer_row = md
+            .lines()
+            .find(|l| l.contains("Host/Device Data Transfer"))
+            .expect("transfer row");
+        assert_eq!(transfer_row.matches('✓').count(), 1);
+        let time_row = md.lines().find(|l| l.contains("Time Complexity")).unwrap();
+        assert_eq!(time_row.matches('✓').count(), 3);
+    }
+
+    #[test]
+    fn extended_includes_classical() {
+        let md = extended_markdown();
+        for name in ["PRAM", "BSP", "BSPRAM", "PEM"] {
+            assert!(md.contains(name));
+        }
+    }
+
+    #[test]
+    fn ascii_renders() {
+        assert!(ascii().contains("ATGPU"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # atgpu-exp — the experiment harness
+//!
+//! Regenerates **every table and figure** of the paper's evaluation
+//! (§IV) against the simulated GTX 650-like device, plus the extension
+//! experiments its future-work section calls for:
+//!
+//! | Runner | Paper artefact |
+//! |---|---|
+//! | [`figures::table1`] | Table I — model comparison |
+//! | [`figures::fig3`] | Fig. 3a/3b/3c — vector addition |
+//! | [`figures::fig4`] | Fig. 4a/4b/4c — reduction |
+//! | [`figures::fig5`] | Fig. 5a/5b — matrix multiplication |
+//! | [`figures::fig6`] | Fig. 6a/6b/6c — transfer proportions ΔE vs ΔT |
+//! | [`figures::summary`] | §IV-D summary statistics |
+//! | [`figures::ext`] | E1 out-of-core, E2 other GPUs, E3 bank conflicts, E4 occupancy, E5 other problems, E6 calibration |
+//!
+//! Each runner produces [`series::Figure`] data that the [`report`]
+//! module renders as CSV / gnuplot / markdown files and the [`chart`]
+//! module renders as ASCII plots for the terminal.
+//!
+//! The "observed" series are simulated observations — see DESIGN.md for
+//! the hardware-substitution argument — and the "predicted" series are
+//! the ATGPU/SWGPU cost functions evaluated on metrics derived from the
+//! same IR by `atgpu-analyze`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chart;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod series;
+
+pub use runner::{run_row, ExpConfig, Scale, SweepRow};
+pub use series::{Figure, Series};

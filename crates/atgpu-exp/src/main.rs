@@ -1,0 +1,267 @@
+//! `atgpu-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! atgpu-exp [COMMANDS] [OPTIONS]
+//!
+//! COMMANDS (any combination; default: all)
+//!   table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 all
+//!   pseudocode NAME   print a workload's program in the paper's notation
+//!                     (vecadd, reduce, matmul, saxpy, dot, scan, stencil,
+//!                      transpose, histogram, bitonic, gemv, spmv)
+//!
+//! OPTIONS
+//!   --quick        small sweep sizes (seconds)
+//!   --full         complete paper ranges (minutes)
+//!   --out DIR      write CSV/DAT/JSON files (default: ./experiments)
+//!   --no-noise     disable transfer jitter
+//!   --parallel N   simulate with N worker threads
+//! ```
+
+use atgpu_exp::figures::{ext, fig3, fig4, fig5, fig6, summary, table1};
+use atgpu_exp::{chart, report};
+use atgpu_exp::{ExpConfig, Scale, SweepRow};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    commands: BTreeSet<String>,
+    scale: Scale,
+    out: PathBuf,
+    noise: bool,
+    threads: Option<usize>,
+    pseudocode: Option<String>,
+}
+
+/// Prints a workload's program rendered in the paper's pseudocode.
+fn print_pseudocode(name: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use atgpu_algos::Workload;
+    let machine = atgpu_model::AtgpuMachine::gtx650_like();
+    let w: Box<dyn Workload> = match name {
+        "vecadd" => Box::new(atgpu_algos::vecadd::VecAdd::new(1024, 0)),
+        "saxpy" => Box::new(atgpu_algos::saxpy::Saxpy::new(1024, 3, 0)),
+        "reduce" => Box::new(atgpu_algos::reduce::Reduce::new(2048, 0)),
+        "dot" => Box::new(atgpu_algos::dot::Dot::new(1024, 0)),
+        "scan" => Box::new(atgpu_algos::scan::Scan::new(1024, 0)),
+        "stencil" => Box::new(atgpu_algos::stencil::Stencil::new(1024, 0)),
+        "matmul" => Box::new(atgpu_algos::matmul::MatMul::new(64, 0)),
+        "transpose" => Box::new(atgpu_algos::transpose::Transpose::new(
+            64,
+            0,
+            atgpu_algos::transpose::TransposeVariant::Tiled,
+        )),
+        "gemv" => Box::new(atgpu_algos::gemv::Gemv::new(64, 0)),
+        "spmv" => Box::new(atgpu_algos::spmv::SpmvEll::new(128, 3, 0)),
+        "histogram" => Box::new(atgpu_algos::histogram::Histogram::new(1024, 32, 0)),
+        "bitonic" => Box::new(atgpu_algos::bitonic::BitonicSort::new(128, 0)),
+        other => return Err(format!("unknown workload `{other}`").into()),
+    };
+    let built = w.build(&machine)?;
+    println!("{}", atgpu_ir::pretty::render_program(&built.program));
+    Ok(())
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut commands = BTreeSet::new();
+    let mut scale = Scale::Paper;
+    let mut out = PathBuf::from("experiments");
+    let mut noise = true;
+    let mut threads = None;
+    let mut pseudocode = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--no-noise" => noise = false,
+            "--out" => {
+                out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            "pseudocode" => {
+                pseudocode = Some(it.next().ok_or("pseudocode needs a workload name")?);
+            }
+            "--parallel" => {
+                threads = Some(
+                    it.next()
+                        .ok_or("--parallel needs a thread count")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "atgpu-exp — regenerate the ATGPU paper's tables and figures\n\
+                     commands: table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 all\n\
+                     options:  --quick --full --out DIR --no-noise --parallel N"
+                );
+                std::process::exit(0);
+            }
+            cmd @ ("table1" | "fig3" | "fig4" | "fig5" | "fig6" | "summary" | "e1" | "e2"
+            | "e3" | "e4" | "e5" | "e6" | "all") => {
+                commands.insert(cmd.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if commands.is_empty() && pseudocode.is_none() {
+        commands.insert("all".to_string());
+    }
+    Ok(Args { commands, scale, out, noise, threads, pseudocode })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn want(args: &Args, cmd: &str) -> bool {
+    args.commands.contains("all") || args.commands.contains(cmd)
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(name) = &args.pseudocode {
+        print_pseudocode(name)?;
+        if args.commands.is_empty() {
+            return Ok(());
+        }
+    }
+    let mut cfg = ExpConfig::standard(args.scale);
+    if !args.noise {
+        cfg.sim.noise = None;
+    }
+    if let Some(t) = args.threads {
+        cfg.sim.mode = atgpu_sim::ExecMode::Parallel { threads: t };
+    }
+    std::fs::create_dir_all(&args.out)?;
+
+    println!("ATGPU experiment harness — machine {}, scale {:?}", cfg.machine, args.scale);
+    println!(
+        "device: k'={}, H={}, clock={:.0} cycles/ms; params: γ={:.0} λ={} σ={}ms α={}ms β={:.2e}ms/word\n",
+        cfg.spec.k_prime,
+        cfg.spec.h_limit,
+        cfg.spec.clock_cycles_per_ms,
+        cfg.params.gamma,
+        cfg.params.lambda,
+        cfg.params.sigma,
+        cfg.params.alpha,
+        cfg.params.beta,
+    );
+
+    if want(args, "table1") {
+        println!("== Table I — comparison of GPU abstract models ==\n");
+        println!("{}", table1::ascii());
+        std::fs::write(args.out.join("table1.md"), table1::markdown())?;
+        std::fs::write(args.out.join("table1_extended.md"), table1::extended_markdown())?;
+    }
+
+    let need_vecadd = ["fig3", "fig6", "summary"].iter().any(|c| want(args, c));
+    let need_reduce = ["fig4", "fig6", "summary"].iter().any(|c| want(args, c));
+    let need_matmul = ["fig5", "fig6", "summary"].iter().any(|c| want(args, c));
+
+    let vecadd_rows: Vec<SweepRow> = if need_vecadd {
+        eprintln!("[sweep] vector addition …");
+        fig3::rows(&cfg)?
+    } else {
+        Vec::new()
+    };
+    let reduce_rows: Vec<SweepRow> = if need_reduce {
+        eprintln!("[sweep] reduction …");
+        fig4::rows(&cfg)?
+    } else {
+        Vec::new()
+    };
+    let matmul_rows: Vec<SweepRow> = if need_matmul {
+        eprintln!("[sweep] matrix multiplication …");
+        fig5::rows(&cfg)?
+    } else {
+        Vec::new()
+    };
+
+    if want(args, "fig3") {
+        emit_figures(&fig3::figures(&vecadd_rows), args)?;
+        std::fs::write(args.out.join("fig3_rows.csv"), report::rows_csv(&vecadd_rows))?;
+    }
+    if want(args, "fig4") {
+        emit_figures(&fig4::figures(&reduce_rows), args)?;
+        std::fs::write(args.out.join("fig4_rows.csv"), report::rows_csv(&reduce_rows))?;
+    }
+    if want(args, "fig5") {
+        emit_figures(&fig5::figures(&matmul_rows), args)?;
+        std::fs::write(args.out.join("fig5_rows.csv"), report::rows_csv(&matmul_rows))?;
+    }
+    if want(args, "fig6") {
+        emit_figures(&fig6::figures(&vecadd_rows, &reduce_rows, &matmul_rows), args)?;
+    }
+    if want(args, "summary") {
+        println!("== §IV-D summary: paper vs this reproduction ==\n");
+        let md = summary::render(&vecadd_rows, &reduce_rows, &matmul_rows);
+        println!("{md}");
+        std::fs::write(args.out.join("summary.md"), md)?;
+    }
+
+    // Extension experiments.
+    let mut ext_md = String::new();
+    if want(args, "e1") {
+        eprintln!("[ext] E1 out-of-core …");
+        ext_md.push_str(&ext::e1_out_of_core(&cfg)?);
+        ext_md.push('\n');
+    }
+    if want(args, "e2") {
+        eprintln!("[ext] E2 other GPUs …");
+        ext_md.push_str(&ext::e2_other_gpus(&cfg)?);
+        ext_md.push('\n');
+    }
+    if want(args, "e3") {
+        eprintln!("[ext] E3 bank conflicts …");
+        ext_md.push_str(&ext::e3_bank_conflicts(&cfg)?);
+        ext_md.push('\n');
+    }
+    if want(args, "e4") {
+        eprintln!("[ext] E4 occupancy …");
+        let (md, fig) = ext::e4_occupancy(&cfg)?;
+        ext_md.push_str(&md);
+        ext_md.push('\n');
+        emit_figures(&[fig], args)?;
+    }
+    if want(args, "e5") {
+        eprintln!("[ext] E5 other problems …");
+        let (md, _) = ext::e5_other_problems(&cfg)?;
+        ext_md.push_str(&md);
+        ext_md.push('\n');
+    }
+    if want(args, "e6") {
+        eprintln!("[ext] E6 calibration …");
+        ext_md.push_str(&ext::e6_calibration(&cfg)?);
+        ext_md.push('\n');
+    }
+    if !ext_md.is_empty() {
+        println!("{ext_md}");
+        std::fs::write(args.out.join("extensions.md"), &ext_md)?;
+    }
+
+    println!("\nartefacts written to {}", args.out.display());
+    Ok(())
+}
+
+fn emit_figures(
+    figs: &[atgpu_exp::Figure],
+    args: &Args,
+) -> Result<(), Box<dyn std::error::Error>> {
+    for f in figs {
+        println!("{}", chart::render(f, 64, 16));
+        report::write_figure(f, &args.out)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! File output: CSV, gnuplot data, markdown tables, JSON — all
+//! hand-rolled (no serialisation dependencies).
+
+use crate::runner::SweepRow;
+use crate::series::Figure;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders a figure as CSV: `x,<series1>,<series2>,…` (series are joined
+/// on x; missing values are empty cells).
+pub fn figure_csv(fig: &Figure) -> String {
+    let mut xs: Vec<f64> = fig.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup();
+    let mut out = String::new();
+    let _ = write!(out, "{}", fig.xlabel);
+    for s in &fig.series {
+        let _ = write!(out, ",{}", s.label);
+    }
+    out.push('\n');
+    for &x in &xs {
+        let _ = write!(out, "{x}");
+        for s in &fig.series {
+            match s.points.iter().find(|p| p.0 == x) {
+                Some(&(_, y)) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the raw sweep rows as CSV (one file per workload keeps every
+/// quantity the figures derive from).
+pub fn rows_csv(rows: &[SweepRow]) -> String {
+    let mut out =
+        String::from("n,atgpu_cost,swgpu_cost,total_ms,kernel_ms,delta_e,delta_t\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            r.n, r.atgpu_cost, r.swgpu_cost, r.total_ms, r.kernel_ms, r.delta_e, r.delta_t
+        );
+    }
+    out
+}
+
+/// Renders a figure as a gnuplot-ready `.dat` block (x then one column
+/// per series, aligned rows only).
+pub fn figure_dat(fig: &Figure) -> String {
+    let mut out = format!("# {} — {}\n# x", fig.id, fig.title);
+    for s in &fig.series {
+        let _ = write!(out, " {}", s.label.replace(' ', "_"));
+    }
+    out.push('\n');
+    if let Some(first) = fig.series.first() {
+        for (i, &(x, _)) in first.points.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for s in &fig.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, " {y}");
+                    }
+                    None => out.push_str(" nan"),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a figure as minimal JSON.
+pub fn figure_json(fig: &Figure) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = format!(
+        "{{\"id\":\"{}\",\"title\":\"{}\",\"xlabel\":\"{}\",\"ylabel\":\"{}\",\"series\":[",
+        esc(&fig.id),
+        esc(&fig.title),
+        esc(&fig.xlabel),
+        esc(&fig.ylabel)
+    );
+    for (i, s) in fig.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"label\":\"{}\",\"points\":[", esc(&s.label));
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{x},{y}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A simple markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("|");
+    for h in headers {
+        let _ = write!(out, " {h} |");
+    }
+    out.push_str("\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            let _ = write!(out, " {cell} |");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a ready-to-run gnuplot script plotting the figure from its
+/// `.dat` file (`gnuplot fig3a.gp` → `fig3a.png`).
+pub fn figure_gnuplot(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "set terminal pngcairo size 900,600");
+    let _ = writeln!(out, "set output '{}.png'", fig.id);
+    let _ = writeln!(out, "set title \"{}\"", fig.title.replace('"', "'"));
+    let _ = writeln!(out, "set xlabel \"{}\"", fig.xlabel);
+    let _ = writeln!(out, "set ylabel \"{}\"", fig.ylabel);
+    let _ = writeln!(out, "set key top left");
+    let mut parts = Vec::new();
+    for (i, s) in fig.series.iter().enumerate() {
+        parts.push(format!(
+            "'{}.dat' using 1:{} with linespoints title \"{}\"",
+            fig.id,
+            i + 2,
+            s.label.replace('"', "'")
+        ));
+    }
+    let _ = writeln!(out, "plot {}", parts.join(", \\\n     "));
+    out
+}
+
+/// Writes a figure's CSV, `.dat`, JSON and gnuplot files into `dir`.
+pub fn write_figure(fig: &Figure, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{}.csv", fig.id)), figure_csv(fig))?;
+    fs::write(dir.join(format!("{}.dat", fig.id)), figure_dat(fig))?;
+    fs::write(dir.join(format!("{}.json", fig.id)), figure_json(fig))?;
+    fs::write(dir.join(format!("{}.gp", fig.id)), figure_gnuplot(fig))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn fig() -> Figure {
+        Figure::new(
+            "fig3a",
+            "predicted",
+            "n",
+            "cost",
+            vec![
+                Series::new("ATGPU", vec![(1.0, 10.0), (2.0, 20.0)]),
+                Series::new("SWGPU", vec![(1.0, 5.0), (2.0, 9.0)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = figure_csv(&fig());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("n,ATGPU,SWGPU"));
+        assert_eq!(lines.next(), Some("1,10,5"));
+        assert_eq!(lines.next(), Some("2,20,9"));
+    }
+
+    #[test]
+    fn csv_handles_missing_points() {
+        let f = Figure::new(
+            "f",
+            "t",
+            "x",
+            "y",
+            vec![
+                Series::new("A", vec![(1.0, 1.0)]),
+                Series::new("B", vec![(2.0, 2.0)]),
+            ],
+        );
+        let csv = figure_csv(&f);
+        assert!(csv.contains("1,1,\n"));
+        assert!(csv.contains("2,,2\n"));
+    }
+
+    #[test]
+    fn dat_format() {
+        let dat = figure_dat(&fig());
+        assert!(dat.starts_with("# fig3a"));
+        assert!(dat.contains("1 10 5"));
+    }
+
+    #[test]
+    fn json_is_balanced() {
+        let j = figure_json(&fig());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"ATGPU\""));
+    }
+
+    #[test]
+    fn rows_csv_roundtrip_fields() {
+        let rows = vec![crate::runner::SweepRow {
+            n: 100,
+            atgpu_cost: 1.5,
+            swgpu_cost: 1.0,
+            total_ms: 2.0,
+            kernel_ms: 0.5,
+            delta_e: 0.75,
+            delta_t: 0.7,
+        }];
+        let csv = rows_csv(&rows);
+        assert!(csv.contains("100,1.5,1,2,0.5,0.75,0.7"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn write_figure_creates_files() {
+        let dir = std::env::temp_dir().join("atgpu_exp_test_out");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_figure(&fig(), &dir).unwrap();
+        assert!(dir.join("fig3a.csv").exists());
+        assert!(dir.join("fig3a.dat").exists());
+        assert!(dir.join("fig3a.json").exists());
+        assert!(dir.join("fig3a.gp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gnuplot_script_references_every_series() {
+        let gp = figure_gnuplot(&fig());
+        assert!(gp.contains("set output 'fig3a.png'"));
+        assert!(gp.contains("using 1:2"));
+        assert!(gp.contains("using 1:3"));
+        assert!(gp.contains("\"ATGPU\"") && gp.contains("\"SWGPU\""));
+    }
+}

@@ -1,0 +1,139 @@
+//! Common sweep machinery: analyse + cost + simulate one workload
+//! instance, producing one row of a figure's data.
+
+use atgpu_algos::{AlgosError, Workload};
+use atgpu_analyze::analyze_program;
+use atgpu_model::cost::{evaluate, CostModel};
+use atgpu_model::{AtgpuMachine, CostParams, GpuSpec};
+use atgpu_sim::xfer::XferNoise;
+use atgpu_sim::{run_program, SimConfig};
+
+/// Experiment scale, selecting sweep ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes for CI and unit tests (seconds).
+    Quick,
+    /// The paper's ranges, with the largest matrix/reduction points
+    /// trimmed to keep a full run around a minute.
+    Paper,
+    /// The complete paper ranges (vecadd to 10⁷, reduction to 2²⁶,
+    /// matmul to 1024).
+    Full,
+}
+
+/// Configuration for an experiment run.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// The abstract machine (analysis side).
+    pub machine: AtgpuMachine,
+    /// The simulated device (observation side).
+    pub spec: GpuSpec,
+    /// Cost parameters for the predicted curves (usually
+    /// [`GpuSpec::derived_cost_params`] or a fitted calibration).
+    pub params: CostParams,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// Sweep scale.
+    pub scale: Scale,
+    /// Verify simulated outputs against host references (slower; sweeps
+    /// default to false, tests to true).
+    pub verify: bool,
+}
+
+impl ExpConfig {
+    /// The standard configuration: GTX 650-like machine + device, derived
+    /// cost parameters, deterministic 2 % transfer jitter.
+    pub fn standard(scale: Scale) -> Self {
+        let spec = GpuSpec::gtx650_like();
+        Self {
+            machine: AtgpuMachine::gtx650_like(),
+            spec,
+            params: spec.derived_cost_params(),
+            sim: SimConfig {
+                noise: Some(XferNoise { rel: 0.02 }),
+                seed: 0x5EED,
+                ..SimConfig::default()
+            },
+            scale,
+            verify: false,
+        }
+    }
+}
+
+/// One row of a sweep: predictions and observations at problem size `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRow {
+    /// Problem size.
+    pub n: u64,
+    /// ATGPU GPU-cost (Expression 2), in milliseconds with calibrated
+    /// parameters.
+    pub atgpu_cost: f64,
+    /// SWGPU baseline cost (no transfer terms).
+    pub swgpu_cost: f64,
+    /// Simulated total running time (ms) — the paper's "Total".
+    pub total_ms: f64,
+    /// Simulated kernel-only time (ms) — the paper's "Kernel".
+    pub kernel_ms: f64,
+    /// Observed transfer proportion ΔE.
+    pub delta_e: f64,
+    /// Predicted transfer proportion ΔT.
+    pub delta_t: f64,
+}
+
+/// Analyses, costs and simulates one workload instance.
+pub fn run_row(w: &dyn Workload, cfg: &ExpConfig) -> Result<SweepRow, AlgosError> {
+    let built = w.build(&cfg.machine)?;
+    let analysis = analyze_program(&built.program, &cfg.machine)
+        .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+    let metrics = analysis.metrics();
+    let atgpu = evaluate(CostModel::GpuCost, &cfg.params, &cfg.machine, &cfg.spec, &metrics)
+        .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+    let swgpu = evaluate(CostModel::Swgpu, &cfg.params, &cfg.machine, &cfg.spec, &metrics)
+        .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+
+    let report = if cfg.verify {
+        atgpu_algos::verify_on_sim(w, &cfg.machine, &cfg.spec, &cfg.sim)?
+    } else {
+        run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?
+    };
+
+    Ok(SweepRow {
+        n: w.size(),
+        atgpu_cost: atgpu.total(),
+        swgpu_cost: swgpu.total(),
+        total_ms: report.total_ms(),
+        kernel_ms: report.kernel_ms(),
+        delta_e: report.transfer_proportion(),
+        delta_t: atgpu.transfer_proportion(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgpu_algos::vecadd::VecAdd;
+
+    #[test]
+    fn row_fields_are_consistent() {
+        let cfg = ExpConfig { verify: true, ..ExpConfig::standard(Scale::Quick) };
+        let row = run_row(&VecAdd::new(10_000, 1), &cfg).unwrap();
+        assert_eq!(row.n, 10_000);
+        assert!(row.atgpu_cost > row.swgpu_cost, "transfer terms must add cost");
+        assert!(row.total_ms > row.kernel_ms);
+        assert!((0.0..=1.0).contains(&row.delta_e));
+        assert!((0.0..=1.0).contains(&row.delta_t));
+    }
+
+    #[test]
+    fn predicted_and_observed_deltas_close_for_vecadd() {
+        // Figure 6a: the paper reports ΔT within ~1.5 % of ΔE on average.
+        let cfg = ExpConfig::standard(Scale::Quick);
+        let row = run_row(&VecAdd::new(200_000, 2), &cfg).unwrap();
+        assert!(
+            (row.delta_e - row.delta_t).abs() < 0.1,
+            "ΔE {} vs ΔT {}",
+            row.delta_e,
+            row.delta_t
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Integration tests for the experiment harness: figures are internally
+//! consistent and file output round-trips.
+
+use atgpu_exp::figures::{fig3, fig6, summary, table1};
+use atgpu_exp::report::{figure_csv, figure_dat, figure_json, write_figure};
+use atgpu_exp::{chart, ExpConfig, Scale};
+
+#[test]
+fn fig3_pipeline_to_files_and_charts() {
+    let cfg = ExpConfig::standard(Scale::Quick);
+    let rows = fig3::rows(&cfg).unwrap();
+    let figs = fig3::figures(&rows);
+    assert_eq!(figs.len(), 3);
+
+    let dir = std::env::temp_dir().join("atgpu_harness_it");
+    let _ = std::fs::remove_dir_all(&dir);
+    for f in &figs {
+        // Every series covers the full sweep.
+        for s in &f.series {
+            assert_eq!(s.points.len(), rows.len(), "{}/{}", f.id, s.label);
+        }
+        // All three render paths work and agree on content presence.
+        let csv = figure_csv(f);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        let dat = figure_dat(f);
+        assert_eq!(dat.lines().count(), rows.len() + 2);
+        let json = figure_json(f);
+        assert!(json.contains(&f.id));
+        let ascii = chart::render(f, 50, 12);
+        assert!(ascii.contains(&f.id));
+        write_figure(f, &dir).unwrap();
+        assert!(dir.join(format!("{}.csv", f.id)).exists());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig6_deltas_consistent_with_rows() {
+    let cfg = ExpConfig::standard(Scale::Quick);
+    let rows = fig3::rows(&cfg).unwrap();
+    let f = fig6::figure(&rows, "fig6a", "vector addition");
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(f.series[0].points[i], (r.n as f64, r.delta_e));
+        assert_eq!(f.series[1].points[i], (r.n as f64, r.delta_t));
+    }
+}
+
+#[test]
+fn summary_uses_all_three_sweeps() {
+    let cfg = ExpConfig::standard(Scale::Quick);
+    let rows = fig3::rows(&cfg).unwrap();
+    let s = summary::summarize(&rows);
+    // Transfer shares and capture fractions are complementary views.
+    assert!(s.mean_delta_e > 0.0 && s.mean_delta_e < 1.0);
+    assert!(s.swgpu_capture > 0.0 && s.swgpu_capture < 1.0);
+    assert!(s.mean_delta_e + s.swgpu_capture < 1.1, "{s:?}");
+}
+
+#[test]
+fn table1_is_stable() {
+    // The table is pure data: two renders agree, and the markdown has a
+    // column per model plus the item column.
+    assert_eq!(table1::markdown(), table1::markdown());
+    let header = table1::markdown().lines().next().unwrap().to_string();
+    assert_eq!(header.matches('|').count(), 5); // | Item | AGPU | SWGPU | ATGPU |
+}
+
+#[test]
+fn paper_scale_sizes_cover_the_paper_ranges() {
+    use atgpu_exp::figures::{matmul_sizes, reduce_sizes, vecadd_sizes};
+    let v = vecadd_sizes(Scale::Paper);
+    assert_eq!((v[0], *v.last().unwrap()), (1_000_000, 10_000_000));
+    let r = reduce_sizes(Scale::Full);
+    assert_eq!((r[0], *r.last().unwrap()), (1 << 16, 1 << 26));
+    let m = matmul_sizes(Scale::Full);
+    assert!(m.contains(&1024));
+}

@@ -1,0 +1,138 @@
+//! IR construction and validation errors.
+
+use std::fmt;
+
+/// Errors raised while building or validating IR programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A register index is out of range (`≥ MAX_REGS`).
+    RegisterOutOfRange {
+        /// Offending register index.
+        reg: u8,
+        /// Kernel name.
+        kernel: String,
+    },
+    /// Loop nesting exceeds [`crate::MAX_LOOP_DEPTH`].
+    LoopTooDeep {
+        /// Observed depth.
+        depth: usize,
+        /// Kernel name.
+        kernel: String,
+    },
+    /// A `LoopVar(d)` is referenced outside a loop of that depth.
+    LoopVarOutOfScope {
+        /// Referenced loop variable depth.
+        var: u8,
+        /// Depth of loops actually enclosing the reference.
+        enclosing: usize,
+        /// Kernel name.
+        kernel: String,
+    },
+    /// A device buffer id is referenced but never declared.
+    UnknownDeviceBuf {
+        /// Offending buffer id.
+        buf: u32,
+    },
+    /// A host buffer id is referenced but never declared.
+    UnknownHostBuf {
+        /// Offending buffer id.
+        buf: u32,
+    },
+    /// A transfer's range exceeds the referenced buffer's extent.
+    TransferOutOfBounds {
+        /// Which buffer ("host X" / "device y").
+        what: String,
+        /// First word past the referenced range.
+        end: u64,
+        /// Buffer size in words.
+        size: u64,
+    },
+    /// A round contains more than one kernel launch.
+    MultipleLaunches {
+        /// Round index.
+        round: usize,
+    },
+    /// A round interleaves steps out of the model's order
+    /// (inward transfers → launch → outward transfers).
+    StepOrder {
+        /// Round index.
+        round: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The program has no rounds.
+    EmptyProgram,
+    /// A kernel declares zero thread blocks.
+    ZeroBlocks {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// Writing to a host input buffer, or reading a host output buffer
+    /// before it is written.
+    HostBufRole {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Total device allocations exceed the machine's global memory `G`.
+    DeviceOutOfMemory {
+        /// Words requested across all allocations.
+        requested: u64,
+        /// Words available (`G`).
+        available: u64,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::RegisterOutOfRange { reg, kernel } => {
+                write!(f, "kernel `{kernel}`: register r{reg} out of range")
+            }
+            IrError::LoopTooDeep { depth, kernel } => {
+                write!(f, "kernel `{kernel}`: loop nesting depth {depth} exceeds maximum")
+            }
+            IrError::LoopVarOutOfScope { var, enclosing, kernel } => write!(
+                f,
+                "kernel `{kernel}`: LoopVar({var}) referenced with only {enclosing} enclosing loop(s)"
+            ),
+            IrError::UnknownDeviceBuf { buf } => write!(f, "unknown device buffer d{buf}"),
+            IrError::UnknownHostBuf { buf } => write!(f, "unknown host buffer h{buf}"),
+            IrError::TransferOutOfBounds { what, end, size } => {
+                write!(f, "transfer touches {what}[..{end}] but the buffer has {size} words")
+            }
+            IrError::MultipleLaunches { round } => {
+                write!(f, "round {round}: more than one kernel launch (the model runs one kernel per round)")
+            }
+            IrError::StepOrder { round, reason } => write!(f, "round {round}: {reason}"),
+            IrError::EmptyProgram => write!(f, "program has no rounds"),
+            IrError::ZeroBlocks { kernel } => {
+                write!(f, "kernel `{kernel}` launches zero thread blocks")
+            }
+            IrError::HostBufRole { reason } => write!(f, "host buffer role violation: {reason}"),
+            IrError::DeviceOutOfMemory { requested, available } => write!(
+                f,
+                "device allocations need {requested} words but global memory has G = {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_register() {
+        let e = IrError::RegisterOutOfRange { reg: 99, kernel: "k".into() };
+        assert!(e.to_string().contains("r99"));
+    }
+
+    #[test]
+    fn display_oom() {
+        let e = IrError::DeviceOutOfMemory { requested: 100, available: 64 };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("64"));
+    }
+}

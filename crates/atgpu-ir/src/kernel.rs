@@ -1,0 +1,206 @@
+//! A kernel: the instruction body every thread block executes.
+//!
+//! Following the model, a kernel launch names `k` thread blocks; each runs
+//! on one (virtual) multiprocessor with `b` lockstep cores and a private
+//! shared memory of `shared_words ≤ M` words.  Blocks are distinguished
+//! only by the `Block` index visible in expressions — the body is SPMD.
+
+use crate::instr::Instr;
+use crate::Reg;
+
+/// A kernel definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Name for diagnostics and pseudocode rendering.
+    pub name: String,
+    /// The SPMD instruction body.
+    pub body: Vec<Instr>,
+    /// Launch grid `(gx, gy)`: `gx·gy` thread blocks.  A block's linear
+    /// index `id` decomposes as `x = id mod gx`, `y = id / gx` — the
+    /// values of the `Block`/`BlockY` operands.
+    pub grid: (u64, u64),
+    /// Shared-memory words `m` each block uses (drives occupancy
+    /// `ℓ = min(⌊M/m⌋, H)` and is checked against `M`).
+    pub shared_words: u64,
+}
+
+impl Kernel {
+    /// Total thread blocks `k = gx·gy`.
+    #[inline]
+    pub fn blocks(&self) -> u64 {
+        self.grid.0 * self.grid.1
+    }
+
+    /// Highest register index referenced anywhere in the body, if any.
+    pub fn max_reg(&self) -> Option<Reg> {
+        fn walk(body: &[Instr]) -> Option<Reg> {
+            let mut max: Option<Reg> = None;
+            let mut bump = |r: Option<Reg>| {
+                max = match (max, r) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }
+            };
+            for i in body {
+                match i {
+                    Instr::Alu { dst, a, b, .. } => {
+                        bump(Some(*dst));
+                        bump(operand_reg(*a));
+                        bump(operand_reg(*b));
+                    }
+                    Instr::Mov { dst, src } => {
+                        bump(Some(*dst));
+                        bump(operand_reg(*src));
+                    }
+                    Instr::GlbToShr { shared, global } => {
+                        bump(shared.max_reg());
+                        bump(global.offset.max_reg());
+                    }
+                    Instr::ShrToGlb { global, shared } => {
+                        bump(shared.max_reg());
+                        bump(global.offset.max_reg());
+                    }
+                    Instr::LdShr { dst, shared } => {
+                        bump(Some(*dst));
+                        bump(shared.max_reg());
+                    }
+                    Instr::StShr { shared, src } => {
+                        bump(shared.max_reg());
+                        bump(operand_reg(*src));
+                    }
+                    Instr::Pred { pred, then_body, else_body } => {
+                        let (a, b) = pred.operands();
+                        bump(operand_reg(a));
+                        bump(operand_reg(b));
+                        bump(walk(then_body));
+                        bump(walk(else_body));
+                    }
+                    Instr::Repeat { body, .. } => bump(walk(body)),
+                    Instr::Sync => {}
+                }
+            }
+            max
+        }
+        walk(&self.body)
+    }
+
+    /// Maximum loop nesting depth in the body.
+    pub fn loop_depth(&self) -> usize {
+        fn walk(body: &[Instr]) -> usize {
+            body.iter()
+                .map(|i| match i {
+                    Instr::Repeat { body, .. } => 1 + walk(body),
+                    Instr::Pred { then_body, else_body, .. } => {
+                        walk(then_body).max(walk(else_body))
+                    }
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        walk(&self.body)
+    }
+
+    /// Number of instruction nodes (structural size, not trip-count
+    /// weighted — the analyser computes the model's `tᵢ`).
+    pub fn size(&self) -> usize {
+        fn walk(body: &[Instr]) -> usize {
+            body.iter()
+                .map(|i| match i {
+                    Instr::Repeat { body, .. } => 1 + walk(body),
+                    Instr::Pred { then_body, else_body, .. } => {
+                        1 + walk(then_body) + walk(else_body)
+                    }
+                    _ => 1,
+                })
+                .sum()
+        }
+        walk(&self.body)
+    }
+}
+
+fn operand_reg(op: crate::expr::Operand) -> Option<Reg> {
+    match op {
+        crate::expr::Operand::Reg(r) => Some(r),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AddrExpr, Operand, PredExpr};
+    use crate::instr::AluOp;
+    use crate::program::DBuf;
+
+    fn sample() -> Kernel {
+        Kernel {
+            name: "t".into(),
+            body: vec![
+                Instr::glb_to_shr(AddrExpr::lane(), DBuf(0), AddrExpr::lane()),
+                Instr::Repeat {
+                    count: 4,
+                    body: vec![
+                        Instr::ld_shr(5, AddrExpr::lane()),
+                        Instr::Pred {
+                            pred: PredExpr::Lt(Operand::Lane, Operand::Imm(2)),
+                            then_body: vec![Instr::Alu {
+                                op: AluOp::Add,
+                                dst: 7,
+                                a: Operand::Reg(5),
+                                b: Operand::Imm(1),
+                            }],
+                            else_body: vec![],
+                        },
+                    ],
+                },
+                Instr::st_shr(AddrExpr::lane(), Operand::Reg(7)),
+            ],
+            grid: (2, 1),
+            shared_words: 32,
+        }
+    }
+
+    #[test]
+    fn max_reg_traverses_structures() {
+        assert_eq!(sample().max_reg(), Some(7));
+    }
+
+    #[test]
+    fn max_reg_empty_kernel() {
+        let k = Kernel { name: "e".into(), body: vec![], grid: (1, 1), shared_words: 0 };
+        assert_eq!(k.max_reg(), None);
+    }
+
+    #[test]
+    fn loop_depth_counts_nesting() {
+        assert_eq!(sample().loop_depth(), 1);
+        let k = Kernel {
+            name: "n".into(),
+            body: vec![Instr::Repeat {
+                count: 2,
+                body: vec![Instr::Repeat { count: 2, body: vec![Instr::Sync], }],
+            }],
+            grid: (1, 1),
+            shared_words: 0,
+        };
+        assert_eq!(k.loop_depth(), 2);
+    }
+
+    #[test]
+    fn size_counts_all_nodes() {
+        // glb_to_shr + repeat + ld_shr + pred + alu + st_shr = 6
+        assert_eq!(sample().size(), 6);
+    }
+
+    #[test]
+    fn max_reg_sees_address_registers() {
+        let k = Kernel {
+            name: "a".into(),
+            body: vec![Instr::ld_shr(0, AddrExpr::reg(9))],
+            grid: (1, 1),
+            shared_words: 1,
+        };
+        assert_eq!(k.max_reg(), Some(9));
+    }
+}

@@ -1,0 +1,340 @@
+//! Renders programs back into the paper's pseudocode notation.
+//!
+//! The paper's conventions (§II, *Notation for Pseudocode*):
+//!
+//! * host variables are capitalised, global variables lower-case, shared
+//!   variables prefixed with an underscore;
+//! * `W` is host↔device transfer, `⇐` global↔shared access, `←` shared/
+//!   register access;
+//! * every kernel is wrapped in the parallel wrapper loop over
+//!   `mpρ ∈ MP` and `cρ,ε ∈ Cρ`.
+
+use crate::affine::CompiledAddr;
+use crate::instr::Instr;
+use crate::kernel::Kernel;
+use crate::program::{HostBufRole, HostStep, Program};
+use std::fmt::Write as _;
+
+/// Line-numbered pseudocode emitter.
+struct Renderer {
+    out: String,
+    line: usize,
+}
+
+impl Renderer {
+    fn new() -> Self {
+        Self { out: String::new(), line: 1 }
+    }
+
+    fn raw(&mut self, text: &str) {
+        let _ = writeln!(self.out, "{text}");
+    }
+
+    fn emit(&mut self, indent: usize, text: &str) {
+        let _ = writeln!(self.out, "{:3}: {:indent$}{text}", self.line, "", indent = indent * 2);
+        self.line += 1;
+    }
+
+    fn instrs(&mut self, body: &[Instr], p: &Program, indent: usize, loop_depth: usize) {
+        for i in body {
+            match i {
+                Instr::Pred { pred, then_body, else_body } => {
+                    self.emit(indent, &format!("if {pred} then"));
+                    self.instrs(then_body, p, indent + 1, loop_depth);
+                    if !else_body.is_empty() {
+                        self.emit(indent, "else");
+                        self.instrs(else_body, p, indent + 1, loop_depth);
+                    }
+                    self.emit(indent, "end if");
+                }
+                Instr::Repeat { count, body } => {
+                    self.emit(indent, &format!("for t{loop_depth} = 0 → {count} do"));
+                    self.instrs(body, p, indent + 1, loop_depth + 1);
+                    self.emit(indent, "end for");
+                }
+                Instr::GlbToShr { shared, global } => {
+                    let name = buf_name(p, global.buf.0);
+                    self.emit(
+                        indent,
+                        &format!("_s[{}] ⇐ {name}[{}]", AddrText(shared), AddrText(&global.offset)),
+                    );
+                }
+                Instr::ShrToGlb { global, shared } => {
+                    let name = buf_name(p, global.buf.0);
+                    self.emit(
+                        indent,
+                        &format!("{name}[{}] ⇐ _s[{}]", AddrText(&global.offset), AddrText(shared)),
+                    );
+                }
+                other => self.emit(indent, &other.to_string()),
+            }
+        }
+    }
+
+    fn kernel(&mut self, k: &Kernel, p: &Program, indent: usize) {
+        self.emit(
+            indent,
+            &format!(
+                "for all mpρ ∈ MP[mp0, …, mp{}] in parallel do  ▷ {}",
+                k.blocks().saturating_sub(1),
+                k.name
+            ),
+        );
+        self.emit(indent + 1, "for all cρ,ε ∈ Cρ in parallel do");
+        self.instrs(&k.body, p, indent + 2, 0);
+        self.emit(indent + 1, "end for");
+        self.emit(indent, "end for");
+    }
+}
+
+/// Renders a whole program — header, transfers (`W`), wrapper loops and
+/// kernel bodies — as paper-style pseudocode.
+pub fn render_program(p: &Program) -> String {
+    let mut r = Renderer::new();
+    r.raw(&format!("Pseudocode {}", p.name));
+    let inputs: Vec<String> = p
+        .host_bufs
+        .iter()
+        .filter(|b| b.role == HostBufRole::Input)
+        .map(|b| format!("{} ({} words)", b.name, b.words))
+        .collect();
+    let outputs: Vec<String> = p
+        .host_bufs
+        .iter()
+        .filter(|b| b.role == HostBufRole::Output)
+        .map(|b| format!("{} ({} words)", b.name, b.words))
+        .collect();
+    if !inputs.is_empty() {
+        r.raw(&format!("Input: {}", inputs.join(", ")));
+    }
+    if !outputs.is_empty() {
+        r.raw(&format!("Output: {}", outputs.join(", ")));
+    }
+
+    for (ri, round) in p.rounds.iter().enumerate() {
+        if p.rounds.len() > 1 {
+            r.raw(&format!("▷ Round {}", ri + 1));
+        }
+        for step in &round.steps {
+            match step {
+                HostStep::TransferIn { host, host_off, dev, dev_off, words } => {
+                    let h = &p.host_bufs[host.0 as usize].name;
+                    let d = &p.device_allocs[dev.0 as usize].name;
+                    let text = if *host_off == 0 && *dev_off == 0 {
+                        format!("{d} W {h}  ▷ transfer {words} words to device")
+                    } else {
+                        format!(
+                            "{d}[{dev_off}..] W {h}[{host_off}..]  ▷ transfer {words} words to device"
+                        )
+                    };
+                    r.emit(0, &text);
+                }
+                HostStep::TransferOut { dev, dev_off, host, host_off, words } => {
+                    let h = &p.host_bufs[host.0 as usize].name;
+                    let d = &p.device_allocs[dev.0 as usize].name;
+                    let text = if *host_off == 0 && *dev_off == 0 {
+                        format!("{h} W {d}  ▷ transfer {words} words to host")
+                    } else {
+                        format!(
+                            "{h}[{host_off}..] W {d}[{dev_off}..]  ▷ transfer {words} words to host"
+                        )
+                    };
+                    r.emit(0, &text);
+                }
+                HostStep::Launch(k) => r.kernel(k, p, 0),
+            }
+        }
+    }
+    r.out
+}
+
+/// Renders one kernel (with the wrapper loop) as pseudocode.
+pub fn render_kernel(k: &Kernel, p: &Program) -> String {
+    let mut r = Renderer::new();
+    r.kernel(k, p, 0);
+    r.out
+}
+
+fn buf_name(p: &Program, id: u32) -> String {
+    p.device_allocs
+        .get(id as usize)
+        .map(|a| a.name.clone())
+        .unwrap_or_else(|| format!("d{id}"))
+}
+
+struct AddrText<'a>(&'a CompiledAddr);
+
+impl std::fmt::Display for AddrText<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            CompiledAddr::Tree(t) => write!(f, "{t}"),
+            CompiledAddr::Affine(a) => {
+                let mut parts: Vec<String> = Vec::new();
+                let names = ["t0", "t1", "t2", "t3"];
+                let push = |parts: &mut Vec<String>, c: i64, n: &str| {
+                    if c == 0 {
+                        return;
+                    }
+                    if c == 1 && !n.is_empty() {
+                        parts.push(n.to_string());
+                    } else if n.is_empty() {
+                        parts.push(c.to_string());
+                    } else {
+                        parts.push(format!("{c}{n}"));
+                    }
+                };
+                push(&mut parts, a.block, "i");
+                push(&mut parts, a.block_y, "iy");
+                for (d, &c) in a.loops.iter().enumerate() {
+                    push(&mut parts, c, names[d]);
+                }
+                push(&mut parts, a.lane, "j");
+                if let Some((r, c)) = a.reg {
+                    push(&mut parts, c, &format!("r{r}"));
+                }
+                push(&mut parts, a.base, "");
+                if parts.is_empty() {
+                    parts.push("0".into());
+                }
+                write!(f, "{}", parts.join(" + "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{KernelBuilder, ProgramBuilder};
+    use crate::expr::{AddrExpr, Operand, PredExpr};
+    use crate::instr::AluOp;
+
+    fn vecadd_like() -> (Program, Kernel) {
+        let mut pb = ProgramBuilder::new("vecadd");
+        let ha = pb.host_input("A", 64);
+        let hc = pb.host_output("C", 64);
+        let da = pb.device_alloc("a", 64);
+        let dc = pb.device_alloc("c", 64);
+        let mut kb = KernelBuilder::new("vecadd_kernel", 2, 64);
+        kb.glb_to_shr(AddrExpr::lane(), da, AddrExpr::block() * 32 + AddrExpr::lane());
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Imm(1));
+        kb.st_shr(AddrExpr::lane() + 32, Operand::Reg(0));
+        kb.shr_to_glb(dc, AddrExpr::block() * 32 + AddrExpr::lane(), AddrExpr::lane() + 32);
+        let k = kb.build();
+        pb.begin_round();
+        pb.transfer_in(ha, da, 64);
+        pb.launch(k.clone());
+        pb.transfer_out(dc, hc, 64);
+        let p = pb.build().unwrap();
+        (p, k)
+    }
+
+    #[test]
+    fn kernel_renders_wrapper_loop() {
+        let (p, k) = vecadd_like();
+        let s = render_kernel(&k, &p);
+        assert!(s.contains("for all mpρ ∈ MP"), "{s}");
+        assert!(s.contains("for all cρ,ε ∈ Cρ"), "{s}");
+        assert!(s.contains("end for"), "{s}");
+    }
+
+    #[test]
+    fn kernel_renders_transfer_operators() {
+        let (p, k) = vecadd_like();
+        let s = render_kernel(&k, &p);
+        assert!(s.contains('⇐'), "{s}");
+        assert!(s.contains('←'), "{s}");
+        assert!(s.contains("a[32i + j]"), "{s}");
+        assert!(s.contains("c[32i + j]"), "{s}");
+    }
+
+    #[test]
+    fn program_renders_w_operator() {
+        let (p, _) = vecadd_like();
+        let s = render_program(&p);
+        assert!(s.contains("a W A"), "{s}");
+        assert!(s.contains("C W c"), "{s}");
+    }
+
+    #[test]
+    fn program_lines_are_numbered() {
+        let (p, _) = vecadd_like();
+        let s = render_program(&p);
+        assert!(s.contains("  1: "), "{s}");
+        assert!(s.contains("  2: "), "{s}");
+    }
+
+    #[test]
+    fn pred_renders_if_block() {
+        let p = {
+            let mut pb = ProgramBuilder::new("t");
+            let _ = pb.device_alloc("a", 64);
+            pb.begin_round();
+            pb.launch(KernelBuilder::new("k", 1, 0).build());
+            pb.build().unwrap()
+        };
+        let mut kb = KernelBuilder::new("k", 1, 32);
+        kb.pred(
+            PredExpr::Lt(Operand::Lane, Operand::Imm(16)),
+            |kb| {
+                kb.st_shr(AddrExpr::lane(), Operand::Imm(1));
+            },
+            |kb| {
+                kb.st_shr(AddrExpr::lane(), Operand::Imm(0));
+            },
+        );
+        let s = render_kernel(&kb.build(), &p);
+        assert!(s.contains("if j < 16 then"), "{s}");
+        assert!(s.contains("else"), "{s}");
+        assert!(s.contains("end if"), "{s}");
+    }
+
+    #[test]
+    fn repeat_renders_for_loop_with_depth_label() {
+        let p = {
+            let mut pb = ProgramBuilder::new("t");
+            pb.begin_round();
+            pb.launch(KernelBuilder::new("k", 1, 0).build());
+            pb.build().unwrap()
+        };
+        let mut kb = KernelBuilder::new("k", 1, 0);
+        kb.repeat(8, |kb| {
+            kb.repeat(4, |kb| {
+                kb.sync();
+            });
+        });
+        let s = render_kernel(&kb.build(), &p);
+        assert!(s.contains("for t0 = 0 → 8 do"), "{s}");
+        assert!(s.contains("for t1 = 0 → 4 do"), "{s}");
+    }
+
+    #[test]
+    fn multi_round_program_labels_rounds() {
+        let mut pb = ProgramBuilder::new("r");
+        let h = pb.host_input("A", 8);
+        let d = pb.device_alloc("a", 8);
+        pb.begin_round();
+        pb.transfer_in(h, d, 8);
+        pb.launch(KernelBuilder::new("k1", 1, 0).build());
+        pb.begin_round();
+        pb.launch(KernelBuilder::new("k2", 1, 0).build());
+        let p = pb.build().unwrap();
+        let s = render_program(&p);
+        assert!(s.contains("Round 1"), "{s}");
+        assert!(s.contains("Round 2"), "{s}");
+    }
+
+    #[test]
+    fn offset_transfers_render_ranges() {
+        let mut pb = ProgramBuilder::new("chunked");
+        let h = pb.host_input("A", 64);
+        let d = pb.device_alloc("a", 32);
+        pb.begin_round();
+        pb.transfer_in_at(h, 32, d, 0, 32);
+        pb.launch(KernelBuilder::new("k", 1, 0).build());
+        let p = pb.build().unwrap();
+        let s = render_program(&p);
+        assert!(s.contains("a[0..] W A[32..]"), "{s}");
+    }
+}

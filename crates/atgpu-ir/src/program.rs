@@ -1,0 +1,296 @@
+//! Host-level programs: device allocations, rounds, `W` transfers and
+//! kernel launches.
+//!
+//! Execution of an ATGPU algorithm proceeds in rounds (§II): "A round
+//! begins by the host transferring data to the device global memory.  The
+//! kernel is then ran […].  The round ends with output data being
+//! transferred from global memory to the host.  Synchronisation operations
+//! occur, and the subsequent round commences."
+//!
+//! Each [`HostStep::TransferIn`]/[`HostStep::TransferOut`] is **one
+//! transfer transaction** — it contributes 1 to `Îᵢ`/`Ôᵢ` and its word
+//! count to `Iᵢ`/`Oᵢ`.  Splitting a logical copy across several steps is
+//! how algorithms express chunked communication schemes (and pay `α` per
+//! chunk, exactly the trade-off Boyer et al.'s function models).
+
+use crate::kernel::Kernel;
+use std::fmt;
+
+/// Identifier of a device-global buffer (index into
+/// [`Program::device_allocs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DBuf(pub u32);
+
+/// Identifier of a host buffer (index into [`Program::host_bufs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HBuf(pub u32);
+
+impl fmt::Display for DBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for HBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A device-global allocation, named for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceAlloc {
+    /// Buffer name (pseudocode uses lower-case names for global
+    /// variables).
+    pub name: String,
+    /// Size in words.
+    pub words: u64,
+}
+
+/// Role of a host buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostBufRole {
+    /// Input: supplied by the caller, read by `TransferIn`.
+    Input,
+    /// Output: written by `TransferOut`, returned to the caller.
+    Output,
+}
+
+/// A host buffer declaration (pseudocode uses capitalised names for host
+/// variables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostBufDecl {
+    /// Buffer name.
+    pub name: String,
+    /// Size in words.
+    pub words: u64,
+    /// Input or output.
+    pub role: HostBufRole,
+}
+
+/// One step of a round, executed by the host in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostStep {
+    /// `dev[dev_off..] W host[host_off..][..words]` — one host→device
+    /// transfer transaction.
+    TransferIn {
+        /// Source host buffer.
+        host: HBuf,
+        /// Word offset into the host buffer.
+        host_off: u64,
+        /// Destination device buffer.
+        dev: DBuf,
+        /// Word offset into the device buffer.
+        dev_off: u64,
+        /// Words to copy.
+        words: u64,
+    },
+    /// `host[host_off..] W dev[dev_off..][..words]` — one device→host
+    /// transfer transaction.
+    TransferOut {
+        /// Source device buffer.
+        dev: DBuf,
+        /// Word offset into the device buffer.
+        dev_off: u64,
+        /// Destination host buffer.
+        host: HBuf,
+        /// Word offset into the host buffer.
+        host_off: u64,
+        /// Words to copy.
+        words: u64,
+    },
+    /// Launch the round's kernel.
+    Launch(Kernel),
+}
+
+/// A round: inward transfers, at most one launch, outward transfers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Round {
+    /// The steps, in host order.
+    pub steps: Vec<HostStep>,
+}
+
+impl Round {
+    /// The round's kernel, if it launches one.
+    pub fn kernel(&self) -> Option<&Kernel> {
+        self.steps.iter().find_map(|s| match s {
+            HostStep::Launch(k) => Some(k),
+            _ => None,
+        })
+    }
+
+    /// Inward `(words, transactions)` = `(Iᵢ, Îᵢ)`.
+    pub fn inward(&self) -> (u64, u64) {
+        let mut words = 0;
+        let mut txns = 0;
+        for s in &self.steps {
+            if let HostStep::TransferIn { words: w, .. } = s {
+                words += w;
+                txns += 1;
+            }
+        }
+        (words, txns)
+    }
+
+    /// Outward `(words, transactions)` = `(Oᵢ, Ôᵢ)`.
+    pub fn outward(&self) -> (u64, u64) {
+        let mut words = 0;
+        let mut txns = 0;
+        for s in &self.steps {
+            if let HostStep::TransferOut { words: w, .. } = s {
+                words += w;
+                txns += 1;
+            }
+        }
+        (words, txns)
+    }
+}
+
+/// A complete multi-round ATGPU program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Device-global allocations (made once, before round 1 — matching
+    /// how the paper's kernels `cudaMalloc` up front).
+    pub device_allocs: Vec<DeviceAlloc>,
+    /// Host buffers the program exchanges data with.
+    pub host_bufs: Vec<HostBufDecl>,
+    /// The rounds, in order.
+    pub rounds: Vec<Round>,
+}
+
+impl Program {
+    /// Total device-global words allocated — the model's global-memory
+    /// space metric, checked against `G`.
+    pub fn device_words(&self) -> u64 {
+        self.device_allocs.iter().map(|a| a.words).sum()
+    }
+
+    /// Size lookup for a device buffer.
+    pub fn device_buf_words(&self, buf: DBuf) -> Option<u64> {
+        self.device_allocs.get(buf.0 as usize).map(|a| a.words)
+    }
+
+    /// Size lookup for a host buffer.
+    pub fn host_buf_words(&self, buf: HBuf) -> Option<u64> {
+        self.host_bufs.get(buf.0 as usize).map(|b| b.words)
+    }
+
+    /// Total words transferred in both directions, `Σᵢ (Iᵢ + Oᵢ)`.
+    pub fn total_transfer_words(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(|r| r.inward().0 + r.outward().0)
+            .sum()
+    }
+
+    /// `R`, the number of rounds.
+    pub fn num_rounds(&self) -> u64 {
+        self.rounds.len() as u64
+    }
+
+    /// Canonical device-memory layout: buffers packed in declaration
+    /// order, each aligned up to a `block_words` boundary (so a buffer's
+    /// coalescing behaviour never depends on its neighbours).  Both the
+    /// analyser and the simulator use this layout, which is what makes the
+    /// analyser's transaction counts comparable with the simulator's.
+    ///
+    /// Returns `(base_addresses, total_words)`.
+    pub fn buffer_layout(&self, block_words: u64) -> (Vec<u64>, u64) {
+        assert!(block_words > 0, "block size must be positive");
+        let mut bases = Vec::with_capacity(self.device_allocs.len());
+        let mut cursor = 0u64;
+        for a in &self.device_allocs {
+            bases.push(cursor);
+            let padded = a.words.div_ceil(block_words) * block_words;
+            cursor += padded;
+        }
+        (bases, cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xfer_in(words: u64) -> HostStep {
+        HostStep::TransferIn { host: HBuf(0), host_off: 0, dev: DBuf(0), dev_off: 0, words }
+    }
+
+    fn xfer_out(words: u64) -> HostStep {
+        HostStep::TransferOut { dev: DBuf(0), dev_off: 0, host: HBuf(0), host_off: 0, words }
+    }
+
+    #[test]
+    fn round_counts_transfers() {
+        let r = Round { steps: vec![xfer_in(10), xfer_in(20), xfer_out(5)] };
+        assert_eq!(r.inward(), (30, 2));
+        assert_eq!(r.outward(), (5, 1));
+    }
+
+    #[test]
+    fn round_without_kernel() {
+        let r = Round { steps: vec![xfer_in(1)] };
+        assert!(r.kernel().is_none());
+    }
+
+    #[test]
+    fn program_totals() {
+        let p = Program {
+            name: "p".into(),
+            device_allocs: vec![
+                DeviceAlloc { name: "a".into(), words: 100 },
+                DeviceAlloc { name: "b".into(), words: 50 },
+            ],
+            host_bufs: vec![HostBufDecl { name: "A".into(), words: 100, role: HostBufRole::Input }],
+            rounds: vec![
+                Round { steps: vec![xfer_in(100)] },
+                Round { steps: vec![xfer_out(50)] },
+            ],
+        };
+        assert_eq!(p.device_words(), 150);
+        assert_eq!(p.total_transfer_words(), 150);
+        assert_eq!(p.num_rounds(), 2);
+        assert_eq!(p.device_buf_words(DBuf(1)), Some(50));
+        assert_eq!(p.device_buf_words(DBuf(2)), None);
+        assert_eq!(p.host_buf_words(HBuf(0)), Some(100));
+        assert_eq!(p.host_buf_words(HBuf(1)), None);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(DBuf(3).to_string(), "d3");
+        assert_eq!(HBuf(1).to_string(), "h1");
+    }
+
+    #[test]
+    fn buffer_layout_aligns_to_blocks() {
+        let p = Program {
+            name: "p".into(),
+            device_allocs: vec![
+                DeviceAlloc { name: "a".into(), words: 33 }, // pads to 64
+                DeviceAlloc { name: "b".into(), words: 32 }, // exact
+                DeviceAlloc { name: "c".into(), words: 1 },  // pads to 32
+            ],
+            host_bufs: vec![],
+            rounds: vec![Round::default()],
+        };
+        let (bases, total) = p.buffer_layout(32);
+        assert_eq!(bases, vec![0, 64, 96]);
+        assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn buffer_layout_empty() {
+        let p = Program {
+            name: "p".into(),
+            device_allocs: vec![],
+            host_bufs: vec![],
+            rounds: vec![Round::default()],
+        };
+        let (bases, total) = p.buffer_layout(32);
+        assert!(bases.is_empty());
+        assert_eq!(total, 0);
+    }
+}

@@ -1,0 +1,497 @@
+//! Structural validation of kernels and programs.
+//!
+//! Validation happens in two stages:
+//!
+//! * [`validate_kernel`] / [`validate_program`] — machine-independent
+//!   structure: register ranges, loop depth and scoping, buffer
+//!   references, transfer bounds, the model's round discipline (inward
+//!   transfers → one launch → outward transfers), and host-buffer
+//!   read/write roles;
+//! * [`check_against_machine`] — resource limits of a concrete
+//!   `atgpu_model::AtgpuMachine`-shaped machine: total device
+//!   allocations vs `G` and per-kernel shared usage vs `M`.  (Expressed
+//!   over plain `u64`s here to keep this crate dependency-free.)
+
+use crate::error::IrError;
+use crate::expr::Operand;
+use crate::instr::Instr;
+use crate::kernel::Kernel;
+use crate::program::{HostBufRole, HostStep, Program};
+use crate::{MAX_LOOP_DEPTH, MAX_REGS};
+
+/// Validates one kernel: register range, loop depth, loop-variable
+/// scoping, and a non-empty launch.
+pub fn validate_kernel(k: &Kernel) -> Result<(), IrError> {
+    if k.blocks() == 0 {
+        return Err(IrError::ZeroBlocks { kernel: k.name.clone() });
+    }
+    if let Some(r) = k.max_reg() {
+        if r >= MAX_REGS {
+            return Err(IrError::RegisterOutOfRange { reg: r, kernel: k.name.clone() });
+        }
+    }
+    let depth = k.loop_depth();
+    if depth > MAX_LOOP_DEPTH {
+        return Err(IrError::LoopTooDeep { depth, kernel: k.name.clone() });
+    }
+    check_loop_scope(&k.body, 0, &k.name)
+}
+
+fn operand_loop_var(op: Operand) -> Option<u8> {
+    match op {
+        Operand::LoopVar(d) => Some(d),
+        _ => None,
+    }
+}
+
+fn check_loop_scope(body: &[Instr], depth: usize, kernel: &str) -> Result<(), IrError> {
+    let check_var = |v: Option<u8>| -> Result<(), IrError> {
+        match v {
+            Some(d) if (d as usize) >= depth => Err(IrError::LoopVarOutOfScope {
+                var: d,
+                enclosing: depth,
+                kernel: kernel.to_string(),
+            }),
+            Some(_) | None => Ok(()),
+        }
+    };
+    for i in body {
+        match i {
+            Instr::Alu { a, b, .. } => {
+                check_var(operand_loop_var(*a))?;
+                check_var(operand_loop_var(*b))?;
+            }
+            Instr::Mov { src, .. } => check_var(operand_loop_var(*src))?,
+            Instr::GlbToShr { shared, global } => {
+                check_var(shared.max_loop_var())?;
+                check_var(global.offset.max_loop_var())?;
+            }
+            Instr::ShrToGlb { global, shared } => {
+                check_var(shared.max_loop_var())?;
+                check_var(global.offset.max_loop_var())?;
+            }
+            Instr::LdShr { shared, .. } => check_var(shared.max_loop_var())?,
+            Instr::StShr { shared, src } => {
+                check_var(shared.max_loop_var())?;
+                check_var(operand_loop_var(*src))?;
+            }
+            Instr::Pred { pred, then_body, else_body } => {
+                let (a, b) = pred.operands();
+                check_var(operand_loop_var(a))?;
+                check_var(operand_loop_var(b))?;
+                check_loop_scope(then_body, depth, kernel)?;
+                check_loop_scope(else_body, depth, kernel)?;
+            }
+            Instr::Repeat { body, .. } => check_loop_scope(body, depth + 1, kernel)?,
+            Instr::Sync => {}
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole program: every kernel, buffer references, transfer
+/// bounds, round step discipline, and host buffer roles (inputs are
+/// read-only; outputs must be written before being read).
+pub fn validate_program(p: &Program) -> Result<(), IrError> {
+    if p.rounds.is_empty() {
+        return Err(IrError::EmptyProgram);
+    }
+
+    // Output buffers become readable once written.
+    let mut host_written = vec![false; p.host_bufs.len()];
+
+    for (ri, round) in p.rounds.iter().enumerate() {
+        // Round discipline: in-transfers (phase 0) -> launch (1) -> out (2).
+        let mut phase = 0u8;
+        let mut launches = 0usize;
+        for step in &round.steps {
+            match step {
+                HostStep::TransferIn { host, host_off, dev, dev_off, words } => {
+                    if phase > 0 {
+                        return Err(IrError::StepOrder {
+                            round: ri,
+                            reason: "host→device transfer after the kernel launch; the model \
+                                     transfers inward only at the start of a round"
+                                .into(),
+                        });
+                    }
+                    let hb = p
+                        .host_buf_words(*host)
+                        .ok_or(IrError::UnknownHostBuf { buf: host.0 })?;
+                    let db = p
+                        .device_buf_words(*dev)
+                        .ok_or(IrError::UnknownDeviceBuf { buf: dev.0 })?;
+                    check_range("host", &p.host_bufs[host.0 as usize].name, *host_off, *words, hb)?;
+                    check_range(
+                        "device",
+                        &p.device_allocs[dev.0 as usize].name,
+                        *dev_off,
+                        *words,
+                        db,
+                    )?;
+                    let decl = &p.host_bufs[host.0 as usize];
+                    if decl.role == HostBufRole::Output && !host_written[host.0 as usize] {
+                        return Err(IrError::HostBufRole {
+                            reason: format!(
+                                "round {ri} reads host output buffer `{}` before any \
+                                 device→host transfer wrote it",
+                                decl.name
+                            ),
+                        });
+                    }
+                }
+                HostStep::Launch(k) => {
+                    launches += 1;
+                    if launches > 1 {
+                        return Err(IrError::MultipleLaunches { round: ri });
+                    }
+                    if phase > 1 {
+                        return Err(IrError::StepOrder {
+                            round: ri,
+                            reason: "kernel launch after a device→host transfer; the model \
+                                     transfers outward only at the end of a round"
+                                .into(),
+                        });
+                    }
+                    phase = 1;
+                    validate_kernel(k)?;
+                    check_kernel_buffers(k, p)?;
+                }
+                HostStep::TransferOut { dev, dev_off, host, host_off, words } => {
+                    phase = 2;
+                    let hb = p
+                        .host_buf_words(*host)
+                        .ok_or(IrError::UnknownHostBuf { buf: host.0 })?;
+                    let db = p
+                        .device_buf_words(*dev)
+                        .ok_or(IrError::UnknownDeviceBuf { buf: dev.0 })?;
+                    check_range("host", &p.host_bufs[host.0 as usize].name, *host_off, *words, hb)?;
+                    check_range(
+                        "device",
+                        &p.device_allocs[dev.0 as usize].name,
+                        *dev_off,
+                        *words,
+                        db,
+                    )?;
+                    let decl = &p.host_bufs[host.0 as usize];
+                    if decl.role == HostBufRole::Input {
+                        return Err(IrError::HostBufRole {
+                            reason: format!(
+                                "round {ri} writes host input buffer `{}`",
+                                decl.name
+                            ),
+                        });
+                    }
+                    host_written[host.0 as usize] = true;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_range(
+    kind: &str,
+    name: &str,
+    off: u64,
+    words: u64,
+    size: u64,
+) -> Result<(), IrError> {
+    let end = off.checked_add(words).ok_or_else(|| IrError::TransferOutOfBounds {
+        what: format!("{kind} {name}"),
+        end: u64::MAX,
+        size,
+    })?;
+    if end > size {
+        return Err(IrError::TransferOutOfBounds { what: format!("{kind} {name}"), end, size });
+    }
+    Ok(())
+}
+
+fn check_kernel_buffers(k: &Kernel, p: &Program) -> Result<(), IrError> {
+    fn walk(body: &[Instr], p: &Program) -> Result<(), IrError> {
+        for i in body {
+            match i {
+                Instr::GlbToShr { global, .. } | Instr::ShrToGlb { global, .. }
+                    if p.device_buf_words(global.buf).is_none() =>
+                {
+                    return Err(IrError::UnknownDeviceBuf { buf: global.buf.0 });
+                }
+                Instr::GlbToShr { .. } | Instr::ShrToGlb { .. } => {}
+                Instr::Pred { then_body, else_body, .. } => {
+                    walk(then_body, p)?;
+                    walk(else_body, p)?;
+                }
+                Instr::Repeat { body, .. } => walk(body, p)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+    walk(&k.body, p)
+}
+
+/// Checks resource limits against a machine's `G` (global words) and `M`
+/// (shared words per MP): total device allocation must fit `G`, every
+/// kernel's declared shared usage must fit `M`.
+pub fn check_against_machine(p: &Program, g_words: u64, m_words: u64) -> Result<(), IrError> {
+    let dev = p.device_words();
+    if dev > g_words {
+        return Err(IrError::DeviceOutOfMemory { requested: dev, available: g_words });
+    }
+    for round in &p.rounds {
+        if let Some(k) = round.kernel() {
+            if k.shared_words > m_words {
+                return Err(IrError::DeviceOutOfMemory {
+                    requested: k.shared_words,
+                    available: m_words,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{KernelBuilder, ProgramBuilder};
+    use crate::expr::{AddrExpr, PredExpr};
+    use crate::instr::AluOp;
+
+    fn trivial_kernel(blocks: u64) -> Kernel {
+        KernelBuilder::new("k", blocks, 0).build()
+    }
+
+    #[test]
+    fn zero_block_launch_rejected() {
+        assert!(matches!(
+            validate_kernel(&trivial_kernel(0)),
+            Err(IrError::ZeroBlocks { .. })
+        ));
+    }
+
+    #[test]
+    fn register_out_of_range_rejected() {
+        let mut kb = KernelBuilder::new("k", 1, 0);
+        kb.mov(MAX_REGS, Operand::Imm(0));
+        assert!(matches!(
+            validate_kernel(&kb.build()),
+            Err(IrError::RegisterOutOfRange { reg, .. }) if reg == MAX_REGS
+        ));
+    }
+
+    #[test]
+    fn loop_var_out_of_scope_rejected() {
+        let mut kb = KernelBuilder::new("k", 1, 0);
+        kb.mov(0, Operand::LoopVar(0)); // not inside any loop
+        assert!(matches!(
+            validate_kernel(&kb.build()),
+            Err(IrError::LoopVarOutOfScope { var: 0, enclosing: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn loop_var_in_scope_accepted() {
+        let mut kb = KernelBuilder::new("k", 1, 0);
+        kb.repeat(4, |kb| {
+            kb.mov(0, Operand::LoopVar(0));
+        });
+        validate_kernel(&kb.build()).unwrap();
+    }
+
+    #[test]
+    fn inner_loop_var_needs_inner_loop() {
+        let mut kb = KernelBuilder::new("k", 1, 0);
+        kb.repeat(4, |kb| {
+            kb.mov(0, Operand::LoopVar(1)); // depth 1 not open
+        });
+        assert!(validate_kernel(&kb.build()).is_err());
+    }
+
+    #[test]
+    fn loop_var_in_address_checked() {
+        let mut kb = KernelBuilder::new("k", 1, 8);
+        kb.ld_shr(0, AddrExpr::loop_var(0)); // outside loop
+        assert!(validate_kernel(&kb.build()).is_err());
+    }
+
+    #[test]
+    fn loop_var_in_pred_checked() {
+        let mut kb = KernelBuilder::new("k", 1, 0);
+        kb.when(PredExpr::Lt(Operand::LoopVar(0), Operand::Imm(1)), |_| {});
+        assert!(validate_kernel(&kb.build()).is_err());
+    }
+
+    #[test]
+    fn too_deep_nesting_rejected() {
+        let mut kb = KernelBuilder::new("k", 1, 0);
+        kb.repeat(1, |kb| {
+            kb.repeat(1, |kb| {
+                kb.repeat(1, |kb| {
+                    kb.repeat(1, |kb| {
+                        kb.repeat(1, |kb| {
+                            kb.sync();
+                        });
+                    });
+                });
+            });
+        });
+        assert!(matches!(
+            validate_kernel(&kb.build()),
+            Err(IrError::LoopTooDeep { depth: 5, .. })
+        ));
+    }
+
+    fn valid_program() -> ProgramBuilder {
+        let mut pb = ProgramBuilder::new("p");
+        let h = pb.host_input("A", 64);
+        let o = pb.host_output("C", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in(h, d, 64);
+        pb.launch(trivial_kernel(1));
+        pb.transfer_out(d, o, 64);
+        pb.end_round();
+        pb
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        valid_program().build().unwrap();
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(matches!(ProgramBuilder::new("p").build(), Err(IrError::EmptyProgram)));
+    }
+
+    #[test]
+    fn transfer_in_after_launch_rejected() {
+        let mut pb = ProgramBuilder::new("p");
+        let h = pb.host_input("A", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.launch(trivial_kernel(1));
+        pb.transfer_in(h, d, 64);
+        assert!(matches!(pb.build(), Err(IrError::StepOrder { .. })));
+    }
+
+    #[test]
+    fn launch_after_transfer_out_rejected() {
+        let mut pb = ProgramBuilder::new("p");
+        let o = pb.host_output("C", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_out(d, o, 64);
+        pb.launch(trivial_kernel(1));
+        assert!(matches!(pb.build(), Err(IrError::StepOrder { .. })));
+    }
+
+    #[test]
+    fn two_launches_rejected() {
+        let mut pb = ProgramBuilder::new("p");
+        let _ = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.launch(trivial_kernel(1));
+        pb.launch(trivial_kernel(1));
+        assert!(matches!(pb.build(), Err(IrError::MultipleLaunches { round: 0 })));
+    }
+
+    #[test]
+    fn transfer_overruns_device_buffer() {
+        let mut pb = ProgramBuilder::new("p");
+        let h = pb.host_input("A", 128);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in(h, d, 128);
+        assert!(matches!(pb.build(), Err(IrError::TransferOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn transfer_overruns_host_buffer() {
+        let mut pb = ProgramBuilder::new("p");
+        let h = pb.host_input("A", 32);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in_at(h, 16, d, 0, 32); // 16+32 > 32
+        assert!(matches!(pb.build(), Err(IrError::TransferOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn writing_input_buffer_rejected() {
+        let mut pb = ProgramBuilder::new("p");
+        let h = pb.host_input("A", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_out(d, h, 64);
+        assert!(matches!(pb.build(), Err(IrError::HostBufRole { .. })));
+    }
+
+    #[test]
+    fn reading_unwritten_output_rejected() {
+        let mut pb = ProgramBuilder::new("p");
+        let o = pb.host_output("C", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in(o, d, 64);
+        assert!(matches!(pb.build(), Err(IrError::HostBufRole { .. })));
+    }
+
+    #[test]
+    fn output_readable_after_write() {
+        // Round 1 writes C; round 2 may stage it back in (out-of-core
+        // algorithms round-trip through the host like this).
+        let mut pb = ProgramBuilder::new("p");
+        let o = pb.host_output("C", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.launch(trivial_kernel(1));
+        pb.transfer_out(d, o, 64);
+        pb.begin_round();
+        pb.transfer_in(o, d, 64);
+        pb.launch(trivial_kernel(1));
+        pb.build().unwrap();
+    }
+
+    #[test]
+    fn kernel_referencing_unknown_buffer_rejected() {
+        let mut pb = ProgramBuilder::new("p");
+        let _ = pb.device_alloc("a", 64);
+        let mut kb = KernelBuilder::new("k", 1, 32);
+        kb.glb_to_shr(AddrExpr::lane(), crate::program::DBuf(7), AddrExpr::lane());
+        pb.begin_round();
+        pb.launch(kb.build());
+        assert!(matches!(pb.build(), Err(IrError::UnknownDeviceBuf { buf: 7 })));
+    }
+
+    #[test]
+    fn machine_limits_checked() {
+        let p = valid_program().build().unwrap();
+        check_against_machine(&p, 64, 0).unwrap();
+        assert!(matches!(
+            check_against_machine(&p, 63, 0),
+            Err(IrError::DeviceOutOfMemory { requested: 64, available: 63 })
+        ));
+    }
+
+    #[test]
+    fn machine_shared_limit_checked() {
+        let mut pb = ProgramBuilder::new("p");
+        let _ = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.launch(KernelBuilder::new("k", 1, 100).build());
+        let p = pb.build().unwrap();
+        assert!(check_against_machine(&p, 64, 99).is_err());
+        check_against_machine(&p, 64, 100).unwrap();
+    }
+
+    #[test]
+    fn alu_loop_var_checked_in_pred_arms() {
+        let mut kb = KernelBuilder::new("k", 1, 0);
+        kb.when(PredExpr::Lt(Operand::Lane, Operand::Imm(1)), |kb| {
+            kb.alu(AluOp::Add, 0, Operand::LoopVar(0), Operand::Imm(1));
+        });
+        assert!(validate_kernel(&kb.build()).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the IR: affine lowering equivalence, ALU semantics,
+//! builder/validator round trips.
+
+use atgpu_ir::affine::{lower, CompiledAddr};
+use atgpu_ir::{validate, AddrExpr, AluOp, KernelBuilder, Operand, PredExpr};
+use proptest::prelude::*;
+
+/// Random address expressions, biased towards affine shapes but including
+/// register terms and non-affine products.
+fn addr_expr() -> impl Strategy<Value = AddrExpr> {
+    let leaf = prop_oneof![
+        4 => (-128i64..128).prop_map(AddrExpr::Const),
+        3 => Just(AddrExpr::Lane),
+        2 => Just(AddrExpr::Block),
+        1 => Just(AddrExpr::BlockY),
+        2 => (0u8..3).prop_map(AddrExpr::LoopVar),
+        1 => (0u8..4).prop_map(AddrExpr::Reg),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| AddrExpr::Add(Box::new(a), Box::new(b))),
+            2 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| AddrExpr::Sub(Box::new(a), Box::new(b))),
+            2 => (inner, inner_const()).prop_map(|(a, c)| AddrExpr::Mul(Box::new(a), Box::new(c))),
+        ]
+    })
+}
+
+fn inner_const() -> impl Strategy<Value = AddrExpr> {
+    (-16i64..16).prop_map(AddrExpr::Const)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whenever lowering succeeds, affine evaluation equals tree
+    /// evaluation at arbitrary coordinates and register values.
+    #[test]
+    fn lowering_is_semantics_preserving(
+        e in addr_expr(),
+        lane in 0i64..64,
+        bx in 0i64..128,
+        by in 0i64..128,
+        loops in prop::collection::vec(0u32..16, 0..3),
+        regv in -100i64..100,
+    ) {
+        if let Some(a) = lower(&e) {
+            let mut rr = |_| regv;
+            let tree = e.eval(lane, (bx, by), &loops, &mut rr);
+            let aff = a.eval(lane, (bx, by), &loops, |_| regv);
+            prop_assert_eq!(tree, aff);
+        }
+    }
+
+    /// CompiledAddr::compile never changes semantics, affine or not.
+    #[test]
+    fn compile_preserves_semantics(
+        e in addr_expr(),
+        lane in 0i64..32,
+        bx in 0i64..32,
+        regv in -50i64..50,
+    ) {
+        let c = CompiledAddr::compile(e.clone());
+        let mut r1 = |_| regv;
+        let mut r2 = |_| regv;
+        prop_assert_eq!(
+            e.eval(lane, (bx, 0), &[1, 2], &mut r1),
+            c.eval(lane, (bx, 0), &[1, 2], &mut r2)
+        );
+    }
+
+    /// max_reg/max_loop_var are sound: compile never reports a register
+    /// the tree does not contain.
+    #[test]
+    fn static_summaries_sound(e in addr_expr()) {
+        let c = CompiledAddr::compile(e.clone());
+        prop_assert_eq!(c.is_static(), e.max_reg().is_none());
+        if let Some(d) = c.max_loop_var() {
+            prop_assert!(e.max_loop_var().is_some_and(|t| t >= d));
+        }
+    }
+
+    /// ALU semantics agree with the i64 reference operations.
+    #[test]
+    fn alu_matches_reference(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(AluOp::Add.apply(a, b), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.apply(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::Mul.apply(a, b), a.wrapping_mul(b));
+        prop_assert_eq!(AluOp::Min.apply(a, b), a.min(b));
+        prop_assert_eq!(AluOp::Max.apply(a, b), a.max(b));
+        prop_assert_eq!(AluOp::And.apply(a, b), a & b);
+        prop_assert_eq!(AluOp::Or.apply(a, b), a | b);
+        prop_assert_eq!(AluOp::Xor.apply(a, b), a ^ b);
+        prop_assert_eq!(AluOp::SetLt.apply(a, b), i64::from(a < b));
+        prop_assert_eq!(AluOp::SetEq.apply(a, b), i64::from(a == b));
+        if b != 0 {
+            prop_assert_eq!(AluOp::Div.apply(a, b), a.wrapping_div(b));
+            prop_assert_eq!(AluOp::Rem.apply(a, b), a.wrapping_rem(b));
+        } else {
+            prop_assert_eq!(AluOp::Div.apply(a, b), 0);
+            prop_assert_eq!(AluOp::Rem.apply(a, b), 0);
+        }
+    }
+
+    /// Division and modulo are consistent: a = (a/b)*b + a%b for b ≠ 0.
+    #[test]
+    fn div_rem_identity(a in -1_000_000i64..1_000_000, b in 1i64..1000) {
+        let q = AluOp::Div.apply(a, b);
+        let r = AluOp::Rem.apply(a, b);
+        prop_assert_eq!(a, q * b + r);
+    }
+
+    /// Builder-produced kernels with in-range registers and loop vars
+    /// always validate.
+    #[test]
+    fn builder_kernels_validate(
+        regs in prop::collection::vec(0u8..atgpu_ir::MAX_REGS, 1..8),
+        trip in 1u32..10,
+    ) {
+        let mut kb = KernelBuilder::new("p", 4, 64);
+        for (i, &r) in regs.iter().enumerate() {
+            kb.mov(r, Operand::Imm(i as i64));
+        }
+        kb.repeat(trip, |kb| {
+            kb.alu(AluOp::Add, regs[0], Operand::LoopVar(0), Operand::Imm(1));
+            kb.when(PredExpr::Lt(Operand::Lane, Operand::Imm(2)), |kb| {
+                kb.st_shr(AddrExpr::lane(), Operand::Reg(regs[0]));
+            });
+        });
+        prop_assert!(validate::validate_kernel(&kb.build()).is_ok());
+    }
+
+    /// Pretty-printing any valid kernel terminates and mentions every
+    /// structural keyword it should.
+    #[test]
+    fn pretty_never_panics(trip in 1u32..5, guard in 0i64..32) {
+        let mut pb = atgpu_ir::ProgramBuilder::new("t");
+        let d = pb.device_alloc("a", 64);
+        let mut kb = KernelBuilder::new("k", 2, 64);
+        kb.repeat(trip, |kb| {
+            kb.glb_to_shr(AddrExpr::lane(), d, AddrExpr::block() * 32 + AddrExpr::lane());
+            kb.when(PredExpr::Lt(Operand::Lane, Operand::Imm(guard)), |kb| {
+                kb.sync();
+            });
+        });
+        pb.begin_round();
+        pb.launch(kb.build());
+        let p = pb.build().unwrap();
+        let text = atgpu_ir::pretty::render_program(&p);
+        prop_assert!(text.contains("for t0 = 0 →"));
+        prop_assert!(text.contains('⇐'));
+    }
+}

@@ -1,0 +1,235 @@
+//! A tiny symbolic big-O term language.
+//!
+//! The paper states closed-form complexities such as the reduction I/O
+//! bound `O((n/b)·(1−1/b)⁻¹·…)` or the matrix-multiplication time `O(n·b)`.
+//! `atgpu-algos` uses this module to *state* those complexities in code and
+//! the test-suites evaluate them numerically against the analyser's exact
+//! counts, checking the constant-factor ratio stays bounded as `n` grows —
+//! i.e. that our implementation really has the paper's asymptotics.
+
+use std::fmt;
+
+/// A symbolic expression over the problem size `n` and machine width `b`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A positive constant.
+    Const(f64),
+    /// The problem size `n`.
+    N,
+    /// The machine width `b` (cores per MP / words per block).
+    B,
+    /// Sum of terms.
+    Add(Vec<Term>),
+    /// Product of terms.
+    Mul(Vec<Term>),
+    /// Quotient `a / b`.
+    Div(Box<Term>, Box<Term>),
+    /// `log₂(a)`, clamped to ≥ 1 so O(log n) terms stay positive for
+    /// small `n` (complexity algebra convention).
+    Log2(Box<Term>),
+    /// `logᵦ(a)` where the base is the machine width `b`, clamped to ≥ 1.
+    LogB(Box<Term>),
+    /// `⌈a⌉`.
+    Ceil(Box<Term>),
+    /// `a^k` for integer `k ≥ 0`.
+    Pow(Box<Term>, u32),
+}
+
+impl Term {
+    /// Numerically evaluates the term at a given `n` and `b`.
+    pub fn eval(&self, n: f64, b: f64) -> f64 {
+        match self {
+            Term::Const(c) => *c,
+            Term::N => n,
+            Term::B => b,
+            Term::Add(ts) => ts.iter().map(|t| t.eval(n, b)).sum(),
+            Term::Mul(ts) => ts.iter().map(|t| t.eval(n, b)).product(),
+            Term::Div(a, d) => a.eval(n, b) / d.eval(n, b),
+            Term::Log2(a) => a.eval(n, b).log2().max(1.0),
+            Term::LogB(a) => (a.eval(n, b).ln() / b.ln()).max(1.0),
+            Term::Ceil(a) => a.eval(n, b).ceil(),
+            Term::Pow(a, k) => a.eval(n, b).powi(*k as i32),
+        }
+    }
+
+    /// `n`
+    pub fn n() -> Term {
+        Term::N
+    }
+    /// `b`
+    pub fn b() -> Term {
+        Term::B
+    }
+    /// constant
+    pub fn c(v: f64) -> Term {
+        Term::Const(v)
+    }
+    /// `self + other`
+    pub fn plus(self, other: Term) -> Term {
+        match self {
+            Term::Add(mut v) => {
+                v.push(other);
+                Term::Add(v)
+            }
+            s => Term::Add(vec![s, other]),
+        }
+    }
+    /// `self * other`
+    pub fn times(self, other: Term) -> Term {
+        match self {
+            Term::Mul(mut v) => {
+                v.push(other);
+                Term::Mul(v)
+            }
+            s => Term::Mul(vec![s, other]),
+        }
+    }
+    /// `self / other`
+    pub fn over(self, other: Term) -> Term {
+        Term::Div(Box::new(self), Box::new(other))
+    }
+    /// `log₂ self`
+    pub fn log2(self) -> Term {
+        Term::Log2(Box::new(self))
+    }
+    /// `logᵦ self`
+    pub fn log_b(self) -> Term {
+        Term::LogB(Box::new(self))
+    }
+    /// `⌈self⌉`
+    pub fn ceil(self) -> Term {
+        Term::Ceil(Box::new(self))
+    }
+    /// `self^k`
+    pub fn pow(self, k: u32) -> Term {
+        Term::Pow(Box::new(self), k)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::N => write!(f, "n"),
+            Term::B => write!(f, "b"),
+            Term::Add(ts) => {
+                let parts: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
+                write!(f, "({})", parts.join(" + "))
+            }
+            Term::Mul(ts) => {
+                let parts: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
+                write!(f, "{}", parts.join("·"))
+            }
+            Term::Div(a, d) => write!(f, "({a})/({d})"),
+            Term::Log2(a) => write!(f, "log({a})"),
+            Term::LogB(a) => write!(f, "log_b({a})"),
+            Term::Ceil(a) => write!(f, "⌈{a}⌉"),
+            Term::Pow(a, k) => write!(f, "({a})^{k}"),
+        }
+    }
+}
+
+/// A stated complexity bound `O(term)`, with a name for reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BigO {
+    /// Which quantity this bounds (e.g. "time", "I/O", "transfer").
+    pub quantity: &'static str,
+    /// The symbolic bound.
+    pub term: Term,
+}
+
+impl BigO {
+    /// Creates a bound.
+    pub fn new(quantity: &'static str, term: Term) -> Self {
+        Self { quantity, term }
+    }
+
+    /// Checks that `observed(n)` is bounded by `c·term(n, b)` for the given
+    /// constant over all sample points.  Returns the smallest admissible
+    /// constant, or `None` if the bound's value is non-positive somewhere
+    /// (which would make the check meaningless).
+    pub fn fitted_constant(&self, samples: &[(f64, f64)], b: f64) -> Option<f64> {
+        let mut worst: f64 = 0.0;
+        for &(n, observed) in samples {
+            let bound = self.term.eval(n, b);
+            // NaN or non-positive bounds make the check meaningless.
+            if bound.is_nan() || bound <= 0.0 {
+                return None;
+            }
+            worst = worst.max(observed / bound);
+        }
+        Some(worst)
+    }
+}
+
+impl fmt::Display for BigO {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = O({})", self.quantity, self.term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_linear() {
+        let t = Term::n().times(Term::c(3.0)); // 3n
+        assert_eq!(t.eval(10.0, 32.0), 30.0);
+    }
+
+    #[test]
+    fn eval_nb_quotient() {
+        let t = Term::n().over(Term::b()); // n/b
+        assert_eq!(t.eval(64.0, 32.0), 2.0);
+    }
+
+    #[test]
+    fn eval_log_clamps() {
+        let t = Term::n().log2();
+        assert_eq!(t.eval(1.0, 32.0), 1.0); // log2(1)=0 clamped to 1
+        assert_eq!(t.eval(8.0, 32.0), 3.0);
+    }
+
+    #[test]
+    fn eval_logb() {
+        let t = Term::n().log_b();
+        assert!((t.eval(1024.0, 32.0) - 2.0).abs() < 1e-12); // log_32(1024) = 2
+    }
+
+    #[test]
+    fn eval_matmul_io_shape() {
+        // (n/b)^2 (n + b)
+        let t = Term::n()
+            .over(Term::b())
+            .pow(2)
+            .times(Term::n().plus(Term::b()));
+        assert_eq!(t.eval(64.0, 32.0), 4.0 * 96.0);
+    }
+
+    #[test]
+    fn ceil_works() {
+        let t = Term::n().over(Term::b()).ceil();
+        assert_eq!(t.eval(33.0, 32.0), 2.0);
+    }
+
+    #[test]
+    fn display_readable() {
+        let t = Term::n().over(Term::b()).pow(2);
+        assert_eq!(t.to_string(), "((n)/(b))^2");
+    }
+
+    #[test]
+    fn fitted_constant_bounds_samples() {
+        let bound = BigO::new("time", Term::n()); // O(n)
+        let samples = vec![(10.0, 25.0), (100.0, 220.0), (1000.0, 2100.0)];
+        let c = bound.fitted_constant(&samples, 32.0).unwrap();
+        assert!((c - 2.5).abs() < 1e-12); // worst ratio at n=10
+    }
+
+    #[test]
+    fn fitted_constant_rejects_zero_bound() {
+        let bound = BigO::new("time", Term::c(0.0));
+        assert!(bound.fitted_constant(&[(1.0, 1.0)], 32.0).is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! Baseline models the paper compares against.
+//!
+//! * **AGPU** (Koike & Sadakane): analyses algorithms asymptotically by
+//!   time, number of memory requests and space in global and shared memory;
+//!   no synchronisation, no cost function, shared memory may not exceed `M`.
+//! * **SWGPU** (Sitchinava & Weichert): rounds delimited by host
+//!   synchronisation; cost function of operations, memory requests and
+//!   synchronisation — no data transfer.  (The paper evaluates SWGPU as
+//!   "the GPU cost function of our model minus the data transfer", which
+//!   lives in [`crate::cost`].)
+//!
+//! The structs here give those baselines a concrete, queryable form so that
+//! experiments can report "what AGPU/SWGPU would tell you" alongside ATGPU.
+
+use crate::error::ModelError;
+use crate::machine::AtgpuMachine;
+use crate::metrics::AlgoMetrics;
+
+/// The quantities the AGPU model reports for an algorithm.
+///
+/// AGPU has no rounds, no synchronisation and no data transfer; it sees
+/// only the kernel: total time, total I/O, and peak space.  It *does*
+/// enforce the shared-memory capacity (algorithms whose shared usage
+/// exceeds `M` are disallowed) but, unlike ATGPU, places **no bound on
+/// global memory**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgpuAnalysis {
+    /// Total parallel time (operations).
+    pub time: u64,
+    /// Total global-memory block requests.
+    pub io: u64,
+    /// Peak global-memory words (reported, but unbounded in AGPU).
+    pub global_space: u64,
+    /// Peak shared-memory words (bounded by `M`).
+    pub shared_space: u64,
+    /// AGPU's occupancy measure: blocks per MP as a function of shared
+    /// usage, `⌊M/m⌋` (no hardware cap — that is an ATGPU/GPU-cost notion).
+    pub occupancy: u64,
+}
+
+/// Projects ATGPU metrics down to what the AGPU model can express.
+///
+/// Data-transfer and synchronisation information is *dropped* — that is
+/// precisely the paper's point about AGPU's blind spot.
+pub fn agpu_view(machine: &AtgpuMachine, metrics: &AlgoMetrics) -> Result<AgpuAnalysis, ModelError> {
+    let shared = metrics.peak_shared_words();
+    if shared > machine.m {
+        // AGPU "disallows algorithms where shared memory used exceeds capacity".
+        return Err(ModelError::SharedMemoryExceeded {
+            required: shared,
+            available: machine.m,
+        });
+    }
+    Ok(AgpuAnalysis {
+        time: metrics.total_time_ops(),
+        io: metrics.total_io_blocks(),
+        global_space: metrics.peak_global_words(),
+        shared_space: shared,
+        occupancy: machine.m.checked_div(shared).unwrap_or(machine.m),
+    })
+}
+
+/// The quantities the SWGPU model reports: rounds, per-round max time,
+/// per-round memory requests, synchronisation count.  No transfer, no
+/// space accounting, no global-memory bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwgpuAnalysis {
+    /// Number of rounds `R` (synchronisation count).
+    pub rounds: u64,
+    /// Total operations `Σ tᵢ`.
+    pub time: u64,
+    /// Total memory requests `Σ qᵢ`.
+    pub io: u64,
+}
+
+/// Projects ATGPU metrics down to what the SWGPU model can express.
+pub fn swgpu_view(metrics: &AlgoMetrics) -> SwgpuAnalysis {
+    SwgpuAnalysis {
+        rounds: metrics.num_rounds(),
+        time: metrics.total_time_ops(),
+        io: metrics.total_io_blocks(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RoundMetrics;
+
+    fn metrics() -> AlgoMetrics {
+        AlgoMetrics::new(vec![
+            RoundMetrics {
+                time: 10,
+                io_blocks: 4,
+                global_words: 128,
+                shared_words: 64,
+                inward_words: 100,
+                inward_txns: 1,
+                outward_words: 0,
+                outward_txns: 0,
+                blocks_launched: 4,
+            },
+            RoundMetrics {
+                time: 6,
+                io_blocks: 2,
+                global_words: 128,
+                shared_words: 32,
+                inward_words: 0,
+                inward_txns: 0,
+                outward_words: 1,
+                outward_txns: 1,
+                blocks_launched: 1,
+            },
+        ])
+    }
+
+    #[test]
+    fn agpu_sums_and_peaks() {
+        let m = AtgpuMachine::new(64, 32, 128, 1024).unwrap();
+        let a = agpu_view(&m, &metrics()).unwrap();
+        assert_eq!(a.time, 16);
+        assert_eq!(a.io, 6);
+        assert_eq!(a.global_space, 128);
+        assert_eq!(a.shared_space, 64);
+        assert_eq!(a.occupancy, 2); // M/m = 128/64
+    }
+
+    #[test]
+    fn agpu_drops_transfer_info() {
+        // There is simply no transfer field on AgpuAnalysis: the projection
+        // type-checks the blindness. This test documents the intent.
+        let m = AtgpuMachine::new(64, 32, 128, 1024).unwrap();
+        let _a = agpu_view(&m, &metrics()).unwrap();
+    }
+
+    #[test]
+    fn agpu_enforces_shared_limit() {
+        let m = AtgpuMachine::new(64, 32, 48, 1024).unwrap();
+        assert!(matches!(
+            agpu_view(&m, &metrics()),
+            Err(ModelError::SharedMemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn agpu_ignores_global_limit() {
+        // Global usage 128 > G = 32? AGPU doesn't care; it has no G.
+        let m = AtgpuMachine::new(64, 32, 128, 32).unwrap();
+        assert!(agpu_view(&m, &metrics()).is_ok());
+    }
+
+    #[test]
+    fn swgpu_counts_rounds() {
+        let s = swgpu_view(&metrics());
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.time, 16);
+        assert_eq!(s.io, 6);
+    }
+
+    #[test]
+    fn agpu_zero_shared_occupancy_is_full() {
+        let m = AtgpuMachine::new(64, 32, 128, 1024).unwrap();
+        let mut met = metrics();
+        for r in &mut met.rounds {
+            r.shared_words = 0;
+        }
+        let a = agpu_view(&m, &met).unwrap();
+        assert_eq!(a.occupancy, 128);
+    }
+}

@@ -1,0 +1,321 @@
+//! Table I of the paper: the feature matrix comparing GPU abstract models.
+//!
+//! The table is data, not prose: [`comparison_table`] returns the three GPU
+//! models with their capability flags, and [`render_markdown`] /
+//! [`render_ascii`] reproduce the table.  [`classical_models`] adds the
+//! pre-GPU models (PRAM, BSP, BSPRAM, PEM) from the paper's related-work
+//! discussion for context.
+
+/// The capability axes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelCapabilities {
+    /// Provides pseudocode for algorithm design.
+    pub pseudocode: bool,
+    /// Analyses time complexity.
+    pub time_complexity: bool,
+    /// Analyses I/O complexity.
+    pub io_complexity: bool,
+    /// Analyses space complexity.
+    pub space_complexity: bool,
+    /// Enforces a shared-memory capacity limit.
+    pub shared_memory_limit: bool,
+    /// Models synchronisation.
+    pub synchronisation: bool,
+    /// Provides a cost function.
+    pub cost_function: bool,
+    /// Enforces a global-memory capacity limit.
+    pub global_memory_limit: bool,
+    /// Captures host/device data transfer.
+    pub host_device_transfer: bool,
+}
+
+impl ModelCapabilities {
+    /// Number of capabilities present.
+    pub fn count(&self) -> usize {
+        [
+            self.pseudocode,
+            self.time_complexity,
+            self.io_complexity,
+            self.space_complexity,
+            self.shared_memory_limit,
+            self.synchronisation,
+            self.cost_function,
+            self.global_memory_limit,
+            self.host_device_transfer,
+        ]
+        .iter()
+        .filter(|&&x| x)
+        .count()
+    }
+}
+
+/// A named model with its capabilities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Model name as used in the paper.
+    pub name: &'static str,
+    /// Citation tag from the paper's bibliography.
+    pub citation: &'static str,
+    /// Capability flags.
+    pub caps: ModelCapabilities,
+}
+
+/// Row labels of Table I, in the paper's order.
+pub const TABLE1_ITEMS: [&str; 9] = [
+    "Pseudocode",
+    "Time Complexity",
+    "I/O Complexity",
+    "Space Complexity",
+    "Shared Memory Limit",
+    "Synchronisation",
+    "Cost Function",
+    "Global Memory Limit",
+    "Host/Device Data Transfer",
+];
+
+fn cap_values(c: &ModelCapabilities) -> [bool; 9] {
+    [
+        c.pseudocode,
+        c.time_complexity,
+        c.io_complexity,
+        c.space_complexity,
+        c.shared_memory_limit,
+        c.synchronisation,
+        c.cost_function,
+        c.global_memory_limit,
+        c.host_device_transfer,
+    ]
+}
+
+/// The three GPU abstract models of Table I, exactly as the paper marks
+/// them.
+pub fn comparison_table() -> Vec<ModelInfo> {
+    vec![
+        ModelInfo {
+            name: "AGPU",
+            citation: "[9] Koike & Sadakane",
+            caps: ModelCapabilities {
+                pseudocode: true,
+                time_complexity: true,
+                io_complexity: true,
+                space_complexity: true,
+                shared_memory_limit: true,
+                synchronisation: false,
+                cost_function: false,
+                global_memory_limit: false,
+                host_device_transfer: false,
+            },
+        },
+        ModelInfo {
+            name: "SWGPU",
+            citation: "[8] Sitchinava & Weichert",
+            caps: ModelCapabilities {
+                pseudocode: false,
+                time_complexity: true,
+                io_complexity: true,
+                space_complexity: false,
+                shared_memory_limit: false,
+                synchronisation: true,
+                cost_function: true,
+                global_memory_limit: false,
+                host_device_transfer: false,
+            },
+        },
+        ModelInfo {
+            name: "ATGPU",
+            citation: "this paper",
+            caps: ModelCapabilities {
+                pseudocode: true,
+                time_complexity: true,
+                io_complexity: true,
+                space_complexity: true,
+                shared_memory_limit: true,
+                synchronisation: true,
+                cost_function: true,
+                global_memory_limit: true,
+                host_device_transfer: true,
+            },
+        },
+    ]
+}
+
+/// The classical parallel models from the paper's §I-B, for context.
+/// (They predate GPUs; none capture warps or the GPU memory hierarchy.)
+pub fn classical_models() -> Vec<ModelInfo> {
+    let base = ModelCapabilities {
+        time_complexity: true,
+        ..ModelCapabilities::default()
+    };
+    vec![
+        ModelInfo {
+            name: "PRAM",
+            citation: "[10] Fortune & Wyllie",
+            caps: base,
+        },
+        ModelInfo {
+            name: "BSP",
+            citation: "[11] Valiant",
+            caps: ModelCapabilities {
+                synchronisation: true,
+                cost_function: true,
+                ..base
+            },
+        },
+        ModelInfo {
+            name: "BSPRAM",
+            citation: "[12] Tiskin",
+            caps: ModelCapabilities {
+                synchronisation: true,
+                cost_function: true,
+                ..base
+            },
+        },
+        ModelInfo {
+            name: "PEM",
+            citation: "[13] Arge et al.",
+            caps: ModelCapabilities {
+                io_complexity: true,
+                ..base
+            },
+        },
+    ]
+}
+
+/// Renders a model list as a GitHub-flavoured markdown table in the shape
+/// of Table I (items as rows, models as columns, ✓ marks).
+pub fn render_markdown(models: &[ModelInfo]) -> String {
+    let mut out = String::new();
+    out.push_str("| Item |");
+    for m in models {
+        out.push_str(&format!(" {} |", m.name));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in models {
+        out.push_str(":---:|");
+    }
+    out.push('\n');
+    for (i, item) in TABLE1_ITEMS.iter().enumerate() {
+        out.push_str(&format!("| {item} |"));
+        for m in models {
+            out.push_str(if cap_values(&m.caps)[i] { " ✓ |" } else { "   |" });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a model list as a fixed-width ASCII table.
+pub fn render_ascii(models: &[ModelInfo]) -> String {
+    let item_w = TABLE1_ITEMS.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!("{:item_w$}", "Item"));
+    for m in models {
+        out.push_str(&format!("  {:>6}", m.name));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(item_w + models.len() * 8));
+    out.push('\n');
+    for (i, item) in TABLE1_ITEMS.iter().enumerate() {
+        out.push_str(&format!("{item:item_w$}"));
+        for m in models {
+            out.push_str(&format!(
+                "  {:>6}",
+                if cap_values(&m.caps)[i] { "yes" } else { "-" }
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atgpu_has_all_capabilities() {
+        let t = comparison_table();
+        let atgpu = t.iter().find(|m| m.name == "ATGPU").unwrap();
+        assert_eq!(atgpu.caps.count(), 9);
+    }
+
+    #[test]
+    fn agpu_matches_paper_row() {
+        let t = comparison_table();
+        let agpu = t.iter().find(|m| m.name == "AGPU").unwrap();
+        assert!(agpu.caps.pseudocode);
+        assert!(!agpu.caps.synchronisation);
+        assert!(!agpu.caps.cost_function);
+        assert!(!agpu.caps.global_memory_limit);
+        assert!(!agpu.caps.host_device_transfer);
+        assert_eq!(agpu.caps.count(), 5);
+    }
+
+    #[test]
+    fn swgpu_matches_paper_row() {
+        let t = comparison_table();
+        let sw = t.iter().find(|m| m.name == "SWGPU").unwrap();
+        assert!(!sw.caps.pseudocode);
+        assert!(sw.caps.synchronisation);
+        assert!(sw.caps.cost_function);
+        assert!(!sw.caps.host_device_transfer);
+        assert_eq!(sw.caps.count(), 4);
+    }
+
+    #[test]
+    fn only_atgpu_captures_transfer() {
+        let with_transfer: Vec<_> = comparison_table()
+            .into_iter()
+            .filter(|m| m.caps.host_device_transfer)
+            .collect();
+        assert_eq!(with_transfer.len(), 1);
+        assert_eq!(with_transfer[0].name, "ATGPU");
+    }
+
+    #[test]
+    fn only_atgpu_bounds_global_memory() {
+        let bounded: Vec<_> = comparison_table()
+            .into_iter()
+            .filter(|m| m.caps.global_memory_limit)
+            .collect();
+        assert_eq!(bounded.len(), 1);
+        assert_eq!(bounded[0].name, "ATGPU");
+    }
+
+    #[test]
+    fn markdown_has_all_rows() {
+        let md = render_markdown(&comparison_table());
+        for item in TABLE1_ITEMS {
+            assert!(md.contains(item), "missing row {item}");
+        }
+        // 9 item rows + header + separator
+        assert_eq!(md.lines().count(), 11);
+    }
+
+    #[test]
+    fn ascii_has_all_models() {
+        let a = render_ascii(&comparison_table());
+        for name in ["AGPU", "SWGPU", "ATGPU"] {
+            assert!(a.contains(name));
+        }
+    }
+
+    #[test]
+    fn classical_models_lack_gpu_features() {
+        for m in classical_models() {
+            assert!(!m.caps.host_device_transfer);
+            assert!(!m.caps.shared_memory_limit);
+            assert!(!m.caps.global_memory_limit);
+        }
+    }
+
+    #[test]
+    fn capability_count_ordering_matches_paper_narrative() {
+        // ATGPU strictly dominates both prior GPU models.
+        let t = comparison_table();
+        let count = |n: &str| t.iter().find(|m| m.name == n).unwrap().caps.count();
+        assert!(count("ATGPU") > count("AGPU"));
+        assert!(count("ATGPU") > count("SWGPU"));
+    }
+}

@@ -1,0 +1,368 @@
+//! The ATGPU cost functions — Expressions (1) and (2) of the paper — and
+//! the SWGPU baseline cost used in the paper's evaluation.
+//!
+//! * **Perfect-GPU cost** (Expression 1): every thread block gets its own
+//!   MP, so a round costs
+//!   `T_I(i) + (tᵢ + λ·qᵢ)/γ + T_O(i) + σ`.
+//! * **GPU-cost** (Expression 2): a real GPU has only `k′` MPs, each
+//!   holding `ℓ = min(⌊M/m⌋, H)` blocks, so the compute term is stretched
+//!   by the wave factor `⌈k/(k′ℓ)⌉`:
+//!   `T_I(i) + (⌈k/(k′ℓ)⌉·tᵢ + λ·qᵢ)/γ + T_O(i) + σ`.
+//! * **Transfer cost** (Boyer et al.): `T_I(i) = Îᵢ·α + Iᵢ·β`, and
+//!   symmetrically for `T_O`.
+//! * **SWGPU baseline**: the paper's evaluation "use\[s\] the GPU cost
+//!   function of our model minus the data transfer as the SWGPU cost" —
+//!   i.e. the same expression without the `T_I`/`T_O` terms.
+
+use crate::error::ModelError;
+use crate::machine::AtgpuMachine;
+use crate::metrics::{AlgoMetrics, RoundMetrics};
+use crate::occupancy::wave_factor;
+use crate::params::{CostParams, GpuSpec};
+
+/// Which cost function to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostModel {
+    /// Expression (1): unlimited multiprocessors.
+    PerfectGpu,
+    /// Expression (2): `k′` MPs with occupancy-limited residency.
+    GpuCost,
+    /// The SWGPU baseline: [`CostModel::GpuCost`] minus the transfer terms.
+    Swgpu,
+    /// Kernel-only cost: the compute term alone (no transfer, no `σ`) —
+    /// the analytical analogue of the paper's observed "Kernel" series.
+    KernelOnly,
+}
+
+/// A cost broken into the paper's four per-round components, summed over
+/// rounds.  `total()` reproduces the cost function; keeping the parts
+/// separate is what lets the experiments compute the predicted transfer
+/// proportion `ΔT` of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// `Σᵢ T_I(i)` — inward transfer cost.
+    pub transfer_in: f64,
+    /// `Σᵢ (waveᵢ·tᵢ + λ·qᵢ)/γ` — kernel compute + I/O cost.
+    pub kernel: f64,
+    /// `Σᵢ T_O(i)` — outward transfer cost.
+    pub transfer_out: f64,
+    /// `R·σ` — synchronisation cost.
+    pub sync: f64,
+}
+
+impl CostBreakdown {
+    /// The full cost `Σᵢ (T_I(i) + kernelᵢ + T_O(i) + σ)`.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.transfer_in + self.kernel + self.transfer_out + self.sync
+    }
+
+    /// Total transfer cost `Σᵢ (T_I(i) + T_O(i))`.
+    #[inline]
+    pub fn transfer(&self) -> f64 {
+        self.transfer_in + self.transfer_out
+    }
+
+    /// Predicted proportion of cost spent on data transfer — the `ΔT`
+    /// series of the paper's Figure 6.  Zero-cost algorithms yield 0.
+    pub fn transfer_proportion(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.transfer() / t
+        }
+    }
+
+    /// The cost with transfer terms removed — what the SWGPU model sees.
+    #[inline]
+    pub fn without_transfer(&self) -> f64 {
+        self.kernel + self.sync
+    }
+}
+
+/// Inward transfer cost for one round, `T_I(i) = Îᵢ·α + Iᵢ·β`.
+#[inline]
+pub fn transfer_in_cost(params: &CostParams, round: &RoundMetrics) -> f64 {
+    round.inward_txns as f64 * params.alpha + round.inward_words as f64 * params.beta
+}
+
+/// Outward transfer cost for one round, `T_O(i) = Ôᵢ·α + Oᵢ·β`.
+#[inline]
+pub fn transfer_out_cost(params: &CostParams, round: &RoundMetrics) -> f64 {
+    round.outward_txns as f64 * params.alpha + round.outward_words as f64 * params.beta
+}
+
+/// Evaluates `model` for `metrics` on `machine` with GPU `spec`.
+///
+/// Fails if the parameters are invalid, the metrics do not fit the machine
+/// (global/shared limits — the paper's "cannot be run" rule), or a round's
+/// blocks exceed what the GPU can ever hold (`ℓ = 0`).
+pub fn evaluate(
+    model: CostModel,
+    params: &CostParams,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    metrics: &AlgoMetrics,
+) -> Result<CostBreakdown, ModelError> {
+    params.validate()?;
+    spec.validate()?;
+    metrics.check_fits(machine)?;
+
+    let mut out = CostBreakdown::default();
+    for round in &metrics.rounds {
+        let wave = match model {
+            CostModel::PerfectGpu => 1,
+            CostModel::GpuCost | CostModel::Swgpu | CostModel::KernelOnly => {
+                wave_factor(machine, spec, round.blocks_launched, round.shared_words)
+                    .ok_or(ModelError::SharedMemoryExceeded {
+                        required: round.shared_words,
+                        available: machine.m,
+                    })?
+                    // An empty launch still runs its (empty) kernel once.
+                    .max(u64::from(round.time > 0))
+            }
+        };
+        let kernel =
+            (wave as f64 * round.time as f64 + params.lambda * round.io_blocks as f64)
+                / params.gamma;
+        out.kernel += kernel;
+        match model {
+            CostModel::PerfectGpu | CostModel::GpuCost => {
+                out.transfer_in += transfer_in_cost(params, round);
+                out.transfer_out += transfer_out_cost(params, round);
+                out.sync += params.sigma;
+            }
+            CostModel::Swgpu => {
+                out.sync += params.sigma;
+            }
+            CostModel::KernelOnly => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: the ATGPU GPU-cost total (Expression 2) — the series the
+/// paper plots as "ATGPU".
+pub fn atgpu_cost(
+    params: &CostParams,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    metrics: &AlgoMetrics,
+) -> Result<f64, ModelError> {
+    Ok(evaluate(CostModel::GpuCost, params, machine, spec, metrics)?.total())
+}
+
+/// Convenience: the SWGPU baseline total — the series the paper plots as
+/// "SWGPU" (GPU-cost minus data transfer).
+pub fn swgpu_cost(
+    params: &CostParams,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    metrics: &AlgoMetrics,
+) -> Result<f64, ModelError> {
+    Ok(evaluate(CostModel::Swgpu, params, machine, spec, metrics)?.total())
+}
+
+/// Convenience: the perfect-GPU total (Expression 1).
+pub fn perfect_cost(
+    params: &CostParams,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    metrics: &AlgoMetrics,
+) -> Result<f64, ModelError> {
+    Ok(evaluate(CostModel::PerfectGpu, params, machine, spec, metrics)?.total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> AtgpuMachine {
+        AtgpuMachine::new(1 << 20, 32, 12_288, 1 << 26).unwrap()
+    }
+
+    fn spec() -> GpuSpec {
+        GpuSpec::gtx650_like()
+    }
+
+    fn simple_round() -> RoundMetrics {
+        RoundMetrics {
+            time: 13,
+            io_blocks: 96,
+            global_words: 3 * 1024,
+            shared_words: 96,
+            inward_words: 2048,
+            inward_txns: 2,
+            outward_words: 1024,
+            outward_txns: 1,
+            blocks_launched: 32,
+        }
+    }
+
+    fn unit_params() -> CostParams {
+        CostParams {
+            gamma: 1.0,
+            lambda: 10.0,
+            sigma: 5.0,
+            alpha: 2.0,
+            beta: 0.5,
+        }
+    }
+
+    #[test]
+    fn perfect_cost_matches_hand_calculation() {
+        let m = AlgoMetrics::new(vec![simple_round()]);
+        let c = evaluate(CostModel::PerfectGpu, &unit_params(), &machine(), &spec(), &m).unwrap();
+        // T_I = 2*2 + 2048*0.5 = 1028; kernel = (13 + 10*96)/1 = 973;
+        // T_O = 1*2 + 1024*0.5 = 514; sigma = 5.
+        assert_eq!(c.transfer_in, 1028.0);
+        assert_eq!(c.kernel, 973.0);
+        assert_eq!(c.transfer_out, 514.0);
+        assert_eq!(c.sync, 5.0);
+        assert_eq!(c.total(), 1028.0 + 973.0 + 514.0 + 5.0);
+    }
+
+    #[test]
+    fn gpu_cost_applies_wave_factor() {
+        let m = AlgoMetrics::new(vec![simple_round()]);
+        // k' * l = 2 * 16 = 32 (96-word blocks are H-capped); k = 32 -> 1 wave.
+        let c1 = evaluate(CostModel::GpuCost, &unit_params(), &machine(), &spec(), &m).unwrap();
+        assert_eq!(c1.kernel, 973.0);
+        // k = 33 -> 2 waves -> kernel = (2*13 + 960) = 986.
+        let mut r = simple_round();
+        r.blocks_launched = 33;
+        let m2 = AlgoMetrics::new(vec![r]);
+        let c2 = evaluate(CostModel::GpuCost, &unit_params(), &machine(), &spec(), &m2).unwrap();
+        assert_eq!(c2.kernel, 986.0);
+    }
+
+    #[test]
+    fn swgpu_is_gpu_cost_without_transfer() {
+        let m = AlgoMetrics::new(vec![simple_round(), simple_round()]);
+        let g = evaluate(CostModel::GpuCost, &unit_params(), &machine(), &spec(), &m).unwrap();
+        let s = evaluate(CostModel::Swgpu, &unit_params(), &machine(), &spec(), &m).unwrap();
+        assert_eq!(s.transfer_in, 0.0);
+        assert_eq!(s.transfer_out, 0.0);
+        assert_eq!(s.kernel, g.kernel);
+        assert_eq!(s.sync, g.sync);
+        assert!((g.total() - s.total() - g.transfer()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_only_drops_sync_too() {
+        let m = AlgoMetrics::new(vec![simple_round()]);
+        let k = evaluate(CostModel::KernelOnly, &unit_params(), &machine(), &spec(), &m).unwrap();
+        assert_eq!(k.sync, 0.0);
+        assert_eq!(k.transfer(), 0.0);
+        assert!(k.kernel > 0.0);
+    }
+
+    #[test]
+    fn gpu_cost_at_least_perfect_cost() {
+        let mut r = simple_round();
+        r.blocks_launched = 1000;
+        let m = AlgoMetrics::new(vec![r]);
+        let p = perfect_cost(&unit_params(), &machine(), &spec(), &m).unwrap();
+        let g = atgpu_cost(&unit_params(), &machine(), &spec(), &m).unwrap();
+        assert!(g >= p);
+    }
+
+    #[test]
+    fn transfer_proportion_between_zero_and_one() {
+        let m = AlgoMetrics::new(vec![simple_round()]);
+        let c = evaluate(CostModel::GpuCost, &unit_params(), &machine(), &spec(), &m).unwrap();
+        let d = c.transfer_proportion();
+        assert!((0.0..=1.0).contains(&d), "delta = {d}");
+    }
+
+    #[test]
+    fn transfer_proportion_of_zero_cost_is_zero() {
+        assert_eq!(CostBreakdown::default().transfer_proportion(), 0.0);
+    }
+
+    #[test]
+    fn vecadd_closed_form_shape() {
+        // The paper's vector-addition cost: 3α + 3nβ + (13 + λ·3k)/γ + σ.
+        let n: u64 = 1 << 20;
+        let b = 32;
+        let k = n / b;
+        let r = RoundMetrics {
+            time: 13,
+            io_blocks: 3 * k,
+            global_words: 3 * n,
+            shared_words: 3 * b,
+            inward_words: 2 * n,
+            inward_txns: 2,
+            outward_words: n,
+            outward_txns: 1,
+            blocks_launched: k,
+        };
+        let p = unit_params();
+        let m = AlgoMetrics::new(vec![r]);
+        let c = perfect_cost(&p, &machine(), &spec(), &m).unwrap();
+        let expect = 3.0 * p.alpha
+            + 3.0 * n as f64 * p.beta
+            + (13.0 + p.lambda * 3.0 * k as f64) / p.gamma
+            + p.sigma;
+        assert!((c - expect).abs() < 1e-9, "c={c} expect={expect}");
+    }
+
+    #[test]
+    fn oversized_global_rejected() {
+        let mut r = simple_round();
+        r.global_words = machine().g + 1;
+        let m = AlgoMetrics::new(vec![r]);
+        assert!(matches!(
+            atgpu_cost(&unit_params(), &machine(), &spec(), &m),
+            Err(ModelError::GlobalMemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_shared_rejected() {
+        let mut r = simple_round();
+        r.shared_words = machine().m + 1;
+        let m = AlgoMetrics::new(vec![r]);
+        assert!(matches!(
+            atgpu_cost(&unit_params(), &machine(), &spec(), &m),
+            Err(ModelError::SharedMemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = unit_params();
+        p.gamma = 0.0;
+        let m = AlgoMetrics::new(vec![simple_round()]);
+        assert!(atgpu_cost(&p, &machine(), &spec(), &m).is_err());
+    }
+
+    #[test]
+    fn cost_monotone_in_lambda() {
+        let m = AlgoMetrics::new(vec![simple_round()]);
+        let mut p = unit_params();
+        let c1 = atgpu_cost(&p, &machine(), &spec(), &m).unwrap();
+        p.lambda *= 2.0;
+        let c2 = atgpu_cost(&p, &machine(), &spec(), &m).unwrap();
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn cost_monotone_in_beta() {
+        let m = AlgoMetrics::new(vec![simple_round()]);
+        let mut p = unit_params();
+        let c1 = atgpu_cost(&p, &machine(), &spec(), &m).unwrap();
+        p.beta *= 3.0;
+        let c2 = atgpu_cost(&p, &machine(), &spec(), &m).unwrap();
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn multi_round_sync_scales_with_r() {
+        let rounds = vec![simple_round(); 5];
+        let m = AlgoMetrics::new(rounds);
+        let c = evaluate(CostModel::GpuCost, &unit_params(), &machine(), &spec(), &m).unwrap();
+        assert_eq!(c.sync, 5.0 * unit_params().sigma);
+    }
+}

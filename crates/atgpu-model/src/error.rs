@@ -1,0 +1,113 @@
+//! Error type shared by the model crate.
+
+use std::fmt;
+
+/// Errors raised when constructing machines or validating algorithm metrics
+/// against a machine's resource limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A machine parameter is invalid (zero, or `p` not divisible by `b`).
+    InvalidMachine {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An algorithm uses more global memory than the machine provides.
+    ///
+    /// The paper: “If this is greater than `G`, the algorithm cannot be run
+    /// on our model.”
+    GlobalMemoryExceeded {
+        /// Words the algorithm needs in global memory.
+        required: u64,
+        /// Words available (`G`).
+        available: u64,
+    },
+    /// An algorithm uses more shared memory per MP than the machine provides.
+    ///
+    /// The paper: “If this is greater than `M`, the algorithm cannot be run
+    /// on our model.”
+    SharedMemoryExceeded {
+        /// Words of shared memory the algorithm needs per multiprocessor.
+        required: u64,
+        /// Words available per multiprocessor (`M`).
+        available: u64,
+    },
+    /// A cost parameter is invalid (non-positive rate, negative cost, NaN).
+    InvalidParams {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Metrics are structurally invalid (e.g. no rounds).
+    InvalidMetrics {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidMachine { reason } => {
+                write!(f, "invalid ATGPU machine: {reason}")
+            }
+            ModelError::GlobalMemoryExceeded {
+                required,
+                available,
+            } => write!(
+                f,
+                "algorithm needs {required} words of global memory but the \
+                 machine has G = {available}; the algorithm cannot run on \
+                 this ATGPU instance"
+            ),
+            ModelError::SharedMemoryExceeded {
+                required,
+                available,
+            } => write!(
+                f,
+                "algorithm needs {required} words of shared memory per MP \
+                 but the machine has M = {available}; the algorithm cannot \
+                 run on this ATGPU instance"
+            ),
+            ModelError::InvalidParams { reason } => {
+                write!(f, "invalid cost parameters: {reason}")
+            }
+            ModelError::InvalidMetrics { reason } => {
+                write!(f, "invalid algorithm metrics: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_limits() {
+        let e = ModelError::GlobalMemoryExceeded {
+            required: 10,
+            available: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains("G = 5"));
+    }
+
+    #[test]
+    fn display_shared() {
+        let e = ModelError::SharedMemoryExceeded {
+            required: 100,
+            available: 64,
+        };
+        assert!(e.to_string().contains("M = 64"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::InvalidMachine {
+            reason: "b = 0".into(),
+        });
+        assert!(e.to_string().contains("b = 0"));
+    }
+}

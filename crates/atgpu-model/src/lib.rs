@@ -1,0 +1,58 @@
+//! # ATGPU — the Abstract Transferring GPU model
+//!
+//! This crate implements the analytical model introduced by Carroll & Wong in
+//! *“An Improved Abstract GPU Model with Data Transfer”* (ICPP 2017
+//! Workshops).  ATGPU extends the earlier SWGPU (Sitchinava & Weichert) and
+//! AGPU (Koike & Sadakane) abstract GPU models with:
+//!
+//! * a **bounded global memory** of `G` words (prior models assumed it
+//!   unlimited), and
+//! * **host↔device data transfer** as an integral part of the model, costed
+//!   with the affine transaction model of Boyer et al.
+//!   (`T(i) = Î·α + I·β`).
+//!
+//! The crate provides:
+//!
+//! * [`machine::AtgpuMachine`] — the abstract machine `ATGPU(p, b, M, G)`;
+//! * [`metrics::RoundMetrics`] / [`metrics::AlgoMetrics`] — the per-round
+//!   quantities the model tracks (`tᵢ`, `qᵢ`, space, `Iᵢ`, `Oᵢ`, `Îᵢ`, `Ôᵢ`);
+//! * [`params::CostParams`] — the cost constants `γ, λ, σ, α, β`;
+//! * [`params::GpuSpec`] — a concrete GPU (`k′` multiprocessors, hardware
+//!   block-residency limit `H`, clock, bandwidths) used by the GPU-cost
+//!   function and by the simulator;
+//! * [`cost`] — the perfect-GPU cost (paper Expression 1), the GPU-cost with
+//!   occupancy (Expression 2), and the SWGPU baseline cost (the same
+//!   function with the transfer terms removed, exactly as the paper's
+//!   evaluation constructs it);
+//! * [`occupancy`](mod@occupancy) — the block-residency function `ℓ = min(⌊M/m⌋, H)`;
+//! * [`baselines`] — AGPU-style asymptotic summaries and the classical
+//!   models (PRAM, BSP, BSPRAM, PEM) discussed in the paper's related work;
+//! * [`comparison`] — the feature matrix of Table I, generated from data;
+//! * [`asymptotics`] — a tiny symbolic big-O term language used to state
+//!   and numerically evaluate the paper's closed-form complexities.
+//!
+//! The companion crates build the rest of the system: `atgpu-ir` (kernel
+//! pseudocode/IR), `atgpu-analyze` (derives [`metrics::AlgoMetrics`] from
+//! IR), `atgpu-sim` (the simulated “real GPU” standing in for the paper's
+//! GTX 650), `atgpu-algos` (the evaluated workloads) and `atgpu-exp`
+//! (regenerates every table and figure).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod asymptotics;
+pub mod baselines;
+pub mod comparison;
+pub mod cost;
+pub mod error;
+pub mod machine;
+pub mod metrics;
+pub mod occupancy;
+pub mod params;
+
+pub use cost::CostBreakdown;
+pub use error::ModelError;
+pub use machine::AtgpuMachine;
+pub use metrics::{AlgoMetrics, RoundMetrics};
+pub use occupancy::occupancy;
+pub use params::{CostParams, GpuSpec};

@@ -1,0 +1,261 @@
+//! Per-round and whole-algorithm metrics (paper §III).
+//!
+//! The model analyses an algorithm through these quantities:
+//!
+//! * **number of rounds `R`** — data transfer and synchronisation are
+//!   expensive, so the model tracks (and algorithm designers minimise) `R`;
+//! * **time `tᵢ`** — the maximum number of operations across all MPs in
+//!   round `i`;
+//! * **I/O `qᵢ`** — the total number of global memory blocks accessed in
+//!   the round by all MPs;
+//! * **global / shared memory space** — peak words used (algorithms whose
+//!   peaks exceed `G` or `M` *cannot run* on the machine);
+//! * **data transfer** — `Iᵢ` (`Oᵢ`) words moved host→device
+//!   (device→host) at the start (end) of the round, in `Îᵢ` (`Ôᵢ`)
+//!   transactions.  This is the paper's addition to the metric set.
+
+use crate::error::ModelError;
+use crate::machine::AtgpuMachine;
+
+/// Metrics for a single round of an ATGPU algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundMetrics {
+    /// `tᵢ`: maximum number of lockstep operations executed by any MP.
+    pub time: u64,
+    /// `qᵢ`: total global-memory block transactions by all MPs.
+    pub io_blocks: u64,
+    /// Peak global-memory words used during the round.
+    pub global_words: u64,
+    /// Peak shared-memory words used by any MP during the round (`m`, the
+    /// per-block footprint that determines occupancy).
+    pub shared_words: u64,
+    /// `Iᵢ`: words transferred host→device at the start of the round.
+    pub inward_words: u64,
+    /// `Îᵢ`: number of host→device transfer transactions.
+    pub inward_txns: u64,
+    /// `Oᵢ`: words transferred device→host at the end of the round.
+    pub outward_words: u64,
+    /// `Ôᵢ`: number of device→host transfer transactions.
+    pub outward_txns: u64,
+    /// `k`: thread blocks launched this round (the perfect GPU runs each on
+    /// its own MP; the GPU-cost function folds them onto `k′` MPs).
+    pub blocks_launched: u64,
+}
+
+impl RoundMetrics {
+    /// Total words transferred either direction this round, `Iᵢ + Oᵢ`.
+    #[inline]
+    pub fn transfer_words(&self) -> u64 {
+        self.inward_words + self.outward_words
+    }
+
+    /// Total transfer transactions this round, `Îᵢ + Ôᵢ`.
+    #[inline]
+    pub fn transfer_txns(&self) -> u64 {
+        self.inward_txns + self.outward_txns
+    }
+
+    /// Structural sanity: a transfer with words needs at least one
+    /// transaction, and a transaction moves at least zero words (empty
+    /// transactions are permitted — they still pay `α`).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.inward_words > 0 && self.inward_txns == 0 {
+            return Err(ModelError::InvalidMetrics {
+                reason: format!(
+                    "round moves {} words inward in 0 transactions",
+                    self.inward_words
+                ),
+            });
+        }
+        if self.outward_words > 0 && self.outward_txns == 0 {
+            return Err(ModelError::InvalidMetrics {
+                reason: format!(
+                    "round moves {} words outward in 0 transactions",
+                    self.outward_words
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Metrics for a complete algorithm: one [`RoundMetrics`] per round.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AlgoMetrics {
+    /// Per-round metrics, in execution order.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl AlgoMetrics {
+    /// Creates metrics from per-round entries.
+    pub fn new(rounds: Vec<RoundMetrics>) -> Self {
+        Self { rounds }
+    }
+
+    /// `R`, the number of rounds.
+    #[inline]
+    pub fn num_rounds(&self) -> u64 {
+        self.rounds.len() as u64
+    }
+
+    /// Total words transferred across all rounds, `Σᵢ (Iᵢ + Oᵢ)` — the
+    /// paper's headline transfer measure.
+    pub fn total_transfer_words(&self) -> u64 {
+        self.rounds.iter().map(RoundMetrics::transfer_words).sum()
+    }
+
+    /// Total transfer transactions, `Σᵢ (Îᵢ + Ôᵢ)`.
+    pub fn total_transfer_txns(&self) -> u64 {
+        self.rounds.iter().map(RoundMetrics::transfer_txns).sum()
+    }
+
+    /// Total operations `Σ tᵢ`.
+    pub fn total_time_ops(&self) -> u64 {
+        self.rounds.iter().map(|r| r.time).sum()
+    }
+
+    /// Total I/O block transactions `Σ qᵢ`.
+    pub fn total_io_blocks(&self) -> u64 {
+        self.rounds.iter().map(|r| r.io_blocks).sum()
+    }
+
+    /// Peak global-memory words over all rounds ("if there is difference
+    /// between rounds, then the largest value is taken").
+    pub fn peak_global_words(&self) -> u64 {
+        self.rounds.iter().map(|r| r.global_words).max().unwrap_or(0)
+    }
+
+    /// Peak shared-memory words over all rounds.
+    pub fn peak_shared_words(&self) -> u64 {
+        self.rounds.iter().map(|r| r.shared_words).max().unwrap_or(0)
+    }
+
+    /// Checks the algorithm can run on `machine`: the paper's rule that an
+    /// algorithm whose peak global (shared) usage exceeds `G` (`M`) cannot
+    /// be run on the model, plus per-round structural validity.
+    pub fn check_fits(&self, machine: &AtgpuMachine) -> Result<(), ModelError> {
+        if self.rounds.is_empty() {
+            return Err(ModelError::InvalidMetrics {
+                reason: "algorithm has no rounds".into(),
+            });
+        }
+        for r in &self.rounds {
+            r.validate()?;
+        }
+        let g = self.peak_global_words();
+        if g > machine.g {
+            return Err(ModelError::GlobalMemoryExceeded {
+                required: g,
+                available: machine.g,
+            });
+        }
+        let m = self.peak_shared_words();
+        if m > machine.m {
+            return Err(ModelError::SharedMemoryExceeded {
+                required: m,
+                available: machine.m,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(time: u64, io: u64) -> RoundMetrics {
+        RoundMetrics {
+            time,
+            io_blocks: io,
+            global_words: 100,
+            shared_words: 32,
+            inward_words: 10,
+            inward_txns: 1,
+            outward_words: 5,
+            outward_txns: 1,
+            blocks_launched: 4,
+        }
+    }
+
+    #[test]
+    fn transfer_totals_sum_rounds() {
+        let m = AlgoMetrics::new(vec![round(1, 1), round(2, 2)]);
+        assert_eq!(m.total_transfer_words(), 30);
+        assert_eq!(m.total_transfer_txns(), 4);
+        assert_eq!(m.num_rounds(), 2);
+    }
+
+    #[test]
+    fn totals_and_peaks() {
+        let mut r1 = round(5, 7);
+        r1.global_words = 50;
+        r1.shared_words = 96;
+        let r2 = round(3, 9);
+        let m = AlgoMetrics::new(vec![r1, r2]);
+        assert_eq!(m.total_time_ops(), 8);
+        assert_eq!(m.total_io_blocks(), 16);
+        assert_eq!(m.peak_global_words(), 100);
+        assert_eq!(m.peak_shared_words(), 96);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_peaks() {
+        let m = AlgoMetrics::default();
+        assert_eq!(m.peak_global_words(), 0);
+        assert_eq!(m.peak_shared_words(), 0);
+    }
+
+    #[test]
+    fn fits_small_machine() {
+        let mach = AtgpuMachine::new(64, 32, 96, 256).unwrap();
+        let m = AlgoMetrics::new(vec![round(1, 1)]);
+        m.check_fits(&mach).unwrap();
+    }
+
+    #[test]
+    fn rejects_global_overflow() {
+        let mach = AtgpuMachine::new(64, 32, 96, 64).unwrap();
+        let m = AlgoMetrics::new(vec![round(1, 1)]); // needs 100 > 64
+        assert!(matches!(
+            m.check_fits(&mach),
+            Err(ModelError::GlobalMemoryExceeded { required: 100, available: 64 })
+        ));
+    }
+
+    #[test]
+    fn rejects_shared_overflow() {
+        let mach = AtgpuMachine::new(64, 32, 32, 4096).unwrap();
+        let mut r = round(1, 1);
+        r.shared_words = 33;
+        let m = AlgoMetrics::new(vec![r]);
+        assert!(matches!(
+            m.check_fits(&mach),
+            Err(ModelError::SharedMemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_round_list() {
+        let mach = AtgpuMachine::new(64, 32, 96, 256).unwrap();
+        assert!(AlgoMetrics::default().check_fits(&mach).is_err());
+    }
+
+    #[test]
+    fn rejects_words_without_txns() {
+        let mut r = round(1, 1);
+        r.inward_txns = 0;
+        assert!(r.validate().is_err());
+        let mut r = round(1, 1);
+        r.outward_txns = 0;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn zero_word_transactions_allowed() {
+        let mut r = round(1, 1);
+        r.inward_words = 0;
+        r.outward_words = 0;
+        r.validate().unwrap(); // empty transactions still pay alpha; legal
+    }
+}

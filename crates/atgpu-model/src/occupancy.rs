@@ -1,0 +1,109 @@
+//! Occupancy: how many thread blocks a physical multiprocessor holds.
+//!
+//! Paper §III (GPU-Cost Function): "Each streaming multiprocessor on a GPU
+//! can accommodate `ℓ = min(⌊M/m⌋, H)` blocks concurrently, where `H`
+//! represents a hardware imposed limit."  A higher `ℓ` enlarges the
+//! instruction pool and therefore the latency-hiding opportunity.
+
+use crate::machine::AtgpuMachine;
+use crate::params::GpuSpec;
+
+/// Blocks resident per MP, `ℓ = min(⌊M/m⌋, H)`.
+///
+/// `m_used` is the shared-memory footprint (words) of one thread block.  A
+/// block that declares no shared memory still occupies a residency slot, so
+/// `m_used = 0` yields `H`.  Returns at least 1 when the block fits at all
+/// (`m_used ≤ M`); returns 0 when the block cannot fit, meaning the kernel
+/// cannot run.
+pub fn occupancy(machine: &AtgpuMachine, m_used: u64, h_limit: u64) -> u64 {
+    if m_used > machine.m {
+        return 0;
+    }
+    let by_shared = machine.m.checked_div(m_used).unwrap_or(h_limit);
+    by_shared.min(h_limit)
+}
+
+/// The wave factor `⌈k / (k′ℓ)⌉` of Expression (2): how many "waves" of
+/// thread blocks a `k′`-MP GPU needs to execute `k` blocks when each MP
+/// holds `ℓ` blocks at once.
+///
+/// Returns `None` when `ℓ = 0` (the block does not fit in shared memory, so
+/// the kernel cannot run on the device at all).  `k = 0` (an empty launch)
+/// costs zero waves.
+pub fn wave_factor(machine: &AtgpuMachine, spec: &GpuSpec, k: u64, m_used: u64) -> Option<u64> {
+    let ell = occupancy(machine, m_used, spec.h_limit);
+    if ell == 0 {
+        return None;
+    }
+    Some(k.div_ceil(spec.k_prime * ell))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> AtgpuMachine {
+        AtgpuMachine::new(2048, 32, 12_288, 1 << 20).unwrap()
+    }
+
+    fn spec() -> GpuSpec {
+        GpuSpec::gtx650_like() // k' = 2, H = 16
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        // m = 12288; blocks of 1024 words -> floor(12) but H = 16 -> 12.
+        assert_eq!(occupancy(&machine(), 1024, 16), 12);
+    }
+
+    #[test]
+    fn hardware_limit_caps_occupancy() {
+        // blocks of 96 words -> floor(128) but H = 16 -> 16.
+        assert_eq!(occupancy(&machine(), 96, 16), 16);
+    }
+
+    #[test]
+    fn zero_shared_usage_gives_h() {
+        assert_eq!(occupancy(&machine(), 0, 16), 16);
+    }
+
+    #[test]
+    fn oversized_block_cannot_run() {
+        assert_eq!(occupancy(&machine(), 12_289, 16), 0);
+    }
+
+    #[test]
+    fn exact_fit_gives_one() {
+        assert_eq!(occupancy(&machine(), 12_288, 16), 1);
+    }
+
+    #[test]
+    fn wave_factor_rounds_up() {
+        // k' * l = 2 * 16 = 32 concurrent blocks.
+        assert_eq!(wave_factor(&machine(), &spec(), 1, 96), Some(1));
+        assert_eq!(wave_factor(&machine(), &spec(), 32, 96), Some(1));
+        assert_eq!(wave_factor(&machine(), &spec(), 33, 96), Some(2));
+        assert_eq!(wave_factor(&machine(), &spec(), 320, 96), Some(10));
+    }
+
+    #[test]
+    fn wave_factor_zero_blocks() {
+        assert_eq!(wave_factor(&machine(), &spec(), 0, 96), Some(0));
+    }
+
+    #[test]
+    fn wave_factor_none_when_block_too_big() {
+        assert_eq!(wave_factor(&machine(), &spec(), 10, 20_000), None);
+    }
+
+    #[test]
+    fn more_shared_usage_never_increases_occupancy() {
+        let m = machine();
+        let mut prev = occupancy(&m, 1, 16);
+        for used in 2..200 {
+            let cur = occupancy(&m, used, 16);
+            assert!(cur <= prev, "occupancy increased at m_used={used}");
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Model-crate property tests: cost-function algebra, occupancy laws and
+//! Table I integrity.
+
+use atgpu_model::comparison::{comparison_table, render_markdown, TABLE1_ITEMS};
+use atgpu_model::cost::{evaluate, CostModel};
+use atgpu_model::{occupancy, AlgoMetrics, AtgpuMachine, GpuSpec, RoundMetrics};
+use proptest::prelude::*;
+
+fn machine() -> AtgpuMachine {
+    AtgpuMachine::new(1 << 16, 32, 12_288, 1 << 24).unwrap()
+}
+
+fn round(time: u64, io: u64, blocks: u64, inw: u64, outw: u64) -> RoundMetrics {
+    RoundMetrics {
+        time,
+        io_blocks: io,
+        global_words: 4096,
+        shared_words: 96,
+        inward_words: inw,
+        inward_txns: u64::from(inw > 0),
+        outward_words: outw,
+        outward_txns: u64::from(outw > 0),
+        blocks_launched: blocks,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cost is additive over rounds: evaluating a two-round program equals
+    /// the sum of evaluating each round separately (every cost model).
+    #[test]
+    fn cost_additive_over_rounds(
+        t1 in 0u64..5000, q1 in 0u64..5000, k1 in 1u64..10_000,
+        t2 in 0u64..5000, q2 in 0u64..5000, k2 in 1u64..10_000,
+        inw in 0u64..100_000, outw in 0u64..100_000,
+    ) {
+        let m = machine();
+        let s = GpuSpec::gtx650_like();
+        let p = s.derived_cost_params();
+        let r1 = round(t1, q1, k1, inw, 0);
+        let r2 = round(t2, q2, k2, 0, outw);
+        for model in [CostModel::PerfectGpu, CostModel::GpuCost, CostModel::Swgpu] {
+            let both = evaluate(model, &p, &m, &s,
+                &AlgoMetrics::new(vec![r1, r2])).unwrap().total();
+            let one = evaluate(model, &p, &m, &s,
+                &AlgoMetrics::new(vec![r1])).unwrap().total();
+            let two = evaluate(model, &p, &m, &s,
+                &AlgoMetrics::new(vec![r2])).unwrap().total();
+            prop_assert!((both - one - two).abs() < 1e-9 * both.max(1.0));
+        }
+    }
+
+    /// The four model views are totally ordered on any metrics:
+    /// kernel-only ≤ SWGPU ≤ GPU-cost, and perfect ≤ GPU-cost.
+    #[test]
+    fn cost_model_ordering(
+        t in 0u64..10_000, q in 0u64..10_000, k in 1u64..100_000,
+        inw in 0u64..1_000_000, outw in 0u64..1_000_000,
+    ) {
+        let m = machine();
+        let s = GpuSpec::gtx650_like();
+        let p = s.derived_cost_params();
+        let metrics = AlgoMetrics::new(vec![round(t, q, k, inw, outw)]);
+        let kernel = evaluate(CostModel::KernelOnly, &p, &m, &s, &metrics).unwrap().total();
+        let swgpu = evaluate(CostModel::Swgpu, &p, &m, &s, &metrics).unwrap().total();
+        let gpu = evaluate(CostModel::GpuCost, &p, &m, &s, &metrics).unwrap().total();
+        let perfect = evaluate(CostModel::PerfectGpu, &p, &m, &s, &metrics).unwrap().total();
+        prop_assert!(kernel <= swgpu + 1e-12);
+        prop_assert!(swgpu <= gpu + 1e-12);
+        prop_assert!(perfect <= gpu + 1e-12);
+    }
+
+    /// Occupancy is antitone in shared usage and monotone in H; the wave
+    /// factor is monotone in k.
+    #[test]
+    fn occupancy_laws(m1 in 1u64..8000, m2 in 1u64..8000, h in 1u64..64) {
+        let m = machine();
+        let (lo, hi) = (m1.min(m2), m1.max(m2));
+        prop_assert!(occupancy(&m, lo, h) >= occupancy(&m, hi, h));
+        prop_assert!(occupancy(&m, m1, h) <= occupancy(&m, m1, h + 1));
+        prop_assert!(occupancy(&m, m1, h) <= h);
+    }
+
+    /// Scaling every metric count by c scales the cost's variable parts by
+    /// c when wave factors stay proportional (homogeneity sanity check on
+    /// the perfect-GPU cost with zero sigma/alpha).
+    #[test]
+    fn perfect_cost_homogeneous(t in 1u64..1000, q in 1u64..1000, c in 2u64..5) {
+        let m = machine();
+        let s = GpuSpec::gtx650_like();
+        let mut p = s.derived_cost_params();
+        p.sigma = 0.0;
+        p.alpha = 0.0;
+        let base = evaluate(CostModel::PerfectGpu, &p, &m, &s,
+            &AlgoMetrics::new(vec![round(t, q, 1, 100, 0)])).unwrap();
+        let scaled = evaluate(CostModel::PerfectGpu, &p, &m, &s,
+            &AlgoMetrics::new(vec![round(c * t, c * q, 1, c * 100, 0)])).unwrap();
+        prop_assert!((scaled.total() - c as f64 * base.total()).abs()
+            < 1e-9 * scaled.total().max(1.0));
+    }
+}
+
+#[test]
+fn table1_row_count_matches_items() {
+    let md = render_markdown(&comparison_table());
+    // Header + separator + one row per item.
+    assert_eq!(md.lines().count(), 2 + TABLE1_ITEMS.len());
+}
+
+#[test]
+fn exactly_three_gpu_models() {
+    let t = comparison_table();
+    assert_eq!(t.len(), 3);
+    assert!(t.iter().any(|m| m.citation.contains("this paper")));
+}

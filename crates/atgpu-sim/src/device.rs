@@ -1,0 +1,534 @@
+//! The whole device: `k′` multiprocessors, a block dispatch queue, and the
+//! shared memory controller.
+//!
+//! Two execution strategies (see [`crate::ExecMode`]):
+//!
+//! * **Sequential** — all MPs co-simulated in one event loop, always
+//!   stepping the MP with the earliest next event, against a *shared*
+//!   memory controller.  Global writes are applied immediately.  This is
+//!   the deterministic reference semantics.
+//! * **Parallel** — MPs are partitioned over OS threads (crossbeam scoped
+//!   threads); each MP gets a private controller with a `1/k′` bandwidth
+//!   share and blocks are assigned statically (`block i → MP i mod k′`).
+//!   Global writes are deferred to per-thread logs and applied in block
+//!   order after the launch, which keeps results deterministic and
+//!   race-free for well-formed kernels.  Optional race detection flags
+//!   any global word written by two different blocks.
+
+use crate::dram::DramController;
+use crate::error::SimError;
+use crate::gmem::GlobalMemory;
+use crate::mp::{Mp, MpStats};
+use crate::warp::{GmemAccess, WarpExec, WriteRec};
+use crate::ExecMode;
+use atgpu_ir::Kernel;
+use atgpu_model::{occupancy, AtgpuMachine, GpuSpec};
+
+/// Aggregated observations from one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Kernel duration in device cycles (time of the last block
+    /// retirement).
+    pub cycles: u64,
+    /// Lockstep instructions issued across all MPs.
+    pub instructions: u64,
+    /// Compute (ALU/move/predicate/sync) instructions issued.
+    pub compute_instructions: u64,
+    /// Shared-memory access instructions issued.
+    pub shared_accesses: u64,
+    /// Global-memory access instructions issued.
+    pub global_accesses: u64,
+    /// Coalesced global transactions.
+    pub global_txns: u64,
+    /// Extra issue cycles lost to bank conflicts.
+    pub bank_conflict_cycles: u64,
+    /// Cycles MPs idled waiting for memory.
+    pub stall_cycles: u64,
+    /// Cycles requests queued behind the memory pipe.
+    pub dram_queue_cycles: u64,
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Residency `ℓ` used for the launch.
+    pub occupancy: u64,
+}
+
+impl KernelStats {
+    /// Fraction of device issue capacity used: instructions issued per
+    /// MP-cycle (1.0 = every MP issued every cycle; low values mean
+    /// exposed memory latency).
+    pub fn issue_utilization(&self, k_prime: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / (self.cycles as f64 * k_prime.max(1) as f64)
+    }
+
+    /// Instruction mix as (compute, shared, global) fractions.
+    pub fn instruction_mix(&self) -> (f64, f64, f64) {
+        let t = self.instructions.max(1) as f64;
+        (
+            self.compute_instructions as f64 / t,
+            self.shared_accesses as f64 / t,
+            self.global_accesses as f64 / t,
+        )
+    }
+
+    fn fold_mp(&mut self, s: &MpStats) {
+        self.instructions += s.instructions;
+        self.compute_instructions += s.compute_instructions;
+        self.shared_accesses += s.shared_accesses;
+        self.global_accesses += s.global_accesses;
+        self.global_txns += s.global_txns;
+        self.bank_conflict_cycles += s.bank_conflict_cycles;
+        self.stall_cycles += s.stall_cycles;
+        self.blocks += s.blocks_done;
+    }
+}
+
+/// The simulated GPU device.
+#[derive(Debug)]
+pub struct Device {
+    machine: AtgpuMachine,
+    spec: GpuSpec,
+}
+
+impl Device {
+    /// Creates a device; rejects machines wider than the 64-lane mask
+    /// limit.
+    pub fn new(machine: AtgpuMachine, spec: GpuSpec) -> Result<Self, SimError> {
+        if machine.b > 64 {
+            return Err(SimError::UnsupportedWidth { b: machine.b });
+        }
+        Ok(Self { machine, spec })
+    }
+
+    /// The machine this device implements.
+    pub fn machine(&self) -> &AtgpuMachine {
+        &self.machine
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Runs one kernel launch to completion.
+    pub fn run_kernel(
+        &self,
+        kernel: &Kernel,
+        gmem: &mut GlobalMemory,
+        mode: ExecMode,
+        detect_races: bool,
+    ) -> Result<KernelStats, SimError> {
+        let ell = occupancy(&self.machine, kernel.shared_words, self.spec.h_limit);
+        if ell == 0 {
+            return Err(SimError::SharedTooLarge {
+                kernel: kernel.name.clone(),
+                requested: kernel.shared_words,
+                available: self.machine.m,
+            });
+        }
+        let nregs = kernel.max_reg().map(|r| u32::from(r) + 1).unwrap_or(1);
+        let bases: Vec<u64> =
+            (0..gmem.buf_count()).map(|i| gmem.base(i as u32)).collect();
+
+        match mode {
+            ExecMode::Sequential => {
+                if detect_races {
+                    // Race detection requires deferred writes; timing is
+                    // unchanged (same event loop, shared controller).
+                    let mut log = Vec::new();
+                    let stats = self.run_sequential(
+                        kernel,
+                        gmem,
+                        &bases,
+                        ell,
+                        nregs,
+                        Some(&mut log),
+                    )?;
+                    apply_log(kernel, gmem, log, true)?;
+                    Ok(stats)
+                } else {
+                    self.run_sequential(kernel, gmem, &bases, ell, nregs, None)
+                }
+            }
+            ExecMode::Parallel { threads } => {
+                let (stats, log) =
+                    self.run_parallel(kernel, gmem, &bases, ell, nregs, threads.max(1))?;
+                apply_log(kernel, gmem, log, detect_races)?;
+                Ok(stats)
+            }
+        }
+    }
+
+    fn run_sequential(
+        &self,
+        kernel: &Kernel,
+        gmem: &mut GlobalMemory,
+        bases: &[u64],
+        ell: u64,
+        nregs: u32,
+        mut log: Option<&mut Vec<WriteRec>>,
+    ) -> Result<KernelStats, SimError> {
+        let k_prime = self.spec.k_prime as usize;
+        let b = self.machine.b as u32;
+        let mut dram = DramController::new(
+            self.spec.dram_issue_cycles,
+            self.spec.dram_latency_cycles,
+        );
+        let mut mps: Vec<Mp<'_>> = (0..k_prime).map(|_| Mp::new(ell)).collect();
+        let mut next_block = 0u64;
+        let total_blocks = kernel.blocks();
+
+        // Initial fill, round-robin across MPs.
+        'fill: for mp in &mut mps {
+            while mp.free_slots() > 0 {
+                if next_block >= total_blocks {
+                    break 'fill;
+                }
+                mp.admit(next_block, || WarpExec::new(kernel, bases, b, nregs));
+                next_block += 1;
+            }
+        }
+
+        loop {
+            // Pick the MP with the earliest next event (global time order).
+            let mut best: Option<(u64, usize)> = None;
+            for (i, mp) in mps.iter().enumerate() {
+                if let Some(t) = mp.next_event() {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let retired = if let Some(l) = log.as_deref_mut() {
+                let mut acc = GmemAccess::Logged { base: &*gmem, log: l };
+                mps[i].step(&mut acc, &mut dram)?
+            } else {
+                let mut acc = GmemAccess::Direct(&mut *gmem);
+                mps[i].step(&mut acc, &mut dram)?
+            };
+            if retired && next_block < total_blocks {
+                let mp = &mut mps[i];
+                mp.admit(next_block, || WarpExec::new(kernel, bases, b, nregs));
+                next_block += 1;
+            }
+        }
+
+        let mut stats = KernelStats {
+            cycles: mps.iter().map(|m| m.last_retire).max().unwrap_or(0),
+            dram_queue_cycles: dram.queue_cycles,
+            occupancy: ell,
+            ..KernelStats::default()
+        };
+        for mp in &mps {
+            stats.fold_mp(&mp.stats);
+        }
+        debug_assert_eq!(stats.blocks, total_blocks);
+        Ok(stats)
+    }
+
+    /// Parallel simulation: MPs distributed over `threads` workers, static
+    /// block assignment, per-MP bandwidth share, deferred writes.
+    fn run_parallel(
+        &self,
+        kernel: &Kernel,
+        gmem: &GlobalMemory,
+        bases: &[u64],
+        ell: u64,
+        nregs: u32,
+        threads: usize,
+    ) -> Result<(KernelStats, Vec<WriteRec>), SimError> {
+        let k_prime = self.spec.k_prime;
+        let b = self.machine.b as u32;
+        let total_blocks = kernel.blocks();
+        // Each MP gets a 1/k' share of memory bandwidth.
+        let issue = self.spec.dram_issue_cycles * k_prime;
+        let latency = self.spec.dram_latency_cycles;
+        let threads = threads.min(k_prime as usize).max(1);
+
+        // Simulate one MP with its statically assigned blocks.
+        type MpOutcome = Result<(MpStats, u64, u64, Vec<WriteRec>), SimError>;
+        let sim_mp = |mp_id: u64| -> MpOutcome {
+            let mut dram = DramController::new(issue, latency);
+            let mut mp = Mp::new(ell);
+            let mut log = Vec::new();
+            let mut blocks = (0..total_blocks).skip(mp_id as usize).step_by(k_prime as usize);
+            // Initial fill.
+            let mut pending = blocks.next();
+            while mp.free_slots() > 0 {
+                let Some(blk) = pending else { break };
+                mp.admit(blk, || WarpExec::new(kernel, bases, b, nregs));
+                pending = blocks.next();
+            }
+            while !mp.idle() {
+                let mut acc = GmemAccess::Logged { base: gmem, log: &mut log };
+                let retired = mp.step(&mut acc, &mut dram)?;
+                if retired {
+                    if let Some(blk) = pending {
+                        mp.admit(blk, || WarpExec::new(kernel, bases, b, nregs));
+                        pending = blocks.next();
+                    }
+                }
+            }
+            Ok((mp.stats, mp.last_retire, dram.queue_cycles, log))
+        };
+
+        // Partition MPs over worker threads.
+        let results: Vec<MpOutcome> =
+            if threads <= 1 {
+                (0..k_prime).map(sim_mp).collect()
+            } else {
+                let mut out: Vec<Option<Result<_, _>>> =
+                    (0..k_prime).map(|_| None).collect();
+                let chunks: Vec<Vec<u64>> = (0..threads)
+                    .map(|t| (0..k_prime).filter(|m| *m as usize % threads == t).collect())
+                    .collect();
+                crossbeam::thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for chunk in &chunks {
+                        let sim = &sim_mp;
+                        handles.push(s.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(|&m| (m, sim(m)))
+                                .collect::<Vec<_>>()
+                        }));
+                    }
+                    for h in handles {
+                        for (m, r) in h.join().expect("simulation thread panicked") {
+                            out[m as usize] = Some(r);
+                        }
+                    }
+                })
+                .expect("crossbeam scope");
+                out.into_iter().map(|o| o.expect("all MPs simulated")).collect()
+            };
+
+        let mut stats = KernelStats { occupancy: ell, ..KernelStats::default() };
+        let mut log = Vec::new();
+        for r in results {
+            let (mp_stats, last_retire, queue, mut l) = r?;
+            stats.fold_mp(&mp_stats);
+            stats.cycles = stats.cycles.max(last_retire);
+            stats.dram_queue_cycles += queue;
+            log.append(&mut l);
+        }
+        debug_assert_eq!(stats.blocks, total_blocks);
+        Ok((stats, log))
+    }
+}
+
+/// Applies a deferred write log in block order (deterministic last-writer
+/// rule) and optionally detects cross-block races.
+fn apply_log(
+    kernel: &Kernel,
+    gmem: &mut GlobalMemory,
+    mut log: Vec<WriteRec>,
+    detect_races: bool,
+) -> Result<(), SimError> {
+    if detect_races {
+        let mut addrs: Vec<(u64, u64)> = log.iter().map(|w| (w.addr, w.block)).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        for pair in addrs.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(SimError::RaceDetected {
+                    kernel: kernel.name.clone(),
+                    addr: pair[0].0,
+                });
+            }
+        }
+    }
+    // Stable sort preserves per-block program order (each block's writes
+    // come from a single thread in order).
+    log.sort_by_key(|w| w.block);
+    for w in log {
+        gmem.write(w.addr as i64, w.val);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgpu_ir::{AddrExpr, AluOp, DBuf, KernelBuilder, Operand};
+
+    fn machine() -> AtgpuMachine {
+        AtgpuMachine::new(1 << 12, 4, 64, 1 << 16).unwrap()
+    }
+
+    fn spec() -> GpuSpec {
+        GpuSpec { k_prime: 2, h_limit: 4, ..GpuSpec::gtx650_like() }
+    }
+
+    fn scale_kernel(blocks: u64) -> Kernel {
+        // c[i*4 + j] = a[i*4 + j] * 3
+        let mut kb = KernelBuilder::new("scale", blocks, 8);
+        let g = AddrExpr::block() * 4 + AddrExpr::lane();
+        kb.glb_to_shr(AddrExpr::lane(), DBuf(0), g.clone());
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.alu(AluOp::Mul, 0, Operand::Reg(0), Operand::Imm(3));
+        kb.st_shr(AddrExpr::lane() + 4, Operand::Reg(0));
+        kb.shr_to_glb(DBuf(1), g, AddrExpr::lane() + 4);
+        kb.build()
+    }
+
+    fn fresh_gmem(n: u64) -> GlobalMemory {
+        let mut g = GlobalMemory::new(vec![0, n], 2 * n, 4, 1 << 16).unwrap();
+        for i in 0..n {
+            g.write(i as i64, i as i64);
+        }
+        g
+    }
+
+    #[test]
+    fn sequential_run_computes_correctly() {
+        let n = 64u64;
+        let k = scale_kernel(n / 4);
+        let dev = Device::new(machine(), spec()).unwrap();
+        let mut g = fresh_gmem(n);
+        let stats = dev.run_kernel(&k, &mut g, ExecMode::Sequential, false).unwrap();
+        for i in 0..n {
+            assert_eq!(g.read((n + i) as i64), Some(3 * i as i64));
+        }
+        assert_eq!(stats.blocks, n / 4);
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.global_txns, 2 * (n / 4)); // 1 load + 1 store per block
+    }
+
+    #[test]
+    fn parallel_matches_sequential_functionally() {
+        let n = 256u64;
+        let k = scale_kernel(n / 4);
+        let dev = Device::new(machine(), spec()).unwrap();
+        let mut g1 = fresh_gmem(n);
+        dev.run_kernel(&k, &mut g1, ExecMode::Sequential, false).unwrap();
+        let mut g2 = fresh_gmem(n);
+        dev.run_kernel(&k, &mut g2, ExecMode::Parallel { threads: 2 }, false).unwrap();
+        assert_eq!(g1.words(), g2.words());
+    }
+
+    #[test]
+    fn parallel_timing_close_to_sequential() {
+        let n = 1024u64;
+        let k = scale_kernel(n / 4);
+        let dev = Device::new(machine(), spec()).unwrap();
+        let mut g1 = fresh_gmem(n);
+        let s1 = dev.run_kernel(&k, &mut g1, ExecMode::Sequential, false).unwrap();
+        let mut g2 = fresh_gmem(n);
+        let s2 = dev
+            .run_kernel(&k, &mut g2, ExecMode::Parallel { threads: 2 }, false)
+            .unwrap();
+        assert_eq!(s1.blocks, s2.blocks);
+        assert_eq!(s1.global_txns, s2.global_txns);
+        let ratio = s2.cycles as f64 / s1.cycles as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "parallel/sequential cycle ratio {ratio} out of tolerance ({} vs {})",
+            s2.cycles,
+            s1.cycles
+        );
+    }
+
+    #[test]
+    fn oversized_shared_rejected() {
+        let mut kb = KernelBuilder::new("big", 1, 65);
+        kb.sync();
+        let k = kb.build();
+        let dev = Device::new(machine(), spec()).unwrap();
+        let mut g = fresh_gmem(16);
+        assert!(matches!(
+            dev.run_kernel(&k, &mut g, ExecMode::Sequential, false),
+            Err(SimError::SharedTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_machines_rejected() {
+        let m = AtgpuMachine::new(1 << 10, 128, 256, 1 << 16).unwrap();
+        assert!(matches!(
+            Device::new(m, spec()),
+            Err(SimError::UnsupportedWidth { b: 128 })
+        ));
+    }
+
+    #[test]
+    fn race_detection_flags_conflicting_blocks() {
+        // Every block writes word 0.
+        let mut kb = KernelBuilder::new("racy", 3, 4);
+        kb.st_shr(AddrExpr::lane(), Operand::Block);
+        kb.shr_to_glb(DBuf(0), AddrExpr::c(0), AddrExpr::c(0));
+        let k = kb.build();
+        let dev = Device::new(machine(), spec()).unwrap();
+        let mut g = fresh_gmem(16);
+        assert!(matches!(
+            dev.run_kernel(&k, &mut g, ExecMode::Sequential, true),
+            Err(SimError::RaceDetected { addr: 0, .. })
+        ));
+        // Without detection the launch completes (last block wins).
+        let mut g = fresh_gmem(16);
+        dev.run_kernel(&k, &mut g, ExecMode::Sequential, false).unwrap();
+        assert_eq!(g.read(0), Some(2));
+    }
+
+    #[test]
+    fn race_detection_passes_disjoint_writes() {
+        let k = scale_kernel(8);
+        let dev = Device::new(machine(), spec()).unwrap();
+        let mut g = fresh_gmem(32);
+        dev.run_kernel(&k, &mut g, ExecMode::Sequential, true).unwrap();
+    }
+
+    #[test]
+    fn instruction_mix_and_utilization() {
+        let n = 256u64;
+        let k = scale_kernel(n / 4);
+        let dev = Device::new(machine(), spec()).unwrap();
+        let mut g = fresh_gmem(n);
+        let stats = dev.run_kernel(&k, &mut g, ExecMode::Sequential, false).unwrap();
+        // Per block: 2 global (⇐), 2 shared (←), 1 ALU.
+        assert_eq!(stats.global_accesses, 2 * (n / 4));
+        assert_eq!(stats.shared_accesses, 2 * (n / 4));
+        assert_eq!(stats.compute_instructions, n / 4);
+        assert_eq!(
+            stats.instructions,
+            stats.compute_instructions + stats.shared_accesses + stats.global_accesses
+        );
+        let (c, s, gl) = stats.instruction_mix();
+        assert!((c + s + gl - 1.0).abs() < 1e-12);
+        let u = stats.issue_utilization(spec().k_prime);
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn occupancy_limits_residency() {
+        // Shared = 32 words, M = 64 -> at most 2 blocks per MP.
+        let mut kb = KernelBuilder::new("occ", 8, 32);
+        kb.st_shr(AddrExpr::lane(), Operand::Block);
+        let k = kb.build();
+        let dev = Device::new(machine(), spec()).unwrap();
+        let mut g = fresh_gmem(16);
+        let stats = dev.run_kernel(&k, &mut g, ExecMode::Sequential, false).unwrap();
+        assert_eq!(stats.occupancy, 2);
+    }
+
+    #[test]
+    fn more_mps_run_faster() {
+        let n = 4096u64;
+        let k = scale_kernel(n / 4);
+        let mut g1 = fresh_gmem(n);
+        let dev1 = Device::new(machine(), GpuSpec { k_prime: 1, ..spec() }).unwrap();
+        let s1 = dev1.run_kernel(&k, &mut g1, ExecMode::Sequential, false).unwrap();
+        let mut g4 = fresh_gmem(n);
+        let dev4 = Device::new(machine(), GpuSpec { k_prime: 4, ..spec() }).unwrap();
+        let s4 = dev4.run_kernel(&k, &mut g4, ExecMode::Sequential, false).unwrap();
+        assert!(
+            s4.cycles < s1.cycles,
+            "4 MPs ({}) should beat 1 MP ({})",
+            s4.cycles,
+            s1.cycles
+        );
+    }
+}

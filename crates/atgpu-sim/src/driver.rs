@@ -1,0 +1,404 @@
+//! Runs whole multi-round programs: the simulated counterpart of the
+//! paper's timed experiments.
+//!
+//! For each round the driver performs the inward `W` transfers, launches
+//! the kernel on the device, performs the outward `W` transfers and
+//! charges the synchronisation overhead — producing exactly the
+//! decomposition the paper measures: **Total** running time vs **Kernel**
+//! running time, with the transfer share `ΔE` in between.
+
+use crate::device::{Device, KernelStats};
+use crate::error::SimError;
+use crate::gmem::GlobalMemory;
+use crate::xfer::{TransferEngine, XferNoise};
+use crate::ExecMode;
+use atgpu_ir::{HostBufRole, HostStep, Program};
+use atgpu_model::{AtgpuMachine, GpuSpec};
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Execution strategy.
+    pub mode: ExecMode,
+    /// Transfer-time jitter (None = deterministic).
+    pub noise: Option<XferNoise>,
+    /// RNG seed for the jitter.
+    pub seed: u64,
+    /// Detect cross-block global write races.
+    pub detect_races: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self { mode: ExecMode::Sequential, noise: None, seed: 0, detect_races: false }
+    }
+}
+
+/// Host-side buffers for a program run.
+#[derive(Debug, Clone)]
+pub struct HostData {
+    bufs: Vec<Vec<i64>>,
+}
+
+impl HostData {
+    /// Builds host data for `program`, checking roles and sizes: one
+    /// entry per declared host buffer, inputs supplied by the caller
+    /// (in declaration order), outputs zero-filled.
+    pub fn new(program: &Program, inputs: Vec<Vec<i64>>) -> Result<Self, SimError> {
+        let mut bufs = Vec::with_capacity(program.host_bufs.len());
+        let mut supplied = inputs.into_iter();
+        for decl in &program.host_bufs {
+            match decl.role {
+                HostBufRole::Input => {
+                    let data = supplied.next().ok_or_else(|| SimError::HostDataMismatch {
+                        reason: format!("missing input for host buffer `{}`", decl.name),
+                    })?;
+                    if data.len() as u64 != decl.words {
+                        return Err(SimError::HostDataMismatch {
+                            reason: format!(
+                                "host buffer `{}` declared {} words, got {}",
+                                decl.name,
+                                decl.words,
+                                data.len()
+                            ),
+                        });
+                    }
+                    bufs.push(data);
+                }
+                HostBufRole::Output => bufs.push(vec![0; decl.words as usize]),
+            }
+        }
+        if supplied.next().is_some() {
+            return Err(SimError::HostDataMismatch {
+                reason: "more inputs supplied than declared input buffers".into(),
+            });
+        }
+        Ok(Self { bufs })
+    }
+
+    /// A buffer's contents.
+    pub fn buf(&self, id: atgpu_ir::HBuf) -> &[i64] {
+        &self.bufs[id.0 as usize]
+    }
+}
+
+/// Observed times for one round, in milliseconds (the simulated analogue
+/// of one timed iteration on the paper's testbed).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundObservation {
+    /// Inward transfer time.
+    pub xfer_in_ms: f64,
+    /// Kernel execution time.
+    pub kernel_ms: f64,
+    /// Outward transfer time.
+    pub xfer_out_ms: f64,
+    /// Synchronisation overhead.
+    pub sync_ms: f64,
+    /// Kernel statistics (cycles, transactions, conflicts, …).
+    pub kernel_stats: KernelStats,
+}
+
+impl RoundObservation {
+    /// Total round time.
+    pub fn total_ms(&self) -> f64 {
+        self.xfer_in_ms + self.kernel_ms + self.xfer_out_ms + self.sync_ms
+    }
+}
+
+/// The result of simulating a program.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-round observations.
+    pub rounds: Vec<RoundObservation>,
+    /// Final host buffers (outputs filled in).
+    pub host: HostData,
+}
+
+impl SimReport {
+    /// Total running time — the paper's "Total" series.
+    pub fn total_ms(&self) -> f64 {
+        self.rounds.iter().map(RoundObservation::total_ms).sum()
+    }
+
+    /// Kernel-only time — the paper's "Kernel" series.
+    pub fn kernel_ms(&self) -> f64 {
+        self.rounds.iter().map(|r| r.kernel_ms).sum()
+    }
+
+    /// Transfer time, both directions.
+    pub fn transfer_ms(&self) -> f64 {
+        self.rounds.iter().map(|r| r.xfer_in_ms + r.xfer_out_ms).sum()
+    }
+
+    /// Synchronisation time.
+    pub fn sync_ms(&self) -> f64 {
+        self.rounds.iter().map(|r| r.sync_ms).sum()
+    }
+
+    /// Observed proportion of time spent in transfer — the `ΔE` series of
+    /// the paper's Figure 6.
+    pub fn transfer_proportion(&self) -> f64 {
+        let t = self.total_ms();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.transfer_ms() / t
+        }
+    }
+
+    /// An output buffer's final contents.
+    pub fn output(&self, id: atgpu_ir::HBuf) -> &[i64] {
+        self.host.buf(id)
+    }
+}
+
+/// Simulates `program` on a device built from `machine` + `spec`.
+pub fn run_program(
+    program: &Program,
+    inputs: Vec<Vec<i64>>,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let device = Device::new(*machine, *spec)?;
+    let (bases, total_words) = program.buffer_layout(machine.b);
+    let mut gmem = GlobalMemory::new(bases, total_words, machine.b, machine.g)?;
+    let mut xfer = TransferEngine::new(spec, config.noise, config.seed);
+    let mut host = HostData::new(program, inputs)?;
+
+    let mut rounds = Vec::with_capacity(program.rounds.len());
+    for round in &program.rounds {
+        let mut obs = RoundObservation { sync_ms: spec.sync_ms, ..RoundObservation::default() };
+        for step in &round.steps {
+            match step {
+                HostStep::TransferIn { host: h, host_off, dev, dev_off, words } => {
+                    let src = &host.bufs[h.0 as usize]
+                        [*host_off as usize..(*host_off + *words) as usize];
+                    let dst = gmem.base(dev.0) + dev_off;
+                    obs.xfer_in_ms += xfer.to_device(&mut gmem, dst, src);
+                }
+                HostStep::Launch(kernel) => {
+                    let stats =
+                        device.run_kernel(kernel, &mut gmem, config.mode, config.detect_races)?;
+                    obs.kernel_stats = stats;
+                    obs.kernel_ms += stats.cycles as f64 / spec.clock_cycles_per_ms;
+                }
+                HostStep::TransferOut { dev, dev_off, host: h, host_off, words } => {
+                    let src = gmem.base(dev.0) + dev_off;
+                    let dst = &mut host.bufs[h.0 as usize]
+                        [*host_off as usize..(*host_off + *words) as usize];
+                    obs.xfer_out_ms += xfer.to_host(&gmem, src, dst);
+                }
+            }
+        }
+        rounds.push(obs);
+    }
+
+    Ok(SimReport { rounds, host })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, ProgramBuilder};
+
+    fn machine() -> AtgpuMachine {
+        AtgpuMachine::new(1 << 12, 4, 64, 1 << 16).unwrap()
+    }
+
+    fn spec() -> GpuSpec {
+        GpuSpec {
+            k_prime: 2,
+            h_limit: 4,
+            clock_cycles_per_ms: 1000.0,
+            xfer_alpha_ms: 0.1,
+            xfer_beta_ms_per_word: 0.001,
+            sync_ms: 0.05,
+            ..GpuSpec::gtx650_like()
+        }
+    }
+
+    /// c = a + b, n words, b = 4.
+    fn vecadd_program(n: u64) -> (Program, atgpu_ir::HBuf) {
+        let b = 4i64;
+        let mut pb = ProgramBuilder::new("vecadd");
+        let ha = pb.host_input("A", n);
+        let hb = pb.host_input("B", n);
+        let hc = pb.host_output("C", n);
+        let da = pb.device_alloc("a", n);
+        let db = pb.device_alloc("b", n);
+        let dc = pb.device_alloc("c", n);
+        let mut kb = KernelBuilder::new("vecadd_kernel", n / 4, 12);
+        let g = AddrExpr::block() * b + AddrExpr::lane();
+        kb.glb_to_shr(AddrExpr::lane(), da, g.clone());
+        kb.glb_to_shr(AddrExpr::lane() + b, db, g.clone());
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.ld_shr(1, AddrExpr::lane() + b);
+        kb.alu(AluOp::Add, 2, Operand::Reg(0), Operand::Reg(1));
+        kb.st_shr(AddrExpr::lane() + 2 * b, Operand::Reg(2));
+        kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * b);
+        pb.begin_round();
+        pb.transfer_in(ha, da, n);
+        pb.transfer_in(hb, db, n);
+        pb.launch(kb.build());
+        pb.transfer_out(dc, hc, n);
+        (pb.build().unwrap(), hc)
+    }
+
+    #[test]
+    fn vecadd_end_to_end() {
+        let n = 64u64;
+        let (p, hc) = vecadd_program(n);
+        let a: Vec<i64> = (0..n as i64).collect();
+        let b: Vec<i64> = (0..n as i64).map(|x| 10 * x).collect();
+        let report = run_program(
+            &p,
+            vec![a.clone(), b.clone()],
+            &machine(),
+            &spec(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let c = report.output(hc);
+        for i in 0..n as usize {
+            assert_eq!(c[i], a[i] + b[i]);
+        }
+        // Time decomposition is sane.
+        assert!(report.total_ms() > 0.0);
+        assert!(report.kernel_ms() > 0.0);
+        assert!(report.transfer_ms() > 0.0);
+        let sum = report.kernel_ms() + report.transfer_ms() + report.sync_ms();
+        assert!((report.total_ms() - sum).abs() < 1e-9);
+        // Transfer proportion within [0, 1].
+        let d = report.transfer_proportion();
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn transfer_costs_match_affine_model() {
+        let n = 64u64;
+        let (p, _) = vecadd_program(n);
+        let report = run_program(
+            &p,
+            vec![vec![0; n as usize], vec![0; n as usize]],
+            &machine(),
+            &spec(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let expect_in = 2.0 * (0.1 + 0.001 * n as f64);
+        let expect_out = 0.1 + 0.001 * n as f64;
+        let r = &report.rounds[0];
+        assert!((r.xfer_in_ms - expect_in).abs() < 1e-9);
+        assert!((r.xfer_out_ms - expect_out).abs() < 1e-9);
+        assert_eq!(r.sync_ms, 0.05);
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let (p, _) = vecadd_program(16);
+        assert!(matches!(
+            run_program(&p, vec![vec![0; 16]], &machine(), &spec(), &SimConfig::default()),
+            Err(SimError::HostDataMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_sized_input_rejected() {
+        let (p, _) = vecadd_program(16);
+        assert!(run_program(
+            &p,
+            vec![vec![0; 15], vec![0; 16]],
+            &machine(),
+            &spec(),
+            &SimConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn extra_input_rejected() {
+        let (p, _) = vecadd_program(16);
+        assert!(run_program(
+            &p,
+            vec![vec![0; 16], vec![0; 16], vec![0; 16]],
+            &machine(),
+            &spec(),
+            &SimConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn oom_program_rejected() {
+        let small = AtgpuMachine::new(1 << 12, 4, 64, 100).unwrap();
+        let (p, _) = vecadd_program(64); // needs 192 words > 100
+        assert!(matches!(
+            run_program(
+                &p,
+                vec![vec![0; 64], vec![0; 64]],
+                &small,
+                &spec(),
+                &SimConfig::default()
+            ),
+            Err(SimError::OutOfGlobalMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_round_accumulates() {
+        // Round 1: in-transfer only; round 2: out-transfer only.
+        let mut pb = ProgramBuilder::new("two");
+        let h = pb.host_input("A", 8);
+        let o = pb.host_output("B", 8);
+        let d = pb.device_alloc("a", 8);
+        pb.begin_round();
+        pb.transfer_in(h, d, 8);
+        pb.begin_round();
+        pb.transfer_out(d, o, 8);
+        let p = pb.build().unwrap();
+        let report = run_program(
+            &p,
+            vec![(1..=8).collect()],
+            &machine(),
+            &spec(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.rounds.len(), 2);
+        assert_eq!(report.sync_ms(), 0.1);
+        assert_eq!(report.output(o), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn noisy_run_is_reproducible() {
+        let n = 64u64;
+        let (p, _) = vecadd_program(n);
+        let cfg = SimConfig {
+            noise: Some(XferNoise { rel: 0.05 }),
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let inputs = || vec![vec![1i64; n as usize], vec![2i64; n as usize]];
+        let r1 = run_program(&p, inputs(), &machine(), &spec(), &cfg).unwrap();
+        let r2 = run_program(&p, inputs(), &machine(), &spec(), &cfg).unwrap();
+        assert_eq!(r1.total_ms(), r2.total_ms());
+        // And differs from the noiseless run.
+        let r3 =
+            run_program(&p, inputs(), &machine(), &spec(), &SimConfig::default()).unwrap();
+        assert_ne!(r1.transfer_ms(), r3.transfer_ms());
+    }
+
+    #[test]
+    fn parallel_mode_end_to_end() {
+        let n = 256u64;
+        let (p, hc) = vecadd_program(n);
+        let a: Vec<i64> = (0..n as i64).collect();
+        let b: Vec<i64> = (0..n as i64).rev().collect();
+        let cfg = SimConfig { mode: ExecMode::Parallel { threads: 2 }, ..SimConfig::default() };
+        let report = run_program(&p, vec![a, b], &machine(), &spec(), &cfg).unwrap();
+        for (i, &v) in report.output(hc).iter().enumerate() {
+            assert_eq!(v, n as i64 - 1, "i={i}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulator errors.
+
+use std::fmt;
+
+/// Errors raised while simulating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Device allocations exceed global memory `G`.
+    OutOfGlobalMemory {
+        /// Words requested (after block alignment).
+        requested: u64,
+        /// Words available.
+        available: u64,
+    },
+    /// A kernel's shared usage exceeds `M` (occupancy would be zero).
+    SharedTooLarge {
+        /// Kernel name.
+        kernel: String,
+        /// Declared shared words.
+        requested: u64,
+        /// Words available per MP.
+        available: u64,
+    },
+    /// A lane computed a global address outside the allocated region.
+    GlobalOutOfBounds {
+        /// Kernel name.
+        kernel: String,
+        /// The offending absolute word address.
+        addr: i64,
+        /// Allocated global words.
+        size: u64,
+    },
+    /// A lane computed a shared address outside the block's allocation.
+    SharedOutOfBounds {
+        /// Kernel name.
+        kernel: String,
+        /// The offending shared word address.
+        addr: i64,
+        /// The block's shared words.
+        size: u64,
+    },
+    /// Host data does not match the program's buffer declarations.
+    HostDataMismatch {
+        /// Explanation.
+        reason: String,
+    },
+    /// The machine is wider than the simulator supports (`b ≤ 64` because
+    /// divergence masks are single machine words).
+    UnsupportedWidth {
+        /// Requested lanes per warp.
+        b: u64,
+    },
+    /// A cross-thread-block data race was detected (two blocks wrote the
+    /// same global word during one launch).
+    RaceDetected {
+        /// Kernel name.
+        kernel: String,
+        /// The contended absolute word address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfGlobalMemory { requested, available } => write!(
+                f,
+                "device out of global memory: need {requested} words, have G = {available}"
+            ),
+            SimError::SharedTooLarge { kernel, requested, available } => write!(
+                f,
+                "kernel `{kernel}` uses {requested} shared words but the MP has M = {available}"
+            ),
+            SimError::GlobalOutOfBounds { kernel, addr, size } => write!(
+                f,
+                "kernel `{kernel}`: global access at word {addr} outside the {size}-word heap"
+            ),
+            SimError::SharedOutOfBounds { kernel, addr, size } => write!(
+                f,
+                "kernel `{kernel}`: shared access at word {addr} outside the block's {size} words"
+            ),
+            SimError::HostDataMismatch { reason } => write!(f, "host data mismatch: {reason}"),
+            SimError::UnsupportedWidth { b } => {
+                write!(f, "machine width b = {b} unsupported (the simulator requires b ≤ 64)")
+            }
+            SimError::RaceDetected { kernel, addr } => write!(
+                f,
+                "kernel `{kernel}`: two thread blocks wrote global word {addr} in one launch"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_numbers() {
+        let e = SimError::GlobalOutOfBounds { kernel: "k".into(), addr: -3, size: 10 };
+        assert!(e.to_string().contains("-3"));
+        let e = SimError::UnsupportedWidth { b: 128 };
+        assert!(e.to_string().contains("128"));
+    }
+}

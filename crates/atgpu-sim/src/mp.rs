@@ -1,0 +1,271 @@
+//! A multiprocessor: occupancy-limited resident blocks, ready-time warp
+//! scheduling, latency hiding.
+//!
+//! The MP issues one instruction per cycle (serialised further by bank
+//! conflicts).  When a warp issues a global access it *stalls* until the
+//! memory controller delivers, but the MP keeps issuing from other
+//! resident warps — the latency hiding the paper describes.  Blocks are
+//! pulled from the launch queue whenever a residency slot frees, up to
+//! `ℓ = min(⌊M/m⌋, H)` concurrent blocks.
+
+use crate::dram::DramController;
+use crate::error::SimError;
+use crate::warp::{GmemAccess, StepEvent, WarpExec};
+
+/// Per-MP statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MpStats {
+    /// Instructions issued (lockstep operations).
+    pub instructions: u64,
+    /// Compute (ALU/move/predicate/sync) instructions issued.
+    pub compute_instructions: u64,
+    /// Shared-memory access instructions issued.
+    pub shared_accesses: u64,
+    /// Global-memory access instructions issued.
+    pub global_accesses: u64,
+    /// Global transactions requested.
+    pub global_txns: u64,
+    /// Extra issue cycles lost to bank-conflict serialisation (beyond the
+    /// 1 cycle a conflict-free access would take).
+    pub bank_conflict_cycles: u64,
+    /// Thread blocks completed.
+    pub blocks_done: u64,
+    /// Cycles the MP spent with no warp ready (exposed memory latency).
+    pub stall_cycles: u64,
+}
+
+/// One warp slot: an executor plus its wake-up time.
+struct Slot<'k> {
+    warp: WarpExec<'k>,
+    ready_at: u64,
+}
+
+/// A multiprocessor simulating up to `ell` resident blocks.
+pub struct Mp<'k> {
+    /// The MP's current cycle (issue clock).
+    pub clock: u64,
+    slots: Vec<Slot<'k>>,
+    /// Finished-warp pool for reuse (workhorse allocation pattern).
+    spare: Vec<WarpExec<'k>>,
+    ell: usize,
+    /// Statistics.
+    pub stats: MpStats,
+    /// Cycle at which the last block retired.
+    pub last_retire: u64,
+}
+
+impl<'k> Mp<'k> {
+    /// Creates an MP with `ell` residency slots.
+    pub fn new(ell: u64) -> Self {
+        Self {
+            clock: 0,
+            slots: Vec::with_capacity(ell as usize),
+            spare: Vec::new(),
+            ell: ell as usize,
+            stats: MpStats::default(),
+            last_retire: 0,
+        }
+    }
+
+    /// True when no blocks are resident.
+    pub fn idle(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of free residency slots.
+    pub fn free_slots(&self) -> usize {
+        self.ell - self.slots.len()
+    }
+
+    /// Admits a block, reusing a pooled executor when available.
+    pub fn admit(
+        &mut self,
+        block: u64,
+        make: impl FnOnce() -> WarpExec<'k>,
+    ) {
+        debug_assert!(self.slots.len() < self.ell);
+        let mut warp = self.spare.pop().unwrap_or_else(make);
+        warp.reset(block);
+        self.slots.push(Slot { warp, ready_at: self.clock });
+    }
+
+    /// Executes one scheduling decision: picks the warp with the earliest
+    /// wake-up time, advances the clock, issues its next instruction.
+    /// Returns `Ok(true)` if a block retired (a slot freed).
+    pub fn step(
+        &mut self,
+        gmem: &mut GmemAccess<'_>,
+        dram: &mut DramController,
+    ) -> Result<bool, SimError> {
+        let idx = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.ready_at)
+            .map(|(i, _)| i)
+            .expect("step() requires a resident block");
+        let ready = self.slots[idx].ready_at;
+        if ready > self.clock {
+            self.stats.stall_cycles += ready - self.clock;
+            self.clock = ready;
+        }
+        let event = self.slots[idx].warp.step(gmem)?;
+        match event {
+            StepEvent::Compute { cycles } => {
+                self.clock += u64::from(cycles.max(1));
+                self.stats.instructions += 1;
+                self.stats.compute_instructions += 1;
+                self.slots[idx].ready_at = self.clock;
+            }
+            StepEvent::Shared { degree } => {
+                let d = u64::from(degree.max(1));
+                self.clock += d;
+                self.stats.instructions += 1;
+                self.stats.shared_accesses += 1;
+                self.stats.bank_conflict_cycles += d - 1;
+                self.slots[idx].ready_at = self.clock;
+            }
+            StepEvent::Global { txns, issue } => {
+                let d = u64::from(issue.max(1));
+                self.clock += d;
+                self.stats.instructions += 1;
+                self.stats.global_accesses += 1;
+                self.stats.bank_conflict_cycles += d - 1;
+                self.stats.global_txns += u64::from(txns);
+                self.slots[idx].ready_at = dram.access(self.clock, u64::from(txns));
+            }
+            StepEvent::Done => {
+                let slot = self.slots.swap_remove(idx);
+                self.spare.push(slot.warp);
+                self.stats.blocks_done += 1;
+                self.last_retire = self.clock;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// The earliest cycle at which this MP can do useful work (its next
+    /// warp wake-up), used by the device's global-time event loop.
+    pub fn next_event(&self) -> Option<u64> {
+        self.slots.iter().map(|s| s.ready_at).min().map(|r| r.max(self.clock))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmem::GlobalMemory;
+    use atgpu_ir::{AddrExpr, DBuf, Kernel, KernelBuilder, Operand};
+
+    fn leak(k: Kernel) -> &'static Kernel {
+        Box::leak(Box::new(k))
+    }
+
+    fn compute_kernel(n_ops: usize) -> &'static Kernel {
+        let mut kb = KernelBuilder::new("c", 4, 0);
+        for _ in 0..n_ops {
+            kb.mov(0, Operand::Imm(1));
+        }
+        leak(kb.build())
+    }
+
+    #[test]
+    fn single_warp_issues_serially() {
+        let k = compute_kernel(5);
+        let bases: &'static [u64] = &[];
+        let mut g = GlobalMemory::new(vec![], 0, 4, 1024).unwrap();
+        let mut dram = DramController::new(4, 100);
+        let mut mp = Mp::new(2);
+        mp.admit(0, || WarpExec::new(k, bases, 4, 1));
+        let mut acc = GmemAccess::Direct(&mut g);
+        let mut retired = 0;
+        while !mp.idle() {
+            if mp.step(&mut acc, &mut dram).unwrap() {
+                retired += 1;
+            }
+        }
+        assert_eq!(retired, 1);
+        assert_eq!(mp.clock, 5);
+        assert_eq!(mp.stats.instructions, 5);
+    }
+
+    #[test]
+    fn latency_hiding_with_two_warps() {
+        // Kernel: one global load then 10 compute ops.
+        let mut kb = KernelBuilder::new("lh", 2, 4);
+        kb.glb_to_shr(AddrExpr::lane(), DBuf(0), AddrExpr::block() * 4 + AddrExpr::lane());
+        for _ in 0..10 {
+            kb.mov(0, Operand::Imm(1));
+        }
+        let k = leak(kb.build());
+        let bases: &'static [u64] = Box::leak(vec![0u64].into_boxed_slice());
+
+        // One warp alone: 1 issue + 100 latency + 10 compute ≈ 111.
+        let mut g = GlobalMemory::new(vec![0], 8, 4, 1024).unwrap();
+        let mut dram = DramController::new(4, 100);
+        let mut mp = Mp::new(1);
+        mp.admit(0, || WarpExec::new(k, bases, 4, 1));
+        let mut acc = GmemAccess::Direct(&mut g);
+        while !mp.idle() {
+            mp.step(&mut acc, &mut dram).unwrap();
+        }
+        let solo = mp.clock;
+        assert_eq!(solo, 111);
+
+        // Two warps resident: the second's compute hides under the first's
+        // memory latency, finishing well before 2x solo.
+        let mut g = GlobalMemory::new(vec![0], 8, 4, 1024).unwrap();
+        let mut dram = DramController::new(4, 100);
+        let mut mp = Mp::new(2);
+        mp.admit(0, || WarpExec::new(k, bases, 4, 1));
+        mp.admit(1, || WarpExec::new(k, bases, 4, 1));
+        let mut acc = GmemAccess::Direct(&mut g);
+        while !mp.idle() {
+            mp.step(&mut acc, &mut dram).unwrap();
+        }
+        let duo = mp.clock;
+        assert!(duo < 2 * solo - 50, "latency not hidden: solo={solo} duo={duo}");
+        assert_eq!(mp.stats.blocks_done, 2);
+    }
+
+    #[test]
+    fn stall_cycles_recorded_when_nothing_ready() {
+        let mut kb = KernelBuilder::new("s", 1, 4);
+        kb.glb_to_shr(AddrExpr::lane(), DBuf(0), AddrExpr::lane());
+        kb.mov(0, Operand::Imm(1));
+        let k = leak(kb.build());
+        let bases: &'static [u64] = Box::leak(vec![0u64].into_boxed_slice());
+        let mut g = GlobalMemory::new(vec![0], 8, 4, 1024).unwrap();
+        let mut dram = DramController::new(4, 100);
+        let mut mp = Mp::new(1);
+        mp.admit(0, || WarpExec::new(k, bases, 4, 1));
+        let mut acc = GmemAccess::Direct(&mut g);
+        while !mp.idle() {
+            mp.step(&mut acc, &mut dram).unwrap();
+        }
+        assert_eq!(mp.stats.stall_cycles, 100); // full exposed latency
+    }
+
+    #[test]
+    fn spare_pool_reused_across_blocks() {
+        let k = compute_kernel(1);
+        let bases: &'static [u64] = &[];
+        let mut g = GlobalMemory::new(vec![], 0, 4, 1024).unwrap();
+        let mut dram = DramController::new(4, 100);
+        let mut mp = Mp::new(1);
+        let mut made = 0;
+        for block in 0..3 {
+            mp.admit(block, || {
+                made += 1;
+                WarpExec::new(k, bases, 4, 1)
+            });
+            let mut acc = GmemAccess::Direct(&mut g);
+            while !mp.idle() {
+                mp.step(&mut acc, &mut dram).unwrap();
+            }
+        }
+        assert_eq!(made, 1, "executor should be pooled and reused");
+        assert_eq!(mp.stats.blocks_done, 3);
+    }
+}

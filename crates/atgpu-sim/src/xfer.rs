@@ -1,0 +1,130 @@
+//! The host↔device transfer engine.
+//!
+//! Each transfer transaction costs `α + β·words` milliseconds — Boyer et
+//! al.'s affine model, which the paper adopts for its cost function — and
+//! actually moves the words.  Optional multiplicative noise (seeded,
+//! uniform in `[1−ε, 1+ε]`) lets experiments produce realistically jittery
+//! "observed" curves while remaining reproducible.
+
+use crate::gmem::GlobalMemory;
+use atgpu_model::GpuSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative transfer-time jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XferNoise {
+    /// Relative amplitude ε (e.g. 0.02 for ±2%).
+    pub rel: f64,
+}
+
+/// The transfer engine.
+#[derive(Debug)]
+pub struct TransferEngine {
+    alpha_ms: f64,
+    beta_ms_per_word: f64,
+    noise: Option<XferNoise>,
+    rng: StdRng,
+    /// Total words moved host→device.
+    pub words_in: u64,
+    /// Total words moved device→host.
+    pub words_out: u64,
+    /// Transactions host→device.
+    pub txns_in: u64,
+    /// Transactions device→host.
+    pub txns_out: u64,
+}
+
+impl TransferEngine {
+    /// Creates an engine from a device spec.
+    pub fn new(spec: &GpuSpec, noise: Option<XferNoise>, seed: u64) -> Self {
+        Self {
+            alpha_ms: spec.xfer_alpha_ms,
+            beta_ms_per_word: spec.xfer_beta_ms_per_word,
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            words_in: 0,
+            words_out: 0,
+            txns_in: 0,
+            txns_out: 0,
+        }
+    }
+
+    fn jitter(&mut self) -> f64 {
+        match self.noise {
+            Some(XferNoise { rel }) if rel > 0.0 => self.rng.gen_range(1.0 - rel..=1.0 + rel),
+            _ => 1.0,
+        }
+    }
+
+    /// Host→device copy; returns elapsed milliseconds.
+    pub fn to_device(&mut self, gmem: &mut GlobalMemory, dst: u64, data: &[i64]) -> f64 {
+        gmem.copy_in(dst, data);
+        self.words_in += data.len() as u64;
+        self.txns_in += 1;
+        (self.alpha_ms + self.beta_ms_per_word * data.len() as f64) * self.jitter()
+    }
+
+    /// Device→host copy; returns elapsed milliseconds.
+    pub fn to_host(&mut self, gmem: &GlobalMemory, src: u64, out: &mut [i64]) -> f64 {
+        gmem.copy_out(src, out);
+        self.words_out += out.len() as u64;
+        self.txns_out += 1;
+        (self.alpha_ms + self.beta_ms_per_word * out.len() as f64) * self.jitter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GpuSpec {
+        GpuSpec { xfer_alpha_ms: 0.5, xfer_beta_ms_per_word: 0.01, ..GpuSpec::gtx650_like() }
+    }
+
+    #[test]
+    fn affine_cost_without_noise() {
+        let mut g = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        let mut e = TransferEngine::new(&spec(), None, 0);
+        let t = e.to_device(&mut g, 0, &[1, 2, 3, 4]);
+        assert!((t - (0.5 + 0.04)).abs() < 1e-12);
+        assert_eq!(g.read(2), Some(3));
+        assert_eq!(e.words_in, 4);
+        assert_eq!(e.txns_in, 1);
+    }
+
+    #[test]
+    fn outward_copy_and_cost() {
+        let mut g = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        g.write(0, 7);
+        g.write(1, 8);
+        let mut e = TransferEngine::new(&spec(), None, 0);
+        let mut out = vec![0; 2];
+        let t = e.to_host(&g, 0, &mut out);
+        assert_eq!(out, vec![7, 8]);
+        assert!((t - 0.52).abs() < 1e-12);
+        assert_eq!(e.txns_out, 1);
+    }
+
+    #[test]
+    fn noise_is_bounded_and_seeded() {
+        let mut g = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        let mut e1 = TransferEngine::new(&spec(), Some(XferNoise { rel: 0.1 }), 42);
+        let mut e2 = TransferEngine::new(&spec(), Some(XferNoise { rel: 0.1 }), 42);
+        let base = 0.5 + 0.04;
+        for _ in 0..10 {
+            let t1 = e1.to_device(&mut g, 0, &[1, 2, 3, 4]);
+            let t2 = e2.to_device(&mut g, 0, &[1, 2, 3, 4]);
+            assert_eq!(t1, t2, "same seed must give same jitter");
+            assert!(t1 >= base * 0.9 - 1e-12 && t1 <= base * 1.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_word_transfer_costs_alpha() {
+        let mut g = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        let mut e = TransferEngine::new(&spec(), None, 0);
+        let t = e.to_device(&mut g, 0, &[]);
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Calibrating the cost model against a device, the way Boyer et al.
+//! fitted their transfer function on real hardware: run microbenchmarks,
+//! regress, and check the fitted parameters predict a real workload.
+//!
+//! ```sh
+//! cargo run --release --example calibrate_device
+//! ```
+
+use atgpu::algos::vecadd::VecAdd;
+use atgpu::algos::Workload;
+use atgpu::analyze::analyze_program;
+use atgpu::calibrate::calibrate;
+use atgpu::model::cost::{evaluate, CostModel};
+use atgpu::model::{AtgpuMachine, GpuSpec};
+use atgpu::sim::{run_program, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = AtgpuMachine::gtx650_like();
+    let sim = SimConfig::default();
+
+    for (name, spec) in [
+        ("gtx650-like ", GpuSpec::gtx650_like()),
+        ("midrange-like", GpuSpec::midrange_like()),
+        ("highend-like ", GpuSpec::highend_like()),
+    ] {
+        let cal = calibrate(&machine, &spec, &sim)?;
+        println!("{name}: fitted parameters");
+        println!("  α = {:.6} ms      (truth {:.6})", cal.alpha_ms, spec.xfer_alpha_ms);
+        println!(
+            "  β = {:.3e} ms/word (truth {:.3e})",
+            cal.beta_ms_per_word, spec.xfer_beta_ms_per_word
+        );
+        println!("  σ = {:.6} ms      (truth {:.6})", cal.sigma_ms, spec.sync_ms);
+        println!(
+            "  γ = {:.3e} c/ms    (truth {:.3e})",
+            cal.gamma_cycles_per_ms, spec.clock_cycles_per_ms
+        );
+        println!(
+            "  λ = {:.1} cycles/txn effective ({} issue), {:.1} exposed ({} latency)",
+            cal.lambda_cycles,
+            spec.dram_issue_cycles,
+            cal.lambda_exposed_cycles,
+            spec.dram_latency_cycles
+        );
+
+        // Validate: predict a vecadd run with the *fitted* parameters.
+        let w = VecAdd::new(500_000, 1);
+        let built = w.build(&machine)?;
+        let metrics = analyze_program(&built.program, &machine)?.metrics();
+        let params = cal.to_cost_params();
+        let cost = evaluate(CostModel::GpuCost, &params, &machine, &spec, &metrics)?;
+        let report = run_program(&built.program, built.inputs, &machine, &spec, &sim)?;
+        let err = (cost.total() - report.total_ms()).abs() / report.total_ms();
+        println!(
+            "  vecadd n=500k: predicted {:.3} ms vs observed {:.3} ms ({:.1}% error)\n",
+            cost.total(),
+            report.total_ms(),
+            100.0 * err
+        );
+    }
+    Ok(())
+}

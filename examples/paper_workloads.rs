@@ -1,0 +1,60 @@
+//! The three workloads of the paper's evaluation, side by side: vector
+//! addition (transfer-dominated), reduction (moderate transfer) and
+//! matrix multiplication (compute-dominated) — reproducing the §IV-D
+//! story in one run.
+//!
+//! ```sh
+//! cargo run --release --example paper_workloads
+//! ```
+
+use atgpu::algos::{
+    matmul::MatMul, reduce::Reduce, vecadd::VecAdd, verify_on_sim, Workload,
+};
+use atgpu::analyze::analyze_program;
+use atgpu::model::cost::{evaluate, CostModel};
+use atgpu::model::{AtgpuMachine, GpuSpec};
+use atgpu::sim::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = AtgpuMachine::gtx650_like();
+    let spec = GpuSpec::gtx650_like();
+    let params = spec.derived_cost_params();
+    let sim = SimConfig::default();
+
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(VecAdd::new(1_000_000, 1)),
+        Box::new(Reduce::new(1 << 20, 2)),
+        Box::new(MatMul::new(192, 3)),
+    ];
+
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "workload", "R", "ATGPU (ms)", "SWGPU (ms)", "total ms", "kernel ms", "ΔE", "ΔT"
+    );
+    for w in &workloads {
+        let built = w.build(&machine)?;
+        let metrics = analyze_program(&built.program, &machine)?.metrics();
+        let atgpu = evaluate(CostModel::GpuCost, &params, &machine, &spec, &metrics)?;
+        let swgpu = evaluate(CostModel::Swgpu, &params, &machine, &spec, &metrics)?;
+        let report = verify_on_sim(w.as_ref(), &machine, &spec, &sim)?;
+        println!(
+            "{:<10} {:>6} {:>12.3} {:>12.3} {:>10.3} {:>10.3} {:>7.1}% {:>7.1}%",
+            w.name(),
+            metrics.num_rounds(),
+            atgpu.total(),
+            swgpu.total(),
+            report.total_ms(),
+            report.kernel_ms(),
+            100.0 * report.transfer_proportion(),
+            100.0 * atgpu.transfer_proportion(),
+        );
+    }
+
+    println!(
+        "\nreading the table the paper's way:\n\
+         • vecadd: transfer dominates (high Δ) — SWGPU misses most of the runtime;\n\
+         • reduce: transfer is a moderate share — SWGPU still underestimates;\n\
+         • matmul: kernel dominates (low Δ) — the kernel-only view suffices here."
+    );
+    Ok(())
+}

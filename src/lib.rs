@@ -1,0 +1,50 @@
+//! # atgpu — facade crate
+//!
+//! Re-exports the whole ATGPU workspace behind one dependency, so a
+//! downstream user can `cargo add atgpu` and reach every subsystem:
+//!
+//! * [`model`] — the ATGPU analytical model (machines, metrics, cost
+//!   functions, baselines, Table I);
+//! * [`ir`] — the kernel IR / pseudocode DSL with the paper's transfer
+//!   operators;
+//! * [`analyze`] — the static analyser deriving model metrics from IR;
+//! * [`sim`] — the discrete-event GPU simulator (the "hardware");
+//! * [`algos`] — the evaluated workloads (vector addition, reduction,
+//!   matrix multiplication, and the extension workloads);
+//! * [`calibrate`] — cost-parameter fitting from microbenchmarks;
+//! * [`exp`] — the experiment harness regenerating the paper's tables and
+//!   figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use atgpu::model::{AtgpuMachine, CostParams, GpuSpec};
+//! use atgpu::algos::{vecadd::VecAdd, verify_on_sim, Workload};
+//! use atgpu::analyze::analyze_program;
+//! use atgpu::sim::SimConfig;
+//!
+//! // The abstract machine and a GTX 650-like device.
+//! let machine = AtgpuMachine::gtx650_like();
+//! let spec = GpuSpec::gtx650_like();
+//! let params = spec.derived_cost_params();
+//!
+//! // Analyse vector addition at n = 10_000 on the model …
+//! let wl = VecAdd::new(10_000, /* seed */ 42);
+//! let built = wl.build(&machine).unwrap();
+//! let metrics = analyze_program(&built.program, &machine).unwrap().metrics();
+//! let cost = atgpu::model::cost::atgpu_cost(&params, &machine, &spec, &metrics).unwrap();
+//! assert!(cost > 0.0);
+//!
+//! // … and observe it on the simulated device (verified against the
+//! // host reference).
+//! let report = verify_on_sim(&wl, &machine, &spec, &SimConfig::default()).unwrap();
+//! assert!(report.total_ms() > report.kernel_ms());
+//! ```
+
+pub use atgpu_algos as algos;
+pub use atgpu_analyze as analyze;
+pub use atgpu_calibrate as calibrate;
+pub use atgpu_exp as exp;
+pub use atgpu_ir as ir;
+pub use atgpu_model as model;
+pub use atgpu_sim as sim;
