@@ -101,11 +101,7 @@ impl Workload for BitonicSort {
             let kk: i64 = 1i64 << stage; // bitonic block size
             for sub in (0..stage).rev() {
                 let stride: i64 = 1i64 << sub;
-                let mut kb = KernelBuilder::new(
-                    format!("bitonic_s{stage}_j{sub}"),
-                    k,
-                    2 * b,
-                );
+                let mut kb = KernelBuilder::new(format!("bitonic_s{stage}_j{sub}"), k, 2 * b);
                 // t = i·b + j: the lane's pair number.
                 kb.alu(AluOp::Mul, 0, Operand::Block, Operand::Imm(bi));
                 kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Lane);
@@ -152,11 +148,7 @@ impl Workload for BitonicSort {
         // The final round also carries the outward transfer.
         pb.transfer_out_at(da, 0, hout, 0, n);
 
-        Ok(BuiltProgram {
-            program: pb.build()?,
-            inputs: vec![padded],
-            outputs: vec![hout],
-        })
+        Ok(BuiltProgram { program: pb.build()?, inputs: vec![padded], outputs: vec![hout] })
     }
 
     fn expected(&self) -> Vec<Vec<i64>> {
@@ -223,8 +215,7 @@ mod tests {
         assert!(a.conflict_free);
         // The conservative bound still feeds a finite cost.
         let params = test_spec().derived_cost_params();
-        let cost =
-            atgpu_model::cost::atgpu_cost(&params, &m, &test_spec(), &a.metrics()).unwrap();
+        let cost = atgpu_model::cost::atgpu_cost(&params, &m, &test_spec(), &a.metrics()).unwrap();
         assert!(cost.is_finite() && cost > 0.0);
     }
 

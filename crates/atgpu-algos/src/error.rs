@@ -69,12 +69,7 @@ mod tests {
 
     #[test]
     fn mismatch_message() {
-        let e = AlgosError::Mismatch {
-            buffer: "C".into(),
-            index: 3,
-            expected: 7,
-            actual: 9,
-        };
+        let e = AlgosError::Mismatch { buffer: "C".into(), index: 3, expected: 7, actual: 9 };
         let s = e.to_string();
         assert!(s.contains("C") && s.contains("3") && s.contains("7") && s.contains("9"));
     }

@@ -37,9 +37,7 @@ impl Gemv {
     /// Host reference.
     pub fn host_reference(&self) -> Vec<i64> {
         let n = self.n as usize;
-        (0..n)
-            .map(|i| (0..n).map(|k| self.a[i * n + k] * self.x[k]).sum())
-            .collect()
+        (0..n).map(|i| (0..n).map(|k| self.a[i * n + k] * self.x[k]).sum()).collect()
     }
 }
 
@@ -87,11 +85,7 @@ impl Workload for Gemv {
                 da,
                 AddrExpr::block() * ni + AddrExpr::loop_var(0) * bi + AddrExpr::lane(),
             );
-            kb.glb_to_shr(
-                AddrExpr::lane() + bi,
-                dx,
-                AddrExpr::loop_var(0) * bi + AddrExpr::lane(),
-            );
+            kb.glb_to_shr(AddrExpr::lane() + bi, dx, AddrExpr::loop_var(0) * bi + AddrExpr::lane());
             kb.ld_shr(1, AddrExpr::lane());
             kb.ld_shr(2, AddrExpr::lane() + bi);
             kb.alu(AluOp::Mul, 3, Operand::Reg(1), Operand::Reg(2));

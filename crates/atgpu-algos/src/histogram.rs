@@ -118,7 +118,11 @@ impl Workload for Histogram {
                 });
             });
             kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(0)), |kb| {
-                kb.shr_to_glb(dpart, AddrExpr::block() * bi + AddrExpr::loop_var(0), AddrExpr::c(scratch));
+                kb.shr_to_glb(
+                    dpart,
+                    AddrExpr::block() * bi + AddrExpr::loop_var(0),
+                    AddrExpr::c(scratch),
+                );
             });
         });
         pb.begin_round();

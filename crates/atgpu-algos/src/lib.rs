@@ -53,8 +53,8 @@ pub mod matmul;
 pub mod ooc;
 pub mod reduce;
 pub mod saxpy;
-pub mod spmv;
 pub mod scan;
+pub mod spmv;
 pub mod stencil;
 pub mod transpose;
 pub mod vecadd;

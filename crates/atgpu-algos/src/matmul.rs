@@ -45,9 +45,7 @@ impl MatMul {
     /// Instance from explicit row-major data.
     pub fn from_data(n: u64, a: Vec<i64>, b: Vec<i64>) -> Result<Self, AlgosError> {
         if a.len() as u64 != n * n || b.len() as u64 != n * n {
-            return Err(AlgosError::InvalidSize {
-                reason: format!("matrices must be {n}×{n}"),
-            });
+            return Err(AlgosError::InvalidSize { reason: format!("matrices must be {n}×{n}") });
         }
         Ok(Self { n, a, b })
     }
@@ -73,8 +71,8 @@ impl MatMul {
     /// Lockstep time ops of our kernel encoding for side `n`, width `b`.
     pub fn time_ops(n: u64, b: u64) -> u64 {
         let t = n / b; // tile steps
-        // per step: 2b tile-load ops + b rows × (ld acc + b×(2 ld + mul + add) + st acc)
-        // plus the final b-row tile store.
+                       // per step: 2b tile-load ops + b rows × (ld acc + b×(2 ld + mul + add) + st acc)
+                       // plus the final b-row tile store.
         t * (2 * b + b * (2 + 4 * b)) + b
     }
 }
@@ -214,10 +212,7 @@ impl Workload for MatMul {
         vec![
             BigO::new("rounds", Term::c(1.0)),
             BigO::new("time", Term::n().times(Term::b())),
-            BigO::new(
-                "io",
-                Term::n().over(Term::b()).pow(2).times(Term::n().plus(Term::b())),
-            ),
+            BigO::new("io", Term::n().over(Term::b()).pow(2).times(Term::n().plus(Term::b()))),
             BigO::new("global_space", Term::n().pow(2)),
             BigO::new("shared_space", Term::b().pow(2)),
             BigO::new("transfer", Term::n().pow(2)),

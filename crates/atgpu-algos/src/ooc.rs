@@ -42,12 +42,7 @@ pub struct OocVecAdd {
 impl OocVecAdd {
     /// Random instance of size `n` processed in `chunk`-word pieces.
     pub fn new(n: u64, chunk: u64, seed: u64) -> Self {
-        Self {
-            n,
-            chunk,
-            a: gen::small_ints(n, seed),
-            b: gen::small_ints(n, seed.wrapping_add(1)),
-        }
+        Self { n, chunk, a: gen::small_ints(n, seed), b: gen::small_ints(n, seed.wrapping_add(1)) }
     }
 
     /// Host reference.
@@ -101,8 +96,7 @@ impl Workload for OocVecAdd {
             pb.begin_round();
             pb.transfer_in_at(ha, off, da, 0, len);
             pb.transfer_in_at(hb, off, db, 0, len);
-            let mut kb =
-                KernelBuilder::new(format!("ooc_vecadd_r{round}"), k, 3 * b);
+            let mut kb = KernelBuilder::new(format!("ooc_vecadd_r{round}"), k, 3 * b);
             let g = AddrExpr::block() * bi + AddrExpr::lane();
             kb.glb_to_shr(AddrExpr::lane(), da, g.clone());
             kb.glb_to_shr(AddrExpr::lane() + bi, db, g.clone());
@@ -253,31 +247,20 @@ impl Workload for OocReduce {
                     // the resident accumulator buffer.
                     let bi = b as i64;
                     let steps = b.trailing_zeros();
-                    let mut kb =
-                        KernelBuilder::new(format!("ooc_reduce_r{round}"), kparts, b);
+                    let mut kb = KernelBuilder::new(format!("ooc_reduce_r{round}"), kparts, b);
                     kb.glb_to_shr(AddrExpr::lane(), din, AddrExpr::block() * bi + AddrExpr::lane());
                     kb.repeat(steps, |kb| {
                         kb.alu(AluOp::Shr, 0, Operand::Imm(bi / 2), Operand::LoopVar(0));
-                        kb.when(
-                            atgpu_ir::PredExpr::Lt(Operand::Lane, Operand::Reg(0)),
-                            |kb| {
-                                kb.ld_shr(3, AddrExpr::lane());
-                                kb.ld_shr(4, AddrExpr::lane() + AddrExpr::reg(0));
-                                kb.alu(AluOp::Add, 3, Operand::Reg(3), Operand::Reg(4));
-                                kb.st_shr(AddrExpr::lane(), Operand::Reg(3));
-                            },
-                        );
+                        kb.when(atgpu_ir::PredExpr::Lt(Operand::Lane, Operand::Reg(0)), |kb| {
+                            kb.ld_shr(3, AddrExpr::lane());
+                            kb.ld_shr(4, AddrExpr::lane() + AddrExpr::reg(0));
+                            kb.alu(AluOp::Add, 3, Operand::Reg(3), Operand::Reg(4));
+                            kb.st_shr(AddrExpr::lane(), Operand::Reg(3));
+                        });
                     });
-                    kb.when(
-                        atgpu_ir::PredExpr::Eq(Operand::Lane, Operand::Imm(0)),
-                        |kb| {
-                            kb.shr_to_glb(
-                                dacc,
-                                AddrExpr::block() + part_off as i64,
-                                AddrExpr::c(0),
-                            );
-                        },
-                    );
+                    kb.when(atgpu_ir::PredExpr::Eq(Operand::Lane, Operand::Imm(0)), |kb| {
+                        kb.shr_to_glb(dacc, AddrExpr::block() + part_off as i64, AddrExpr::c(0));
+                    });
                     pb.launch(kb.build());
                     off += len;
                     part_off += kparts;
@@ -385,8 +368,7 @@ mod tests {
     #[test]
     fn ooc_reduce_host_finish_partials_correct() {
         let w = OocReduce::new(8192, 1024, OocScheme::HostFinish, 7);
-        let r = verify_on_sim(&w, &small_g_machine(), &test_spec(), &SimConfig::default())
-            .unwrap();
+        let r = verify_on_sim(&w, &small_g_machine(), &test_spec(), &SimConfig::default()).unwrap();
         let partials = r.output(atgpu_ir::HBuf(1));
         assert_eq!(OocReduce::finish_on_host(partials), w.host_reference());
     }

@@ -23,7 +23,9 @@
 use crate::error::AlgosError;
 use crate::gen;
 use crate::workload::{BuiltProgram, Workload};
-use atgpu_ir::{AddrExpr, AluOp, DBuf, HBuf, Kernel, KernelBuilder, Operand, PredExpr, ProgramBuilder};
+use atgpu_ir::{
+    AddrExpr, AluOp, DBuf, HBuf, Kernel, KernelBuilder, Operand, PredExpr, ProgramBuilder,
+};
 use atgpu_model::asymptotics::{BigO, Term};
 use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
 
@@ -172,7 +174,11 @@ pub fn append_reduce_rounds(
 
 /// Exact closed-form metrics for the reduction rounds (kernel part only;
 /// callers add the transfer words of their own program shape).
-pub fn reduce_round_shapes(n: u64, machine: &AtgpuMachine, variant: ReduceVariant) -> Vec<(u64, u64, u64)> {
+pub fn reduce_round_shapes(
+    n: u64,
+    machine: &AtgpuMachine,
+    variant: ReduceVariant,
+) -> Vec<(u64, u64, u64)> {
     // (time, io, blocks) per kernel round.
     let levels = level_sizes(n, machine.b);
     levels

@@ -24,12 +24,7 @@ pub struct Saxpy {
 impl Saxpy {
     /// Random instance of size `n` with scalar `a`.
     pub fn new(n: u64, a: i64, seed: u64) -> Self {
-        Self {
-            n,
-            a,
-            x: gen::small_ints(n, seed),
-            y: gen::small_ints(n, seed.wrapping_add(1)),
-        }
+        Self { n, a, x: gen::small_ints(n, seed), y: gen::small_ints(n, seed.wrapping_add(1)) }
     }
 
     /// Host reference.

@@ -127,11 +127,7 @@ impl Workload for Transpose {
                 kb.build()
             }
             TransposeVariant::Tiled | TransposeVariant::TiledPadded => {
-                let pitch = if self.variant == TransposeVariant::TiledPadded {
-                    bi + 1
-                } else {
-                    bi
-                };
+                let pitch = if self.variant == TransposeVariant::TiledPadded { bi + 1 } else { bi };
                 let shared = b * (pitch as u64);
                 let mut kb = KernelBuilder::new_2d(
                     if self.variant == TransposeVariant::TiledPadded {
@@ -223,11 +219,8 @@ mod tests {
     use atgpu_analyze::{analyze_program, ConflictDegree};
     use atgpu_sim::SimConfig;
 
-    const VARIANTS: [TransposeVariant; 3] = [
-        TransposeVariant::Naive,
-        TransposeVariant::Tiled,
-        TransposeVariant::TiledPadded,
-    ];
+    const VARIANTS: [TransposeVariant; 3] =
+        [TransposeVariant::Naive, TransposeVariant::Tiled, TransposeVariant::TiledPadded];
 
     #[test]
     fn analyzer_matches_closed_form_all_variants() {

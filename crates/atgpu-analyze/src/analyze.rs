@@ -311,8 +311,7 @@ mod tests {
         let a = analyze_program(&vecadd(3200), &machine()).unwrap();
         let params = atgpu_model::CostParams::unit();
         let spec = atgpu_model::GpuSpec::gtx650_like();
-        let cost =
-            atgpu_model::cost::atgpu_cost(&params, &machine(), &spec, &a.metrics()).unwrap();
+        let cost = atgpu_model::cost::atgpu_cost(&params, &machine(), &spec, &a.metrics()).unwrap();
         assert!(cost > 0.0);
     }
 
@@ -368,12 +367,9 @@ mod tests {
         let mut kb = KernelBuilder::new("k", 4, 64);
         kb.repeat(3, |kb| {
             kb.glb_to_shr(AddrExpr::lane(), atgpu_ir::DBuf(0), AddrExpr::lane());
-            kb.when(
-                atgpu_ir::PredExpr::Lt(Operand::Lane, Operand::Imm(4)),
-                |kb| {
-                    kb.ld_shr(0, AddrExpr::lane());
-                },
-            );
+            kb.when(atgpu_ir::PredExpr::Lt(Operand::Lane, Operand::Imm(4)), |kb| {
+                kb.ld_shr(0, AddrExpr::lane());
+            });
         });
         let sites = collect_sites(&kb.build());
         assert_eq!(sites.global.len(), 1);
@@ -408,12 +404,9 @@ mod tests {
         let dc = pb.device_alloc("c", k);
         pb.begin_round();
         let mut kb = KernelBuilder::new("k", k, 32);
-        kb.when(
-            atgpu_ir::PredExpr::Eq(Operand::Lane, Operand::Imm(0)),
-            |kb| {
-                kb.shr_to_glb(dc, AddrExpr::block(), AddrExpr::c(0));
-            },
-        );
+        kb.when(atgpu_ir::PredExpr::Eq(Operand::Lane, Operand::Imm(0)), |kb| {
+            kb.shr_to_glb(dc, AddrExpr::block(), AddrExpr::c(0));
+        });
         pb.launch(kb.build());
         let p = pb.build().unwrap();
         let a = analyze_program(&p, &machine()).unwrap();

@@ -50,35 +50,17 @@ impl ConflictDegree {
     }
 }
 
-fn gcd(mut a: u64, mut b: u64) -> u64 {
-    while b != 0 {
-        let t = a % b;
-        a = b;
-        b = t;
-    }
-    a
-}
-
 /// Degree of one shared access site with `b` banks.
+///
+/// Delegates to the shared classifier in
+/// [`atgpu_ir::AffineAddr::full_warp_conflict_degree`], the same formula
+/// the simulator's micro-op compiler bakes into its per-site metadata.
+/// Non-affine register-free shapes could in principle be enumerated, but
+/// they are rare; the safe worst case is reported instead.
 pub fn site_conflict_degree(addr: &CompiledAddr, b: u64) -> ConflictDegree {
-    match addr.as_affine() {
-        Some(a) if a.is_static() => {
-            if a.lane == 0 {
-                ConflictDegree::Exact(1) // broadcast
-            } else {
-                ConflictDegree::Exact(gcd(a.lane.unsigned_abs() % b, b).max(1).min(b))
-            }
-        }
-        Some(_) => ConflictDegree::DataDependent,
-        None => {
-            if addr.is_static() {
-                // Non-affine but register-free: could be evaluated, but the
-                // shapes are rare; report the safe worst case.
-                ConflictDegree::DataDependent
-            } else {
-                ConflictDegree::DataDependent
-            }
-        }
+    match addr.as_affine().and_then(|a| a.full_warp_conflict_degree(b)) {
+        Some(d) => ConflictDegree::Exact(d),
+        None => ConflictDegree::DataDependent,
     }
 }
 

@@ -53,27 +53,13 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 /// Number of distinct memory blocks touched by addresses
 /// `{base + stride·lane : lane ∈ [0, lanes)}` with block size `b`.
 /// Depends on `base` only through `base mod b` (callers exploit this).
+///
+/// The implementation is the shared shape-classifier primitive in
+/// [`atgpu_ir::affine::lane_span_blocks`], which the simulator's micro-op
+/// compiler uses to build its per-residue transaction tables — analyser
+/// and simulator count transactions with the same code.
 pub fn lane_block_count(base: i64, stride: i64, lanes: u64, b: u64) -> u64 {
-    debug_assert!(b > 0);
-    if lanes == 0 {
-        return 0;
-    }
-    if stride == 0 {
-        return 1;
-    }
-    // Addresses are monotone in lane, so distinct floor-quotients can be
-    // counted by scanning for transitions.
-    let mut distinct = 1u64;
-    let mut prev = (base as i128).div_euclid(b as i128);
-    for lane in 1..lanes {
-        let addr = base as i128 + stride as i128 * lane as i128;
-        let q = addr.div_euclid(b as i128);
-        if q != prev {
-            distinct += 1;
-            prev = q;
-        }
-    }
-    distinct
+    atgpu_ir::affine::lane_span_blocks(base, stride, lanes, b)
 }
 
 /// Histogram over residues mod `b` of `{coef·idx mod b : idx ∈ [0, count)}`.
@@ -208,7 +194,8 @@ mod tests {
         let mut total = 0;
         for by in 0..grid.1 {
             for bx in 0..grid.0 {
-                total += rec(addr, buf_base, (bx as i64, by as i64), loop_counts, &mut Vec::new(), b);
+                total +=
+                    rec(addr, buf_base, (bx as i64, by as i64), loop_counts, &mut Vec::new(), b);
             }
         }
         total

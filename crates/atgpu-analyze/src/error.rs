@@ -65,12 +65,8 @@ mod tests {
 
     #[test]
     fn shared_range_message() {
-        let e = AnalyzeError::SharedOutOfRange {
-            kernel: "k".into(),
-            min: -1,
-            max: 40,
-            declared: 32,
-        };
+        let e =
+            AnalyzeError::SharedOutOfRange { kernel: "k".into(), min: -1, max: 40, declared: 32 };
         let s = e.to_string();
         assert!(s.contains("[-1, 40]") && s.contains("32"));
     }

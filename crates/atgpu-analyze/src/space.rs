@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn block_and_lane_range() {
         // i*32 + j for 4 blocks of 32 lanes: [0, 127]
-        assert_eq!(range(AddrExpr::block() * 32 + AddrExpr::lane(), 32, (4, 1), &[]), Some((0, 127)));
+        assert_eq!(
+            range(AddrExpr::block() * 32 + AddrExpr::lane(), 32, (4, 1), &[]),
+            Some((0, 127))
+        );
     }
 
     #[test]

@@ -34,18 +34,23 @@ fn bench_simulator_throughput(c: &mut Criterion) {
             )
         });
     });
+    g.bench_function("vecadd_200k_reference", |b| {
+        // The retained tree-walking interpreter: the pre-engine baseline
+        // the micro-op engine is measured against.
+        let sim = SimConfig { use_reference: true, ..SimConfig::default() };
+        b.iter(|| {
+            black_box(
+                run_program(&built.program, built.inputs.clone(), &cfg.machine, &cfg.spec, &sim)
+                    .unwrap(),
+            )
+        });
+    });
     g.bench_function("vecadd_200k_parallel2", |b| {
         let sim = SimConfig { mode: ExecMode::Parallel { threads: 2 }, ..SimConfig::default() };
         b.iter(|| {
             black_box(
-                run_program(
-                    &built.program,
-                    built.inputs.clone(),
-                    &cfg.machine,
-                    &cfg.spec,
-                    &sim,
-                )
-                .unwrap(),
+                run_program(&built.program, built.inputs.clone(), &cfg.machine, &cfg.spec, &sim)
+                    .unwrap(),
             )
         });
     });

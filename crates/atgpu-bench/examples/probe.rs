@@ -1,0 +1,130 @@
+use atgpu_algos::{vecadd::VecAdd, Workload};
+use atgpu_bench::bench_config;
+use atgpu_ir::HostStep;
+use atgpu_sim::engine::{BlockExec, BlockSim};
+use atgpu_sim::gmem::GlobalMemory;
+use atgpu_sim::uop::CompiledKernel;
+use atgpu_sim::warp::{GmemAccess, StepEvent, WarpExec};
+use atgpu_sim::{run_program, Device, EngineSel, ExecMode, SimConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = bench_config();
+    let built = VecAdd::new(200_000, 1).build(&cfg.machine).unwrap();
+    let kernel = built
+        .program
+        .rounds
+        .iter()
+        .flat_map(|r| r.steps.iter())
+        .find_map(|s| match s {
+            HostStep::Launch(k) => Some(k),
+            _ => None,
+        })
+        .unwrap();
+    let (bases, total) = built.program.buffer_layout(cfg.machine.b);
+    let mut g = GlobalMemory::new(bases.clone(), total, cfg.machine.b, cfg.machine.g).unwrap();
+    let nregs = kernel.max_reg().map(|r| u32::from(r) + 1).unwrap_or(1);
+    let b = cfg.machine.b as u32;
+    let blocks = kernel.blocks();
+
+    let best = |mut f: Box<dyn FnMut()>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    // Pure engine executor.
+    let ck = CompiledKernel::compile(kernel, &bases, b, nregs);
+    println!("replayable: {}", ck.replayable);
+    {
+        let mut ex = BlockExec::new(&ck);
+        let t = Instant::now();
+        for blk in 0..blocks {
+            BlockSim::reset(&mut ex, blk);
+            let mut acc = GmemAccess::Direct(&mut g);
+            loop {
+                if let StepEvent::Done = BlockSim::step(&mut ex, &mut acc).unwrap() {
+                    break;
+                }
+            }
+        }
+        println!("engine-exec-only : {:.4}s", t.elapsed().as_secs_f64());
+    }
+    {
+        let mut wx = WarpExec::new(kernel, &bases, b, nregs);
+        let t = Instant::now();
+        for blk in 0..blocks {
+            BlockSim::reset(&mut wx, blk);
+            let mut acc = GmemAccess::Direct(&mut g);
+            loop {
+                if let StepEvent::Done = BlockSim::step(&mut wx, &mut acc).unwrap() {
+                    break;
+                }
+            }
+        }
+        println!("ref-exec-only    : {:.4}s", t.elapsed().as_secs_f64());
+    }
+
+    // Device-level (Mp + dram + event loop), no driver/transfers.
+    let device = Device::new(cfg.machine, cfg.spec).unwrap();
+    let e = best(Box::new({
+        let device = &device;
+        let kernel = kernel.clone();
+        let mut g2 = GlobalMemory::new(bases.clone(), total, cfg.machine.b, cfg.machine.g).unwrap();
+        move || {
+            device
+                .run_kernel_with(&kernel, &mut g2, ExecMode::Sequential, false, EngineSel::MicroOp)
+                .unwrap();
+        }
+    }));
+    println!("engine-device    : {:.4}s", e);
+    let r = best(Box::new({
+        let device = &device;
+        let kernel = kernel.clone();
+        let mut g2 = GlobalMemory::new(bases.clone(), total, cfg.machine.b, cfg.machine.g).unwrap();
+        move || {
+            device
+                .run_kernel_with(
+                    &kernel,
+                    &mut g2,
+                    ExecMode::Sequential,
+                    false,
+                    EngineSel::Reference,
+                )
+                .unwrap();
+        }
+    }));
+    println!("ref-device       : {:.4}s  device-speedup={:.2}", r, r / e);
+
+    // Full run_program.
+    let e = best(Box::new({
+        let built = VecAdd::new(200_000, 1).build(&cfg.machine).unwrap();
+        let m = cfg.machine;
+        let s = cfg.spec;
+        move || {
+            run_program(&built.program, built.inputs.clone(), &m, &s, &SimConfig::default())
+                .unwrap();
+        }
+    }));
+    println!("engine-full      : {:.4}s", e);
+    let r = best(Box::new({
+        let built = VecAdd::new(200_000, 1).build(&cfg.machine).unwrap();
+        let m = cfg.machine;
+        let s = cfg.spec;
+        move || {
+            run_program(
+                &built.program,
+                built.inputs.clone(),
+                &m,
+                &s,
+                &SimConfig { use_reference: true, ..SimConfig::default() },
+            )
+            .unwrap();
+        }
+    }));
+    println!("ref-full         : {:.4}s  full-speedup={:.2}", r, r / e);
+}

@@ -1,0 +1,117 @@
+//! `cargo bench`-independent throughput harness.
+//!
+//! Measures simulator throughput (blocks/second and wall time) for the
+//! tracked workloads and writes machine-readable JSON so the perf
+//! trajectory is recorded from PR 1 onward:
+//!
+//! ```text
+//! cargo run --release -p atgpu-bench --bin throughput -- [--out BENCH_1.json] [--fast]
+//! ```
+//!
+//! `--fast` runs one repetition per workload (CI smoke); the default
+//! takes the best of five.
+
+use atgpu_algos::{matmul::MatMul, reduce::Reduce, vecadd::VecAdd, Workload};
+use atgpu_bench::bench_config;
+use atgpu_sim::{run_program, SimConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    name: &'static str,
+    blocks: u64,
+    secs_reference: f64,
+    secs_engine: f64,
+}
+
+fn measure(w: &dyn Workload, name: &'static str, reps: usize) -> Measurement {
+    let cfg = bench_config();
+    let built = w.build(&cfg.machine).expect("workload builds");
+    let blocks: u64 = built
+        .program
+        .rounds
+        .iter()
+        .flat_map(|r| r.steps.iter())
+        .filter_map(|s| match s {
+            atgpu_ir::HostStep::Launch(k) => Some(k.blocks()),
+            _ => None,
+        })
+        .sum();
+
+    let time_mode = |sim: &SimConfig| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let inputs = built.inputs.clone();
+            let t = Instant::now();
+            let r = run_program(&built.program, inputs, &cfg.machine, &cfg.spec, sim)
+                .expect("simulation succeeds");
+            let dt = t.elapsed().as_secs_f64();
+            std::hint::black_box(r);
+            best = best.min(dt);
+        }
+        best
+    };
+
+    let engine = time_mode(&SimConfig::default());
+    let reference = time_mode(&SimConfig { use_reference: true, ..SimConfig::default() });
+    Measurement { name, blocks, secs_reference: reference, secs_engine: engine }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_1.json");
+    let mut reps = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--fast" => reps = 1,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let vecadd = VecAdd::new(200_000, 1);
+    let matmul = MatMul::new(128, 1);
+    let reduce = Reduce::new(1 << 16, 1);
+    let runs = [
+        measure(&vecadd, "vecadd_200k", reps),
+        measure(&matmul, "matmul_128", reps),
+        measure(&reduce, "reduce_64k", reps),
+    ];
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        let bps_ref = m.blocks as f64 / m.secs_reference;
+        let bps_eng = m.blocks as f64 / m.secs_engine;
+        let speedup = m.secs_reference / m.secs_engine;
+        println!(
+            "{:<14} blocks={:<8} reference={:>9.2} blk/s  engine={:>9.2} blk/s  speedup={:.2}x",
+            m.name, m.blocks, bps_ref, bps_eng, speedup
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"blocks\": {}, \
+             \"reference_secs\": {:.6}, \"engine_secs\": {:.6}, \
+             \"reference_blocks_per_sec\": {:.2}, \"engine_blocks_per_sec\": {:.2}, \
+             \"speedup\": {:.3}}}{}",
+            m.name,
+            m.blocks,
+            m.secs_reference,
+            m.secs_engine,
+            bps_ref,
+            bps_eng,
+            speedup,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -158,7 +158,8 @@ mod tests {
     #[test]
     fn noisy_calibration_stays_close() {
         let spec = GpuSpec::gtx650_like();
-        let cfg = SimConfig { noise: Some(XferNoise { rel: 0.05 }), seed: 11, ..Default::default() };
+        let cfg =
+            SimConfig { noise: Some(XferNoise { rel: 0.05 }), seed: 11, ..Default::default() };
         let c = calibrate(&machine(), &spec, &cfg).unwrap();
         let rel = |a: f64, b: f64| (a - b).abs() / b;
         assert!(rel(c.beta_ms_per_word, spec.xfer_beta_ms_per_word) < 0.1, "beta {c:?}");

@@ -77,11 +77,7 @@ pub fn measure_global_access(
     let mut kb = KernelBuilder::new("chase", 1, b);
     kb.repeat(accesses, |kb| {
         // _s[j] ⇐ x[t0·b + j]: one coalesced transaction per iteration.
-        kb.glb_to_shr(
-            AddrExpr::lane(),
-            d,
-            AddrExpr::loop_var(0) * (b as i64) + AddrExpr::lane(),
-        );
+        kb.glb_to_shr(AddrExpr::lane(), d, AddrExpr::loop_var(0) * (b as i64) + AddrExpr::lane());
     });
     pb.begin_round();
     pb.launch(kb.build());
@@ -106,11 +102,7 @@ pub fn measure_streaming_access(
     let mut pb = ProgramBuilder::new("lambda-stream-bench");
     let d = pb.device_alloc("x", words);
     let mut kb = KernelBuilder::new("stream", blocks, b);
-    kb.glb_to_shr(
-        AddrExpr::lane(),
-        d,
-        AddrExpr::block() * (b as i64) + AddrExpr::lane(),
-    );
+    kb.glb_to_shr(AddrExpr::lane(), d, AddrExpr::block() * (b as i64) + AddrExpr::lane());
     pb.begin_round();
     pb.launch(kb.build());
     let p = pb.build()?;

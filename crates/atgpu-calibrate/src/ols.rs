@@ -70,9 +70,8 @@ pub fn fit_multilinear(rows: &[Vec<f64>], ys: &[f64]) -> Option<Vec<f64>> {
 fn gauss_solve(a: &mut [Vec<f64>], m: usize) -> Option<Vec<f64>> {
     for col in 0..m {
         // Pivot.
-        let piv = (col..m).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
-        })?;
+        let piv = (col..m)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))?;
         if a[piv][col].abs() < 1e-12 {
             return None; // singular
         }

@@ -49,12 +49,7 @@ pub fn standard_panels(
             format!("{workload}: normalised results"),
             "n",
             "cost / time (0→1)",
-            vec![
-                atgpu.normalized(),
-                swgpu.normalized(),
-                total.normalized(),
-                kernel.normalized(),
-            ],
+            vec![atgpu.normalized(), swgpu.normalized(), total.normalized(), kernel.normalized()],
         );
         out.push(c);
     }

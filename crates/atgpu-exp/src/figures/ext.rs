@@ -90,11 +90,7 @@ pub fn e2_other_gpus(cfg: &ExpConfig) -> Result<String, AlgosError> {
     ];
     let mut rows = Vec::new();
     for (name, spec) in specs {
-        let sub = ExpConfig {
-            spec,
-            params: spec.derived_cost_params(),
-            ..cfg.clone()
-        };
+        let sub = ExpConfig { spec, params: spec.derived_cost_params(), ..cfg.clone() };
         let workloads: [(&str, Box<dyn Workload>); 3] = [
             ("vecadd", Box::new(VecAdd::new(400_000, 1))),
             ("reduce", Box::new(atgpu_algos::reduce::Reduce::new(1 << 18, 1))),
@@ -131,8 +127,7 @@ pub fn e3_bank_conflicts(cfg: &ExpConfig) -> Result<String, AlgosError> {
         let analysis = analyze_program(&built.program, &cfg.machine)
             .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
         let q_model = analysis.metrics().total_io_blocks();
-        let report =
-            run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?;
+        let report = run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?;
         let stats = report.rounds[0].kernel_stats;
         rows.push(vec![
             format!("transpose/{}", v.label()),
@@ -149,8 +144,7 @@ pub fn e3_bank_conflicts(cfg: &ExpConfig) -> Result<String, AlgosError> {
         let analysis = analyze_program(&built.program, &cfg.machine)
             .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
         let q_model = analysis.metrics().total_io_blocks();
-        let report =
-            run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?;
+        let report = run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?;
         let stats = report.rounds[0].kernel_stats;
         rows.push(vec![
             "histogram".to_string(),
@@ -161,9 +155,7 @@ pub fn e3_bank_conflicts(cfg: &ExpConfig) -> Result<String, AlgosError> {
             if analysis.conflict_free { "yes" } else { "no" }.to_string(),
         ]);
     }
-    let mut out = String::from(
-        "### E3 — coalescing and the bank-conflict-free assumption\n\n",
-    );
+    let mut out = String::from("### E3 — coalescing and the bank-conflict-free assumption\n\n");
     out.push_str(&markdown_table(
         &[
             "kernel",
@@ -206,8 +198,7 @@ pub fn e4_occupancy(cfg: &ExpConfig) -> Result<(String, Figure), AlgosError> {
         let kernel_cost =
             evaluate(CostModel::KernelOnly, &cfg.params, &cfg.machine, &cfg.spec, &metrics)
                 .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
-        let report =
-            run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?;
+        let report = run_program(&built.program, built.inputs, &cfg.machine, &cfg.spec, &cfg.sim)?;
         let ell = occupancy(&cfg.machine, m_used, cfg.spec.h_limit);
         rows.push(vec![
             m_used.to_string(),
@@ -220,7 +211,12 @@ pub fn e4_occupancy(cfg: &ExpConfig) -> Result<(String, Figure), AlgosError> {
     }
     let mut out = String::from("### E4 — occupancy sweep (vecadd, inflated shared footprint)\n\n");
     out.push_str(&markdown_table(
-        &["shared words m", "ℓ = min(⌊M/m⌋,H)", "predicted kernel cost (ms)", "observed kernel (ms)"],
+        &[
+            "shared words m",
+            "ℓ = min(⌊M/m⌋,H)",
+            "predicted kernel cost (ms)",
+            "observed kernel (ms)",
+        ],
         &rows,
     ));
     let fig = Figure::new(
@@ -228,10 +224,7 @@ pub fn e4_occupancy(cfg: &ExpConfig) -> Result<(String, Figure), AlgosError> {
         "occupancy: predicted kernel cost vs observed kernel time",
         "shared words per block",
         "ms",
-        vec![
-            Series::new("predicted", pred_points),
-            Series::new("observed", obs_points),
-        ],
+        vec![Series::new("predicted", pred_points), Series::new("observed", obs_points)],
     );
     Ok((out, fig))
 }
@@ -261,8 +254,7 @@ pub fn e5_other_problems(cfg: &ExpConfig) -> Result<(String, Vec<SweepRow>), Alg
         ]);
         rows.push(r);
     }
-    let mut out =
-        String::from("### E5 — further computational problems (n = 400000)\n\n");
+    let mut out = String::from("### E5 — further computational problems (n = 400000)\n\n");
     out.push_str(&markdown_table(
         &["workload", "total (ms)", "kernel (ms)", "ΔE", "ΔT", "|ΔT−ΔE|"],
         &table,
@@ -280,7 +272,12 @@ pub fn e6_calibration(cfg: &ExpConfig) -> Result<String, AlgosError> {
     out.push_str(&markdown_table(
         &["parameter", "fitted", "ground truth", "fit R²"],
         &[
-            vec!["α (ms)".into(), fmt(cal.alpha_ms), fmt(truth.xfer_alpha_ms), fmt(cal.transfer_r2)],
+            vec![
+                "α (ms)".into(),
+                fmt(cal.alpha_ms),
+                fmt(truth.xfer_alpha_ms),
+                fmt(cal.transfer_r2),
+            ],
             vec![
                 "β (ms/word)".into(),
                 format!("{:.3e}", cal.beta_ms_per_word),

@@ -8,10 +8,7 @@ use atgpu_algos::AlgosError;
 
 /// Runs the vector-addition sweep (paper: `n = 10⁶ … 10⁷`).
 pub fn rows(cfg: &ExpConfig) -> Result<Vec<SweepRow>, AlgosError> {
-    vecadd_sizes(cfg.scale)
-        .into_iter()
-        .map(|n| run_row(&VecAdd::new(n, n), cfg))
-        .collect()
+    vecadd_sizes(cfg.scale).into_iter().map(|n| run_row(&VecAdd::new(n, n), cfg)).collect()
 }
 
 /// Figures 3a, 3b, 3c from the sweep rows.

@@ -8,10 +8,7 @@ use atgpu_algos::AlgosError;
 
 /// Runs the reduction sweep (paper: `n = 2¹⁶ … 2²⁶`, 0/1 values).
 pub fn rows(cfg: &ExpConfig) -> Result<Vec<SweepRow>, AlgosError> {
-    reduce_sizes(cfg.scale)
-        .into_iter()
-        .map(|n| run_row(&Reduce::new(n, n), cfg))
-        .collect()
+    reduce_sizes(cfg.scale).into_iter().map(|n| run_row(&Reduce::new(n, n), cfg)).collect()
 }
 
 /// Figures 4a, 4b, 4c from the sweep rows.

@@ -9,10 +9,7 @@ use atgpu_algos::AlgosError;
 
 /// Runs the matrix-multiplication sweep (paper: `n = 32 … 1024`).
 pub fn rows(cfg: &ExpConfig) -> Result<Vec<SweepRow>, AlgosError> {
-    matmul_sizes(cfg.scale)
-        .into_iter()
-        .map(|n| run_row(&MatMul::new(n, n), cfg))
-        .collect()
+    matmul_sizes(cfg.scale).into_iter().map(|n| run_row(&MatMul::new(n, n), cfg)).collect()
 }
 
 /// Figures 5a, 5b from the sweep rows.

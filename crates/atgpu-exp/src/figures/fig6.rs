@@ -12,24 +12,14 @@ pub fn figure(rows: &[SweepRow], id: &str, workload: &str) -> Figure {
         "n",
         "Δ",
         vec![
-            Series::new(
-                "ΔE (Observed)",
-                rows.iter().map(|r| (r.n as f64, r.delta_e)).collect(),
-            ),
-            Series::new(
-                "ΔT (Predicted)",
-                rows.iter().map(|r| (r.n as f64, r.delta_t)).collect(),
-            ),
+            Series::new("ΔE (Observed)", rows.iter().map(|r| (r.n as f64, r.delta_e)).collect()),
+            Series::new("ΔT (Predicted)", rows.iter().map(|r| (r.n as f64, r.delta_t)).collect()),
         ],
     )
 }
 
 /// All three panels (6a vecadd, 6b reduction, 6c matmul).
-pub fn figures(
-    vecadd: &[SweepRow],
-    reduce: &[SweepRow],
-    matmul: &[SweepRow],
-) -> Vec<Figure> {
+pub fn figures(vecadd: &[SweepRow], reduce: &[SweepRow], matmul: &[SweepRow]) -> Vec<Figure> {
     vec![
         figure(vecadd, "fig6a", "vector addition"),
         figure(reduce, "fig6b", "reduction"),

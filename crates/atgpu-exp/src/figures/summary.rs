@@ -79,11 +79,7 @@ pub fn paper_reference() -> [PaperReference; 3] {
 }
 
 /// Renders the paper-vs-measured summary as a markdown table.
-pub fn render(
-    vecadd: &[SweepRow],
-    reduce: &[SweepRow],
-    matmul: &[SweepRow],
-) -> String {
+pub fn render(vecadd: &[SweepRow], reduce: &[SweepRow], matmul: &[SweepRow]) -> String {
     let sweeps = [vecadd, reduce, matmul];
     let refs = paper_reference();
     let pct = |v: f64| format!("{:.1}%", 100.0 * v);

@@ -28,10 +28,8 @@ mod tests {
     fn table_matches_paper_checkmarks() {
         let md = markdown();
         // ATGPU column exists and transfer row only ticks ATGPU.
-        let transfer_row = md
-            .lines()
-            .find(|l| l.contains("Host/Device Data Transfer"))
-            .expect("transfer row");
+        let transfer_row =
+            md.lines().find(|l| l.contains("Host/Device Data Transfer")).expect("transfer row");
         assert_eq!(transfer_row.matches('✓').count(), 1);
         let time_row = md.lines().find(|l| l.contains("Time Complexity")).unwrap();
         assert_eq!(time_row.matches('✓').count(), 3);

@@ -255,10 +255,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn emit_figures(
-    figs: &[atgpu_exp::Figure],
-    args: &Args,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn emit_figures(figs: &[atgpu_exp::Figure], args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     for f in figs {
         println!("{}", chart::render(f, 64, 16));
         report::write_figure(f, &args.out)?;

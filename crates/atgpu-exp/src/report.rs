@@ -38,8 +38,7 @@ pub fn figure_csv(fig: &Figure) -> String {
 /// Renders the raw sweep rows as CSV (one file per workload keeps every
 /// quantity the figures derive from).
 pub fn rows_csv(rows: &[SweepRow]) -> String {
-    let mut out =
-        String::from("n,atgpu_cost,swgpu_cost,total_ms,kernel_ms,delta_e,delta_t\n");
+    let mut out = String::from("n,atgpu_cost,swgpu_cost,total_ms,kernel_ms,delta_e,delta_t\n");
     for r in rows {
         let _ = writeln!(
             out,
@@ -192,10 +191,7 @@ mod tests {
             "t",
             "x",
             "y",
-            vec![
-                Series::new("A", vec![(1.0, 1.0)]),
-                Series::new("B", vec![(2.0, 2.0)]),
-            ],
+            vec![Series::new("A", vec![(1.0, 1.0)]), Series::new("B", vec![(2.0, 2.0)])],
         );
         let csv = figure_csv(&f);
         assert!(csv.contains("1,1,\n"));

@@ -94,12 +94,57 @@ impl AffineAddr {
         self.reg.is_none()
     }
 
+    /// True when shifting the block index leaves every lane's address in
+    /// the same position **modulo `b`**: the block (and block-Y)
+    /// coefficients are multiples of `b` and the address is static.
+    ///
+    /// For such addresses the per-warp access *shape* — coalesced
+    /// transaction count, bank-conflict pattern — is identical for every
+    /// thread block (loop counters may still vary it per iteration, but
+    /// identically in each block).  This is the invariance the simulator's
+    /// timing-replay cache keys on.
+    #[inline]
+    pub fn is_block_invariant_mod(&self, b: u64) -> bool {
+        let bi = b as i64;
+        self.is_static()
+            && bi > 0
+            && self.block.rem_euclid(bi) == 0
+            && self.block_y.rem_euclid(bi) == 0
+    }
+
+    /// True when the warp-folded base residue mod `b` is a compile-time
+    /// constant: [`AffineAddr::is_block_invariant_mod`] *and* every loop
+    /// coefficient is a multiple of `b`.  Such sites have one conflict
+    /// degree / transaction count for the whole launch.
+    #[inline]
+    pub fn is_residue_invariant_mod(&self, b: u64) -> bool {
+        let bi = b as i64;
+        self.is_block_invariant_mod(b) && self.loops.iter().all(|&c| c.rem_euclid(bi) == 0)
+    }
+
+    /// Bank-conflict serialisation degree of a full warp (`b` active
+    /// lanes on `b` banks), or `None` when the address reads a register
+    /// (data-dependent).
+    ///
+    /// With lane stride `cL`: stride 0 broadcasts (degree 1); otherwise
+    /// the `b` lane addresses are distinct and lanes `l₁, l₂` collide iff
+    /// `cL·(l₁−l₂) ≡ 0 (mod b)`, putting `gcd(|cL| mod b, b)` distinct
+    /// addresses in the worst bank.
+    #[inline]
+    pub fn full_warp_conflict_degree(&self, b: u64) -> Option<u64> {
+        if !self.is_static() {
+            return None;
+        }
+        if self.lane == 0 {
+            return Some(1);
+        }
+        Some(gcd(self.lane.unsigned_abs() % b, b).clamp(1, b))
+    }
+
     fn checked_add(self, other: AffineAddr) -> Option<AffineAddr> {
         let reg = match (self.reg, other.reg) {
             (None, r) | (r, None) => r,
-            (Some((r1, c1)), Some((r2, c2))) if r1 == r2 => {
-                Some((r1, c1.checked_add(c2)?))
-            }
+            (Some((r1, c1)), Some((r2, c2))) if r1 == r2 => Some((r1, c1.checked_add(c2)?)),
             _ => return None, // two distinct registers: not our affine form
         };
         let mut loops = [0i64; MAX_LOOP_DEPTH];
@@ -152,6 +197,43 @@ impl AffineAddr {
             && self.loops.iter().all(|&c| c == 0)
             && self.reg.is_none_or(|(_, c)| c == 0)
     }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Number of distinct memory blocks (size-`b` aligned word groups)
+/// touched by the monotone address sequence `{base + stride·lane : lane ∈
+/// [0, lanes)}`.  Depends on `base` only through `base mod b`, which the
+/// analyser and the simulator's compile-time transaction tables both
+/// exploit.
+pub fn lane_span_blocks(base: i64, stride: i64, lanes: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    if lanes == 0 {
+        return 0;
+    }
+    if stride == 0 {
+        return 1;
+    }
+    // Addresses are monotone in lane, so distinct floor-quotients can be
+    // counted by scanning for transitions.
+    let mut distinct = 1u64;
+    let mut prev = (base as i128).div_euclid(b as i128);
+    for lane in 1..lanes {
+        let addr = base as i128 + stride as i128 * lane as i128;
+        let q = addr.div_euclid(b as i128);
+        if q != prev {
+            distinct += 1;
+            prev = q;
+        }
+    }
+    distinct
 }
 
 /// Lowers an address tree to affine form.  Returns `None` for non-affine
@@ -397,5 +479,76 @@ mod tests {
     fn scale_overflow_is_rejected_not_wrapped() {
         let e = AddrExpr::lane() * i64::MAX + AddrExpr::lane() * i64::MAX;
         assert!(lower(&e).is_none()); // coefficient addition would overflow
+    }
+
+    #[test]
+    fn block_invariance_classification() {
+        let b = 32u64;
+        // i·32 + j: block stride is a whole number of memory blocks.
+        let a = lower(&(AddrExpr::block() * 32 + AddrExpr::lane())).unwrap();
+        assert!(a.is_block_invariant_mod(b));
+        assert!(a.is_residue_invariant_mod(b));
+        // i·33 + j: the warp's base residue shifts with the block index.
+        let a = lower(&(AddrExpr::block() * 33 + AddrExpr::lane())).unwrap();
+        assert!(!a.is_block_invariant_mod(b));
+        // Negative multiples of b still qualify.
+        let a = lower(&(AddrExpr::c(0) - AddrExpr::block() * 64 + AddrExpr::lane())).unwrap();
+        assert!(a.is_block_invariant_mod(b));
+        // Loop stride 8 varies the residue per iteration (but identically
+        // per block): block-invariant, not residue-invariant.
+        let a = lower(&(AddrExpr::block() * 32 + AddrExpr::loop_var(0) * 8 + AddrExpr::lane()))
+            .unwrap();
+        assert!(a.is_block_invariant_mod(b));
+        assert!(!a.is_residue_invariant_mod(b));
+        // Register term: never invariant.
+        let a = lower(&(AddrExpr::reg(0) + AddrExpr::lane())).unwrap();
+        assert!(!a.is_block_invariant_mod(b));
+    }
+
+    #[test]
+    fn full_warp_conflict_degree_matches_enumeration() {
+        let b = 32u64;
+        for stride in -40i64..=40 {
+            let a = lower(&(AddrExpr::lane() * stride + 7)).unwrap();
+            let fast = a.full_warp_conflict_degree(b).unwrap();
+            // Enumerate distinct addresses per bank, max over banks.
+            let mut per_bank: Vec<Vec<i64>> = vec![Vec::new(); b as usize];
+            for l in 0..b as i64 {
+                let addr = 7 + stride * l;
+                per_bank[addr.rem_euclid(b as i64) as usize].push(addr);
+            }
+            let slow = per_bank
+                .iter_mut()
+                .map(|v| {
+                    v.sort_unstable();
+                    v.dedup();
+                    v.len() as u64
+                })
+                .max()
+                .unwrap()
+                .max(1);
+            assert_eq!(fast, slow, "stride={stride}");
+        }
+        let a = lower(&AddrExpr::reg(3)).unwrap();
+        assert_eq!(a.full_warp_conflict_degree(b), None);
+    }
+
+    #[test]
+    fn lane_span_blocks_matches_enumeration() {
+        for (base, stride, lanes, b) in [
+            (0i64, 1i64, 32u64, 32u64),
+            (1, 1, 32, 32),
+            (5, -3, 16, 8),
+            (0, 0, 32, 32),
+            (7, 9, 64, 64),
+        ] {
+            let fast = lane_span_blocks(base, stride, lanes, b);
+            let mut qs: Vec<i64> =
+                (0..lanes as i64).map(|l| (base + stride * l).div_euclid(b as i64)).collect();
+            qs.sort_unstable();
+            qs.dedup();
+            assert_eq!(fast, qs.len() as u64, "base={base} stride={stride}");
+        }
+        assert_eq!(lane_span_blocks(0, 1, 0, 32), 0);
     }
 }

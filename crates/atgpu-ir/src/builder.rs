@@ -35,9 +35,7 @@ use crate::error::IrError;
 use crate::expr::{AddrExpr, Operand, PredExpr};
 use crate::instr::{AluOp, Instr};
 use crate::kernel::Kernel;
-use crate::program::{
-    DBuf, DeviceAlloc, HBuf, HostBufDecl, HostBufRole, HostStep, Program, Round,
-};
+use crate::program::{DBuf, DeviceAlloc, HBuf, HostBufDecl, HostBufRole, HostStep, Program, Round};
 use crate::validate;
 use crate::Reg;
 
@@ -63,19 +61,11 @@ impl KernelBuilder {
     /// geometry for tiled matrix kernels, where `Block` is the tile
     /// column and `BlockY` the tile row.
     pub fn new_2d(name: impl Into<String>, grid: (u64, u64), shared_words: u64) -> Self {
-        Self {
-            name: name.into(),
-            grid,
-            shared_words,
-            bodies: vec![Vec::new()],
-        }
+        Self { name: name.into(), grid, shared_words, bodies: vec![Vec::new()] }
     }
 
     fn push(&mut self, i: Instr) -> &mut Self {
-        self.bodies
-            .last_mut()
-            .expect("builder always has an open body")
-            .push(i);
+        self.bodies.last_mut().expect("builder always has an open body").push(i);
         self
     }
 
@@ -242,9 +232,7 @@ impl ProgramBuilder {
         dev_off: u64,
         words: u64,
     ) -> &mut Self {
-        self.round_mut()
-            .steps
-            .push(HostStep::TransferIn { host, host_off, dev, dev_off, words });
+        self.round_mut().steps.push(HostStep::TransferIn { host, host_off, dev, dev_off, words });
         self
     }
 
@@ -262,9 +250,7 @@ impl ProgramBuilder {
         host_off: u64,
         words: u64,
     ) -> &mut Self {
-        self.round_mut()
-            .steps
-            .push(HostStep::TransferOut { dev, dev_off, host, host_off, words });
+        self.round_mut().steps.push(HostStep::TransferOut { dev, dev_off, host, host_off, words });
         self
     }
 

@@ -260,11 +260,20 @@ impl fmt::Display for Instr {
         match self {
             Instr::Alu { op, dst, a, b } => write!(f, "r{dst} ← {a} {} {b}", op.glyph()),
             Instr::Mov { dst, src } => write!(f, "r{dst} ← {src}"),
-            Instr::GlbToShr { shared, global } =>
-
-                write!(f, "_s[{}] ⇐ d{}[{}]", DisplayAddr(shared), global.buf.0, DisplayAddr(&global.offset)),
-            Instr::ShrToGlb { global, shared } =>
-                write!(f, "d{}[{}] ⇐ _s[{}]", global.buf.0, DisplayAddr(&global.offset), DisplayAddr(shared)),
+            Instr::GlbToShr { shared, global } => write!(
+                f,
+                "_s[{}] ⇐ d{}[{}]",
+                DisplayAddr(shared),
+                global.buf.0,
+                DisplayAddr(&global.offset)
+            ),
+            Instr::ShrToGlb { global, shared } => write!(
+                f,
+                "d{}[{}] ⇐ _s[{}]",
+                global.buf.0,
+                DisplayAddr(&global.offset),
+                DisplayAddr(shared)
+            ),
             Instr::LdShr { dst, shared } => write!(f, "r{dst} ← _s[{}]", DisplayAddr(shared)),
             Instr::StShr { shared, src } => write!(f, "_s[{}] ← {src}", DisplayAddr(shared)),
             Instr::Pred { pred, .. } => write!(f, "if {pred} then …"),
@@ -365,7 +374,8 @@ mod tests {
 
     #[test]
     fn instr_display_glb_to_shr() {
-        let i = Instr::glb_to_shr(AddrExpr::lane(), DBuf(0), AddrExpr::block() * 32 + AddrExpr::lane());
+        let i =
+            Instr::glb_to_shr(AddrExpr::lane(), DBuf(0), AddrExpr::block() * 32 + AddrExpr::lane());
         let s = i.to_string();
         assert!(s.contains('⇐'), "{s}");
         assert!(s.contains("d0"), "{s}");

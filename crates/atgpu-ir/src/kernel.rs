@@ -179,7 +179,7 @@ mod tests {
             name: "n".into(),
             body: vec![Instr::Repeat {
                 count: 2,
-                body: vec![Instr::Repeat { count: 2, body: vec![Instr::Sync], }],
+                body: vec![Instr::Repeat { count: 2, body: vec![Instr::Sync] }],
             }],
             grid: (1, 1),
             shared_words: 0,

@@ -156,10 +156,7 @@ pub fn render_kernel(k: &Kernel, p: &Program) -> String {
 }
 
 fn buf_name(p: &Program, id: u32) -> String {
-    p.device_allocs
-        .get(id as usize)
-        .map(|a| a.name.clone())
-        .unwrap_or_else(|| format!("d{id}"))
+    p.device_allocs.get(id as usize).map(|a| a.name.clone()).unwrap_or_else(|| format!("d{id}"))
 }
 
 struct AddrText<'a>(&'a CompiledAddr);

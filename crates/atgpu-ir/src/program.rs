@@ -179,10 +179,7 @@ impl Program {
 
     /// Total words transferred in both directions, `Σᵢ (Iᵢ + Oᵢ)`.
     pub fn total_transfer_words(&self) -> u64 {
-        self.rounds
-            .iter()
-            .map(|r| r.inward().0 + r.outward().0)
-            .sum()
+        self.rounds.iter().map(|r| r.inward().0 + r.outward().0).sum()
     }
 
     /// `R`, the number of rounds.
@@ -244,10 +241,7 @@ mod tests {
                 DeviceAlloc { name: "b".into(), words: 50 },
             ],
             host_bufs: vec![HostBufDecl { name: "A".into(), words: 100, role: HostBufRole::Input }],
-            rounds: vec![
-                Round { steps: vec![xfer_in(100)] },
-                Round { steps: vec![xfer_out(50)] },
-            ],
+            rounds: vec![Round { steps: vec![xfer_in(100)] }, Round { steps: vec![xfer_out(50)] }],
         };
         assert_eq!(p.device_words(), 150);
         assert_eq!(p.total_transfer_words(), 150);

@@ -115,12 +115,10 @@ pub fn validate_program(p: &Program) -> Result<(), IrError> {
                                 .into(),
                         });
                     }
-                    let hb = p
-                        .host_buf_words(*host)
-                        .ok_or(IrError::UnknownHostBuf { buf: host.0 })?;
-                    let db = p
-                        .device_buf_words(*dev)
-                        .ok_or(IrError::UnknownDeviceBuf { buf: dev.0 })?;
+                    let hb =
+                        p.host_buf_words(*host).ok_or(IrError::UnknownHostBuf { buf: host.0 })?;
+                    let db =
+                        p.device_buf_words(*dev).ok_or(IrError::UnknownDeviceBuf { buf: dev.0 })?;
                     check_range("host", &p.host_bufs[host.0 as usize].name, *host_off, *words, hb)?;
                     check_range(
                         "device",
@@ -159,12 +157,10 @@ pub fn validate_program(p: &Program) -> Result<(), IrError> {
                 }
                 HostStep::TransferOut { dev, dev_off, host, host_off, words } => {
                     phase = 2;
-                    let hb = p
-                        .host_buf_words(*host)
-                        .ok_or(IrError::UnknownHostBuf { buf: host.0 })?;
-                    let db = p
-                        .device_buf_words(*dev)
-                        .ok_or(IrError::UnknownDeviceBuf { buf: dev.0 })?;
+                    let hb =
+                        p.host_buf_words(*host).ok_or(IrError::UnknownHostBuf { buf: host.0 })?;
+                    let db =
+                        p.device_buf_words(*dev).ok_or(IrError::UnknownDeviceBuf { buf: dev.0 })?;
                     check_range("host", &p.host_bufs[host.0 as usize].name, *host_off, *words, hb)?;
                     check_range(
                         "device",
@@ -176,10 +172,7 @@ pub fn validate_program(p: &Program) -> Result<(), IrError> {
                     let decl = &p.host_bufs[host.0 as usize];
                     if decl.role == HostBufRole::Input {
                         return Err(IrError::HostBufRole {
-                            reason: format!(
-                                "round {ri} writes host input buffer `{}`",
-                                decl.name
-                            ),
+                            reason: format!("round {ri} writes host input buffer `{}`", decl.name),
                         });
                     }
                     host_written[host.0 as usize] = true;
@@ -190,13 +183,7 @@ pub fn validate_program(p: &Program) -> Result<(), IrError> {
     Ok(())
 }
 
-fn check_range(
-    kind: &str,
-    name: &str,
-    off: u64,
-    words: u64,
-    size: u64,
-) -> Result<(), IrError> {
+fn check_range(kind: &str, name: &str, off: u64, words: u64, size: u64) -> Result<(), IrError> {
     let end = off.checked_add(words).ok_or_else(|| IrError::TransferOutOfBounds {
         what: format!("{kind} {name}"),
         end: u64::MAX,
@@ -265,10 +252,7 @@ mod tests {
 
     #[test]
     fn zero_block_launch_rejected() {
-        assert!(matches!(
-            validate_kernel(&trivial_kernel(0)),
-            Err(IrError::ZeroBlocks { .. })
-        ));
+        assert!(matches!(validate_kernel(&trivial_kernel(0)), Err(IrError::ZeroBlocks { .. })));
     }
 
     #[test]
@@ -337,10 +321,7 @@ mod tests {
                 });
             });
         });
-        assert!(matches!(
-            validate_kernel(&kb.build()),
-            Err(IrError::LoopTooDeep { depth: 5, .. })
-        ));
+        assert!(matches!(validate_kernel(&kb.build()), Err(IrError::LoopTooDeep { depth: 5, .. })));
     }
 
     fn valid_program() -> ProgramBuilder {

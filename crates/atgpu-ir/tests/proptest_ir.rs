@@ -71,11 +71,18 @@ proptest! {
     }
 
     /// max_reg/max_loop_var are sound: compile never reports a register
-    /// the tree does not contain.
+    /// the tree does not contain.  (Lowering may legitimately *discover*
+    /// staticness the tree hides — e.g. a register scaled by zero — so the
+    /// checks are implications, not equalities.)
     #[test]
     fn static_summaries_sound(e in addr_expr()) {
         let c = CompiledAddr::compile(e.clone());
-        prop_assert_eq!(c.is_static(), e.max_reg().is_none());
+        if e.max_reg().is_none() {
+            prop_assert!(c.is_static());
+        }
+        if !c.is_static() {
+            prop_assert!(e.max_reg().is_some());
+        }
         if let Some(d) = c.max_loop_var() {
             prop_assert!(e.max_loop_var().is_some_and(|t| t >= d));
         }

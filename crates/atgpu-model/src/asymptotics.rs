@@ -200,10 +200,7 @@ mod tests {
     #[test]
     fn eval_matmul_io_shape() {
         // (n/b)^2 (n + b)
-        let t = Term::n()
-            .over(Term::b())
-            .pow(2)
-            .times(Term::n().plus(Term::b()));
+        let t = Term::n().over(Term::b()).pow(2).times(Term::n().plus(Term::b()));
         assert_eq!(t.eval(64.0, 32.0), 4.0 * 96.0);
     }
 

@@ -42,14 +42,14 @@ pub struct AgpuAnalysis {
 ///
 /// Data-transfer and synchronisation information is *dropped* — that is
 /// precisely the paper's point about AGPU's blind spot.
-pub fn agpu_view(machine: &AtgpuMachine, metrics: &AlgoMetrics) -> Result<AgpuAnalysis, ModelError> {
+pub fn agpu_view(
+    machine: &AtgpuMachine,
+    metrics: &AlgoMetrics,
+) -> Result<AgpuAnalysis, ModelError> {
     let shared = metrics.peak_shared_words();
     if shared > machine.m {
         // AGPU "disallows algorithms where shared memory used exceeds capacity".
-        return Err(ModelError::SharedMemoryExceeded {
-            required: shared,
-            available: machine.m,
-        });
+        return Err(ModelError::SharedMemoryExceeded { required: shared, available: machine.m });
     }
     Ok(AgpuAnalysis {
         time: metrics.total_time_ops(),
@@ -136,10 +136,7 @@ mod tests {
     #[test]
     fn agpu_enforces_shared_limit() {
         let m = AtgpuMachine::new(64, 32, 48, 1024).unwrap();
-        assert!(matches!(
-            agpu_view(&m, &metrics()),
-            Err(ModelError::SharedMemoryExceeded { .. })
-        ));
+        assert!(matches!(agpu_view(&m, &metrics()), Err(ModelError::SharedMemoryExceeded { .. })));
     }
 
     #[test]

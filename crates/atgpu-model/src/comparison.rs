@@ -142,41 +142,23 @@ pub fn comparison_table() -> Vec<ModelInfo> {
 /// The classical parallel models from the paper's §I-B, for context.
 /// (They predate GPUs; none capture warps or the GPU memory hierarchy.)
 pub fn classical_models() -> Vec<ModelInfo> {
-    let base = ModelCapabilities {
-        time_complexity: true,
-        ..ModelCapabilities::default()
-    };
+    let base = ModelCapabilities { time_complexity: true, ..ModelCapabilities::default() };
     vec![
-        ModelInfo {
-            name: "PRAM",
-            citation: "[10] Fortune & Wyllie",
-            caps: base,
-        },
+        ModelInfo { name: "PRAM", citation: "[10] Fortune & Wyllie", caps: base },
         ModelInfo {
             name: "BSP",
             citation: "[11] Valiant",
-            caps: ModelCapabilities {
-                synchronisation: true,
-                cost_function: true,
-                ..base
-            },
+            caps: ModelCapabilities { synchronisation: true, cost_function: true, ..base },
         },
         ModelInfo {
             name: "BSPRAM",
             citation: "[12] Tiskin",
-            caps: ModelCapabilities {
-                synchronisation: true,
-                cost_function: true,
-                ..base
-            },
+            caps: ModelCapabilities { synchronisation: true, cost_function: true, ..base },
         },
         ModelInfo {
             name: "PEM",
             citation: "[13] Arge et al.",
-            caps: ModelCapabilities {
-                io_complexity: true,
-                ..base
-            },
+            caps: ModelCapabilities { io_complexity: true, ..base },
         },
     ]
 }
@@ -219,10 +201,7 @@ pub fn render_ascii(models: &[ModelInfo]) -> String {
     for (i, item) in TABLE1_ITEMS.iter().enumerate() {
         out.push_str(&format!("{item:item_w$}"));
         for m in models {
-            out.push_str(&format!(
-                "  {:>6}",
-                if cap_values(&m.caps)[i] { "yes" } else { "-" }
-            ));
+            out.push_str(&format!("  {:>6}", if cap_values(&m.caps)[i] { "yes" } else { "-" }));
         }
         out.push('\n');
     }
@@ -265,20 +244,16 @@ mod tests {
 
     #[test]
     fn only_atgpu_captures_transfer() {
-        let with_transfer: Vec<_> = comparison_table()
-            .into_iter()
-            .filter(|m| m.caps.host_device_transfer)
-            .collect();
+        let with_transfer: Vec<_> =
+            comparison_table().into_iter().filter(|m| m.caps.host_device_transfer).collect();
         assert_eq!(with_transfer.len(), 1);
         assert_eq!(with_transfer[0].name, "ATGPU");
     }
 
     #[test]
     fn only_atgpu_bounds_global_memory() {
-        let bounded: Vec<_> = comparison_table()
-            .into_iter()
-            .filter(|m| m.caps.global_memory_limit)
-            .collect();
+        let bounded: Vec<_> =
+            comparison_table().into_iter().filter(|m| m.caps.global_memory_limit).collect();
         assert_eq!(bounded.len(), 1);
         assert_eq!(bounded[0].name, "ATGPU");
     }

@@ -123,9 +123,8 @@ pub fn evaluate(
                     .max(u64::from(round.time > 0))
             }
         };
-        let kernel =
-            (wave as f64 * round.time as f64 + params.lambda * round.io_blocks as f64)
-                / params.gamma;
+        let kernel = (wave as f64 * round.time as f64 + params.lambda * round.io_blocks as f64)
+            / params.gamma;
         out.kernel += kernel;
         match model {
             CostModel::PerfectGpu | CostModel::GpuCost => {
@@ -201,13 +200,7 @@ mod tests {
     }
 
     fn unit_params() -> CostParams {
-        CostParams {
-            gamma: 1.0,
-            lambda: 10.0,
-            sigma: 5.0,
-            alpha: 2.0,
-            beta: 0.5,
-        }
+        CostParams { gamma: 1.0, lambda: 10.0, sigma: 5.0, alpha: 2.0, beta: 0.5 }
     }
 
     #[test]

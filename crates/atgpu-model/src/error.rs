@@ -49,19 +49,13 @@ impl fmt::Display for ModelError {
             ModelError::InvalidMachine { reason } => {
                 write!(f, "invalid ATGPU machine: {reason}")
             }
-            ModelError::GlobalMemoryExceeded {
-                required,
-                available,
-            } => write!(
+            ModelError::GlobalMemoryExceeded { required, available } => write!(
                 f,
                 "algorithm needs {required} words of global memory but the \
                  machine has G = {available}; the algorithm cannot run on \
                  this ATGPU instance"
             ),
-            ModelError::SharedMemoryExceeded {
-                required,
-                available,
-            } => write!(
+            ModelError::SharedMemoryExceeded { required, available } => write!(
                 f,
                 "algorithm needs {required} words of shared memory per MP \
                  but the machine has M = {available}; the algorithm cannot \
@@ -85,10 +79,7 @@ mod tests {
 
     #[test]
     fn display_mentions_limits() {
-        let e = ModelError::GlobalMemoryExceeded {
-            required: 10,
-            available: 5,
-        };
+        let e = ModelError::GlobalMemoryExceeded { required: 10, available: 5 };
         let s = e.to_string();
         assert!(s.contains("10"));
         assert!(s.contains("G = 5"));
@@ -96,18 +87,14 @@ mod tests {
 
     #[test]
     fn display_shared() {
-        let e = ModelError::SharedMemoryExceeded {
-            required: 100,
-            available: 64,
-        };
+        let e = ModelError::SharedMemoryExceeded { required: 100, available: 64 };
         assert!(e.to_string().contains("M = 64"));
     }
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> = Box::new(ModelError::InvalidMachine {
-            reason: "b = 0".into(),
-        });
+        let e: Box<dyn std::error::Error> =
+            Box::new(ModelError::InvalidMachine { reason: "b = 0".into() });
         assert!(e.to_string().contains("b = 0"));
     }
 }

@@ -109,26 +109,13 @@ impl AtgpuMachine {
     /// `p` is sized for 8192 MPs so that moderately sized problems can be
     /// analysed on a "perfect" machine without resizing.
     pub fn gtx650_like() -> Self {
-        Self {
-            p: 8192 * 32,
-            b: 32,
-            m: 12_288,
-            g: 1 << 28,
-        }
+        Self { p: 8192 * 32, b: 32, m: 12_288, g: 1 << 28 }
     }
 }
 
 impl std::fmt::Display for AtgpuMachine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "ATGPU(p={}, b={}, M={}, G={}) [k={}]",
-            self.p,
-            self.b,
-            self.m,
-            self.g,
-            self.k()
-        )
+        write!(f, "ATGPU(p={}, b={}, M={}, G={}) [k={}]", self.p, self.b, self.m, self.g, self.k())
     }
 }
 

@@ -61,10 +61,7 @@ impl RoundMetrics {
     pub fn validate(&self) -> Result<(), ModelError> {
         if self.inward_words > 0 && self.inward_txns == 0 {
             return Err(ModelError::InvalidMetrics {
-                reason: format!(
-                    "round moves {} words inward in 0 transactions",
-                    self.inward_words
-                ),
+                reason: format!("round moves {} words inward in 0 transactions", self.inward_words),
             });
         }
         if self.outward_words > 0 && self.outward_txns == 0 {
@@ -135,26 +132,18 @@ impl AlgoMetrics {
     /// be run on the model, plus per-round structural validity.
     pub fn check_fits(&self, machine: &AtgpuMachine) -> Result<(), ModelError> {
         if self.rounds.is_empty() {
-            return Err(ModelError::InvalidMetrics {
-                reason: "algorithm has no rounds".into(),
-            });
+            return Err(ModelError::InvalidMetrics { reason: "algorithm has no rounds".into() });
         }
         for r in &self.rounds {
             r.validate()?;
         }
         let g = self.peak_global_words();
         if g > machine.g {
-            return Err(ModelError::GlobalMemoryExceeded {
-                required: g,
-                available: machine.g,
-            });
+            return Err(ModelError::GlobalMemoryExceeded { required: g, available: machine.g });
         }
         let m = self.peak_shared_words();
         if m > machine.m {
-            return Err(ModelError::SharedMemoryExceeded {
-                required: m,
-                available: machine.m,
-            });
+            return Err(ModelError::SharedMemoryExceeded { required: m, available: machine.m });
         }
         Ok(())
     }
@@ -229,10 +218,7 @@ mod tests {
         let mut r = round(1, 1);
         r.shared_words = 33;
         let m = AlgoMetrics::new(vec![r]);
-        assert!(matches!(
-            m.check_fits(&mach),
-            Err(ModelError::SharedMemoryExceeded { .. })
-        ));
+        assert!(matches!(m.check_fits(&mach), Err(ModelError::SharedMemoryExceeded { .. })));
     }
 
     #[test]

@@ -74,13 +74,7 @@ impl CostParams {
     /// magnitude constants).  Useful for plotting cost *trends* the way the
     /// paper's Figures 3a/4a/5a do, where only growth rates matter.
     pub fn unit() -> Self {
-        Self {
-            gamma: 1.0,
-            lambda: 100.0,
-            sigma: 10.0,
-            alpha: 50.0,
-            beta: 0.05,
-        }
+        Self { gamma: 1.0, lambda: 100.0, sigma: 10.0, alpha: 50.0, beta: 0.05 }
     }
 
     /// Parameters resembling the paper's testbed (GTX 650 on a PCIe link
@@ -97,13 +91,7 @@ impl CostParams {
     /// * `α`: 0.015 ms per transfer transaction (DMA setup).
     /// * `β`: 1.7 GB/s over 4-byte words → ≈ 2.35e-6 ms/word.
     pub fn gtx650_like() -> Self {
-        Self {
-            gamma: 1.058e6,
-            lambda: 15.0,
-            sigma: 0.08,
-            alpha: 0.015,
-            beta: 2.35e-6,
-        }
+        Self { gamma: 1.058e6, lambda: 15.0, sigma: 0.08, alpha: 0.015, beta: 2.35e-6 }
     }
 }
 
@@ -144,19 +132,13 @@ impl GpuSpec {
     /// Validates the specification.
     pub fn validate(&self) -> Result<(), ModelError> {
         if self.k_prime == 0 {
-            return Err(ModelError::InvalidParams {
-                reason: "k_prime must be at least 1".into(),
-            });
+            return Err(ModelError::InvalidParams { reason: "k_prime must be at least 1".into() });
         }
         if self.h_limit == 0 {
-            return Err(ModelError::InvalidParams {
-                reason: "h_limit must be at least 1".into(),
-            });
+            return Err(ModelError::InvalidParams { reason: "h_limit must be at least 1".into() });
         }
         if self.clock_cycles_per_ms.is_nan() || self.clock_cycles_per_ms <= 0.0 {
-            return Err(ModelError::InvalidParams {
-                reason: "clock must be positive".into(),
-            });
+            return Err(ModelError::InvalidParams { reason: "clock must be positive".into() });
         }
         for (name, v) in [
             ("xfer_alpha_ms", self.xfer_alpha_ms),
@@ -304,10 +286,7 @@ mod tests {
 
     #[test]
     fn derived_params_are_valid() {
-        GpuSpec::gtx650_like()
-            .derived_cost_params()
-            .validate()
-            .unwrap();
+        GpuSpec::gtx650_like().derived_cost_params().validate().unwrap();
     }
 
     #[test]

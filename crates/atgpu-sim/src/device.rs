@@ -16,11 +16,13 @@
 //!   any global word written by two different blocks.
 
 use crate::dram::DramController;
+use crate::engine::{BlockExec, BlockSim};
 use crate::error::SimError;
 use crate::gmem::GlobalMemory;
 use crate::mp::{Mp, MpStats};
+use crate::uop::CompiledKernel;
 use crate::warp::{GmemAccess, WarpExec, WriteRec};
-use crate::ExecMode;
+use crate::{EngineSel, ExecMode};
 use atgpu_ir::Kernel;
 use atgpu_model::{occupancy, AtgpuMachine, GpuSpec};
 
@@ -112,13 +114,31 @@ impl Device {
         &self.spec
     }
 
-    /// Runs one kernel launch to completion.
+    /// Runs one kernel launch to completion with the micro-op engine.
     pub fn run_kernel(
         &self,
         kernel: &Kernel,
         gmem: &mut GlobalMemory,
         mode: ExecMode,
         detect_races: bool,
+    ) -> Result<KernelStats, SimError> {
+        self.run_kernel_with(kernel, gmem, mode, detect_races, EngineSel::MicroOp)
+    }
+
+    /// Runs one kernel launch with an explicit executor choice.
+    ///
+    /// [`EngineSel::MicroOp`] compiles the kernel once into the flat
+    /// micro-op form (with precomputed access shapes and, when provable,
+    /// block-invariant timing replay); [`EngineSel::Reference`] drives the
+    /// retained tree-walking interpreter — the pre-engine baseline kept
+    /// for differential testing and benchmarking.
+    pub fn run_kernel_with(
+        &self,
+        kernel: &Kernel,
+        gmem: &mut GlobalMemory,
+        mode: ExecMode,
+        detect_races: bool,
+        engine: EngineSel,
     ) -> Result<KernelStats, SimError> {
         let ell = occupancy(&self.machine, kernel.shared_words, self.spec.h_limit);
         if ell == 0 {
@@ -129,54 +149,71 @@ impl Device {
             });
         }
         let nregs = kernel.max_reg().map(|r| u32::from(r) + 1).unwrap_or(1);
-        let bases: Vec<u64> =
-            (0..gmem.buf_count()).map(|i| gmem.base(i as u32)).collect();
+        let bases: Vec<u64> = (0..gmem.buf_count()).map(|i| gmem.base(i as u32)).collect();
 
+        match engine {
+            EngineSel::MicroOp => {
+                let compiled =
+                    CompiledKernel::compile(kernel, &bases, self.machine.b as u32, nregs);
+                let make = || BlockExec::new(&compiled);
+                self.dispatch(kernel, gmem, mode, detect_races, ell, &make, compiled.replayable)
+            }
+            EngineSel::Reference => {
+                let b = self.machine.b as u32;
+                let bases = &bases[..];
+                let make = || WarpExec::new(kernel, bases, b, nregs);
+                self.dispatch(kernel, gmem, mode, detect_races, ell, &make, false)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch<E: BlockSim>(
+        &self,
+        kernel: &Kernel,
+        gmem: &mut GlobalMemory,
+        mode: ExecMode,
+        detect_races: bool,
+        ell: u64,
+        make: &(impl Fn() -> E + Sync),
+        replayable: bool,
+    ) -> Result<KernelStats, SimError> {
         match mode {
             ExecMode::Sequential => {
                 if detect_races {
                     // Race detection requires deferred writes; timing is
                     // unchanged (same event loop, shared controller).
                     let mut log = Vec::new();
-                    let stats = self.run_sequential(
-                        kernel,
-                        gmem,
-                        &bases,
-                        ell,
-                        nregs,
-                        Some(&mut log),
-                    )?;
+                    let stats =
+                        self.run_sequential(kernel, gmem, ell, make, replayable, Some(&mut log))?;
                     apply_log(kernel, gmem, log, true)?;
                     Ok(stats)
                 } else {
-                    self.run_sequential(kernel, gmem, &bases, ell, nregs, None)
+                    self.run_sequential(kernel, gmem, ell, make, replayable, None)
                 }
             }
             ExecMode::Parallel { threads } => {
                 let (stats, log) =
-                    self.run_parallel(kernel, gmem, &bases, ell, nregs, threads.max(1))?;
+                    self.run_parallel(kernel, gmem, ell, make, replayable, threads.max(1))?;
                 apply_log(kernel, gmem, log, detect_races)?;
                 Ok(stats)
             }
         }
     }
 
-    fn run_sequential(
+    fn run_sequential<E: BlockSim>(
         &self,
         kernel: &Kernel,
         gmem: &mut GlobalMemory,
-        bases: &[u64],
         ell: u64,
-        nregs: u32,
+        make: impl Fn() -> E,
+        replayable: bool,
         mut log: Option<&mut Vec<WriteRec>>,
     ) -> Result<KernelStats, SimError> {
         let k_prime = self.spec.k_prime as usize;
-        let b = self.machine.b as u32;
-        let mut dram = DramController::new(
-            self.spec.dram_issue_cycles,
-            self.spec.dram_latency_cycles,
-        );
-        let mut mps: Vec<Mp<'_>> = (0..k_prime).map(|_| Mp::new(ell)).collect();
+        let mut dram =
+            DramController::new(self.spec.dram_issue_cycles, self.spec.dram_latency_cycles);
+        let mut mps: Vec<Mp<E>> = (0..k_prime).map(|_| Mp::with_replay(ell, replayable)).collect();
         let mut next_block = 0u64;
         let total_blocks = kernel.blocks();
 
@@ -186,7 +223,7 @@ impl Device {
                 if next_block >= total_blocks {
                     break 'fill;
                 }
-                mp.admit(next_block, || WarpExec::new(kernel, bases, b, nregs));
+                mp.admit(next_block, &make);
                 next_block += 1;
             }
         }
@@ -210,8 +247,7 @@ impl Device {
                 mps[i].step(&mut acc, &mut dram)?
             };
             if retired && next_block < total_blocks {
-                let mp = &mut mps[i];
-                mp.admit(next_block, || WarpExec::new(kernel, bases, b, nregs));
+                mps[i].admit(next_block, &make);
                 next_block += 1;
             }
         }
@@ -231,17 +267,16 @@ impl Device {
 
     /// Parallel simulation: MPs distributed over `threads` workers, static
     /// block assignment, per-MP bandwidth share, deferred writes.
-    fn run_parallel(
+    fn run_parallel<E: BlockSim>(
         &self,
         kernel: &Kernel,
         gmem: &GlobalMemory,
-        bases: &[u64],
         ell: u64,
-        nregs: u32,
+        make: &(impl Fn() -> E + Sync),
+        replayable: bool,
         threads: usize,
     ) -> Result<(KernelStats, Vec<WriteRec>), SimError> {
         let k_prime = self.spec.k_prime;
-        let b = self.machine.b as u32;
         let total_blocks = kernel.blocks();
         // Each MP gets a 1/k' share of memory bandwidth.
         let issue = self.spec.dram_issue_cycles * k_prime;
@@ -252,14 +287,14 @@ impl Device {
         type MpOutcome = Result<(MpStats, u64, u64, Vec<WriteRec>), SimError>;
         let sim_mp = |mp_id: u64| -> MpOutcome {
             let mut dram = DramController::new(issue, latency);
-            let mut mp = Mp::new(ell);
+            let mut mp = Mp::with_replay(ell, replayable);
             let mut log = Vec::new();
             let mut blocks = (0..total_blocks).skip(mp_id as usize).step_by(k_prime as usize);
             // Initial fill.
             let mut pending = blocks.next();
             while mp.free_slots() > 0 {
                 let Some(blk) = pending else { break };
-                mp.admit(blk, || WarpExec::new(kernel, bases, b, nregs));
+                mp.admit(blk, make);
                 pending = blocks.next();
             }
             while !mp.idle() {
@@ -267,7 +302,7 @@ impl Device {
                 let retired = mp.step(&mut acc, &mut dram)?;
                 if retired {
                     if let Some(blk) = pending {
-                        mp.admit(blk, || WarpExec::new(kernel, bases, b, nregs));
+                        mp.admit(blk, make);
                         pending = blocks.next();
                     }
                 }
@@ -276,35 +311,29 @@ impl Device {
         };
 
         // Partition MPs over worker threads.
-        let results: Vec<MpOutcome> =
-            if threads <= 1 {
-                (0..k_prime).map(sim_mp).collect()
-            } else {
-                let mut out: Vec<Option<Result<_, _>>> =
-                    (0..k_prime).map(|_| None).collect();
-                let chunks: Vec<Vec<u64>> = (0..threads)
-                    .map(|t| (0..k_prime).filter(|m| *m as usize % threads == t).collect())
-                    .collect();
-                crossbeam::thread::scope(|s| {
-                    let mut handles = Vec::new();
-                    for chunk in &chunks {
-                        let sim = &sim_mp;
-                        handles.push(s.spawn(move |_| {
-                            chunk
-                                .iter()
-                                .map(|&m| (m, sim(m)))
-                                .collect::<Vec<_>>()
-                        }));
+        let results: Vec<MpOutcome> = if threads <= 1 {
+            (0..k_prime).map(sim_mp).collect()
+        } else {
+            let mut out: Vec<Option<Result<_, _>>> = (0..k_prime).map(|_| None).collect();
+            let chunks: Vec<Vec<u64>> = (0..threads)
+                .map(|t| (0..k_prime).filter(|m| *m as usize % threads == t).collect())
+                .collect();
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for chunk in &chunks {
+                    let sim = &sim_mp;
+                    handles.push(
+                        s.spawn(move || chunk.iter().map(|&m| (m, sim(m))).collect::<Vec<_>>()),
+                    );
+                }
+                for h in handles {
+                    for (m, r) in h.join().expect("simulation thread panicked") {
+                        out[m as usize] = Some(r);
                     }
-                    for h in handles {
-                        for (m, r) in h.join().expect("simulation thread panicked") {
-                            out[m as usize] = Some(r);
-                        }
-                    }
-                })
-                .expect("crossbeam scope");
-                out.into_iter().map(|o| o.expect("all MPs simulated")).collect()
-            };
+                }
+            });
+            out.into_iter().map(|o| o.expect("all MPs simulated")).collect()
+        };
 
         let mut stats = KernelStats { occupancy: ell, ..KernelStats::default() };
         let mut log = Vec::new();
@@ -418,9 +447,7 @@ mod tests {
         let mut g1 = fresh_gmem(n);
         let s1 = dev.run_kernel(&k, &mut g1, ExecMode::Sequential, false).unwrap();
         let mut g2 = fresh_gmem(n);
-        let s2 = dev
-            .run_kernel(&k, &mut g2, ExecMode::Parallel { threads: 2 }, false)
-            .unwrap();
+        let s2 = dev.run_kernel(&k, &mut g2, ExecMode::Parallel { threads: 2 }, false).unwrap();
         assert_eq!(s1.blocks, s2.blocks);
         assert_eq!(s1.global_txns, s2.global_txns);
         let ratio = s2.cycles as f64 / s1.cycles as f64;
@@ -448,10 +475,7 @@ mod tests {
     #[test]
     fn wide_machines_rejected() {
         let m = AtgpuMachine::new(1 << 10, 128, 256, 1 << 16).unwrap();
-        assert!(matches!(
-            Device::new(m, spec()),
-            Err(SimError::UnsupportedWidth { b: 128 })
-        ));
+        assert!(matches!(Device::new(m, spec()), Err(SimError::UnsupportedWidth { b: 128 })));
     }
 
     #[test]
@@ -524,11 +548,6 @@ mod tests {
         let mut g4 = fresh_gmem(n);
         let dev4 = Device::new(machine(), GpuSpec { k_prime: 4, ..spec() }).unwrap();
         let s4 = dev4.run_kernel(&k, &mut g4, ExecMode::Sequential, false).unwrap();
-        assert!(
-            s4.cycles < s1.cycles,
-            "4 MPs ({}) should beat 1 MP ({})",
-            s4.cycles,
-            s1.cycles
-        );
+        assert!(s4.cycles < s1.cycles, "4 MPs ({}) should beat 1 MP ({})", s4.cycles, s1.cycles);
     }
 }

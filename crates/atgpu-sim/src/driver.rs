@@ -26,11 +26,20 @@ pub struct SimConfig {
     pub seed: u64,
     /// Detect cross-block global write races.
     pub detect_races: bool,
+    /// Drive the tree-walking reference interpreter instead of the
+    /// micro-op engine (differential tests, baseline benchmarks).
+    pub use_reference: bool,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { mode: ExecMode::Sequential, noise: None, seed: 0, detect_races: false }
+        Self {
+            mode: ExecMode::Sequential,
+            noise: None,
+            seed: 0,
+            detect_races: false,
+            use_reference: false,
+        }
     }
 }
 
@@ -172,14 +181,24 @@ pub fn run_program(
         for step in &round.steps {
             match step {
                 HostStep::TransferIn { host: h, host_off, dev, dev_off, words } => {
-                    let src = &host.bufs[h.0 as usize]
-                        [*host_off as usize..(*host_off + *words) as usize];
+                    let src =
+                        &host.bufs[h.0 as usize][*host_off as usize..(*host_off + *words) as usize];
                     let dst = gmem.base(dev.0) + dev_off;
                     obs.xfer_in_ms += xfer.to_device(&mut gmem, dst, src);
                 }
                 HostStep::Launch(kernel) => {
-                    let stats =
-                        device.run_kernel(kernel, &mut gmem, config.mode, config.detect_races)?;
+                    let engine = if config.use_reference {
+                        crate::EngineSel::Reference
+                    } else {
+                        crate::EngineSel::MicroOp
+                    };
+                    let stats = device.run_kernel_with(
+                        kernel,
+                        &mut gmem,
+                        config.mode,
+                        config.detect_races,
+                        engine,
+                    )?;
                     obs.kernel_stats = stats;
                     obs.kernel_ms += stats.cycles as f64 / spec.clock_cycles_per_ms;
                 }
@@ -251,14 +270,9 @@ mod tests {
         let (p, hc) = vecadd_program(n);
         let a: Vec<i64> = (0..n as i64).collect();
         let b: Vec<i64> = (0..n as i64).map(|x| 10 * x).collect();
-        let report = run_program(
-            &p,
-            vec![a.clone(), b.clone()],
-            &machine(),
-            &spec(),
-            &SimConfig::default(),
-        )
-        .unwrap();
+        let report =
+            run_program(&p, vec![a.clone(), b.clone()], &machine(), &spec(), &SimConfig::default())
+                .unwrap();
         let c = report.output(hc);
         for i in 0..n as usize {
             assert_eq!(c[i], a[i] + b[i]);
@@ -334,13 +348,7 @@ mod tests {
         let small = AtgpuMachine::new(1 << 12, 4, 64, 100).unwrap();
         let (p, _) = vecadd_program(64); // needs 192 words > 100
         assert!(matches!(
-            run_program(
-                &p,
-                vec![vec![0; 64], vec![0; 64]],
-                &small,
-                &spec(),
-                &SimConfig::default()
-            ),
+            run_program(&p, vec![vec![0; 64], vec![0; 64]], &small, &spec(), &SimConfig::default()),
             Err(SimError::OutOfGlobalMemory { .. })
         ));
     }
@@ -357,14 +365,9 @@ mod tests {
         pb.begin_round();
         pb.transfer_out(d, o, 8);
         let p = pb.build().unwrap();
-        let report = run_program(
-            &p,
-            vec![(1..=8).collect()],
-            &machine(),
-            &spec(),
-            &SimConfig::default(),
-        )
-        .unwrap();
+        let report =
+            run_program(&p, vec![(1..=8).collect()], &machine(), &spec(), &SimConfig::default())
+                .unwrap();
         assert_eq!(report.rounds.len(), 2);
         assert_eq!(report.sync_ms(), 0.1);
         assert_eq!(report.output(o), &[1, 2, 3, 4, 5, 6, 7, 8]);
@@ -374,18 +377,14 @@ mod tests {
     fn noisy_run_is_reproducible() {
         let n = 64u64;
         let (p, _) = vecadd_program(n);
-        let cfg = SimConfig {
-            noise: Some(XferNoise { rel: 0.05 }),
-            seed: 7,
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { noise: Some(XferNoise { rel: 0.05 }), seed: 7, ..SimConfig::default() };
         let inputs = || vec![vec![1i64; n as usize], vec![2i64; n as usize]];
         let r1 = run_program(&p, inputs(), &machine(), &spec(), &cfg).unwrap();
         let r2 = run_program(&p, inputs(), &machine(), &spec(), &cfg).unwrap();
         assert_eq!(r1.total_ms(), r2.total_ms());
         // And differs from the noiseless run.
-        let r3 =
-            run_program(&p, inputs(), &machine(), &spec(), &SimConfig::default()).unwrap();
+        let r3 = run_program(&p, inputs(), &machine(), &spec(), &SimConfig::default()).unwrap();
         assert_ne!(r1.transfer_ms(), r3.transfer_ms());
     }
 

@@ -1,0 +1,952 @@
+//! The micro-op block executor: runs a [`CompiledKernel`] with **zero
+//! heap allocations per instruction** in steady state, plus the
+//! block-invariant timing-replay cache.
+//!
+//! ```text
+//!            compile (once per launch)              execute (per block)
+//!  Kernel ────────────────────────────► CompiledKernel ───────────────► StepEvents
+//!  (Instr tree: Repeat/Pred nesting)    (flat Vec<Uop>,                 (same stream as
+//!                                        jump offsets,                   the tree-walking
+//!                                        per-site shapes)                reference)
+//! ```
+//!
+//! Design points:
+//!
+//! * flat program counter + fixed-capacity mask/arm stacks instead of the
+//!   reference interpreter's per-instruction frame walk;
+//! * active lanes iterated with `mask.trailing_zeros()`, never `0..b`
+//!   scans over inactive lanes;
+//! * per-site compile-time shapes: unit-stride warp accesses become
+//!   bounds-checked block copies, transaction counts come from the
+//!   compile-time residue table, bank-conflict degrees from the shared
+//!   classifier — the dynamic fallbacks use fixed `[i64; 64]` scratch and
+//!   a generation-stamped bank-counter array (no `Vec`, no sort, no
+//!   dedup);
+//! * when [`CompiledKernel::replayable`] holds, the first block a
+//!   multiprocessor runs records its memory-event stream; subsequent
+//!   blocks execute functionally but *replay* the recorded events for
+//!   timing, skipping re-analysis entirely (see [`crate::mp`]).
+//!
+//! The executor is bit-exact with [`crate::warp::WarpExec`] — same
+//! register/memory state, same `StepEvent` stream — which the
+//! differential property tests in `tests/engine_differential.rs` enforce.
+
+use crate::error::SimError;
+use crate::smem::SharedMemory;
+use crate::uop::{CompiledKernel, FastPath, Site, SiteAddr, Uop};
+use crate::warp::{GmemAccess, StepEvent};
+use atgpu_ir::affine::lane_span_blocks;
+use atgpu_ir::{AluOp, Operand, Reg, MAX_LOOP_DEPTH};
+use std::sync::Arc;
+
+/// Common interface of the two block executors (micro-op engine and
+/// tree-walking reference), so the multiprocessor scheduler can drive
+/// either.
+pub trait BlockSim {
+    /// Re-arms the executor for a new thread block.
+    fn reset(&mut self, block: u64);
+    /// Executes the next instruction; returns its timing event.
+    fn step(&mut self, gmem: &mut GmemAccess<'_>) -> Result<StepEvent, SimError>;
+    /// Starts recording the memory-event trace (replayable kernels).
+    fn begin_record(&mut self) {}
+    /// Supplies a recorded trace to replay instead of re-analysing.
+    fn begin_replay(&mut self, _trace: Arc<[StepEvent]>) {}
+    /// Takes the completed trace out of a recording executor.
+    fn take_trace(&mut self) -> Option<Arc<[StepEvent]>> {
+        None
+    }
+}
+
+impl BlockSim for crate::warp::WarpExec<'_> {
+    fn reset(&mut self, block: u64) {
+        crate::warp::WarpExec::reset(self, block);
+    }
+    fn step(&mut self, gmem: &mut GmemAccess<'_>) -> Result<StepEvent, SimError> {
+        crate::warp::WarpExec::step(self, gmem)
+    }
+}
+
+/// Memory-event trace role of one executor.
+enum TraceRole {
+    /// Analyse every access (non-replayable kernels).
+    Off,
+    /// Analyse and record memory events.
+    Record(Vec<StepEvent>),
+    /// Execute functionally, pull memory events from the trace.
+    Replay { trace: Arc<[StepEvent]>, idx: usize },
+}
+
+/// How a site's lane addresses are materialised for one access.
+#[derive(Clone, Copy)]
+enum AddrPlan {
+    /// Contiguous words `[base, base + popcount(mask))` in lane order
+    /// (unit stride, full warp).
+    Contig(i64),
+    /// Every active lane addresses `addr`.
+    Bcast(i64),
+    /// `addr_buf[lane]` holds each active lane's address.
+    PerLane,
+}
+
+/// Executes one thread block over the flat micro-op program.
+pub struct BlockExec<'k> {
+    ck: &'k CompiledKernel,
+    /// Linear thread-block index.
+    pub block: u64,
+    block_xy: (i64, i64),
+    b: u32,
+    full_mask: u64,
+    regs: Vec<i64>,
+    pc: u32,
+    /// Saved parent masks (one per open divergence arm).
+    masks: Vec<u64>,
+    cur_mask: u64,
+    /// Pending else masks (one per open divergence arm).
+    arms: Vec<u64>,
+    loops: [u32; MAX_LOOP_DEPTH],
+    /// The block's shared memory.
+    pub smem: SharedMemory,
+    addr_buf: [i64; 64],
+    val_buf: [i64; 64],
+    // Operand-row scratch (avoids zero-initialising stack arrays per op).
+    op_a: [i64; 64],
+    op_b: [i64; 64],
+    // Generation-stamped bank counters for the dynamic conflict path.
+    bank_count: [u16; 64],
+    bank_gen: [u64; 64],
+    gen: u64,
+    trace: TraceRole,
+}
+
+impl<'k> BlockExec<'k> {
+    /// Creates an executor for one launch's compiled kernel.
+    pub fn new(ck: &'k CompiledKernel) -> Self {
+        let b = ck.b;
+        let full_mask = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+        Self {
+            ck,
+            block: 0,
+            block_xy: (0, 0),
+            b,
+            full_mask,
+            regs: vec![0; ck.nregs as usize * b as usize],
+            pc: 0,
+            masks: Vec::with_capacity(ck.max_arm_depth),
+            cur_mask: full_mask,
+            arms: Vec::with_capacity(ck.max_arm_depth),
+            loops: [0; MAX_LOOP_DEPTH],
+            smem: SharedMemory::new(ck.shared_words, u64::from(b)),
+            addr_buf: [0; 64],
+            val_buf: [0; 64],
+            op_a: [0; 64],
+            op_b: [0; 64],
+            bank_count: [0; 64],
+            bank_gen: [0; 64],
+            gen: 0,
+            trace: TraceRole::Off,
+        }
+    }
+
+    /// The compiled kernel this executor runs.
+    pub fn compiled(&self) -> &'k CompiledKernel {
+        self.ck
+    }
+
+    /// The per-lane register file, laid out `reg-major` (`r·b + lane`) —
+    /// exposed for differential testing against the reference.
+    pub fn regs(&self) -> &[i64] {
+        &self.regs
+    }
+
+    #[inline]
+    fn reg(&self, r: Reg, lane: u32) -> i64 {
+        self.regs[r as usize * self.b as usize + lane as usize]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, lane: u32, v: i64) {
+        self.regs[r as usize * self.b as usize + lane as usize] = v;
+    }
+
+    #[inline]
+    fn operand(&self, op: Operand, lane: u32) -> i64 {
+        match op {
+            Operand::Reg(r) => self.reg(r, lane),
+            Operand::Imm(v) => v,
+            Operand::Lane => i64::from(lane),
+            Operand::Block => self.block_xy.0,
+            Operand::BlockY => self.block_xy.1,
+            Operand::LoopVar(d) => self.loops.get(d as usize).copied().unwrap_or(0) as i64,
+        }
+    }
+
+    /// Fills `out[0..b]` with an operand's value for every lane.  An
+    /// associated function over disjoint fields so callers can fill the
+    /// persistent scratch rows while holding other borrows of `self`.
+    fn operand_row_into(
+        regs: &[i64],
+        b: usize,
+        block_xy: (i64, i64),
+        loops: &[u32; MAX_LOOP_DEPTH],
+        op: Operand,
+        out: &mut [i64; 64],
+    ) {
+        match op {
+            Operand::Reg(r) => out[..b].copy_from_slice(&regs[r as usize * b..r as usize * b + b]),
+            Operand::Imm(v) => out[..b].fill(v),
+            Operand::Lane => {
+                for (i, slot) in out[..b].iter_mut().enumerate() {
+                    *slot = i as i64;
+                }
+            }
+            Operand::Block => out[..b].fill(block_xy.0),
+            Operand::BlockY => out[..b].fill(block_xy.1),
+            Operand::LoopVar(d) => {
+                out[..b].fill(loops.get(d as usize).copied().unwrap_or(0) as i64)
+            }
+        }
+    }
+
+    fn oob_shared(&self, addr: i64) -> SimError {
+        SimError::SharedOutOfBounds { kernel: self.ck.name.clone(), addr, size: self.smem.len() }
+    }
+
+    fn oob_global(&self, addr: i64, size: u64) -> SimError {
+        SimError::GlobalOutOfBounds { kernel: self.ck.name.clone(), addr, size }
+    }
+
+    /// The first out-of-bounds address a lane-ordered scan of the
+    /// contiguous range `[base, base + n)` against `len` would report.
+    #[inline]
+    fn first_oob(base: i64, len: u64) -> i64 {
+        if base < 0 {
+            base
+        } else {
+            base.max(len as i64)
+        }
+    }
+
+    /// Evaluates a site's addresses for the active lanes into `addr_buf`
+    /// and returns the materialisation plan.
+    fn plan_addrs(&mut self, site: &'k Site, mask: u64) -> AddrPlan {
+        match &site.addr {
+            SiteAddr::Affine(a) => {
+                let folded = a.fold_warp(self.block_xy, &self.loops);
+                match site.fast {
+                    FastPath::Unit if mask == self.full_mask => AddrPlan::Contig(folded),
+                    FastPath::Broadcast => AddrPlan::Bcast(folded),
+                    _ => {
+                        let stride = a.lane;
+                        match a.reg {
+                            None => {
+                                let mut m = mask;
+                                while m != 0 {
+                                    let lane = m.trailing_zeros();
+                                    m &= m - 1;
+                                    self.addr_buf[lane as usize] =
+                                        folded + stride * i64::from(lane);
+                                }
+                            }
+                            Some((r, c)) => {
+                                let mut m = mask;
+                                while m != 0 {
+                                    let lane = m.trailing_zeros();
+                                    m &= m - 1;
+                                    self.addr_buf[lane as usize] =
+                                        folded + stride * i64::from(lane) + c * self.reg(r, lane);
+                                }
+                            }
+                        }
+                        AddrPlan::PerLane
+                    }
+                }
+            }
+            SiteAddr::Tree(t) => {
+                let block = self.block_xy;
+                let gbase = site.gbase;
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let regs = &self.regs;
+                    let b = self.b as usize;
+                    let mut read = |r: Reg| regs[r as usize * b + lane as usize];
+                    self.addr_buf[lane as usize] =
+                        t.eval(i64::from(lane), block, &self.loops, &mut read) + gbase;
+                }
+                AddrPlan::PerLane
+            }
+        }
+    }
+
+    /// Bank-conflict degree of one shared access, given the plan.
+    fn shared_degree(&mut self, site: &Site, mask: u64, plan: AddrPlan) -> u32 {
+        if let Some(d) = site.full_degree {
+            // Degree 1 is mask-independent (broadcast, or all lanes in
+            // distinct banks); other exact degrees hold for the full warp.
+            if d == 1 || mask == self.full_mask {
+                return d;
+            }
+        }
+        match plan {
+            AddrPlan::Contig(_) | AddrPlan::Bcast(_) => 1,
+            AddrPlan::PerLane => self.dyn_conflict_degree(mask),
+        }
+    }
+
+    /// Dynamic conflict degree: max distinct addresses in any one bank
+    /// among the active lanes.  Allocation-free: O(active²) duplicate
+    /// suppression over `addr_buf` plus a generation-stamped bank-counter
+    /// array.
+    fn dyn_conflict_degree(&mut self, mask: u64) -> u32 {
+        let banks = i64::from(self.b);
+        self.gen += 1;
+        let gen = self.gen;
+        let mut degree = 1u16;
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros();
+            m &= m - 1;
+            let addr = self.addr_buf[lane as usize];
+            // Same address in an earlier active lane broadcasts — skip.
+            let mut earlier = mask & ((1u64 << lane) - 1);
+            let mut dup = false;
+            while earlier != 0 {
+                let l2 = earlier.trailing_zeros();
+                earlier &= earlier - 1;
+                if self.addr_buf[l2 as usize] == addr {
+                    dup = true;
+                    break;
+                }
+            }
+            if dup {
+                continue;
+            }
+            let bank = addr.rem_euclid(banks) as usize;
+            let count = if self.bank_gen[bank] == gen { self.bank_count[bank] + 1 } else { 1 };
+            self.bank_gen[bank] = gen;
+            self.bank_count[bank] = count;
+            degree = degree.max(count);
+        }
+        u32::from(degree)
+    }
+
+    /// Coalesced transaction count of one global access, given the plan.
+    fn global_txns(&mut self, site: &Site, mask: u64, plan: AddrPlan) -> u32 {
+        let bw = i64::from(self.b);
+        match plan {
+            AddrPlan::Bcast(_) => 1,
+            AddrPlan::Contig(folded) => {
+                if let Some(table) = &site.txn_table {
+                    table[folded.rem_euclid(bw) as usize]
+                } else {
+                    lane_span_blocks(folded.rem_euclid(bw), 1, u64::from(self.b), u64::from(self.b))
+                        as u32
+                }
+            }
+            AddrPlan::PerLane => match &site.addr {
+                SiteAddr::Affine(a) if a.reg.is_none() => {
+                    if mask == self.full_mask {
+                        if let Some(table) = &site.txn_table {
+                            let folded = a.fold_warp(self.block_xy, &self.loops);
+                            return table[folded.rem_euclid(bw) as usize];
+                        }
+                    }
+                    // Static affine addresses are monotone in lane order:
+                    // count quotient transitions over active lanes.
+                    let mut txns = 0u32;
+                    let mut prev = 0i64;
+                    let mut first = true;
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros();
+                        m &= m - 1;
+                        let q = self.addr_buf[lane as usize].div_euclid(bw);
+                        if first || q != prev {
+                            txns += 1;
+                            prev = q;
+                            first = false;
+                        }
+                    }
+                    txns
+                }
+                _ => self.dyn_distinct_blocks(mask),
+            },
+        }
+    }
+
+    /// Distinct memory blocks among active lanes' addresses, without the
+    /// monotonicity guarantee.  Allocation-free O(active²) scan.
+    fn dyn_distinct_blocks(&mut self, mask: u64) -> u32 {
+        let bw = i64::from(self.b);
+        let mut txns = 0u32;
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros();
+            m &= m - 1;
+            let q = self.addr_buf[lane as usize].div_euclid(bw);
+            let mut earlier = mask & ((1u64 << lane) - 1);
+            let mut dup = false;
+            while earlier != 0 {
+                let l2 = earlier.trailing_zeros();
+                earlier &= earlier - 1;
+                if self.addr_buf[l2 as usize].div_euclid(bw) == q {
+                    dup = true;
+                    break;
+                }
+            }
+            if !dup {
+                txns += 1;
+            }
+        }
+        txns
+    }
+
+    /// True when this access's timing should be pulled from the replay
+    /// trace instead of analysed.
+    #[inline]
+    fn replaying(&self) -> bool {
+        matches!(self.trace, TraceRole::Replay { .. })
+    }
+
+    /// Emits a memory event: records it, or swaps in the replayed one.
+    #[inline]
+    fn emit_mem_event(&mut self, computed: StepEvent) -> StepEvent {
+        match &mut self.trace {
+            TraceRole::Off => computed,
+            TraceRole::Record(events) => {
+                events.push(computed);
+                computed
+            }
+            TraceRole::Replay { trace, idx } => {
+                // The trace is complete before any replaying block is
+                // admitted, and replayable kernels emit identical event
+                // streams, so the cursor always lands on a valid entry.
+                let e = trace[*idx];
+                *idx += 1;
+                e
+            }
+        }
+    }
+
+    /// Reads a shared site's words into `val_buf` for the active lanes.
+    fn shared_gather(&mut self, plan: AddrPlan, mask: u64) -> Result<(), SimError> {
+        let b = self.b as usize;
+        match plan {
+            AddrPlan::Contig(base) => {
+                let len = self.smem.len();
+                if base < 0 || base + b as i64 > len as i64 {
+                    return Err(self.oob_shared(Self::first_oob(base, len)));
+                }
+                let start = base as usize;
+                self.val_buf[..b].copy_from_slice(&self.smem.words()[start..start + b]);
+            }
+            AddrPlan::Bcast(addr) => {
+                let v = self.smem.read(addr).ok_or_else(|| self.oob_shared(addr))?;
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    self.val_buf[lane as usize] = v;
+                }
+            }
+            AddrPlan::PerLane => {
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let addr = self.addr_buf[lane as usize];
+                    self.val_buf[lane as usize] =
+                        self.smem.read(addr).ok_or_else(|| self.oob_shared(addr))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `val_buf` to a shared site for the active lanes.
+    fn shared_scatter(&mut self, plan: AddrPlan, mask: u64) -> Result<(), SimError> {
+        let b = self.b as usize;
+        match plan {
+            AddrPlan::Contig(base) => {
+                let len = self.smem.len();
+                if base < 0 || base + b as i64 > len as i64 {
+                    return Err(self.oob_shared(Self::first_oob(base, len)));
+                }
+                let start = base as usize;
+                self.smem.words_mut()[start..start + b].copy_from_slice(&self.val_buf[..b]);
+            }
+            _ => {
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let addr = match plan {
+                        AddrPlan::Bcast(a) => a,
+                        _ => self.addr_buf[lane as usize],
+                    };
+                    if !self.smem.write(addr, self.val_buf[lane as usize]) {
+                        return Err(self.oob_shared(addr));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a global site's words into `val_buf` for the active lanes.
+    fn global_gather(
+        &mut self,
+        gmem: &GmemAccess<'_>,
+        plan: AddrPlan,
+        mask: u64,
+    ) -> Result<(), SimError> {
+        let b = self.b as usize;
+        match plan {
+            AddrPlan::Contig(base) => {
+                let len = gmem.len();
+                if base < 0 || base + b as i64 > len as i64 {
+                    return Err(self.oob_global(Self::first_oob(base, len), len));
+                }
+                let ok = gmem.read_block(base, &mut self.val_buf[..b]);
+                debug_assert!(ok);
+            }
+            AddrPlan::Bcast(addr) => {
+                let v = gmem.read(addr).ok_or_else(|| self.oob_global(addr, gmem.len()))?;
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    self.val_buf[lane as usize] = v;
+                }
+            }
+            AddrPlan::PerLane => {
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let addr = self.addr_buf[lane as usize];
+                    self.val_buf[lane as usize] =
+                        gmem.read(addr).ok_or_else(|| self.oob_global(addr, gmem.len()))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `val_buf` to a global site for the active lanes.
+    fn global_scatter(
+        &mut self,
+        gmem: &mut GmemAccess<'_>,
+        plan: AddrPlan,
+        mask: u64,
+    ) -> Result<(), SimError> {
+        let b = self.b as usize;
+        let block = self.block;
+        match plan {
+            AddrPlan::Contig(base) => {
+                let len = gmem.len();
+                if base < 0 || base + b as i64 > len as i64 {
+                    return Err(self.oob_global(Self::first_oob(base, len), len));
+                }
+                let ok = gmem.write_block(base, &self.val_buf[..b], block);
+                debug_assert!(ok);
+            }
+            _ => {
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let addr = match plan {
+                        AddrPlan::Bcast(a) => a,
+                        _ => self.addr_buf[lane as usize],
+                    };
+                    if !gmem.write(addr, self.val_buf[lane as usize], block) {
+                        return Err(self.oob_global(addr, gmem.len()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates a branch predicate over the active lanes.
+    fn eval_pred(&self, pred: &atgpu_ir::PredExpr, parent: u64) -> u64 {
+        let block = self.block_xy;
+        let mut then_mask = 0u64;
+        let mut m = parent;
+        while m != 0 {
+            let lane = m.trailing_zeros();
+            m &= m - 1;
+            let regs = &self.regs;
+            let b = self.b as usize;
+            let mut read = |r: Reg| regs[r as usize * b + lane as usize];
+            if pred.eval(i64::from(lane), block, &self.loops, &mut read) {
+                then_mask |= 1 << lane;
+            }
+        }
+        then_mask
+    }
+}
+
+impl BlockSim for BlockExec<'_> {
+    fn reset(&mut self, block: u64) {
+        self.block = block;
+        let gx = self.ck.grid.0.max(1);
+        self.block_xy = ((block % gx) as i64, (block / gx) as i64);
+        // Clear only what the kernel can observe: registers the compiler
+        // could not prove write-before-read, and shared memory unless the
+        // kernel provably overwrites all of it (state-exact elision).
+        let n = self.b as usize;
+        for &r in &self.ck.dirty_regs {
+            self.regs[r as usize * n..r as usize * n + n].fill(0);
+        }
+        if !self.ck.smem_clean {
+            self.smem.reset();
+        }
+        self.pc = 0;
+        self.masks.clear();
+        self.arms.clear();
+        self.cur_mask = self.full_mask;
+        self.loops = [0; MAX_LOOP_DEPTH];
+        self.trace = TraceRole::Off;
+    }
+
+    fn begin_record(&mut self) {
+        self.trace = TraceRole::Record(Vec::new());
+    }
+
+    fn begin_replay(&mut self, trace: Arc<[StepEvent]>) {
+        self.trace = TraceRole::Replay { trace, idx: 0 };
+    }
+
+    fn take_trace(&mut self) -> Option<Arc<[StepEvent]>> {
+        match std::mem::replace(&mut self.trace, TraceRole::Off) {
+            TraceRole::Record(events) => Some(events.into()),
+            other => {
+                self.trace = other;
+                None
+            }
+        }
+    }
+
+    fn step(&mut self, gmem: &mut GmemAccess<'_>) -> Result<StepEvent, SimError> {
+        loop {
+            let Some(op) = self.ck.prog.get(self.pc as usize) else {
+                return Ok(StepEvent::Done);
+            };
+            match op {
+                Uop::LoopStart { depth } => {
+                    self.loops[*depth as usize] = 0;
+                    self.pc += 1;
+                }
+                Uop::LoopEnd { depth, count, body_start } => {
+                    let d = *depth as usize;
+                    self.loops[d] += 1;
+                    if self.loops[d] < *count {
+                        self.pc = *body_start;
+                    } else {
+                        self.pc += 1;
+                    }
+                }
+                Uop::ThenEnd { join } => {
+                    let pending = self.arms.last_mut().expect("arm stack in sync");
+                    if *pending != 0 {
+                        self.cur_mask = *pending;
+                        *pending = 0;
+                        self.pc += 1; // else-region starts right after
+                    } else {
+                        self.arms.pop();
+                        self.cur_mask = self.masks.pop().expect("mask stack in sync");
+                        self.pc = *join;
+                    }
+                }
+                Uop::ElseEnd => {
+                    self.arms.pop();
+                    self.cur_mask = self.masks.pop().expect("mask stack in sync");
+                    self.pc += 1;
+                }
+                Uop::Branch { pred, const_then, else_start, join } => {
+                    let parent = self.cur_mask;
+                    let then_mask = match const_then {
+                        Some(m) => m & parent,
+                        None => self.eval_pred(pred, parent),
+                    };
+                    let else_mask = parent & !then_mask;
+                    let has_then = *else_start > self.pc + 1;
+                    let has_else = *join > *else_start;
+                    if has_then && then_mask != 0 {
+                        self.masks.push(parent);
+                        self.arms.push(if has_else { else_mask } else { 0 });
+                        self.cur_mask = then_mask;
+                        self.pc += 1;
+                    } else if has_else && else_mask != 0 {
+                        self.masks.push(parent);
+                        self.arms.push(0);
+                        self.cur_mask = else_mask;
+                        self.pc = *else_start;
+                    } else {
+                        self.pc = *join;
+                    }
+                    return Ok(StepEvent::Compute { cycles: 1 });
+                }
+                Uop::Sync => {
+                    self.pc += 1;
+                    return Ok(StepEvent::Compute { cycles: 1 });
+                }
+                Uop::Alu { op, dst, a, b } => {
+                    let mask = self.cur_mask;
+                    let (op, dst, a, b) = (*op, *dst, *a, *b);
+                    if mask == self.full_mask {
+                        let n = self.b as usize;
+                        Self::operand_row_into(
+                            &self.regs,
+                            n,
+                            self.block_xy,
+                            &self.loops,
+                            a,
+                            &mut self.op_a,
+                        );
+                        Self::operand_row_into(
+                            &self.regs,
+                            n,
+                            self.block_xy,
+                            &self.loops,
+                            b,
+                            &mut self.op_b,
+                        );
+                        let start = dst as usize * n;
+                        let (ra, rb) = (&self.op_a, &self.op_b);
+                        let row = &mut self.regs[start..start + n];
+                        // One branch on `op`, then a tight (vectorisable)
+                        // lane loop — the compiler cannot be trusted to
+                        // unswitch `op.apply` out of the loop on its own.
+                        macro_rules! row_op {
+                            ($f:expr) => {
+                                for i in 0..n {
+                                    row[i] = $f(ra[i], rb[i]);
+                                }
+                            };
+                        }
+                        match op {
+                            AluOp::Add => row_op!(i64::wrapping_add),
+                            AluOp::Sub => row_op!(i64::wrapping_sub),
+                            AluOp::Mul => row_op!(i64::wrapping_mul),
+                            AluOp::Min => row_op!(|x: i64, y: i64| x.min(y)),
+                            AluOp::Max => row_op!(|x: i64, y: i64| x.max(y)),
+                            AluOp::And => row_op!(|x: i64, y: i64| x & y),
+                            AluOp::Or => row_op!(|x: i64, y: i64| x | y),
+                            AluOp::Xor => row_op!(|x: i64, y: i64| x ^ y),
+                            AluOp::SetLt => row_op!(|x: i64, y: i64| i64::from(x < y)),
+                            AluOp::SetEq => row_op!(|x: i64, y: i64| i64::from(x == y)),
+                            _ => row_op!(|x: i64, y: i64| op.apply(x, y)),
+                        }
+                    } else {
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros();
+                            m &= m - 1;
+                            let va = self.operand(a, lane);
+                            let vb = self.operand(b, lane);
+                            self.set_reg(dst, lane, op.apply(va, vb));
+                        }
+                    }
+                    self.pc += 1;
+                    return Ok(StepEvent::Compute { cycles: op.issue_cycles() });
+                }
+                Uop::Mov { dst, src } => {
+                    let mask = self.cur_mask;
+                    let (dst, src) = (*dst, *src);
+                    if mask == self.full_mask {
+                        let n = self.b as usize;
+                        let start = dst as usize * n;
+                        match src {
+                            Operand::Reg(r) => {
+                                self.regs.copy_within(r as usize * n..r as usize * n + n, start);
+                            }
+                            _ => {
+                                Self::operand_row_into(
+                                    &self.regs,
+                                    n,
+                                    self.block_xy,
+                                    &self.loops,
+                                    src,
+                                    &mut self.op_a,
+                                );
+                                self.regs[start..start + n].copy_from_slice(&self.op_a[..n]);
+                            }
+                        }
+                    } else {
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros();
+                            m &= m - 1;
+                            let v = self.operand(src, lane);
+                            self.set_reg(dst, lane, v);
+                        }
+                    }
+                    self.pc += 1;
+                    return Ok(StepEvent::Compute { cycles: 1 });
+                }
+                Uop::LdShr { dst, site } => {
+                    let mask = self.cur_mask;
+                    let (dst, site_id) = (*dst, *site);
+                    let site = &self.ck.sites[site_id as usize];
+                    let plan = self.plan_addrs(site, mask);
+                    let degree =
+                        if self.replaying() { 0 } else { self.shared_degree(site, mask, plan) };
+                    if let AddrPlan::Contig(base) = plan {
+                        // Fused path: shared words straight into the
+                        // register row, no intermediate buffer.
+                        let n = self.b as usize;
+                        let len = self.smem.len();
+                        if base < 0 || base + n as i64 > len as i64 {
+                            return Err(self.oob_shared(Self::first_oob(base, len)));
+                        }
+                        let start = dst as usize * n;
+                        self.regs[start..start + n]
+                            .copy_from_slice(&self.smem.words()[base as usize..base as usize + n]);
+                    } else {
+                        self.shared_gather(plan, mask)?;
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros();
+                            m &= m - 1;
+                            self.set_reg(dst, lane, self.val_buf[lane as usize]);
+                        }
+                    }
+                    self.pc += 1;
+                    return Ok(self.emit_mem_event(StepEvent::Shared { degree }));
+                }
+                Uop::StShr { site, src } => {
+                    let mask = self.cur_mask;
+                    let (site_id, src) = (*site, *src);
+                    let site = &self.ck.sites[site_id as usize];
+                    let plan = self.plan_addrs(site, mask);
+                    let degree =
+                        if self.replaying() { 0 } else { self.shared_degree(site, mask, plan) };
+                    if let (AddrPlan::Contig(base), Operand::Reg(r)) = (plan, src) {
+                        // Fused path: register row straight into shared
+                        // memory.
+                        let n = self.b as usize;
+                        let len = self.smem.len();
+                        if base < 0 || base + n as i64 > len as i64 {
+                            return Err(self.oob_shared(Self::first_oob(base, len)));
+                        }
+                        self.smem.words_mut()[base as usize..base as usize + n]
+                            .copy_from_slice(&self.regs[r as usize * n..r as usize * n + n]);
+                    } else {
+                        if mask == self.full_mask {
+                            let n = self.b as usize;
+                            Self::operand_row_into(
+                                &self.regs,
+                                n,
+                                self.block_xy,
+                                &self.loops,
+                                src,
+                                &mut self.val_buf,
+                            );
+                        } else {
+                            let mut m = mask;
+                            while m != 0 {
+                                let lane = m.trailing_zeros();
+                                m &= m - 1;
+                                self.val_buf[lane as usize] = self.operand(src, lane);
+                            }
+                        }
+                        self.shared_scatter(plan, mask)?;
+                    }
+                    self.pc += 1;
+                    return Ok(self.emit_mem_event(StepEvent::Shared { degree }));
+                }
+                Uop::GlbToShr { shared, global } => {
+                    let mask = self.cur_mask;
+                    let (shared_id, global_id) = (*shared, *global);
+                    let gsite = &self.ck.sites[global_id as usize];
+                    let gplan = self.plan_addrs(gsite, mask);
+                    let txns =
+                        if self.replaying() { 0 } else { self.global_txns(gsite, mask, gplan) };
+                    let ssite = &self.ck.sites[shared_id as usize];
+                    if let (AddrPlan::Contig(gbase), FastPath::Unit) = (gplan, ssite.fast) {
+                        // Fused path: both sides contiguous — one
+                        // global-heap-to-shared copy.  Error precedence
+                        // matches the reference: global bounds first.
+                        let n = self.b as usize;
+                        let glen = gmem.len();
+                        if gbase < 0 || gbase + n as i64 > glen as i64 {
+                            return Err(self.oob_global(Self::first_oob(gbase, glen), glen));
+                        }
+                        let splan = self.plan_addrs(ssite, mask);
+                        let AddrPlan::Contig(sbase) = splan else {
+                            unreachable!("unit-stride site under full mask is contiguous")
+                        };
+                        let degree = if self.replaying() {
+                            0
+                        } else {
+                            self.shared_degree(ssite, mask, splan)
+                        };
+                        let slen = self.smem.len();
+                        if sbase < 0 || sbase + n as i64 > slen as i64 {
+                            return Err(self.oob_shared(Self::first_oob(sbase, slen)));
+                        }
+                        self.smem.words_mut()[sbase as usize..sbase as usize + n]
+                            .copy_from_slice(&gmem.view()[gbase as usize..gbase as usize + n]);
+                        self.pc += 1;
+                        return Ok(self.emit_mem_event(StepEvent::Global { txns, issue: degree }));
+                    }
+                    self.global_gather(gmem, gplan, mask)?;
+                    let splan = self.plan_addrs(ssite, mask);
+                    let degree =
+                        if self.replaying() { 0 } else { self.shared_degree(ssite, mask, splan) };
+                    self.shared_scatter(splan, mask)?;
+                    self.pc += 1;
+                    return Ok(self.emit_mem_event(StepEvent::Global { txns, issue: degree }));
+                }
+                Uop::ShrToGlb { global, shared } => {
+                    let mask = self.cur_mask;
+                    let (shared_id, global_id) = (*shared, *global);
+                    let ssite = &self.ck.sites[shared_id as usize];
+                    let splan = self.plan_addrs(ssite, mask);
+                    let degree =
+                        if self.replaying() { 0 } else { self.shared_degree(ssite, mask, splan) };
+                    let gsite = &self.ck.sites[global_id as usize];
+                    if let (AddrPlan::Contig(sbase), FastPath::Unit) = (splan, gsite.fast) {
+                        // Fused path: shared words straight to the global
+                        // heap.  Error precedence matches the reference:
+                        // shared bounds first.
+                        let n = self.b as usize;
+                        let slen = self.smem.len();
+                        if sbase < 0 || sbase + n as i64 > slen as i64 {
+                            return Err(self.oob_shared(Self::first_oob(sbase, slen)));
+                        }
+                        let gplan = self.plan_addrs(gsite, mask);
+                        let AddrPlan::Contig(gbase) = gplan else {
+                            unreachable!("unit-stride site under full mask is contiguous")
+                        };
+                        let txns =
+                            if self.replaying() { 0 } else { self.global_txns(gsite, mask, gplan) };
+                        let glen = gmem.len();
+                        if gbase < 0 || gbase + n as i64 > glen as i64 {
+                            return Err(self.oob_global(Self::first_oob(gbase, glen), glen));
+                        }
+                        let ok = gmem.write_block(
+                            gbase,
+                            &self.smem.words()[sbase as usize..sbase as usize + n],
+                            self.block,
+                        );
+                        debug_assert!(ok);
+                        self.pc += 1;
+                        return Ok(self.emit_mem_event(StepEvent::Global { txns, issue: degree }));
+                    }
+                    self.shared_gather(splan, mask)?;
+                    let gplan = self.plan_addrs(gsite, mask);
+                    let txns =
+                        if self.replaying() { 0 } else { self.global_txns(gsite, mask, gplan) };
+                    self.global_scatter(gmem, gplan, mask)?;
+                    self.pc += 1;
+                    return Ok(self.emit_mem_event(StepEvent::Global { txns, issue: degree }));
+                }
+            }
+        }
+    }
+}

@@ -22,7 +22,12 @@ impl GlobalMemory {
     ///
     /// `layout` comes from [`atgpu_ir::Program::buffer_layout`]; `g_limit`
     /// is the machine's `G`.
-    pub fn new(bases: Vec<u64>, total_words: u64, block_words: u64, g_limit: u64) -> Result<Self, SimError> {
+    pub fn new(
+        bases: Vec<u64>,
+        total_words: u64,
+        block_words: u64,
+        g_limit: u64,
+    ) -> Result<Self, SimError> {
         if total_words > g_limit {
             return Err(SimError::OutOfGlobalMemory { requested: total_words, available: g_limit });
         }
@@ -88,9 +93,15 @@ impl GlobalMemory {
         out.copy_from_slice(&self.words[s..s + out.len()]);
     }
 
-    /// Raw view (tests and race detection).
+    /// Raw view (tests, race detection, and the engine's contiguous fast
+    /// paths).
     pub fn words(&self) -> &[i64] {
         &self.words
+    }
+
+    /// Mutable raw view (contiguous fast paths in the micro-op engine).
+    pub fn words_mut(&mut self) -> &mut [i64] {
+        &mut self.words
     }
 }
 

@@ -17,15 +17,48 @@
 //! | Transfer | `Î·α + I·β` | `α + β·words` per transaction, optional noise |
 //! | Occupancy | `ℓ = min(⌊M/m⌋, H)` | blocks resident per MP, refilled as blocks retire |
 //!
+//! ## Compile → execute pipeline
+//!
+//! Kernel launches flow through a compile-then-execute pipeline: the
+//! structured IR is lowered **once per launch** into a flat micro-op
+//! program with precomputed access shapes, which every thread block then
+//! executes allocation-free:
+//!
+//! ```text
+//!           ┌ once per launch ─────────────┐   ┌ per thread block ──────────────┐
+//!  Kernel ──► uop::CompiledKernel::compile ├───► engine::BlockExec (flat pc,    ├──► StepEvents
+//!  (Instr    │  · flatten Repeat/Pred into │   │   mask/arm stacks, contiguous  │    │
+//!   tree)    │    jump-targeted Vec<Uop>   │   │   copies, O(1) txn/degree      │    ▼
+//!            │  · classify each site:      │   │   lookups, fixed scratch)      │  mp::Mp (ready-time
+//!            │    unit/bcast/strided/dyn   │   │                                │  scheduling, replay
+//!            │  · bake conflict degrees +  │   │  replayable? first block       │  cache) → device
+//!            │    residue txn tables       │   │  records its event trace,      │  event loop → driver
+//!            │  · prove replayability and  │   │  later blocks replay timing    │  (transfers, rounds)
+//!            │    init-elision             │   └────────────────────────────────┘
+//!            └──────────────────────────────┘
+//! ```
+//!
+//! The pre-engine tree-walking interpreter ([`warp::WarpExec`]) is
+//! retained as the executable reference semantics: differential property
+//! tests pit the two against each other instruction by instruction, and
+//! [`SimConfig::use_reference`] / [`EngineSel::Reference`] select it for
+//! baseline benchmarking.
+//!
 //! ## Structure
 //!
 //! * [`gmem`] / [`smem`] — global memory (bounded by `G`, canonical buffer
 //!   layout) and per-block shared memory (banked);
-//! * [`warp`] — lockstep functional execution of one thread block with
-//!   divergence masks, producing per-instruction timing events;
+//! * [`uop`] — the flat micro-op program: compile-once lowering, per-site
+//!   access-shape classification (shared with `atgpu-analyze` through
+//!   `atgpu_ir::affine`), replayability and initialisation analysis;
+//! * [`engine`] — the micro-op block executor: allocation-free stepping,
+//!   contiguous fast paths, block-invariant timing replay;
+//! * [`warp`] — the reference interpreter: lockstep tree-walking
+//!   execution of one thread block with divergence masks;
 //! * [`dram`] — the memory controller (latency + issue-rate bandwidth);
-//! * [`mp`] — a multiprocessor: resident warps, ready-time scheduling,
-//!   occupancy-limited block slots;
+//! * [`mp`] — a multiprocessor: resident warps, tournament-tree
+//!   ready-time scheduling, occupancy-limited block slots, the per-MP
+//!   replay cache;
 //! * [`device`] — the whole device: `k′` MPs co-simulated in global time
 //!   order against a shared memory controller ([`ExecMode::Sequential`]),
 //!   or partitioned across OS threads with per-MP bandwidth shares
@@ -42,20 +75,36 @@
 pub mod device;
 pub mod dram;
 pub mod driver;
+pub mod engine;
 pub mod error;
 pub mod gmem;
 pub mod mp;
 pub mod smem;
+pub mod uop;
 pub mod warp;
 pub mod xfer;
 
 pub use device::{Device, KernelStats};
 pub use driver::{run_program, HostData, RoundObservation, SimConfig, SimReport};
+pub use engine::{BlockExec, BlockSim};
 pub use error::SimError;
+pub use uop::CompiledKernel;
+
+/// Which block executor a launch uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineSel {
+    /// The flat micro-op engine: kernel IR compiled once per launch,
+    /// allocation-free block execution, block-invariant timing replay.
+    #[default]
+    MicroOp,
+    /// The tree-walking reference interpreter ([`warp::WarpExec`]) — the
+    /// pre-engine baseline, retained for differential testing and
+    /// benchmarking.
+    Reference,
+}
 
 /// Execution strategy for the device simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
     /// One event loop over all MPs in global time order with a shared
     /// memory controller.  Deterministic, bit-exact, the reference mode.
@@ -71,4 +120,3 @@ pub enum ExecMode {
         threads: usize,
     },
 }
-

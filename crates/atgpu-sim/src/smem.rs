@@ -57,6 +57,19 @@ impl SharedMemory {
             None => false,
         }
     }
+
+    /// The whole word array (contiguous fast paths in the micro-op
+    /// engine).
+    #[inline]
+    pub fn words(&self) -> &[i64] {
+        &self.words
+    }
+
+    /// Mutable view of the word array.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [i64] {
+        &mut self.words
+    }
 }
 
 #[cfg(test)]

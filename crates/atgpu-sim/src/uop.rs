@@ -1,0 +1,820 @@
+//! The flat micro-op program: `Kernel` IR lowered **once per launch**
+//! into a linear instruction stream with precomputed per-site access
+//! shapes.
+//!
+//! The structured `Instr` tree (nested `Repeat`/`Pred` bodies) is walked
+//! exactly once by [`CompiledKernel::compile`]; every thread block then
+//! executes the same flat `Vec<Uop>` with explicit jump offsets — no
+//! frame stack, no tree traversal, no per-instruction allocation.
+//!
+//! Compilation also classifies every memory access site
+//! ([`Site`]/[`FastPath`]) using the shared shape classifier in
+//! [`atgpu_ir::affine`]:
+//!
+//! * static affine **shared** sites get their full-warp bank-conflict
+//!   degree baked in;
+//! * static affine **global** sites get a per-residue coalesced
+//!   transaction table (`txn_table[folded_base mod b]`), turning the
+//!   per-access O(b) lane scan into one table lookup — buffer bases are
+//!   folded into the affine base at compile time;
+//! * unit-stride and broadcast shapes are tagged so the executor can use
+//!   contiguous block copies instead of per-lane address evaluation;
+//! * everything else falls back to dynamic evaluation over fixed scratch
+//!   buffers (still allocation-free).
+//!
+//! Finally, compilation decides **replayability**: when every predicate
+//! is static and block-index-free and every memory site is static affine
+//! with block coefficients ≡ 0 (mod b), the kernel's timing-event stream
+//! is provably identical for every thread block, so one block's recorded
+//! events can be replayed for all others (see [`crate::engine`]).
+
+use atgpu_ir::affine::{lane_span_blocks, AffineAddr, CompiledAddr};
+use atgpu_ir::{AddrExpr, AluOp, Instr, Kernel, Operand, PredExpr, Reg, MAX_LOOP_DEPTH};
+
+/// Index into [`CompiledKernel::sites`].
+pub type SiteId = u16;
+
+/// One flat micro-operation.  Control flow uses absolute program-counter
+/// targets computed at compile time.
+#[derive(Debug, Clone)]
+pub enum Uop {
+    /// `dst ← a op b` per active lane.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst ← src` per active lane.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Register load from shared memory.
+    LdShr {
+        /// Destination register.
+        dst: Reg,
+        /// Shared-memory site.
+        site: SiteId,
+    },
+    /// Operand store to shared memory.
+    StShr {
+        /// Shared-memory site.
+        site: SiteId,
+        /// Stored operand.
+        src: Operand,
+    },
+    /// Warp-wide global→shared copy.
+    GlbToShr {
+        /// Shared-memory destination site.
+        shared: SiteId,
+        /// Global-memory source site.
+        global: SiteId,
+    },
+    /// Warp-wide shared→global copy.
+    ShrToGlb {
+        /// Global-memory destination site.
+        global: SiteId,
+        /// Shared-memory source site.
+        shared: SiteId,
+    },
+    /// Intra-block barrier (one issue slot).
+    Sync,
+    /// Divergence point.  The then-region starts at `pc + 1`; the
+    /// else-region (if `else_start < join`) at `else_start`; `join` is
+    /// the first op after the whole construct.
+    Branch {
+        /// Per-lane condition.
+        pred: PredExpr,
+        /// Compile-time then-mask for lane/immediate-only predicates
+        /// (intersect with the parent mask at run time).
+        const_then: Option<u64>,
+        /// Start of the else-region (`== join` when there is none).
+        else_start: u32,
+        /// First op after the construct.
+        join: u32,
+    },
+    /// End of a then-region: switch to the pending else arm or rejoin.
+    ThenEnd {
+        /// First op after the construct.
+        join: u32,
+    },
+    /// End of an else-region: pop the arm and rejoin.
+    ElseEnd,
+    /// Loop entry: zero the iteration counter at `depth`.
+    LoopStart {
+        /// Loop nesting depth (index into the counter array).
+        depth: u8,
+    },
+    /// Loop back-edge: bump the counter, jump to `body_start` while
+    /// `counter < count`.
+    LoopEnd {
+        /// Loop nesting depth.
+        depth: u8,
+        /// Trip count (compile guarantees ≥ 1).
+        count: u32,
+        /// First op of the loop body.
+        body_start: u32,
+    },
+}
+
+/// Executor fast-path classification of a site's per-lane address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastPath {
+    /// Static affine, lane stride 1: the warp touches a contiguous word
+    /// range starting at the folded base.
+    Unit,
+    /// Static affine, lane stride 0: every lane addresses the same word.
+    Broadcast,
+    /// Static affine with another lane stride.
+    Strided,
+    /// Register-dependent affine or non-affine tree: evaluate per lane.
+    Dynamic,
+}
+
+/// The address of a [`Site`] in evaluation form.  Global sites fold the
+/// buffer base into the affine constant; tree fallbacks keep it in
+/// `Site::gbase`.
+#[derive(Debug, Clone)]
+pub enum SiteAddr {
+    /// Affine fast form.
+    Affine(AffineAddr),
+    /// Interpreted tree fallback.
+    Tree(AddrExpr),
+}
+
+/// One memory access site with its compile-time access shape.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Address in evaluation form.
+    pub addr: SiteAddr,
+    /// Fast-path classification.
+    pub fast: FastPath,
+    /// Full-warp bank-conflict degree (shared sites, static affine).
+    pub full_degree: Option<u32>,
+    /// Coalesced transactions per folded-base residue (global sites,
+    /// static affine); indexed by `folded.rem_euclid(b)`.
+    pub txn_table: Option<Box<[u32]>>,
+    /// Buffer base still to add at evaluation time (tree-form global
+    /// sites only; affine sites have it folded into the base).
+    pub gbase: i64,
+}
+
+impl Site {
+    /// Affine view, if the site lowered to affine form.
+    #[inline]
+    pub fn as_affine(&self) -> Option<&AffineAddr> {
+        match &self.addr {
+            SiteAddr::Affine(a) => Some(a),
+            SiteAddr::Tree(_) => None,
+        }
+    }
+}
+
+/// A kernel lowered to the flat micro-op form, shared (immutably) by all
+/// block executors of one launch.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    /// The flat program.
+    pub prog: Vec<Uop>,
+    /// Memory-site table.
+    pub sites: Vec<Site>,
+    /// Kernel name (diagnostics).
+    pub name: String,
+    /// Launch grid `(gx, gy)`.
+    pub grid: (u64, u64),
+    /// Shared-memory words per block.
+    pub shared_words: u64,
+    /// Lanes per block.
+    pub b: u32,
+    /// Registers per lane.
+    pub nregs: u32,
+    /// Whether the timing-event stream is provably identical for every
+    /// thread block (see module docs) — enables the replay cache.
+    pub replayable: bool,
+    /// Maximum divergence nesting depth (pre-sizes executor stacks).
+    pub max_arm_depth: usize,
+    /// Registers whose rows must be zeroed when an executor is re-armed
+    /// for a new block.  A register is exempt when its first access in
+    /// program order is an unconditional (top-level, full-warp) write —
+    /// the kernel then provably overwrites it before any read, so
+    /// skipping the clear is state-exact, not just timing-exact.
+    pub dirty_regs: Vec<Reg>,
+    /// True when shared memory need not be cleared between blocks: every
+    /// read is covered by earlier unconditional constant-address writes
+    /// and the writes cover all `shared_words` (state-exact elision).
+    pub smem_clean: bool,
+}
+
+struct Compiler<'k> {
+    prog: Vec<Uop>,
+    sites: Vec<Site>,
+    bases: &'k [u64],
+    b: u32,
+    replayable: bool,
+    arm_depth: usize,
+    max_arm_depth: usize,
+    loop_depth: u8,
+}
+
+impl CompiledKernel {
+    /// Lowers `kernel` for a launch with the given device-buffer `bases`,
+    /// `b` lanes and `nregs` registers per lane.
+    pub fn compile(kernel: &Kernel, bases: &[u64], b: u32, nregs: u32) -> Self {
+        debug_assert!((1..=64).contains(&b));
+        let mut c = Compiler {
+            prog: Vec::with_capacity(kernel.size() * 2),
+            sites: Vec::new(),
+            bases,
+            b,
+            replayable: true,
+            arm_depth: 0,
+            max_arm_depth: 0,
+            loop_depth: 0,
+        };
+        c.lower_body(&kernel.body);
+        let nregs = nregs.max(1);
+        let (dirty_regs, smem_clean) =
+            analyze_init(&c.prog, &c.sites, nregs, b, kernel.shared_words);
+        CompiledKernel {
+            prog: c.prog,
+            sites: c.sites,
+            name: kernel.name.clone(),
+            grid: kernel.grid,
+            shared_words: kernel.shared_words,
+            b,
+            nregs,
+            replayable: c.replayable,
+            max_arm_depth: c.max_arm_depth,
+            dirty_regs,
+            smem_clean,
+        }
+    }
+}
+
+/// Register/shared-memory initialisation analysis (see
+/// [`CompiledKernel::dirty_regs`] / [`CompiledKernel::smem_clean`]).
+///
+/// Walks the flat program in pc order — which is exactly first-iteration
+/// execution order for loops — tracking divergence via the enclosing
+/// `Branch` join targets.  Reads are collected before writes per op.
+fn analyze_init(
+    prog: &[Uop],
+    sites: &[Site],
+    nregs: u32,
+    b: u32,
+    shared_words: u64,
+) -> (Vec<Reg>, bool) {
+    // 0 = untouched, 1 = defined by an unconditional write, 2 = dirty.
+    let mut reg_state = vec![0u8; nregs as usize];
+    fn mark_read(state: &mut [u8], r: Reg) {
+        if state[r as usize] == 0 {
+            state[r as usize] = 2;
+        }
+    }
+    fn mark_operand(state: &mut [u8], o: &Operand) {
+        if let Operand::Reg(r) = o {
+            mark_read(state, *r);
+        }
+    }
+    fn mark_site_regs(state: &mut [u8], site: &Site) {
+        match &site.addr {
+            SiteAddr::Affine(a) => {
+                if let Some((r, _)) = a.reg {
+                    mark_read(state, r);
+                }
+            }
+            SiteAddr::Tree(t) => collect_tree_regs(t, state),
+        }
+    }
+    fn mark_write(state: &mut [u8], r: Reg, unconditional: bool) {
+        if state[r as usize] == 0 {
+            state[r as usize] = if unconditional { 1 } else { 2 };
+        }
+    }
+    let mut joins: Vec<u32> = Vec::new();
+    // Unconditionally written smem intervals, kept merged and sorted.
+    let mut written: Vec<(i64, i64)> = Vec::new();
+    let mut smem_ok = true;
+
+    let add_interval = |written: &mut Vec<(i64, i64)>, lo: i64, hi: i64| {
+        written.push((lo, hi));
+        written.sort_unstable();
+        let mut merged: Vec<(i64, i64)> = Vec::new();
+        for (lo, hi) in written.drain(..) {
+            match merged.last_mut() {
+                Some((_, phi)) if lo <= *phi => *phi = (*phi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        *written = merged;
+    };
+    let covered = |written: &[(i64, i64)], lo: i64, hi: i64| {
+        written.iter().any(|&(wlo, whi)| wlo <= lo && hi <= whi)
+    };
+    // The word interval a site touches, when its folded base is a
+    // compile-time constant (no block/loop/register terms).
+    let site_interval = |site: &Site| -> Option<(i64, i64)> {
+        let a = site.as_affine()?;
+        if !a.is_static() || a.block != 0 || a.block_y != 0 || a.loops.iter().any(|&c| c != 0) {
+            return None;
+        }
+        let span = a.lane * (i64::from(b) - 1);
+        Some((a.base + span.min(0), a.base + span.max(0) + 1))
+    };
+
+    for (pc, op) in prog.iter().enumerate() {
+        while joins.last() == Some(&(pc as u32)) {
+            joins.pop();
+        }
+        let unconditional = joins.is_empty();
+        let smem_write = |written: &mut Vec<(i64, i64)>, site: &Site| {
+            if !unconditional {
+                return;
+            }
+            if let Some(a) = site.as_affine() {
+                if matches!(site.fast, FastPath::Unit | FastPath::Broadcast)
+                    && site_interval(site).is_some()
+                {
+                    let span = if a.lane == 0 { 1 } else { i64::from(b) };
+                    add_interval(written, a.base, a.base + span);
+                }
+            }
+        };
+        let smem_read =
+            |written: &[(i64, i64)], site: &Site, smem_ok: &mut bool| match site_interval(site) {
+                Some((lo, hi)) if covered(written, lo, hi) => {}
+                _ => *smem_ok = false,
+            };
+        match op {
+            Uop::Alu { dst, a, b, .. } => {
+                mark_operand(&mut reg_state, a);
+                mark_operand(&mut reg_state, b);
+                mark_write(&mut reg_state, *dst, unconditional);
+            }
+            Uop::Mov { dst, src } => {
+                mark_operand(&mut reg_state, src);
+                mark_write(&mut reg_state, *dst, unconditional);
+            }
+            Uop::LdShr { dst, site } => {
+                let site = &sites[*site as usize];
+                mark_site_regs(&mut reg_state, site);
+                smem_read(&written, site, &mut smem_ok);
+                mark_write(&mut reg_state, *dst, unconditional);
+            }
+            Uop::StShr { site, src } => {
+                mark_operand(&mut reg_state, src);
+                let site = &sites[*site as usize];
+                mark_site_regs(&mut reg_state, site);
+                smem_write(&mut written, site);
+            }
+            Uop::GlbToShr { shared, global } => {
+                let gsite = &sites[*global as usize];
+                mark_site_regs(&mut reg_state, gsite);
+                let ssite = &sites[*shared as usize];
+                mark_site_regs(&mut reg_state, ssite);
+                smem_write(&mut written, ssite);
+            }
+            Uop::ShrToGlb { global, shared } => {
+                let ssite = &sites[*shared as usize];
+                mark_site_regs(&mut reg_state, ssite);
+                smem_read(&written, ssite, &mut smem_ok);
+                let gsite = &sites[*global as usize];
+                mark_site_regs(&mut reg_state, gsite);
+            }
+            Uop::Branch { pred, join, .. } => {
+                let (a, b) = pred.operands();
+                mark_operand(&mut reg_state, &a);
+                mark_operand(&mut reg_state, &b);
+                joins.push(*join);
+            }
+            Uop::Sync
+            | Uop::ThenEnd { .. }
+            | Uop::ElseEnd
+            | Uop::LoopStart { .. }
+            | Uop::LoopEnd { .. } => {}
+        }
+    }
+
+    let smem_clean = smem_ok && (shared_words == 0 || covered(&written, 0, shared_words as i64));
+    // Iterate in u32: `nregs` can be 256 (register 255 in use), which a
+    // `0..nregs as u8` range would silently wrap to empty.
+    let dirty_regs = (0..nregs).filter(|&r| reg_state[r as usize] != 1).map(|r| r as Reg).collect();
+    (dirty_regs, smem_clean)
+}
+
+fn collect_tree_regs(t: &AddrExpr, state: &mut [u8]) {
+    match t {
+        AddrExpr::Reg(r) if state[*r as usize] == 0 => state[*r as usize] = 2,
+        AddrExpr::Add(a, b) | AddrExpr::Sub(a, b) | AddrExpr::Mul(a, b) => {
+            collect_tree_regs(a, state);
+            collect_tree_regs(b, state);
+        }
+        _ => {}
+    }
+}
+
+impl Compiler<'_> {
+    fn lower_body(&mut self, body: &[Instr]) {
+        for instr in body {
+            match instr {
+                Instr::Alu { op, dst, a, b } => {
+                    self.prog.push(Uop::Alu { op: *op, dst: *dst, a: *a, b: *b });
+                }
+                Instr::Mov { dst, src } => {
+                    self.prog.push(Uop::Mov { dst: *dst, src: *src });
+                }
+                Instr::Sync => self.prog.push(Uop::Sync),
+                Instr::LdShr { dst, shared } => {
+                    let site = self.add_site(shared, None);
+                    self.prog.push(Uop::LdShr { dst: *dst, site });
+                }
+                Instr::StShr { shared, src } => {
+                    let site = self.add_site(shared, None);
+                    self.prog.push(Uop::StShr { site, src: *src });
+                }
+                Instr::GlbToShr { shared, global } => {
+                    let s = self.add_site(shared, None);
+                    let g = self.add_site(&global.offset, Some(self.bases[global.buf.0 as usize]));
+                    self.prog.push(Uop::GlbToShr { shared: s, global: g });
+                }
+                Instr::ShrToGlb { global, shared } => {
+                    let s = self.add_site(shared, None);
+                    let g = self.add_site(&global.offset, Some(self.bases[global.buf.0 as usize]));
+                    self.prog.push(Uop::ShrToGlb { global: g, shared: s });
+                }
+                Instr::Repeat { count, body } => {
+                    if *count == 0 || body.is_empty() {
+                        continue; // statically dead, matches the reference
+                    }
+                    let depth = self.loop_depth;
+                    debug_assert!((depth as usize) < MAX_LOOP_DEPTH);
+                    self.prog.push(Uop::LoopStart { depth });
+                    let body_start = self.prog.len() as u32;
+                    self.loop_depth += 1;
+                    self.lower_body(body);
+                    self.loop_depth -= 1;
+                    self.prog.push(Uop::LoopEnd { depth, count: *count, body_start });
+                }
+                Instr::Pred { pred, then_body, else_body } => {
+                    // A predicate reading registers, or comparing against
+                    // the block index, can change which arms run (and thus
+                    // the event stream) per block or per data.
+                    if !pred.is_static() || pred_reads_block(pred) {
+                        self.replayable = false;
+                    }
+                    self.arm_depth += 1;
+                    self.max_arm_depth = self.max_arm_depth.max(self.arm_depth);
+                    let branch_pc = self.prog.len();
+                    let const_then = const_then_mask(pred, self.b);
+                    self.prog.push(Uop::Branch {
+                        pred: *pred,
+                        const_then,
+                        else_start: 0, // patched below
+                        join: 0,
+                    });
+                    if !then_body.is_empty() {
+                        self.lower_body(then_body);
+                        let then_end_pc = self.prog.len();
+                        self.prog.push(Uop::ThenEnd { join: 0 }); // patched
+                        let else_start = self.prog.len() as u32;
+                        if !else_body.is_empty() {
+                            self.lower_body(else_body);
+                            self.prog.push(Uop::ElseEnd);
+                        }
+                        let join = self.prog.len() as u32;
+                        let Uop::ThenEnd { join: j } = &mut self.prog[then_end_pc] else {
+                            unreachable!("patching ThenEnd")
+                        };
+                        *j = join;
+                        self.patch_branch(branch_pc, else_start, join);
+                    } else {
+                        // No then-region: the else-region (if any) starts
+                        // right after the branch.
+                        let else_start = self.prog.len() as u32;
+                        if !else_body.is_empty() {
+                            self.lower_body(else_body);
+                            self.prog.push(Uop::ElseEnd);
+                        }
+                        let join = self.prog.len() as u32;
+                        self.patch_branch(branch_pc, else_start, join);
+                    }
+                    self.arm_depth -= 1;
+                }
+            }
+        }
+    }
+
+    fn patch_branch(&mut self, pc: usize, else_start_v: u32, join_v: u32) {
+        let Uop::Branch { else_start, join, .. } = &mut self.prog[pc] else {
+            unreachable!("patching Branch")
+        };
+        *else_start = else_start_v;
+        *join = join_v;
+    }
+
+    /// Builds the [`Site`] record for one address; `gbase` is `Some` for
+    /// global sites.
+    fn add_site(&mut self, addr: &CompiledAddr, gbase: Option<u64>) -> SiteId {
+        let b = u64::from(self.b);
+        let site = match addr {
+            CompiledAddr::Affine(a) => {
+                let folded_base = match gbase {
+                    Some(g) => AffineAddr { base: a.base + g as i64, ..*a },
+                    None => *a,
+                };
+                if !folded_base.is_block_invariant_mod(b) {
+                    self.replayable = false;
+                }
+                let fast = match folded_base.reg {
+                    Some(_) => FastPath::Dynamic,
+                    None => match folded_base.lane {
+                        1 => FastPath::Unit,
+                        0 => FastPath::Broadcast,
+                        _ => FastPath::Strided,
+                    },
+                };
+                let full_degree = if gbase.is_none() {
+                    folded_base.full_warp_conflict_degree(b).map(|d| d as u32)
+                } else {
+                    None
+                };
+                let txn_table = if gbase.is_some() && folded_base.is_static() {
+                    Some(
+                        (0..b as i64)
+                            .map(|r| lane_span_blocks(r, folded_base.lane, b, b) as u32)
+                            .collect(),
+                    )
+                } else {
+                    None
+                };
+                Site { addr: SiteAddr::Affine(folded_base), fast, full_degree, txn_table, gbase: 0 }
+            }
+            CompiledAddr::Tree(t) => {
+                self.replayable = false;
+                Site {
+                    addr: SiteAddr::Tree(t.clone()),
+                    fast: FastPath::Dynamic,
+                    full_degree: None,
+                    txn_table: None,
+                    gbase: gbase.unwrap_or(0) as i64,
+                }
+            }
+        };
+        let id = self.sites.len();
+        assert!(id <= SiteId::MAX as usize, "kernel has too many memory sites");
+        self.sites.push(site);
+        id as SiteId
+    }
+}
+
+/// Evaluates a predicate whose operands are only `Lane`/`Imm` into a
+/// constant lane mask; `None` for anything else.
+fn const_then_mask(pred: &PredExpr, b: u32) -> Option<u64> {
+    let (a, o) = pred.operands();
+    let lane_imm_only = |op: Operand| matches!(op, Operand::Lane | Operand::Imm(_));
+    if !lane_imm_only(a) || !lane_imm_only(o) {
+        return None;
+    }
+    let mut mask = 0u64;
+    for lane in 0..b {
+        let mut no_regs = |_: Reg| unreachable!("lane/imm predicate reads no registers");
+        if pred.eval(i64::from(lane), (0, 0), &[], &mut no_regs) {
+            mask |= 1 << lane;
+        }
+    }
+    Some(mask)
+}
+
+fn pred_reads_block(pred: &PredExpr) -> bool {
+    let (a, b) = pred.operands();
+    matches!(a, Operand::Block | Operand::BlockY) || matches!(b, Operand::Block | Operand::BlockY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgpu_ir::{DBuf, KernelBuilder};
+
+    fn compile(kernel: &Kernel) -> CompiledKernel {
+        let nregs = kernel.max_reg().map(|r| u32::from(r) + 1).unwrap_or(1);
+        CompiledKernel::compile(kernel, &[0, 1024, 2048, 3072], 32, nregs)
+    }
+
+    #[test]
+    fn straight_line_lowers_one_to_one() {
+        let mut kb = KernelBuilder::new("s", 1, 64);
+        kb.mov(0, Operand::Imm(1));
+        kb.ld_shr(1, AddrExpr::lane());
+        kb.st_shr(AddrExpr::lane(), Operand::Reg(1));
+        kb.sync();
+        let c = compile(&kb.build());
+        assert_eq!(c.prog.len(), 4);
+        assert_eq!(c.sites.len(), 2);
+        assert!(c.replayable);
+    }
+
+    #[test]
+    fn loop_emits_start_and_backedge() {
+        let mut kb = KernelBuilder::new("l", 1, 0);
+        kb.repeat(3, |kb| {
+            kb.mov(0, Operand::Imm(1));
+        });
+        let c = compile(&kb.build());
+        // LoopStart, Mov, LoopEnd
+        assert_eq!(c.prog.len(), 3);
+        assert!(matches!(c.prog[0], Uop::LoopStart { depth: 0 }));
+        assert!(matches!(c.prog[2], Uop::LoopEnd { depth: 0, count: 3, body_start: 1 }));
+    }
+
+    #[test]
+    fn zero_trip_and_empty_loops_vanish() {
+        let mut kb = KernelBuilder::new("z", 1, 0);
+        kb.repeat(0, |kb| {
+            kb.mov(0, Operand::Imm(1));
+        });
+        kb.repeat(5, |_| {});
+        let c = compile(&kb.build());
+        assert!(c.prog.is_empty());
+    }
+
+    #[test]
+    fn branch_targets_point_past_regions() {
+        let mut kb = KernelBuilder::new("p", 1, 0);
+        kb.pred(
+            PredExpr::Lt(Operand::Lane, Operand::Imm(2)),
+            |kb| {
+                kb.mov(0, Operand::Imm(1));
+            },
+            |kb| {
+                kb.mov(0, Operand::Imm(2));
+                kb.mov(1, Operand::Imm(3));
+            },
+        );
+        kb.sync();
+        let c = compile(&kb.build());
+        // Branch, Mov, ThenEnd, Mov, Mov, ElseEnd, Sync
+        assert_eq!(c.prog.len(), 7);
+        let Uop::Branch { else_start, join, .. } = c.prog[0] else { panic!() };
+        assert_eq!(else_start, 3);
+        assert_eq!(join, 6);
+        let Uop::ThenEnd { join } = c.prog[2] else { panic!() };
+        assert_eq!(join, 6);
+        assert!(c.replayable, "lane-guarded divergence is block-invariant");
+        assert_eq!(c.max_arm_depth, 1);
+    }
+
+    #[test]
+    fn site_shapes_classified() {
+        let mut kb = KernelBuilder::new("shapes", 4, 64);
+        kb.glb_to_shr(AddrExpr::lane(), DBuf(0), AddrExpr::block() * 32 + AddrExpr::lane());
+        kb.ld_shr(0, AddrExpr::c(7));
+        kb.st_shr(AddrExpr::lane() * 2, Operand::Reg(0));
+        kb.glb_to_shr(AddrExpr::lane(), DBuf(1), AddrExpr::reg(0));
+        let c = compile(&kb.build());
+        // Sites in creation order: shared(lane), global(i·32+j), shared(7),
+        // shared(2j), shared(lane), global(reg).
+        assert_eq!(c.sites[0].fast, FastPath::Unit);
+        assert_eq!(c.sites[0].full_degree, Some(1));
+        assert_eq!(c.sites[1].fast, FastPath::Unit);
+        let table = c.sites[1].txn_table.as_ref().unwrap();
+        assert_eq!(table[0], 1, "aligned unit-stride warp = 1 txn");
+        assert_eq!(table[1], 2, "misaligned warp straddles 2 blocks");
+        assert_eq!(c.sites[2].fast, FastPath::Broadcast);
+        assert_eq!(c.sites[2].full_degree, Some(1));
+        assert_eq!(c.sites[3].fast, FastPath::Strided);
+        assert_eq!(c.sites[3].full_degree, Some(2));
+        assert_eq!(c.sites[5].fast, FastPath::Dynamic);
+        assert!(c.sites[5].txn_table.is_none());
+        assert!(!c.replayable, "register-addressed site defeats replay");
+    }
+
+    #[test]
+    fn global_base_folded_into_affine() {
+        let mut kb = KernelBuilder::new("base", 2, 32);
+        kb.glb_to_shr(AddrExpr::lane(), DBuf(2), AddrExpr::lane());
+        let c = compile(&kb.build());
+        let a = c.sites[1].as_affine().unwrap();
+        assert_eq!(a.base, 2048);
+    }
+
+    #[test]
+    fn block_residue_shift_defeats_replay() {
+        let mut kb = KernelBuilder::new("mis", 4, 32);
+        kb.glb_to_shr(AddrExpr::lane(), DBuf(0), AddrExpr::block() * 33 + AddrExpr::lane());
+        let c = compile(&kb.build());
+        assert!(!c.replayable);
+    }
+
+    #[test]
+    fn block_dependent_predicate_defeats_replay() {
+        let mut kb = KernelBuilder::new("bp", 4, 0);
+        kb.when(PredExpr::Lt(Operand::Block, Operand::Imm(2)), |kb| {
+            kb.mov(0, Operand::Imm(1));
+        });
+        let c = compile(&kb.build());
+        assert!(!c.replayable);
+    }
+
+    #[test]
+    fn register_predicate_defeats_replay() {
+        let mut kb = KernelBuilder::new("rp", 4, 0);
+        kb.when(PredExpr::Lt(Operand::Reg(0), Operand::Imm(2)), |kb| {
+            kb.mov(1, Operand::Imm(1));
+        });
+        let c = compile(&kb.build());
+        assert!(!c.replayable);
+    }
+
+    #[test]
+    fn lane_imm_predicates_get_constant_masks() {
+        let mut kb = KernelBuilder::new("cm", 1, 0);
+        kb.when(PredExpr::Lt(Operand::Lane, Operand::Imm(3)), |kb| {
+            kb.mov(0, Operand::Imm(1));
+        });
+        kb.when(PredExpr::Lt(Operand::Block, Operand::Imm(1)), |kb| {
+            kb.mov(0, Operand::Imm(2));
+        });
+        let c = compile(&kb.build());
+        let masks: Vec<Option<u64>> = c
+            .prog
+            .iter()
+            .filter_map(|op| match op {
+                Uop::Branch { const_then, .. } => Some(*const_then),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(masks, vec![Some(0b111), None]);
+    }
+
+    #[test]
+    fn init_elision_vecadd_shape_skips_all_clearing() {
+        // Write-before-read everywhere and full shared coverage: nothing
+        // needs zeroing between blocks.
+        let b = 32i64;
+        let mut kb = KernelBuilder::new("va", 4, 3 * b as u64);
+        let g = AddrExpr::block() * b + AddrExpr::lane();
+        kb.glb_to_shr(AddrExpr::lane(), DBuf(0), g.clone());
+        kb.glb_to_shr(AddrExpr::lane() + b, DBuf(1), g.clone());
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.ld_shr(1, AddrExpr::lane() + b);
+        kb.alu(AluOp::Add, 2, Operand::Reg(0), Operand::Reg(1));
+        kb.st_shr(AddrExpr::lane() + 2 * b, Operand::Reg(2));
+        kb.shr_to_glb(DBuf(2), g, AddrExpr::lane() + 2 * b);
+        let kernel = kb.build();
+        let nregs = kernel.max_reg().map(|r| u32::from(r) + 1).unwrap_or(1);
+        let c = CompiledKernel::compile(&kernel, &[0, 1024, 2048], 32, nregs);
+        assert!(c.dirty_regs.is_empty());
+        assert!(c.smem_clean);
+    }
+
+    #[test]
+    fn init_elision_conservative_on_reads_and_divergence() {
+        // r0 read before write; r1 first written inside a divergent arm;
+        // shared read of an uncovered word.
+        let mut kb = KernelBuilder::new("dirty", 2, 64);
+        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Imm(1));
+        kb.when(PredExpr::Lt(Operand::Lane, Operand::Imm(2)), |kb| {
+            kb.mov(1, Operand::Imm(5));
+        });
+        kb.ld_shr(2, AddrExpr::lane());
+        let kernel = kb.build();
+        let c = CompiledKernel::compile(&kernel, &[], 32, 3);
+        assert!(c.dirty_regs.contains(&0), "read-before-write register");
+        assert!(c.dirty_regs.contains(&1), "conditionally-written register");
+        assert!(!c.dirty_regs.contains(&2), "LdShr defines r2 unconditionally");
+        assert!(!c.smem_clean, "uncovered shared read forces clearing");
+    }
+
+    #[test]
+    fn init_elision_survives_max_register_index() {
+        // nregs = 256 (register 255 referenced): the dirty-register
+        // range must not wrap to empty, or stale state leaks between
+        // blocks.
+        let mut kb = KernelBuilder::new("r255", 2, 0);
+        kb.alu(AluOp::Add, 255, Operand::Reg(255), Operand::Imm(1));
+        let kernel = kb.build();
+        let c = CompiledKernel::compile(&kernel, &[], 32, 256);
+        assert!(c.dirty_regs.contains(&255), "read-before-write r255 must be cleared");
+    }
+
+    #[test]
+    fn init_elision_requires_full_shared_coverage() {
+        // Every read covered, but only half the shared words are ever
+        // written: stale state would differ from the zeroing reference.
+        let b = 32i64;
+        let mut kb = KernelBuilder::new("half", 2, 2 * b as u64);
+        kb.st_shr(AddrExpr::lane(), Operand::Lane);
+        kb.ld_shr(0, AddrExpr::lane());
+        let kernel = kb.build();
+        let c = CompiledKernel::compile(&kernel, &[], 32, 1);
+        assert!(!c.smem_clean);
+        assert!(c.dirty_regs.is_empty());
+    }
+}

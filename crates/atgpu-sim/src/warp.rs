@@ -79,7 +79,7 @@ pub enum GmemAccess<'a> {
 
 impl GmemAccess<'_> {
     #[inline]
-    fn read(&self, addr: i64) -> Option<i64> {
+    pub(crate) fn read(&self, addr: i64) -> Option<i64> {
         match self {
             GmemAccess::Direct(g) => g.read(addr),
             GmemAccess::Logged { base, .. } => base.read(addr),
@@ -87,7 +87,7 @@ impl GmemAccess<'_> {
     }
 
     #[inline]
-    fn write(&mut self, addr: i64, val: i64, block: u64) -> bool {
+    pub(crate) fn write(&mut self, addr: i64, val: i64, block: u64) -> bool {
         match self {
             GmemAccess::Direct(g) => g.write(addr, val),
             GmemAccess::Logged { base, log } => {
@@ -100,8 +100,58 @@ impl GmemAccess<'_> {
         }
     }
 
+    /// Read view of the whole heap (micro-op engine fast paths).
     #[inline]
-    fn len(&self) -> u64 {
+    pub(crate) fn view(&self) -> &[i64] {
+        match self {
+            GmemAccess::Direct(g) => g.words(),
+            GmemAccess::Logged { base, .. } => base.words(),
+        }
+    }
+
+    /// Contiguous read of `out.len()` words starting at `addr` (micro-op
+    /// engine fast path).
+    #[inline]
+    pub(crate) fn read_block(&self, addr: i64, out: &mut [i64]) -> bool {
+        let words = self.view();
+        let Ok(start) = usize::try_from(addr) else { return false };
+        let Some(src) = start.checked_add(out.len()).and_then(|end| words.get(start..end)) else {
+            return false;
+        };
+        out.copy_from_slice(src);
+        true
+    }
+
+    /// Contiguous write of `vals` starting at `addr` (micro-op engine
+    /// fast path).  Direct mode is a slice copy; logged mode records one
+    /// deferred write per word, as the per-lane path would.
+    #[inline]
+    pub(crate) fn write_block(&mut self, addr: i64, vals: &[i64], block: u64) -> bool {
+        match self {
+            GmemAccess::Direct(g) => {
+                let Ok(start) = usize::try_from(addr) else { return false };
+                let Some(dst) =
+                    start.checked_add(vals.len()).and_then(|end| g.words_mut().get_mut(start..end))
+                else {
+                    return false;
+                };
+                dst.copy_from_slice(vals);
+                true
+            }
+            GmemAccess::Logged { base, log } => {
+                if addr < 0 || (addr as u64).saturating_add(vals.len() as u64) > base.len() {
+                    return false;
+                }
+                for (i, &val) in vals.iter().enumerate() {
+                    log.push(WriteRec { addr: addr as u64 + i as u64, val, block });
+                }
+                true
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> u64 {
         match self {
             GmemAccess::Direct(g) => g.len(),
             GmemAccess::Logged { base, .. } => base.len(),
@@ -176,6 +226,12 @@ impl<'k> WarpExec<'k> {
         w
     }
 
+    /// The per-lane register file, laid out `reg-major` (`r·b + lane`) —
+    /// exposed for differential testing against the micro-op engine.
+    pub fn regs(&self) -> &[i64] {
+        &self.regs
+    }
+
     /// Re-arms the executor for a new thread block (reusing allocations).
     pub fn reset(&mut self, block: u64) {
         self.block = block;
@@ -247,8 +303,7 @@ impl<'k> WarpExec<'k> {
                     let regs = &self.regs;
                     let loops = &self.loops;
                     let mut read = |r: Reg| regs[r as usize * b + lane as usize];
-                    self.addr_buf[lane as usize] =
-                        t.eval(i64::from(lane), block, loops, &mut read);
+                    self.addr_buf[lane as usize] = t.eval(i64::from(lane), block, loops, &mut read);
                 }
                 false
             }
@@ -797,10 +852,7 @@ mod tests {
         kb.ld_shr(0, AddrExpr::c(2));
         let k = kb.build();
         let (events, _) = run_to_completion(&k, &[0], &mut g, 4, 0);
-        assert_eq!(
-            events,
-            vec![StepEvent::Shared { degree: 1 }, StepEvent::Shared { degree: 1 }]
-        );
+        assert_eq!(events, vec![StepEvent::Shared { degree: 1 }, StepEvent::Shared { degree: 1 }]);
     }
 
     #[test]

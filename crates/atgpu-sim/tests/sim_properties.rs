@@ -124,12 +124,11 @@ fn expensive_alu_ops_cost_more() {
         pb.launch(kb.build());
         pb.build().unwrap()
     };
-    let cheap = run_program(&build(AluOp::Add), vec![], &machine(), &spec(),
-        &SimConfig::default())
-    .unwrap();
-    let pricey = run_program(&build(AluOp::Rem), vec![], &machine(), &spec(),
-        &SimConfig::default())
-    .unwrap();
+    let cheap = run_program(&build(AluOp::Add), vec![], &machine(), &spec(), &SimConfig::default())
+        .unwrap();
+    let pricey =
+        run_program(&build(AluOp::Rem), vec![], &machine(), &spec(), &SimConfig::default())
+            .unwrap();
     assert_eq!(cheap.rounds[0].kernel_stats.cycles, 10);
     assert_eq!(pricey.rounds[0].kernel_stats.cycles, 160); // 16 cycles each
 }
@@ -163,16 +162,11 @@ fn zero_block_launch_rejected_by_validation() {
 fn faster_clock_means_less_wall_time() {
     let (p, _) = copy_program(4096);
     let data: Vec<i64> = (0..4096).collect();
-    let slow = run_program(&p, vec![data.clone()], &machine(), &spec(),
-        &SimConfig::default())
-    .unwrap();
+    let slow =
+        run_program(&p, vec![data.clone()], &machine(), &spec(), &SimConfig::default()).unwrap();
     let fast_spec = GpuSpec { clock_cycles_per_ms: 4.0 * spec().clock_cycles_per_ms, ..spec() };
-    let fast =
-        run_program(&p, vec![data], &machine(), &fast_spec, &SimConfig::default()).unwrap();
+    let fast = run_program(&p, vec![data], &machine(), &fast_spec, &SimConfig::default()).unwrap();
     assert!(fast.kernel_ms() < slow.kernel_ms());
     // Same cycles, different wall time.
-    assert_eq!(
-        fast.rounds[0].kernel_stats.cycles,
-        slow.rounds[0].kernel_stats.cycles
-    );
+    assert_eq!(fast.rounds[0].kernel_stats.cycles, slow.rounds[0].kernel_stats.cycles);
 }

@@ -56,23 +56,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Static analysis: every model metric, from the same IR.
     let analysis = analyze_program(&program, &machine)?;
     let metrics = analysis.metrics();
-    println!("t = {} ops, q = {} transactions, shared = {} words, Σ(I+O) = {} words",
+    println!(
+        "t = {} ops, q = {} transactions, shared = {} words, Σ(I+O) = {} words",
         metrics.total_time_ops(),
         metrics.total_io_blocks(),
         metrics.peak_shared_words(),
-        metrics.total_transfer_words());
-    println!("coalescing exact: {};  statically bank-conflict-free: {}",
-        analysis.io_exact, analysis.conflict_free);
+        metrics.total_transfer_words()
+    );
+    println!(
+        "coalescing exact: {};  statically bank-conflict-free: {}",
+        analysis.io_exact, analysis.conflict_free
+    );
 
-    let cost = evaluate(
-        CostModel::GpuCost,
-        &spec.derived_cost_params(),
-        &machine,
-        &spec,
-        &metrics,
-    )?;
-    println!("predicted GPU-cost: {:.4} ms (ΔT = {:.1}%)",
-        cost.total(), 100.0 * cost.transfer_proportion());
+    let cost =
+        evaluate(CostModel::GpuCost, &spec.derived_cost_params(), &machine, &spec, &metrics)?;
+    println!(
+        "predicted GPU-cost: {:.4} ms (ΔT = {:.1}%)",
+        cost.total(),
+        100.0 * cost.transfer_proportion()
+    );
 
     // Run it.
     let xs: Vec<i64> = (0..n as i64).map(|v| v % 100).collect();
@@ -81,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, (&x, &o)) in xs.iter().zip(out).enumerate() {
         assert_eq!(o, 3 * x * x + 1, "mismatch at {i}");
     }
-    println!("simulated: {:.4} ms total, {:.4} ms kernel — all {} results verified",
-        report.total_ms(), report.kernel_ms(), n);
+    println!(
+        "simulated: {:.4} ms total, {:.4} ms kernel — all {} results verified",
+        report.total_ms(),
+        report.kernel_ms(),
+        n
+    );
     Ok(())
 }

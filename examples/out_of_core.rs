@@ -45,10 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nreduction finishing schemes (n = 65536, chunk = 4096):");
-    for (scheme, label) in [
-        (OocScheme::HostFinish, "host-finish  "),
-        (OocScheme::DeviceFinish, "device-finish"),
-    ] {
+    for (scheme, label) in
+        [(OocScheme::HostFinish, "host-finish  "), (OocScheme::DeviceFinish, "device-finish")]
+    {
         let w = OocReduce::new(65_536, 4096, scheme, 3);
         let built = w.build(&machine)?;
         let metrics = analyze_program(&built.program, &machine)?.metrics();

@@ -7,9 +7,7 @@
 //! cargo run --release --example paper_workloads
 //! ```
 
-use atgpu::algos::{
-    matmul::MatMul, reduce::Reduce, vecadd::VecAdd, verify_on_sim, Workload,
-};
+use atgpu::algos::{matmul::MatMul, reduce::Reduce, vecadd::VecAdd, verify_on_sim, Workload};
 use atgpu::analyze::analyze_program;
 use atgpu::model::cost::{evaluate, CostModel};
 use atgpu::model::{AtgpuMachine, GpuSpec};

@@ -38,8 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let atgpu = evaluate(CostModel::GpuCost, &params, &machine, &spec, &metrics)?;
     let swgpu = evaluate(CostModel::Swgpu, &params, &machine, &spec, &metrics)?;
     println!("\npredictions:");
-    println!("  ATGPU GPU-cost     = {:8.3} ms  (ΔT = {:.1}% transfer)",
-        atgpu.total(), 100.0 * atgpu.transfer_proportion());
+    println!(
+        "  ATGPU GPU-cost     = {:8.3} ms  (ΔT = {:.1}% transfer)",
+        atgpu.total(),
+        100.0 * atgpu.transfer_proportion()
+    );
     println!("  SWGPU baseline     = {:8.3} ms  (no transfer terms)", swgpu.total());
 
     // 5. Observe on the simulated GTX 650-like device; the result is
@@ -48,8 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsimulated observation (verified correct):");
     println!("  total              = {:8.3} ms", report.total_ms());
     println!("  kernel             = {:8.3} ms", report.kernel_ms());
-    println!("  transfer           = {:8.3} ms  (ΔE = {:.1}%)",
-        report.transfer_ms(), 100.0 * report.transfer_proportion());
+    println!(
+        "  transfer           = {:8.3} ms  (ΔE = {:.1}%)",
+        report.transfer_ms(),
+        100.0 * report.transfer_proportion()
+    );
 
     println!(
         "\nthe ATGPU prediction tracks the total ({:.1}% off), while the \

@@ -8,7 +8,13 @@
 //! * [`ir`] — the kernel IR / pseudocode DSL with the paper's transfer
 //!   operators;
 //! * [`analyze`] — the static analyser deriving model metrics from IR;
-//! * [`sim`] — the discrete-event GPU simulator (the "hardware");
+//! * [`sim`] — the discrete-event GPU simulator (the "hardware"), built
+//!   around a compile-then-execute pipeline: kernel IR is lowered once
+//!   per launch into a flat micro-op program with precomputed access
+//!   shapes (`atgpu::sim::uop`), executed allocation-free per block
+//!   (`atgpu::sim::engine`) with a block-invariant timing-replay cache —
+//!   the tree-walking reference interpreter remains available via
+//!   `SimConfig::use_reference` for differential testing;
 //! * [`algos`] — the evaluated workloads (vector addition, reduction,
 //!   matrix multiplication, and the extension workloads);
 //! * [`calibrate`] — cost-parameter fitting from microbenchmarks;

@@ -2,9 +2,9 @@
 //! → verification, spanning every workspace crate through the facade.
 
 use atgpu::algos::{
-    dot::Dot, histogram::Histogram, matmul::MatMul, ooc::OocVecAdd, reduce::Reduce,
-    saxpy::Saxpy, scan::Scan, stencil::Stencil, transpose::Transpose,
-    transpose::TransposeVariant, vecadd::VecAdd, verify_on_sim, Workload,
+    dot::Dot, histogram::Histogram, matmul::MatMul, ooc::OocVecAdd, reduce::Reduce, saxpy::Saxpy,
+    scan::Scan, stencil::Stencil, transpose::Transpose, transpose::TransposeVariant,
+    vecadd::VecAdd, verify_on_sim, Workload,
 };
 use atgpu::analyze::analyze_program;
 use atgpu::ir::pretty;
@@ -40,8 +40,8 @@ fn whole_library_verifies_end_to_end() {
         Box::new(OocVecAdd::new(5000, 1024, 10)),
     ];
     for w in &workloads {
-        let report = verify_on_sim(w.as_ref(), &m, &s, &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let report =
+            verify_on_sim(w.as_ref(), &m, &s, &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
         assert!(report.total_ms() > 0.0, "{}", w.name());
     }
 }
@@ -197,8 +197,7 @@ fn race_detection_is_quiet_on_library_workloads() {
     let m = machine();
     let s = spec();
     let cfg = SimConfig { detect_races: true, ..SimConfig::default() };
-    for w in [&VecAdd::new(5000, 1) as &dyn Workload, &Scan::new(5000, 2), &Stencil::new(5000, 3)]
-    {
+    for w in [&VecAdd::new(5000, 1) as &dyn Workload, &Scan::new(5000, 2), &Stencil::new(5000, 3)] {
         verify_on_sim(w, &m, &s, &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
     }
 }

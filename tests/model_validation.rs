@@ -65,10 +65,7 @@ fn atgpu_tracks_vecadd_total_better_than_swgpu() {
     let last = atgpu.len() - 1;
     let abs_err_atgpu = (atgpu[last] - total[last]).abs() / total[last];
     let abs_err_swgpu = (swgpu[last] - total[last]).abs() / total[last];
-    assert!(
-        abs_err_atgpu < 0.15,
-        "ATGPU should predict the total within 15%, got {abs_err_atgpu}"
-    );
+    assert!(abs_err_atgpu < 0.15, "ATGPU should predict the total within 15%, got {abs_err_atgpu}");
     assert!(
         abs_err_swgpu > 0.5,
         "SWGPU (transfer-blind) should miss most of the total, got {abs_err_swgpu}"
@@ -140,11 +137,7 @@ fn stated_bounds_hold_for_paper_workloads() {
             }
             let c = BigO::fitted_constant(bound, &samples, m.b as f64)
                 .unwrap_or_else(|| panic!("degenerate bound {bound}"));
-            assert!(
-                c < 64.0,
-                "{}: constant {c} too large for {bound}",
-                w0.name()
-            );
+            assert!(c < 64.0, "{}: constant {c} too large for {bound}", w0.name());
         }
     };
     check(&|n| Box::new(VecAdd::new(n, 1)), &[1 << 12, 1 << 14, 1 << 16]);
@@ -161,13 +154,9 @@ fn reduction_variants_rank_correctly() {
     let s = spec();
     let cfg = SimConfig::default();
     let n = 1 << 18;
-    let slow = verify_on_sim(
-        &Reduce::with_variant(n, 1, ReduceVariant::InterleavedModulo),
-        &m,
-        &s,
-        &cfg,
-    )
-    .unwrap();
+    let slow =
+        verify_on_sim(&Reduce::with_variant(n, 1, ReduceVariant::InterleavedModulo), &m, &s, &cfg)
+            .unwrap();
     let fast = verify_on_sim(
         &Reduce::with_variant(n, 1, ReduceVariant::SequentialAddressing),
         &m,

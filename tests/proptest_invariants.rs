@@ -1,8 +1,8 @@
 //! Property-based tests on the core invariants, spanning the IR, the
 //! analyser, the cost model and the simulator.
 
-use atgpu::algos::{reduce::Reduce, reduce::ReduceVariant, scan::Scan, vecadd::VecAdd};
 use atgpu::algos::verify_on_sim;
+use atgpu::algos::{reduce::Reduce, reduce::ReduceVariant, scan::Scan, vecadd::VecAdd};
 use atgpu::analyze::coalesce::{lane_block_count, residue_histogram, site_transactions};
 use atgpu::ir::affine::{lower, CompiledAddr};
 use atgpu::ir::AddrExpr;
@@ -34,10 +34,8 @@ fn addr_expr() -> impl Strategy<Value = AddrExpr> {
                 .prop_map(|(a, b)| AddrExpr::Add(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| AddrExpr::Sub(Box::new(a), Box::new(b))),
-            (inner, (-8i64..8)).prop_map(|(a, c)| AddrExpr::Mul(
-                Box::new(a),
-                Box::new(AddrExpr::Const(c))
-            )),
+            (inner, (-8i64..8))
+                .prop_map(|(a, c)| AddrExpr::Mul(Box::new(a), Box::new(AddrExpr::Const(c)))),
         ]
     })
 }

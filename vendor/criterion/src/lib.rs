@@ -1,0 +1,156 @@
+//! A vendored, dependency-free stand-in for the subset of `criterion`
+//! this workspace uses: `Criterion`, benchmark groups, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm-up call, then timed
+//! iterations until the per-benchmark time budget or sample count is
+//! reached — and reports mean wall-clock time per iteration.  Set
+//! `ATGPU_BENCH_FAST=1` to run each benchmark exactly once (CI smoke
+//! mode).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn fast_mode() -> bool {
+    std::env::var_os("ATGPU_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_budget: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_budget: Duration::from_millis(500), default_samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group whose settings apply to its benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.default_budget,
+            samples: self.default_samples,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one benchmark with default settings.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.default_budget, self.default_samples, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample/time settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.budget, self.samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the mean time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if fast_mode() {
+            let t = Instant::now();
+            black_box(routine());
+            self.mean_ns = t.elapsed().as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
+        // Warm-up.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.samples as u64 && start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.iters = iters.max(1);
+        self.mean_ns = total.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, samples: usize, mut f: F) {
+    let mut b = Bencher { budget, samples, mean_ns: 0.0, iters: 0 };
+    f(&mut b);
+    let (value, unit) = if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "µs")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("bench {name:<40} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+}
+
+/// Declares a benchmark group function calling each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
