@@ -68,6 +68,74 @@ impl MatMul {
         c
     }
 
+    /// Builds a **multi-device** matrix multiplication sharded by tile
+    /// row: device `d` computes a contiguous band of C's tile rows.  `B`
+    /// is broadcast to every participating device; each device receives
+    /// only its band of `A` and returns its band of `C` (both contiguous
+    /// in row-major order, so one transfer transaction each).  Because a
+    /// tile row is a contiguous range of linear block indices
+    /// (`id = iy·t + ix`), the band maps to one [`atgpu_ir::Shard`].
+    pub fn build_sharded(
+        &self,
+        machine: &AtgpuMachine,
+        devices: u32,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let n = self.n;
+        let b = machine.b;
+        if n == 0 || !n.is_multiple_of(b) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("matrix side {n} must be a positive multiple of b = {b}"),
+            });
+        }
+        if machine.m < 3 * b * b {
+            return Err(AlgosError::InvalidMachine {
+                reason: format!(
+                    "tiled matmul needs 3b² = {} shared words, machine has M = {}",
+                    3 * b * b,
+                    machine.m
+                ),
+            });
+        }
+        let t = n / b;
+        let nn = n * n;
+
+        let mut pb = ProgramBuilder::new("matmul_sharded");
+        let ha = pb.host_input("A", nn);
+        let hb = pb.host_input("B", nn);
+        let hc = pb.host_output("C", nn);
+        let da = pb.device_alloc("a", nn);
+        let db = pb.device_alloc("b", nn);
+        let dc = pb.device_alloc("c", nn);
+
+        // Split the t tile rows evenly; row band [y0, y1) is the linear
+        // block range [y0·t, y1·t) and the word range [y0·b·n, y1·b·n).
+        let row_shards = atgpu_sim::even_shards(t, devices);
+        let shards: Vec<atgpu_ir::Shard> = row_shards
+            .iter()
+            .map(|s| atgpu_ir::Shard { device: s.device, start: s.start * t, end: s.end * t })
+            .collect();
+
+        pb.begin_round();
+        for s in &row_shards {
+            let off = s.start * b * n;
+            let words = s.blocks() * b * n;
+            pb.transfer_in_to(s.device, ha, off, da, off, words);
+            pb.transfer_in_to(s.device, hb, 0, db, 0, nn); // broadcast B
+        }
+        pb.launch_sharded(tiled_kernel(n, b, da, db, dc), shards);
+        for s in &row_shards {
+            let off = s.start * b * n;
+            let words = s.blocks() * b * n;
+            pb.transfer_out_from(s.device, dc, off, hc, off, words);
+        }
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.a.clone(), self.b.clone()],
+            outputs: vec![hc],
+        })
+    }
+
     /// Lockstep time ops of our kernel encoding for side `n`, width `b`.
     pub fn time_ops(n: u64, b: u64) -> u64 {
         let t = n / b; // tile steps
@@ -75,6 +143,72 @@ impl MatMul {
                        // plus the final b-row tile store.
         t * (2 * b + b * (2 + 4 * b)) + b
     }
+}
+
+/// Builds the tiled-matmul kernel for an `n×n` problem on width `b`:
+/// a 2-D grid of `(n/b) × (n/b)` blocks, `3b²` shared words.
+fn tiled_kernel(
+    n: u64,
+    b: u64,
+    da: atgpu_ir::DBuf,
+    db: atgpu_ir::DBuf,
+    dc: atgpu_ir::DBuf,
+) -> atgpu_ir::Kernel {
+    let t = n / b; // tiles per side
+    let bi = b as i64;
+    let ni = n as i64;
+    // Shared layout: A tile [0, b²), B tile [b², 2b²), C acc [2b², 3b²).
+    let sa = 0i64;
+    let sb = (b * b) as i64;
+    let sc = 2 * (b * b) as i64;
+    let mut kb = KernelBuilder::new_2d("matmul_kernel", (t, t), 3 * b * b);
+    kb.repeat(t as u32, |kb| {
+        // Stage A tile: row t1 of tile (iy, t0).
+        kb.repeat(b as u32, |kb| {
+            kb.glb_to_shr(
+                AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sa,
+                da,
+                (AddrExpr::block_y() * bi + AddrExpr::loop_var(1)) * ni
+                    + AddrExpr::loop_var(0) * bi
+                    + AddrExpr::lane(),
+            );
+        });
+        // Stage B tile: row t1 of tile (t0, ix).
+        kb.repeat(b as u32, |kb| {
+            kb.glb_to_shr(
+                AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sb,
+                db,
+                (AddrExpr::loop_var(0) * bi + AddrExpr::loop_var(1)) * ni
+                    + AddrExpr::block() * bi
+                    + AddrExpr::lane(),
+            );
+        });
+        // Accumulate: lane j owns column j of the C tile.
+        kb.repeat(b as u32, |kb| {
+            // r0 ← _C[t1·b + j]
+            kb.ld_shr(0, AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sc);
+            kb.repeat(b as u32, |kb| {
+                // r1 ← _A[t1·b + t2] (broadcast), r2 ← _B[t2·b + j]
+                kb.ld_shr(1, AddrExpr::loop_var(1) * bi + AddrExpr::loop_var(2) + sa);
+                kb.ld_shr(2, AddrExpr::loop_var(2) * bi + AddrExpr::lane() + sb);
+                kb.alu(AluOp::Mul, 3, Operand::Reg(1), Operand::Reg(2));
+                kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(3));
+            });
+            kb.st_shr(AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sc, Operand::Reg(0));
+        });
+    });
+    // Write the C tile out, row by row.
+    kb.repeat(b as u32, |kb| {
+        kb.shr_to_glb(
+            dc,
+            (AddrExpr::block_y() * bi + AddrExpr::loop_var(0)) * ni
+                + AddrExpr::block() * bi
+                + AddrExpr::lane(),
+            AddrExpr::loop_var(0) * bi + AddrExpr::lane() + sc,
+        );
+    });
+
+    kb.build()
 }
 
 impl Workload for MatMul {
@@ -103,10 +237,7 @@ impl Workload for MatMul {
                 ),
             });
         }
-        let t = n / b; // tiles per side
         let nn = n * n;
-        let bi = b as i64;
-        let ni = n as i64;
 
         let mut pb = ProgramBuilder::new("matmul");
         let ha = pb.host_input("A", nn);
@@ -116,62 +247,10 @@ impl Workload for MatMul {
         let db = pb.device_alloc("b", nn);
         let dc = pb.device_alloc("c", nn);
 
-        // Shared layout: A tile [0, b²), B tile [b², 2b²), C acc [2b², 3b²).
-        let sa = 0i64;
-        let sb = (b * b) as i64;
-        let sc = 2 * (b * b) as i64;
-
-        let mut kb = KernelBuilder::new_2d("matmul_kernel", (t, t), 3 * b * b);
-        kb.repeat(t as u32, |kb| {
-            // Stage A tile: row t1 of tile (iy, t0).
-            kb.repeat(b as u32, |kb| {
-                kb.glb_to_shr(
-                    AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sa,
-                    da,
-                    (AddrExpr::block_y() * bi + AddrExpr::loop_var(1)) * ni
-                        + AddrExpr::loop_var(0) * bi
-                        + AddrExpr::lane(),
-                );
-            });
-            // Stage B tile: row t1 of tile (t0, ix).
-            kb.repeat(b as u32, |kb| {
-                kb.glb_to_shr(
-                    AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sb,
-                    db,
-                    (AddrExpr::loop_var(0) * bi + AddrExpr::loop_var(1)) * ni
-                        + AddrExpr::block() * bi
-                        + AddrExpr::lane(),
-                );
-            });
-            // Accumulate: lane j owns column j of the C tile.
-            kb.repeat(b as u32, |kb| {
-                // r0 ← _C[t1·b + j]
-                kb.ld_shr(0, AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sc);
-                kb.repeat(b as u32, |kb| {
-                    // r1 ← _A[t1·b + t2] (broadcast), r2 ← _B[t2·b + j]
-                    kb.ld_shr(1, AddrExpr::loop_var(1) * bi + AddrExpr::loop_var(2) + sa);
-                    kb.ld_shr(2, AddrExpr::loop_var(2) * bi + AddrExpr::lane() + sb);
-                    kb.alu(AluOp::Mul, 3, Operand::Reg(1), Operand::Reg(2));
-                    kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(3));
-                });
-                kb.st_shr(AddrExpr::loop_var(1) * bi + AddrExpr::lane() + sc, Operand::Reg(0));
-            });
-        });
-        // Write the C tile out, row by row.
-        kb.repeat(b as u32, |kb| {
-            kb.shr_to_glb(
-                dc,
-                (AddrExpr::block_y() * bi + AddrExpr::loop_var(0)) * ni
-                    + AddrExpr::block() * bi
-                    + AddrExpr::lane(),
-                AddrExpr::loop_var(0) * bi + AddrExpr::lane() + sc,
-            );
-        });
-
         pb.begin_round();
         pb.transfer_in(ha, da, nn); // A W A
         pb.transfer_in(hb, db, nn); // B W B
-        pb.launch(kb.build());
+        pb.launch(tiled_kernel(n, b, da, db, dc));
         pb.transfer_out(dc, hc, nn); // C W c
 
         Ok(BuiltProgram {
@@ -312,5 +391,20 @@ mod tests {
             ..SimConfig::default()
         };
         verify_on_sim(&w, &test_machine(), &test_spec(), &cfg).unwrap();
+    }
+
+    #[test]
+    fn sharded_build_verifies_on_clusters() {
+        use crate::workload::verify_built_on_cluster;
+        let m = test_machine();
+        // 96/32 = 3 tile rows: exercises devices > rows (trailing devices
+        // idle) and uneven bands.
+        for devices in [1u32, 2, 3, 4] {
+            let w = MatMul::new(96, 5);
+            let built = w.build_sharded(&m, devices).unwrap();
+            let cluster = atgpu_model::ClusterSpec::homogeneous(devices as usize, test_spec());
+            verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
+                .unwrap_or_else(|e| panic!("devices={devices}: {e}"));
+        }
     }
 }

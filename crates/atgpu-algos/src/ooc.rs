@@ -54,6 +54,87 @@ impl OocVecAdd {
     pub fn rounds(&self) -> u64 {
         self.n.div_ceil(self.chunk)
     }
+
+    /// Builds the **multi-device** out-of-core addition: chunks are dealt
+    /// round-robin across devices, so round `r` streams its chunk over
+    /// device `r mod N`'s host link and runs the whole chunk grid there
+    /// (a one-shard plan).  Every device still only ever holds one
+    /// chunk's working set — the out-of-core property is preserved per
+    /// device, while the cluster's aggregate link bandwidth grows with
+    /// `N`.
+    pub fn build_sharded(
+        &self,
+        machine: &AtgpuMachine,
+        devices: u32,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let b = machine.b;
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty vectors".into() });
+        }
+        if self.chunk == 0 || !self.chunk.is_multiple_of(b) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("chunk {} must be a positive multiple of b = {b}", self.chunk),
+            });
+        }
+        let devices = devices.max(1);
+        let n = self.n;
+        let chunk = self.chunk;
+
+        let mut pb = ProgramBuilder::new("ooc-vecadd-sharded");
+        let ha = pb.host_input("A", n);
+        let hb = pb.host_input("B", n);
+        let hc = pb.host_output("C", n);
+        let da = pb.device_alloc("a_chunk", chunk);
+        let db = pb.device_alloc("b_chunk", chunk);
+        let dc = pb.device_alloc("c_chunk", chunk);
+
+        let mut off = 0u64;
+        let mut round = 0u64;
+        while off < n {
+            let len = chunk.min(n - off);
+            let k = len.div_ceil(b);
+            let dev = (round % u64::from(devices)) as u32;
+            pb.begin_round();
+            pb.transfer_in_to(dev, ha, off, da, 0, len);
+            pb.transfer_in_to(dev, hb, off, db, 0, len);
+            pb.launch_sharded(
+                chunk_add_kernel(round, k, b, da, db, dc),
+                vec![atgpu_ir::Shard { device: dev, start: 0, end: k }],
+            );
+            pb.transfer_out_from(dev, dc, 0, hc, off, len);
+            off += len;
+            round += 1;
+        }
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.a.clone(), self.b.clone()],
+            outputs: vec![hc],
+        })
+    }
+}
+
+/// Builds one round's chunk-addition kernel: `k` blocks add `len`-word
+/// chunk slices staged through `3b` shared words.
+fn chunk_add_kernel(
+    round: u64,
+    k: u64,
+    b: u64,
+    da: atgpu_ir::DBuf,
+    db: atgpu_ir::DBuf,
+    dc: atgpu_ir::DBuf,
+) -> atgpu_ir::Kernel {
+    let bi = b as i64;
+    let mut kb = KernelBuilder::new(format!("ooc_vecadd_r{round}"), k, 3 * b);
+    let g = AddrExpr::block() * bi + AddrExpr::lane();
+    kb.glb_to_shr(AddrExpr::lane(), da, g.clone());
+    kb.glb_to_shr(AddrExpr::lane() + bi, db, g.clone());
+    kb.ld_shr(0, AddrExpr::lane());
+    kb.ld_shr(1, AddrExpr::lane() + bi);
+    kb.alu(AluOp::Add, 2, Operand::Reg(0), Operand::Reg(1));
+    kb.st_shr(AddrExpr::lane() + 2 * bi, Operand::Reg(2));
+    kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * bi);
+    kb.build()
 }
 
 impl Workload for OocVecAdd {
@@ -77,7 +158,6 @@ impl Workload for OocVecAdd {
         }
         let n = self.n;
         let chunk = self.chunk;
-        let bi = b as i64;
 
         let mut pb = ProgramBuilder::new("ooc-vecadd");
         let ha = pb.host_input("A", n);
@@ -96,16 +176,7 @@ impl Workload for OocVecAdd {
             pb.begin_round();
             pb.transfer_in_at(ha, off, da, 0, len);
             pb.transfer_in_at(hb, off, db, 0, len);
-            let mut kb = KernelBuilder::new(format!("ooc_vecadd_r{round}"), k, 3 * b);
-            let g = AddrExpr::block() * bi + AddrExpr::lane();
-            kb.glb_to_shr(AddrExpr::lane(), da, g.clone());
-            kb.glb_to_shr(AddrExpr::lane() + bi, db, g.clone());
-            kb.ld_shr(0, AddrExpr::lane());
-            kb.ld_shr(1, AddrExpr::lane() + bi);
-            kb.alu(AluOp::Add, 2, Operand::Reg(0), Operand::Reg(1));
-            kb.st_shr(AddrExpr::lane() + 2 * bi, Operand::Reg(2));
-            kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * bi);
-            pb.launch(kb.build());
+            pb.launch(chunk_add_kernel(round, k, b, da, db, dc));
             pb.transfer_out_at(dc, 0, hc, off, len);
             off += len;
             round += 1;
@@ -391,6 +462,37 @@ mod tests {
         assert!(OocReduce::new(100, 0, OocScheme::HostFinish, 0)
             .build(&small_g_machine())
             .is_err());
+    }
+
+    #[test]
+    fn sharded_chunks_round_robin_across_devices() {
+        use crate::workload::verify_built_on_cluster;
+        let m = small_g_machine();
+        let w = OocVecAdd::new(4096, 512, 7);
+        for devices in [1u32, 2, 3] {
+            let built = w.build_sharded(&m, devices).unwrap();
+            assert_eq!(built.program.num_rounds(), 8);
+            assert_eq!(built.program.max_device() + 1, devices.min(8));
+            let cluster = atgpu_model::ClusterSpec::homogeneous(
+                devices as usize,
+                crate::workload::test_spec(),
+            );
+            let report = verify_built_on_cluster(
+                &built,
+                &[w.host_reference()],
+                &m,
+                &cluster,
+                &atgpu_sim::SimConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("devices={devices}: {e}"));
+            // Round r runs on device r mod N alone.
+            for (r, round) in report.rounds.iter().enumerate() {
+                for (d, obs) in round.devices.iter().enumerate() {
+                    let expect_busy = d == r % devices as usize;
+                    assert_eq!(obs.kernel_ms > 0.0, expect_busy, "round {r} device {d}");
+                }
+            }
+        }
     }
 
     #[test]

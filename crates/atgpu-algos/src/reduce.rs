@@ -41,14 +41,18 @@ pub enum ReduceVariant {
 
 impl ReduceVariant {
     /// Lockstep time ops of one round's kernel for machine width `b`.
+    ///
+    /// The tree steps are unrolled with immediate strides (the stride of
+    /// step `t` is a compile-time constant), so the per-step cost is the
+    /// active test plus the 4-op arm — no stride recomputation.
     pub fn round_time_ops(&self, b: u64) -> u64 {
         let steps = b.trailing_zeros() as u64; // log2(b)
         match self {
-            // load + steps·(shl + mul + 16-cycle rem + pred + 4-op arm)
+            // load + steps·(16-cycle rem + pred + 4-op arm)
             // + final pred + store
-            ReduceVariant::InterleavedModulo => 1 + steps * 23 + 2,
-            // load + steps·(shr + pred + 4-op arm) + final pred + store
-            ReduceVariant::SequentialAddressing => 1 + steps * 6 + 2,
+            ReduceVariant::InterleavedModulo => 1 + steps * 21 + 2,
+            // load + steps·(pred + 4-op arm) + final pred + store
+            ReduceVariant::SequentialAddressing => 1 + steps * 5 + 2,
         }
     }
 
@@ -73,6 +77,15 @@ fn check_machine(machine: &AtgpuMachine) -> Result<(), AlgosError> {
 
 /// Builds one reduction-round kernel: `k` blocks reduce `src` (the
 /// previous level) into one partial per block in `dst`.
+///
+/// The `log₂ b` tree steps are **unrolled with immediate strides**: the
+/// stride of step `t` is a compile-time constant, so every shared access
+/// is static affine and every active-lane test folds to a constant mask
+/// (the simulator's masked-affine shape).  The whole kernel then
+/// compiles to the static timing path and qualifies for block-invariant
+/// replay — the interleaved variant keeps its deliberately divergent
+/// modulo test (and its 16-cycle `rem`), it just no longer recomputes
+/// the stride at run time.
 pub fn reduce_round_kernel(
     name: impl Into<String>,
     src: DBuf,
@@ -88,30 +101,29 @@ pub fn reduce_round_kernel(
     kb.glb_to_shr(AddrExpr::lane(), src, AddrExpr::block() * b + AddrExpr::lane());
     match variant {
         ReduceVariant::InterleavedModulo => {
-            kb.repeat(steps, |kb| {
+            for t in 0..steps {
                 // s = 2^t; active iff j mod 2s = 0; _s[j] += _s[j+s]
-                kb.alu(AluOp::Shl, 0, Operand::Imm(1), Operand::LoopVar(0));
-                kb.alu(AluOp::Mul, 1, Operand::Reg(0), Operand::Imm(2));
-                kb.alu(AluOp::Rem, 2, Operand::Lane, Operand::Reg(1));
+                let s = 1i64 << t;
+                kb.alu(AluOp::Rem, 2, Operand::Lane, Operand::Imm(2 * s));
                 kb.when(PredExpr::Eq(Operand::Reg(2), Operand::Imm(0)), |kb| {
                     kb.ld_shr(3, AddrExpr::lane());
-                    kb.ld_shr(4, AddrExpr::lane() + AddrExpr::reg(0));
+                    kb.ld_shr(4, AddrExpr::lane() + s);
                     kb.alu(AluOp::Add, 3, Operand::Reg(3), Operand::Reg(4));
                     kb.st_shr(AddrExpr::lane(), Operand::Reg(3));
                 });
-            });
+            }
         }
         ReduceVariant::SequentialAddressing => {
-            kb.repeat(steps, |kb| {
+            for t in 0..steps {
                 // s = (b/2) >> t; active iff j < s; _s[j] += _s[j+s]
-                kb.alu(AluOp::Shr, 0, Operand::Imm(b / 2), Operand::LoopVar(0));
-                kb.when(PredExpr::Lt(Operand::Lane, Operand::Reg(0)), |kb| {
+                let s = (b / 2) >> t;
+                kb.when(PredExpr::Lt(Operand::Lane, Operand::Imm(s)), |kb| {
                     kb.ld_shr(3, AddrExpr::lane());
-                    kb.ld_shr(4, AddrExpr::lane() + AddrExpr::reg(0));
+                    kb.ld_shr(4, AddrExpr::lane() + s);
                     kb.alu(AluOp::Add, 3, Operand::Reg(3), Operand::Reg(4));
                     kb.st_shr(AddrExpr::lane(), Operand::Reg(3));
                 });
-            });
+            }
         }
     }
     // if j = 0 then dst[i] ⇐ _s[0]
@@ -222,6 +234,64 @@ impl Reduce {
     /// The kernel variant in use.
     pub fn variant(&self) -> ReduceVariant {
         self.variant
+    }
+
+    /// Builds a **multi-device** reduction: round 1 shards the first tree
+    /// level across devices (each device receives its block-aligned input
+    /// slice and reduces it to one partial per block), then the partials
+    /// are gathered onto device 0 over the peer links — one
+    /// `TransferPeer` transaction per contributing device, the
+    /// "device-finish" communication scheme — and the remaining
+    /// `⌈log_b n⌉ − 1` levels finish on device 0 alone.
+    pub fn build_sharded(
+        &self,
+        machine: &AtgpuMachine,
+        devices: u32,
+    ) -> Result<BuiltProgram, AlgosError> {
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
+        }
+        check_machine(machine)?;
+        let n = self.n;
+        let b = machine.b;
+        let mut pb = ProgramBuilder::new("reduce_sharded");
+        let ha = pb.host_input("A", n);
+        let hout = pb.host_output("Ans", 1);
+        let d0 = pb.device_alloc("a", n);
+
+        if n == 1 {
+            // Degenerate: one word in, one word out, no kernel.
+            pb.begin_round();
+            pb.transfer_in(ha, d0, 1);
+            pb.transfer_out(d0, hout, 1);
+        } else {
+            // Round 1: sharded first level.
+            let k1 = n.div_ceil(b);
+            let dpart = pb.device_alloc("partial0", k1);
+            let shards = atgpu_sim::even_shards(k1, devices);
+            pb.begin_round();
+            for s in &shards {
+                let off = s.start * b;
+                let words = (s.end * b).min(n) - off;
+                pb.transfer_in_to(s.device, ha, off, d0, off, words);
+            }
+            pb.launch_sharded(
+                reduce_round_kernel("reduce_level0", d0, dpart, k1, machine, self.variant),
+                shards.clone(),
+            );
+            // Gather every device's partials onto device 0.
+            for s in shards.iter().filter(|s| s.device != 0) {
+                pb.transfer_peer(s.device, 0, dpart, s.start, s.start, s.blocks());
+            }
+            // Remaining levels on device 0.
+            append_reduce_rounds(&mut pb, dpart, k1, machine, self.variant, hout, true)?;
+        }
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.data.clone()],
+            outputs: vec![hout],
+        })
     }
 }
 
@@ -375,6 +445,37 @@ mod tests {
     }
 
     #[test]
+    fn reduce_kernels_compile_to_the_static_masked_path() {
+        // Regression for the ROADMAP item "engine-accelerated reduce":
+        // both variants' strided partial-mask phases must compile to the
+        // masked-affine static path — every site static affine with a
+        // compile-time mask and a baked degree — and the whole kernel
+        // must qualify for block-invariant timing replay (the engine's
+        // fastest path).
+        use atgpu_sim::uop::{CompiledKernel, SiteAddr};
+        let m = test_machine();
+        for variant in [ReduceVariant::InterleavedModulo, ReduceVariant::SequentialAddressing] {
+            let k = reduce_round_kernel("r", DBuf(0), DBuf(1), 8, &m, variant);
+            let nregs = k.max_reg().map(|r| u32::from(r) + 1).unwrap_or(1);
+            let c = CompiledKernel::compile(&k, &[0, 1024], m.b as u32, nregs);
+            assert!(c.replayable, "{variant:?} must be replayable");
+            for (i, site) in c.sites.iter().enumerate() {
+                assert!(
+                    matches!(site.addr, SiteAddr::Affine(a) if a.is_static()),
+                    "{variant:?} site {i} not static affine"
+                );
+                assert!(site.mask.is_some(), "{variant:?} site {i} lacks a compile-time mask");
+            }
+            // Every shared site has an exact baked degree; every global
+            // site has a transaction table.
+            let (shared, global): (Vec<_>, Vec<_>) =
+                c.sites.iter().partition(|s| s.txn_table.is_none());
+            assert!(shared.iter().all(|s| s.masked_degree.is_some() || s.full_degree == Some(1)));
+            assert!(!global.is_empty());
+        }
+    }
+
+    #[test]
     fn interleaved_kernel_is_slower_than_sequential() {
         // The divergent modulo kernel does more lockstep work per round.
         let b = test_machine().b;
@@ -405,6 +506,32 @@ mod tests {
             red.transfer_proportion(),
             va.transfer_proportion()
         );
+    }
+
+    #[test]
+    fn sharded_build_verifies_on_clusters() {
+        use crate::workload::verify_built_on_cluster;
+        let m = test_machine();
+        for devices in [1u32, 2, 3, 4] {
+            for n in [1u64, 32, 1000, 4099] {
+                let w = Reduce::with_variant(n, n, ReduceVariant::SequentialAddressing);
+                let built = w.build_sharded(&m, devices).unwrap();
+                let cluster = atgpu_model::ClusterSpec::homogeneous(devices as usize, test_spec());
+                let report = verify_built_on_cluster(
+                    &built,
+                    &w.expected(),
+                    &m,
+                    &cluster,
+                    &SimConfig::default(),
+                )
+                .unwrap_or_else(|e| panic!("devices={devices} n={n}: {e}"));
+                // With several devices the gather crosses peer links.
+                if devices > 1 && n > 32 {
+                    let r0 = &report.rounds[0];
+                    assert!(r0.devices[0].peer_ms > 0.0, "devices={devices} n={n}");
+                }
+            }
+        }
     }
 
     #[test]

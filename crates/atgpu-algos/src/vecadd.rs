@@ -48,6 +48,80 @@ impl VecAdd {
     pub fn host_reference(&self) -> Vec<i64> {
         self.a.iter().zip(&self.b).map(|(x, y)| x + y).collect()
     }
+
+    /// Builds a **multi-device** vector addition: the grid is split into
+    /// contiguous block ranges, one per device; each device receives only
+    /// its slice of `A` and `B` over its own host link, runs its shard,
+    /// and returns its slice of `C` — an embarrassingly parallel workload
+    /// where sharding divides the transfer-dominated total by the device
+    /// count (CrystalGPU-style transparent distribution).
+    pub fn build_sharded(
+        &self,
+        machine: &AtgpuMachine,
+        devices: u32,
+    ) -> Result<BuiltProgram, AlgosError> {
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty vectors".into() });
+        }
+        let k = machine.blocks_for(self.n);
+        let n = self.n;
+
+        let mut pb = ProgramBuilder::new("vecadd_sharded");
+        let ha = pb.host_input("A", n);
+        let hb = pb.host_input("B", n);
+        let hc = pb.host_output("C", n);
+        let da = pb.device_alloc("a", n);
+        let db = pb.device_alloc("b", n);
+        let dc = pb.device_alloc("c", n);
+
+        // A shard covering blocks [start, end) touches the word range
+        // [start·b, min(end·b, n)) of every buffer.
+        let shards = atgpu_sim::even_shards(k, devices);
+        let slice = |s: &atgpu_ir::Shard| {
+            let off = s.start * machine.b;
+            (off, (s.end * machine.b).min(n) - off)
+        };
+        pb.begin_round();
+        for s in &shards {
+            let (off, words) = slice(s);
+            pb.transfer_in_to(s.device, ha, off, da, off, words);
+            pb.transfer_in_to(s.device, hb, off, db, off, words);
+        }
+        pb.launch_sharded(vecadd_kernel(k, machine.b, da, db, dc), shards.clone());
+        for s in &shards {
+            let (off, words) = slice(s);
+            pb.transfer_out_from(s.device, dc, off, hc, off, words);
+        }
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.a.clone(), self.b.clone()],
+            outputs: vec![hc],
+        })
+    }
+}
+
+/// Builds the vecadd kernel: `k` blocks stage both operand rows into
+/// shared memory, add, and stage the result back out — all coalesced.
+/// Shared layout: `_a` at 0, `_b` at `b`, `_c` at `2b`.
+fn vecadd_kernel(
+    k: u64,
+    b: u64,
+    da: atgpu_ir::DBuf,
+    db: atgpu_ir::DBuf,
+    dc: atgpu_ir::DBuf,
+) -> atgpu_ir::Kernel {
+    let bi = b as i64;
+    let mut kb = KernelBuilder::new("vecadd_kernel", k, 3 * b);
+    let g = AddrExpr::block() * bi + AddrExpr::lane();
+    kb.glb_to_shr(AddrExpr::lane(), da, g.clone()); // _a[j] <= a[ib + j]
+    kb.glb_to_shr(AddrExpr::lane() + bi, db, g.clone()); // _b[j] <= b[ib + j]
+    kb.ld_shr(0, AddrExpr::lane());
+    kb.ld_shr(1, AddrExpr::lane() + bi);
+    kb.alu(AluOp::Add, 2, Operand::Reg(0), Operand::Reg(1)); // _c <- _a + _b
+    kb.st_shr(AddrExpr::lane() + 2 * bi, Operand::Reg(2));
+    kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * bi); // c[ib + j] <= _c[j]
+    kb.build()
 }
 
 impl Workload for VecAdd {
@@ -63,7 +137,6 @@ impl Workload for VecAdd {
         if self.n == 0 {
             return Err(AlgosError::InvalidSize { reason: "empty vectors".into() });
         }
-        let b = machine.b as i64;
         let k = machine.blocks_for(self.n);
         let n = self.n;
 
@@ -75,22 +148,12 @@ impl Workload for VecAdd {
         let db = pb.device_alloc("b", n);
         let dc = pb.device_alloc("c", n);
 
-        // The paper's pseudocode: stage both operands into shared memory,
-        // add, stage the result back out — all coalesced.
-        let mut kb = KernelBuilder::new("vecadd_kernel", k, 3 * machine.b);
-        let g = AddrExpr::block() * b + AddrExpr::lane();
-        kb.glb_to_shr(AddrExpr::lane(), da, g.clone()); // _a[j] ⇐ a[ib + j]
-        kb.glb_to_shr(AddrExpr::lane() + b, db, g.clone()); // _b[j] ⇐ b[ib + j]
-        kb.ld_shr(0, AddrExpr::lane());
-        kb.ld_shr(1, AddrExpr::lane() + b);
-        kb.alu(AluOp::Add, 2, Operand::Reg(0), Operand::Reg(1)); // _c ← _a + _b
-        kb.st_shr(AddrExpr::lane() + 2 * b, Operand::Reg(2));
-        kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * b); // c[ib + j] ⇐ _c[j]
-
         pb.begin_round();
         pb.transfer_in(ha, da, n); // a W A
         pb.transfer_in(hb, db, n); // b W B
-        pb.launch(kb.build());
+                                   // The paper's pseudocode: stage both operands into shared memory,
+                                   // add, stage the result back out — all coalesced.
+        pb.launch(vecadd_kernel(k, machine.b, da, db, dc));
         pb.transfer_out(dc, hc, n); // C W c
 
         Ok(BuiltProgram {
@@ -228,5 +291,51 @@ mod tests {
             ..SimConfig::default()
         };
         verify_on_sim(&w, &test_machine(), &test_spec(), &cfg).unwrap();
+    }
+
+    #[test]
+    fn sharded_build_verifies_on_clusters() {
+        use crate::workload::verify_built_on_cluster;
+        let m = test_machine();
+        for devices in [1u32, 2, 3, 4] {
+            for n in [1024u64, 1000] {
+                let w = VecAdd::new(n, 11);
+                let built = w.build_sharded(&m, devices).unwrap();
+                let cluster = atgpu_model::ClusterSpec::homogeneous(devices as usize, test_spec());
+                let report = verify_built_on_cluster(
+                    &built,
+                    &w.expected(),
+                    &m,
+                    &cluster,
+                    &SimConfig::default(),
+                )
+                .unwrap_or_else(|e| panic!("devices={devices} n={n}: {e}"));
+                // Every participating device reports transfer time.
+                let xfer = report.transfer_ms_per_device();
+                assert_eq!(xfer.len(), devices as usize);
+                assert!(xfer.iter().all(|&t| t > 0.0), "devices={devices} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_cuts_transfer_dominated_time() {
+        use crate::workload::verify_built_on_cluster;
+        let m = test_machine();
+        let spec = atgpu_model::GpuSpec::gtx650_like();
+        let w = VecAdd::new(1 << 16, 3);
+        let total = |devices: u32| {
+            let built = w.build_sharded(&m, devices).unwrap();
+            let cluster = atgpu_model::ClusterSpec::homogeneous(devices as usize, spec);
+            verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
+                .unwrap()
+                .total_ms()
+        };
+        let t1 = total(1);
+        let t4 = total(4);
+        assert!(
+            t4 < 0.5 * t1,
+            "4-device sharding should cut the transfer-dominated total: {t4} vs {t1}"
+        );
     }
 }

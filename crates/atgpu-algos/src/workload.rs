@@ -4,8 +4,8 @@
 use crate::error::AlgosError;
 use atgpu_ir::{HBuf, Program};
 use atgpu_model::asymptotics::BigO;
-use atgpu_model::{AlgoMetrics, AtgpuMachine, GpuSpec};
-use atgpu_sim::{run_program, SimConfig, SimReport};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, ClusterSpec, GpuSpec};
+use atgpu_sim::{run_cluster_program, run_program, ClusterSimReport, SimConfig, SimReport};
 
 /// A workload compiled for a particular machine.
 #[derive(Debug, Clone)]
@@ -76,6 +76,40 @@ pub fn verify_on_sim(
                 actual: got.get(exp.len()).copied().unwrap_or(0),
             });
         }
+        for (i, (&g, &e)) in got.iter().zip(exp.iter()).enumerate() {
+            if g != e {
+                return Err(AlgosError::Mismatch {
+                    buffer: name,
+                    index: i,
+                    expected: e,
+                    actual: g,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Simulates an already-built (typically sharded) program on a cluster
+/// and verifies the outputs against `expected`, in declaration order of
+/// `outputs`.
+pub fn verify_built_on_cluster(
+    built: &BuiltProgram,
+    expected: &[Vec<i64>],
+    machine: &AtgpuMachine,
+    cluster: &ClusterSpec,
+    config: &SimConfig,
+) -> Result<ClusterSimReport, AlgosError> {
+    let report =
+        run_cluster_program(&built.program, built.inputs.clone(), machine, cluster, config)?;
+    for (out_idx, (hbuf, exp)) in built.outputs.iter().zip(expected.iter()).enumerate() {
+        let got = report.output(*hbuf);
+        let name = built
+            .program
+            .host_bufs
+            .get(hbuf.0 as usize)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("output{out_idx}"));
         for (i, (&g, &e)) in got.iter().zip(exp.iter()).enumerate() {
             if g != e {
                 return Err(AlgosError::Mismatch {

@@ -4,7 +4,7 @@ use crate::bankconflict::{site_conflict_degree, BankConflictReport};
 use crate::coalesce::site_transactions;
 use crate::error::AnalyzeError;
 use crate::opcount::kernel_time_ops;
-use crate::space::touched_range;
+use crate::space::{masked_touched_range, touched_range};
 use atgpu_ir::affine::CompiledAddr;
 use atgpu_ir::{validate, Instr, Kernel, Program};
 use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
@@ -19,6 +19,11 @@ pub struct AccessSite {
     pub buf: Option<atgpu_ir::DBuf>,
     /// Trip counts of enclosing loops.
     pub loop_counts: Vec<u32>,
+    /// Compile-time active-lane mask (the masked-affine shape, shared
+    /// with the simulator through [`atgpu_ir::lanemask`]): `Some(m)` when
+    /// every enclosing divergence arm folds to a constant mask, `None`
+    /// under data-, block- or loop-dependent predicates.
+    pub lane_mask: Option<u64>,
 }
 
 /// All access sites of a kernel, split by memory space.
@@ -30,58 +35,71 @@ pub struct KernelSites {
     pub shared: Vec<AccessSite>,
 }
 
-/// Collects every memory access site in a kernel body.
-pub fn collect_sites(kernel: &Kernel) -> KernelSites {
-    fn walk(body: &[Instr], counts: &mut Vec<u32>, out: &mut KernelSites) {
-        for i in body {
-            match i {
-                Instr::GlbToShr { shared, global } => {
-                    out.global.push(AccessSite {
-                        addr: global.offset.clone(),
-                        buf: Some(global.buf),
-                        loop_counts: counts.clone(),
-                    });
-                    out.shared.push(AccessSite {
-                        addr: shared.clone(),
-                        buf: None,
-                        loop_counts: counts.clone(),
-                    });
+/// Collects every memory access site in a kernel body, threading the
+/// compile-time lane-mask context (`b` is the machine's lanes per warp).
+pub fn collect_sites(kernel: &Kernel, b: u64) -> KernelSites {
+    struct Walker {
+        lanes: atgpu_ir::LaneValues,
+        counts: Vec<u32>,
+        mask: Option<u64>,
+        out: KernelSites,
+    }
+    impl Walker {
+        fn site(&self, addr: &CompiledAddr, buf: Option<atgpu_ir::DBuf>) -> AccessSite {
+            AccessSite {
+                addr: addr.clone(),
+                buf,
+                loop_counts: self.counts.clone(),
+                lane_mask: self.mask,
+            }
+        }
+        fn walk(&mut self, body: &[Instr]) {
+            for i in body {
+                let full = self.mask == Some(self.lanes.full_mask());
+                match i {
+                    Instr::Alu { op, dst, a, b } => self.lanes.record_alu(*op, *dst, *a, *b, full),
+                    Instr::Mov { dst, src } => self.lanes.record_mov(*dst, *src, full),
+                    Instr::GlbToShr { shared, global } => {
+                        self.out.global.push(self.site(&global.offset, Some(global.buf)));
+                        self.out.shared.push(self.site(shared, None));
+                    }
+                    Instr::ShrToGlb { global, shared } => {
+                        self.out.global.push(self.site(&global.offset, Some(global.buf)));
+                        self.out.shared.push(self.site(shared, None));
+                    }
+                    Instr::LdShr { dst, shared } => {
+                        self.out.shared.push(self.site(shared, None));
+                        self.lanes.kill(*dst);
+                    }
+                    Instr::StShr { shared, .. } => {
+                        self.out.shared.push(self.site(shared, None));
+                    }
+                    Instr::Pred { pred, then_body, else_body } => {
+                        let parent = self.mask;
+                        let folded = self.lanes.pred_mask(pred);
+                        let (then_mask, else_mask) = self.lanes.arm_masks(parent, folded);
+                        self.mask = then_mask;
+                        self.walk(then_body);
+                        self.mask = else_mask;
+                        self.walk(else_body);
+                        self.mask = parent;
+                    }
+                    Instr::Repeat { count, body } => {
+                        self.counts.push(*count);
+                        self.lanes.kill_written(body);
+                        self.walk(body);
+                        self.counts.pop();
+                    }
+                    Instr::Sync => {}
                 }
-                Instr::ShrToGlb { global, shared } => {
-                    out.global.push(AccessSite {
-                        addr: global.offset.clone(),
-                        buf: Some(global.buf),
-                        loop_counts: counts.clone(),
-                    });
-                    out.shared.push(AccessSite {
-                        addr: shared.clone(),
-                        buf: None,
-                        loop_counts: counts.clone(),
-                    });
-                }
-                Instr::LdShr { shared, .. } | Instr::StShr { shared, .. } => {
-                    out.shared.push(AccessSite {
-                        addr: shared.clone(),
-                        buf: None,
-                        loop_counts: counts.clone(),
-                    });
-                }
-                Instr::Pred { then_body, else_body, .. } => {
-                    walk(then_body, counts, out);
-                    walk(else_body, counts, out);
-                }
-                Instr::Repeat { count, body } => {
-                    counts.push(*count);
-                    walk(body, counts, out);
-                    counts.pop();
-                }
-                _ => {}
             }
         }
     }
-    let mut out = KernelSites::default();
-    walk(&kernel.body, &mut Vec::new(), &mut out);
-    out
+    let lanes = atgpu_ir::LaneValues::new(b.clamp(1, 64) as u32);
+    let full = lanes.full_mask();
+    let mut w = Walker { lanes, counts: Vec::new(), mask: Some(full), out: KernelSites::default() };
+    w.walk(&kernel.body);
+    w.out
 }
 
 /// Per-kernel analysis results.
@@ -140,6 +158,22 @@ pub fn analyze_program(
     machine: &AtgpuMachine,
 ) -> Result<ProgramAnalysis, AnalyzeError> {
     validate::validate_program(p)?;
+    // The analyser models one device behind one host link.  A program
+    // addressing several devices (device-targeted transfers, sharded
+    // launches, peer copies) would be silently mispriced here — its
+    // per-device host links run concurrently and its peer traffic has no
+    // RoundMetrics slot — so reject it rather than mis-predict; the
+    // cluster cost function covers that case.
+    if p.max_device() > 0 {
+        return Err(AnalyzeError::MultiDevice {
+            reason: format!("steps address devices up to {}", p.max_device()),
+        });
+    }
+    if let Some(round) = p.rounds.iter().find(|r| r.peer().1 > 0) {
+        return Err(AnalyzeError::MultiDevice {
+            reason: format!("a round makes {} peer transfer(s)", round.peer().1),
+        });
+    }
     let (bases, global_words) = p.buffer_layout(machine.b);
     if global_words > machine.g {
         return Err(atgpu_model::ModelError::GlobalMemoryExceeded {
@@ -203,8 +237,8 @@ fn analyze_kernel(
     bases: &[u64],
     machine: &AtgpuMachine,
 ) -> Result<KernelAnalysis, AnalyzeError> {
-    let sites = collect_sites(k);
     let b = machine.b;
+    let sites = collect_sites(k, b);
 
     let mut io_txns = 0u64;
     let mut io_exact = true;
@@ -220,7 +254,14 @@ fn analyze_kernel(
     for site in &sites.shared {
         bank.add_site(site_conflict_degree(&site.addr, b), b);
         // Static shared accesses must stay inside the declared footprint.
-        if let Some((lo, hi)) = touched_range(&site.addr, b, (1, 1), &site.loop_counts) {
+        // With a compile-time lane mask the bound covers exactly the
+        // active lanes (a reduction step reading `_s[j + s]` under
+        // `j < s` stays in bounds even though lane b−1 would not).
+        let range = match site.lane_mask {
+            Some(m) => masked_touched_range(&site.addr, m, b, (1, 1), &site.loop_counts),
+            None => touched_range(&site.addr, b, (1, 1), &site.loop_counts),
+        };
+        if let Some((lo, hi)) = range {
             if lo < 0 || hi >= k.shared_words as i64 {
                 return Err(AnalyzeError::SharedOutOfRange {
                     kernel: k.name.clone(),
@@ -371,7 +412,7 @@ mod tests {
                 kb.ld_shr(0, AddrExpr::lane());
             });
         });
-        let sites = collect_sites(&kb.build());
+        let sites = collect_sites(&kb.build(), 32);
         assert_eq!(sites.global.len(), 1);
         assert_eq!(sites.shared.len(), 2); // shared half of ⇐ plus LdShr
         assert_eq!(sites.global[0].loop_counts, vec![3]);
@@ -391,6 +432,28 @@ mod tests {
         assert_eq!(a.rounds[0].metrics.io_blocks, 0);
         assert_eq!(a.rounds[0].metrics.inward_words, 32);
         assert!(a.rounds[0].kernel.is_none());
+    }
+
+    #[test]
+    fn multi_device_programs_rejected() {
+        // The single-device analyser would serialize concurrent host
+        // links and drop peer traffic: refuse rather than mis-predict.
+        let mut pb = ProgramBuilder::new("md");
+        let ha = pb.host_input("A", 64);
+        let da = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in_to(1, ha, 0, da, 0, 64);
+        let p = pb.build().unwrap();
+        assert!(matches!(analyze_program(&p, &machine()), Err(AnalyzeError::MultiDevice { .. })));
+
+        let mut pb = ProgramBuilder::new("peer");
+        let ha = pb.host_input("A", 64);
+        let da = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in(ha, da, 64);
+        pb.transfer_peer(0, 1, da, 0, 0, 64);
+        let p = pb.build().unwrap();
+        assert!(matches!(analyze_program(&p, &machine()), Err(AnalyzeError::MultiDevice { .. })));
     }
 
     #[test]

@@ -11,6 +11,12 @@ pub enum AnalyzeError {
     Ir(IrError),
     /// The program violates a machine limit.
     Model(ModelError),
+    /// The program addresses several devices; the single-device analyser
+    /// cannot price it faithfully.
+    MultiDevice {
+        /// What makes the program multi-device.
+        reason: String,
+    },
     /// A shared-memory access can touch addresses outside the kernel's
     /// declared shared allocation.
     SharedOutOfRange {
@@ -30,6 +36,11 @@ impl fmt::Display for AnalyzeError {
         match self {
             AnalyzeError::Ir(e) => write!(f, "IR error: {e}"),
             AnalyzeError::Model(e) => write!(f, "model error: {e}"),
+            AnalyzeError::MultiDevice { reason } => write!(
+                f,
+                "multi-device program ({reason}); analyse per-device shards and price them \
+                 with `atgpu_model::cost::cluster_cost` instead"
+            ),
             AnalyzeError::SharedOutOfRange { kernel, min, max, declared } => write!(
                 f,
                 "kernel `{kernel}`: shared access range [{min}, {max}] exceeds the declared \

@@ -61,6 +61,45 @@ pub fn touched_range(
     affine_range(addr.as_affine()?, b, grid, loop_counts)
 }
 
+/// Inclusive `(min, max)` of an affine address over the **active lanes
+/// of a constant mask** — the masked-affine refinement of
+/// [`affine_range`].  A tree-reduction step that reads `_s[j + s]` under
+/// `j < s` touches only `[s, 2s)`, not the full-warp `[s, b − 1 + s]`.
+/// Returns `None` for data-dependent addresses or when the site never
+/// executes (empty mask, zero trip count).
+pub fn masked_affine_range(
+    a: &AffineAddr,
+    mask: u64,
+    b: u64,
+    grid: (u64, u64),
+    loop_counts: &[u32],
+) -> Option<(i64, i64)> {
+    if mask == 0 {
+        return None;
+    }
+    let lanes = b.min(64);
+    let lo_lane = mask.trailing_zeros() as i64;
+    let hi_lane = (63 - mask.leading_zeros() as i64).min(lanes as i64 - 1);
+    // Full-warp range with the lane term zeroed, then the exact lane span.
+    let no_lane = AffineAddr { lane: 0, ..*a };
+    let (mut lo, mut hi) = affine_range(&no_lane, b, grid, loop_counts)?;
+    let (l1, l2) = (a.lane * lo_lane, a.lane * hi_lane);
+    lo += l1.min(l2);
+    hi += l1.max(l2);
+    Some((lo, hi))
+}
+
+/// Masked touched range for a compiled address, if statically known.
+pub fn masked_touched_range(
+    addr: &CompiledAddr,
+    mask: u64,
+    b: u64,
+    grid: (u64, u64),
+    loop_counts: &[u32],
+) -> Option<(i64, i64)> {
+    masked_affine_range(addr.as_affine()?, mask, b, grid, loop_counts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +149,21 @@ mod tests {
     #[test]
     fn zero_trip_loop_never_executes() {
         assert_eq!(range(AddrExpr::lane(), 32, (1, 1), &[0]), None);
+    }
+
+    #[test]
+    fn masked_range_shrinks_to_active_lanes() {
+        let addr = CompiledAddr::compile(AddrExpr::lane() + 16);
+        // Full warp: [16, 47].  Masked to lanes 0..16: [16, 31].
+        assert_eq!(touched_range(&addr, 32, (1, 1), &[]), Some((16, 47)));
+        assert_eq!(masked_touched_range(&addr, 0xFFFF, 32, (1, 1), &[]), Some((16, 31)));
+        // Single-lane mask.
+        assert_eq!(masked_touched_range(&addr, 1 << 5, 32, (1, 1), &[]), Some((21, 21)));
+        // Empty mask: never executes.
+        assert_eq!(masked_touched_range(&addr, 0, 32, (1, 1), &[]), None);
+        // Negative stride flips the lane span.
+        let rev = CompiledAddr::compile(AddrExpr::c(10) - AddrExpr::lane());
+        assert_eq!(masked_touched_range(&rev, 0b1100, 16, (1, 1), &[]), Some((7, 8)));
     }
 
     #[test]

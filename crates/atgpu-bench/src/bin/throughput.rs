@@ -11,9 +11,11 @@
 //! `--fast` runs one repetition per workload (CI smoke); the default
 //! takes the best of five.
 
-use atgpu_algos::{matmul::MatMul, reduce::Reduce, vecadd::VecAdd, Workload};
+use atgpu_algos::reduce::{Reduce, ReduceVariant};
+use atgpu_algos::{matmul::MatMul, vecadd::VecAdd, Workload};
 use atgpu_bench::bench_config;
-use atgpu_sim::{run_program, SimConfig};
+use atgpu_model::ClusterSpec;
+use atgpu_sim::{run_cluster_program, run_program, SimConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -57,9 +59,37 @@ fn measure(w: &dyn Workload, name: &'static str, reps: usize) -> Measurement {
     Measurement { name, blocks, secs_reference: reference, secs_engine: engine }
 }
 
+/// Times a sharded vecadd launch on an N-device cluster (simulation
+/// throughput of the multi-device layer, engine vs reference).
+fn measure_cluster(n: u64, devices: u32, name: &'static str, reps: usize) -> Measurement {
+    let cfg = bench_config();
+    let w = VecAdd::new(n, 1);
+    let built = w.build_sharded(&cfg.machine, devices).expect("sharded vecadd builds");
+    let cluster = ClusterSpec::homogeneous(devices as usize, cfg.spec);
+    let blocks = cfg.machine.blocks_for(n);
+
+    let time_mode = |sim: &SimConfig| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let inputs = built.inputs.clone();
+            let t = Instant::now();
+            let r = run_cluster_program(&built.program, inputs, &cfg.machine, &cluster, sim)
+                .expect("cluster simulation succeeds");
+            let dt = t.elapsed().as_secs_f64();
+            std::hint::black_box(r);
+            best = best.min(dt);
+        }
+        best
+    };
+
+    let engine = time_mode(&SimConfig::default());
+    let reference = time_mode(&SimConfig { use_reference: true, ..SimConfig::default() });
+    Measurement { name, blocks, secs_reference: reference, secs_engine: engine }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_1.json");
+    let mut out_path = String::from("BENCH_2.json");
     let mut reps = 5usize;
     let mut i = 0;
     while i < args.len() {
@@ -80,10 +110,14 @@ fn main() {
     let vecadd = VecAdd::new(200_000, 1);
     let matmul = MatMul::new(128, 1);
     let reduce = Reduce::new(1 << 16, 1);
+    let reduce_seq = Reduce::with_variant(1 << 16, 1, ReduceVariant::SequentialAddressing);
     let runs = [
         measure(&vecadd, "vecadd_200k", reps),
         measure(&matmul, "matmul_128", reps),
         measure(&reduce, "reduce_64k", reps),
+        measure(&reduce_seq, "reduce_seq_64k", reps),
+        measure_cluster(200_000, 1, "vecadd_sharded_1dev", reps),
+        measure_cluster(200_000, 4, "vecadd_sharded_4dev", reps),
     ];
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");

@@ -322,6 +322,101 @@ pub fn e6_calibration(cfg: &ExpConfig) -> Result<String, AlgosError> {
     Ok(out)
 }
 
+/// E7 — multi-device sharded launches: vector addition split across
+/// 1/2/4 devices of a homogeneous cluster, with per-device transfer
+/// costs (the per-link `Î·α + I·β` shares) and the cluster cost
+/// function's max-over-devices prediction next to the simulated
+/// observation.  Transfer dominates vector addition, so doubling the
+/// devices roughly halves the total — the regime the peer-link and
+/// shard-planner machinery exists for.
+pub fn e7_multi_device(cfg: &ExpConfig) -> Result<String, AlgosError> {
+    use atgpu_algos::vecadd::VECADD_TIME_OPS;
+    use atgpu_model::cost::cluster_cost;
+    use atgpu_model::{AlgoMetrics, ClusterSpec, RoundMetrics};
+    use atgpu_sim::{even_shards, run_cluster_program};
+
+    let n: u64 = match cfg.scale {
+        crate::runner::Scale::Quick => 1 << 15,
+        _ => 1 << 20,
+    };
+    let machine = &cfg.machine;
+    let b = machine.b;
+    let k = machine.blocks_for(n);
+    let pad = |w: u64| w.div_ceil(b) * b;
+    let w = VecAdd::new(n, 21);
+
+    let mut rows = Vec::new();
+    let mut baseline_ms = None;
+    for devices in [1u32, 2, 4] {
+        let built = w.build_sharded(machine, devices)?;
+        let cluster = ClusterSpec::homogeneous(devices as usize, cfg.spec);
+        let report =
+            run_cluster_program(&built.program, built.inputs.clone(), machine, &cluster, &cfg.sim)?;
+
+        // Model side: each device's shard as its own metrics row.
+        let shards = even_shards(k, devices);
+        let per_device: Vec<AlgoMetrics> = (0..devices)
+            .map(|d| {
+                let round = shards
+                    .iter()
+                    .find(|s| s.device == d)
+                    .map(|s| {
+                        let words = (s.end * b).min(n) - s.start * b;
+                        RoundMetrics {
+                            time: VECADD_TIME_OPS,
+                            io_blocks: 3 * s.blocks(),
+                            global_words: 3 * pad(n),
+                            shared_words: 3 * b,
+                            inward_words: 2 * words,
+                            inward_txns: 2,
+                            outward_words: words,
+                            outward_txns: 1,
+                            blocks_launched: s.blocks(),
+                        }
+                    })
+                    .unwrap_or_default();
+                AlgoMetrics::new(vec![round])
+            })
+            .collect();
+        let predicted = cluster_cost(&cluster, machine, &per_device, &[])
+            .map_err(|e| AlgosError::InvalidSize { reason: e.to_string() })?;
+
+        let total = report.total_ms();
+        let speedup = match baseline_ms {
+            None => {
+                baseline_ms = Some(total);
+                1.0
+            }
+            Some(base) => base / total,
+        };
+        let per_dev_xfer: Vec<String> =
+            report.transfer_ms_per_device().iter().map(|t| format!("{t:.3}")).collect();
+        rows.push(vec![
+            devices.to_string(),
+            format!("{total:.3}"),
+            format!("{:.3}", report.kernel_ms()),
+            per_dev_xfer.join(" / "),
+            format!("{:.3}", predicted.total_ms),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    let mut out =
+        format!("### E7 — multi-device sharded vector addition (n = {n}, even block shards)\n\n");
+    out.push_str(&markdown_table(
+        &[
+            "devices",
+            "observed total (ms)",
+            "observed kernel (ms)",
+            "per-device transfer (ms)",
+            "predicted total (ms)",
+            "speedup",
+        ],
+        &rows,
+    ));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +469,23 @@ mod tests {
         for name in ["gtx650-like", "midrange-like", "highend-like"] {
             assert!(s.contains(name));
         }
+    }
+
+    #[test]
+    fn e7_sharding_speeds_up_transfer_bound_vecadd() {
+        let s = e7_multi_device(&cfg()).unwrap();
+        assert!(s.contains("per-device transfer"));
+        // The 4-device row must show a real speedup over 1 device.
+        let speedups: Vec<f64> = s
+            .lines()
+            .filter(|l| l.ends_with("x |"))
+            .filter_map(|l| {
+                let cell = l.rsplit('|').nth(1)?.trim();
+                cell.strip_suffix('x')?.parse().ok()
+            })
+            .collect();
+        assert_eq!(speedups.len(), 3, "{s}");
+        assert!(speedups[2] > 2.0, "4-device speedup {speedups:?}\n{s}");
     }
 
     #[test]

@@ -236,6 +236,64 @@ pub fn lane_span_blocks(base: i64, stride: i64, lanes: u64, b: u64) -> u64 {
     distinct
 }
 
+/// Number of distinct memory blocks touched by the address set
+/// `{base + stride·lane : lane active in mask}` — the **masked-affine**
+/// generalisation of [`lane_span_blocks`] (which is the `mask = all
+/// lanes` case).  Addresses are monotone in lane order, so distinct
+/// floor-quotients are counted by scanning active lanes for transitions;
+/// an empty mask touches no blocks.
+pub fn masked_span_blocks(base: i64, stride: i64, mask: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    if mask == 0 {
+        return 0;
+    }
+    if stride == 0 {
+        return 1;
+    }
+    let mut distinct = 0u64;
+    let mut prev = 0i128;
+    let mut first = true;
+    let mut m = mask;
+    while m != 0 {
+        let lane = m.trailing_zeros();
+        m &= m - 1;
+        let q = (base as i128 + stride as i128 * lane as i128).div_euclid(b as i128);
+        if first || q != prev {
+            distinct += 1;
+            prev = q;
+            first = false;
+        }
+    }
+    distinct
+}
+
+/// Bank-conflict serialisation degree of the shared access
+/// `{stride·lane : lane active in mask}` on `b` banks — the
+/// masked-affine counterpart of
+/// [`AffineAddr::full_warp_conflict_degree`].  Base-independent: adding
+/// a constant rotates every lane's bank uniformly, so only `stride` and
+/// the mask matter.  Stride 0 broadcasts one address (degree 1); with a
+/// non-zero stride the active lanes' addresses are pairwise distinct, so
+/// the degree is the largest number of active lanes sharing a bank.
+pub fn masked_conflict_degree(stride: i64, mask: u64, b: u64) -> u64 {
+    debug_assert!((1..=64).contains(&b));
+    if mask == 0 || stride == 0 {
+        return 1;
+    }
+    let bi = b as i64;
+    let mut counts = [0u8; 64];
+    let mut degree = 1u64;
+    let mut m = mask;
+    while m != 0 {
+        let lane = m.trailing_zeros();
+        m &= m - 1;
+        let bank = (stride * i64::from(lane)).rem_euclid(bi) as usize;
+        counts[bank] += 1;
+        degree = degree.max(u64::from(counts[bank]));
+    }
+    degree
+}
+
 /// Lowers an address tree to affine form.  Returns `None` for non-affine
 /// shapes: products of two non-constant subexpressions, or sums touching
 /// two distinct registers.
@@ -531,6 +589,63 @@ mod tests {
         }
         let a = lower(&AddrExpr::reg(3)).unwrap();
         assert_eq!(a.full_warp_conflict_degree(b), None);
+    }
+
+    #[test]
+    fn masked_span_blocks_agrees_with_full_and_enumeration() {
+        // Full mask reduces to lane_span_blocks.
+        for (base, stride, b) in [(0i64, 1i64, 32u64), (7, 3, 32), (5, -2, 16), (0, 0, 8)] {
+            let full = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+            assert_eq!(
+                masked_span_blocks(base, stride, full, b),
+                lane_span_blocks(base, stride, b, b),
+                "base={base} stride={stride}"
+            );
+        }
+        // Arbitrary masks against brute-force distinct quotients.
+        for (base, stride, mask, b) in
+            [(3i64, 2i64, 0b1010_1010u64, 8u64), (0, 5, 0b1001, 8), (-4, -3, 0b110110, 8)]
+        {
+            let mut qs: Vec<i64> = (0..64)
+                .filter(|l| mask >> l & 1 == 1)
+                .map(|l| (base + stride * l).div_euclid(b as i64))
+                .collect();
+            qs.sort_unstable();
+            qs.dedup();
+            assert_eq!(masked_span_blocks(base, stride, mask, b), qs.len() as u64);
+        }
+        assert_eq!(masked_span_blocks(0, 1, 0, 32), 0);
+    }
+
+    #[test]
+    fn masked_conflict_degree_matches_enumeration() {
+        let b = 16u64;
+        for stride in -20i64..=20 {
+            for mask in [0x1u64, 0xFFFF, 0xAAAA, 0x00FF, 0x8421, 0x7] {
+                let fast = masked_conflict_degree(stride, mask, b);
+                // Distinct addresses per bank over active lanes, max over
+                // banks (duplicates broadcast).
+                let mut per_bank: Vec<Vec<i64>> = vec![Vec::new(); b as usize];
+                for l in 0..b as i64 {
+                    if mask >> l & 1 == 1 {
+                        let addr = stride * l;
+                        per_bank[addr.rem_euclid(b as i64) as usize].push(addr);
+                    }
+                }
+                let slow = per_bank
+                    .iter_mut()
+                    .map(|v| {
+                        v.sort_unstable();
+                        v.dedup();
+                        v.len() as u64
+                    })
+                    .max()
+                    .unwrap()
+                    .max(1);
+                assert_eq!(fast, slow, "stride={stride} mask={mask:#x}");
+            }
+        }
+        assert_eq!(masked_conflict_degree(3, 0, 16), 1);
     }
 
     #[test]

@@ -35,7 +35,9 @@ use crate::error::IrError;
 use crate::expr::{AddrExpr, Operand, PredExpr};
 use crate::instr::{AluOp, Instr};
 use crate::kernel::Kernel;
-use crate::program::{DBuf, DeviceAlloc, HBuf, HostBufDecl, HostBufRole, HostStep, Program, Round};
+use crate::program::{
+    DBuf, DeviceAlloc, HBuf, HostBufDecl, HostBufRole, HostStep, Program, Round, Shard,
+};
 use crate::validate;
 use crate::Reg;
 
@@ -232,7 +234,29 @@ impl ProgramBuilder {
         dev_off: u64,
         words: u64,
     ) -> &mut Self {
-        self.round_mut().steps.push(HostStep::TransferIn { host, host_off, dev, dev_off, words });
+        self.transfer_in_to(0, host, host_off, dev, dev_off, words)
+    }
+
+    /// Host→device transfer with offsets over a specific device's host
+    /// link (one transaction).
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_in_to(
+        &mut self,
+        device: u32,
+        host: HBuf,
+        host_off: u64,
+        dev: DBuf,
+        dev_off: u64,
+        words: u64,
+    ) -> &mut Self {
+        self.round_mut().steps.push(HostStep::TransferIn {
+            host,
+            host_off,
+            dev,
+            dev_off,
+            words,
+            device,
+        });
         self
     }
 
@@ -250,13 +274,64 @@ impl ProgramBuilder {
         host_off: u64,
         words: u64,
     ) -> &mut Self {
-        self.round_mut().steps.push(HostStep::TransferOut { dev, dev_off, host, host_off, words });
+        self.transfer_out_from(0, dev, dev_off, host, host_off, words)
+    }
+
+    /// Device→host transfer with offsets over a specific device's host
+    /// link (one transaction).
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_out_from(
+        &mut self,
+        device: u32,
+        dev: DBuf,
+        dev_off: u64,
+        host: HBuf,
+        host_off: u64,
+        words: u64,
+    ) -> &mut Self {
+        self.round_mut().steps.push(HostStep::TransferOut {
+            dev,
+            dev_off,
+            host,
+            host_off,
+            words,
+            device,
+        });
+        self
+    }
+
+    /// Device→device transfer over the directed peer link `src → dst`
+    /// (one transaction against `buf`'s replicas).
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_peer(
+        &mut self,
+        src: u32,
+        dst: u32,
+        buf: DBuf,
+        src_off: u64,
+        dst_off: u64,
+        words: u64,
+    ) -> &mut Self {
+        self.round_mut().steps.push(HostStep::TransferPeer {
+            src,
+            dst,
+            buf,
+            src_off,
+            dst_off,
+            words,
+        });
         self
     }
 
     /// Launches the round's kernel.
     pub fn launch(&mut self, kernel: Kernel) -> &mut Self {
         self.round_mut().steps.push(HostStep::Launch(kernel));
+        self
+    }
+
+    /// Launches the round's kernel sharded over devices by block range.
+    pub fn launch_sharded(&mut self, kernel: Kernel, shards: Vec<Shard>) -> &mut Self {
+        self.round_mut().steps.push(HostStep::LaunchSharded { kernel, shards });
         self
     }
 

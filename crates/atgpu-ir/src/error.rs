@@ -80,6 +80,13 @@ pub enum IrError {
         /// Words available (`G`).
         available: u64,
     },
+    /// A sharded launch's block ranges do not partition the grid.
+    BadShardPlan {
+        /// Kernel name.
+        kernel: String,
+        /// What is wrong with the plan.
+        reason: String,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -113,6 +120,9 @@ impl fmt::Display for IrError {
                 f,
                 "device allocations need {requested} words but global memory has G = {available}"
             ),
+            IrError::BadShardPlan { kernel, reason } => {
+                write!(f, "kernel `{kernel}`: bad shard plan: {reason}")
+            }
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod error;
 pub mod expr;
 pub mod instr;
 pub mod kernel;
+pub mod lanemask;
 pub mod pretty;
 pub mod program;
 pub mod validate;
@@ -55,7 +56,10 @@ pub use error::IrError;
 pub use expr::{AddrExpr, Operand, PredExpr};
 pub use instr::{AluOp, GlobalRef, Instr};
 pub use kernel::Kernel;
-pub use program::{DBuf, DeviceAlloc, HBuf, HostBufDecl, HostBufRole, HostStep, Program, Round};
+pub use lanemask::LaneValues;
+pub use program::{
+    DBuf, DeviceAlloc, HBuf, HostBufDecl, HostBufRole, HostStep, Program, Round, Shard,
+};
 
 /// Register index within a lane's register file.
 pub type Reg = u8;

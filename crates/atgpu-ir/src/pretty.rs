@@ -117,31 +117,51 @@ pub fn render_program(p: &Program) -> String {
         }
         for step in &round.steps {
             match step {
-                HostStep::TransferIn { host, host_off, dev, dev_off, words } => {
+                HostStep::TransferIn { host, host_off, dev, dev_off, words, device } => {
                     let h = &p.host_bufs[host.0 as usize].name;
                     let d = &p.device_allocs[dev.0 as usize].name;
+                    let at = if *device == 0 { String::new() } else { format!("@gpu{device}") };
                     let text = if *host_off == 0 && *dev_off == 0 {
-                        format!("{d} W {h}  ▷ transfer {words} words to device")
+                        format!("{d}{at} W {h}  ▷ transfer {words} words to device")
                     } else {
                         format!(
-                            "{d}[{dev_off}..] W {h}[{host_off}..]  ▷ transfer {words} words to device"
+                            "{d}{at}[{dev_off}..] W {h}[{host_off}..]  ▷ transfer {words} words to device"
                         )
                     };
                     r.emit(0, &text);
                 }
-                HostStep::TransferOut { dev, dev_off, host, host_off, words } => {
+                HostStep::TransferOut { dev, dev_off, host, host_off, words, device } => {
                     let h = &p.host_bufs[host.0 as usize].name;
                     let d = &p.device_allocs[dev.0 as usize].name;
+                    let at = if *device == 0 { String::new() } else { format!("@gpu{device}") };
                     let text = if *host_off == 0 && *dev_off == 0 {
-                        format!("{h} W {d}  ▷ transfer {words} words to host")
+                        format!("{h} W {d}{at}  ▷ transfer {words} words to host")
                     } else {
                         format!(
-                            "{h}[{host_off}..] W {d}[{dev_off}..]  ▷ transfer {words} words to host"
+                            "{h}[{host_off}..] W {d}{at}[{dev_off}..]  ▷ transfer {words} words to host"
                         )
                     };
                     r.emit(0, &text);
+                }
+                HostStep::TransferPeer { src, dst, buf, src_off, dst_off, words } => {
+                    let d = &p.device_allocs[buf.0 as usize].name;
+                    r.emit(
+                        0,
+                        &format!(
+                            "{d}@gpu{dst}[{dst_off}..] W {d}@gpu{src}[{src_off}..]  \
+                             ▷ peer-transfer {words} words"
+                        ),
+                    );
                 }
                 HostStep::Launch(k) => r.kernel(k, p, 0),
+                HostStep::LaunchSharded { kernel: k, shards } => {
+                    let plan: Vec<String> = shards
+                        .iter()
+                        .map(|s| format!("gpu{}: i ∈ [{}, {})", s.device, s.start, s.end))
+                        .collect();
+                    r.emit(0, &format!("▷ sharded launch: {}", plan.join(", ")));
+                    r.kernel(k, p, 0);
+                }
             }
         }
     }

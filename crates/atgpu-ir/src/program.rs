@@ -68,11 +68,36 @@ pub struct HostBufDecl {
     pub role: HostBufRole,
 }
 
+/// One contiguous block range of a sharded launch, assigned to one
+/// device: blocks `start..end` of the kernel's linear grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Executing device index.
+    pub device: u32,
+    /// First block (inclusive).
+    pub start: u64,
+    /// One past the last block (exclusive).
+    pub end: u64,
+}
+
+impl Shard {
+    /// Number of blocks in the shard.
+    #[inline]
+    pub fn blocks(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
 /// One step of a round, executed by the host in order.
+///
+/// Transfers carry a `device` index so a program can address a
+/// multi-device system (every device holds a replica of the declared
+/// buffer layout); single-device programs use device 0 throughout and
+/// never notice.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HostStep {
     /// `dev[dev_off..] W host[host_off..][..words]` — one host→device
-    /// transfer transaction.
+    /// transfer transaction over `device`'s host link.
     TransferIn {
         /// Source host buffer.
         host: HBuf,
@@ -84,9 +109,11 @@ pub enum HostStep {
         dev_off: u64,
         /// Words to copy.
         words: u64,
+        /// Destination device index (0 on a single-device system).
+        device: u32,
     },
     /// `host[host_off..] W dev[dev_off..][..words]` — one device→host
-    /// transfer transaction.
+    /// transfer transaction over `device`'s host link.
     TransferOut {
         /// Source device buffer.
         dev: DBuf,
@@ -98,9 +125,35 @@ pub enum HostStep {
         host_off: u64,
         /// Words to copy.
         words: u64,
+        /// Source device index (0 on a single-device system).
+        device: u32,
+    },
+    /// One device→device transfer transaction over the directed peer
+    /// link `src → dst`, copying a region of `buf`'s replica.
+    TransferPeer {
+        /// Source device index.
+        src: u32,
+        /// Destination device index.
+        dst: u32,
+        /// Device buffer whose replicas are involved.
+        buf: DBuf,
+        /// Word offset into the source replica.
+        src_off: u64,
+        /// Word offset into the destination replica.
+        dst_off: u64,
+        /// Words to copy.
+        words: u64,
     },
     /// Launch the round's kernel.
     Launch(Kernel),
+    /// Launch the round's kernel sharded across devices: the shards must
+    /// partition the grid `0..kernel.blocks()` into disjoint ranges.
+    LaunchSharded {
+        /// The kernel, shared by every shard.
+        kernel: Kernel,
+        /// The shard plan.
+        shards: Vec<Shard>,
+    },
 }
 
 /// A round: inward transfers, at most one launch, outward transfers.
@@ -111,12 +164,34 @@ pub struct Round {
 }
 
 impl Round {
-    /// The round's kernel, if it launches one.
+    /// The round's kernel, if it launches one (plain or sharded).
     pub fn kernel(&self) -> Option<&Kernel> {
         self.steps.iter().find_map(|s| match s {
-            HostStep::Launch(k) => Some(k),
+            HostStep::Launch(k) | HostStep::LaunchSharded { kernel: k, .. } => Some(k),
             _ => None,
         })
+    }
+
+    /// The round's shard plan, if its launch is sharded.
+    pub fn shards(&self) -> Option<&[Shard]> {
+        self.steps.iter().find_map(|s| match s {
+            HostStep::LaunchSharded { shards, .. } => Some(shards.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// Peer-transfer `(words, transactions)` over all device↔device
+    /// steps of the round.
+    pub fn peer(&self) -> (u64, u64) {
+        let mut words = 0;
+        let mut txns = 0;
+        for s in &self.steps {
+            if let HostStep::TransferPeer { words: w, .. } = s {
+                words += w;
+                txns += 1;
+            }
+        }
+        (words, txns)
     }
 
     /// Inward `(words, transactions)` = `(Iᵢ, Îᵢ)`.
@@ -187,6 +262,30 @@ impl Program {
         self.rounds.len() as u64
     }
 
+    /// The highest device index any step addresses — the program needs a
+    /// system of at least `max_device() + 1` devices.  Single-device
+    /// programs return 0.
+    pub fn max_device(&self) -> u32 {
+        let mut max = 0u32;
+        for round in &self.rounds {
+            for step in &round.steps {
+                match step {
+                    HostStep::TransferIn { device, .. } | HostStep::TransferOut { device, .. } => {
+                        max = max.max(*device);
+                    }
+                    HostStep::TransferPeer { src, dst, .. } => max = max.max(*src).max(*dst),
+                    HostStep::LaunchSharded { shards, .. } => {
+                        for s in shards {
+                            max = max.max(s.device);
+                        }
+                    }
+                    HostStep::Launch(_) => {}
+                }
+            }
+        }
+        max
+    }
+
     /// Canonical device-memory layout: buffers packed in declaration
     /// order, each aligned up to a `block_words` boundary (so a buffer's
     /// coalescing behaviour never depends on its neighbours).  Both the
@@ -212,11 +311,48 @@ mod tests {
     use super::*;
 
     fn xfer_in(words: u64) -> HostStep {
-        HostStep::TransferIn { host: HBuf(0), host_off: 0, dev: DBuf(0), dev_off: 0, words }
+        HostStep::TransferIn {
+            host: HBuf(0),
+            host_off: 0,
+            dev: DBuf(0),
+            dev_off: 0,
+            words,
+            device: 0,
+        }
     }
 
     fn xfer_out(words: u64) -> HostStep {
-        HostStep::TransferOut { dev: DBuf(0), dev_off: 0, host: HBuf(0), host_off: 0, words }
+        HostStep::TransferOut {
+            dev: DBuf(0),
+            dev_off: 0,
+            host: HBuf(0),
+            host_off: 0,
+            words,
+            device: 0,
+        }
+    }
+
+    #[test]
+    fn peer_and_shard_helpers() {
+        let peer = HostStep::TransferPeer {
+            src: 0,
+            dst: 2,
+            buf: DBuf(0),
+            src_off: 0,
+            dst_off: 8,
+            words: 16,
+        };
+        let r = Round { steps: vec![xfer_in(4), peer] };
+        assert_eq!(r.peer(), (16, 1));
+        assert_eq!(r.inward(), (4, 1));
+        assert_eq!(Shard { device: 1, start: 4, end: 10 }.blocks(), 6);
+        let p = Program {
+            name: "p".into(),
+            device_allocs: vec![DeviceAlloc { name: "a".into(), words: 64 }],
+            host_bufs: vec![HostBufDecl { name: "A".into(), words: 64, role: HostBufRole::Input }],
+            rounds: vec![r],
+        };
+        assert_eq!(p.max_device(), 2);
     }
 
     #[test]

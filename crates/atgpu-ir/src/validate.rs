@@ -106,7 +106,7 @@ pub fn validate_program(p: &Program) -> Result<(), IrError> {
         let mut launches = 0usize;
         for step in &round.steps {
             match step {
-                HostStep::TransferIn { host, host_off, dev, dev_off, words } => {
+                HostStep::TransferIn { host, host_off, dev, dev_off, words, device: _ } => {
                     if phase > 0 {
                         return Err(IrError::StepOrder {
                             round: ri,
@@ -138,24 +138,30 @@ pub fn validate_program(p: &Program) -> Result<(), IrError> {
                         });
                     }
                 }
-                HostStep::Launch(k) => {
-                    launches += 1;
-                    if launches > 1 {
-                        return Err(IrError::MultipleLaunches { round: ri });
-                    }
-                    if phase > 1 {
+                HostStep::TransferPeer { src, dst, buf, src_off, dst_off, words } => {
+                    // Peer copies may appear anywhere in the round (they
+                    // distribute inputs before the launch or gather
+                    // results after it) and do not advance the phase.
+                    if src == dst {
                         return Err(IrError::StepOrder {
                             round: ri,
-                            reason: "kernel launch after a device→host transfer; the model \
-                                     transfers outward only at the end of a round"
-                                .into(),
+                            reason: format!("peer transfer from device {src} to itself"),
                         });
                     }
-                    phase = 1;
-                    validate_kernel(k)?;
-                    check_kernel_buffers(k, p)?;
+                    let db =
+                        p.device_buf_words(*buf).ok_or(IrError::UnknownDeviceBuf { buf: buf.0 })?;
+                    let name = &p.device_allocs[buf.0 as usize].name;
+                    check_range("device", name, *src_off, *words, db)?;
+                    check_range("device", name, *dst_off, *words, db)?;
                 }
-                HostStep::TransferOut { dev, dev_off, host, host_off, words } => {
+                HostStep::Launch(k) => {
+                    check_launch(k, p, ri, &mut launches, &mut phase)?;
+                }
+                HostStep::LaunchSharded { kernel, shards } => {
+                    check_shard_plan(kernel, shards, ri)?;
+                    check_launch(kernel, p, ri, &mut launches, &mut phase)?;
+                }
+                HostStep::TransferOut { dev, dev_off, host, host_off, words, device: _ } => {
                     phase = 2;
                     let hb =
                         p.host_buf_words(*host).ok_or(IrError::UnknownHostBuf { buf: host.0 })?;
@@ -179,6 +185,68 @@ pub fn validate_program(p: &Program) -> Result<(), IrError> {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// Round-discipline and kernel checks shared by plain and sharded
+/// launches: one launch per round, never after an outward transfer.
+fn check_launch(
+    k: &Kernel,
+    p: &Program,
+    round: usize,
+    launches: &mut usize,
+    phase: &mut u8,
+) -> Result<(), IrError> {
+    *launches += 1;
+    if *launches > 1 {
+        return Err(IrError::MultipleLaunches { round });
+    }
+    if *phase > 1 {
+        return Err(IrError::StepOrder {
+            round,
+            reason: "kernel launch after a device→host transfer; the model \
+                     transfers outward only at the end of a round"
+                .into(),
+        });
+    }
+    *phase = 1;
+    validate_kernel(k)?;
+    check_kernel_buffers(k, p)
+}
+
+/// A shard plan must partition the grid `0..kernel.blocks()` into
+/// non-empty disjoint ranges: sorted by start, each shard ends where the
+/// next begins, the first starts at 0 and the last ends at `blocks`.
+fn check_shard_plan(
+    kernel: &Kernel,
+    shards: &[crate::program::Shard],
+    round: usize,
+) -> Result<(), IrError> {
+    let bad = |reason: String| IrError::BadShardPlan { kernel: kernel.name.clone(), reason };
+    if shards.is_empty() {
+        return Err(bad(format!("round {round} has a sharded launch with no shards")));
+    }
+    let mut sorted: Vec<_> = shards.to_vec();
+    sorted.sort_by_key(|s| s.start);
+    let mut cursor = 0u64;
+    for s in &sorted {
+        if s.end <= s.start {
+            return Err(bad(format!("empty shard {}..{} on device {}", s.start, s.end, s.device)));
+        }
+        if s.start != cursor {
+            return Err(bad(format!(
+                "shards leave a gap or overlap at block {cursor} (next shard starts at {})",
+                s.start
+            )));
+        }
+        cursor = s.end;
+    }
+    if cursor != kernel.blocks() {
+        return Err(bad(format!(
+            "shards cover blocks 0..{cursor} but the grid launches {} blocks",
+            kernel.blocks()
+        )));
     }
     Ok(())
 }

@@ -18,7 +18,7 @@ use crate::error::ModelError;
 use crate::machine::AtgpuMachine;
 use crate::metrics::{AlgoMetrics, RoundMetrics};
 use crate::occupancy::wave_factor;
-use crate::params::{CostParams, GpuSpec};
+use crate::params::{ClusterSpec, CostParams, GpuSpec};
 
 /// Which cost function to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,6 +171,158 @@ pub fn perfect_cost(
     metrics: &AlgoMetrics,
 ) -> Result<f64, ModelError> {
     Ok(evaluate(CostModel::PerfectGpu, params, machine, spec, metrics)?.total())
+}
+
+/// Words and transactions one device exchanges over peer links during one
+/// round.  Directed: `src → dst`; the cost is charged to **both**
+/// endpoints' critical paths (source reads, destination writes — neither
+/// can proceed while the copy is in flight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// Source device index.
+    pub src: u32,
+    /// Destination device index.
+    pub dst: u32,
+    /// Words moved.
+    pub words: u64,
+    /// Transfer transactions.
+    pub txns: u64,
+}
+
+/// The cluster cost decomposition: per-device breakdowns (each summed
+/// over rounds) plus the max-based total.
+///
+/// Unlike the single-device [`CostBreakdown`], the cluster total is *not*
+/// the sum of the per-device totals: devices work concurrently, so a
+/// round costs `σ + max_d(T_I(d) + kernel(d) + T_peer(d) + T_O(d))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterCostBreakdown {
+    /// Per-device cost components, summed over rounds (`sync` left at
+    /// zero — synchronisation is a cluster-wide term).
+    pub per_device: Vec<CostBreakdown>,
+    /// Per-device peer-transfer cost, summed over rounds.
+    pub peer: Vec<f64>,
+    /// The predicted total: `Σᵢ (σ + max_d pathᵢ(d))`.
+    pub total_ms: f64,
+    /// `Σᵢ σ` — the cluster-wide synchronisation share of the total.
+    pub sync_ms: f64,
+}
+
+impl ClusterCostBreakdown {
+    /// The slowest device's summed critical path (total minus sync).
+    pub fn critical_path_ms(&self) -> f64 {
+        self.total_ms - self.sync_ms
+    }
+}
+
+/// Evaluates the multi-device GPU-cost: each device `d` runs its shard
+/// (`per_device[d]`, one [`AlgoMetrics`] row per round, all devices with
+/// the same round count) behind its own host link, and a round completes
+/// when the slowest device finishes:
+///
+/// ```text
+/// T = Σᵢ ( σ + max_d [ T_I(i,d) + (waveᵢ_d·tᵢ_d + λ_d·qᵢ_d)/γ_d
+///                      + T_peer(i,d) + T_O(i,d) ] )
+/// ```
+///
+/// `T_I`/`T_O` use device `d`'s host-link `α`/`β`; `γ_d`/`λ_d` come from
+/// its [`GpuSpec::derived_cost_params`]; peer traffic is priced by the
+/// directed `peer_links[src][dst]` entry and charged to both endpoints.
+pub fn cluster_cost(
+    cluster: &ClusterSpec,
+    machine: &AtgpuMachine,
+    per_device: &[AlgoMetrics],
+    peer: &[Vec<PeerTraffic>],
+) -> Result<ClusterCostBreakdown, ModelError> {
+    cluster.validate()?;
+    let n = cluster.n_devices();
+    if per_device.len() != n {
+        return Err(ModelError::InvalidParams {
+            reason: format!("{} device metric tables for a {n}-device cluster", per_device.len()),
+        });
+    }
+    let rounds = per_device.first().map(|m| m.rounds.len()).unwrap_or(0);
+    if per_device.iter().any(|m| m.rounds.len() != rounds) {
+        return Err(ModelError::InvalidParams {
+            reason: "all devices must have the same round count".into(),
+        });
+    }
+
+    // Per-device parameters: host-link α/β over the device's own γ/λ.
+    let params: Vec<CostParams> = cluster
+        .devices
+        .iter()
+        .zip(&cluster.host_links)
+        .map(|(spec, link)| CostParams {
+            alpha: link.alpha_ms,
+            beta: link.beta_ms_per_word,
+            ..spec.derived_cost_params()
+        })
+        .collect();
+    for (metrics, p) in per_device.iter().zip(&params) {
+        p.validate()?;
+        metrics.check_fits(machine)?;
+    }
+
+    // Peer cost charged per device per round.
+    let mut peer_cost = vec![vec![0.0f64; n]; rounds];
+    if peer.len() > rounds {
+        return Err(ModelError::InvalidParams {
+            reason: format!("peer traffic for {} rounds but only {rounds} rounds", peer.len()),
+        });
+    }
+    for (costs, round_traffic) in peer_cost.iter_mut().zip(peer.iter()) {
+        for t in round_traffic {
+            let (s, d) = (t.src as usize, t.dst as usize);
+            if s >= n || d >= n {
+                return Err(ModelError::InvalidParams {
+                    reason: format!("peer traffic {}→{} outside {n}-device cluster", t.src, t.dst),
+                });
+            }
+            let c = cluster.peer_links[s][d].cost_ms(t.txns, t.words);
+            costs[s] += c;
+            costs[d] += c;
+        }
+    }
+
+    let mut out = ClusterCostBreakdown {
+        per_device: vec![CostBreakdown::default(); n],
+        peer: vec![0.0; n],
+        total_ms: 0.0,
+        sync_ms: 0.0,
+    };
+    for (i, costs) in peer_cost.iter().enumerate() {
+        let mut slowest = 0.0f64;
+        for d in 0..n {
+            let round = &per_device[d].rounds[i];
+            let p = &params[d];
+            let wave = wave_factor(
+                machine,
+                &cluster.devices[d],
+                round.blocks_launched,
+                round.shared_words,
+            )
+            .ok_or(ModelError::SharedMemoryExceeded {
+                required: round.shared_words,
+                available: machine.m,
+            })?
+            .max(u64::from(round.time > 0));
+            let t_in = transfer_in_cost(p, round);
+            let kernel =
+                (wave as f64 * round.time as f64 + p.lambda * round.io_blocks as f64) / p.gamma;
+            let t_out = transfer_out_cost(p, round);
+            let t_peer = costs[d];
+            let b = &mut out.per_device[d];
+            b.transfer_in += t_in;
+            b.kernel += kernel;
+            b.transfer_out += t_out;
+            out.peer[d] += t_peer;
+            slowest = slowest.max(t_in + kernel + t_peer + t_out);
+        }
+        out.total_ms += cluster.sync_ms + slowest;
+        out.sync_ms += cluster.sync_ms;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -349,6 +501,121 @@ mod tests {
         p.beta *= 3.0;
         let c2 = atgpu_cost(&p, &machine(), &spec(), &m).unwrap();
         assert!(c2 > c1);
+    }
+
+    fn shard_round(blocks: u64, in_words: u64, out_words: u64) -> RoundMetrics {
+        RoundMetrics {
+            time: 13,
+            io_blocks: 3 * blocks,
+            global_words: 3 * 1024,
+            shared_words: 96,
+            inward_words: in_words,
+            inward_txns: u64::from(in_words > 0),
+            outward_words: out_words,
+            outward_txns: u64::from(out_words > 0),
+            blocks_launched: blocks,
+        }
+    }
+
+    fn unit_cluster(n: usize) -> ClusterSpec {
+        let spec = GpuSpec {
+            clock_cycles_per_ms: 1.0,
+            dram_issue_cycles: 10,
+            xfer_alpha_ms: 2.0,
+            xfer_beta_ms_per_word: 0.5,
+            sync_ms: 5.0,
+            ..GpuSpec::gtx650_like()
+        };
+        ClusterSpec::homogeneous(n, spec)
+    }
+
+    #[test]
+    fn cluster_cost_single_device_matches_gpu_cost() {
+        // With one device and no peer traffic, the cluster total must be
+        // exactly the single-device GPU-cost (max over one device = sum).
+        let m = AlgoMetrics::new(vec![simple_round(), simple_round()]);
+        let cluster = unit_cluster(1);
+        let c = cluster_cost(&cluster, &machine(), std::slice::from_ref(&m), &[]).unwrap();
+        let single =
+            evaluate(CostModel::GpuCost, &unit_params(), &machine(), &cluster.devices[0], &m)
+                .unwrap();
+        assert!((c.total_ms - single.total()).abs() < 1e-9, "{} vs {}", c.total_ms, single.total());
+        assert_eq!(c.sync_ms, 10.0);
+    }
+
+    #[test]
+    fn cluster_round_cost_is_max_over_devices() {
+        // Device 0 moves 1000 words, device 1 moves 100: the round costs
+        // the slower device's path plus σ, not the sum.
+        let cluster = unit_cluster(2);
+        let heavy = AlgoMetrics::new(vec![shard_round(16, 1000, 0)]);
+        let light = AlgoMetrics::new(vec![shard_round(16, 100, 0)]);
+        let c = cluster_cost(&cluster, &machine(), &[heavy, light], &[]).unwrap();
+        let path = |b: &CostBreakdown| b.transfer_in + b.kernel + b.transfer_out;
+        let p0 = path(&c.per_device[0]);
+        let p1 = path(&c.per_device[1]);
+        assert!(p0 > p1);
+        assert!((c.total_ms - (5.0 + p0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peer_traffic_charged_to_both_endpoints() {
+        let mut cluster = unit_cluster(2);
+        // An asymmetric pair of links.
+        cluster.peer_links[0][1] =
+            crate::params::LinkParams { alpha_ms: 1.0, beta_ms_per_word: 0.1 };
+        cluster.peer_links[1][0] =
+            crate::params::LinkParams { alpha_ms: 4.0, beta_ms_per_word: 0.4 };
+        let m = AlgoMetrics::new(vec![shard_round(16, 0, 0)]);
+        let fwd = cluster_cost(
+            &cluster,
+            &machine(),
+            &[m.clone(), m.clone()],
+            &[vec![PeerTraffic { src: 0, dst: 1, words: 10, txns: 1 }]],
+        )
+        .unwrap();
+        // 1·1.0 + 10·0.1 = 2.0, charged to both devices.
+        assert!((fwd.peer[0] - 2.0).abs() < 1e-12);
+        assert!((fwd.peer[1] - 2.0).abs() < 1e-12);
+        let rev = cluster_cost(
+            &cluster,
+            &machine(),
+            &[m.clone(), m.clone()],
+            &[vec![PeerTraffic { src: 1, dst: 0, words: 10, txns: 1 }]],
+        )
+        .unwrap();
+        // 1·4.0 + 10·0.4 = 8.0 on the slow direction.
+        assert!((rev.peer[0] - 8.0).abs() < 1e-12);
+        assert!(rev.total_ms > fwd.total_ms, "asymmetric link must show in the total");
+    }
+
+    #[test]
+    fn cluster_cost_rejects_mismatched_shapes() {
+        let cluster = unit_cluster(2);
+        let m = AlgoMetrics::new(vec![shard_round(4, 0, 0)]);
+        assert!(cluster_cost(&cluster, &machine(), std::slice::from_ref(&m), &[]).is_err());
+        let two = AlgoMetrics::new(vec![shard_round(4, 0, 0), shard_round(4, 0, 0)]);
+        assert!(cluster_cost(&cluster, &machine(), &[m.clone(), two], &[]).is_err());
+        let bad_peer = vec![vec![PeerTraffic { src: 0, dst: 7, words: 1, txns: 1 }]];
+        assert!(cluster_cost(&cluster, &machine(), &[m.clone(), m], &bad_peer).is_err());
+    }
+
+    #[test]
+    fn sharding_transfer_bound_work_cuts_cluster_cost() {
+        // A transfer-dominated round split across 4 devices should cost
+        // roughly a quarter of the 1-device transfer time (+σ).
+        let one = unit_cluster(1);
+        let four = unit_cluster(4);
+        let whole = AlgoMetrics::new(vec![shard_round(64, 40_000, 0)]);
+        let quarter = AlgoMetrics::new(vec![shard_round(16, 10_000, 0)]);
+        let c1 = cluster_cost(&one, &machine(), &[whole], &[]).unwrap();
+        let c4 = cluster_cost(&four, &machine(), &vec![quarter; 4], &[]).unwrap();
+        assert!(
+            c4.total_ms < 0.3 * c1.total_ms,
+            "4-device sharding should cut a transfer-bound round: {} vs {}",
+            c4.total_ms,
+            c1.total_ms
+        );
     }
 
     #[test]

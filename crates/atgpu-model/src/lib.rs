@@ -50,9 +50,9 @@ pub mod metrics;
 pub mod occupancy;
 pub mod params;
 
-pub use cost::CostBreakdown;
+pub use cost::{ClusterCostBreakdown, CostBreakdown, PeerTraffic};
 pub use error::ModelError;
 pub use machine::AtgpuMachine;
 pub use metrics::{AlgoMetrics, RoundMetrics};
 pub use occupancy::occupancy;
-pub use params::{CostParams, GpuSpec};
+pub use params::{ClusterSpec, CostParams, GpuSpec, LinkParams};

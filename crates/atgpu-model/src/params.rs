@@ -203,6 +203,11 @@ impl GpuSpec {
         }
     }
 
+    /// The affine parameters of this device's host↔device link.
+    pub fn host_link(&self) -> LinkParams {
+        LinkParams { alpha_ms: self.xfer_alpha_ms, beta_ms_per_word: self.xfer_beta_ms_per_word }
+    }
+
     /// Derives abstract cost parameters from this specification — the
     /// "calibrated" `CostParams` an analyst would use to predict this GPU.
     /// (`atgpu-calibrate` recovers very similar values by regression over
@@ -225,6 +230,129 @@ impl GpuSpec {
             alpha: self.xfer_alpha_ms,
             beta: self.xfer_beta_ms_per_word,
         }
+    }
+}
+
+/// Affine parameters of one transfer link: a transaction over the link
+/// costs `α + β·words` milliseconds (Boyer et al.'s model, applied
+/// per-edge in a multi-device system).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Per-transaction setup cost `α` (milliseconds).
+    pub alpha_ms: f64,
+    /// Per-word cost `β` (milliseconds per word).
+    pub beta_ms_per_word: f64,
+}
+
+impl LinkParams {
+    /// Validates the parameters: finite and non-negative.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (name, v) in [("alpha_ms", self.alpha_ms), ("beta_ms_per_word", self.beta_ms_per_word)]
+        {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ModelError::InvalidParams {
+                    reason: format!("{name} must be finite and non-negative, got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Cost of moving `words` words in `txns` transactions over this link,
+    /// `Î·α + I·β`.
+    #[inline]
+    pub fn cost_ms(&self, txns: u64, words: u64) -> f64 {
+        txns as f64 * self.alpha_ms + words as f64 * self.beta_ms_per_word
+    }
+
+    /// A link scaled by `f` in both parameters (e.g. a peer interconnect
+    /// several times faster than the host link).
+    pub fn scaled(&self, f: f64) -> Self {
+        Self { alpha_ms: self.alpha_ms * f, beta_ms_per_word: self.beta_ms_per_word * f }
+    }
+}
+
+/// A multi-device system: `N` GPUs, each with its own global memory and
+/// host↔device link, plus a device↔device peer-link matrix.
+///
+/// Links are directed: `peer_links[s][d]` prices a copy from device `s`
+/// to device `d`, so asymmetric topologies (e.g. a fast down-link and a
+/// slow up-link, or a switch hop for distant pairs) are expressible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Per-device GPU specifications.
+    pub devices: Vec<GpuSpec>,
+    /// Host↔device link parameters, one per device.
+    pub host_links: Vec<LinkParams>,
+    /// Directed peer-link parameters, `peer_links[src][dst]`.  The
+    /// diagonal is unused (a device does not transfer to itself).
+    pub peer_links: Vec<Vec<LinkParams>>,
+    /// Per-round synchronisation overhead `σ` for the whole cluster
+    /// (devices synchronise together at round boundaries).
+    pub sync_ms: f64,
+}
+
+impl ClusterSpec {
+    /// A homogeneous cluster of `n` identical devices.  Host links come
+    /// from the device spec; peer links default to 4× the host link speed
+    /// in both `α` and `β` (an NVLink-style interconnect).
+    pub fn homogeneous(n: usize, spec: GpuSpec) -> Self {
+        let host = spec.host_link();
+        let peer = host.scaled(0.25);
+        Self {
+            devices: vec![spec; n],
+            host_links: vec![host; n],
+            peer_links: vec![vec![peer; n]; n],
+            sync_ms: spec.sync_ms,
+        }
+    }
+
+    /// Number of devices `N`.
+    #[inline]
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Validates the specification: at least one device, square link
+    /// tables, every spec and link valid.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let n = self.devices.len();
+        if n == 0 {
+            return Err(ModelError::InvalidParams {
+                reason: "cluster needs at least one device".into(),
+            });
+        }
+        if self.host_links.len() != n || self.peer_links.len() != n {
+            return Err(ModelError::InvalidParams {
+                reason: format!(
+                    "cluster has {n} devices but {} host links and {} peer-link rows",
+                    self.host_links.len(),
+                    self.peer_links.len()
+                ),
+            });
+        }
+        for spec in &self.devices {
+            spec.validate()?;
+        }
+        for link in &self.host_links {
+            link.validate()?;
+        }
+        for row in &self.peer_links {
+            if row.len() != n {
+                return Err(ModelError::InvalidParams {
+                    reason: format!("peer-link row has {} entries, expected {n}", row.len()),
+                });
+            }
+            for link in row {
+                link.validate()?;
+            }
+        }
+        if !self.sync_ms.is_finite() || self.sync_ms < 0.0 {
+            return Err(ModelError::InvalidParams {
+                reason: "sync_ms must be finite and non-negative".into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -296,6 +424,38 @@ mod tests {
         assert_eq!(p.gamma, spec.clock_cycles_per_ms);
         assert_eq!(p.sigma, spec.sync_ms);
         assert_eq!(p.alpha, spec.xfer_alpha_ms);
+    }
+
+    #[test]
+    fn link_params_cost_is_affine() {
+        let l = LinkParams { alpha_ms: 0.5, beta_ms_per_word: 0.01 };
+        assert_eq!(l.cost_ms(0, 0), 0.0);
+        assert_eq!(l.cost_ms(1, 0), 0.5);
+        assert_eq!(l.cost_ms(3, 100), 1.5 + 1.0);
+        l.validate().unwrap();
+        assert!(LinkParams { alpha_ms: -1.0, beta_ms_per_word: 0.0 }.validate().is_err());
+        assert!(LinkParams { alpha_ms: 0.0, beta_ms_per_word: f64::NAN }.validate().is_err());
+    }
+
+    #[test]
+    fn homogeneous_cluster_validates() {
+        let c = ClusterSpec::homogeneous(4, GpuSpec::gtx650_like());
+        c.validate().unwrap();
+        assert_eq!(c.n_devices(), 4);
+        assert_eq!(c.host_links[3], GpuSpec::gtx650_like().host_link());
+        // Default peer links are 4x faster than the host link.
+        assert!(c.peer_links[0][1].alpha_ms < c.host_links[0].alpha_ms);
+    }
+
+    #[test]
+    fn cluster_rejects_shape_mismatches() {
+        let mut c = ClusterSpec::homogeneous(2, GpuSpec::gtx650_like());
+        c.host_links.pop();
+        assert!(c.validate().is_err());
+        let mut c = ClusterSpec::homogeneous(2, GpuSpec::gtx650_like());
+        c.peer_links[1].pop();
+        assert!(c.validate().is_err());
+        assert!(ClusterSpec::homogeneous(0, GpuSpec::gtx650_like()).validate().is_err());
     }
 
     #[test]

@@ -75,6 +75,25 @@ impl KernelStats {
         )
     }
 
+    /// Folds in the statistics of a launch (or shard) that ran **after**
+    /// `self` on the same device: counters add, and so do cycles (the
+    /// runs are serial); occupancy keeps the last non-zero value.
+    pub fn merge_serial(&mut self, s: &KernelStats) {
+        self.cycles += s.cycles;
+        self.instructions += s.instructions;
+        self.compute_instructions += s.compute_instructions;
+        self.shared_accesses += s.shared_accesses;
+        self.global_accesses += s.global_accesses;
+        self.global_txns += s.global_txns;
+        self.bank_conflict_cycles += s.bank_conflict_cycles;
+        self.stall_cycles += s.stall_cycles;
+        self.dram_queue_cycles += s.dram_queue_cycles;
+        self.blocks += s.blocks;
+        if s.occupancy != 0 {
+            self.occupancy = s.occupancy;
+        }
+    }
+
     fn fold_mp(&mut self, s: &MpStats) {
         self.instructions += s.instructions;
         self.compute_instructions += s.compute_instructions;
@@ -167,6 +186,77 @@ impl Device {
         }
     }
 
+    /// Runs the block range `range.0..range.1` of a launch — one **shard**
+    /// of a (possibly multi-device) launch — with every global write
+    /// deferred to `log` and reads served from the pre-launch snapshot.
+    ///
+    /// This is the cluster's per-device execution primitive: the caller
+    /// owns write-log merging (see [`apply_write_log`]), so a shard run
+    /// never mutates `gmem`.  With `range = (0, kernel.blocks())` the
+    /// returned statistics and log are exactly those of a whole-device
+    /// launch in the same mode.
+    pub fn run_shard(
+        &self,
+        kernel: &Kernel,
+        gmem: &GlobalMemory,
+        mode: ExecMode,
+        engine: EngineSel,
+        range: (u64, u64),
+        log: &mut Vec<WriteRec>,
+    ) -> Result<KernelStats, SimError> {
+        let ell = occupancy(&self.machine, kernel.shared_words, self.spec.h_limit);
+        if ell == 0 {
+            return Err(SimError::SharedTooLarge {
+                kernel: kernel.name.clone(),
+                requested: kernel.shared_words,
+                available: self.machine.m,
+            });
+        }
+        let nregs = kernel.max_reg().map(|r| u32::from(r) + 1).unwrap_or(1);
+        let bases: Vec<u64> = (0..gmem.buf_count()).map(|i| gmem.base(i as u32)).collect();
+
+        match engine {
+            EngineSel::MicroOp => {
+                let compiled =
+                    CompiledKernel::compile(kernel, &bases, self.machine.b as u32, nregs);
+                let make = || BlockExec::new(&compiled);
+                self.shard_dispatch(kernel, gmem, mode, ell, &make, compiled.replayable, range, log)
+            }
+            EngineSel::Reference => {
+                let b = self.machine.b as u32;
+                let bases = &bases[..];
+                let make = || WarpExec::new(kernel, bases, b, nregs);
+                self.shard_dispatch(kernel, gmem, mode, ell, &make, false, range, log)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn shard_dispatch<E: BlockSim>(
+        &self,
+        kernel: &Kernel,
+        gmem: &GlobalMemory,
+        mode: ExecMode,
+        ell: u64,
+        make: &(impl Fn() -> E + Sync),
+        replayable: bool,
+        range: (u64, u64),
+        log: &mut Vec<WriteRec>,
+    ) -> Result<KernelStats, SimError> {
+        match mode {
+            ExecMode::Sequential => {
+                let mut acc = GmemAccess::Logged { base: gmem, log };
+                self.run_sequential(kernel, &mut acc, ell, make, replayable, range)
+            }
+            ExecMode::Parallel { threads } => {
+                let (stats, l) =
+                    self.run_parallel(gmem, ell, make, replayable, threads.max(1), range)?;
+                log.extend(l);
+                Ok(stats)
+            }
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn dispatch<E: BlockSim>(
         &self,
@@ -178,24 +268,28 @@ impl Device {
         make: &(impl Fn() -> E + Sync),
         replayable: bool,
     ) -> Result<KernelStats, SimError> {
+        let range = (0, kernel.blocks());
         match mode {
             ExecMode::Sequential => {
                 if detect_races {
                     // Race detection requires deferred writes; timing is
                     // unchanged (same event loop, shared controller).
                     let mut log = Vec::new();
-                    let stats =
-                        self.run_sequential(kernel, gmem, ell, make, replayable, Some(&mut log))?;
-                    apply_log(kernel, gmem, log, true)?;
+                    let stats = {
+                        let mut acc = GmemAccess::Logged { base: &*gmem, log: &mut log };
+                        self.run_sequential(kernel, &mut acc, ell, make, replayable, range)?
+                    };
+                    apply_write_log(kernel, gmem, log, true)?;
                     Ok(stats)
                 } else {
-                    self.run_sequential(kernel, gmem, ell, make, replayable, None)
+                    let mut acc = GmemAccess::Direct(gmem);
+                    self.run_sequential(kernel, &mut acc, ell, make, replayable, range)
                 }
             }
             ExecMode::Parallel { threads } => {
                 let (stats, log) =
-                    self.run_parallel(kernel, gmem, ell, make, replayable, threads.max(1))?;
-                apply_log(kernel, gmem, log, detect_races)?;
+                    self.run_parallel(gmem, ell, make, replayable, threads.max(1), range)?;
+                apply_write_log(kernel, gmem, log, detect_races)?;
                 Ok(stats)
             }
         }
@@ -204,23 +298,23 @@ impl Device {
     fn run_sequential<E: BlockSim>(
         &self,
         kernel: &Kernel,
-        gmem: &mut GlobalMemory,
+        acc: &mut GmemAccess<'_>,
         ell: u64,
         make: impl Fn() -> E,
         replayable: bool,
-        mut log: Option<&mut Vec<WriteRec>>,
+        range: (u64, u64),
     ) -> Result<KernelStats, SimError> {
         let k_prime = self.spec.k_prime as usize;
         let mut dram =
             DramController::new(self.spec.dram_issue_cycles, self.spec.dram_latency_cycles);
         let mut mps: Vec<Mp<E>> = (0..k_prime).map(|_| Mp::with_replay(ell, replayable)).collect();
-        let mut next_block = 0u64;
-        let total_blocks = kernel.blocks();
+        let (mut next_block, end_block) = range;
+        debug_assert!(end_block <= kernel.blocks());
 
         // Initial fill, round-robin across MPs.
         'fill: for mp in &mut mps {
             while mp.free_slots() > 0 {
-                if next_block >= total_blocks {
+                if next_block >= end_block {
                     break 'fill;
                 }
                 mp.admit(next_block, &make);
@@ -239,14 +333,8 @@ impl Device {
                 }
             }
             let Some((_, i)) = best else { break };
-            let retired = if let Some(l) = log.as_deref_mut() {
-                let mut acc = GmemAccess::Logged { base: &*gmem, log: l };
-                mps[i].step(&mut acc, &mut dram)?
-            } else {
-                let mut acc = GmemAccess::Direct(&mut *gmem);
-                mps[i].step(&mut acc, &mut dram)?
-            };
-            if retired && next_block < total_blocks {
+            let retired = mps[i].step(acc, &mut dram)?;
+            if retired && next_block < end_block {
                 mps[i].admit(next_block, &make);
                 next_block += 1;
             }
@@ -261,23 +349,23 @@ impl Device {
         for mp in &mps {
             stats.fold_mp(&mp.stats);
         }
-        debug_assert_eq!(stats.blocks, total_blocks);
+        debug_assert_eq!(stats.blocks, range.1.saturating_sub(range.0));
         Ok(stats)
     }
 
     /// Parallel simulation: MPs distributed over `threads` workers, static
     /// block assignment, per-MP bandwidth share, deferred writes.
+    #[allow(clippy::too_many_arguments)]
     fn run_parallel<E: BlockSim>(
         &self,
-        kernel: &Kernel,
         gmem: &GlobalMemory,
         ell: u64,
         make: &(impl Fn() -> E + Sync),
         replayable: bool,
         threads: usize,
+        range: (u64, u64),
     ) -> Result<(KernelStats, Vec<WriteRec>), SimError> {
         let k_prime = self.spec.k_prime;
-        let total_blocks = kernel.blocks();
         // Each MP gets a 1/k' share of memory bandwidth.
         let issue = self.spec.dram_issue_cycles * k_prime;
         let latency = self.spec.dram_latency_cycles;
@@ -289,7 +377,7 @@ impl Device {
             let mut dram = DramController::new(issue, latency);
             let mut mp = Mp::with_replay(ell, replayable);
             let mut log = Vec::new();
-            let mut blocks = (0..total_blocks).skip(mp_id as usize).step_by(k_prime as usize);
+            let mut blocks = (range.0..range.1).skip(mp_id as usize).step_by(k_prime as usize);
             // Initial fill.
             let mut pending = blocks.next();
             while mp.free_slots() > 0 {
@@ -344,31 +432,40 @@ impl Device {
             stats.dram_queue_cycles += queue;
             log.append(&mut l);
         }
-        debug_assert_eq!(stats.blocks, total_blocks);
+        debug_assert_eq!(stats.blocks, range.1.saturating_sub(range.0));
         Ok((stats, log))
     }
 }
 
+/// Flags any global word written by two different thread blocks in `log`.
+pub(crate) fn check_log_races(kernel: &Kernel, log: &[WriteRec]) -> Result<(), SimError> {
+    let mut addrs: Vec<(u64, u64)> = log.iter().map(|w| (w.addr, w.block)).collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    for pair in addrs.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(SimError::RaceDetected { kernel: kernel.name.clone(), addr: pair[0].0 });
+        }
+    }
+    Ok(())
+}
+
 /// Applies a deferred write log in block order (deterministic last-writer
 /// rule) and optionally detects cross-block races.
-fn apply_log(
+///
+/// This is the launch-level merge point shared by `ExecMode::Parallel`,
+/// race-detecting sequential runs, and the multi-device cluster layer
+/// ([`crate::cluster`]): because thread-block indices are globally unique
+/// across shards, sorting by block yields the same final memory no matter
+/// how the launch was split over MPs, threads or devices.
+pub fn apply_write_log(
     kernel: &Kernel,
     gmem: &mut GlobalMemory,
     mut log: Vec<WriteRec>,
     detect_races: bool,
 ) -> Result<(), SimError> {
     if detect_races {
-        let mut addrs: Vec<(u64, u64)> = log.iter().map(|w| (w.addr, w.block)).collect();
-        addrs.sort_unstable();
-        addrs.dedup();
-        for pair in addrs.windows(2) {
-            if pair[0].0 == pair[1].0 {
-                return Err(SimError::RaceDetected {
-                    kernel: kernel.name.clone(),
-                    addr: pair[0].0,
-                });
-            }
-        }
+        check_log_races(kernel, &log)?;
     }
     // Stable sort preserves per-block program order (each block's writes
     // come from a single thread in order).

@@ -46,7 +46,7 @@ impl Default for SimConfig {
 /// Host-side buffers for a program run.
 #[derive(Debug, Clone)]
 pub struct HostData {
-    bufs: Vec<Vec<i64>>,
+    pub(crate) bufs: Vec<Vec<i64>>,
 }
 
 impl HostData {
@@ -161,6 +161,23 @@ impl SimReport {
     }
 }
 
+/// Runs one round's kernel launch and folds it into the observation.
+fn run_launch(
+    kernel: &atgpu_ir::Kernel,
+    device: &Device,
+    gmem: &mut GlobalMemory,
+    spec: &GpuSpec,
+    config: &SimConfig,
+    obs: &mut RoundObservation,
+) -> Result<(), SimError> {
+    let engine =
+        if config.use_reference { crate::EngineSel::Reference } else { crate::EngineSel::MicroOp };
+    let stats = device.run_kernel_with(kernel, gmem, config.mode, config.detect_races, engine)?;
+    obs.kernel_stats = stats;
+    obs.kernel_ms += stats.cycles as f64 / spec.clock_cycles_per_ms;
+    Ok(())
+}
+
 /// Simulates `program` on a device built from `machine` + `spec`.
 pub fn run_program(
     program: &Program,
@@ -180,29 +197,36 @@ pub fn run_program(
         let mut obs = RoundObservation { sync_ms: spec.sync_ms, ..RoundObservation::default() };
         for step in &round.steps {
             match step {
-                HostStep::TransferIn { host: h, host_off, dev, dev_off, words } => {
+                HostStep::TransferIn { host: h, host_off, dev, dev_off, words, device: d } => {
+                    if *d != 0 {
+                        return Err(SimError::NoSuchDevice { device: *d, devices: 1 });
+                    }
                     let src =
                         &host.bufs[h.0 as usize][*host_off as usize..(*host_off + *words) as usize];
                     let dst = gmem.base(dev.0) + dev_off;
                     obs.xfer_in_ms += xfer.to_device(&mut gmem, dst, src);
                 }
-                HostStep::Launch(kernel) => {
-                    let engine = if config.use_reference {
-                        crate::EngineSel::Reference
-                    } else {
-                        crate::EngineSel::MicroOp
-                    };
-                    let stats = device.run_kernel_with(
-                        kernel,
-                        &mut gmem,
-                        config.mode,
-                        config.detect_races,
-                        engine,
-                    )?;
-                    obs.kernel_stats = stats;
-                    obs.kernel_ms += stats.cycles as f64 / spec.clock_cycles_per_ms;
+                HostStep::TransferPeer { src, dst, .. } => {
+                    // A peer copy needs a second device; route sharded
+                    // programs through `cluster::run_cluster_program`.
+                    return Err(SimError::NoSuchDevice { device: (*src).max(*dst), devices: 1 });
                 }
-                HostStep::TransferOut { dev, dev_off, host: h, host_off, words } => {
+                HostStep::Launch(kernel) => {
+                    run_launch(kernel, &device, &mut gmem, spec, config, &mut obs)?;
+                }
+                HostStep::LaunchSharded { kernel, shards } => {
+                    // A sharded launch on a single device is the whole
+                    // grid (validation guarantees the shards partition
+                    // it); any other device is absent.
+                    if let Some(s) = shards.iter().find(|s| s.device != 0) {
+                        return Err(SimError::NoSuchDevice { device: s.device, devices: 1 });
+                    }
+                    run_launch(kernel, &device, &mut gmem, spec, config, &mut obs)?;
+                }
+                HostStep::TransferOut { dev, dev_off, host: h, host_off, words, device: d } => {
+                    if *d != 0 {
+                        return Err(SimError::NoSuchDevice { device: *d, devices: 1 });
+                    }
                     let src = gmem.base(dev.0) + dev_off;
                     let dst = &mut host.bufs[h.0 as usize]
                         [*host_off as usize..(*host_off + *words) as usize];

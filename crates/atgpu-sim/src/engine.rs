@@ -288,6 +288,13 @@ impl<'k> BlockExec<'k> {
                 return d;
             }
         }
+        // Masked-affine static path: the compiler proved this site always
+        // executes under `site.mask` and precomputed the exact degree.
+        if let (Some(m), Some(d)) = (site.mask, site.masked_degree) {
+            if m == mask {
+                return d;
+            }
+        }
         match plan {
             AddrPlan::Contig(_) | AddrPlan::Bcast(_) => 1,
             AddrPlan::PerLane => self.dyn_conflict_degree(mask),
@@ -346,7 +353,11 @@ impl<'k> BlockExec<'k> {
             }
             AddrPlan::PerLane => match &site.addr {
                 SiteAddr::Affine(a) if a.reg.is_none() => {
-                    if mask == self.full_mask {
+                    // The table is exact for the mask it was computed
+                    // over: the site's compile-time mask when one is
+                    // known (masked-affine static path), the full warp
+                    // otherwise.
+                    if mask == site.mask.unwrap_or(self.full_mask) {
                         if let Some(table) = &site.txn_table {
                             let folded = a.fold_warp(self.block_xy, &self.loops);
                             return table[folded.rem_euclid(bw) as usize];

@@ -58,6 +58,18 @@ pub enum SimError {
         /// The contended absolute word address.
         addr: u64,
     },
+    /// A program step addresses a device the system does not have.
+    NoSuchDevice {
+        /// Requested device index.
+        device: u32,
+        /// Devices available.
+        devices: usize,
+    },
+    /// The cluster specification is malformed.
+    InvalidCluster {
+        /// Explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -87,6 +99,10 @@ impl fmt::Display for SimError {
                 f,
                 "kernel `{kernel}`: two thread blocks wrote global word {addr} in one launch"
             ),
+            SimError::NoSuchDevice { device, devices } => {
+                write!(f, "step addresses device {device} but the system has {devices} device(s)")
+            }
+            SimError::InvalidCluster { reason } => write!(f, "invalid cluster: {reason}"),
         }
     }
 }

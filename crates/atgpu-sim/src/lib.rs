@@ -44,6 +44,32 @@
 //! [`SimConfig::use_reference`] / [`EngineSel::Reference`] select it for
 //! baseline benchmarking.
 //!
+//! ## Multi-device clusters
+//!
+//! [`cluster`] scales the single device to `N` GPUs: each device owns a
+//! replica of the program's global-memory layout and sits behind its own
+//! links, priced per edge with Boyer et al.'s affine model
+//! (`Î·α + I·β`):
+//!
+//! | link | parameters | used by |
+//! |---|---|---|
+//! | host ↔ device `d` | `ClusterSpec::host_links[d]` (`α`, `β`) | `TransferIn`/`TransferOut { device: d }` |
+//! | device `s` → device `d` | `ClusterSpec::peer_links[s][d]` (directed, asymmetry allowed) | `TransferPeer { src: s, dst: d }` |
+//! | cluster barrier | `ClusterSpec::sync_ms` (`σ`, per round) | every round |
+//!
+//! A `LaunchSharded` step splits one grid into contiguous block ranges
+//! ([`atgpu_ir::Shard`], planned by [`cluster::even_shards`] or by
+//! hand).  Every shard executes against its device's pre-launch snapshot
+//! with writes deferred, and the logs merge in thread-block order
+//! through [`device::apply_write_log`] — the same machinery
+//! [`ExecMode::Parallel`] uses — so a sharded launch is **bit-identical**
+//! to the single-device launch regardless of device count, shard
+//! boundaries or thread interleaving (`tests/cluster_differential.rs`
+//! proves this over randomized kernels and plans).  Observed round time
+//! is `σ + max_d(T_in + T_kernel + T_peer + T_out)` — the slowest
+//! device's critical path — mirrored analytically by
+//! [`atgpu_model::cost::cluster_cost`].
+//!
 //! ## Structure
 //!
 //! * [`gmem`] / [`smem`] — global memory (bounded by `G`, canonical buffer
@@ -63,15 +89,20 @@
 //!   order against a shared memory controller ([`ExecMode::Sequential`]),
 //!   or partitioned across OS threads with per-MP bandwidth shares
 //!   ([`ExecMode::Parallel`]);
-//! * [`xfer`] — the PCIe-like transfer engine (`α`, `β`, optional seeded
-//!   noise);
+//! * [`xfer`] — the per-link transfer engine (`α`, `β`, optional seeded
+//!   noise; host↔device and device↔device peer edges);
 //! * [`driver`] — runs whole multi-round programs and reports per-round
 //!   observed times, the simulated counterpart of the paper's "Total" and
-//!   "Kernel" series.
+//!   "Kernel" series;
+//! * [`cluster`] — the multi-device layer: `N` devices with per-device
+//!   memory replicas and links, sharded launches, peer transfers, and
+//!   [`cluster::run_cluster_program`] with per-device round
+//!   observations.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod device;
 pub mod dram;
 pub mod driver;
@@ -84,7 +115,11 @@ pub mod uop;
 pub mod warp;
 pub mod xfer;
 
-pub use device::{Device, KernelStats};
+pub use cluster::{
+    even_shards, run_cluster_program, Cluster, ClusterRoundObservation, ClusterSimReport,
+    DeviceRoundObservation, ShardStats,
+};
+pub use device::{apply_write_log, Device, KernelStats};
 pub use driver::{run_program, HostData, RoundObservation, SimConfig, SimReport};
 pub use engine::{BlockExec, BlockSim};
 pub use error::SimError;

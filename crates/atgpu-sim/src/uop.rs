@@ -19,17 +19,29 @@
 //!   folded into the affine base at compile time;
 //! * unit-stride and broadcast shapes are tagged so the executor can use
 //!   contiguous block copies instead of per-lane address evaluation;
+//! * **masked-affine** shapes — a static affine stride under a
+//!   compile-time active-lane mask — get exact baked conflict degrees
+//!   and mask-aware transaction tables.  Masks come from lane/immediate
+//!   predicates *and* from predicates over lane-pure registers
+//!   (constant-folded through [`atgpu_ir::lanemask`]), which covers the
+//!   shrinking partial-warp phases of tree reductions;
 //! * everything else falls back to dynamic evaluation over fixed scratch
 //!   buffers (still allocation-free).
 //!
-//! Finally, compilation decides **replayability**: when every predicate
-//! is static and block-index-free and every memory site is static affine
-//! with block coefficients ≡ 0 (mod b), the kernel's timing-event stream
-//! is provably identical for every thread block, so one block's recorded
-//! events can be replayed for all others (see [`crate::engine`]).
+//! Finally, compilation decides **replayability**: when every divergence
+//! mask is block-invariant (constant, or from a block-index-free static
+//! predicate) and every memory site's timing contribution is provably
+//! the same for every thread block — shared sites static affine (degrees
+//! are base-independent), global sites with block coefficients ≡ 0
+//! (mod b) or a uniform masked transaction table — the kernel's
+//! timing-event stream is identical for every block, so one block's
+//! recorded events can be replayed for all others (see
+//! [`crate::engine`]).
 
-use atgpu_ir::affine::{lane_span_blocks, AffineAddr, CompiledAddr};
-use atgpu_ir::{AddrExpr, AluOp, Instr, Kernel, Operand, PredExpr, Reg, MAX_LOOP_DEPTH};
+use atgpu_ir::affine::{masked_conflict_degree, masked_span_blocks, AffineAddr, CompiledAddr};
+use atgpu_ir::{
+    AddrExpr, AluOp, Instr, Kernel, LaneValues, Operand, PredExpr, Reg, MAX_LOOP_DEPTH,
+};
 
 /// Index into [`CompiledKernel::sites`].
 pub type SiteId = u16;
@@ -159,8 +171,20 @@ pub struct Site {
     /// Full-warp bank-conflict degree (shared sites, static affine).
     pub full_degree: Option<u32>,
     /// Coalesced transactions per folded-base residue (global sites,
-    /// static affine); indexed by `folded.rem_euclid(b)`.
+    /// static affine); indexed by `folded.rem_euclid(b)`.  Computed over
+    /// the site's compile-time [`Site::mask`] when one is known, over the
+    /// full warp otherwise.
     pub txn_table: Option<Box<[u32]>>,
+    /// The **masked-affine** shape: the compile-time active-lane mask
+    /// under which this site executes, when every enclosing divergence
+    /// arm has a constant mask.  The runtime mask then always equals this
+    /// value, so conflict degrees and transaction counts are baked at
+    /// compile time even for partial-warp phases (e.g. the shrinking
+    /// prefixes/strides of a tree reduction).
+    pub mask: Option<u64>,
+    /// Exact bank-conflict degree for [`Site::mask`] (shared sites,
+    /// static affine, compile-time mask).
+    pub masked_degree: Option<u32>,
     /// Buffer base still to add at evaluation time (tree-form global
     /// sites only; affine sites have it folded into the base).
     pub gbase: i64,
@@ -217,10 +241,21 @@ struct Compiler<'k> {
     sites: Vec<Site>,
     bases: &'k [u64],
     b: u32,
+    full_mask: u64,
     replayable: bool,
     arm_depth: usize,
     max_arm_depth: usize,
     loop_depth: u8,
+    /// The compile-time active-lane mask of the code currently being
+    /// lowered: `Some(m)` when every enclosing divergence arm has a
+    /// constant mask (the runtime mask is then provably `m`), `None`
+    /// under any data-, block- or loop-dependent predicate.
+    mask_ctx: Option<u64>,
+    /// Lane-pure register dataflow (shared with the analyser through
+    /// [`atgpu_ir::lanemask`]): lets register-operand predicates (e.g.
+    /// the `j mod 2s = 0` test of an interleaved reduction) fold to
+    /// constant masks.
+    lanes: LaneValues,
 }
 
 impl CompiledKernel {
@@ -228,15 +263,19 @@ impl CompiledKernel {
     /// `b` lanes and `nregs` registers per lane.
     pub fn compile(kernel: &Kernel, bases: &[u64], b: u32, nregs: u32) -> Self {
         debug_assert!((1..=64).contains(&b));
+        let full_mask = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
         let mut c = Compiler {
             prog: Vec::with_capacity(kernel.size() * 2),
             sites: Vec::new(),
             bases,
             b,
+            full_mask,
             replayable: true,
             arm_depth: 0,
             max_arm_depth: 0,
             loop_depth: 0,
+            mask_ctx: Some(full_mask),
+            lanes: LaneValues::new(b),
         };
         c.lower_body(&kernel.body);
         let nregs = nregs.max(1);
@@ -423,17 +462,21 @@ fn collect_tree_regs(t: &AddrExpr, state: &mut [u8]) {
 impl Compiler<'_> {
     fn lower_body(&mut self, body: &[Instr]) {
         for instr in body {
+            let full = self.mask_ctx == Some(self.full_mask);
             match instr {
                 Instr::Alu { op, dst, a, b } => {
                     self.prog.push(Uop::Alu { op: *op, dst: *dst, a: *a, b: *b });
+                    self.lanes.record_alu(*op, *dst, *a, *b, full);
                 }
                 Instr::Mov { dst, src } => {
                     self.prog.push(Uop::Mov { dst: *dst, src: *src });
+                    self.lanes.record_mov(*dst, *src, full);
                 }
                 Instr::Sync => self.prog.push(Uop::Sync),
                 Instr::LdShr { dst, shared } => {
                     let site = self.add_site(shared, None);
                     self.prog.push(Uop::LdShr { dst: *dst, site });
+                    self.lanes.kill(*dst);
                 }
                 Instr::StShr { shared, src } => {
                     let site = self.add_site(shared, None);
@@ -458,21 +501,29 @@ impl Compiler<'_> {
                     self.prog.push(Uop::LoopStart { depth });
                     let body_start = self.prog.len() as u32;
                     self.loop_depth += 1;
+                    // A register written later in the body feeds reads at
+                    // the top of iterations 2..count, which the in-order
+                    // walk below does not see.
+                    self.lanes.kill_written(body);
                     self.lower_body(body);
                     self.loop_depth -= 1;
                     self.prog.push(Uop::LoopEnd { depth, count: *count, body_start });
                 }
                 Instr::Pred { pred, then_body, else_body } => {
-                    // A predicate reading registers, or comparing against
-                    // the block index, can change which arms run (and thus
-                    // the event stream) per block or per data.
-                    if !pred.is_static() || pred_reads_block(pred) {
+                    let const_then = self.lanes.pred_mask(pred);
+                    // A predicate reading (non-lane-pure) registers, or
+                    // comparing against the block index, can change which
+                    // arms run (and thus the event stream) per block or
+                    // per data.  A constant mask is the same for every
+                    // block, so it never defeats replay.
+                    if const_then.is_none() && (!pred.is_static() || pred_reads_block(pred)) {
                         self.replayable = false;
                     }
+                    let parent_ctx = self.mask_ctx;
+                    let (then_ctx, else_ctx) = self.lanes.arm_masks(parent_ctx, const_then);
                     self.arm_depth += 1;
                     self.max_arm_depth = self.max_arm_depth.max(self.arm_depth);
                     let branch_pc = self.prog.len();
-                    let const_then = const_then_mask(pred, self.b);
                     self.prog.push(Uop::Branch {
                         pred: *pred,
                         const_then,
@@ -480,11 +531,13 @@ impl Compiler<'_> {
                         join: 0,
                     });
                     if !then_body.is_empty() {
+                        self.mask_ctx = then_ctx;
                         self.lower_body(then_body);
                         let then_end_pc = self.prog.len();
                         self.prog.push(Uop::ThenEnd { join: 0 }); // patched
                         let else_start = self.prog.len() as u32;
                         if !else_body.is_empty() {
+                            self.mask_ctx = else_ctx;
                             self.lower_body(else_body);
                             self.prog.push(Uop::ElseEnd);
                         }
@@ -499,12 +552,14 @@ impl Compiler<'_> {
                         // right after the branch.
                         let else_start = self.prog.len() as u32;
                         if !else_body.is_empty() {
+                            self.mask_ctx = else_ctx;
                             self.lower_body(else_body);
                             self.prog.push(Uop::ElseEnd);
                         }
                         let join = self.prog.len() as u32;
                         self.patch_branch(branch_pc, else_start, join);
                     }
+                    self.mask_ctx = parent_ctx;
                     self.arm_depth -= 1;
                 }
             }
@@ -523,15 +578,13 @@ impl Compiler<'_> {
     /// global sites.
     fn add_site(&mut self, addr: &CompiledAddr, gbase: Option<u64>) -> SiteId {
         let b = u64::from(self.b);
+        let mask_ctx = self.mask_ctx;
         let site = match addr {
             CompiledAddr::Affine(a) => {
                 let folded_base = match gbase {
                     Some(g) => AffineAddr { base: a.base + g as i64, ..*a },
                     None => *a,
                 };
-                if !folded_base.is_block_invariant_mod(b) {
-                    self.replayable = false;
-                }
                 let fast = match folded_base.reg {
                     Some(_) => FastPath::Dynamic,
                     None => match folded_base.lane {
@@ -545,16 +598,58 @@ impl Compiler<'_> {
                 } else {
                     None
                 };
-                let txn_table = if gbase.is_some() && folded_base.is_static() {
+                let masked_degree = match (gbase, mask_ctx) {
+                    (None, Some(m)) if folded_base.is_static() => {
+                        Some(masked_conflict_degree(folded_base.lane, m, b) as u32)
+                    }
+                    _ => None,
+                };
+                // The transaction table covers the site's compile-time
+                // mask when one is known (the runtime mask provably
+                // equals it), the full warp otherwise.
+                let table_mask = mask_ctx.unwrap_or(self.full_mask);
+                let txn_table: Option<Box<[u32]>> = if gbase.is_some() && folded_base.is_static() {
                     Some(
                         (0..b as i64)
-                            .map(|r| lane_span_blocks(r, folded_base.lane, b, b) as u32)
+                            .map(|r| masked_span_blocks(r, folded_base.lane, table_mask, b) as u32)
                             .collect(),
                     )
                 } else {
                     None
                 };
-                Site { addr: SiteAddr::Affine(folded_base), fast, full_degree, txn_table, gbase: 0 }
+                // Replayability: a site may not vary the event stream
+                // across thread blocks.
+                if gbase.is_none() {
+                    // Shared degrees are base-independent, so only a
+                    // data-dependent (register) address defeats replay.
+                    if !folded_base.is_static() {
+                        self.replayable = false;
+                    }
+                } else {
+                    let uniform_txns = || match mask_ctx {
+                        // Known mask: the per-residue table is exhaustive,
+                        // so a uniform table means block-shifted bases
+                        // cannot change the count.
+                        Some(_) => {
+                            txn_table.as_ref().is_some_and(|t| t.windows(2).all(|w| w[0] == w[1]))
+                        }
+                        // Unknown (but block-invariant) runtime mask: only
+                        // a broadcast is residue-proof for every mask.
+                        None => folded_base.is_static() && folded_base.lane == 0,
+                    };
+                    if !folded_base.is_block_invariant_mod(b) && !uniform_txns() {
+                        self.replayable = false;
+                    }
+                }
+                Site {
+                    addr: SiteAddr::Affine(folded_base),
+                    fast,
+                    full_degree,
+                    txn_table,
+                    mask: mask_ctx,
+                    masked_degree,
+                    gbase: 0,
+                }
             }
             CompiledAddr::Tree(t) => {
                 self.replayable = false;
@@ -563,6 +658,8 @@ impl Compiler<'_> {
                     fast: FastPath::Dynamic,
                     full_degree: None,
                     txn_table: None,
+                    mask: mask_ctx,
+                    masked_degree: None,
                     gbase: gbase.unwrap_or(0) as i64,
                 }
             }
@@ -572,24 +669,6 @@ impl Compiler<'_> {
         self.sites.push(site);
         id as SiteId
     }
-}
-
-/// Evaluates a predicate whose operands are only `Lane`/`Imm` into a
-/// constant lane mask; `None` for anything else.
-fn const_then_mask(pred: &PredExpr, b: u32) -> Option<u64> {
-    let (a, o) = pred.operands();
-    let lane_imm_only = |op: Operand| matches!(op, Operand::Lane | Operand::Imm(_));
-    if !lane_imm_only(a) || !lane_imm_only(o) {
-        return None;
-    }
-    let mut mask = 0u64;
-    for lane in 0..b {
-        let mut no_regs = |_: Reg| unreachable!("lane/imm predicate reads no registers");
-        if pred.eval(i64::from(lane), (0, 0), &[], &mut no_regs) {
-            mask |= 1 << lane;
-        }
-    }
-    Some(mask)
 }
 
 fn pred_reads_block(pred: &PredExpr) -> bool {
@@ -751,6 +830,110 @@ mod tests {
             })
             .collect();
         assert_eq!(masks, vec![Some(0b111), None]);
+    }
+
+    #[test]
+    fn masked_affine_sites_get_static_shapes() {
+        // A reduction-style phase: a strided store under a constant
+        // partial mask.  The compiler must bake both the mask and the
+        // exact conflict degree — no dynamic fallback.
+        let mut kb = KernelBuilder::new("ma", 4, 64);
+        kb.st_shr(AddrExpr::lane(), Operand::Lane);
+        kb.when(PredExpr::Lt(Operand::Lane, Operand::Imm(16)), |kb| {
+            kb.st_shr(AddrExpr::lane() * 2, Operand::Lane);
+        });
+        let c = compile(&kb.build());
+        assert!(c.replayable, "constant-mask divergence is block-invariant");
+        // Site 0: full-warp store.
+        assert_eq!(c.sites[0].mask, Some(u64::MAX >> 32));
+        assert_eq!(c.sites[0].masked_degree, Some(1));
+        // Site 1: stride 2 under mask 0..16 — 16 distinct addresses on 32
+        // banks, every bank at most once: degree 1 (the full-warp degree
+        // would be 2).
+        assert_eq!(c.sites[1].mask, Some(0xFFFF));
+        assert_eq!(c.sites[1].masked_degree, Some(1));
+        assert_eq!(c.sites[1].full_degree, Some(2));
+    }
+
+    #[test]
+    fn lane_pure_register_predicate_folds_to_const_mask() {
+        // The interleaved-reduction test `j mod 4 = 0` goes through a
+        // register, but the register's value is a pure function of the
+        // lane index — the compiler folds it to a constant mask and the
+        // kernel stays replayable.
+        let mut kb = KernelBuilder::new("rem", 4, 64);
+        kb.alu(AluOp::Rem, 2, Operand::Lane, Operand::Imm(4));
+        kb.when(PredExpr::Eq(Operand::Reg(2), Operand::Imm(0)), |kb| {
+            kb.ld_shr(3, AddrExpr::lane());
+            kb.st_shr(AddrExpr::lane(), Operand::Reg(3));
+        });
+        let c = compile(&kb.build());
+        assert!(c.replayable);
+        let masks: Vec<Option<u64>> = c
+            .prog
+            .iter()
+            .filter_map(|op| match op {
+                Uop::Branch { const_then, .. } => Some(*const_then),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(masks, vec![Some(0x1111_1111)], "every 4th of 32 lanes");
+        // The sites inside the arm carry the folded mask.
+        assert_eq!(c.sites[0].mask, Some(0x1111_1111));
+        assert_eq!(c.sites[0].masked_degree, Some(1));
+    }
+
+    #[test]
+    fn loop_written_register_is_not_lane_pure() {
+        // r0 is rewritten each iteration *after* the predicate, so the
+        // value at the test differs between iterations 1 and 2..n — the
+        // compiler must not constant-fold it.
+        let mut kb = KernelBuilder::new("lw", 2, 0);
+        kb.mov(0, Operand::Imm(0));
+        kb.repeat(3, |kb| {
+            kb.when(PredExpr::Eq(Operand::Reg(0), Operand::Imm(0)), |kb| {
+                kb.mov(1, Operand::Imm(1));
+            });
+            kb.mov(0, Operand::Imm(5));
+        });
+        let c = compile(&kb.build());
+        let masks: Vec<Option<u64>> = c
+            .prog
+            .iter()
+            .filter_map(|op| match op {
+                Uop::Branch { const_then, .. } => Some(*const_then),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(masks, vec![None], "loop-carried register must stay dynamic");
+        assert!(!c.replayable, "register predicate without a constant mask defeats replay");
+    }
+
+    #[test]
+    fn single_lane_store_with_block_base_stays_replayable() {
+        // The reduction's final `dst[i] ⇐ _s[0]` under `j = 0`: the
+        // global base shifts with the block index (coefficient 1, not a
+        // multiple of b), but a single active lane always makes exactly
+        // one transaction, so the masked table is uniform and replay
+        // remains valid.
+        let mut kb = KernelBuilder::new("one", 8, 32);
+        kb.st_shr(AddrExpr::lane(), Operand::Block);
+        kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(0)), |kb| {
+            kb.shr_to_glb(DBuf(0), AddrExpr::block(), AddrExpr::c(0));
+        });
+        let c = compile(&kb.build());
+        assert!(c.replayable, "uniform masked transaction table keeps replay");
+        let gsite = c.sites.iter().find(|s| s.txn_table.is_some()).unwrap();
+        assert!(gsite.txn_table.as_ref().unwrap().iter().all(|&t| t == 1));
+        // The same store under an *unknown* mask (register predicate on
+        // an untracked register) must defeat replay.
+        let mut kb = KernelBuilder::new("one_dyn", 8, 32);
+        kb.ld_shr(1, AddrExpr::c(0));
+        kb.when(PredExpr::Eq(Operand::Reg(1), Operand::Imm(0)), |kb| {
+            kb.shr_to_glb(DBuf(0), AddrExpr::block(), AddrExpr::c(0));
+        });
+        let c = compile(&kb.build());
+        assert!(!c.replayable);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! "observed" curves while remaining reproducible.
 
 use crate::gmem::GlobalMemory;
-use atgpu_model::GpuSpec;
+use atgpu_model::{GpuSpec, LinkParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,11 +36,18 @@ pub struct TransferEngine {
 }
 
 impl TransferEngine {
-    /// Creates an engine from a device spec.
+    /// Creates an engine from a device spec (its host↔device link).
     pub fn new(spec: &GpuSpec, noise: Option<XferNoise>, seed: u64) -> Self {
+        Self::with_link(&spec.host_link(), noise, seed)
+    }
+
+    /// Creates an engine for one explicit link — a host↔device edge or a
+    /// device↔device peer edge of a multi-GPU system.  Each link carries
+    /// its own `α`/`β` and its own jitter stream.
+    pub fn with_link(link: &LinkParams, noise: Option<XferNoise>, seed: u64) -> Self {
         Self {
-            alpha_ms: spec.xfer_alpha_ms,
-            beta_ms_per_word: spec.xfer_beta_ms_per_word,
+            alpha_ms: link.alpha_ms,
+            beta_ms_per_word: link.beta_ms_per_word,
             noise,
             rng: StdRng::seed_from_u64(seed),
             words_in: 0,
@@ -48,6 +55,11 @@ impl TransferEngine {
             txns_in: 0,
             txns_out: 0,
         }
+    }
+
+    /// The link parameters this engine prices transfers with.
+    pub fn link(&self) -> LinkParams {
+        LinkParams { alpha_ms: self.alpha_ms, beta_ms_per_word: self.beta_ms_per_word }
     }
 
     fn jitter(&mut self) -> f64 {
@@ -71,6 +83,27 @@ impl TransferEngine {
         self.words_out += out.len() as u64;
         self.txns_out += 1;
         (self.alpha_ms + self.beta_ms_per_word * out.len() as f64) * self.jitter()
+    }
+
+    /// Device→device copy over this engine's (peer) link; returns elapsed
+    /// milliseconds.  Counted as one outward transaction on this link
+    /// (`words_out`/`txns_out`): a directed peer edge only ever moves
+    /// data one way, so the in/out split is not meaningful for it.
+    pub fn peer(
+        &mut self,
+        src: &GlobalMemory,
+        src_addr: u64,
+        dst: &mut GlobalMemory,
+        dst_addr: u64,
+        words: u64,
+    ) -> f64 {
+        let s = src_addr as usize;
+        let d = dst_addr as usize;
+        let n = words as usize;
+        dst.words_mut()[d..d + n].copy_from_slice(&src.words()[s..s + n]);
+        self.words_out += words;
+        self.txns_out += 1;
+        (self.alpha_ms + self.beta_ms_per_word * words as f64) * self.jitter()
     }
 }
 
@@ -126,5 +159,93 @@ mod tests {
         let mut e = TransferEngine::new(&spec(), None, 0);
         let t = e.to_device(&mut g, 0, &[]);
         assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transaction_mix_costs_exactly_txns_alpha_plus_words_beta() {
+        // A crafted mix of Î = 4 inward transactions moving I = 1+7+32+0
+        // words and Ô = 2 outward transactions moving O = 5+11 words must
+        // cost exactly Î·α + I·β and Ô·α + O·β.
+        let mut g = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        let mut e = TransferEngine::new(&spec(), None, 0);
+        let mut total_in = 0.0;
+        for words in [1usize, 7, 32, 0] {
+            total_in += e.to_device(&mut g, 0, &vec![9; words]);
+        }
+        let mut total_out = 0.0;
+        for words in [5usize, 11] {
+            let mut out = vec![0; words];
+            total_out += e.to_host(&g, 0, &mut out);
+        }
+        assert_eq!((e.txns_in, e.words_in), (4, 40));
+        assert_eq!((e.txns_out, e.words_out), (2, 16));
+        assert!((total_in - (4.0 * 0.5 + 40.0 * 0.01)).abs() < 1e-12, "T_I = Î·α + I·β");
+        assert!((total_out - (2.0 * 0.5 + 16.0 * 0.01)).abs() < 1e-12, "T_O = Ô·α + O·β");
+    }
+
+    #[test]
+    fn per_link_engines_price_their_own_link() {
+        let fast = LinkParams { alpha_ms: 0.1, beta_ms_per_word: 0.001 };
+        let slow = LinkParams { alpha_ms: 0.4, beta_ms_per_word: 0.02 };
+        let mut g = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        let mut ef = TransferEngine::with_link(&fast, None, 0);
+        let mut es = TransferEngine::with_link(&slow, None, 0);
+        assert_eq!(ef.link(), fast);
+        let tf = ef.to_device(&mut g, 0, &[1; 10]);
+        let ts = es.to_device(&mut g, 0, &[1; 10]);
+        assert!((tf - 0.11).abs() < 1e-12);
+        assert!((ts - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peer_copy_moves_words_and_costs_affine() {
+        let link = LinkParams { alpha_ms: 0.25, beta_ms_per_word: 0.005 };
+        let mut src = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        let mut dst = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        for i in 0..8 {
+            src.write(i, 100 + i);
+        }
+        let mut e = TransferEngine::with_link(&link, None, 0);
+        let t = e.peer(&src, 2, &mut dst, 10, 4);
+        assert!((t - (0.25 + 4.0 * 0.005)).abs() < 1e-12);
+        for i in 0..4 {
+            assert_eq!(dst.read(10 + i), Some(102 + i));
+        }
+        assert_eq!((e.txns_out, e.words_out), (1, 4));
+    }
+
+    #[test]
+    fn peer_links_can_be_asymmetric() {
+        // A directed pair: 0→1 is NVLink-fast, 1→0 crosses a slow hop.
+        let fwd = LinkParams { alpha_ms: 0.01, beta_ms_per_word: 1e-4 };
+        let rev = LinkParams { alpha_ms: 0.2, beta_ms_per_word: 4e-3 };
+        let mut a = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        let mut b = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+        let mut ef = TransferEngine::with_link(&fwd, None, 1);
+        let mut er = TransferEngine::with_link(&rev, None, 1);
+        let t_fwd = ef.peer(&a, 0, &mut b, 0, 32);
+        let t_rev = er.peer(&b, 0, &mut a, 0, 32);
+        assert!((t_fwd - (0.01 + 32.0 * 1e-4)).abs() < 1e-12);
+        assert!((t_rev - (0.2 + 32.0 * 4e-3)).abs() < 1e-12);
+        assert!(t_rev > 10.0 * t_fwd, "the two directions must price independently");
+    }
+
+    #[test]
+    fn peer_noise_is_deterministic_per_seed() {
+        let link = LinkParams { alpha_ms: 0.25, beta_ms_per_word: 0.005 };
+        let noise = Some(XferNoise { rel: 0.1 });
+        let run = |seed: u64| -> Vec<f64> {
+            let src = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+            let mut dst = GlobalMemory::new(vec![0], 64, 32, 1024).unwrap();
+            let mut e = TransferEngine::with_link(&link, noise, seed);
+            (0..6).map(|i| e.peer(&src, 0, &mut dst, 0, i * 3)).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same jitter stream");
+        assert_ne!(run(7), run(8), "different seeds must decorrelate");
+        let base = |w: f64| 0.25 + w * 0.005;
+        for (i, t) in run(7).iter().enumerate() {
+            let b = base((i * 3) as f64);
+            assert!(*t >= b * 0.9 - 1e-12 && *t <= b * 1.1 + 1e-12, "jitter bounded");
+        }
     }
 }

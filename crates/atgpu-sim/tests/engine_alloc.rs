@@ -126,4 +126,97 @@ fn steady_state_block_execution_is_allocation_free() {
 
     // Sanity: the kernel really ran (outputs landed in buffer 1).
     assert_ne!(gmem.read(gwords as i64), None);
+
+    // ── Sharded cluster launch ────────────────────────────────────────
+    //
+    // The multi-device layer executes every shard against a per-device
+    // memory replica with writes deferred to a log (`GmemAccess::Logged`)
+    // and merges afterwards.  Steady-state instructions on that path must
+    // stay zero-allocation per device thread too: the only allocating
+    // element is the log vector itself, whose growth is amortised — so a
+    // correctly pre-reserved log (as a fixed-size arena would be in a
+    // production runtime) must make the instruction stream allocation-free.
+    struct DeviceLane<'k> {
+        mp: Mp<BlockExec<'k>>,
+        dram: DramController,
+        gmem: GlobalMemory,
+        log: Vec<atgpu_sim::warp::WriteRec>,
+        next_block: u64,
+        end_block: u64,
+    }
+    let shard_ranges = [(0u64, blocks / 2), (blocks / 2, blocks)];
+    let mut lanes: Vec<DeviceLane<'_>> = shard_ranges
+        .iter()
+        .map(|&(start, end)| {
+            let mut gmem =
+                GlobalMemory::new(bases.clone(), 2 * gwords, u64::from(b), 1 << 22).unwrap();
+            for i in 0..gwords {
+                gmem.write(i as i64, (i % 13) as i64);
+            }
+            DeviceLane {
+                mp: Mp::with_replay(4, compiled.replayable),
+                dram: DramController::new(4, 60),
+                gmem,
+                log: Vec::new(),
+                next_block: start,
+                end_block: end,
+            }
+        })
+        .collect();
+
+    // Warm-up: a few blocks per device measure the executor pool, replay
+    // trace and per-block write volume.
+    for lane in &mut lanes {
+        let warm_end = lane.next_block + 4;
+        while lane.mp.free_slots() > 0 && lane.next_block < warm_end {
+            lane.mp.admit(lane.next_block, || BlockExec::new(&compiled));
+            lane.next_block += 1;
+        }
+        while !lane.mp.idle() {
+            let mut acc = GmemAccess::Logged { base: &lane.gmem, log: &mut lane.log };
+            if lane.mp.step(&mut acc, &mut lane.dram).unwrap() && lane.next_block < warm_end {
+                lane.mp.admit(lane.next_block, || BlockExec::new(&compiled));
+                lane.next_block += 1;
+            }
+        }
+        let writes_per_block = lane.log.len() as u64 / 4;
+        lane.log.reserve(((lane.end_block - lane.next_block + 1) * writes_per_block) as usize);
+    }
+
+    // Steady state across both device lanes.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut instructions = 0u64;
+    loop {
+        let mut progressed = false;
+        for lane in &mut lanes {
+            while lane.mp.free_slots() > 0 && lane.next_block < lane.end_block {
+                lane.mp
+                    .admit(lane.next_block, || panic!("steady state must reuse pooled executors"));
+                lane.next_block += 1;
+            }
+            if !lane.mp.idle() {
+                let mut acc = GmemAccess::Logged { base: &lane.gmem, log: &mut lane.log };
+                lane.mp.step(&mut acc, &mut lane.dram).unwrap();
+                instructions += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(instructions > 500, "sharded probe should issue plenty of instructions");
+    assert_eq!(
+        after - before,
+        0,
+        "sharded steady-state execution of {} instructions allocated {} times",
+        instructions,
+        after - before
+    );
+    // Both shards really executed and logged writes.
+    for (lane, &(start, end)) in lanes.iter().zip(&shard_ranges) {
+        assert_eq!(lane.mp.stats.blocks_done, end - start);
+        assert!(!lane.log.is_empty());
+    }
 }
