@@ -80,6 +80,29 @@ impl MatMul {
         machine: &AtgpuMachine,
         devices: u32,
     ) -> Result<BuiltProgram, AlgosError> {
+        let t = self.n / machine.b.max(1);
+        self.build_with_row_shards(machine, atgpu_sim::even_shards(t, devices))
+    }
+
+    /// [`Self::build_sharded`] with the tile rows split by
+    /// [`atgpu_sim::plan_shards`]: even on a homogeneous cluster,
+    /// **speed-weighted** as soon as device specs differ — so a
+    /// mixed-generation cluster's fast devices get proportionally larger
+    /// row bands instead of idling behind the slowest one.
+    pub fn build_sharded_planned(
+        &self,
+        machine: &AtgpuMachine,
+        cluster: &atgpu_model::ClusterSpec,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let t = self.n / machine.b.max(1);
+        self.build_with_row_shards(machine, atgpu_sim::plan_shards(t, cluster))
+    }
+
+    fn build_with_row_shards(
+        &self,
+        machine: &AtgpuMachine,
+        row_shards: Vec<atgpu_ir::Shard>,
+    ) -> Result<BuiltProgram, AlgosError> {
         let n = self.n;
         let b = machine.b;
         if n == 0 || !n.is_multiple_of(b) {
@@ -107,9 +130,8 @@ impl MatMul {
         let db = pb.device_alloc("b", nn);
         let dc = pb.device_alloc("c", nn);
 
-        // Split the t tile rows evenly; row band [y0, y1) is the linear
-        // block range [y0·t, y1·t) and the word range [y0·b·n, y1·b·n).
-        let row_shards = atgpu_sim::even_shards(t, devices);
+        // Row band [y0, y1) is the linear block range [y0·t, y1·t) and
+        // the word range [y0·b·n, y1·b·n).
         let shards: Vec<atgpu_ir::Shard> = row_shards
             .iter()
             .map(|s| atgpu_ir::Shard { device: s.device, start: s.start * t, end: s.end * t })
@@ -127,6 +149,108 @@ impl MatMul {
             let off = s.start * b * n;
             let words = s.blocks() * b * n;
             pb.transfer_out_from(s.device, dc, off, hc, off, words);
+        }
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.a.clone(), self.b.clone()],
+            outputs: vec![hc],
+        })
+    }
+
+    /// Builds the **double-buffered streamed** sharded multiplication:
+    /// C's tile rows are processed slab by slab — each round launches one
+    /// slab of `devices · chunk_rows` tile rows, sharded contiguously
+    /// over the devices — and every device uploads its share of slab
+    /// `k + 1`'s `A` rows on **stream 1** while slab `k`'s kernel and `C`
+    /// download run on **stream 0** (the classic copy/compute-overlap
+    /// pipeline, on every device at once).  `B` is broadcast once in a
+    /// prologue round.  Outputs are bit-identical to [`Self::build_sharded`]
+    /// and to the serial de-streamed form; requires `n/b` divisible by
+    /// `devices · chunk_rows`.
+    pub fn build_sharded_streamed(
+        &self,
+        machine: &AtgpuMachine,
+        devices: u32,
+        chunk_rows: u64,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let n = self.n;
+        let b = machine.b;
+        if n == 0 || !n.is_multiple_of(b) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("matrix side {n} must be a positive multiple of b = {b}"),
+            });
+        }
+        if machine.m < 3 * b * b {
+            return Err(AlgosError::InvalidMachine {
+                reason: format!(
+                    "tiled matmul needs 3b² = {} shared words, machine has M = {}",
+                    3 * b * b,
+                    machine.m
+                ),
+            });
+        }
+        let t = n / b;
+        let devices = devices.max(1);
+        let slab = u64::from(devices) * chunk_rows; // tile rows per round
+        if chunk_rows == 0 || !t.is_multiple_of(slab) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!(
+                    "tile rows {t} must be a positive multiple of devices·chunk_rows = {slab}"
+                ),
+            });
+        }
+        let slabs = t / slab;
+        let nn = n * n;
+
+        let mut pb = ProgramBuilder::new("matmul_sharded_streamed");
+        let ha = pb.host_input("A", nn);
+        let hb = pb.host_input("B", nn);
+        let hc = pb.host_output("C", nn);
+        let da = pb.device_alloc("a", nn);
+        let db = pb.device_alloc("b", nn);
+        let dc = pb.device_alloc("c", nn);
+
+        // Device d owns tile rows [k·slab + d·chunk_rows, k·slab + (d+1)·chunk_rows)
+        // of slab k: word offset of its A/C share.
+        let share = |k: u64, d: u64| (k * slab + d * chunk_rows) * b * n;
+        let share_words = chunk_rows * b * n;
+        let upload = |pb: &mut ProgramBuilder, k: u64, stream: u32| {
+            for d in 0..u64::from(devices) {
+                let off = share(k, d);
+                pb.transfer_in_streamed(d as u32, stream, ha, off, da, off, share_words);
+            }
+        };
+
+        // Prologue: broadcast B everywhere and upload slab 0's A shares.
+        pb.begin_round();
+        for d in 0..devices {
+            pb.transfer_in_to(d, hb, 0, db, 0, nn);
+        }
+        upload(&mut pb, 0, 0);
+
+        for k in 0..slabs {
+            pb.begin_round();
+            if k + 1 < slabs {
+                // Next slab's A shares ride the copy stream.
+                upload(&mut pb, k + 1, 1);
+            }
+            let kernel =
+                tiled_band_kernel(format!("matmul_slab{k}"), n, b, slab, k * slab, da, db, dc);
+            // Device d's band is the contiguous linear block range
+            // [d·chunk_rows·t, (d+1)·chunk_rows·t) of the slab grid.
+            let shards: Vec<atgpu_ir::Shard> = (0..u64::from(devices))
+                .map(|d| atgpu_ir::Shard {
+                    device: d as u32,
+                    start: d * chunk_rows * t,
+                    end: (d + 1) * chunk_rows * t,
+                })
+                .collect();
+            pb.launch_sharded(kernel, shards);
+            for d in 0..u64::from(devices) {
+                let off = share(k, d);
+                pb.transfer_out_streamed(d as u32, 0, dc, off, hc, off, share_words);
+            }
         }
 
         Ok(BuiltProgram {
@@ -154,14 +278,34 @@ fn tiled_kernel(
     db: atgpu_ir::DBuf,
     dc: atgpu_ir::DBuf,
 ) -> atgpu_ir::Kernel {
+    tiled_band_kernel("matmul_kernel".into(), n, b, n / b, 0, da, db, dc)
+}
+
+/// The tile-row-band form of the tiled kernel: a `(n/b) × rows` grid
+/// computing C's tile rows `[row0, row0 + rows)` — `block_y` is the row
+/// *within the band* and `row0` is baked into the global addresses.  With
+/// `rows = n/b, row0 = 0` this is exactly [`tiled_kernel`]; chunked
+/// (streamed) builds launch one band per round.
+#[allow(clippy::too_many_arguments)]
+fn tiled_band_kernel(
+    name: String,
+    n: u64,
+    b: u64,
+    rows: u64,
+    row0: u64,
+    da: atgpu_ir::DBuf,
+    db: atgpu_ir::DBuf,
+    dc: atgpu_ir::DBuf,
+) -> atgpu_ir::Kernel {
     let t = n / b; // tiles per side
     let bi = b as i64;
     let ni = n as i64;
-    // Shared layout: A tile [0, b²), B tile [b², 2b²), C acc [2b², 3b²).
+    let row_off = (row0 * b * n) as i64; // word offset of the band in A and C
+                                         // Shared layout: A tile [0, b²), B tile [b², 2b²), C acc [2b², 3b²).
     let sa = 0i64;
     let sb = (b * b) as i64;
     let sc = 2 * (b * b) as i64;
-    let mut kb = KernelBuilder::new_2d("matmul_kernel", (t, t), 3 * b * b);
+    let mut kb = KernelBuilder::new_2d(name, (t, rows), 3 * b * b);
     kb.repeat(t as u32, |kb| {
         // Stage A tile: row t1 of tile (iy, t0).
         kb.repeat(b as u32, |kb| {
@@ -170,7 +314,8 @@ fn tiled_kernel(
                 da,
                 (AddrExpr::block_y() * bi + AddrExpr::loop_var(1)) * ni
                     + AddrExpr::loop_var(0) * bi
-                    + AddrExpr::lane(),
+                    + AddrExpr::lane()
+                    + row_off,
             );
         });
         // Stage B tile: row t1 of tile (t0, ix).
@@ -203,7 +348,8 @@ fn tiled_kernel(
             dc,
             (AddrExpr::block_y() * bi + AddrExpr::loop_var(0)) * ni
                 + AddrExpr::block() * bi
-                + AddrExpr::lane(),
+                + AddrExpr::lane()
+                + row_off,
             AddrExpr::loop_var(0) * bi + AddrExpr::lane() + sc,
         );
     });
@@ -406,5 +552,65 @@ mod tests {
             verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
                 .unwrap_or_else(|e| panic!("devices={devices}: {e}"));
         }
+    }
+
+    #[test]
+    fn streamed_sharded_build_verifies_and_overlaps() {
+        use crate::workload::verify_built_on_cluster;
+        use atgpu_sim::run_cluster_program;
+        let m = test_machine();
+        // n = 256 -> t = 8 tile rows.
+        let w = MatMul::new(256, 13);
+        for (devices, chunk_rows) in [(1u32, 2u64), (2, 2), (4, 1)] {
+            let built = w.build_sharded_streamed(&m, devices, chunk_rows).unwrap();
+            assert!(built.program.uses_streams());
+            let cluster = atgpu_model::ClusterSpec::homogeneous(devices as usize, test_spec());
+            let streamed =
+                verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
+                    .unwrap_or_else(|e| panic!("devices={devices} chunk={chunk_rows}: {e}"));
+            // The de-streamed serial form computes the same C, slower or
+            // equal (per-round max-of-chains never exceeds the sum).
+            let serial = run_cluster_program(
+                &built.program.destreamed(),
+                built.inputs.clone(),
+                &m,
+                &cluster,
+                &SimConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(serial.output(built.outputs[0]), streamed.output(built.outputs[0]));
+            assert!(
+                streamed.total_ms() <= serial.total_ms() + 1e-9,
+                "devices={devices}: streamed {} vs serial {}",
+                streamed.total_ms(),
+                serial.total_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn planned_sharding_verifies_on_mixed_cluster() {
+        use crate::workload::verify_built_on_cluster;
+        let m = test_machine();
+        let w = MatMul::new(256, 3); // t = 8 tile rows
+        let mut cluster = atgpu_model::ClusterSpec::homogeneous(2, test_spec());
+        cluster.devices[1].k_prime = 6; // 3x the MPs of device 0
+        let built = w.build_sharded_planned(&m, &cluster).unwrap();
+        let report =
+            verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
+                .unwrap();
+        // The fast device ran more blocks than the slow one.
+        let blocks: Vec<u64> =
+            report.rounds[0].devices.iter().map(|d| d.kernel_stats.blocks).collect();
+        assert!(blocks[1] > blocks[0], "{blocks:?}");
+    }
+
+    #[test]
+    fn streamed_sharded_rejects_bad_chunking() {
+        let m = test_machine();
+        let w = MatMul::new(96, 0); // t = 3 tile rows
+        assert!(w.build_sharded_streamed(&m, 2, 1).is_err()); // 3 % 2 != 0
+        assert!(w.build_sharded_streamed(&m, 1, 0).is_err());
+        assert!(w.build_sharded_streamed(&m, 1, 3).is_ok());
     }
 }

@@ -6,8 +6,8 @@ use crate::error::AnalyzeError;
 use crate::opcount::kernel_time_ops;
 use crate::space::{masked_touched_range, touched_range};
 use atgpu_ir::affine::CompiledAddr;
-use atgpu_ir::{validate, Instr, Kernel, Program};
-use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
+use atgpu_ir::{validate, HostStep, Instr, Kernel, Program};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics, RoundSchedule, StreamItem};
 
 /// A global or shared memory access site found in a kernel body, together
 /// with the trip counts of its enclosing loops (outermost first).
@@ -230,6 +230,72 @@ pub fn analyze_program(
     }
 
     Ok(ProgramAnalysis { rounds, global_words, io_exact, conflict_free })
+}
+
+/// Derives the per-round [`RoundSchedule`] of a **single-device** program
+/// — the stream placement, traffic and syncs that
+/// [`atgpu_model::cost::streamed_evaluate`] prices with the same
+/// stream-chain scheduler the simulator times rounds with.  Each transfer
+/// step becomes one single-transaction item, launches become the kernel
+/// item, peer steps are skipped (a single-device program has none that
+/// validate anyway).
+pub fn stream_schedule(p: &Program) -> Vec<RoundSchedule> {
+    stream_schedules(p, 1).into_iter().next().unwrap_or_default()
+}
+
+/// Per-device stream schedules of a (possibly multi-device) program,
+/// indexed `[device][round]` — the input of
+/// [`atgpu_model::cost::cluster_cost_streamed`].  The table covers
+/// `max(devices, max_device()+1)` devices so idle devices get empty
+/// (serial) schedules of the right round count.
+pub fn stream_schedules(p: &Program, devices: u32) -> Vec<Vec<RoundSchedule>> {
+    let n = devices.max(p.max_device() + 1).max(1) as usize;
+    let mut out: Vec<Vec<RoundSchedule>> = (0..n).map(|_| Vec::new()).collect();
+    for round in &p.rounds {
+        let mut scheds = vec![RoundSchedule::default(); n];
+        for step in &round.steps {
+            match step {
+                HostStep::TransferIn { words, device, stream, .. } => {
+                    scheds[*device as usize].items.push(StreamItem::TransferIn {
+                        stream: *stream,
+                        txns: 1,
+                        words: *words,
+                    });
+                }
+                HostStep::TransferOut { words, device, stream, .. } => {
+                    scheds[*device as usize].items.push(StreamItem::TransferOut {
+                        stream: *stream,
+                        txns: 1,
+                        words: *words,
+                    });
+                }
+                HostStep::SyncStream { device, stream } => {
+                    scheds[*device as usize].items.push(StreamItem::SyncStream { stream: *stream });
+                }
+                HostStep::SyncDevice { device } => {
+                    scheds[*device as usize].items.push(StreamItem::SyncDevice);
+                }
+                HostStep::Launch(_) => scheds[0].items.push(StreamItem::Kernel),
+                HostStep::LaunchSharded { shards, .. } => {
+                    // One kernel item per participating device: that
+                    // device's metrics row prices its whole shard set.
+                    let mut seen: Vec<u32> = Vec::new();
+                    for s in shards {
+                        if !seen.contains(&s.device) {
+                            seen.push(s.device);
+                            scheds[s.device as usize].items.push(StreamItem::Kernel);
+                        }
+                    }
+                }
+                // Peer traffic is priced separately by the cluster cost.
+                HostStep::TransferPeer { .. } => {}
+            }
+        }
+        for (d, s) in scheds.into_iter().enumerate() {
+            out[d].push(s);
+        }
+    }
+    out
 }
 
 fn analyze_kernel(
@@ -476,5 +542,84 @@ mod tests {
         // Masked global access counted with all lanes active (documented
         // over-approximation): all lanes hit word `i` -> 1 block each.
         assert_eq!(a.rounds[0].metrics.io_blocks, k);
+    }
+
+    #[test]
+    fn stream_schedule_mirrors_host_steps() {
+        let mut pb = ProgramBuilder::new("dbuf");
+        let h = pb.host_input("A", 64);
+        let o = pb.host_output("C", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in_streamed(0, 1, h, 0, d, 0, 48);
+        pb.sync_stream(0, 1);
+        pb.launch(KernelBuilder::new("k", 1, 0).build());
+        pb.transfer_out_streamed(0, 0, d, 0, o, 0, 16);
+        let p = pb.build().unwrap();
+        let sched = stream_schedule(&p);
+        assert_eq!(sched.len(), 1);
+        assert_eq!(
+            sched[0].items,
+            vec![
+                StreamItem::TransferIn { stream: 1, txns: 1, words: 48 },
+                StreamItem::SyncStream { stream: 1 },
+                StreamItem::Kernel,
+                StreamItem::TransferOut { stream: 0, txns: 1, words: 16 },
+            ]
+        );
+        // The streamed cost of this schedule, with everything serial,
+        // matches the plain GPU-cost (sync after the only other stream).
+        let a = analyze_program(&p, &machine()).unwrap();
+        let spec = atgpu_model::GpuSpec::gtx650_like();
+        let serial = atgpu_model::cost::evaluate(
+            atgpu_model::cost::CostModel::GpuCost,
+            &spec.derived_cost_params(),
+            &machine(),
+            &spec,
+            &a.metrics(),
+        )
+        .unwrap();
+        let streamed = atgpu_model::cost::streamed_evaluate(
+            &spec.derived_cost_params(),
+            &machine(),
+            &spec,
+            &a.metrics(),
+            &sched,
+        )
+        .unwrap();
+        assert!((streamed.total_ms - serial.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_schedules_split_by_device() {
+        let mut pb = ProgramBuilder::new("multi");
+        let h = pb.host_input("A", 64);
+        let o = pb.host_output("C", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in_to(0, h, 0, d, 0, 32);
+        pb.transfer_in_streamed(1, 2, h, 32, d, 32, 32);
+        let k = KernelBuilder::new("k", 4, 0).build();
+        pb.launch_sharded(
+            k,
+            vec![
+                atgpu_ir::Shard { device: 0, start: 0, end: 1 },
+                atgpu_ir::Shard { device: 1, start: 1, end: 3 },
+                atgpu_ir::Shard { device: 1, start: 3, end: 4 },
+            ],
+        );
+        pb.transfer_out_from(1, d, 0, o, 0, 8);
+        let p = pb.build().unwrap();
+        let scheds = stream_schedules(&p, 3);
+        assert_eq!(scheds.len(), 3);
+        assert_eq!(scheds[0][0].items.len(), 2); // in + kernel
+                                                 // Device 1: one in, ONE kernel item despite two shards, one out.
+        assert_eq!(
+            scheds[1][0].items.iter().filter(|i| matches!(i, StreamItem::Kernel)).count(),
+            1
+        );
+        assert_eq!(scheds[1][0].items.len(), 3);
+        // The idle third device still has a (serial) round entry.
+        assert!(scheds[2][0].items.is_empty());
     }
 }

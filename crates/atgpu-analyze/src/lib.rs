@@ -30,6 +30,9 @@ pub mod error;
 pub mod opcount;
 pub mod space;
 
-pub use analyze::{analyze_program, KernelAnalysis, ProgramAnalysis, RoundAnalysis};
+pub use analyze::{
+    analyze_program, stream_schedule, stream_schedules, KernelAnalysis, ProgramAnalysis,
+    RoundAnalysis,
+};
 pub use bankconflict::{BankConflictReport, ConflictDegree};
 pub use error::AnalyzeError;

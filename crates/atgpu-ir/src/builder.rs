@@ -249,6 +249,23 @@ impl ProgramBuilder {
         dev_off: u64,
         words: u64,
     ) -> &mut Self {
+        self.transfer_in_streamed(device, 0, host, host_off, dev, dev_off, words)
+    }
+
+    /// Host→device transfer enqueued on `stream` of `device` (one
+    /// transaction).  Work on different streams of one device may overlap
+    /// in time; see [`HostStep`]'s stream semantics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_in_streamed(
+        &mut self,
+        device: u32,
+        stream: u32,
+        host: HBuf,
+        host_off: u64,
+        dev: DBuf,
+        dev_off: u64,
+        words: u64,
+    ) -> &mut Self {
         self.round_mut().steps.push(HostStep::TransferIn {
             host,
             host_off,
@@ -256,6 +273,7 @@ impl ProgramBuilder {
             dev_off,
             words,
             device,
+            stream,
         });
         self
     }
@@ -289,6 +307,22 @@ impl ProgramBuilder {
         host_off: u64,
         words: u64,
     ) -> &mut Self {
+        self.transfer_out_streamed(device, 0, dev, dev_off, host, host_off, words)
+    }
+
+    /// Device→host transfer enqueued on `stream` of `device` (one
+    /// transaction).
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_out_streamed(
+        &mut self,
+        device: u32,
+        stream: u32,
+        dev: DBuf,
+        dev_off: u64,
+        host: HBuf,
+        host_off: u64,
+        words: u64,
+    ) -> &mut Self {
         self.round_mut().steps.push(HostStep::TransferOut {
             dev,
             dev_off,
@@ -296,7 +330,22 @@ impl ProgramBuilder {
             host_off,
             words,
             device,
+            stream,
         });
+        self
+    }
+
+    /// Waits for everything enqueued on `stream` of `device` so far this
+    /// round; later steps start no earlier.
+    pub fn sync_stream(&mut self, device: u32, stream: u32) -> &mut Self {
+        self.round_mut().steps.push(HostStep::SyncStream { device, stream });
+        self
+    }
+
+    /// Waits for all streams of `device` (an explicit mid-round device
+    /// barrier; every round boundary is one implicitly).
+    pub fn sync_device(&mut self, device: u32) -> &mut Self {
+        self.round_mut().steps.push(HostStep::SyncDevice { device });
         self
     }
 

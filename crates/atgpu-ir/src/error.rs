@@ -87,6 +87,13 @@ pub enum IrError {
         /// What is wrong with the plan.
         reason: String,
     },
+    /// A transfer or sync references a stream id `≥ MAX_STREAMS`.
+    StreamOutOfRange {
+        /// Offending stream id.
+        stream: u32,
+        /// Round index.
+        round: usize,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -122,6 +129,13 @@ impl fmt::Display for IrError {
             ),
             IrError::BadShardPlan { kernel, reason } => {
                 write!(f, "kernel `{kernel}`: bad shard plan: {reason}")
+            }
+            IrError::StreamOutOfRange { stream, round } => {
+                write!(
+                    f,
+                    "round {round}: stream {stream} out of range (max {})",
+                    crate::MAX_STREAMS - 1
+                )
             }
         }
     }

@@ -74,3 +74,9 @@ pub const MAX_REGS: u8 = 48;
 /// library with room to spare, and a fixed bound keeps affine address
 /// vectors inline and allocation-free on the hot path.
 pub const MAX_LOOP_DEPTH: usize = 4;
+
+/// Number of streams a program may address per device (stream ids
+/// `0..MAX_STREAMS`).  Stream 0 is the default/compute stream; double
+/// buffering needs two, and a fixed small bound keeps the per-round
+/// stream timelines inline.
+pub const MAX_STREAMS: u32 = 8;

@@ -117,10 +117,10 @@ pub fn render_program(p: &Program) -> String {
         }
         for step in &round.steps {
             match step {
-                HostStep::TransferIn { host, host_off, dev, dev_off, words, device } => {
+                HostStep::TransferIn { host, host_off, dev, dev_off, words, device, stream } => {
                     let h = &p.host_bufs[host.0 as usize].name;
                     let d = &p.device_allocs[dev.0 as usize].name;
-                    let at = if *device == 0 { String::new() } else { format!("@gpu{device}") };
+                    let at = site_tag(*device, *stream);
                     let text = if *host_off == 0 && *dev_off == 0 {
                         format!("{d}{at} W {h}  ▷ transfer {words} words to device")
                     } else {
@@ -130,10 +130,10 @@ pub fn render_program(p: &Program) -> String {
                     };
                     r.emit(0, &text);
                 }
-                HostStep::TransferOut { dev, dev_off, host, host_off, words, device } => {
+                HostStep::TransferOut { dev, dev_off, host, host_off, words, device, stream } => {
                     let h = &p.host_bufs[host.0 as usize].name;
                     let d = &p.device_allocs[dev.0 as usize].name;
-                    let at = if *device == 0 { String::new() } else { format!("@gpu{device}") };
+                    let at = site_tag(*device, *stream);
                     let text = if *host_off == 0 && *dev_off == 0 {
                         format!("{h} W {d}{at}  ▷ transfer {words} words to host")
                     } else {
@@ -142,6 +142,12 @@ pub fn render_program(p: &Program) -> String {
                         )
                     };
                     r.emit(0, &text);
+                }
+                HostStep::SyncStream { device, stream } => {
+                    r.emit(0, &format!("sync stream s{stream}{}", site_tag(*device, 0)));
+                }
+                HostStep::SyncDevice { device } => {
+                    r.emit(0, &format!("sync device{}", site_tag(*device, 0)));
                 }
                 HostStep::TransferPeer { src, dst, buf, src_off, dst_off, words } => {
                     let d = &p.device_allocs[buf.0 as usize].name;
@@ -173,6 +179,17 @@ pub fn render_kernel(k: &Kernel, p: &Program) -> String {
     let mut r = Renderer::new();
     r.kernel(k, p, 0);
     r.out
+}
+
+/// Device/stream suffix for a transfer site: nothing for the default
+/// device 0 / stream 0, `@gpu2`, `@s1`, or `@gpu2.s1`.
+fn site_tag(device: u32, stream: u32) -> String {
+    match (device, stream) {
+        (0, 0) => String::new(),
+        (d, 0) => format!("@gpu{d}"),
+        (0, s) => format!("@s{s}"),
+        (d, s) => format!("@gpu{d}.s{s}"),
+    }
 }
 
 fn buf_name(p: &Program, id: u32) -> String {
@@ -340,6 +357,23 @@ mod tests {
         let s = render_program(&p);
         assert!(s.contains("Round 1"), "{s}");
         assert!(s.contains("Round 2"), "{s}");
+    }
+
+    #[test]
+    fn streamed_steps_render_tags() {
+        let mut pb = ProgramBuilder::new("dbuf");
+        let h = pb.host_input("A", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in_streamed(0, 1, h, 0, d, 0, 64);
+        pb.sync_stream(0, 1);
+        pb.sync_device(2);
+        pb.launch(KernelBuilder::new("k", 1, 0).build());
+        let p = pb.build().unwrap();
+        let s = render_program(&p);
+        assert!(s.contains("a@s1 W A"), "{s}");
+        assert!(s.contains("sync stream s1"), "{s}");
+        assert!(s.contains("sync device@gpu2"), "{s}");
     }
 
     #[test]

@@ -94,6 +94,18 @@ impl Shard {
 /// multi-device system (every device holds a replica of the declared
 /// buffer layout); single-device programs use device 0 throughout and
 /// never notice.
+///
+/// ## Streams
+///
+/// Transfers additionally carry a **stream** id (< [`crate::MAX_STREAMS`]).
+/// Streams are per-device timing queues: within one round, work on the
+/// same stream of a device is serial, while work on different streams may
+/// overlap in time (copy/compute overlap).  Kernel launches always run on
+/// **stream 0**, the compute stream.  Streams never change *functional*
+/// semantics — execution is defined by host-step order; only the round's
+/// modelled duration is affected.  [`HostStep::SyncStream`] and
+/// [`HostStep::SyncDevice`] insert ordering points, and every round
+/// boundary is an implicit device-wide synchronisation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HostStep {
     /// `dev[dev_off..] W host[host_off..][..words]` — one host→device
@@ -111,6 +123,9 @@ pub enum HostStep {
         words: u64,
         /// Destination device index (0 on a single-device system).
         device: u32,
+        /// Stream the transfer is enqueued on (0 = the default stream,
+        /// serial with the kernel).
+        stream: u32,
     },
     /// `host[host_off..] W dev[dev_off..][..words]` — one device→host
     /// transfer transaction over `device`'s host link.
@@ -126,6 +141,25 @@ pub enum HostStep {
         /// Words to copy.
         words: u64,
         /// Source device index (0 on a single-device system).
+        device: u32,
+        /// Stream the transfer is enqueued on (0 = the default stream,
+        /// serial with the kernel).
+        stream: u32,
+    },
+    /// Block until everything previously enqueued on `stream` of `device`
+    /// has completed: later steps of the round (on any stream of that
+    /// device) start no earlier.  A sync on an idle stream is a no-op.
+    SyncStream {
+        /// Device whose stream is synchronised.
+        device: u32,
+        /// The stream to wait for.
+        stream: u32,
+    },
+    /// Block until everything previously enqueued on **all** streams of
+    /// `device` has completed (the per-round barrier every round ends
+    /// with, made explicit mid-round).
+    SyncDevice {
+        /// Device to synchronise.
         device: u32,
     },
     /// One device→device transfer transaction over the directed peer
@@ -270,7 +304,10 @@ impl Program {
         for round in &self.rounds {
             for step in &round.steps {
                 match step {
-                    HostStep::TransferIn { device, .. } | HostStep::TransferOut { device, .. } => {
+                    HostStep::TransferIn { device, .. }
+                    | HostStep::TransferOut { device, .. }
+                    | HostStep::SyncStream { device, .. }
+                    | HostStep::SyncDevice { device } => {
                         max = max.max(*device);
                     }
                     HostStep::TransferPeer { src, dst, .. } => max = max.max(*src).max(*dst),
@@ -284,6 +321,41 @@ impl Program {
             }
         }
         max
+    }
+
+    /// Whether any step uses a non-default stream or an explicit sync —
+    /// i.e. whether the program can overlap at all.
+    pub fn uses_streams(&self) -> bool {
+        self.rounds.iter().flat_map(|r| r.steps.iter()).any(|s| match s {
+            HostStep::TransferIn { stream, .. } | HostStep::TransferOut { stream, .. } => {
+                *stream != 0
+            }
+            HostStep::SyncStream { .. } | HostStep::SyncDevice { .. } => true,
+            _ => false,
+        })
+    }
+
+    /// The program's serial **de-streamed form**: every transfer moved to
+    /// stream 0 and every explicit sync dropped.  Functional semantics
+    /// are defined by host-step order, so the de-streamed program is
+    /// bit-identical in outputs — only its modelled time differs (no
+    /// overlap).  The differential suite pins this down.
+    pub fn destreamed(&self) -> Program {
+        let mut p = self.clone();
+        for round in &mut p.rounds {
+            round.steps.retain(|s| {
+                !matches!(s, HostStep::SyncStream { .. } | HostStep::SyncDevice { .. })
+            });
+            for step in &mut round.steps {
+                match step {
+                    HostStep::TransferIn { stream, .. } | HostStep::TransferOut { stream, .. } => {
+                        *stream = 0;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        p
     }
 
     /// Canonical device-memory layout: buffers packed in declaration
@@ -318,6 +390,7 @@ mod tests {
             dev_off: 0,
             words,
             device: 0,
+            stream: 0,
         }
     }
 
@@ -329,6 +402,7 @@ mod tests {
             host_off: 0,
             words,
             device: 0,
+            stream: 0,
         }
     }
 
@@ -409,6 +483,38 @@ mod tests {
         let (bases, total) = p.buffer_layout(32);
         assert_eq!(bases, vec![0, 64, 96]);
         assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn destreaming_strips_streams_and_syncs() {
+        let mut streamed = xfer_in(4);
+        if let HostStep::TransferIn { stream, .. } = &mut streamed {
+            *stream = 2;
+        }
+        let r = Round {
+            steps: vec![
+                streamed,
+                HostStep::SyncStream { device: 1, stream: 2 },
+                HostStep::SyncDevice { device: 3 },
+                xfer_out(4),
+            ],
+        };
+        let p = Program {
+            name: "p".into(),
+            device_allocs: vec![DeviceAlloc { name: "a".into(), words: 64 }],
+            host_bufs: vec![HostBufDecl { name: "A".into(), words: 64, role: HostBufRole::Input }],
+            rounds: vec![r],
+        };
+        assert!(p.uses_streams());
+        // Sync steps count toward the device requirement.
+        assert_eq!(p.max_device(), 3);
+        let d = p.destreamed();
+        assert!(!d.uses_streams());
+        assert_eq!(d.rounds[0].steps.len(), 2);
+        assert_eq!(d.rounds[0].inward(), (4, 1));
+        assert_eq!(d.rounds[0].outward(), (4, 1));
+        // De-streaming is idempotent.
+        assert_eq!(d.destreamed(), d);
     }
 
     #[test]

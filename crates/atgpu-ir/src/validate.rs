@@ -106,7 +106,8 @@ pub fn validate_program(p: &Program) -> Result<(), IrError> {
         let mut launches = 0usize;
         for step in &round.steps {
             match step {
-                HostStep::TransferIn { host, host_off, dev, dev_off, words, device: _ } => {
+                HostStep::TransferIn { host, host_off, dev, dev_off, words, device: _, stream } => {
+                    check_stream(*stream, ri)?;
                     if phase > 0 {
                         return Err(IrError::StepOrder {
                             round: ri,
@@ -161,7 +162,22 @@ pub fn validate_program(p: &Program) -> Result<(), IrError> {
                     check_shard_plan(kernel, shards, ri)?;
                     check_launch(kernel, p, ri, &mut launches, &mut phase)?;
                 }
-                HostStep::TransferOut { dev, dev_off, host, host_off, words, device: _ } => {
+                HostStep::SyncStream { device: _, stream } => {
+                    // Syncs are pure ordering points: they may appear
+                    // anywhere in the round and do not advance the phase.
+                    check_stream(*stream, ri)?;
+                }
+                HostStep::SyncDevice { .. } => {}
+                HostStep::TransferOut {
+                    dev,
+                    dev_off,
+                    host,
+                    host_off,
+                    words,
+                    device: _,
+                    stream,
+                } => {
+                    check_stream(*stream, ri)?;
                     phase = 2;
                     let hb =
                         p.host_buf_words(*host).ok_or(IrError::UnknownHostBuf { buf: host.0 })?;
@@ -247,6 +263,13 @@ fn check_shard_plan(
             "shards cover blocks 0..{cursor} but the grid launches {} blocks",
             kernel.blocks()
         )));
+    }
+    Ok(())
+}
+
+fn check_stream(stream: u32, round: usize) -> Result<(), IrError> {
+    if stream >= crate::MAX_STREAMS {
+        return Err(IrError::StreamOutOfRange { stream, round });
     }
     Ok(())
 }
@@ -501,6 +524,44 @@ mod tests {
         pb.transfer_in(o, d, 64);
         pb.launch(trivial_kernel(1));
         pb.build().unwrap();
+    }
+
+    #[test]
+    fn stream_out_of_range_rejected() {
+        let mut pb = ProgramBuilder::new("p");
+        let h = pb.host_input("A", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in_streamed(0, crate::MAX_STREAMS, h, 0, d, 0, 64);
+        pb.launch(trivial_kernel(1));
+        assert!(matches!(pb.build(), Err(IrError::StreamOutOfRange { .. })));
+
+        let mut pb = ProgramBuilder::new("p");
+        let _ = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.sync_stream(0, crate::MAX_STREAMS + 3);
+        pb.launch(trivial_kernel(1));
+        assert!(matches!(pb.build(), Err(IrError::StreamOutOfRange { .. })));
+    }
+
+    #[test]
+    fn streamed_round_with_syncs_validates() {
+        // The double-buffering shape: next chunk's H2D on stream 1 before
+        // this chunk's launch, syncs sprinkled anywhere.
+        let mut pb = ProgramBuilder::new("p");
+        let h = pb.host_input("A", 64);
+        let o = pb.host_output("C", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in_streamed(0, 1, h, 0, d, 0, 32);
+        pb.sync_stream(0, 1);
+        pb.launch(trivial_kernel(1));
+        pb.sync_device(0);
+        pb.transfer_out_streamed(0, 0, d, 0, o, 0, 32);
+        let p = pb.build().unwrap();
+        assert!(p.uses_streams());
+        // Its de-streamed form validates too.
+        validate_program(&p.destreamed()).unwrap();
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::machine::AtgpuMachine;
 use crate::metrics::{AlgoMetrics, RoundMetrics};
 use crate::occupancy::wave_factor;
 use crate::params::{ClusterSpec, CostParams, GpuSpec};
+use crate::streams::{RoundSchedule, StreamItem, StreamResource, StreamTimeline};
 
 /// Which cost function to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +92,179 @@ pub fn transfer_in_cost(params: &CostParams, round: &RoundMetrics) -> f64 {
 #[inline]
 pub fn transfer_out_cost(params: &CostParams, round: &RoundMetrics) -> f64 {
     round.outward_txns as f64 * params.alpha + round.outward_words as f64 * params.beta
+}
+
+/// The GPU-cost kernel term of one round, `(waveᵢ·tᵢ + λ·qᵢ)/γ` —
+/// Expression (2)'s compute component, shared by the serial, streamed and
+/// cluster cost functions.
+fn gpu_kernel_term(
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    params: &CostParams,
+    round: &RoundMetrics,
+) -> Result<f64, ModelError> {
+    let wave = wave_factor(machine, spec, round.blocks_launched, round.shared_words)
+        .ok_or(ModelError::SharedMemoryExceeded {
+            required: round.shared_words,
+            available: machine.m,
+        })?
+        // An empty launch still runs its (empty) kernel once.
+        .max(u64::from(round.time > 0));
+    Ok((wave as f64 * round.time as f64 + params.lambda * round.io_blocks as f64) / params.gamma)
+}
+
+/// Schedules one round through a [`StreamTimeline`]: transfers priced on
+/// `params`'s link, the kernel term on the compute resource, syncs raising
+/// the floor.  Component sums are folded into `breakdown`; the return
+/// value is the round's stream-aware duration (without `σ`).  An empty
+/// schedule falls back to the round's aggregate metrics, all on stream 0
+/// — exactly the serial `T_I + kernel + T_O`.
+fn schedule_round(
+    params: &CostParams,
+    round: &RoundMetrics,
+    kernel_ms: f64,
+    schedule: Option<&RoundSchedule>,
+    peer_ms: f64,
+    breakdown: &mut CostBreakdown,
+) -> f64 {
+    let mut tl = StreamTimeline::new();
+    match schedule {
+        Some(s) if !s.items.is_empty() => {
+            let mut kernel_seen = false;
+            for item in &s.items {
+                match item {
+                    StreamItem::TransferIn { stream, txns, words } => {
+                        let d = *txns as f64 * params.alpha + *words as f64 * params.beta;
+                        tl.advance(*stream, StreamResource::HostToDevice, d);
+                        breakdown.transfer_in += d;
+                    }
+                    StreamItem::TransferOut { stream, txns, words } => {
+                        let d = *txns as f64 * params.alpha + *words as f64 * params.beta;
+                        tl.advance(*stream, StreamResource::DeviceToHost, d);
+                        breakdown.transfer_out += d;
+                    }
+                    StreamItem::Kernel => {
+                        kernel_seen = true;
+                        tl.advance(0, StreamResource::Compute, kernel_ms);
+                    }
+                    StreamItem::SyncStream { stream } => tl.sync_stream(*stream),
+                    StreamItem::SyncDevice => tl.sync_device(),
+                }
+            }
+            if !kernel_seen && kernel_ms > 0.0 {
+                tl.advance(0, StreamResource::Compute, kernel_ms);
+            }
+        }
+        _ => {
+            let t_in = transfer_in_cost(params, round);
+            let t_out = transfer_out_cost(params, round);
+            tl.advance(0, StreamResource::HostToDevice, t_in);
+            tl.advance(0, StreamResource::Compute, kernel_ms);
+            tl.advance(0, StreamResource::DeviceToHost, t_out);
+            breakdown.transfer_in += t_in;
+            breakdown.transfer_out += t_out;
+        }
+    }
+    if peer_ms > 0.0 {
+        tl.advance(0, StreamResource::Peer, peer_ms);
+    }
+    breakdown.kernel += kernel_ms;
+    tl.finish()
+}
+
+/// Rejects schedules addressing streams beyond the model's bound (the
+/// IR validator enforces the same limit on programs; hand-built
+/// schedules get a proper error instead of the timeline's defensive
+/// clamp).
+fn check_schedule_streams(s: &RoundSchedule) -> Result<(), ModelError> {
+    for item in &s.items {
+        let stream = match item {
+            StreamItem::TransferIn { stream, .. }
+            | StreamItem::TransferOut { stream, .. }
+            | StreamItem::SyncStream { stream } => *stream,
+            StreamItem::Kernel | StreamItem::SyncDevice => continue,
+        };
+        if stream >= crate::streams::MAX_STREAMS {
+            return Err(ModelError::InvalidParams {
+                reason: format!(
+                    "schedule addresses stream {stream}, limit {}",
+                    crate::streams::MAX_STREAMS
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The result of the stream-aware GPU-cost: component sums (the serial
+/// accounting) plus the overlapped total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamedCost {
+    /// Per-component sums over rounds — what the cost *would* be with no
+    /// overlap; `breakdown.total()` is the serial Expression-(2) cost.
+    pub breakdown: CostBreakdown,
+    /// The stream-aware total, `Σᵢ (σ + max-over-chains(i))` — always
+    /// `≤ breakdown.total()`.
+    pub total_ms: f64,
+}
+
+impl StreamedCost {
+    /// The serial (no-overlap) cost of the same program.
+    #[inline]
+    pub fn serial_ms(&self) -> f64 {
+        self.breakdown.total()
+    }
+
+    /// Predicted overlap efficiency: serial cost over streamed cost
+    /// (≥ 1; 1 when nothing overlaps).
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.total_ms <= 0.0 {
+            1.0
+        } else {
+            self.serial_ms() / self.total_ms
+        }
+    }
+}
+
+/// Evaluates the **stream-aware GPU-cost** (Expression 2 with
+/// copy/compute overlap): each round costs
+/// `σ + max-over-stream-chains(T_I items, kernel, T_O items)` computed by
+/// the shared [`StreamTimeline`] scheduler, so the analytic prediction
+/// tracks the simulator's overlapped round times.  `schedules` supplies
+/// one [`RoundSchedule`] per round (see `atgpu_analyze::stream_schedule`,
+/// which derives them from a program); an empty schedule makes that round
+/// serial, so passing all-empty schedules reproduces
+/// [`evaluate`]`(CostModel::GpuCost, …)` exactly.
+pub fn streamed_evaluate(
+    params: &CostParams,
+    machine: &AtgpuMachine,
+    spec: &GpuSpec,
+    metrics: &AlgoMetrics,
+    schedules: &[RoundSchedule],
+) -> Result<StreamedCost, ModelError> {
+    params.validate()?;
+    spec.validate()?;
+    metrics.check_fits(machine)?;
+    if schedules.len() != metrics.rounds.len() {
+        return Err(ModelError::InvalidParams {
+            reason: format!(
+                "{} round schedules for {} rounds",
+                schedules.len(),
+                metrics.rounds.len()
+            ),
+        });
+    }
+
+    let mut breakdown = CostBreakdown::default();
+    let mut total = 0.0;
+    for (round, schedule) in metrics.rounds.iter().zip(schedules) {
+        check_schedule_streams(schedule)?;
+        let kernel = gpu_kernel_term(machine, spec, params, round)?;
+        total += params.sigma
+            + schedule_round(params, round, kernel, Some(schedule), 0.0, &mut breakdown);
+        breakdown.sync += params.sigma;
+    }
+    Ok(StreamedCost { breakdown, total_ms: total })
 }
 
 /// Evaluates `model` for `metrics` on `machine` with GPU `spec`.
@@ -234,6 +408,25 @@ pub fn cluster_cost(
     per_device: &[AlgoMetrics],
     peer: &[Vec<PeerTraffic>],
 ) -> Result<ClusterCostBreakdown, ModelError> {
+    cluster_cost_streamed(cluster, machine, per_device, &[], peer)
+}
+
+/// [`cluster_cost`] with per-device **stream schedules**: device `d`'s
+/// round `i` is priced by the stream-chain scheduler over
+/// `schedules[d][i]` instead of the serial `T_I + kernel + T_O` sum, so
+/// double-buffered multi-device programs get overlap credit inside each
+/// device on top of the max-over-devices concurrency.  Pass an empty
+/// `schedules` slice (or an empty per-device vector) for all-serial
+/// devices — that reproduces [`cluster_cost`] exactly.  Peer traffic is
+/// charged to both endpoints' peer engines after the round's scheduled
+/// items.
+pub fn cluster_cost_streamed(
+    cluster: &ClusterSpec,
+    machine: &AtgpuMachine,
+    per_device: &[AlgoMetrics],
+    schedules: &[Vec<RoundSchedule>],
+    peer: &[Vec<PeerTraffic>],
+) -> Result<ClusterCostBreakdown, ModelError> {
     cluster.validate()?;
     let n = cluster.n_devices();
     if per_device.len() != n {
@@ -246,6 +439,24 @@ pub fn cluster_cost(
         return Err(ModelError::InvalidParams {
             reason: "all devices must have the same round count".into(),
         });
+    }
+    if !schedules.is_empty() {
+        if schedules.len() != n {
+            return Err(ModelError::InvalidParams {
+                reason: format!("{} schedule tables for a {n}-device cluster", schedules.len()),
+            });
+        }
+        if let Some(s) = schedules.iter().find(|s| !s.is_empty() && s.len() != rounds) {
+            return Err(ModelError::InvalidParams {
+                reason: format!(
+                    "a device schedules {} rounds but the program has {rounds}",
+                    s.len()
+                ),
+            });
+        }
+        for s in schedules.iter().flatten() {
+            check_schedule_streams(s)?;
+        }
     }
 
     // Per-device parameters: host-link α/β over the device's own γ/λ.
@@ -296,28 +507,12 @@ pub fn cluster_cost(
         for d in 0..n {
             let round = &per_device[d].rounds[i];
             let p = &params[d];
-            let wave = wave_factor(
-                machine,
-                &cluster.devices[d],
-                round.blocks_launched,
-                round.shared_words,
-            )
-            .ok_or(ModelError::SharedMemoryExceeded {
-                required: round.shared_words,
-                available: machine.m,
-            })?
-            .max(u64::from(round.time > 0));
-            let t_in = transfer_in_cost(p, round);
-            let kernel =
-                (wave as f64 * round.time as f64 + p.lambda * round.io_blocks as f64) / p.gamma;
-            let t_out = transfer_out_cost(p, round);
+            let kernel = gpu_kernel_term(machine, &cluster.devices[d], p, round)?;
+            let schedule = schedules.get(d).and_then(|s| s.get(i));
             let t_peer = costs[d];
-            let b = &mut out.per_device[d];
-            b.transfer_in += t_in;
-            b.kernel += kernel;
-            b.transfer_out += t_out;
+            let path = schedule_round(p, round, kernel, schedule, t_peer, &mut out.per_device[d]);
             out.peer[d] += t_peer;
-            slowest = slowest.max(t_in + kernel + t_peer + t_out);
+            slowest = slowest.max(path);
         }
         out.total_ms += cluster.sync_ms + slowest;
         out.sync_ms += cluster.sync_ms;
@@ -616,6 +811,175 @@ mod tests {
             c4.total_ms,
             c1.total_ms
         );
+    }
+
+    #[test]
+    fn streamed_with_empty_schedules_matches_gpu_cost() {
+        let m = AlgoMetrics::new(vec![simple_round(), simple_round()]);
+        let serial = evaluate(CostModel::GpuCost, &unit_params(), &machine(), &spec(), &m).unwrap();
+        let schedules = vec![RoundSchedule::default(); 2];
+        let s = streamed_evaluate(&unit_params(), &machine(), &spec(), &m, &schedules).unwrap();
+        assert_eq!(s.total_ms, serial.total());
+        assert_eq!(s.breakdown, serial);
+        assert_eq!(s.overlap_speedup(), 1.0);
+    }
+
+    #[test]
+    fn single_stream_schedule_matches_serial() {
+        // An explicit schedule that keeps everything on stream 0
+        // degenerates to the serial sum.
+        let r = simple_round();
+        let m = AlgoMetrics::new(vec![r]);
+        let schedule = RoundSchedule {
+            items: vec![
+                StreamItem::TransferIn { stream: 0, txns: r.inward_txns, words: r.inward_words },
+                StreamItem::Kernel,
+                StreamItem::TransferOut { stream: 0, txns: r.outward_txns, words: r.outward_words },
+            ],
+        };
+        let s = streamed_evaluate(&unit_params(), &machine(), &spec(), &m, &[schedule]).unwrap();
+        let serial = evaluate(CostModel::GpuCost, &unit_params(), &machine(), &spec(), &m).unwrap();
+        assert!((s.total_ms - serial.total()).abs() < 1e-9, "{} vs {}", s.total_ms, serial.total());
+    }
+
+    #[test]
+    fn second_stream_hides_inward_transfer() {
+        // T_I = 1028 on stream 1, kernel = 973 + T_O = 514 on stream 0:
+        // round = max(1028, 1487) + σ = 1492 instead of 2520.
+        let r = simple_round();
+        let m = AlgoMetrics::new(vec![r]);
+        let schedule = RoundSchedule {
+            items: vec![
+                StreamItem::TransferIn { stream: 1, txns: r.inward_txns, words: r.inward_words },
+                StreamItem::Kernel,
+                StreamItem::TransferOut { stream: 0, txns: r.outward_txns, words: r.outward_words },
+            ],
+        };
+        let s = streamed_evaluate(&unit_params(), &machine(), &spec(), &m, &[schedule]).unwrap();
+        assert!((s.total_ms - (973.0 + 514.0 + 5.0)).abs() < 1e-9, "{}", s.total_ms);
+        assert!(s.overlap_speedup() > 1.6, "{}", s.overlap_speedup());
+        // The component accounting is unchanged by overlap.
+        assert_eq!(s.breakdown.transfer_in, 1028.0);
+        assert_eq!(s.serial_ms(), s.breakdown.total());
+    }
+
+    #[test]
+    fn sync_heavy_schedule_loses_all_overlap() {
+        let r = simple_round();
+        let m = AlgoMetrics::new(vec![r]);
+        let schedule = RoundSchedule {
+            items: vec![
+                StreamItem::TransferIn { stream: 1, txns: r.inward_txns, words: r.inward_words },
+                StreamItem::SyncDevice,
+                StreamItem::Kernel,
+                StreamItem::SyncStream { stream: 0 },
+                StreamItem::TransferOut { stream: 2, txns: r.outward_txns, words: r.outward_words },
+            ],
+        };
+        let s = streamed_evaluate(&unit_params(), &machine(), &spec(), &m, &[schedule]).unwrap();
+        assert!((s.total_ms - s.serial_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_rejects_mismatched_schedule_count() {
+        let m = AlgoMetrics::new(vec![simple_round(), simple_round()]);
+        let schedules = vec![RoundSchedule::default()];
+        assert!(streamed_evaluate(&unit_params(), &machine(), &spec(), &m, &schedules).is_err());
+    }
+
+    #[test]
+    fn streamed_rejects_out_of_range_stream_ids() {
+        let m = AlgoMetrics::new(vec![simple_round()]);
+        let schedule = RoundSchedule {
+            items: vec![StreamItem::TransferIn {
+                stream: crate::streams::MAX_STREAMS,
+                txns: 1,
+                words: 8,
+            }],
+        };
+        assert!(streamed_evaluate(
+            &unit_params(),
+            &machine(),
+            &spec(),
+            &m,
+            std::slice::from_ref(&schedule)
+        )
+        .is_err());
+        let cluster = unit_cluster(1);
+        assert!(cluster_cost_streamed(
+            &cluster,
+            &machine(),
+            &[m],
+            std::slice::from_ref(&vec![schedule]),
+            &[]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cluster_streamed_defaults_to_serial() {
+        let cluster = unit_cluster(2);
+        let heavy = AlgoMetrics::new(vec![shard_round(16, 1000, 0)]);
+        let light = AlgoMetrics::new(vec![shard_round(16, 100, 0)]);
+        let a = cluster_cost(&cluster, &machine(), &[heavy.clone(), light.clone()], &[]).unwrap();
+        let b = cluster_cost_streamed(&cluster, &machine(), &[heavy, light], &[], &[]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cluster_streamed_overlap_cuts_round_time() {
+        let cluster = unit_cluster(1);
+        let r = shard_round(16, 1000, 500);
+        let m = AlgoMetrics::new(vec![r]);
+        let serial = cluster_cost(&cluster, &machine(), std::slice::from_ref(&m), &[]).unwrap();
+        let schedule = RoundSchedule {
+            items: vec![
+                StreamItem::TransferIn { stream: 1, txns: r.inward_txns, words: r.inward_words },
+                StreamItem::Kernel,
+                StreamItem::TransferOut { stream: 0, txns: r.outward_txns, words: r.outward_words },
+            ],
+        };
+        let streamed = cluster_cost_streamed(
+            &cluster,
+            &machine(),
+            std::slice::from_ref(&m),
+            &[vec![schedule]],
+            &[],
+        )
+        .unwrap();
+        assert!(
+            streamed.total_ms < serial.total_ms,
+            "{} vs {}",
+            streamed.total_ms,
+            serial.total_ms
+        );
+        // Component sums are overlap-independent.
+        assert_eq!(streamed.per_device, serial.per_device);
+    }
+
+    #[test]
+    fn cluster_streamed_rejects_bad_schedule_shapes() {
+        let cluster = unit_cluster(2);
+        let m = AlgoMetrics::new(vec![shard_round(4, 0, 0)]);
+        let pair = [m.clone(), m.clone()];
+        // Wrong device count.
+        assert!(cluster_cost_streamed(
+            &cluster,
+            &machine(),
+            &pair,
+            &[vec![RoundSchedule::default()]],
+            &[]
+        )
+        .is_err());
+        // Wrong round count on one device.
+        assert!(cluster_cost_streamed(
+            &cluster,
+            &machine(),
+            &pair,
+            &[vec![RoundSchedule::default(); 2], vec![]],
+            &[]
+        )
+        .is_err());
     }
 
     #[test]

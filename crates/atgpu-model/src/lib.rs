@@ -49,10 +49,12 @@ pub mod machine;
 pub mod metrics;
 pub mod occupancy;
 pub mod params;
+pub mod streams;
 
-pub use cost::{ClusterCostBreakdown, CostBreakdown, PeerTraffic};
+pub use cost::{ClusterCostBreakdown, CostBreakdown, PeerTraffic, StreamedCost};
 pub use error::ModelError;
 pub use machine::AtgpuMachine;
 pub use metrics::{AlgoMetrics, RoundMetrics};
 pub use occupancy::occupancy;
 pub use params::{ClusterSpec, CostParams, GpuSpec, LinkParams};
+pub use streams::{RoundSchedule, StreamItem, StreamResource, StreamTimeline, MAX_STREAMS};

@@ -1,0 +1,284 @@
+//! Stream timelines — the copy/compute-overlap extension of the timing
+//! model.
+//!
+//! The paper's cost function charges a round's transfers and kernel
+//! **serially**: `T_I + kernel + T_O`.  Real GPUs hide transfer latency
+//! behind compute with *streams*: operations on one stream are ordered,
+//! operations on different streams may overlap — the mechanism CrystalGPU
+//! exploits for transparent transfer/compute overlap.  This module models
+//! it with a small list scheduler:
+//!
+//! * every operation belongs to a **stream** (an ordering queue chosen by
+//!   the program) and occupies a **resource** (fixed by what the
+//!   operation physically is);
+//! * an operation starts at the maximum of its stream's ready time, its
+//!   resource's ready time and the current sync *floor*, and runs for its
+//!   serial duration;
+//! * `SyncStream`/`SyncDevice` raise the floor (host-blocking joins);
+//! * the round's duration is the time the last operation finishes — the
+//!   **max over per-stream serial chains between sync points**.
+//!
+//! The resources encode what real hardware serialises regardless of
+//! stream tags: one DMA engine per transfer direction and one compute
+//! engine, so two H2D copies never overlap each other (they share a
+//! link), while an H2D copy, a kernel and a D2H copy on three streams all
+//! run concurrently.  A program that keeps everything on stream 0
+//! degenerates to exactly the paper's serial sum.
+//!
+//! [`StreamTimeline`] is shared by the simulator (observed round times,
+//! `atgpu-sim`) and the analytic cost functions
+//! ([`crate::cost::streamed_evaluate`], [`crate::cost::cluster_cost`]) so
+//! prediction and observation use the same overlap semantics by
+//! construction.
+
+/// Streams addressable per device, mirroring `atgpu_ir::MAX_STREAMS`
+/// (this crate does not depend on atgpu-ir).  [`StreamTimeline`] clamps
+/// larger ids to the last slot as a defensive bound — the IR validator
+/// rejects them before any well-formed program gets here — so a corrupt
+/// id can never drive an unbounded allocation.
+pub const MAX_STREAMS: u32 = 8;
+
+/// The hardware unit an operation occupies.  Operations on the same
+/// resource serialise even when enqueued on different streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamResource {
+    /// The host→device DMA engine (one per device).
+    HostToDevice,
+    /// The multiprocessors: kernel launches.
+    Compute,
+    /// The device→host DMA engine.
+    DeviceToHost,
+    /// A peer-link engine (device↔device copies).
+    Peer,
+}
+
+impl StreamResource {
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            StreamResource::HostToDevice => 0,
+            StreamResource::Compute => 1,
+            StreamResource::DeviceToHost => 2,
+            StreamResource::Peer => 3,
+        }
+    }
+}
+
+/// Per-round, per-device stream scheduler: tracks when each stream and
+/// each resource becomes free, plus the host-sync floor.
+///
+/// Times are relative to the round start (every round boundary is an
+/// implicit device-wide synchronisation).
+#[derive(Debug, Clone, Default)]
+pub struct StreamTimeline {
+    /// Ready time of each stream, indexed by stream id (grown on demand).
+    streams: Vec<f64>,
+    /// Ready time of each [`StreamResource`].
+    resources: [f64; 4],
+    /// Sync floor: no operation starts earlier.
+    floor: f64,
+}
+
+impl StreamTimeline {
+    /// A fresh timeline at round start (everything idle at time 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn stream_mut(&mut self, stream: u32) -> &mut f64 {
+        let i = (stream.min(MAX_STREAMS - 1)) as usize;
+        if i >= self.streams.len() {
+            self.streams.resize(i + 1, 0.0);
+        }
+        &mut self.streams[i]
+    }
+
+    /// Schedules one operation of duration `dur` on `stream` occupying
+    /// `res`; returns its completion time.
+    pub fn advance(&mut self, stream: u32, res: StreamResource, dur: f64) -> f64 {
+        let floor = self.floor;
+        let r = self.resources[res.index()];
+        let s = self.stream_mut(stream);
+        let start = s.max(r).max(floor);
+        let end = start + dur;
+        *s = end;
+        self.resources[res.index()] = end;
+        end
+    }
+
+    /// Host-blocking join on one stream: later operations (any stream)
+    /// start no earlier than everything enqueued on `stream` so far.  A
+    /// sync on an idle (or never-used) stream is a no-op (and allocates
+    /// nothing).
+    pub fn sync_stream(&mut self, stream: u32) {
+        let i = (stream.min(MAX_STREAMS - 1)) as usize;
+        let t = self.streams.get(i).copied().unwrap_or(0.0);
+        self.floor = self.floor.max(t);
+    }
+
+    /// Host-blocking join on the whole device: later operations start no
+    /// earlier than everything enqueued so far.
+    pub fn sync_device(&mut self) {
+        self.floor = self.finish();
+    }
+
+    /// The round's duration so far: when the last scheduled operation
+    /// completes (or the floor, if a sync raised it past that).
+    pub fn finish(&self) -> f64 {
+        let s = self.streams.iter().copied().fold(self.floor, f64::max);
+        self.resources.iter().copied().fold(s, f64::max)
+    }
+}
+
+/// One schedule entry of a round, for the analytic streamed cost: the
+/// stream placement and link traffic of every transfer, the kernel
+/// launch, and explicit syncs — exactly the information
+/// [`crate::cost::streamed_evaluate`] needs to price a round the way the
+/// simulator times it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamItem {
+    /// Host→device traffic on `stream`: `txns` transactions moving
+    /// `words` in total (priced `txns·α + words·β` on the host link).
+    TransferIn {
+        /// Stream the copies are enqueued on.
+        stream: u32,
+        /// Transfer transactions `Î`.
+        txns: u64,
+        /// Words moved `I`.
+        words: u64,
+    },
+    /// Device→host traffic on `stream`.
+    TransferOut {
+        /// Stream the copies are enqueued on.
+        stream: u32,
+        /// Transfer transactions `Ô`.
+        txns: u64,
+        /// Words moved `O`.
+        words: u64,
+    },
+    /// The round's kernel launch (always stream 0, the compute stream);
+    /// its duration is the cost function's kernel term.
+    Kernel,
+    /// Host-blocking join on one stream.
+    SyncStream {
+        /// The stream to wait for.
+        stream: u32,
+    },
+    /// Host-blocking join on the whole device.
+    SyncDevice,
+}
+
+/// A round's stream schedule: its [`StreamItem`]s in host order.  An
+/// empty schedule means "serial": all traffic on stream 0 (derived from
+/// the round's aggregate metrics), reproducing the paper's
+/// `T_I + kernel + T_O` exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundSchedule {
+    /// The items, in the order the host enqueues them.
+    pub items: Vec<StreamItem>,
+}
+
+impl RoundSchedule {
+    /// Whether the schedule contains an explicit kernel item.
+    pub fn has_kernel(&self) -> bool {
+        self.items.iter().any(|i| matches!(i, StreamItem::Kernel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use StreamResource::*;
+
+    #[test]
+    fn single_stream_degenerates_to_serial_sum() {
+        // Everything on stream 0: the paper's T_I + kernel + T_O.
+        let mut t = StreamTimeline::new();
+        t.advance(0, HostToDevice, 3.0);
+        t.advance(0, Compute, 5.0);
+        t.advance(0, DeviceToHost, 2.0);
+        assert_eq!(t.finish(), 10.0);
+    }
+
+    #[test]
+    fn two_streams_overlap_copy_and_compute() {
+        // H2D of the next chunk (stream 1) hides behind this chunk's
+        // kernel + D2H (stream 0).
+        let mut t = StreamTimeline::new();
+        t.advance(1, HostToDevice, 4.0);
+        t.advance(0, Compute, 5.0);
+        t.advance(0, DeviceToHost, 2.0);
+        assert_eq!(t.finish(), 7.0);
+    }
+
+    #[test]
+    fn same_resource_serialises_across_streams() {
+        // Two H2D copies on different streams share the DMA engine.
+        let mut t = StreamTimeline::new();
+        t.advance(1, HostToDevice, 4.0);
+        t.advance(2, HostToDevice, 4.0);
+        assert_eq!(t.finish(), 8.0);
+        // ... but opposite directions overlap.
+        let mut t = StreamTimeline::new();
+        t.advance(1, HostToDevice, 4.0);
+        t.advance(2, DeviceToHost, 4.0);
+        assert_eq!(t.finish(), 4.0);
+    }
+
+    #[test]
+    fn empty_stream_sync_is_noop() {
+        let mut t = StreamTimeline::new();
+        t.advance(0, Compute, 5.0);
+        t.sync_stream(3); // never used
+        t.advance(1, HostToDevice, 1.0);
+        assert_eq!(t.finish(), 5.0);
+    }
+
+    #[test]
+    fn sync_heavy_schedule_is_fully_serial() {
+        // A device sync after every operation removes all overlap.
+        let mut t = StreamTimeline::new();
+        for (s, r, d) in [(1, HostToDevice, 4.0), (0, Compute, 5.0), (2, DeviceToHost, 2.0)] {
+            t.advance(s, r, d);
+            t.sync_device();
+        }
+        assert_eq!(t.finish(), 11.0);
+    }
+
+    #[test]
+    fn stream_sync_orders_later_work() {
+        let mut t = StreamTimeline::new();
+        t.advance(1, HostToDevice, 4.0);
+        t.sync_stream(1);
+        // The kernel now waits for the copy even on another stream.
+        t.advance(0, Compute, 5.0);
+        assert_eq!(t.finish(), 9.0);
+    }
+
+    #[test]
+    fn zero_duration_operations_are_free() {
+        let mut t = StreamTimeline::new();
+        t.advance(0, Compute, 0.0);
+        t.sync_device();
+        assert_eq!(t.finish(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_stream_ids_clamp_without_allocating() {
+        // Defensive bound: a corrupt id must not drive a huge resize.
+        let mut t = StreamTimeline::new();
+        t.advance(u32::MAX, HostToDevice, 2.0);
+        assert!(t.streams.len() <= MAX_STREAMS as usize);
+        t.sync_stream(u32::MAX); // floor picks up the clamped slot
+        t.advance(0, Compute, 1.0);
+        assert_eq!(t.finish(), 3.0);
+    }
+
+    #[test]
+    fn advance_returns_completion_time() {
+        let mut t = StreamTimeline::new();
+        assert_eq!(t.advance(0, Compute, 2.0), 2.0);
+        assert_eq!(t.advance(1, HostToDevice, 3.0), 3.0);
+        assert_eq!(t.advance(1, HostToDevice, 1.0), 4.0);
+    }
+}

@@ -39,7 +39,7 @@ use crate::warp::WriteRec;
 use crate::xfer::TransferEngine;
 use crate::{EngineSel, ExecMode, SimConfig};
 use atgpu_ir::{HostStep, Kernel, Program, Shard};
-use atgpu_model::{AtgpuMachine, ClusterSpec};
+use atgpu_model::{AtgpuMachine, ClusterSpec, StreamResource, StreamTimeline};
 
 /// A simulated multi-GPU system.
 #[derive(Debug)]
@@ -77,6 +77,56 @@ pub fn even_shards(blocks: u64, n: u32) -> Vec<Shard> {
         cursor += len;
     }
     out
+}
+
+/// Splits `blocks` into contiguous shards sized proportionally to each
+/// device's compute throughput (`k′ · clock`), so a mixed-generation
+/// cluster finishes its waves together instead of idling the fast devices
+/// behind the slowest one.  Apportionment is largest-remainder: every
+/// device gets `⌊blocks·wᵈ/W⌋` blocks, and the leftovers go to the
+/// largest fractional remainders (ties to the lower device index).
+/// Devices that end up with zero blocks are omitted.
+pub fn weighted_shards(blocks: u64, spec: &ClusterSpec) -> Vec<Shard> {
+    let weights: Vec<f64> =
+        spec.devices.iter().map(|d| d.k_prime as f64 * d.clock_cycles_per_ms).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || blocks == 0 {
+        return even_shards(blocks, spec.n_devices() as u32);
+    }
+    let quotas: Vec<f64> = weights.iter().map(|w| blocks as f64 * w / total).collect();
+    let mut lens: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
+    let assigned: u64 = lens.iter().sum();
+    // Hand the remaining blocks to the largest fractional remainders.
+    let mut order: Vec<usize> = (0..lens.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = quotas[a] - quotas[a].floor();
+        let rb = quotas[b] - quotas[b].floor();
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    for i in 0..(blocks - assigned) as usize {
+        lens[order[i % order.len()]] += 1;
+    }
+    let mut out = Vec::new();
+    let mut cursor = 0u64;
+    for (d, len) in lens.into_iter().enumerate() {
+        if len == 0 {
+            continue;
+        }
+        out.push(Shard { device: d as u32, start: cursor, end: cursor + len });
+        cursor += len;
+    }
+    out
+}
+
+/// The default shard planner: [`even_shards`] on a homogeneous cluster,
+/// [`weighted_shards`] as soon as any two device specifications differ.
+pub fn plan_shards(blocks: u64, spec: &ClusterSpec) -> Vec<Shard> {
+    let homogeneous = spec.devices.windows(2).all(|w| w[0] == w[1]);
+    if homogeneous {
+        even_shards(blocks, spec.n_devices() as u32)
+    } else {
+        weighted_shards(blocks, spec)
+    }
 }
 
 impl Cluster {
@@ -150,23 +200,34 @@ impl Cluster {
 /// Observed times of one device during one round, in milliseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DeviceRoundObservation {
-    /// Host→device transfer time over this device's host link.
+    /// Host→device transfer time over this device's host link (serial
+    /// component sum over all streams).
     pub xfer_in_ms: f64,
     /// Kernel execution time of this device's shard(s).
     pub kernel_ms: f64,
-    /// Device→host transfer time over this device's host link.
+    /// Device→host transfer time over this device's host link (serial
+    /// component sum over all streams).
     pub xfer_out_ms: f64,
     /// Peer-transfer time on links touching this device (charged to both
     /// endpoints).
     pub peer_ms: f64,
+    /// Stream-aware critical path through the device's round: the max
+    /// over per-stream chains between sync points.  Equals the component
+    /// sum when everything runs on stream 0.
+    pub stream_ms: f64,
     /// Kernel statistics of this device's shard(s); zero when the device
     /// ran no blocks this round.
     pub kernel_stats: KernelStats,
 }
 
 impl DeviceRoundObservation {
-    /// The device's critical path through the round.
+    /// The device's critical path through the round (stream-aware).
     pub fn path_ms(&self) -> f64 {
+        self.stream_ms
+    }
+
+    /// The device's serial (no-overlap) path — the component sum.
+    pub fn serial_path_ms(&self) -> f64 {
         self.xfer_in_ms + self.kernel_ms + self.peer_ms + self.xfer_out_ms
     }
 }
@@ -240,6 +301,15 @@ impl ClusterSimReport {
     }
 }
 
+/// Host CPUs available for shard threads, probed once.  On a single-core
+/// host threaded dispatch is pure overhead, so [`crate::SimConfig`]'s
+/// default enables it only when this exceeds 1 (an explicit
+/// `device_threads: true` always threads).
+pub fn host_parallelism() -> usize {
+    static P: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *P.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Decorrelates the jitter streams of distinct links deterministically.
 fn link_seed(seed: u64, idx: u64) -> u64 {
     seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx.wrapping_add(1))
@@ -265,6 +335,14 @@ fn two_mems(
 /// executes against its own device's replica and logs its writes; races
 /// are checked across the whole launch, then every device merges its own
 /// writes in block order.
+///
+/// With [`SimConfig::device_threads`] set (the default) every shard is
+/// simulated on its own scoped OS thread — shard runs only *read* their
+/// device's pre-launch snapshot and log into private vectors, so the
+/// launch is embarrassingly parallel on the host.  Results, statistics
+/// and timing are bit-identical to sequential dispatch: shard outcomes
+/// are folded in shard-plan order and the logs merge through the shared
+/// block-order [`apply_write_log`].
 #[allow(clippy::too_many_arguments)]
 fn run_sharded_launch(
     cluster: &Cluster,
@@ -275,22 +353,76 @@ fn run_sharded_launch(
     shards: &[Shard],
     gmems: &mut [GlobalMemory],
     devs: &mut [DeviceRoundObservation],
+    timelines: &mut [StreamTimeline],
 ) -> Result<(), SimError> {
+    // Resolve devices up front so an unknown device errors before any
+    // thread spawns.
+    let devices: Vec<&Device> =
+        shards.iter().map(|s| cluster.device_checked(s.device)).collect::<Result<_, _>>()?;
+
     let mut logs: Vec<Vec<WriteRec>> = (0..gmems.len()).map(|_| Vec::new()).collect();
-    for shard in shards {
+    let mut stats_in_order: Vec<KernelStats> = Vec::with_capacity(shards.len());
+    if config.device_threads && shards.len() > 1 {
+        // One (stats, log) per shard, folded back in shard-plan order.
+        type ShardOutcome = Result<(KernelStats, Vec<WriteRec>), SimError>;
+        let gm: &[GlobalMemory] = gmems;
+        let run_one = |shard: &Shard, device: &Device| -> ShardOutcome {
+            let mut log = Vec::new();
+            let stats = device.run_shard(
+                kernel,
+                &gm[shard.device as usize],
+                config.mode,
+                engine,
+                (shard.start, shard.end),
+                &mut log,
+            )?;
+            Ok((stats, log))
+        };
+        let outcomes: Vec<ShardOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter()
+                .zip(&devices)
+                .map(|(shard, device)| s.spawn(move || run_one(shard, device)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+        });
+        for (shard, outcome) in shards.iter().zip(outcomes) {
+            let d = shard.device as usize;
+            let (stats, mut log) = outcome?;
+            // First shard on a device hands its log over; later shards
+            // append (several shards per device only happens in
+            // hand-written plans).
+            if logs[d].is_empty() {
+                logs[d] = log;
+            } else {
+                logs[d].append(&mut log);
+            }
+            stats_in_order.push(stats);
+        }
+    } else {
+        // Sequential dispatch logs straight into the per-device logs —
+        // no intermediate vectors on the default single-core path.
+        for (shard, device) in shards.iter().zip(&devices) {
+            let d = shard.device as usize;
+            let stats = device.run_shard(
+                kernel,
+                &gmems[d],
+                config.mode,
+                engine,
+                (shard.start, shard.end),
+                &mut logs[d],
+            )?;
+            stats_in_order.push(stats);
+        }
+    }
+    for (shard, stats) in shards.iter().zip(stats_in_order) {
         let d = shard.device as usize;
-        let device = cluster.device_checked(shard.device)?;
-        let stats = device.run_shard(
-            kernel,
-            &gmems[d],
-            config.mode,
-            engine,
-            (shard.start, shard.end),
-            &mut logs[d],
-        )?;
+        let ms = stats.cycles as f64 / cluster_spec.devices[d].clock_cycles_per_ms;
         let obs = &mut devs[d];
-        obs.kernel_ms += stats.cycles as f64 / cluster_spec.devices[d].clock_cycles_per_ms;
+        obs.kernel_ms += ms;
         obs.kernel_stats.merge_serial(&stats);
+        // Shards on one device run back to back on its compute stream.
+        timelines[d].advance(0, StreamResource::Compute, ms);
     }
     if config.detect_races {
         let merged: Vec<WriteRec> = logs.iter().flat_map(|l| l.iter().copied()).collect();
@@ -357,21 +489,40 @@ pub fn run_cluster_program(
     let mut rounds = Vec::with_capacity(program.rounds.len());
     for round in &program.rounds {
         let mut devs = vec![DeviceRoundObservation::default(); n];
+        let mut timelines = vec![StreamTimeline::new(); n];
         for step in &round.steps {
             match step {
-                HostStep::TransferIn { host: h, host_off, dev, dev_off, words, device } => {
+                HostStep::TransferIn { host: h, host_off, dev, dev_off, words, device, stream } => {
                     let d = *device as usize;
                     let src =
                         &host.bufs[h.0 as usize][*host_off as usize..(*host_off + *words) as usize];
                     let dst = gmems[d].base(dev.0) + dev_off;
-                    devs[d].xfer_in_ms += host_xfer[d].to_device(&mut gmems[d], dst, src);
+                    let t = host_xfer[d].to_device(&mut gmems[d], dst, src);
+                    devs[d].xfer_in_ms += t;
+                    timelines[d].advance(*stream, StreamResource::HostToDevice, t);
                 }
-                HostStep::TransferOut { dev, dev_off, host: h, host_off, words, device } => {
+                HostStep::TransferOut {
+                    dev,
+                    dev_off,
+                    host: h,
+                    host_off,
+                    words,
+                    device,
+                    stream,
+                } => {
                     let d = *device as usize;
                     let src = gmems[d].base(dev.0) + dev_off;
                     let dst = &mut host.bufs[h.0 as usize]
                         [*host_off as usize..(*host_off + *words) as usize];
-                    devs[d].xfer_out_ms += host_xfer[d].to_host(&gmems[d], src, dst);
+                    let t = host_xfer[d].to_host(&gmems[d], src, dst);
+                    devs[d].xfer_out_ms += t;
+                    timelines[d].advance(*stream, StreamResource::DeviceToHost, t);
+                }
+                HostStep::SyncStream { device, stream } => {
+                    timelines[*device as usize].sync_stream(*stream);
+                }
+                HostStep::SyncDevice { device } => {
+                    timelines[*device as usize].sync_device();
                 }
                 HostStep::TransferPeer { src, dst, buf, src_off, dst_off, words } => {
                     let (s, d) = (*src as usize, *dst as usize);
@@ -382,6 +533,9 @@ pub fn run_cluster_program(
                         peer_xfer[s][d].peer(sm, base + src_off, dm, dst_base + dst_off, *words);
                     devs[s].peer_ms += t;
                     devs[d].peer_ms += t;
+                    // A peer copy occupies both endpoints' peer engines.
+                    timelines[s].advance(0, StreamResource::Peer, t);
+                    timelines[d].advance(0, StreamResource::Peer, t);
                 }
                 HostStep::Launch(kernel) => {
                     // A plain launch is a one-shard plan on device 0.
@@ -395,6 +549,7 @@ pub fn run_cluster_program(
                         &whole,
                         &mut gmems,
                         &mut devs,
+                        &mut timelines,
                     )?;
                 }
                 HostStep::LaunchSharded { kernel, shards } => {
@@ -407,9 +562,13 @@ pub fn run_cluster_program(
                         shards,
                         &mut gmems,
                         &mut devs,
+                        &mut timelines,
                     )?;
                 }
             }
+        }
+        for (obs, tl) in devs.iter_mut().zip(&timelines) {
+            obs.stream_ms = tl.finish();
         }
         rounds.push(ClusterRoundObservation { devices: devs, sync_ms: cluster_spec.sync_ms });
     }
@@ -474,6 +633,55 @@ mod tests {
         assert_eq!(even_shards(0, 4), vec![]);
         let s = even_shards(64, 1);
         assert_eq!(s, vec![Shard { device: 0, start: 0, end: 64 }]);
+    }
+
+    #[test]
+    fn weighted_shards_follow_device_speed() {
+        // Device 1 has 3x the MPs of device 0: it should get ~3/4 of the
+        // blocks, and the plan must still partition the grid.
+        let slow = GpuSpec { k_prime: 2, ..GpuSpec::gtx650_like() };
+        let fast = GpuSpec { k_prime: 6, ..GpuSpec::gtx650_like() };
+        let mut spec = ClusterSpec::homogeneous(2, slow);
+        spec.devices[1] = fast;
+        let shards = weighted_shards(100, &spec);
+        assert_eq!(shards.iter().map(|s| s.blocks()).sum::<u64>(), 100);
+        assert_eq!(shards[0].device, 0);
+        assert_eq!(shards[1].device, 1);
+        assert_eq!(shards[0].blocks(), 25);
+        assert_eq!(shards[1].blocks(), 75);
+        // Contiguous partition.
+        assert_eq!(shards[0].end, shards[1].start);
+        assert_eq!(shards[1].end, 100);
+    }
+
+    #[test]
+    fn weighted_shards_handle_remainders_and_tiny_grids() {
+        let mut spec = ClusterSpec::homogeneous(3, GpuSpec::gtx650_like());
+        spec.devices[2].k_prime = 4; // twice the others
+        let shards = weighted_shards(7, &spec);
+        assert_eq!(shards.iter().map(|s| s.blocks()).sum::<u64>(), 7);
+        let mut cursor = 0;
+        for s in &shards {
+            assert_eq!(s.start, cursor);
+            cursor = s.end;
+        }
+        // Fewer blocks than devices: zero-length shards are omitted.
+        let shards = weighted_shards(1, &spec);
+        assert_eq!(shards.iter().map(|s| s.blocks()).sum::<u64>(), 1);
+        assert!(shards.iter().all(|s| s.blocks() > 0));
+        assert!(weighted_shards(0, &spec).is_empty());
+    }
+
+    #[test]
+    fn plan_shards_picks_planner_by_homogeneity() {
+        let spec = ClusterSpec::homogeneous(4, GpuSpec::gtx650_like());
+        assert_eq!(plan_shards(64, &spec), even_shards(64, 4));
+        let mut mixed = spec.clone();
+        mixed.devices[0].k_prime *= 3;
+        let weighted = plan_shards(64, &mixed);
+        assert_eq!(weighted, weighted_shards(64, &mixed));
+        assert_ne!(weighted, even_shards(64, 4));
+        assert!(weighted[0].blocks() > weighted[1].blocks());
     }
 
     #[test]

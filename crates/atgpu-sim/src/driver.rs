@@ -6,6 +6,17 @@
 //! charges the synchronisation overhead — producing exactly the
 //! decomposition the paper measures: **Total** running time vs **Kernel**
 //! running time, with the transfer share `ΔE` in between.
+//!
+//! ## Streams
+//!
+//! Functional execution always follows host-step order; **streams affect
+//! timing only**.  Every transfer/launch duration is scheduled through a
+//! per-round [`StreamTimeline`]: ops on one stream are serial, ops on
+//! different streams overlap unless they share a hardware resource (one
+//! DMA engine per direction, one compute engine), and
+//! `SyncStream`/`SyncDevice` raise the floor.  A round's observed time is
+//! the timeline's finish — the max over per-stream chains — plus `σ`.
+//! Programs that keep everything on stream 0 time out exactly as before.
 
 use crate::device::{Device, KernelStats};
 use crate::error::SimError;
@@ -13,7 +24,7 @@ use crate::gmem::GlobalMemory;
 use crate::xfer::{TransferEngine, XferNoise};
 use crate::ExecMode;
 use atgpu_ir::{HostBufRole, HostStep, Program};
-use atgpu_model::{AtgpuMachine, GpuSpec};
+use atgpu_model::{AtgpuMachine, GpuSpec, StreamResource, StreamTimeline};
 
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +40,12 @@ pub struct SimConfig {
     /// Drive the tree-walking reference interpreter instead of the
     /// micro-op engine (differential tests, baseline benchmarks).
     pub use_reference: bool,
+    /// Simulate a sharded launch's devices on their own OS threads
+    /// (cluster runs only).  Results and reported times are bit-identical
+    /// either way — the per-device write logs merge in block order — so
+    /// this only cuts host wall-clock.  Defaults to on when the host has
+    /// more than one CPU (threads are pure overhead on a single core).
+    pub device_threads: bool,
 }
 
 impl Default for SimConfig {
@@ -39,6 +56,7 @@ impl Default for SimConfig {
             seed: 0,
             detect_races: false,
             use_reference: false,
+            device_threads: crate::cluster::host_parallelism() > 1,
         }
     }
 }
@@ -95,21 +113,31 @@ impl HostData {
 /// of one timed iteration on the paper's testbed).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RoundObservation {
-    /// Inward transfer time.
+    /// Inward transfer time (serial component sum over all streams).
     pub xfer_in_ms: f64,
     /// Kernel execution time.
     pub kernel_ms: f64,
-    /// Outward transfer time.
+    /// Outward transfer time (serial component sum over all streams).
     pub xfer_out_ms: f64,
     /// Synchronisation overhead.
     pub sync_ms: f64,
+    /// Stream-aware critical path through the round's transfers and
+    /// kernel: the max over per-stream chains between sync points.
+    /// Equals the component sum when everything runs on stream 0.
+    pub stream_ms: f64,
     /// Kernel statistics (cycles, transactions, conflicts, …).
     pub kernel_stats: KernelStats,
 }
 
 impl RoundObservation {
-    /// Total round time.
+    /// Total round time: the stream-aware critical path plus `σ`.
     pub fn total_ms(&self) -> f64 {
+        self.stream_ms + self.sync_ms
+    }
+
+    /// The round's serial (no-overlap) time — what it would cost with
+    /// every step on stream 0.
+    pub fn serial_ms(&self) -> f64 {
         self.xfer_in_ms + self.kernel_ms + self.xfer_out_ms + self.sync_ms
     }
 }
@@ -144,6 +172,13 @@ impl SimReport {
         self.rounds.iter().map(|r| r.sync_ms).sum()
     }
 
+    /// The serial (no-overlap) total — the same program's cost with every
+    /// step on stream 0.  `serial_ms() / total_ms()` is the program's
+    /// observed overlap speedup.
+    pub fn serial_ms(&self) -> f64 {
+        self.rounds.iter().map(RoundObservation::serial_ms).sum()
+    }
+
     /// Observed proportion of time spent in transfer — the `ΔE` series of
     /// the paper's Figure 6.
     pub fn transfer_proportion(&self) -> f64 {
@@ -161,7 +196,8 @@ impl SimReport {
     }
 }
 
-/// Runs one round's kernel launch and folds it into the observation.
+/// Runs one round's kernel launch, folds it into the observation and
+/// returns the launch's duration in milliseconds.
 fn run_launch(
     kernel: &atgpu_ir::Kernel,
     device: &Device,
@@ -169,13 +205,14 @@ fn run_launch(
     spec: &GpuSpec,
     config: &SimConfig,
     obs: &mut RoundObservation,
-) -> Result<(), SimError> {
+) -> Result<f64, SimError> {
     let engine =
         if config.use_reference { crate::EngineSel::Reference } else { crate::EngineSel::MicroOp };
     let stats = device.run_kernel_with(kernel, gmem, config.mode, config.detect_races, engine)?;
     obs.kernel_stats = stats;
-    obs.kernel_ms += stats.cycles as f64 / spec.clock_cycles_per_ms;
-    Ok(())
+    let ms = stats.cycles as f64 / spec.clock_cycles_per_ms;
+    obs.kernel_ms += ms;
+    Ok(ms)
 }
 
 /// Simulates `program` on a device built from `machine` + `spec`.
@@ -195,24 +232,48 @@ pub fn run_program(
     let mut rounds = Vec::with_capacity(program.rounds.len());
     for round in &program.rounds {
         let mut obs = RoundObservation { sync_ms: spec.sync_ms, ..RoundObservation::default() };
+        let mut tl = StreamTimeline::new();
         for step in &round.steps {
             match step {
-                HostStep::TransferIn { host: h, host_off, dev, dev_off, words, device: d } => {
+                HostStep::TransferIn {
+                    host: h,
+                    host_off,
+                    dev,
+                    dev_off,
+                    words,
+                    device: d,
+                    stream,
+                } => {
                     if *d != 0 {
                         return Err(SimError::NoSuchDevice { device: *d, devices: 1 });
                     }
                     let src =
                         &host.bufs[h.0 as usize][*host_off as usize..(*host_off + *words) as usize];
                     let dst = gmem.base(dev.0) + dev_off;
-                    obs.xfer_in_ms += xfer.to_device(&mut gmem, dst, src);
+                    let t = xfer.to_device(&mut gmem, dst, src);
+                    obs.xfer_in_ms += t;
+                    tl.advance(*stream, StreamResource::HostToDevice, t);
                 }
                 HostStep::TransferPeer { src, dst, .. } => {
                     // A peer copy needs a second device; route sharded
                     // programs through `cluster::run_cluster_program`.
                     return Err(SimError::NoSuchDevice { device: (*src).max(*dst), devices: 1 });
                 }
+                HostStep::SyncStream { device: d, stream } => {
+                    if *d != 0 {
+                        return Err(SimError::NoSuchDevice { device: *d, devices: 1 });
+                    }
+                    tl.sync_stream(*stream);
+                }
+                HostStep::SyncDevice { device: d } => {
+                    if *d != 0 {
+                        return Err(SimError::NoSuchDevice { device: *d, devices: 1 });
+                    }
+                    tl.sync_device();
+                }
                 HostStep::Launch(kernel) => {
-                    run_launch(kernel, &device, &mut gmem, spec, config, &mut obs)?;
+                    let ms = run_launch(kernel, &device, &mut gmem, spec, config, &mut obs)?;
+                    tl.advance(0, StreamResource::Compute, ms);
                 }
                 HostStep::LaunchSharded { kernel, shards } => {
                     // A sharded launch on a single device is the whole
@@ -221,19 +282,31 @@ pub fn run_program(
                     if let Some(s) = shards.iter().find(|s| s.device != 0) {
                         return Err(SimError::NoSuchDevice { device: s.device, devices: 1 });
                     }
-                    run_launch(kernel, &device, &mut gmem, spec, config, &mut obs)?;
+                    let ms = run_launch(kernel, &device, &mut gmem, spec, config, &mut obs)?;
+                    tl.advance(0, StreamResource::Compute, ms);
                 }
-                HostStep::TransferOut { dev, dev_off, host: h, host_off, words, device: d } => {
+                HostStep::TransferOut {
+                    dev,
+                    dev_off,
+                    host: h,
+                    host_off,
+                    words,
+                    device: d,
+                    stream,
+                } => {
                     if *d != 0 {
                         return Err(SimError::NoSuchDevice { device: *d, devices: 1 });
                     }
                     let src = gmem.base(dev.0) + dev_off;
                     let dst = &mut host.bufs[h.0 as usize]
                         [*host_off as usize..(*host_off + *words) as usize];
-                    obs.xfer_out_ms += xfer.to_host(&gmem, src, dst);
+                    let t = xfer.to_host(&gmem, src, dst);
+                    obs.xfer_out_ms += t;
+                    tl.advance(*stream, StreamResource::DeviceToHost, t);
                 }
             }
         }
+        obs.stream_ms = tl.finish();
         rounds.push(obs);
     }
 

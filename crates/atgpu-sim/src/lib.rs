@@ -58,17 +58,60 @@
 //! | cluster barrier | `ClusterSpec::sync_ms` (`σ`, per round) | every round |
 //!
 //! A `LaunchSharded` step splits one grid into contiguous block ranges
-//! ([`atgpu_ir::Shard`], planned by [`cluster::even_shards`] or by
-//! hand).  Every shard executes against its device's pre-launch snapshot
-//! with writes deferred, and the logs merge in thread-block order
-//! through [`device::apply_write_log`] — the same machinery
+//! ([`atgpu_ir::Shard`], planned by [`cluster::even_shards`], the
+//! speed-weighted [`cluster::plan_shards`], or by hand).  Every shard
+//! executes against its device's pre-launch snapshot with writes
+//! deferred, and the logs merge in thread-block order through
+//! [`device::apply_write_log`] — the same machinery
 //! [`ExecMode::Parallel`] uses — so a sharded launch is **bit-identical**
 //! to the single-device launch regardless of device count, shard
 //! boundaries or thread interleaving (`tests/cluster_differential.rs`
-//! proves this over randomized kernels and plans).  Observed round time
-//! is `σ + max_d(T_in + T_kernel + T_peer + T_out)` — the slowest
-//! device's critical path — mirrored analytically by
-//! [`atgpu_model::cost::cluster_cost`].
+//! proves this over randomized kernels and plans).  With
+//! [`SimConfig::device_threads`] (default on multicore hosts) the shards
+//! of one launch are simulated on their own scoped OS threads — shard
+//! runs only read their device's snapshot, so the launch is
+//! embarrassingly parallel on the host with the identical report
+//! (`tests/stream_differential.rs`).  Observed round time is
+//! `σ + max_d(device d's stream timeline)` — the slowest device's
+//! critical path — mirrored analytically by
+//! [`atgpu_model::cost::cluster_cost`] /
+//! [`atgpu_model::cost::cluster_cost_streamed`].
+//!
+//! ## Stream semantics (copy/compute overlap)
+//!
+//! Transfers carry a **stream** id and rounds may contain
+//! `SyncStream`/`SyncDevice` steps ([`atgpu_ir::HostStep`]); kernel
+//! launches always run on **stream 0**, the compute stream.  Streams
+//! change *when* work is modelled to happen, never *what* happens:
+//!
+//! * **What overlaps** — operations on different streams of one device
+//!   run concurrently unless they share a hardware resource: one
+//!   host→device DMA engine, one compute engine, one device→host DMA
+//!   engine and one peer engine per device
+//!   ([`atgpu_model::StreamResource`]).  So the next chunk's upload
+//!   hides behind this chunk's kernel and download (double buffering),
+//!   but two same-direction copies never overlap each other, and
+//!   everything on one stream is serial.
+//! * **What syncs** — `SyncStream(s)` blocks later steps of the round
+//!   until everything enqueued on `s` finished; `SyncDevice` waits for
+//!   all streams; every round boundary is an implicit device-wide sync.
+//! * **How round time is computed** — each round builds a per-device
+//!   [`atgpu_model::StreamTimeline`]: an operation starts at
+//!   `max(stream ready, resource ready, sync floor)` and the round's
+//!   time is when the last operation finishes — the max over per-stream
+//!   serial chains between sync points.  A program that keeps everything
+//!   on stream 0 reproduces the serial `T_I + kernel + T_O` exactly, and
+//!   [`driver::RoundObservation`] reports both (`stream_ms` vs
+//!   `serial_ms`).
+//!
+//! Functional execution always follows host-step order, so a
+//! mis-pipelined program (kernel overlapping the upload it depends on)
+//! still computes deterministically correct results — its *timing claim*
+//! is simply unrealizable on real hardware.  Keeping dependent work on
+//! one stream (or inserting syncs) is the program's responsibility,
+//! exactly as in CUDA; `tests/stream_differential.rs` proves streamed
+//! programs bit-identical to their serial de-streamed forms across
+//! modes and engines.
 //!
 //! ## Structure
 //!
@@ -116,8 +159,8 @@ pub mod warp;
 pub mod xfer;
 
 pub use cluster::{
-    even_shards, run_cluster_program, Cluster, ClusterRoundObservation, ClusterSimReport,
-    DeviceRoundObservation, ShardStats,
+    even_shards, plan_shards, run_cluster_program, weighted_shards, Cluster,
+    ClusterRoundObservation, ClusterSimReport, DeviceRoundObservation, ShardStats,
 };
 pub use device::{apply_write_log, Device, KernelStats};
 pub use driver::{run_program, HostData, RoundObservation, SimConfig, SimReport};

@@ -1,0 +1,275 @@
+//! Differential property tests for the stream timing model and threaded
+//! cluster dispatch.
+//!
+//! **Streams affect timing only**: a program with arbitrary stream tags
+//! and sync steps must be *bit-identical in outputs* to its serial
+//! de-streamed form ([`atgpu_ir::Program::destreamed`]) for every
+//! `ExecMode` and engine, its per-component times must match exactly,
+//! and its stream-aware total can never exceed the serial total.  The
+//! generator takes a chunked multi-round vecadd program (the
+//! double-buffering shape) and mutates it with random stream
+//! assignments and randomly placed `SyncStream`/`SyncDevice` steps.
+//!
+//! **Threaded dispatch is invisible**: `run_cluster_program` with
+//! per-device OS threads must produce the same outputs, statistics and
+//! round observations as sequential dispatch, bit for bit.
+
+use atgpu_ir::{AddrExpr, AluOp, HostStep, KernelBuilder, Program, ProgramBuilder};
+use atgpu_model::{AtgpuMachine, ClusterSpec, GpuSpec};
+use atgpu_sim::{run_cluster_program, run_program, ExecMode, SimConfig};
+use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn machine() -> AtgpuMachine {
+    AtgpuMachine::new(1 << 12, 4, 64, 1 << 16).unwrap()
+}
+
+fn spec() -> GpuSpec {
+    GpuSpec {
+        k_prime: 2,
+        h_limit: 4,
+        clock_cycles_per_ms: 1000.0,
+        xfer_alpha_ms: 0.1,
+        xfer_beta_ms_per_word: 0.001,
+        sync_ms: 0.05,
+        ..GpuSpec::gtx650_like()
+    }
+}
+
+/// A multi-round chunked `C = A + B` over ping-pong buffers — the
+/// double-buffered shape, all on stream 0 (the mutation assigns streams).
+fn chunked_vecadd(n: u64, chunk: u64) -> (Program, atgpu_ir::HBuf) {
+    let b = 4i64;
+    let rounds = n / chunk;
+    let mut pb = ProgramBuilder::new("chunked");
+    let ha = pb.host_input("A", n);
+    let hb = pb.host_input("B", n);
+    let hc = pb.host_output("C", n);
+    let bufs = [
+        (pb.device_alloc("a0", chunk), pb.device_alloc("b0", chunk), pb.device_alloc("c0", chunk)),
+        (pb.device_alloc("a1", chunk), pb.device_alloc("b1", chunk), pb.device_alloc("c1", chunk)),
+    ];
+    for r in 0..=rounds {
+        pb.begin_round();
+        if r < rounds {
+            let (da, db, _) = bufs[(r % 2) as usize];
+            pb.transfer_in_at(ha, r * chunk, da, 0, chunk);
+            pb.transfer_in_at(hb, r * chunk, db, 0, chunk);
+        }
+        if r > 0 {
+            let (da, db, dc) = bufs[((r - 1) % 2) as usize];
+            let k = chunk / b as u64;
+            let mut kb = KernelBuilder::new(format!("add_r{r}"), k, 3 * b as u64);
+            let g = AddrExpr::block() * b + AddrExpr::lane();
+            kb.glb_to_shr(AddrExpr::lane(), da, g.clone());
+            kb.glb_to_shr(AddrExpr::lane() + b, db, g.clone());
+            kb.ld_shr(0, AddrExpr::lane());
+            kb.ld_shr(1, AddrExpr::lane() + b);
+            kb.alu(AluOp::Add, 2, atgpu_ir::Operand::Reg(0), atgpu_ir::Operand::Reg(1));
+            kb.st_shr(AddrExpr::lane() + 2 * b, atgpu_ir::Operand::Reg(2));
+            kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * b);
+            pb.launch(kb.build());
+            pb.transfer_out_at(dc, 0, hc, (r - 1) * chunk, chunk);
+        }
+    }
+    (pb.build().unwrap(), hc)
+}
+
+/// Randomly re-streams a serial program: every transfer gets a random
+/// stream in `0..4` and random `SyncStream`/`SyncDevice` steps are
+/// sprinkled between steps.  Structural validity is preserved (syncs may
+/// appear anywhere; stream tags never affect the round phases).
+fn restream(p: &Program, seed: u64) -> Program {
+    let mut rng = Rng(seed | 1);
+    let mut out = p.clone();
+    for round in &mut out.rounds {
+        let mut steps = Vec::with_capacity(round.steps.len() * 2);
+        for mut step in round.steps.drain(..) {
+            if rng.below(4) == 0 {
+                steps.push(match rng.below(3) {
+                    0 => HostStep::SyncDevice { device: 0 },
+                    s => HostStep::SyncStream { device: 0, stream: (s * rng.below(4)) as u32 },
+                });
+            }
+            match &mut step {
+                HostStep::TransferIn { stream, .. } | HostStep::TransferOut { stream, .. } => {
+                    *stream = rng.below(4) as u32;
+                }
+                _ => {}
+            }
+            steps.push(step);
+        }
+        if rng.below(3) == 0 {
+            steps.push(HostStep::SyncDevice { device: 0 });
+        }
+        round.steps = steps;
+    }
+    atgpu_ir::validate::validate_program(&out).expect("restreamed program stays valid");
+    out
+}
+
+fn inputs(n: u64, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = Rng(seed | 1);
+    (0..2).map(|_| (0..n).map(|_| rng.below(201) as i64 - 100).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Streamed programs are bit-identical to their serial de-streamed
+    /// form across execution modes and engines; their component times
+    /// match exactly and their stream-aware total never exceeds serial.
+    #[test]
+    fn streamed_equals_destreamed(seed in 0u64..1_000_000_000) {
+        let mut rng = Rng(seed | 1);
+        let chunk = [16u64, 32, 64][rng.below(3) as usize];
+        let n = chunk * (1 + rng.below(5));
+        let (serial, hc) = chunked_vecadd(n, chunk);
+        let streamed = restream(&serial, seed ^ 0xABCD);
+        prop_assert_eq!(&streamed.destreamed(), &serial);
+        let data = inputs(n, seed);
+
+        for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 2 }] {
+            for use_reference in [false, true] {
+                let cfg = SimConfig { mode, use_reference, ..SimConfig::default() };
+                let r_serial =
+                    run_program(&serial, data.clone(), &machine(), &spec(), &cfg).unwrap();
+                let r_streamed =
+                    run_program(&streamed, data.clone(), &machine(), &spec(), &cfg).unwrap();
+
+                // Functional: outputs bit-identical.
+                prop_assert_eq!(
+                    r_serial.output(hc),
+                    r_streamed.output(hc),
+                    "outputs diverged: mode={:?} reference={}",
+                    mode,
+                    use_reference
+                );
+                // Components identical (streams re-schedule, never re-price).
+                prop_assert_eq!(r_serial.transfer_ms(), r_streamed.transfer_ms());
+                prop_assert_eq!(r_serial.kernel_ms(), r_streamed.kernel_ms());
+                prop_assert_eq!(r_serial.serial_ms(), r_streamed.serial_ms());
+                // Overlap can only help.
+                prop_assert!(
+                    r_streamed.total_ms() <= r_serial.total_ms() + 1e-12,
+                    "streamed {} > serial {}",
+                    r_streamed.total_ms(),
+                    r_serial.total_ms()
+                );
+                // Per-round: the serial program's stream time IS its serial sum.
+                for round in &r_serial.rounds {
+                    prop_assert!((round.total_ms() - round.serial_ms()).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// A program whose transfers all sit on stream 0 has no overlap, even
+    /// with sync steps sprinkled in: its total equals the serial total
+    /// exactly (sync on serial chains is a no-op).
+    #[test]
+    fn single_stream_total_is_serial(seed in 0u64..1_000_000_000) {
+        let (serial, _) = chunked_vecadd(64, 32);
+        let mut synced = restream(&serial, seed);
+        // Force everything back onto stream 0 but keep the syncs.
+        for round in &mut synced.rounds {
+            for step in &mut round.steps {
+                if let HostStep::TransferIn { stream, .. } | HostStep::TransferOut { stream, .. } =
+                    step
+                {
+                    *stream = 0;
+                }
+            }
+        }
+        let data = inputs(64, seed);
+        let cfg = SimConfig::default();
+        let a = run_program(&serial, data.clone(), &machine(), &spec(), &cfg).unwrap();
+        let b = run_program(&synced, data, &machine(), &spec(), &cfg).unwrap();
+        prop_assert_eq!(a.total_ms(), b.total_ms());
+        prop_assert_eq!(b.total_ms(), b.serial_ms());
+    }
+
+    /// Threaded per-device dispatch produces the same report as
+    /// sequential dispatch, bit for bit: outputs, statistics and every
+    /// observed time.
+    #[test]
+    fn threaded_cluster_dispatch_is_invisible(seed in 0u64..1_000_000_000) {
+        let mut rng = Rng(seed | 1);
+        let devices = 2 + rng.below(3) as u32; // 2..=4
+        let b = 4u64;
+        let n = b * (u64::from(devices) * (2 + rng.below(6)));
+        let blocks = n / b;
+
+        // A sharded vecadd: every device gets its slice, runs its shard.
+        let mut pb = ProgramBuilder::new("sharded");
+        let ha = pb.host_input("A", n);
+        let hb = pb.host_input("B", n);
+        let hc = pb.host_output("C", n);
+        let da = pb.device_alloc("a", n);
+        let db = pb.device_alloc("b", n);
+        let dc = pb.device_alloc("c", n);
+        let mut kb = KernelBuilder::new("vecadd", blocks, 3 * b);
+        let g = AddrExpr::block() * b as i64 + AddrExpr::lane();
+        kb.glb_to_shr(AddrExpr::lane(), da, g.clone());
+        kb.glb_to_shr(AddrExpr::lane() + b as i64, db, g.clone());
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.ld_shr(1, AddrExpr::lane() + b as i64);
+        kb.alu(AluOp::Add, 2, atgpu_ir::Operand::Reg(0), atgpu_ir::Operand::Reg(1));
+        kb.st_shr(AddrExpr::lane() + 2 * b as i64, atgpu_ir::Operand::Reg(2));
+        kb.shr_to_glb(dc, g, AddrExpr::lane() + 2 * b as i64);
+        let shards = atgpu_sim::even_shards(blocks, devices);
+        pb.begin_round();
+        for s in &shards {
+            let (off, words) = (s.start * b, s.blocks() * b);
+            pb.transfer_in_to(s.device, ha, off, da, off, words);
+            pb.transfer_in_streamed(s.device, 1, hb, off, db, off, words);
+        }
+        pb.launch_sharded(kb.build(), shards.clone());
+        for s in &shards {
+            let (off, words) = (s.start * b, s.blocks() * b);
+            pb.transfer_out_from(s.device, dc, off, hc, off, words);
+        }
+        let p = pb.build().unwrap();
+
+        let cluster = ClusterSpec::homogeneous(devices as usize, spec());
+        let data = inputs(n, seed);
+        let mut reports = Vec::new();
+        for device_threads in [false, true] {
+            for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 2 }] {
+                let cfg = SimConfig { device_threads, mode, ..SimConfig::default() };
+                let r =
+                    run_cluster_program(&p, data.clone(), &machine(), &cluster, &cfg).unwrap();
+                reports.push((device_threads, mode, r));
+            }
+        }
+        // Same mode, threads on/off: the full report is bit-identical.
+        let m = reports.len() / 2;
+        for i in 0..m {
+            let (_, mode, seq) = &reports[i];
+            let (_, _, thr) = &reports[i + m];
+            prop_assert_eq!(seq.output(hc), thr.output(hc), "outputs: mode={:?}", mode);
+            prop_assert_eq!(
+                &seq.rounds,
+                &thr.rounds,
+                "round observations diverged: mode={:?}",
+                mode
+            );
+        }
+    }
+}
