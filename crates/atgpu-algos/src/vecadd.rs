@@ -99,6 +99,49 @@ impl VecAdd {
             outputs: vec![hc],
         })
     }
+
+    /// Builds the **repeated-launch** form: inputs staged once, then the
+    /// *same* kernel launched once per round for `launches` rounds
+    /// (idempotent — every launch recomputes the same `C`), then one
+    /// download.  This is the cross-launch kernel-cache stress shape:
+    /// every launch after the first hits the compiled program and, the
+    /// kernel being replay-eligible, its recorded timing trace.
+    pub fn build_relaunched(
+        &self,
+        machine: &AtgpuMachine,
+        launches: u64,
+    ) -> Result<BuiltProgram, AlgosError> {
+        if self.n == 0 || launches == 0 {
+            return Err(AlgosError::InvalidSize {
+                reason: "empty vectors or zero launches".into(),
+            });
+        }
+        let k = machine.blocks_for(self.n);
+        let n = self.n;
+
+        let mut pb = ProgramBuilder::new("vecadd_relaunched");
+        let ha = pb.host_input("A", n);
+        let hb = pb.host_input("B", n);
+        let hc = pb.host_output("C", n);
+        let da = pb.device_alloc("a", n);
+        let db = pb.device_alloc("b", n);
+        let dc = pb.device_alloc("c", n);
+
+        pb.begin_round();
+        pb.transfer_in(ha, da, n);
+        pb.transfer_in(hb, db, n);
+        for _ in 0..launches {
+            pb.launch(vecadd_kernel(k, machine.b, da, db, dc));
+            pb.begin_round();
+        }
+        pb.transfer_out(dc, hc, n);
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.a.clone(), self.b.clone()],
+            outputs: vec![hc],
+        })
+    }
 }
 
 /// Builds the vecadd kernel: `k` blocks stage both operand rows into
@@ -316,6 +359,27 @@ mod tests {
                 assert!(xfer.iter().all(|&t| t > 0.0), "devices={devices} n={n}");
             }
         }
+    }
+
+    #[test]
+    fn relaunched_build_verifies_and_hits_cache() {
+        let m = test_machine();
+        let w = VecAdd::new(256, 5);
+        let built = w.build_relaunched(&m, 10).unwrap();
+        assert_eq!(built.program.num_rounds(), 11); // stage + 10 launches, out in the last
+        let run = |cfg: &SimConfig| {
+            atgpu_sim::run_program(&built.program, built.inputs.clone(), &m, &test_spec(), cfg)
+                .unwrap()
+        };
+        let on = run(&SimConfig::default());
+        assert_eq!(on.output(built.outputs[0]), w.host_reference());
+        // 1 compile, 9 cached launches.
+        assert_eq!((on.device_stats.cache.misses, on.device_stats.cache.hits), (1, 9));
+        // The kill-switch reproduces every observation bit for bit.
+        let off = run(&SimConfig { cache: false, ..SimConfig::default() });
+        assert_eq!(on.rounds, off.rounds);
+        assert_eq!(off.device_stats.cache, Default::default());
+        assert_eq!(on.output(built.outputs[0]), off.output(built.outputs[0]));
     }
 
     #[test]

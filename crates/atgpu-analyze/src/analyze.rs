@@ -590,6 +590,82 @@ mod tests {
         assert!((streamed.total_ms - serial.total()).abs() < 1e-12);
     }
 
+    /// `Program::destreamed()` must strip every `SyncStream`/`SyncDevice`
+    /// step along with the stream tags, so its schedule prices **exactly**
+    /// the plain serial Expression-(2) cost under `streamed_evaluate` —
+    /// a leftover sync would survive as a `StreamItem` and could only
+    /// coincidentally match the serial sum.
+    #[test]
+    fn destreamed_program_prices_exactly_serial() {
+        // A genuinely overlapped program: upload on stream 1 under the
+        // kernel, explicit syncs, split downloads on two streams.
+        let mut pb = ProgramBuilder::new("overlapped");
+        let h = pb.host_input("A", 64);
+        let o = pb.host_output("C", 64);
+        let d = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.transfer_in_streamed(0, 1, h, 0, d, 0, 48);
+        let mut kb = KernelBuilder::new("k", 64, 0);
+        kb.repeat(64, |kb| {
+            kb.mov(0, atgpu_ir::Operand::Imm(1));
+        });
+        pb.launch(kb.build());
+        pb.sync_stream(0, 1);
+        pb.transfer_out_streamed(0, 2, d, 0, o, 0, 16);
+        pb.begin_round();
+        pb.sync_device(0);
+        pb.transfer_out_streamed(0, 1, d, 16, o, 16, 16);
+        let p = pb.build().unwrap();
+        assert!(p.uses_streams());
+
+        let d = p.destreamed();
+        // No sync step survives de-streaming, in any round.
+        assert!(d.rounds.iter().flat_map(|r| r.steps.iter()).all(|s| !matches!(
+            s,
+            atgpu_ir::HostStep::SyncStream { .. } | atgpu_ir::HostStep::SyncDevice { .. }
+        )));
+        assert!(!d.uses_streams());
+        let sched = stream_schedule(&d);
+        assert!(sched
+            .iter()
+            .flat_map(|r| r.items.iter())
+            .all(|i| !matches!(i, StreamItem::SyncStream { .. } | StreamItem::SyncDevice)));
+
+        // Bit-exact serial pricing: the de-streamed schedule through the
+        // stream scheduler equals the plain serial cost function.
+        let spec = atgpu_model::GpuSpec::gtx650_like();
+        let metrics = analyze_program(&d, &machine()).unwrap().metrics();
+        let serial = atgpu_model::cost::evaluate(
+            atgpu_model::cost::CostModel::GpuCost,
+            &spec.derived_cost_params(),
+            &machine(),
+            &spec,
+            &metrics,
+        )
+        .unwrap();
+        let streamed = atgpu_model::cost::streamed_evaluate(
+            &spec.derived_cost_params(),
+            &machine(),
+            &spec,
+            &metrics,
+            &sched,
+        )
+        .unwrap();
+        assert_eq!(streamed.total_ms, serial.total(), "de-streamed cost must be exactly serial");
+
+        // And the original streamed form is strictly cheaper (overlap).
+        let orig_metrics = analyze_program(&p, &machine()).unwrap().metrics();
+        let overlapped = atgpu_model::cost::streamed_evaluate(
+            &spec.derived_cost_params(),
+            &machine(),
+            &spec,
+            &orig_metrics,
+            &stream_schedule(&p),
+        )
+        .unwrap();
+        assert!(overlapped.total_ms < serial.total());
+    }
+
     #[test]
     fn stream_schedules_split_by_device() {
         let mut pb = ProgramBuilder::new("multi");

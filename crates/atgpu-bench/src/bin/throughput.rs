@@ -6,8 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p atgpu-bench --bin throughput -- \
-//!     [--out BENCH_3.json] [--fast] \
-//!     [--compare BENCH_2.json] [--tolerance 0.85]
+//!     [--out BENCH_4.json] [--fast] \
+//!     [--compare BENCH_3.json] [--tolerance 0.85]
 //! ```
 //!
 //! `--fast` runs one repetition per workload (CI smoke); the default
@@ -15,8 +15,9 @@
 //! **regression gate**: after measuring, every workload recorded in the
 //! baseline JSON is checked against the current run, and the process
 //! exits nonzero if any workload's blocks/s drops below
-//! `tolerance × baseline` (or disappears).  Workloads new in the current
-//! run are reported but not gated, so baselines can grow over time.
+//! `tolerance × baseline` (or disappears — see
+//! [`atgpu_bench::gate`]).  Workloads new in the current run are
+//! reported but not gated, so baselines can grow over time.
 //!
 //! Blocks/s are **host-normalized** before comparison: each workload's
 //! engine throughput is divided by the *same run's* reference-interpreter
@@ -27,14 +28,20 @@
 //! drift hour to hour, which this repo's own BENCH_*.json history shows
 //! on untouched code), so an un-normalized gate would flake on machine
 //! weather instead of catching regressions.
+//!
+//! Cross-launch kernel-cache hit rates are reported per workload, and
+//! the `relaunch_vecadd` pair measures the cache's effect directly: the
+//! same repeated-launch program with the cache on (default) vs the
+//! `SimConfig::cache` kill-switch off.
 
 use atgpu_algos::ooc::OocVecAdd;
 use atgpu_algos::reduce::{Reduce, ReduceVariant};
 use atgpu_algos::workload::BuiltProgram;
 use atgpu_algos::{matmul::MatMul, vecadd::VecAdd, Workload};
 use atgpu_bench::bench_config;
+use atgpu_bench::gate;
 use atgpu_model::ClusterSpec;
-use atgpu_sim::{run_cluster_program, run_program, SimConfig};
+use atgpu_sim::{run_cluster_program, run_program, CacheStats, SimConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -43,6 +50,8 @@ struct Measurement {
     blocks: u64,
     secs_reference: f64,
     secs_engine: f64,
+    /// Kernel-cache counters of the engine run.
+    cache: CacheStats,
 }
 
 impl Measurement {
@@ -55,6 +64,14 @@ impl Measurement {
     /// number the gate compares).
     fn normalized(&self) -> f64 {
         self.secs_reference / self.secs_engine
+    }
+
+    fn gate_entry(&self) -> gate::Entry {
+        gate::Entry {
+            name: self.name.to_string(),
+            engine_bps: self.engine_bps(),
+            normalized: self.normalized(),
+        }
     }
 }
 
@@ -73,25 +90,36 @@ fn program_blocks(built: &BuiltProgram) -> u64 {
         .sum()
 }
 
-fn measure_built(built: &BuiltProgram, name: &'static str, reps: usize) -> Measurement {
+fn measure_built_with(
+    built: &BuiltProgram,
+    name: &'static str,
+    reps: usize,
+    engine_cfg: &SimConfig,
+) -> Measurement {
     let cfg = bench_config();
     let blocks = program_blocks(built);
-    let time_mode = |sim: &SimConfig| -> f64 {
+    let time_mode = |sim: &SimConfig| -> (f64, CacheStats) {
         let mut best = f64::INFINITY;
+        let mut cache = CacheStats::default();
         for _ in 0..reps {
             let inputs = built.inputs.clone();
             let t = Instant::now();
             let r = run_program(&built.program, inputs, &cfg.machine, &cfg.spec, sim)
                 .expect("simulation succeeds");
             let dt = t.elapsed().as_secs_f64();
+            cache = r.device_stats.cache;
             std::hint::black_box(r);
             best = best.min(dt);
         }
-        best
+        (best, cache)
     };
-    let engine = time_mode(&SimConfig::default());
-    let reference = time_mode(&SimConfig { use_reference: true, ..SimConfig::default() });
-    Measurement { name, blocks, secs_reference: reference, secs_engine: engine }
+    let (engine, cache) = time_mode(engine_cfg);
+    let (reference, _) = time_mode(&SimConfig { use_reference: true, ..*engine_cfg });
+    Measurement { name, blocks, secs_reference: reference, secs_engine: engine, cache }
+}
+
+fn measure_built(built: &BuiltProgram, name: &'static str, reps: usize) -> Measurement {
+    measure_built_with(built, name, reps, &SimConfig::default())
 }
 
 fn measure(w: &dyn Workload, name: &'static str, reps: usize) -> Measurement {
@@ -109,104 +137,30 @@ fn measure_cluster(n: u64, devices: u32, name: &'static str, reps: usize) -> Mea
     let cluster = ClusterSpec::homogeneous(devices as usize, cfg.spec);
     let blocks = cfg.machine.blocks_for(n);
 
-    let time_mode = |sim: &SimConfig| -> f64 {
+    let time_mode = |sim: &SimConfig| -> (f64, CacheStats) {
         let mut best = f64::INFINITY;
+        let mut cache = CacheStats::default();
         for _ in 0..reps {
             let inputs = built.inputs.clone();
             let t = Instant::now();
             let r = run_cluster_program(&built.program, inputs, &cfg.machine, &cluster, sim)
                 .expect("cluster simulation succeeds");
             let dt = t.elapsed().as_secs_f64();
+            cache = r.device_stats_total().cache;
             std::hint::black_box(r);
             best = best.min(dt);
         }
-        best
+        (best, cache)
     };
 
-    let engine = time_mode(&SimConfig::default());
-    let reference = time_mode(&SimConfig { use_reference: true, ..SimConfig::default() });
-    Measurement { name, blocks, secs_reference: reference, secs_engine: engine }
-}
-
-/// Extracts `(name, engine_blocks_per_sec, normalized)` triples from a
-/// baseline JSON previously written by this binary.  The format is our
-/// own (flat, one benchmark object per line), so a targeted scan beats
-/// dragging in a JSON dependency the build doesn't have.
-fn parse_baseline(text: &str) -> Vec<(String, f64, f64)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let Some(name) = field_str(line, "name") else { continue };
-        let Some(bps) = field_num(line, "engine_blocks_per_sec") else { continue };
-        let Some(norm) = field_num(line, "speedup") else { continue };
-        out.push((name, bps, norm));
-    }
-    out
-}
-
-fn field_str(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\": \"");
-    let start = line.find(&pat)? + pat.len();
-    let end = line[start..].find('"')? + start;
-    Some(line[start..end].to_string())
-}
-
-fn field_num(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
-}
-
-/// Gates the current run against a baseline: every baseline workload's
-/// host-normalized blocks/s must stay at `tolerance × baseline` or
-/// better.  Returns the names of regressed (or missing) workloads.
-fn compare(runs: &[Measurement], baseline_path: &str, tolerance: f64) -> Vec<String> {
-    let text = std::fs::read_to_string(baseline_path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-    let baseline = parse_baseline(&text);
-    assert!(!baseline.is_empty(), "no benchmarks found in {baseline_path}");
-    let mut failures = Vec::new();
-    println!("\nperf gate vs {baseline_path} (tolerance {tolerance}, host-normalized blocks/s):");
-    for (name, base_bps, base_norm) in &baseline {
-        match runs.iter().find(|m| m.name == name.as_str()) {
-            None => {
-                println!(
-                    "  FAIL {name:<24} missing from current run (baseline {base_bps:.0} blk/s)"
-                );
-                failures.push(name.clone());
-            }
-            Some(m) => {
-                let ratio = m.normalized() / base_norm;
-                let raw = m.engine_bps() / base_bps;
-                if ratio < tolerance {
-                    println!(
-                        "  FAIL {name:<24} normalized {:.2} vs baseline {base_norm:.2} \
-                         ({ratio:.2}x < {tolerance}; raw blk/s {raw:.2}x)",
-                        m.normalized()
-                    );
-                    failures.push(name.clone());
-                } else {
-                    println!(
-                        "  ok   {name:<24} normalized {:.2} vs baseline {base_norm:.2} \
-                         ({ratio:.2}x; raw blk/s {raw:.2}x)",
-                        m.normalized()
-                    );
-                }
-            }
-        }
-    }
-    for m in runs {
-        if !baseline.iter().any(|(n, ..)| n == m.name) {
-            println!("  new  {:<24} {:>12.0} blk/s (not gated)", m.name, m.engine_bps());
-        }
-    }
-    failures
+    let (engine, cache) = time_mode(&SimConfig::default());
+    let (reference, _) = time_mode(&SimConfig { use_reference: true, ..SimConfig::default() });
+    Measurement { name, blocks, secs_reference: reference, secs_engine: engine, cache }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
     let mut reps = 5usize;
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.85f64;
@@ -251,6 +205,15 @@ fn main() {
     let ooc_streamed = OocVecAdd::new(1 << 18, 1 << 15, 1)
         .build_streamed(&bench_config().machine)
         .expect("streamed ooc builds");
+    // The repeated-launch shape the cross-launch kernel cache exists
+    // for: a small replay-eligible grid launched 400 times, so per-launch
+    // compile + first-block warmup dominate unless cached.
+    let relaunch = {
+        let cfg = bench_config();
+        VecAdd::new(8 * cfg.machine.b, 1)
+            .build_relaunched(&cfg.machine, 400)
+            .expect("relaunched vecadd builds")
+    };
     // Named, re-runnable measurements: the gate re-measures regressed
     // entries instead of trusting one sample.
     type MeasureFn<'a> = Box<dyn Fn(usize) -> Measurement + 'a>;
@@ -271,6 +234,18 @@ fn main() {
             "ooc_vecadd_streamed",
             Box::new(|r| measure_built(&ooc_streamed, "ooc_vecadd_streamed", r)),
         ),
+        ("relaunch_vecadd", Box::new(|r| measure_built(&relaunch, "relaunch_vecadd", r))),
+        (
+            "relaunch_vecadd_nocache",
+            Box::new(|r| {
+                measure_built_with(
+                    &relaunch,
+                    "relaunch_vecadd_nocache",
+                    r,
+                    &SimConfig { cache: false, ..SimConfig::default() },
+                )
+            }),
+        ),
     ];
     let mut runs: Vec<Measurement> = benches.iter().map(|(_, b)| b(reps)).collect();
 
@@ -280,15 +255,16 @@ fn main() {
         let bps_eng = m.engine_bps();
         let speedup = m.secs_reference / m.secs_engine;
         println!(
-            "{:<20} blocks={:<8} reference={:>9.2} blk/s  engine={:>9.2} blk/s  speedup={:.2}x",
-            m.name, m.blocks, bps_ref, bps_eng, speedup
+            "{:<24} blocks={:<8} reference={:>9.2} blk/s  engine={:>9.2} blk/s  speedup={:.2}x  \
+             cache {}H/{}M",
+            m.name, m.blocks, bps_ref, bps_eng, speedup, m.cache.hits, m.cache.misses
         );
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"blocks\": {}, \
              \"reference_secs\": {:.6}, \"engine_secs\": {:.6}, \
              \"reference_blocks_per_sec\": {:.2}, \"engine_blocks_per_sec\": {:.2}, \
-             \"speedup\": {:.3}}}{}",
+             \"speedup\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}}}{}",
             m.name,
             m.blocks,
             m.secs_reference,
@@ -296,6 +272,8 @@ fn main() {
             bps_ref,
             bps_eng,
             speedup,
+            m.cache.hits,
+            m.cache.misses,
             if i + 1 < runs.len() { "," } else { "" }
         );
     }
@@ -303,13 +281,42 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path}");
 
+    // Cache summary: overall hit rate plus the direct on/off comparison
+    // on the repeated-launch workload (printed for the CI job summary).
+    let (hits, misses) =
+        runs.iter().fold((0u64, 0u64), |(h, m), r| (h + r.cache.hits, m + r.cache.misses));
+    println!(
+        "kernel-cache: {hits} hits / {misses} misses ({:.1}% hit rate across workloads)",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
+    );
+    let on = runs.iter().find(|m| m.name == "relaunch_vecadd");
+    let off = runs.iter().find(|m| m.name == "relaunch_vecadd_nocache");
+    if let (Some(on), Some(off)) = (on, off) {
+        println!(
+            "kernel-cache speedup (relaunch_vecadd, cache on vs off): {:.2}x \
+             ({:.0} vs {:.0} blk/s; hit rate {:.1}%)",
+            on.engine_bps() / off.engine_bps(),
+            on.engine_bps(),
+            off.engine_bps(),
+            100.0 * on.cache.hit_rate()
+        );
+    }
+
     if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base = gate::parse_baseline(&text);
+        assert!(!base.is_empty(), "no benchmarks found in {path}");
+        let entries = |runs: &[Measurement]| -> Vec<gate::Entry> {
+            runs.iter().map(Measurement::gate_entry).collect()
+        };
+        println!("\nperf gate vs {path} (tolerance {tolerance}, host-normalized blocks/s):");
         // A shared host's memory-bandwidth weather moves individual
         // samples past any sane tolerance, so a regression must
         // *reproduce*: entries that fail are re-measured (keeping their
         // best normalized result) up to two more times before the gate
         // fails — a real slowdown fails every retry.
-        let mut failures = compare(&runs, &path, tolerance);
+        let mut failures = gate::failures(&entries(&runs), &base, tolerance);
         for attempt in 0..2 {
             if failures.is_empty() {
                 break;
@@ -325,11 +332,13 @@ fn main() {
                 }
                 let fresh = b(reps);
                 let slot = runs.iter_mut().find(|m| m.name == fresh.name).expect("measured name");
+                // The best-of rule of `gate::keep_best`, applied to the
+                // full measurement.
                 if fresh.normalized() > slot.normalized() {
                     *slot = fresh;
                 }
             }
-            failures = compare(&runs, &path, tolerance);
+            failures = gate::failures(&entries(&runs), &base, tolerance);
         }
         if !failures.is_empty() {
             eprintln!(

@@ -26,10 +26,172 @@ pub fn bench_config() -> ExpConfig {
     cfg
 }
 
+pub mod gate {
+    //! The perf-regression gate shared by the `throughput` binary and its
+    //! unit tests: baseline parsing and the pass/fail decision, kept free
+    //! of measurement so both halves are testable.
+    //!
+    //! A workload **fails** the gate when its host-normalized blocks/s
+    //! drops below `tolerance × baseline`, *or when it is present in the
+    //! baseline but missing from the current run* — a silently deleted
+    //! benchmark must not pass as "no regression".
+
+    /// One workload's numbers (from a baseline file or the current run).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Entry {
+        /// Workload name.
+        pub name: String,
+        /// Raw engine throughput (reported, not gated).
+        pub engine_bps: f64,
+        /// Host-normalized throughput: engine blocks/s over the same
+        /// run's reference-interpreter blocks/s — the gated number.
+        pub normalized: f64,
+    }
+
+    /// Extracts entries from a baseline JSON previously written by the
+    /// `throughput` binary.  The format is our own (flat, one benchmark
+    /// object per line), so a targeted scan beats dragging in a JSON
+    /// dependency the build doesn't have.
+    pub fn parse_baseline(text: &str) -> Vec<Entry> {
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let Some(name) = field_str(line, "name") else { continue };
+            let Some(engine_bps) = field_num(line, "engine_blocks_per_sec") else { continue };
+            let Some(normalized) = field_num(line, "speedup") else { continue };
+            out.push(Entry { name, engine_bps, normalized });
+        }
+        out
+    }
+
+    fn field_str(line: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\": \"");
+        let start = line.find(&pat)? + pat.len();
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    }
+
+    /// Scans a flat benchmark line for a numeric field.
+    pub fn field_num(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    }
+
+    /// Gates `runs` against `baseline`: returns the names of regressed
+    /// **or missing** workloads (empty = gate passes), printing one line
+    /// per verdict.  Workloads new in the current run are reported but
+    /// not gated, so baselines can grow over time.
+    pub fn failures(runs: &[Entry], baseline: &[Entry], tolerance: f64) -> Vec<String> {
+        let mut failures = Vec::new();
+        for base in baseline {
+            match runs.iter().find(|m| m.name == base.name) {
+                None => {
+                    println!(
+                        "  FAIL {:<24} missing from current run (baseline {:.0} blk/s)",
+                        base.name, base.engine_bps
+                    );
+                    failures.push(base.name.clone());
+                }
+                Some(m) => {
+                    let ratio = m.normalized / base.normalized;
+                    let raw = m.engine_bps / base.engine_bps;
+                    if ratio < tolerance {
+                        println!(
+                            "  FAIL {:<24} normalized {:.2} vs baseline {:.2} \
+                             ({ratio:.2}x < {tolerance}; raw blk/s {raw:.2}x)",
+                            m.name, m.normalized, base.normalized
+                        );
+                        failures.push(base.name.clone());
+                    } else {
+                        println!(
+                            "  ok   {:<24} normalized {:.2} vs baseline {:.2} \
+                             ({ratio:.2}x; raw blk/s {raw:.2}x)",
+                            m.name, m.normalized, base.normalized
+                        );
+                    }
+                }
+            }
+        }
+        for m in runs {
+            if !baseline.iter().any(|b| b.name == m.name) {
+                println!("  new  {:<24} {:>12.0} blk/s (not gated)", m.name, m.engine_bps);
+            }
+        }
+        failures
+    }
+
+    /// The re-measure-best-of rule: a retried workload keeps its **best**
+    /// normalized result, so a one-off scheduling hiccup cannot fail the
+    /// gate while a real slowdown fails every retry.
+    pub fn keep_best(slot: &mut Entry, fresh: Entry) {
+        if fresh.normalized > slot.normalized {
+            *slot = fresh;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::gate::{failures, keep_best, parse_baseline, Entry};
+
     #[test]
     fn bench_config_is_deterministic() {
         assert!(super::bench_config().sim.noise.is_none());
+    }
+
+    fn e(name: &str, bps: f64, norm: f64) -> Entry {
+        Entry { name: name.into(), engine_bps: bps, normalized: norm }
+    }
+
+    #[test]
+    fn parse_baseline_reads_throughput_json() {
+        let text = r#"{
+  "benchmarks": [
+    {"name": "vecadd", "blocks": 100, "reference_secs": 1.0, "engine_secs": 0.5, "reference_blocks_per_sec": 100.00, "engine_blocks_per_sec": 200.00, "speedup": 2.000},
+    {"name": "matmul", "blocks": 10, "engine_blocks_per_sec": 50.00, "speedup": 1.500}
+  ]
+}"#;
+        let b = parse_baseline(text);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], e("vecadd", 200.0, 2.0));
+        assert_eq!(b[1], e("matmul", 50.0, 1.5));
+    }
+
+    /// The doc-comment promise "or disappears": a workload recorded in
+    /// the baseline but absent from the current run must trip the gate.
+    #[test]
+    fn missing_workload_trips_the_gate() {
+        let baseline = [e("vecadd", 200.0, 2.0), e("matmul", 50.0, 1.5)];
+        let runs = [e("vecadd", 210.0, 2.1)];
+        assert_eq!(failures(&runs, &baseline, 0.85), vec!["matmul".to_string()]);
+        // And an empty run fails every baseline entry.
+        assert_eq!(failures(&[], &baseline, 0.85).len(), 2);
+    }
+
+    #[test]
+    fn regression_and_pass_thresholds() {
+        let baseline = [e("vecadd", 200.0, 2.0)];
+        // At exactly tolerance the gate passes (>= semantics).
+        assert!(failures(&[e("vecadd", 10.0, 1.7)], &baseline, 0.85).is_empty());
+        // Below tolerance it fails — normalized is gated, raw is not.
+        assert_eq!(failures(&[e("vecadd", 500.0, 1.6)], &baseline, 0.85), vec!["vecadd"]);
+        // New workloads are reported but never gated.
+        assert!(failures(&[e("vecadd", 10.0, 2.0), e("new", 1.0, 0.1)], &baseline, 0.85).is_empty());
+    }
+
+    /// The re-measure path keeps the best-of result: an improved retry
+    /// replaces the slot, a worse one is discarded.
+    #[test]
+    fn keep_best_retains_maximum_normalized() {
+        let baseline = [e("vecadd", 200.0, 2.0)];
+        let mut slot = e("vecadd", 100.0, 1.2); // failing sample
+        assert_eq!(failures(std::slice::from_ref(&slot), &baseline, 0.85), vec!["vecadd"]);
+        keep_best(&mut slot, e("vecadd", 90.0, 1.1)); // worse retry: discarded
+        assert_eq!(slot.normalized, 1.2);
+        keep_best(&mut slot, e("vecadd", 180.0, 1.9)); // better retry: kept
+        assert_eq!(slot.normalized, 1.9);
+        assert!(failures(std::slice::from_ref(&slot), &baseline, 0.85).is_empty());
     }
 }

@@ -613,6 +613,78 @@ pub fn e8_streams(cfg: &ExpConfig) -> Result<String, AlgosError> {
     Ok(out)
 }
 
+/// E9 — the cross-launch kernel cache: the same replay-eligible kernel
+/// relaunched `L` times (the shape every sweep harness in this crate
+/// produces), simulated with the cache on vs the `SimConfig::cache`
+/// kill-switch off.  Cached launches skip both kernel lowering and
+/// first-block timing-replay warmup, so host throughput rises with `L`
+/// while every modeled observation stays **bit-identical** (asserted
+/// here, proven at scale by `tests/cache_differential.rs`).
+pub fn e9_kernel_cache(cfg: &ExpConfig) -> Result<String, AlgosError> {
+    use atgpu_sim::SimConfig;
+    use std::time::Instant;
+
+    let quick = matches!(cfg.scale, crate::runner::Scale::Quick);
+    let machine = &cfg.machine;
+    // A small grid keeps per-launch compile cost visible — the regime
+    // the E-series sweeps (thousands of small launches) live in.
+    let n = 8 * machine.b;
+    let w = VecAdd::new(n, 13);
+    let launch_counts: &[u64] = if quick { &[25, 100, 400] } else { &[100, 400, 1600] };
+
+    let mut rows = Vec::new();
+    for &launches in launch_counts {
+        let built = w.build_relaunched(machine, launches)?;
+        let time_with = |sim: &SimConfig| -> Result<(f64, atgpu_sim::SimReport), AlgosError> {
+            let mut best = f64::INFINITY;
+            let mut report = None;
+            for _ in 0..3 {
+                let inputs = built.inputs.clone();
+                let t0 = Instant::now();
+                let r = run_program(&built.program, inputs, machine, &cfg.spec, sim)?;
+                best = best.min(t0.elapsed().as_secs_f64());
+                report = Some(r);
+            }
+            Ok((best, report.expect("three repetitions ran")))
+        };
+        let (secs_on, r_on) = time_with(&SimConfig { cache: true, ..cfg.sim })?;
+        let (secs_off, r_off) = time_with(&SimConfig { cache: false, ..cfg.sim })?;
+        // The cache may only change host wall-clock — never observations.
+        assert_eq!(r_on.rounds, r_off.rounds, "cache changed modeled results");
+        let blocks = launches * machine.blocks_for(n);
+        let c = r_on.device_stats.cache;
+        rows.push(vec![
+            launches.to_string(),
+            format!("{:.0}", blocks as f64 / secs_off.max(1e-12)),
+            format!("{:.0}", blocks as f64 / secs_on.max(1e-12)),
+            format!("{:.2}x", secs_off / secs_on.max(1e-12)),
+            format!("{}/{}", c.hits, c.misses),
+            format!("{:.1}%", 100.0 * c.hit_rate()),
+        ]);
+    }
+
+    let mut out = format!(
+        "### E9 — cross-launch kernel cache (vecadd, n = {n}, {} blocks/launch, repeated launches)\n\n",
+        machine.blocks_for(n)
+    );
+    out.push_str(&markdown_table(
+        &[
+            "launches",
+            "cache off (blk/s)",
+            "cache on (blk/s)",
+            "speedup",
+            "hits/misses",
+            "hit rate",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nModeled rounds are bit-identical cache on vs off (asserted); the speedup is pure \
+         host wall-clock from skipping recompilation and timing-replay warmup.\n",
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,6 +800,26 @@ mod tests {
             );
         } else {
             assert!(wall > 0.5, "threaded dispatch slower than half sequential: {wall}\n{s}");
+        }
+    }
+
+    #[test]
+    fn e9_cache_sweep_reports_hits_and_identical_results() {
+        let s = e9_kernel_cache(&cfg()).unwrap();
+        assert!(s.contains("cross-launch kernel cache"), "{s}");
+        // Exact counters for the largest quick sweep point: 400 launches
+        // = 1 compile + 399 hits.
+        assert!(s.contains("399/1"), "{s}");
+        assert!(s.contains("bit-identical"));
+        // Every sweep point reports a hit rate above 90%.
+        for line in s.lines().filter(|l| l.contains("% |")) {
+            let rate: f64 = line
+                .rsplit('|')
+                .nth(1)
+                .and_then(|c| c.trim().strip_suffix('%'))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0);
+            assert!(rate > 90.0, "hit rate {rate} too low in: {line}");
         }
     }
 

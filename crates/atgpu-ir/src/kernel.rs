@@ -7,6 +7,7 @@
 
 use crate::instr::Instr;
 use crate::Reg;
+use std::hash::{Hash, Hasher};
 
 /// A kernel definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +30,29 @@ impl Kernel {
     #[inline]
     pub fn blocks(&self) -> u64 {
         self.grid.0 * self.grid.1
+    }
+
+    /// A stable **structural** hash of the kernel — the compile-relevant
+    /// shape only: the instruction body, the launch grid and the
+    /// shared-memory footprint.  The kernel *name* is deliberately
+    /// excluded (it is a diagnostic label; two kernels differing only in
+    /// name lower to identical programs), so renamed kernels share one
+    /// cross-launch cache entry while any instruction, grid or
+    /// shared-size mutation changes the key.
+    ///
+    /// The hash is FNV-1a over the `Hash` encoding of the body: unkeyed
+    /// (unlike `DefaultHasher`, which may be randomly seeded), so the
+    /// same kernel hashes identically in every process of the same
+    /// build.  The `Hash` encoding writes lengths and discriminants in
+    /// native width/endianness, so keys are **per-platform** — fine for
+    /// the in-process cache they address; do not persist them across
+    /// heterogeneous machines.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        self.body.hash(&mut h);
+        self.grid.hash(&mut h);
+        self.shared_words.hash(&mut h);
+        h.finish()
     }
 
     /// Highest register index referenced anywhere in the body, if any.
@@ -119,6 +143,31 @@ impl Kernel {
     }
 }
 
+/// FNV-1a over the byte stream the `Hash` impls feed it — a fixed,
+/// unkeyed function so [`Kernel::cache_key`] is reproducible run to run.
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 fn operand_reg(op: crate::expr::Operand) -> Option<Reg> {
     match op {
         crate::expr::Operand::Reg(r) => Some(r),
@@ -191,6 +240,46 @@ mod tests {
     fn size_counts_all_nodes() {
         // glb_to_shr + repeat + ld_shr + pred + alu + st_shr = 6
         assert_eq!(sample().size(), 6);
+    }
+
+    #[test]
+    fn cache_key_ignores_name_but_sees_structure() {
+        let k = sample();
+        let mut renamed = k.clone();
+        renamed.name = "totally-different".into();
+        assert_eq!(k.cache_key(), renamed.cache_key(), "name must not affect the key");
+
+        // Mutating one instruction changes the key.
+        let mut mutated = k.clone();
+        mutated.body[2] = Instr::st_shr(AddrExpr::lane(), Operand::Reg(6));
+        assert_ne!(k.cache_key(), mutated.cache_key(), "instr mutation must change the key");
+
+        // A mutation deep inside a nested body changes the key too.
+        let mut deep = k.clone();
+        if let Instr::Repeat { body, .. } = &mut deep.body[1] {
+            if let Instr::Pred { then_body, .. } = &mut body[1] {
+                then_body[0] =
+                    Instr::Alu { op: AluOp::Sub, dst: 7, a: Operand::Reg(5), b: Operand::Imm(1) };
+            }
+        }
+        assert_ne!(k.cache_key(), deep.cache_key(), "nested mutation must change the key");
+
+        // Grid and shared footprint are part of the key.
+        let mut regrid = k.clone();
+        regrid.grid = (4, 1);
+        assert_ne!(k.cache_key(), regrid.cache_key());
+        let mut reshared = k.clone();
+        reshared.shared_words = 64;
+        assert_ne!(k.cache_key(), reshared.cache_key());
+    }
+
+    #[test]
+    fn cache_key_is_deterministic() {
+        // FNV-1a is unkeyed: the same kernel hashes identically in every
+        // process of the same build (no per-process hasher seeding).
+        let a = sample().cache_key();
+        let b = sample().cache_key();
+        assert_eq!(a, b);
     }
 
     #[test]

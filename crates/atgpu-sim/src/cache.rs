@@ -1,0 +1,342 @@
+//! The cross-launch kernel cache: keyed compiled programs plus recorded
+//! block-invariant timing traces, reused across launches the way real
+//! drivers cache PTX→SASS compilations.
+//!
+//! ## Keying rule
+//!
+//! A cache entry is addressed by everything [`CompiledKernel::compile`]
+//! reads:
+//!
+//! * [`atgpu_ir::Kernel::cache_key`] — a stable **structural** hash of
+//!   the instruction body, grid and shared footprint (names excluded:
+//!   renamed kernels share an entry, any instruction mutation misses);
+//! * the device-buffer **base addresses** (compilation folds them into
+//!   affine sites and the coalescing transaction tables);
+//! * the lane count `b` and register count `nregs`.
+//!
+//! The full key — including the complete base vector, not just a hash of
+//! it — is stored and compared on lookup, so two kernels can never
+//! false-hit through a hash collision alone.
+//!
+//! ## Trace reuse
+//!
+//! When a kernel is replay-eligible ([`CompiledKernel::replayable`]) its
+//! memory-event stream is provably identical for every thread block *and
+//! therefore for every launch* of the same compiled kernel: eligibility
+//! requires every divergence mask and every site's timing contribution
+//! to be independent of the block index and of loaded data.  The first
+//! launch records one block's trace into the entry
+//! ([`CacheEntry::trace`], a write-once slot); later launches seed every
+//! multiprocessor with it, so **all** blocks replay from the first cycle
+//! — no per-launch first-block warmup.  Replaying blocks still execute
+//! functionally (their memory writes are real); only the timing analysis
+//! is skipped, which is what makes cached and cold launches bit-identical
+//! in memory, statistics and events (`tests/cache_differential.rs`).
+//!
+//! ## Invalidation and the kill-switch
+//!
+//! Entries are only ever superseded, never mutated: a changed kernel or
+//! layout produces a different key.  The per-device cache holds at most
+//! [`SimConfig::cache_capacity`](crate::SimConfig::cache_capacity)
+//! entries, evicting the oldest insertion (FIFO) beyond that, and
+//! [`SimConfig::cache`](crate::SimConfig::cache) is the kill-switch:
+//! when off, every launch compiles fresh and records nothing — the
+//! pre-cache behaviour, retained for differential testing.
+//!
+//! Each [`crate::Device`] owns its own cache, so threaded cluster
+//! dispatch never contends across devices; within a device, lookups take
+//! a read lock only and the compile happens outside any lock.
+
+use crate::uop::CompiledKernel;
+use crate::warp::StepEvent;
+use atgpu_ir::Kernel;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Default per-device entry bound (see
+/// [`SimConfig::cache_capacity`](crate::SimConfig::cache_capacity)).
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// The full lookup key of one compiled kernel (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Structural kernel hash ([`Kernel::cache_key`]).
+    pub kernel: u64,
+    /// Device-buffer base addresses the compile folded in.
+    pub bases: Box<[u64]>,
+    /// Lanes per block.
+    pub b: u32,
+    /// Registers per lane.
+    pub nregs: u32,
+}
+
+/// One cached compilation: the flat program plus, for replay-eligible
+/// kernels, the recorded block-invariant timing trace.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// The compiled kernel, shared by every launch that hits this entry.
+    pub compiled: Arc<CompiledKernel>,
+    /// The recorded memory-event trace, set once by the first launch
+    /// that completes a recording block (replayable kernels only).
+    pub trace: OnceLock<Arc<[StepEvent]>>,
+}
+
+impl CacheEntry {
+    fn new(compiled: CompiledKernel) -> Arc<Self> {
+        Arc::new(Self { compiled: Arc::new(compiled), trace: OnceLock::new() })
+    }
+
+    /// The cached trace to seed a launch's multiprocessors with, if one
+    /// was recorded.
+    pub fn seeded_trace(&self) -> Option<Arc<[StepEvent]>> {
+        if self.compiled.replayable {
+            self.trace.get().cloned()
+        } else {
+            None
+        }
+    }
+}
+
+/// Cache observability counters, surfaced through
+/// [`crate::device::DeviceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Launches served from a cached compilation.
+    pub hits: u64,
+    /// Launches that compiled fresh (and, when enabled, populated the
+    /// cache).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Folds another device's counters in (cluster-wide totals).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.entries += other.entries;
+    }
+}
+
+/// The per-device keyed kernel cache.
+#[derive(Debug)]
+pub struct KernelCache {
+    map: RwLock<HashMap<CacheKey, Arc<CacheEntry>>>,
+    /// Insertion order for FIFO eviction, guarded separately so the hit
+    /// path never takes a write lock.
+    order: Mutex<VecDeque<CacheKey>>,
+    capacity: AtomicUsize,
+    enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl KernelCache {
+    /// An enabled cache bounded to `capacity` entries (a capacity of 0
+    /// disables storage entirely, like the kill-switch).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+            order: Mutex::new(VecDeque::new()),
+            capacity: AtomicUsize::new(capacity),
+            enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Turns the cache on or off (the
+    /// [`SimConfig::cache`](crate::SimConfig::cache) kill-switch).
+    /// Disabling does not drop resident entries; re-enabling sees them
+    /// again.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Re-bounds the cache, evicting oldest-first if the new capacity is
+    /// below the resident count.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut map = self.map.write().expect("cache lock poisoned");
+        let mut order = self.order.lock().expect("cache order lock poisoned");
+        while map.len() > capacity {
+            match order.pop_front() {
+                Some(old) => {
+                    map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Whether lookups are live.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry (counters are kept — they describe lookups, not
+    /// contents).
+    pub fn clear(&self) {
+        self.map.write().expect("cache lock poisoned").clear();
+        self.order.lock().expect("cache order lock poisoned").clear();
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().expect("cache lock poisoned").len(),
+        }
+    }
+
+    /// Looks up (or compiles and inserts) the compilation of `kernel`
+    /// for the launch parameters `(bases, b, nregs)`.
+    ///
+    /// With the cache disabled this compiles fresh into an unshared
+    /// entry and records nothing — cold-launch behaviour.
+    pub fn get_or_compile(
+        &self,
+        kernel: &Kernel,
+        bases: &[u64],
+        b: u32,
+        nregs: u32,
+    ) -> Arc<CacheEntry> {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        if !self.enabled() || capacity == 0 {
+            return CacheEntry::new(CompiledKernel::compile(kernel, bases, b, nregs));
+        }
+        let key = CacheKey { kernel: kernel.cache_key(), bases: bases.into(), b, nregs };
+        if let Some(entry) = self.map.read().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(entry);
+        }
+        // Compile outside any lock: misses on different keys proceed in
+        // parallel and never block a concurrent hit.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = CacheEntry::new(CompiledKernel::compile(kernel, bases, b, nregs));
+        let mut map = self.map.write().expect("cache lock poisoned");
+        if let Some(entry) = map.get(&key) {
+            // A concurrent miss on the same key won the race; share its
+            // entry so the recorded trace converges on one slot.
+            return Arc::clone(entry);
+        }
+        let mut order = self.order.lock().expect("cache order lock poisoned");
+        while map.len() >= capacity {
+            match order.pop_front() {
+                Some(old) => {
+                    map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        order.push_back(key.clone());
+        map.insert(key, Arc::clone(&fresh));
+        fresh
+    }
+}
+
+impl Default for KernelCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgpu_ir::{AddrExpr, DBuf, KernelBuilder, Operand};
+
+    fn kernel(name: &str, imm: i64) -> Kernel {
+        let mut kb = KernelBuilder::new(name, 4, 8);
+        kb.glb_to_shr(AddrExpr::lane(), DBuf(0), AddrExpr::block() * 4 + AddrExpr::lane());
+        kb.mov(0, Operand::Imm(imm));
+        kb.build()
+    }
+
+    #[test]
+    fn hit_returns_same_compilation() {
+        let cache = KernelCache::new(8);
+        let k = kernel("a", 1);
+        let e1 = cache.get_or_compile(&k, &[0], 4, 1);
+        let e2 = cache.get_or_compile(&k, &[0], 4, 1);
+        assert!(Arc::ptr_eq(&e1, &e2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn renamed_kernel_hits_mutated_kernel_misses() {
+        let cache = KernelCache::new(8);
+        let e1 = cache.get_or_compile(&kernel("a", 1), &[0], 4, 1);
+        let e2 = cache.get_or_compile(&kernel("b", 1), &[0], 4, 1);
+        assert!(Arc::ptr_eq(&e1, &e2), "name is not part of the key");
+        let e3 = cache.get_or_compile(&kernel("a", 2), &[0], 4, 1);
+        assert!(!Arc::ptr_eq(&e1, &e3), "instruction mutation must miss");
+    }
+
+    #[test]
+    fn launch_parameters_are_part_of_the_key() {
+        let cache = KernelCache::new(8);
+        let k = kernel("a", 1);
+        let base = cache.get_or_compile(&k, &[0], 4, 1);
+        for (bases, b, nregs) in [(&[8u64][..], 4, 1), (&[0][..], 8, 1), (&[0][..], 4, 2)] {
+            let e = cache.get_or_compile(&k, bases, b, nregs);
+            assert!(!Arc::ptr_eq(&base, &e), "bases/b/nregs must key separately");
+        }
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = KernelCache::new(2);
+        cache.get_or_compile(&kernel("a", 1), &[0], 4, 1);
+        cache.get_or_compile(&kernel("a", 2), &[0], 4, 1);
+        cache.get_or_compile(&kernel("a", 3), &[0], 4, 1); // evicts imm=1
+        assert_eq!(cache.stats().entries, 2);
+        cache.get_or_compile(&kernel("a", 1), &[0], 4, 1); // must re-miss
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn kill_switch_compiles_fresh() {
+        let cache = KernelCache::new(8);
+        cache.set_enabled(false);
+        let k = kernel("a", 1);
+        let e1 = cache.get_or_compile(&k, &[0], 4, 1);
+        let e2 = cache.get_or_compile(&k, &[0], 4, 1);
+        assert!(!Arc::ptr_eq(&e1, &e2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+        cache.set_enabled(true);
+        cache.get_or_compile(&k, &[0], 4, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn clear_drops_entries() {
+        let cache = KernelCache::new(8);
+        cache.get_or_compile(&kernel("a", 1), &[0], 4, 1);
+        assert_eq!(cache.stats().entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        cache.get_or_compile(&kernel("a", 1), &[0], 4, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

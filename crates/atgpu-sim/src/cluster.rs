@@ -31,7 +31,7 @@
 //! both endpoints (source reads while destination writes).  The
 //! analytical counterpart is [`atgpu_model::cost::cluster_cost`].
 
-use crate::device::{apply_write_log, check_log_races, Device, KernelStats};
+use crate::device::{apply_write_log, check_log_races, Device, DeviceStats, KernelStats};
 use crate::driver::HostData;
 use crate::error::SimError;
 use crate::gmem::GlobalMemory;
@@ -94,9 +94,20 @@ pub fn weighted_shards(blocks: u64, spec: &ClusterSpec) -> Vec<Shard> {
         return even_shards(blocks, spec.n_devices() as u32);
     }
     let quotas: Vec<f64> = weights.iter().map(|w| blocks as f64 * w / total).collect();
-    let mut lens: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
+    let mut lens: Vec<u64> = quotas.iter().map(|q| (q.floor() as u64).min(blocks)).collect();
     let assigned: u64 = lens.iter().sum();
-    // Hand the remaining blocks to the largest fractional remainders.
+    if assigned > blocks {
+        // Floating-point edge (quotas rounding up across an integer,
+        // only reachable at astronomic block counts): the
+        // largest-remainder invariant Σ⌊qᵈ⌋ ≤ blocks no longer holds, so
+        // apportioning is meaningless — fall back to the even split
+        // rather than underflow `blocks - assigned` below.
+        return even_shards(blocks, spec.n_devices() as u32);
+    }
+    // Hand the remaining blocks to the largest fractional remainders, so
+    // a zero-quota device is only drafted in when every faster device
+    // already took its share — on tiny grids the leftovers land on the
+    // fastest devices and the slow device's empty shard is dropped.
     let mut order: Vec<usize> = (0..lens.len()).collect();
     order.sort_by(|&a, &b| {
         let ra = quotas[a] - quotas[a].floor();
@@ -109,12 +120,17 @@ pub fn weighted_shards(blocks: u64, spec: &ClusterSpec) -> Vec<Shard> {
     let mut out = Vec::new();
     let mut cursor = 0u64;
     for (d, len) in lens.into_iter().enumerate() {
+        // A zero-block shard would be rejected by `LaunchSharded`
+        // validation as a non-partition: drop it (its blocks — none —
+        // need no rehoming; the remainder loop above already folded the
+        // grid's blocks onto the fastest devices).
         if len == 0 {
             continue;
         }
         out.push(Shard { device: d as u32, start: cursor, end: cursor + len });
         cursor += len;
     }
+    debug_assert_eq!(out.iter().map(Shard::blocks).sum::<u64>(), blocks);
     out
 }
 
@@ -255,9 +271,21 @@ pub struct ClusterSimReport {
     pub rounds: Vec<ClusterRoundObservation>,
     /// Final host buffers (outputs filled in).
     pub host: HostData,
+    /// Per-device counters after the run (kernel-cache hits/misses),
+    /// indexed by device — observability only.
+    pub device_stats: Vec<DeviceStats>,
 }
 
 impl ClusterSimReport {
+    /// Cluster-wide device counters (per-device stats summed).
+    pub fn device_stats_total(&self) -> DeviceStats {
+        let mut total = DeviceStats::default();
+        for s in &self.device_stats {
+            total.merge(s);
+        }
+        total
+    }
+
     /// Total running time: rounds are serial, devices within a round are
     /// concurrent.
     pub fn total_ms(&self) -> f64 {
@@ -452,6 +480,9 @@ pub fn run_cluster_program(
     config: &SimConfig,
 ) -> Result<ClusterSimReport, SimError> {
     let cluster = Cluster::new(*machine, cluster_spec.clone())?;
+    for d in &cluster.devices {
+        d.configure_cache(config.cache, config.cache_capacity);
+    }
     let n = cluster.n_devices();
     let needed = program.max_device() as usize + 1;
     if needed > n {
@@ -573,7 +604,8 @@ pub fn run_cluster_program(
         rounds.push(ClusterRoundObservation { devices: devs, sync_ms: cluster_spec.sync_ms });
     }
 
-    Ok(ClusterSimReport { rounds, host })
+    let device_stats = cluster.devices.iter().map(Device::stats).collect();
+    Ok(ClusterSimReport { rounds, host, device_stats })
 }
 
 #[cfg(test)]
@@ -670,6 +702,48 @@ mod tests {
         assert_eq!(shards.iter().map(|s| s.blocks()).sum::<u64>(), 1);
         assert!(shards.iter().all(|s| s.blocks() > 0));
         assert!(weighted_shards(0, &spec).is_empty());
+    }
+
+    /// Regression: a slow device whose largest-remainder quota rounds to
+    /// 0 (extreme `k′·clock` ratios, fewer blocks than devices) must not
+    /// surface as a zero-block shard — `LaunchSharded` validation
+    /// rejects those as a non-partition.  Empty shards are dropped and
+    /// the grid's blocks land on the fastest devices.
+    #[test]
+    fn weighted_shards_drop_zero_quota_devices_on_tiny_grids() {
+        // Device 0 is 1000x slower than devices 1-3 (1000:1 k′·clock
+        // ratio), and the grid has fewer blocks than devices.
+        let slow = GpuSpec { k_prime: 1, clock_cycles_per_ms: 1000.0, ..GpuSpec::gtx650_like() };
+        let fast =
+            GpuSpec { k_prime: 10, clock_cycles_per_ms: 100_000.0, ..GpuSpec::gtx650_like() };
+        let mut spec = ClusterSpec::homogeneous(4, fast);
+        spec.devices[0] = slow;
+
+        for blocks in 1..=6u64 {
+            let shards = weighted_shards(blocks, &spec);
+            // A valid partition: non-empty, contiguous, covers the grid.
+            assert!(shards.iter().all(|s| s.blocks() > 0), "empty shard at blocks={blocks}");
+            assert_eq!(shards.iter().map(Shard::blocks).sum::<u64>(), blocks);
+            let mut cursor = 0;
+            for s in &shards {
+                assert_eq!(s.start, cursor, "gap in plan at blocks={blocks}");
+                cursor = s.end;
+            }
+            // The 1000x-slower device never takes a block from a grid
+            // this small — its share folds into the fast devices.
+            assert!(
+                shards.iter().all(|s| s.device != 0),
+                "slow device drafted on a {blocks}-block grid: {shards:?}"
+            );
+            // And the plan passes `LaunchSharded` validation end to end.
+            let mut kb = KernelBuilder::new("tiny", blocks, 4);
+            kb.st_shr(AddrExpr::lane(), Operand::Block);
+            let mut pb = ProgramBuilder::new("tiny_plan");
+            let _ = pb.device_alloc("a", 64);
+            pb.begin_round();
+            pb.launch_sharded(kb.build(), shards);
+            pb.build().expect("weighted plan must validate as a partition");
+        }
     }
 
     #[test]

@@ -15,16 +15,22 @@
 //!   race-free for well-formed kernels.  Optional race detection flags
 //!   any global word written by two different blocks.
 
+use crate::cache::{CacheStats, KernelCache};
 use crate::dram::DramController;
 use crate::engine::{BlockExec, BlockSim};
 use crate::error::SimError;
 use crate::gmem::GlobalMemory;
 use crate::mp::{Mp, MpStats};
-use crate::uop::CompiledKernel;
-use crate::warp::{GmemAccess, WarpExec, WriteRec};
+use crate::warp::{GmemAccess, StepEvent, WarpExec, WriteRec};
 use crate::{EngineSel, ExecMode};
 use atgpu_ir::Kernel;
 use atgpu_model::{occupancy, AtgpuMachine, GpuSpec};
+use std::sync::{Arc, OnceLock};
+
+/// The launch's connection to the cross-launch kernel cache: the seed
+/// trace to start every MP with (when one is cached) and the write-once
+/// slot a cold launch records into.
+type TraceSlot<'a> = Option<&'a OnceLock<Arc<[StepEvent]>>>;
 
 /// Aggregated observations from one kernel launch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -106,11 +112,31 @@ impl KernelStats {
     }
 }
 
+/// Per-device observability counters — everything a device knows beyond
+/// individual launches.  Today that is the cross-launch kernel cache;
+/// deliberately separate from [`KernelStats`] so cached and cold
+/// launches stay bit-identical in per-launch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Kernel-cache counters (hits, misses, resident entries).
+    pub cache: CacheStats,
+}
+
+impl DeviceStats {
+    /// Folds another device's counters in (cluster-wide totals).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.cache.merge(&other.cache);
+    }
+}
+
 /// The simulated GPU device.
 #[derive(Debug)]
 pub struct Device {
     machine: AtgpuMachine,
     spec: GpuSpec,
+    /// The cross-launch kernel cache ([`crate::cache`]).  Per-device by
+    /// design: threaded cluster dispatch never contends across devices.
+    cache: KernelCache,
 }
 
 impl Device {
@@ -120,7 +146,7 @@ impl Device {
         if machine.b > 64 {
             return Err(SimError::UnsupportedWidth { b: machine.b });
         }
-        Ok(Self { machine, spec })
+        Ok(Self { machine, spec, cache: KernelCache::default() })
     }
 
     /// The machine this device implements.
@@ -131,6 +157,24 @@ impl Device {
     /// The device specification.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// Applies the cache kill-switch and size bound (see
+    /// [`crate::SimConfig::cache`] /
+    /// [`crate::SimConfig::cache_capacity`]).
+    pub fn configure_cache(&self, enabled: bool, capacity: usize) {
+        self.cache.set_enabled(enabled);
+        self.cache.set_capacity(capacity);
+    }
+
+    /// The device's kernel cache (lookups, kill-switch, counters).
+    pub fn cache(&self) -> &KernelCache {
+        &self.cache
+    }
+
+    /// Device-level counters: cache hits/misses/entries.
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats { cache: self.cache.stats() }
     }
 
     /// Runs one kernel launch to completion with the micro-op engine.
@@ -146,11 +190,14 @@ impl Device {
 
     /// Runs one kernel launch with an explicit executor choice.
     ///
-    /// [`EngineSel::MicroOp`] compiles the kernel once into the flat
-    /// micro-op form (with precomputed access shapes and, when provable,
-    /// block-invariant timing replay); [`EngineSel::Reference`] drives the
-    /// retained tree-walking interpreter — the pre-engine baseline kept
-    /// for differential testing and benchmarking.
+    /// [`EngineSel::MicroOp`] resolves the kernel through the device's
+    /// cross-launch [`KernelCache`] — a repeated launch of the same
+    /// kernel shape reuses the compiled micro-op program *and*, when the
+    /// kernel is replay-eligible, the recorded block-invariant timing
+    /// trace, skipping both lowering and first-block recording warmup.
+    /// [`EngineSel::Reference`] drives the retained tree-walking
+    /// interpreter — the pre-engine baseline kept for differential
+    /// testing and benchmarking (never cached).
     pub fn run_kernel_with(
         &self,
         kernel: &Kernel,
@@ -172,16 +219,26 @@ impl Device {
 
         match engine {
             EngineSel::MicroOp => {
-                let compiled =
-                    CompiledKernel::compile(kernel, &bases, self.machine.b as u32, nregs);
-                let make = || BlockExec::new(&compiled);
-                self.dispatch(kernel, gmem, mode, detect_races, ell, &make, compiled.replayable)
+                let entry = self.cache.get_or_compile(kernel, &bases, self.machine.b as u32, nregs);
+                let compiled = &entry.compiled;
+                let make = || BlockExec::new(compiled);
+                let slot = compiled.replayable.then_some(&entry.trace);
+                self.dispatch(
+                    kernel,
+                    gmem,
+                    mode,
+                    detect_races,
+                    ell,
+                    &make,
+                    compiled.replayable,
+                    slot,
+                )
             }
             EngineSel::Reference => {
                 let b = self.machine.b as u32;
                 let bases = &bases[..];
                 let make = || WarpExec::new(kernel, bases, b, nregs);
-                self.dispatch(kernel, gmem, mode, detect_races, ell, &make, false)
+                self.dispatch(kernel, gmem, mode, detect_races, ell, &make, false, None)
             }
         }
     }
@@ -217,16 +274,17 @@ impl Device {
 
         match engine {
             EngineSel::MicroOp => {
-                let compiled =
-                    CompiledKernel::compile(kernel, &bases, self.machine.b as u32, nregs);
-                let make = || BlockExec::new(&compiled);
-                self.shard_dispatch(kernel, gmem, mode, ell, &make, compiled.replayable, range, log)
+                let entry = self.cache.get_or_compile(kernel, &bases, self.machine.b as u32, nregs);
+                let compiled = &entry.compiled;
+                let make = || BlockExec::new(compiled);
+                let slot = compiled.replayable.then_some(&entry.trace);
+                self.shard_dispatch(gmem, mode, ell, &make, compiled.replayable, slot, range, log)
             }
             EngineSel::Reference => {
                 let b = self.machine.b as u32;
                 let bases = &bases[..];
                 let make = || WarpExec::new(kernel, bases, b, nregs);
-                self.shard_dispatch(kernel, gmem, mode, ell, &make, false, range, log)
+                self.shard_dispatch(gmem, mode, ell, &make, false, None, range, log)
             }
         }
     }
@@ -234,23 +292,23 @@ impl Device {
     #[allow(clippy::too_many_arguments)]
     fn shard_dispatch<E: BlockSim>(
         &self,
-        kernel: &Kernel,
         gmem: &GlobalMemory,
         mode: ExecMode,
         ell: u64,
         make: &(impl Fn() -> E + Sync),
         replayable: bool,
+        slot: TraceSlot<'_>,
         range: (u64, u64),
         log: &mut Vec<WriteRec>,
     ) -> Result<KernelStats, SimError> {
         match mode {
             ExecMode::Sequential => {
                 let mut acc = GmemAccess::Logged { base: gmem, log };
-                self.run_sequential(kernel, &mut acc, ell, make, replayable, range)
+                self.run_sequential(&mut acc, ell, make, replayable, slot, range)
             }
             ExecMode::Parallel { threads } => {
                 let (stats, l) =
-                    self.run_parallel(gmem, ell, make, replayable, threads.max(1), range)?;
+                    self.run_parallel(gmem, ell, make, replayable, slot, threads.max(1), range)?;
                 log.extend(l);
                 Ok(stats)
             }
@@ -267,6 +325,7 @@ impl Device {
         ell: u64,
         make: &(impl Fn() -> E + Sync),
         replayable: bool,
+        slot: TraceSlot<'_>,
     ) -> Result<KernelStats, SimError> {
         let range = (0, kernel.blocks());
         match mode {
@@ -277,18 +336,18 @@ impl Device {
                     let mut log = Vec::new();
                     let stats = {
                         let mut acc = GmemAccess::Logged { base: &*gmem, log: &mut log };
-                        self.run_sequential(kernel, &mut acc, ell, make, replayable, range)?
+                        self.run_sequential(&mut acc, ell, make, replayable, slot, range)?
                     };
                     apply_write_log(kernel, gmem, log, true)?;
                     Ok(stats)
                 } else {
                     let mut acc = GmemAccess::Direct(gmem);
-                    self.run_sequential(kernel, &mut acc, ell, make, replayable, range)
+                    self.run_sequential(&mut acc, ell, make, replayable, slot, range)
                 }
             }
             ExecMode::Parallel { threads } => {
                 let (stats, log) =
-                    self.run_parallel(gmem, ell, make, replayable, threads.max(1), range)?;
+                    self.run_parallel(gmem, ell, make, replayable, slot, threads.max(1), range)?;
                 apply_write_log(kernel, gmem, log, detect_races)?;
                 Ok(stats)
             }
@@ -297,19 +356,23 @@ impl Device {
 
     fn run_sequential<E: BlockSim>(
         &self,
-        kernel: &Kernel,
         acc: &mut GmemAccess<'_>,
         ell: u64,
         make: impl Fn() -> E,
         replayable: bool,
+        slot: TraceSlot<'_>,
         range: (u64, u64),
     ) -> Result<KernelStats, SimError> {
         let k_prime = self.spec.k_prime as usize;
         let mut dram =
             DramController::new(self.spec.dram_issue_cycles, self.spec.dram_latency_cycles);
-        let mut mps: Vec<Mp<E>> = (0..k_prime).map(|_| Mp::with_replay(ell, replayable)).collect();
+        // A trace cached by an earlier launch lets every MP replay every
+        // block from the first cycle (no recording warmup); a cold
+        // replayable launch records and publishes the trace afterwards.
+        let seeded = slot.and_then(|s| s.get().cloned());
+        let mut mps: Vec<Mp<E>> =
+            (0..k_prime).map(|_| Mp::with_trace(ell, replayable, seeded.clone())).collect();
         let (mut next_block, end_block) = range;
-        debug_assert!(end_block <= kernel.blocks());
 
         // Initial fill, round-robin across MPs.
         'fill: for mp in &mut mps {
@@ -349,6 +412,13 @@ impl Device {
         for mp in &mps {
             stats.fold_mp(&mp.stats);
         }
+        // Publish a freshly recorded trace into the cache entry (no-op
+        // when this launch was seeded — the slot is already set).
+        if let Some(slot) = slot {
+            if let Some(trace) = mps.iter().find_map(|m| m.recorded_trace()) {
+                let _ = slot.set(Arc::clone(trace));
+            }
+        }
         debug_assert_eq!(stats.blocks, range.1.saturating_sub(range.0));
         Ok(stats)
     }
@@ -362,6 +432,7 @@ impl Device {
         ell: u64,
         make: &(impl Fn() -> E + Sync),
         replayable: bool,
+        slot: TraceSlot<'_>,
         threads: usize,
         range: (u64, u64),
     ) -> Result<(KernelStats, Vec<WriteRec>), SimError> {
@@ -370,12 +441,13 @@ impl Device {
         let issue = self.spec.dram_issue_cycles * k_prime;
         let latency = self.spec.dram_latency_cycles;
         let threads = threads.min(k_prime as usize).max(1);
+        let seeded = slot.and_then(|s| s.get().cloned());
 
         // Simulate one MP with its statically assigned blocks.
         type MpOutcome = Result<(MpStats, u64, u64, Vec<WriteRec>), SimError>;
         let sim_mp = |mp_id: u64| -> MpOutcome {
             let mut dram = DramController::new(issue, latency);
-            let mut mp = Mp::with_replay(ell, replayable);
+            let mut mp = Mp::with_trace(ell, replayable, seeded.clone());
             let mut log = Vec::new();
             let mut blocks = (range.0..range.1).skip(mp_id as usize).step_by(k_prime as usize);
             // Initial fill.
@@ -393,6 +465,13 @@ impl Device {
                         mp.admit(blk, make);
                         pending = blocks.next();
                     }
+                }
+            }
+            // Each MP records its own first block; the first to publish
+            // wins the write-once slot (identical traces by eligibility).
+            if let Some(slot) = slot {
+                if let Some(trace) = mp.recorded_trace() {
+                    let _ = slot.set(Arc::clone(trace));
                 }
             }
             Ok((mp.stats, mp.last_retire, dram.queue_cycles, log))

@@ -46,6 +46,14 @@ pub struct SimConfig {
     /// this only cuts host wall-clock.  Defaults to on when the host has
     /// more than one CPU (threads are pure overhead on a single core).
     pub device_threads: bool,
+    /// The cross-launch kernel-cache kill-switch ([`crate::cache`]).
+    /// On (the default), repeated launches of one kernel shape reuse the
+    /// compiled micro-op program and its recorded timing trace; off,
+    /// every launch compiles fresh — results are bit-identical either
+    /// way, this only trades host wall-clock for memory.
+    pub cache: bool,
+    /// Compiled kernels retained per device before FIFO eviction.
+    pub cache_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -57,6 +65,8 @@ impl Default for SimConfig {
             detect_races: false,
             use_reference: false,
             device_threads: crate::cluster::host_parallelism() > 1,
+            cache: true,
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
         }
     }
 }
@@ -149,6 +159,9 @@ pub struct SimReport {
     pub rounds: Vec<RoundObservation>,
     /// Final host buffers (outputs filled in).
     pub host: HostData,
+    /// Device-level counters after the run (kernel-cache hits/misses) —
+    /// observability only, never part of round observations.
+    pub device_stats: crate::device::DeviceStats,
 }
 
 impl SimReport {
@@ -224,6 +237,7 @@ pub fn run_program(
     config: &SimConfig,
 ) -> Result<SimReport, SimError> {
     let device = Device::new(*machine, *spec)?;
+    device.configure_cache(config.cache, config.cache_capacity);
     let (bases, total_words) = program.buffer_layout(machine.b);
     let mut gmem = GlobalMemory::new(bases, total_words, machine.b, machine.g)?;
     let mut xfer = TransferEngine::new(spec, config.noise, config.seed);
@@ -310,7 +324,7 @@ pub fn run_program(
         rounds.push(obs);
     }
 
-    Ok(SimReport { rounds, host })
+    Ok(SimReport { rounds, host, device_stats: device.stats() })
 }
 
 #[cfg(test)]

@@ -44,6 +44,40 @@
 //! [`SimConfig::use_reference`] / [`EngineSel::Reference`] select it for
 //! baseline benchmarking.
 //!
+//! ## Cross-launch kernel cache
+//!
+//! "Once per launch" is actually "once per kernel shape": every
+//! [`Device`] owns a [`cache::KernelCache`] mapping a **structural**
+//! kernel hash ([`atgpu_ir::Kernel::cache_key`] — instruction body, grid
+//! and shared footprint; the *name* is excluded) plus the launch
+//! parameters `(buffer bases, b, nregs)` to the compiled micro-op
+//! program and, for replay-eligible kernels, the recorded
+//! block-invariant timing trace.  Sweep harnesses relaunching one kernel
+//! shape thousands of times (atgpu-exp, `throughput`) therefore compile
+//! once and replay every block of every later launch from the first
+//! cycle — with **bit-identical** memory, events and statistics to a
+//! cold launch (`tests/cache_differential.rs` proves this across
+//! `ExecMode`s, engines and clusters):
+//!
+//! * **keying** — the full key (structural hash, complete base vector,
+//!   `b`, `nregs`) is stored and compared, so a hash collision alone can
+//!   never alias two kernels; mutating one instruction, the grid, the
+//!   shared footprint or the memory layout changes the key;
+//! * **invalidation** — entries are immutable; stale shapes simply age
+//!   out of the FIFO bound ([`SimConfig::cache_capacity`], default
+//!   [`cache::DEFAULT_CACHE_CAPACITY`]);
+//! * **kill-switch** — [`SimConfig::cache`]` = false` restores
+//!   compile-every-launch behaviour exactly (the cold baseline used by
+//!   the differential tests and the cache-off bench numbers);
+//! * **observability** — per-device hit/miss/entry counters surface as
+//!   [`device::DeviceStats`] via [`Device::stats`],
+//!   [`SimReport::device_stats`] and
+//!   [`cluster::ClusterSimReport::device_stats`], and are reported by
+//!   `throughput` and the E-series sweeps.
+//!
+//! The reference interpreter bypasses the cache entirely: it exists to
+//! re-derive everything from the IR tree each time.
+//!
 //! ## Multi-device clusters
 //!
 //! [`cluster`] scales the single device to `N` GPUs: each device owns a
@@ -120,6 +154,9 @@
 //! * [`uop`] — the flat micro-op program: compile-once lowering, per-site
 //!   access-shape classification (shared with `atgpu-analyze` through
 //!   `atgpu_ir::affine`), replayability and initialisation analysis;
+//! * [`cache`] — the cross-launch kernel cache: keyed compiled programs
+//!   plus recorded timing traces, per device (hit/miss counters in
+//!   [`device::DeviceStats`]);
 //! * [`engine`] — the micro-op block executor: allocation-free stepping,
 //!   contiguous fast paths, block-invariant timing replay;
 //! * [`warp`] — the reference interpreter: lockstep tree-walking
@@ -145,6 +182,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod cluster;
 pub mod device;
 pub mod dram;
@@ -158,11 +196,12 @@ pub mod uop;
 pub mod warp;
 pub mod xfer;
 
+pub use cache::{CacheEntry, CacheKey, CacheStats, KernelCache};
 pub use cluster::{
     even_shards, plan_shards, run_cluster_program, weighted_shards, Cluster,
     ClusterRoundObservation, ClusterSimReport, DeviceRoundObservation, ShardStats,
 };
-pub use device::{apply_write_log, Device, KernelStats};
+pub use device::{apply_write_log, Device, DeviceStats, KernelStats};
 pub use driver::{run_program, HostData, RoundObservation, SimConfig, SimReport};
 pub use engine::{BlockExec, BlockSim};
 pub use error::SimError;

@@ -83,6 +83,14 @@ impl<E: BlockSim> Mp<E> {
     /// block-invariant timing-replay cache (the caller asserts the kernel
     /// qualifies, i.e. `CompiledKernel::replayable`).
     pub fn with_replay(ell: u64, replay: bool) -> Self {
+        Self::with_trace(ell, replay, None)
+    }
+
+    /// [`Self::with_replay`] seeded with a trace recorded by an earlier
+    /// launch of the same compiled kernel (the cross-launch kernel
+    /// cache): every admitted block replays immediately — no first-block
+    /// recording warmup.  `trace` is ignored unless `replay` holds.
+    pub fn with_trace(ell: u64, replay: bool, trace: Option<Arc<[StepEvent]>>) -> Self {
         let ell = ell as usize;
         Self {
             clock: 0,
@@ -94,9 +102,16 @@ impl<E: BlockSim> Mp<E> {
             stats: MpStats::default(),
             last_retire: 0,
             replay,
-            trace: None,
+            trace: if replay { trace } else { None },
             recording: false,
         }
+    }
+
+    /// The completed memory-event trace, once a recording block retired
+    /// (or the seed passed to [`Self::with_trace`]).  The device layer
+    /// harvests this into the cross-launch cache after a launch.
+    pub fn recorded_trace(&self) -> Option<&Arc<[StepEvent]>> {
+        self.trace.as_ref()
     }
 
     /// True when no blocks are resident.
