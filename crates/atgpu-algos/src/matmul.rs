@@ -81,24 +81,53 @@ impl MatMul {
         devices: u32,
     ) -> Result<BuiltProgram, AlgosError> {
         let t = self.n / machine.b.max(1);
-        self.build_with_row_shards(machine, atgpu_sim::even_shards(t, devices))
+        self.build_sharded_rows(machine, atgpu_sim::even_shards(t, devices))
     }
 
-    /// [`Self::build_sharded`] with the tile rows split by
-    /// [`atgpu_sim::plan_shards`]: even on a homogeneous cluster,
-    /// **speed-weighted** as soon as device specs differ — so a
-    /// mixed-generation cluster's fast devices get proportionally larger
-    /// row bands instead of idling behind the slowest one.
+    /// The per-tile-row cost shape of the sharded multiplication — the
+    /// planning unit is one tile row (`t = n/b` thread blocks, `b·n`
+    /// words of `A` in, `b·n` words of `C` out) with `B` broadcast to
+    /// every participating device regardless of its share.
+    pub fn row_profile(&self, machine: &AtgpuMachine) -> atgpu_model::ShardProfile {
+        let n = self.n;
+        let b = machine.b.max(1);
+        let t = n / b;
+        atgpu_model::ShardProfile {
+            time_ops: Self::time_ops(n, b),
+            io_blocks_per_unit: t * (2 * n + b),
+            inward_words_per_unit: b * n,
+            inward_txns: 1,
+            outward_words_per_unit: b * n,
+            outward_txns: 1,
+            broadcast_words: n * n,
+            broadcast_txns: 1,
+            shared_words: 3 * b * b,
+            blocks_per_unit: t,
+        }
+    }
+
+    /// [`Self::build_sharded`] with the tile rows split by the
+    /// **cost-driven planner** ([`atgpu_sim::planned_shards`]): candidate
+    /// row apportionments (even, compute-weighted, transfer-balanced)
+    /// are priced with [`Self::row_profile`] through the cluster cost
+    /// function, so a mixed-generation cluster's fast devices get
+    /// proportionally larger bands *and* a slow host link costs its
+    /// device rows — both effects in one objective, where the old
+    /// `k′·clock` weighting saw only the first.
     pub fn build_sharded_planned(
         &self,
         machine: &AtgpuMachine,
         cluster: &atgpu_model::ClusterSpec,
     ) -> Result<BuiltProgram, AlgosError> {
         let t = self.n / machine.b.max(1);
-        self.build_with_row_shards(machine, atgpu_sim::plan_shards(t, cluster))
+        let shards = atgpu_sim::planned_shards(t, cluster, machine, &self.row_profile(machine));
+        self.build_sharded_rows(machine, shards)
     }
 
-    fn build_with_row_shards(
+    /// [`Self::build_sharded`] with an explicit **tile-row** shard plan
+    /// (a contiguous partition of the `n/b` rows) — what the experiment
+    /// harness uses to compare planners on the same program shape.
+    pub fn build_sharded_rows(
         &self,
         machine: &AtgpuMachine,
         row_shards: Vec<atgpu_ir::Shard>,
@@ -120,6 +149,7 @@ impl MatMul {
             });
         }
         let t = n / b;
+        crate::vecadd::check_shards_fit(&row_shards, t)?;
         let nn = n * n;
 
         let mut pb = ProgramBuilder::new("matmul_sharded");
@@ -258,6 +288,64 @@ impl MatMul {
             inputs: vec![self.a.clone(), self.b.clone()],
             outputs: vec![hc],
         })
+    }
+
+    /// [`Self::build_sharded_streamed`] with the slab chunking
+    /// **automatically solved**: candidate `chunk_rows` (the divisors of
+    /// each device's row share) are priced as double-buffered pipelines
+    /// through [`atgpu_model::plan::solve_chunk_units`] — per-device
+    /// `StreamTimeline`s, host links and wave factors all in the
+    /// objective — and the cheapest modeled schedule is emitted.  The
+    /// hand-written `build_sharded_streamed` keeps its explicit
+    /// `chunk_rows` knob; this derives it.  The slab emission needs
+    /// equal per-device shares, so the **even pipelined schedule is
+    /// itself priced against the one-shot cost-planned apportionment**
+    /// and the cheaper modeled program is emitted — on a link-asymmetric
+    /// cluster the non-even one-shot plan usually wins (overlap cannot
+    /// hide an 8x-slower upload), so pipelining never re-introduces the
+    /// transfer blind spot the planner exists to close.  Also falls back
+    /// to [`Self::build_sharded_planned`] when the tile rows do not
+    /// divide evenly across the devices.
+    pub fn build_sharded_pipelined(
+        &self,
+        machine: &AtgpuMachine,
+        cluster: &atgpu_model::ClusterSpec,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let b = machine.b.max(1);
+        let t = self.n / b;
+        let devices = cluster.n_devices() as u64;
+        if devices == 0 || !t.is_multiple_of(devices) || t == devices {
+            return self.build_sharded_planned(machine, cluster);
+        }
+        let profile = self.row_profile(machine);
+        let share = t / devices;
+        let even_counts = vec![share; devices as usize];
+        let candidates: Vec<u64> = (1..=share).filter(|c| share.is_multiple_of(*c)).collect();
+        let chunk_rows = atgpu_model::plan::solve_chunk_units(
+            cluster,
+            machine,
+            &profile,
+            &even_counts,
+            &candidates,
+        );
+        // Price the even pipelined schedule against the (possibly
+        // non-even) one-shot planned apportionment.
+        let piped =
+            atgpu_model::plan::pipeline_cost(cluster, machine, &profile, &even_counts, chunk_rows);
+        let planned = atgpu_sim::planned_shards(t, cluster, machine, &profile);
+        let oneshot = atgpu_model::plan::plan_cost(
+            cluster,
+            machine,
+            &profile,
+            &atgpu_sim::shard_counts(&planned, devices as usize),
+        );
+        match (piped, oneshot) {
+            (Ok(p), Ok(o)) if p <= o => {
+                self.build_sharded_streamed(machine, devices as u32, chunk_rows)
+            }
+            (Ok(_), Ok(_)) | (Err(_), _) => self.build_sharded_rows(machine, planned),
+            (_, Err(_)) => self.build_sharded_streamed(machine, devices as u32, chunk_rows),
+        }
     }
 
     /// Lockstep time ops of our kernel encoding for side `n`, width `b`.
@@ -593,8 +681,14 @@ mod tests {
         use crate::workload::verify_built_on_cluster;
         let m = test_machine();
         let w = MatMul::new(256, 3); // t = 8 tile rows
+                                     // A genuinely faster device 1 (more MPs, faster clock and λ,
+                                     // faster link — the E8 mixed pair): the cost-driven planner must
+                                     // hand it the larger band.  (A bare `k_prime` bump is *not*
+                                     // enough: the model's kernel term is dominated by `λ·q`, which
+                                     // no MP count changes — pricing correctly shrugs there.)
         let mut cluster = atgpu_model::ClusterSpec::homogeneous(2, test_spec());
-        cluster.devices[1].k_prime = 6; // 3x the MPs of device 0
+        cluster.devices[1] = atgpu_model::GpuSpec::midrange_like();
+        cluster.host_links[1] = cluster.devices[1].host_link();
         let built = w.build_sharded_planned(&m, &cluster).unwrap();
         let report =
             verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
@@ -603,6 +697,51 @@ mod tests {
         let blocks: Vec<u64> =
             report.rounds[0].devices.iter().map(|d| d.kernel_stats.blocks).collect();
         assert!(blocks[1] > blocks[0], "{blocks:?}");
+    }
+
+    /// The auto-chunked pipeline: the solver picks `chunk_rows`, the
+    /// emitted program verifies on the cluster, overlaps no worse than
+    /// its de-streamed serial form, and the non-dividing case falls back
+    /// to the one-shot planned build.
+    #[test]
+    fn pipelined_build_solves_chunking_and_verifies() {
+        use crate::workload::verify_built_on_cluster;
+        use atgpu_sim::run_cluster_program;
+        let m = test_machine();
+        let w = MatMul::new(256, 13); // t = 8 tile rows
+                                      // Slow host links make the per-slab A upload worth hiding (on
+                                      // the default fast links the solver correctly judges overlap
+                                      // not worth an extra σ per round and emits one slab).
+        let mut cluster = atgpu_model::ClusterSpec::homogeneous(2, test_spec());
+        for l in &mut cluster.host_links {
+            l.alpha_ms *= 8.0;
+            l.beta_ms_per_word *= 8.0;
+        }
+        let built = w.build_sharded_pipelined(&m, &cluster).unwrap();
+        assert!(built.program.uses_streams());
+        let streamed =
+            verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
+                .unwrap();
+        let serial = run_cluster_program(
+            &built.program.destreamed(),
+            built.inputs.clone(),
+            &m,
+            &cluster,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(serial.output(built.outputs[0]), streamed.output(built.outputs[0]));
+        assert!(
+            streamed.total_ms() <= serial.total_ms() + 1e-9,
+            "pipelined {} vs serial {}",
+            streamed.total_ms(),
+            serial.total_ms()
+        );
+
+        // t = 3 rows on 2 devices cannot slab evenly: planned fallback.
+        let w3 = MatMul::new(96, 5);
+        let fb = w3.build_sharded_pipelined(&m, &cluster).unwrap();
+        verify_built_on_cluster(&fb, &w3.expected(), &m, &cluster, &SimConfig::default()).unwrap();
     }
 
     #[test]

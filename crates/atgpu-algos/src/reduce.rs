@@ -248,6 +248,53 @@ impl Reduce {
         machine: &AtgpuMachine,
         devices: u32,
     ) -> Result<BuiltProgram, AlgosError> {
+        let k1 = self.n.div_ceil(machine.b.max(1));
+        self.build_sharded_with(machine, atgpu_sim::even_shards(k1, devices))
+    }
+
+    /// The per-block cost shape of the sharded first level: `b` input
+    /// words in per block, one partial out per block (gathered over peer
+    /// links, so no per-block host download), and the level-0 kernel's
+    /// time and I/O from [`reduce_round_shapes`].
+    pub fn shard_profile(&self, machine: &AtgpuMachine) -> atgpu_model::ShardProfile {
+        let b = machine.b.max(1);
+        let shapes = reduce_round_shapes(self.n, machine, self.variant);
+        let (time, io, k1) = shapes.first().copied().unwrap_or((0, 0, 1));
+        atgpu_model::ShardProfile {
+            time_ops: time,
+            io_blocks_per_unit: io / k1.max(1),
+            inward_words_per_unit: b,
+            inward_txns: 1,
+            outward_words_per_unit: 0,
+            outward_txns: 0,
+            broadcast_words: 0,
+            broadcast_txns: 0,
+            shared_words: b,
+            blocks_per_unit: 1,
+        }
+    }
+
+    /// [`Self::build_sharded`] with the first level apportioned by the
+    /// **cost-driven planner**: candidate plans priced with
+    /// [`Self::shard_profile`] through the cluster cost function, so a
+    /// slow host link costs its device first-level blocks.  (The peer
+    /// gather is not in the objective — it is one transaction per
+    /// contributing device and workload-independent.)
+    pub fn build_sharded_planned(
+        &self,
+        machine: &AtgpuMachine,
+        cluster: &atgpu_model::ClusterSpec,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let k1 = self.n.div_ceil(machine.b.max(1));
+        let shards = atgpu_sim::planned_shards(k1, cluster, machine, &self.shard_profile(machine));
+        self.build_sharded_with(machine, shards)
+    }
+
+    fn build_sharded_with(
+        &self,
+        machine: &AtgpuMachine,
+        shards: Vec<atgpu_ir::Shard>,
+    ) -> Result<BuiltProgram, AlgosError> {
         if self.n == 0 {
             return Err(AlgosError::InvalidSize { reason: "empty input".into() });
         }
@@ -267,8 +314,8 @@ impl Reduce {
         } else {
             // Round 1: sharded first level.
             let k1 = n.div_ceil(b);
+            crate::vecadd::check_shards_fit(&shards, k1)?;
             let dpart = pb.device_alloc("partial0", k1);
-            let shards = atgpu_sim::even_shards(k1, devices);
             pb.begin_round();
             for s in &shards {
                 let off = s.start * b;
@@ -532,6 +579,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The cost-driven planner on an asymmetric-link cluster: the
+    /// slow-link device reduces fewer first-level blocks, and the result
+    /// still verifies.
+    #[test]
+    fn planned_sharding_verifies_on_asymmetric_links() {
+        use crate::workload::verify_built_on_cluster;
+        let m = test_machine();
+        let w = Reduce::new(8192, 9);
+        let mut cluster = atgpu_model::ClusterSpec::homogeneous(2, test_spec());
+        cluster.host_links[1] = atgpu_model::LinkParams {
+            alpha_ms: cluster.host_links[1].alpha_ms * 8.0,
+            beta_ms_per_word: cluster.host_links[1].beta_ms_per_word * 8.0,
+        };
+        let built = w.build_sharded_planned(&m, &cluster).unwrap();
+        let report =
+            verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
+                .unwrap();
+        let blocks: Vec<u64> =
+            report.rounds[0].devices.iter().map(|d| d.kernel_stats.blocks).collect();
+        assert!(blocks[1] < blocks[0], "slow-link device over-assigned: {blocks:?}");
     }
 
     #[test]

@@ -60,10 +60,51 @@ impl VecAdd {
         machine: &AtgpuMachine,
         devices: u32,
     ) -> Result<BuiltProgram, AlgosError> {
+        let k = machine.blocks_for(self.n);
+        self.build_sharded_with(machine, atgpu_sim::even_shards(k, devices))
+    }
+
+    /// The per-block cost shape of the vecadd kernel — what the
+    /// cost-driven planner prices: `2b` words in, `b` words out, 3
+    /// coalesced block transactions and an `O(1)` kernel per block.
+    /// This *is* [`atgpu_model::ShardProfile::streaming`] — the planner's
+    /// generic streaming default is defined as the vecadd shape, so the
+    /// two stay in lockstep by construction.
+    pub fn shard_profile(machine: &AtgpuMachine) -> atgpu_model::ShardProfile {
+        atgpu_model::ShardProfile::streaming(machine.b)
+    }
+
+    /// [`Self::build_sharded`] with the blocks apportioned by the
+    /// **cost-driven planner** ([`atgpu_sim::planned_shards`]): candidate
+    /// plans (even, compute-weighted, transfer-balanced) are priced with
+    /// this workload's [`Self::shard_profile`] through the cluster cost
+    /// function — per-device host-link `α`/`β` included — and the
+    /// cheapest modeled plan wins.  On a cluster of identical GPUs behind
+    /// asymmetric host links this hands the slow-link device fewer
+    /// blocks, which an even or `k′·clock`-weighted split never would.
+    pub fn build_sharded_planned(
+        &self,
+        machine: &AtgpuMachine,
+        cluster: &atgpu_model::ClusterSpec,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let k = machine.blocks_for(self.n);
+        let shards = atgpu_sim::planned_shards(k, cluster, machine, &Self::shard_profile(machine));
+        self.build_sharded_with(machine, shards)
+    }
+
+    /// [`Self::build_sharded`] with an explicit shard plan (the grid's
+    /// blocks, contiguously partitioned) — what the experiment harness
+    /// uses to compare planners on the same program shape.
+    pub fn build_sharded_with(
+        &self,
+        machine: &AtgpuMachine,
+        shards: Vec<atgpu_ir::Shard>,
+    ) -> Result<BuiltProgram, AlgosError> {
         if self.n == 0 {
             return Err(AlgosError::InvalidSize { reason: "empty vectors".into() });
         }
         let k = machine.blocks_for(self.n);
+        check_shards_fit(&shards, k)?;
         let n = self.n;
 
         let mut pb = ProgramBuilder::new("vecadd_sharded");
@@ -76,7 +117,6 @@ impl VecAdd {
 
         // A shard covering blocks [start, end) touches the word range
         // [start·b, min(end·b, n)) of every buffer.
-        let shards = atgpu_sim::even_shards(k, devices);
         let slice = |s: &atgpu_ir::Shard| {
             let off = s.start * machine.b;
             (off, (s.end * machine.b).min(n) - off)
@@ -142,6 +182,22 @@ impl VecAdd {
             outputs: vec![hc],
         })
     }
+}
+
+/// Rejects a caller-supplied shard plan whose ranges fall outside the
+/// `grid`-block launch (the slice arithmetic below would otherwise
+/// underflow before `ProgramBuilder::build`'s partition validation gets
+/// a chance to report it properly).
+pub(crate) fn check_shards_fit(shards: &[atgpu_ir::Shard], grid: u64) -> Result<(), AlgosError> {
+    if let Some(s) = shards.iter().find(|s| s.start >= s.end || s.end > grid) {
+        return Err(AlgosError::InvalidSize {
+            reason: format!(
+                "shard [{}, {}) on device {} does not fit the {grid}-block grid",
+                s.start, s.end, s.device
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Builds the vecadd kernel: `k` blocks stage both operand rows into
@@ -359,6 +415,60 @@ mod tests {
                 assert!(xfer.iter().all(|&t| t > 0.0), "devices={devices} n={n}");
             }
         }
+    }
+
+    /// The cost-driven planner on identical devices behind a fast and a
+    /// slow host link: the slow-link device must run fewer blocks, and
+    /// the planned program must beat the even split's observed total.
+    #[test]
+    fn planned_sharding_starves_slow_links_and_verifies() {
+        use crate::workload::verify_built_on_cluster;
+        let m = test_machine();
+        let w = VecAdd::new(1 << 12, 13);
+        let mut cluster = atgpu_model::ClusterSpec::homogeneous(2, test_spec());
+        cluster.host_links[1] = atgpu_model::LinkParams {
+            alpha_ms: cluster.host_links[1].alpha_ms * 8.0,
+            beta_ms_per_word: cluster.host_links[1].beta_ms_per_word * 8.0,
+        };
+        let built = w.build_sharded_planned(&m, &cluster).unwrap();
+        let report =
+            verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
+                .unwrap();
+        let blocks: Vec<u64> =
+            report.rounds[0].devices.iter().map(|d| d.kernel_stats.blocks).collect();
+        assert!(blocks[1] < blocks[0], "slow-link device over-assigned: {blocks:?}");
+        let even = w.build_sharded(&m, 2).unwrap();
+        let r_even =
+            verify_built_on_cluster(&even, &w.expected(), &m, &cluster, &SimConfig::default())
+                .unwrap();
+        assert!(
+            report.total_ms() < r_even.total_ms(),
+            "planned {} vs even {}",
+            report.total_ms(),
+            r_even.total_ms()
+        );
+    }
+
+    /// A caller-supplied shard plan that exceeds the grid must come back
+    /// as a proper error, not a slice-arithmetic underflow panic.
+    #[test]
+    fn explicit_shard_plan_outside_grid_rejected() {
+        let m = test_machine();
+        let w = VecAdd::new(4 * m.b, 1); // 4-block grid
+        for bad in [
+            vec![atgpu_ir::Shard { device: 0, start: 0, end: 8 }],
+            vec![atgpu_ir::Shard { device: 0, start: 4, end: 8 }],
+            vec![atgpu_ir::Shard { device: 0, start: 2, end: 2 }],
+        ] {
+            assert!(
+                w.build_sharded_with(&m, bad.clone()).is_err(),
+                "plan {bad:?} must be rejected"
+            );
+        }
+        // The full in-range grid still builds.
+        assert!(w
+            .build_sharded_with(&m, vec![atgpu_ir::Shard { device: 0, start: 0, end: 4 }])
+            .is_ok());
     }
 
     #[test]

@@ -666,6 +666,62 @@ mod tests {
         assert!(overlapped.total_ms < serial.total());
     }
 
+    /// Every path that could hand an out-of-range stream id to the
+    /// shared `StreamTimeline` (whose clamp would silently alias streams
+    /// 8, 9, … onto one chain) is closed:
+    ///
+    /// 1. the IR validator's bound and the model's timeline bound are
+    ///    the same constant;
+    /// 2. every *validated* program carries only in-range ids, so the
+    ///    schedules [`stream_schedule`] derives from it do too;
+    /// 3. a forged program is rejected by the validator before this
+    ///    module could propagate its ids (and `streamed_evaluate` /
+    ///    `cluster_cost_streamed` reject forged *schedules* — pinned in
+    ///    atgpu-model's own tests).
+    #[test]
+    fn stream_bounds_cover_every_schedule_path() {
+        assert_eq!(atgpu_ir::MAX_STREAMS, atgpu_model::MAX_STREAMS);
+
+        let build = |stream: u32| {
+            let mut pb = ProgramBuilder::new("bounds");
+            let h = pb.host_input("A", 64);
+            let o = pb.host_output("C", 64);
+            let d = pb.device_alloc("a", 64);
+            pb.begin_round();
+            pb.transfer_in_streamed(0, stream, h, 0, d, 0, 64);
+            pb.sync_stream(0, stream);
+            pb.transfer_out_streamed(0, stream, d, 0, o, 0, 64);
+            pb.build()
+        };
+        // The top legal id validates; its derived schedule stays bounded.
+        let p = build(atgpu_ir::MAX_STREAMS - 1).unwrap();
+        for sched in stream_schedules(&p, 2).iter().flatten() {
+            for item in &sched.items {
+                let stream = match item {
+                    StreamItem::TransferIn { stream, .. }
+                    | StreamItem::TransferOut { stream, .. }
+                    | StreamItem::SyncStream { stream } => *stream,
+                    StreamItem::Kernel | StreamItem::SyncDevice => continue,
+                };
+                assert!(stream < atgpu_model::MAX_STREAMS);
+            }
+        }
+        // One past the bound never builds.
+        assert!(build(atgpu_ir::MAX_STREAMS).is_err());
+
+        // A program forged *after* validation is caught by re-validation
+        // — the check `analyze_program` runs on entry.
+        let mut forged = build(0).unwrap();
+        for round in &mut forged.rounds {
+            for step in &mut round.steps {
+                if let HostStep::TransferIn { stream, .. } = step {
+                    *stream = atgpu_ir::MAX_STREAMS + 7;
+                }
+            }
+        }
+        assert!(analyze_program(&forged, &machine()).is_err());
+    }
+
     #[test]
     fn stream_schedules_split_by_device() {
         let mut pb = ProgramBuilder::new("multi");

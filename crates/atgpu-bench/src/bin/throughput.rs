@@ -6,8 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p atgpu-bench --bin throughput -- \
-//!     [--out BENCH_4.json] [--fast] \
-//!     [--compare BENCH_3.json] [--tolerance 0.85]
+//!     [--out BENCH_5.json] [--fast] \
+//!     [--compare BENCH_4.json] [--tolerance 0.85]
 //! ```
 //!
 //! `--fast` runs one repetition per workload (CI smoke); the default
@@ -27,7 +27,11 @@
 //! with the recording host (CI runners differ by 2× and shared boxes
 //! drift hour to hour, which this repo's own BENCH_*.json history shows
 //! on untouched code), so an un-normalized gate would flake on machine
-//! weather instead of catching regressions.
+//! weather instead of catching regressions.  The normalized ratio itself
+//! shifts across CPU generations, so the gate additionally divides each
+//! workload's ratio by the clamped leave-one-out median of the fleet's
+//! ratios (see [`atgpu_bench::gate`]) — host-wide shifts cancel,
+//! relative per-workload regressions still trip.
 //!
 //! Cross-launch kernel-cache hit rates are reported per workload, and
 //! the `relaunch_vecadd` pair measures the cache's effect directly: the
@@ -135,6 +139,35 @@ fn measure_cluster(n: u64, devices: u32, name: &'static str, reps: usize) -> Mea
     let w = VecAdd::new(n, 1);
     let built = w.build_sharded(&cfg.machine, devices).expect("sharded vecadd builds");
     let cluster = ClusterSpec::homogeneous(devices as usize, cfg.spec);
+    measure_on_cluster(built, cluster, n, name, reps)
+}
+
+/// Times the **cost-planned** sharded vecadd on a link-asymmetric
+/// 2-device cluster (identical GPUs, second host link 8x slower) — the
+/// pipeline-planner workload: plan candidates are priced through the
+/// cluster cost function at build time, then the planned program is
+/// simulated end to end.
+fn measure_cluster_planned(n: u64, name: &'static str, reps: usize) -> Measurement {
+    let cfg = bench_config();
+    let mut cluster = ClusterSpec::homogeneous(2, cfg.spec);
+    cluster.host_links[1] = atgpu_model::LinkParams {
+        alpha_ms: cluster.host_links[1].alpha_ms * 8.0,
+        beta_ms_per_word: cluster.host_links[1].beta_ms_per_word * 8.0,
+    };
+    let w = VecAdd::new(n, 1);
+    let built =
+        w.build_sharded_planned(&cfg.machine, &cluster).expect("planned sharded vecadd builds");
+    measure_on_cluster(built, cluster, n, name, reps)
+}
+
+fn measure_on_cluster(
+    built: BuiltProgram,
+    cluster: ClusterSpec,
+    n: u64,
+    name: &'static str,
+    reps: usize,
+) -> Measurement {
+    let cfg = bench_config();
     let blocks = cfg.machine.blocks_for(n);
 
     let time_mode = |sim: &SimConfig| -> (f64, CacheStats) {
@@ -160,7 +193,7 @@ fn measure_cluster(n: u64, devices: u32, name: &'static str, reps: usize) -> Mea
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut reps = 5usize;
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.85f64;
@@ -229,6 +262,10 @@ fn main() {
         (
             "vecadd_sharded_4dev",
             Box::new(|r| measure_cluster(200_000, 4, "vecadd_sharded_4dev", r)),
+        ),
+        (
+            "vecadd_planned_asym2dev",
+            Box::new(|r| measure_cluster_planned(200_000, "vecadd_planned_asym2dev", r)),
         ),
         (
             "ooc_vecadd_streamed",

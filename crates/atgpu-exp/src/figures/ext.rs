@@ -685,6 +685,209 @@ pub fn e9_kernel_cache(cfg: &ExpConfig) -> Result<String, AlgosError> {
     Ok(out)
 }
 
+/// E10 — the cost-driven pipeline planner, mixed generations and
+/// asymmetric links:
+///
+/// 1. **Planner sweep** — even vs compute-weighted vs cost-driven
+///    (pipeline) shard plans across device counts × host-link
+///    asymmetries × a transfer-bound (vecadd) and a compute-bound
+///    (matmul) workload, observed totals next to the analytic
+///    `plan_cost` predictions;
+/// 2. **The transfer blind spot** — identical GPUs behind a fast + slow
+///    PCIe pair: compute weighting sees a "homogeneous" cluster and
+///    splits evenly; the cost-driven planner starves the slow link;
+/// 3. **Auto-chunked streaming** — `OocVecAdd::build_planned` derives
+///    its double-buffered chunk from the model (no hand tuning) and is
+///    measured against its de-streamed serial form.
+pub fn e10_pipeline_planner(cfg: &ExpConfig) -> Result<String, AlgosError> {
+    use atgpu_algos::vecadd::VecAdd;
+    use atgpu_model::{plan, ClusterSpec, LinkParams, ShardProfile};
+    use atgpu_sim::{
+        even_shards, planned_shards, run_cluster_program, run_program, weighted_shards,
+    };
+
+    let quick = matches!(cfg.scale, crate::runner::Scale::Quick);
+    let machine = &cfg.machine;
+    let err = |e: &dyn std::fmt::Display| AlgosError::InvalidSize { reason: e.to_string() };
+    let mut out = String::new();
+
+    // Identical devices; the LAST device's host link slowed by 8x in
+    // the asymmetric configurations.
+    let slow = 8.0;
+    let make_cluster = |devices: usize, asym: bool| {
+        let mut c = ClusterSpec::homogeneous(devices, cfg.spec);
+        if asym {
+            let l = &mut c.host_links[devices - 1];
+            *l = LinkParams {
+                alpha_ms: l.alpha_ms * slow,
+                beta_ms_per_word: l.beta_ms_per_word * slow,
+            };
+        }
+        c
+    };
+    let fmt_counts = |c: &[u64]| c.iter().map(u64::to_string).collect::<Vec<_>>().join(" / ");
+
+    // -- 1 + 2: planner sweep -----------------------------------------
+    let n_vec: u64 = if quick { 1 << 15 } else { 1 << 20 };
+    let mm_n: u64 = if quick { 256 } else { 512 };
+    let mut rows = Vec::new();
+    // (observed_weighted, observed_planned, predicted_planned) of the
+    // acceptance case: 2 devices, asymmetric, vecadd.
+    let mut acceptance: Option<(f64, f64, f64)> = None;
+    for devices in [2usize, 4] {
+        for asym in [false, true] {
+            let cluster = make_cluster(devices, asym);
+            for workload in ["vecadd", "matmul"] {
+                if workload == "matmul" && !(devices == 2 && asym) {
+                    continue; // one compute-bound contrast case is enough
+                }
+                let (units, profile): (u64, ShardProfile) = match workload {
+                    "vecadd" => (machine.blocks_for(n_vec), VecAdd::shard_profile(machine)),
+                    _ => {
+                        let w = MatMul::new(mm_n, 3);
+                        (mm_n / machine.b, w.row_profile(machine))
+                    }
+                };
+                let plans = [
+                    ("even", even_shards(units, devices as u32)),
+                    ("weighted", weighted_shards(units, &cluster)),
+                    ("pipeline", planned_shards(units, &cluster, machine, &profile)),
+                ];
+                let mut base_ms = None;
+                for (name, shards) in plans {
+                    let built = match workload {
+                        "vecadd" => {
+                            VecAdd::new(n_vec, 21).build_sharded_with(machine, shards.clone())?
+                        }
+                        _ => MatMul::new(mm_n, 3).build_sharded_rows(machine, shards.clone())?,
+                    };
+                    let report = run_cluster_program(
+                        &built.program,
+                        built.inputs.clone(),
+                        machine,
+                        &cluster,
+                        &cfg.sim,
+                    )?;
+                    let c = atgpu_sim::shard_counts(&shards, devices);
+                    let predicted =
+                        plan::plan_cost(&cluster, machine, &profile, &c).map_err(|e| err(&e))?;
+                    let observed = report.total_ms();
+                    let speedup = match base_ms {
+                        None => {
+                            base_ms = Some(observed);
+                            1.0
+                        }
+                        Some(b) => b / observed,
+                    };
+                    if workload == "vecadd" && devices == 2 && asym {
+                        match name {
+                            "weighted" => acceptance = Some((observed, 0.0, 0.0)),
+                            "pipeline" => {
+                                let (w, _, _) = acceptance.expect("weighted row measured first");
+                                acceptance = Some((w, observed, predicted));
+                            }
+                            _ => {}
+                        }
+                    }
+                    rows.push(vec![
+                        devices.to_string(),
+                        if asym { format!("last link /{slow:.0}") } else { "symmetric".into() },
+                        workload.to_string(),
+                        name.to_string(),
+                        fmt_counts(&atgpu_sim::shard_counts(&shards, devices)),
+                        format!("{observed:.3}"),
+                        format!("{predicted:.3}"),
+                        format!("{speedup:.2}x"),
+                    ]);
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "### E10 — planner sweep (vecadd n = {n_vec}, matmul n = {mm_n}; links slowed {slow:.0}x)\n"
+    );
+    out.push_str(&markdown_table(
+        &[
+            "devices",
+            "links",
+            "workload",
+            "planner",
+            "blocks per device",
+            "observed (ms)",
+            "predicted (ms)",
+            "speedup vs even",
+        ],
+        &rows,
+    ));
+
+    let (obs_weighted, obs_planned, pred_planned) = acceptance.expect("acceptance case measured");
+    let gap = (pred_planned - obs_planned).abs() / obs_planned.max(1e-12);
+    let _ = writeln!(
+        out,
+        "\nPipeline-planner speedup on the link-asymmetric transfer-bound case: \
+         {:.2}x over compute-weighted (identical devices, so the weighted planner \
+         splits evenly — the transfer blind spot); prediction within {:.1}% of observation.\n",
+        obs_weighted / obs_planned,
+        100.0 * gap
+    );
+
+    // -- 3: auto-chunked streamed ooc-vecadd --------------------------
+    // Paper scale regardless of --quick: the σ amortisation that makes
+    // the pipeline pay needs enough rounds to show.
+    let n_ooc = 1u64 << 20;
+    let w = atgpu_algos::ooc::OocVecAdd::new(n_ooc, machine.b, 8);
+    let planned = w.build_planned(machine, &cfg.spec)?;
+    let chunk_words = planned.program.rounds.first().map(|r| r.inward().0).unwrap_or(0) / 2;
+    let r_planned =
+        run_program(&planned.program, planned.inputs.clone(), machine, &cfg.spec, &cfg.sim)?;
+    let serial = planned.program.destreamed();
+    let r_serial = run_program(&serial, planned.inputs.clone(), machine, &cfg.spec, &cfg.sim)?;
+    let predict = |p: &atgpu_ir::Program| -> Result<f64, AlgosError> {
+        let analysis = analyze_program(p, machine).map_err(|e| err(&e))?;
+        let sched = atgpu_analyze::stream_schedule(p);
+        let c = atgpu_model::cost::streamed_evaluate(
+            &cfg.params,
+            machine,
+            &cfg.spec,
+            &analysis.metrics(),
+            &sched,
+        )
+        .map_err(|e| err(&e))?;
+        Ok(c.total_ms)
+    };
+    let pred_planned_ooc = predict(&planned.program)?;
+    let pred_serial_ooc = predict(&serial)?;
+    let _ = writeln!(
+        out,
+        "### E10 — auto-chunked ooc-vecadd (n = {n_ooc}, solver-derived chunk = {chunk_words} words)\n"
+    );
+    out.push_str(&markdown_table(
+        &["variant", "rounds R", "observed (ms)", "predicted (ms)"],
+        &[
+            vec![
+                "serial (de-streamed)".into(),
+                serial.num_rounds().to_string(),
+                format!("{:.3}", r_serial.total_ms()),
+                format!("{pred_serial_ooc:.3}"),
+            ],
+            vec![
+                "planned ping-pong".into(),
+                planned.program.num_rounds().to_string(),
+                format!("{:.3}", r_planned.total_ms()),
+                format!("{pred_planned_ooc:.3}"),
+            ],
+        ],
+    ));
+    let _ = writeln!(
+        out,
+        "\nAuto-chunk overlap: observed {:.2}x, predicted {:.2}x — no hand-tuned chunk size.\n",
+        r_serial.total_ms() / r_planned.total_ms(),
+        pred_serial_ooc / pred_planned_ooc
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -821,6 +1024,47 @@ mod tests {
                 .unwrap_or(0.0);
             assert!(rate > 90.0, "hit rate {rate} too low in: {line}");
         }
+    }
+
+    /// The PR's acceptance criteria, pinned: on the E10 link-asymmetric
+    /// transfer-bound case the pipeline planner beats the
+    /// compute-weighted planner's observed round time by ≥ 1.2x with the
+    /// analytic prediction within 10% of observation, and the
+    /// auto-chunked streamed ooc-vecadd reproduces the hand-written
+    /// overlap (≥ 1.5x vs its serial form) without a hand-tuned chunk.
+    #[test]
+    fn e10_planner_beats_weighted_and_predicts() {
+        let s = e10_pipeline_planner(&cfg()).unwrap();
+        let line =
+            s.lines().find(|l| l.starts_with("Pipeline-planner speedup")).expect("acceptance line");
+        let speedup: f64 = line
+            .split("case: ")
+            .nth(1)
+            .and_then(|t| t.split('x').next())
+            .and_then(|v| v.trim().parse().ok())
+            .expect("speedup value");
+        assert!(speedup >= 1.2, "planner speedup {speedup} < 1.2\n{s}");
+        let gap: f64 = line
+            .split("within ")
+            .nth(1)
+            .and_then(|t| t.split('%').next())
+            .and_then(|v| v.trim().parse().ok())
+            .expect("prediction gap");
+        assert!(gap <= 10.0, "prediction off by {gap}%\n{s}");
+
+        let overlap_line =
+            s.lines().find(|l| l.starts_with("Auto-chunk overlap")).expect("auto-chunk line");
+        let grab = |tag: &str| -> f64 {
+            overlap_line
+                .split(tag)
+                .nth(1)
+                .and_then(|t| t.split('x').next())
+                .and_then(|v| v.trim().parse().ok())
+                .expect("overlap value")
+        };
+        let (obs, pred) = (grab("observed "), grab("predicted "));
+        assert!(obs >= 1.5, "auto-chunk overlap {obs} < 1.5\n{s}");
+        assert!((obs - pred).abs() < 0.2, "observed {obs} vs predicted {pred}\n{s}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! | [`figures::fig5`] | Fig. 5a/5b — matrix multiplication |
 //! | [`figures::fig6`] | Fig. 6a/6b/6c — transfer proportions ΔE vs ΔT |
 //! | [`figures::summary`] | §IV-D summary statistics |
-//! | [`figures::ext`] | E1 out-of-core, E2 other GPUs, E3 bank conflicts, E4 occupancy, E5 other problems, E6 calibration |
+//! | [`figures::ext`] | E1 out-of-core, E2 other GPUs, E3 bank conflicts, E4 occupancy, E5 other problems, E6 calibration, E7 multi-device sharding, E8 streams + threaded clusters, E9 kernel cache, E10 cost-driven pipeline planner |
 //!
 //! Each runner produces [`series::Figure`] data that the [`report`]
 //! module renders as CSV / gnuplot / markdown files and the [`chart`]

@@ -25,6 +25,9 @@
 //!   function with the transfer terms removed, exactly as the paper's
 //!   evaluation constructs it);
 //! * [`occupancy`](mod@occupancy) — the block-residency function `ℓ = min(⌊M/m⌋, H)`;
+//! * [`plan`] — the planning layer: workload [`plan::ShardProfile`]s,
+//!   cost-driven shard apportionment and the chunk-size solver, all
+//!   priced through the cost functions above;
 //! * [`baselines`] — AGPU-style asymptotic summaries and the classical
 //!   models (PRAM, BSP, BSPRAM, PEM) discussed in the paper's related work;
 //! * [`comparison`] — the feature matrix of Table I, generated from data;
@@ -49,6 +52,7 @@ pub mod machine;
 pub mod metrics;
 pub mod occupancy;
 pub mod params;
+pub mod plan;
 pub mod streams;
 
 pub use cost::{ClusterCostBreakdown, CostBreakdown, PeerTraffic, StreamedCost};
@@ -57,4 +61,5 @@ pub use machine::AtgpuMachine;
 pub use metrics::{AlgoMetrics, RoundMetrics};
 pub use occupancy::occupancy;
 pub use params::{ClusterSpec, CostParams, GpuSpec, LinkParams};
+pub use plan::ShardProfile;
 pub use streams::{RoundSchedule, StreamItem, StreamResource, StreamTimeline, MAX_STREAMS};

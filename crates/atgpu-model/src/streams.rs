@@ -274,6 +274,40 @@ mod tests {
         assert_eq!(t.finish(), 3.0);
     }
 
+    /// Pins the clamp's aliasing behaviour: stream ids `≥ MAX_STREAMS`
+    /// all alias the **last** slot, identically in `advance` and
+    /// `sync_stream`, so a future refactor cannot diverge the two (an
+    /// `advance` clamping while `sync_stream` allocated — or vice versa —
+    /// would silently un-order operations the clamp had chained).  No
+    /// validated program reaches this: the IR validator bounds every
+    /// built program's stream ids, `check_schedule_streams` bounds every
+    /// hand-built [`RoundSchedule`], and the simulator driver re-checks
+    /// hand-constructed programs.
+    #[test]
+    fn clamp_aliases_advance_and_sync_identically() {
+        // advance on MAX_STREAMS+1 and sync on MAX_STREAMS land on the
+        // same slot: the sync must observe the advance.
+        let mut t = StreamTimeline::new();
+        t.advance(MAX_STREAMS + 1, HostToDevice, 4.0);
+        t.sync_stream(MAX_STREAMS);
+        t.advance(0, Compute, 1.0);
+        assert_eq!(t.finish(), 5.0);
+
+        // The clamped slot is the genuine last stream: work enqueued on
+        // MAX_STREAMS−1 and on any id above it forms ONE serial chain.
+        let mut t = StreamTimeline::new();
+        t.advance(MAX_STREAMS - 1, HostToDevice, 2.0);
+        t.advance(MAX_STREAMS + 5, DeviceToHost, 3.0); // aliased: same chain
+        assert_eq!(t.finish(), 5.0);
+
+        // And distinct out-of-range ids alias each other too.
+        let mut t = StreamTimeline::new();
+        t.advance(8, HostToDevice, 2.0);
+        t.advance(9, HostToDevice, 2.0);
+        t.sync_stream(u32::MAX);
+        assert_eq!(t.floor, 4.0);
+    }
+
     #[test]
     fn advance_returns_completion_time() {
         let mut t = StreamTimeline::new();

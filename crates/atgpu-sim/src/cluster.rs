@@ -39,7 +39,7 @@ use crate::warp::WriteRec;
 use crate::xfer::TransferEngine;
 use crate::{EngineSel, ExecMode, SimConfig};
 use atgpu_ir::{HostStep, Kernel, Program, Shard};
-use atgpu_model::{AtgpuMachine, ClusterSpec, StreamResource, StreamTimeline};
+use atgpu_model::{plan, AtgpuMachine, ClusterSpec, ShardProfile, StreamResource, StreamTimeline};
 
 /// A simulated multi-GPU system.
 #[derive(Debug)]
@@ -114,34 +114,122 @@ pub fn weighted_shards(blocks: u64, spec: &ClusterSpec) -> Vec<Shard> {
         let rb = quotas[b] - quotas[b].floor();
         rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
-    for i in 0..(blocks - assigned) as usize {
-        lens[order[i % order.len()]] += 1;
+    // Largest-remainder invariant: Σ⌊qᵈ⌋ > blocks − n_devices, so fewer
+    // leftovers than devices.  Checked, not assumed — the old
+    // `order[i % len]` wrap would have silently double-assigned to the
+    // highest-remainder device if it ever broke.  Like the symmetric
+    // `assigned > blocks` edge above, the only way here is FP rounding
+    // (every quota epsilon below its exact integer), where apportioning
+    // is meaningless — fall back to the even split rather than panic
+    // mid-simulation.
+    let leftovers = (blocks - assigned) as usize;
+    if leftovers >= order.len() {
+        return even_shards(blocks, spec.n_devices() as u32);
     }
+    for &d in order.iter().take(leftovers) {
+        lens[d] += 1;
+    }
+    counts_to_shards(&lens)
+}
+
+/// Converts per-device contiguous block counts into a shard plan:
+/// device `d` gets the block range after devices `0..d`, zero-count
+/// devices are omitted (a zero-block shard would be rejected by
+/// `LaunchSharded` validation as a non-partition).
+pub fn counts_to_shards(counts: &[u64]) -> Vec<Shard> {
     let mut out = Vec::new();
     let mut cursor = 0u64;
-    for (d, len) in lens.into_iter().enumerate() {
-        // A zero-block shard would be rejected by `LaunchSharded`
-        // validation as a non-partition: drop it (its blocks — none —
-        // need no rehoming; the remainder loop above already folded the
-        // grid's blocks onto the fastest devices).
+    for (d, &len) in counts.iter().enumerate() {
         if len == 0 {
             continue;
         }
         out.push(Shard { device: d as u32, start: cursor, end: cursor + len });
         cursor += len;
     }
-    debug_assert_eq!(out.iter().map(Shard::blocks).sum::<u64>(), blocks);
     out
 }
 
-/// The default shard planner: [`even_shards`] on a homogeneous cluster,
-/// [`weighted_shards`] as soon as any two device specifications differ.
+/// Per-device block counts of a shard plan (inverse of
+/// [`counts_to_shards`] for contiguous plans) — the shape
+/// [`atgpu_model::plan::plan_cost`] prices.
+pub fn shard_counts(shards: &[Shard], n_devices: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; n_devices];
+    for s in shards {
+        counts[s.device as usize] += s.blocks();
+    }
+    counts
+}
+
+/// The **cost-driven planner**: apportions `units` planning units
+/// (thread blocks, or coarser units like matmul tile rows — see
+/// [`ShardProfile::blocks_per_unit`]) by *pricing* candidate plans
+/// through the analytic machinery and keeping the cheapest.
+///
+/// Candidates: the even split, the compute-weighted split
+/// ([`weighted_shards`]'s `k′·clock` apportionment) and the min–max
+/// transfer-balanced waterfill ([`atgpu_model::plan::balanced_units`]).
+/// Each is priced with [`atgpu_model::plan::plan_cost`] — per-device
+/// host-link `α`/`β`, wave factors and the max-over-devices round shape
+/// all in the objective — so the modeled round time of the returned plan
+/// is never above the even or compute-weighted plans'.  Ties keep the
+/// earlier candidate (even before weighted before balanced); candidates
+/// that fail to price (e.g. blocks that cannot fit the machine) are
+/// skipped, and if none price the even split is returned.
+pub fn planned_shards(
+    units: u64,
+    spec: &ClusterSpec,
+    machine: &AtgpuMachine,
+    profile: &ShardProfile,
+) -> Vec<Shard> {
+    let n = spec.n_devices();
+    let candidates = [
+        shard_counts(&even_shards(units, n as u32), n),
+        shard_counts(&weighted_shards(units, spec), n),
+        plan::balanced_units(spec, machine, profile, units),
+    ];
+    let mut best: Option<(usize, f64)> = None;
+    for (i, counts) in candidates.iter().enumerate() {
+        let Ok(cost) = plan::plan_cost(spec, machine, profile, counts) else { continue };
+        if best.map(|(_, b)| cost < b - 1e-12).unwrap_or(true) {
+            best = Some((i, cost));
+        }
+    }
+    match best {
+        Some((i, _)) => counts_to_shards(&candidates[i]),
+        None => even_shards(units, n as u32),
+    }
+}
+
+/// The default (zero-workload-knowledge) shard planner:
+///
+/// * identical devices **and** identical host links → [`even_shards`];
+/// * devices differ, links equal → [`weighted_shards`] (`k′·clock`):
+///   with equal links the transfer terms cannot discriminate between
+///   devices for *any* workload, so compute throughput is the only
+///   signal — the pre-existing heuristic, preserved for compute-bound
+///   kernels launched through this entry point;
+/// * host links differ (whether or not the devices do) → the
+///   cost-driven [`planned_shards`] with a transfer-aware
+///   [`ShardProfile::streaming`] default on a GTX 650-like machine.
+///
+/// Device equality alone is not homogeneity: a pair of identical GPUs
+/// behind a fast and a slow PCIe link is heterogeneous for every
+/// transfer-bound kernel, and handing it an even split was precisely the
+/// transfer blind spot the paper's cost model exists to expose.  The
+/// streaming default is an approximation (it assumes a vecadd-shaped,
+/// `b = 32` workload); builders that know their real per-block traffic
+/// should call [`planned_shards`] with their own profile instead.
 pub fn plan_shards(blocks: u64, spec: &ClusterSpec) -> Vec<Shard> {
-    let homogeneous = spec.devices.windows(2).all(|w| w[0] == w[1]);
-    if homogeneous {
-        even_shards(blocks, spec.n_devices() as u32)
+    let devices_eq = spec.devices.windows(2).all(|w| w[0] == w[1]);
+    let links_eq = spec.host_links.windows(2).all(|w| w[0] == w[1]);
+    if links_eq {
+        if devices_eq {
+            even_shards(blocks, spec.n_devices() as u32)
+        } else {
+            weighted_shards(blocks, spec)
+        }
     } else {
-        weighted_shards(blocks, spec)
+        planned_shards(blocks, spec, &AtgpuMachine::gtx650_like(), &ShardProfile::streaming(32))
     }
 }
 
@@ -479,6 +567,7 @@ pub fn run_cluster_program(
     cluster_spec: &ClusterSpec,
     config: &SimConfig,
 ) -> Result<ClusterSimReport, SimError> {
+    crate::driver::check_program_streams(program)?;
     let cluster = Cluster::new(*machine, cluster_spec.clone())?;
     for d in &cluster.devices {
         d.configure_cache(config.cache, config.cache_capacity);
@@ -750,12 +839,73 @@ mod tests {
     fn plan_shards_picks_planner_by_homogeneity() {
         let spec = ClusterSpec::homogeneous(4, GpuSpec::gtx650_like());
         assert_eq!(plan_shards(64, &spec), even_shards(64, 4));
+        // Devices differ, links equal: equal links cannot discriminate,
+        // so the compute-weighted heuristic is preserved — the fast
+        // device gets more blocks.
         let mut mixed = spec.clone();
         mixed.devices[0].k_prime *= 3;
         let weighted = plan_shards(64, &mixed);
         assert_eq!(weighted, weighted_shards(64, &mixed));
         assert_ne!(weighted, even_shards(64, 4));
         assert!(weighted[0].blocks() > weighted[1].blocks());
+        // Links differ: routed to the cost-driven planner, whose modeled
+        // cost can never exceed the even or weighted plans'.
+        let mut asym = spec.clone();
+        asym.host_links[3] = atgpu_model::LinkParams {
+            alpha_ms: asym.host_links[3].alpha_ms * 8.0,
+            beta_ms_per_word: asym.host_links[3].beta_ms_per_word * 8.0,
+        };
+        let planned = plan_shards(64, &asym);
+        assert_eq!(planned.iter().map(Shard::blocks).sum::<u64>(), 64);
+        let machine = AtgpuMachine::gtx650_like();
+        let profile = ShardProfile::streaming(32);
+        let cost =
+            |s: &[Shard]| plan::plan_cost(&asym, &machine, &profile, &shard_counts(s, 4)).unwrap();
+        assert!(cost(&planned) <= cost(&even_shards(64, 4)) + 1e-12);
+        assert!(cost(&planned) <= cost(&weighted_shards(64, &asym)) + 1e-12);
+    }
+
+    /// Regression for the transfer blind spot: identical devices behind a
+    /// fast and a slow host link are **not** homogeneous — the old
+    /// planner's `DeviceSpec`-equality check handed them an even split.
+    /// The slow-link device must receive strictly fewer blocks.
+    #[test]
+    fn plan_shards_starves_slow_host_links() {
+        let mut spec = cspec(2);
+        spec.host_links[1] = atgpu_model::LinkParams {
+            alpha_ms: spec.host_links[1].alpha_ms * 8.0,
+            beta_ms_per_word: spec.host_links[1].beta_ms_per_word * 8.0,
+        };
+        let shards = plan_shards(256, &spec);
+        assert_eq!(shards.iter().map(Shard::blocks).sum::<u64>(), 256);
+        assert_ne!(shards, even_shards(256, 2), "slow link must not get an even share");
+        let blocks_of =
+            |d: u32| shards.iter().filter(|s| s.device == d).map(Shard::blocks).sum::<u64>();
+        assert!(blocks_of(1) < blocks_of(0), "slow-link device over-assigned: {shards:?}");
+        // And the plan still validates as a partition end to end.
+        let mut kb = KernelBuilder::new("probe", 256, 4);
+        kb.st_shr(AddrExpr::lane(), Operand::Block);
+        let mut pb = ProgramBuilder::new("probe_plan");
+        let _ = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.launch_sharded(kb.build(), shards);
+        pb.build().expect("cost-planned shards must partition the grid");
+    }
+
+    /// The largest-remainder boundary: `leftovers == n_devices − 1` is
+    /// the most the invariant permits, and every leftover must land on a
+    /// distinct device (the old `order[i % len]` wrap would have been
+    /// exercised exactly one step past this).
+    #[test]
+    fn weighted_shards_leftover_boundary() {
+        // 3 equal-weight devices, 5 blocks: quotas 5/3 each, floors sum
+        // to 3, leftovers = 2 = n − 1.
+        let spec = ClusterSpec::homogeneous(3, GpuSpec::gtx650_like());
+        let shards = weighted_shards(5, &spec);
+        let mut blocks: Vec<u64> = shards.iter().map(Shard::blocks).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![1, 2, 2], "{shards:?}");
+        assert_eq!(shards.iter().map(Shard::blocks).sum::<u64>(), 5);
     }
 
     #[test]
@@ -952,6 +1102,28 @@ mod tests {
         // Peer link defaults to 4x the host link: 8 words over the peer
         // link must be cheaper than the same 8 words over the host link.
         assert!(r.devices[0].peer_ms < r.devices[0].xfer_in_ms);
+    }
+
+    /// The cluster driver applies the same stream-id guard as the
+    /// single-device driver: a forged sync step cannot reach the
+    /// timeline clamp.
+    #[test]
+    fn cluster_rejects_out_of_range_stream() {
+        let (mut p, _) = sharded_vecadd_program(64, 2);
+        p.rounds[0]
+            .steps
+            .insert(0, HostStep::SyncStream { device: 0, stream: atgpu_ir::MAX_STREAMS });
+        assert!(matches!(
+            run_cluster_program(
+                &p,
+                vec![vec![0; 64], vec![0; 64]],
+                &machine(),
+                &cspec(2),
+                &SimConfig::default()
+            ),
+            Err(SimError::StreamOutOfRange { stream, round: 0 })
+                if stream == atgpu_ir::MAX_STREAMS
+        ));
     }
 
     #[test]

@@ -209,6 +209,31 @@ impl SimReport {
     }
 }
 
+/// Rejects programs addressing stream ids the timeline cannot represent.
+///
+/// The IR validator enforces the same bound on every built program, and
+/// [`StreamTimeline`] additionally clamps out-of-range ids to the last
+/// slot as a defensive measure — but a clamp *aliases* streams 8, 9, …
+/// onto one chain, silently changing the timing claim.  Checking here
+/// closes the one path (a hand-constructed [`Program`] passed straight
+/// to the driver) that could otherwise reach the clamp.
+pub(crate) fn check_program_streams(program: &Program) -> Result<(), SimError> {
+    for (round_idx, round) in program.rounds.iter().enumerate() {
+        for step in &round.steps {
+            let stream = match step {
+                HostStep::TransferIn { stream, .. }
+                | HostStep::TransferOut { stream, .. }
+                | HostStep::SyncStream { stream, .. } => *stream,
+                _ => continue,
+            };
+            if stream >= atgpu_ir::MAX_STREAMS {
+                return Err(SimError::StreamOutOfRange { stream, round: round_idx });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs one round's kernel launch, folds it into the observation and
 /// returns the launch's duration in milliseconds.
 fn run_launch(
@@ -236,6 +261,7 @@ pub fn run_program(
     spec: &GpuSpec,
     config: &SimConfig,
 ) -> Result<SimReport, SimError> {
+    check_program_streams(program)?;
     let device = Device::new(*machine, *spec)?;
     device.configure_cache(config.cache, config.cache_capacity);
     let (bases, total_words) = program.buffer_layout(machine.b);
@@ -482,6 +508,32 @@ mod tests {
         assert_eq!(report.rounds.len(), 2);
         assert_eq!(report.sync_ms(), 0.1);
         assert_eq!(report.output(o), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    /// A hand-constructed program (bypassing the builder and validator)
+    /// with an out-of-range stream id must be rejected, not silently
+    /// clamp-aliased onto the timeline's last stream slot.
+    #[test]
+    fn hand_constructed_out_of_range_stream_rejected() {
+        let (mut p, _) = vecadd_program(16);
+        for round in &mut p.rounds {
+            for step in &mut round.steps {
+                if let HostStep::TransferIn { stream, .. } = step {
+                    *stream = atgpu_ir::MAX_STREAMS + 1;
+                }
+            }
+        }
+        assert!(matches!(
+            run_program(
+                &p,
+                vec![vec![0; 16], vec![0; 16]],
+                &machine(),
+                &spec(),
+                &SimConfig::default()
+            ),
+            Err(SimError::StreamOutOfRange { stream, round: 0 })
+                if stream == atgpu_ir::MAX_STREAMS + 1
+        ));
     }
 
     #[test]

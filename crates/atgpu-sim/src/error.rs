@@ -70,6 +70,17 @@ pub enum SimError {
         /// Explanation.
         reason: String,
     },
+    /// A transfer or sync step addresses a stream id beyond
+    /// [`atgpu_ir::MAX_STREAMS`].  The IR validator rejects these at
+    /// build time; this guards hand-constructed programs handed straight
+    /// to the driver, which would otherwise silently alias onto the
+    /// [`atgpu_model::StreamTimeline`]'s clamped last slot.
+    StreamOutOfRange {
+        /// The offending stream id.
+        stream: u32,
+        /// Round index of the offending step.
+        round: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -103,6 +114,11 @@ impl fmt::Display for SimError {
                 write!(f, "step addresses device {device} but the system has {devices} device(s)")
             }
             SimError::InvalidCluster { reason } => write!(f, "invalid cluster: {reason}"),
+            SimError::StreamOutOfRange { stream, round } => write!(
+                f,
+                "round {round} addresses stream {stream}, limit {}",
+                atgpu_ir::MAX_STREAMS
+            ),
         }
     }
 }

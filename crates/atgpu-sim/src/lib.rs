@@ -92,8 +92,7 @@
 //! | cluster barrier | `ClusterSpec::sync_ms` (`σ`, per round) | every round |
 //!
 //! A `LaunchSharded` step splits one grid into contiguous block ranges
-//! ([`atgpu_ir::Shard`], planned by [`cluster::even_shards`], the
-//! speed-weighted [`cluster::plan_shards`], or by hand).  Every shard
+//! ([`atgpu_ir::Shard`], planned by the planners below or by hand).  Every shard
 //! executes against its device's pre-launch snapshot with writes
 //! deferred, and the logs merge in thread-block order through
 //! [`device::apply_write_log`] — the same machinery
@@ -110,6 +109,51 @@
 //! critical path — mirrored analytically by
 //! [`atgpu_model::cost::cluster_cost`] /
 //! [`atgpu_model::cost::cluster_cost_streamed`].
+//!
+//! ## Planner selection (even / weighted / cost-driven pipeline)
+//!
+//! Three shard planners, in increasing awareness of the cost model:
+//!
+//! | planner | apportions by | blind to |
+//! |---|---|---|
+//! | [`cluster::even_shards`] | nothing (equal shares) | everything but the block count |
+//! | [`cluster::weighted_shards`] | compute throughput `k′·clock` (largest remainder) | transfer: host-link `α`/`β`, broadcast inputs, wave quantisation |
+//! | [`cluster::planned_shards`] | **modeled round time** | nothing the cost model prices |
+//!
+//! [`cluster::planned_shards`] is the cost-driven planner: it generates
+//! candidate apportionments — the even split, the compute-weighted
+//! split, and the transfer-balanced min–max waterfill
+//! ([`atgpu_model::plan::balanced_units`]) — prices each through
+//! [`atgpu_model::plan::plan_cost`] (which runs the same
+//! `cluster_cost_streamed` objective the predictions use: per-device
+//! host-link `Î·α + I·β`, per-device wave factors, max over devices,
+//! cluster `σ`), and keeps the argmin.  Its modeled round time is
+//! therefore **never worse than either heuristic's** (pinned by
+//! `tests/planner_properties.rs`).  The objective's inputs are a
+//! [`atgpu_model::ShardProfile`] — the workload's per-unit traffic and
+//! compute — supplied by the planned builders in `atgpu-algos`
+//! (`build_sharded_planned` on vecadd/matmul/reduce).
+//!
+//! [`cluster::plan_shards`] is the zero-knowledge entry point: even on a
+//! genuinely homogeneous cluster (identical devices **and** identical
+//! host links), compute-weighted when only the devices differ (equal
+//! links cannot discriminate for any workload, so `k′·clock` is the
+//! only signal), and cost-driven with a streaming default profile as
+//! soon as the host links differ.  Device-spec equality alone is *not*
+//! homogeneity — identical GPUs behind a fast and a slow PCIe link must
+//! not get an even split for a transfer-bound kernel (the transfer
+//! blind spot this layer exists to close).
+//!
+//! On top of shard planning, the **chunk-size solver**
+//! ([`atgpu_model::plan::solve_chunk_units`]) prices double-buffered
+//! ping-pong schedules per candidate chunk and picks the modeled
+//! optimum — which lands where `T_I ≈ kernel + T_O` per round while the
+//! `σ`/`α` amortisation is priced exactly.  `OocVecAdd::build_planned`
+//! and `MatMul::build_sharded_pipelined` use it to auto-derive the
+//! schedules their `build_streamed` variants hand-write; the solver
+//! deliberately emits a *serial* single-slab program when overlap would
+//! not repay the extra per-round `σ` (compute-bound shapes on fast
+//! links).
 //!
 //! ## Stream semantics (copy/compute overlap)
 //!
@@ -198,8 +242,9 @@ pub mod xfer;
 
 pub use cache::{CacheEntry, CacheKey, CacheStats, KernelCache};
 pub use cluster::{
-    even_shards, plan_shards, run_cluster_program, weighted_shards, Cluster,
-    ClusterRoundObservation, ClusterSimReport, DeviceRoundObservation, ShardStats,
+    counts_to_shards, even_shards, plan_shards, planned_shards, run_cluster_program, shard_counts,
+    weighted_shards, Cluster, ClusterRoundObservation, ClusterSimReport, DeviceRoundObservation,
+    ShardStats,
 };
 pub use device::{apply_write_log, Device, DeviceStats, KernelStats};
 pub use driver::{run_program, HostData, RoundObservation, SimConfig, SimReport};

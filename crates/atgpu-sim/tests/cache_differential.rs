@@ -413,3 +413,121 @@ fn replay_trace_is_reused_across_launches() {
     assert!(entry.compiled.replayable);
     assert!(entry.seeded_trace().is_some(), "first launch must publish its trace");
 }
+
+/// Distinct 4-block kernels (different immediates → different cache keys)
+/// reading buffer 0 and writing block-disjoint buffer 1.
+fn distinct_kernel(i: usize, b: u64) -> Kernel {
+    let bi = b as i64;
+    let mut kb = KernelBuilder::new(format!("k{i}"), 4, 2 * b);
+    let g = AddrExpr::block() * bi + AddrExpr::lane();
+    kb.glb_to_shr(AddrExpr::lane(), DBuf(0), g.clone());
+    kb.ld_shr(0, AddrExpr::lane());
+    kb.alu(AluOp::Mul, 0, Operand::Reg(0), Operand::Imm(i as i64 + 2));
+    kb.st_shr(AddrExpr::lane() + bi, Operand::Reg(0));
+    kb.shr_to_glb(DBuf(1), g, AddrExpr::lane() + bi);
+    kb.build()
+}
+
+/// Satellite: a `cache_capacity` shrink applied between launches must
+/// reach **every** device's `KernelCache` (not just device 0), evict
+/// eagerly (entry counts drop before any further launch), and keep the
+/// hit/miss/entry counters exact afterwards.
+#[test]
+fn cluster_cache_capacity_shrinks_every_device_mid_sweep() {
+    let b = 4u64;
+    let machine = AtgpuMachine::new(1 << 12, b, 64, 1 << 16).unwrap();
+    let cluster = Cluster::new(machine, ClusterSpec::homogeneous(2, spec())).unwrap();
+    let kernels: Vec<Kernel> = (0..4).map(|i| distinct_kernel(i, b)).collect();
+    let n = 4 * b;
+    let mut gmem = GlobalMemory::new(vec![0, n], 2 * n, b, 1 << 16).unwrap();
+    let launch = |k: &Kernel, g: &mut GlobalMemory| {
+        cluster
+            .run_sharded_kernel(
+                k,
+                g,
+                &even_shards(4, 2),
+                ExecMode::Sequential,
+                false,
+                EngineSel::MicroOp,
+            )
+            .unwrap();
+    };
+
+    // Sweep 1: four distinct kernels, sharded across both devices.
+    for k in &kernels {
+        launch(k, &mut gmem);
+    }
+    for d in 0..2 {
+        let c = cluster.device(d).unwrap().stats().cache;
+        assert_eq!((c.hits, c.misses, c.entries), (0, 4, 4), "device {d} after cold sweep");
+    }
+    // Sweep 2: all four hit, on both devices.
+    for k in &kernels {
+        launch(k, &mut gmem);
+    }
+    for d in 0..2 {
+        let c = cluster.device(d).unwrap().stats().cache;
+        assert_eq!((c.hits, c.misses, c.entries), (4, 4, 4), "device {d} after warm sweep");
+    }
+
+    // Mid-sweep shrink: capacity 4 → 2 on the whole cluster.  Eviction
+    // is eager — BOTH devices drop to 2 entries before any relaunch
+    // (the bug this pins: a shrink reaching only device 0 would leave
+    // device 1 at 4 entries here).
+    for d in 0..2 {
+        cluster.device(d).unwrap().configure_cache(true, 2);
+    }
+    for d in 0..2 {
+        let c = cluster.device(d).unwrap().stats().cache;
+        assert_eq!((c.hits, c.misses, c.entries), (4, 4, 2), "device {d} after shrink");
+    }
+
+    // FIFO kept the two newest insertions (k2, k3): relaunching them
+    // hits; the evicted k0, k1 re-miss.  Counters stay exact throughout.
+    for k in &kernels[2..] {
+        launch(k, &mut gmem);
+    }
+    for k in &kernels[..2] {
+        launch(k, &mut gmem);
+    }
+    for d in 0..2 {
+        let c = cluster.device(d).unwrap().stats().cache;
+        assert_eq!((c.hits, c.misses, c.entries), (6, 6, 2), "device {d} after mixed sweep");
+    }
+}
+
+/// Satellite (program path): `run_cluster_program` propagates
+/// `SimConfig::cache_capacity` and the kill-switch to every device, and
+/// the per-device counters in the report prove it.
+#[test]
+fn run_cluster_program_configures_every_device_cache() {
+    let b = 4u64;
+    let machine = AtgpuMachine::new(1 << 12, b, 64, 1 << 16).unwrap();
+    let cspec = ClusterSpec::homogeneous(2, spec());
+    let kernel = distinct_kernel(0, b);
+    let shards = even_shards(4, 2);
+    let mut pb = atgpu_ir::ProgramBuilder::new("cap");
+    let _a = pb.device_alloc("a", 4 * b);
+    let _o = pb.device_alloc("o", 4 * b);
+    for _ in 0..2 {
+        pb.begin_round();
+        pb.launch_sharded(kernel.clone(), shards.clone());
+    }
+    let p = pb.build().unwrap();
+
+    let run = |cache: bool, capacity: usize| {
+        let cfg = atgpu_sim::SimConfig { cache, cache_capacity: capacity, ..Default::default() };
+        atgpu_sim::run_cluster_program(&p, vec![], &machine, &cspec, &cfg).unwrap()
+    };
+    // Capacity 1 on both devices: each compiles once, hits once.
+    let r = run(true, 1);
+    assert_eq!(r.device_stats.len(), 2);
+    for (d, s) in r.device_stats.iter().enumerate() {
+        assert_eq!((s.cache.hits, s.cache.misses, s.cache.entries), (1, 1, 1), "device {d}");
+    }
+    // Kill-switch off: no device records anything.
+    let r = run(false, 64);
+    for (d, s) in r.device_stats.iter().enumerate() {
+        assert_eq!(s.cache, Default::default(), "device {d}");
+    }
+}

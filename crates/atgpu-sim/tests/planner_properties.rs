@@ -1,0 +1,146 @@
+//! Property tests for the cost-driven shard planner: on random clusters
+//! (random device generations, random link asymmetries) and random
+//! workload profiles, the plan [`atgpu_sim::planned_shards`] returns
+//! must price **no worse than either heuristic candidate** — the even
+//! split and the compute-weighted split — under the same analytic
+//! objective, and must always be a partition of the grid.
+
+use atgpu_ir::Shard;
+use atgpu_model::{plan, AtgpuMachine, ClusterSpec, GpuSpec, LinkParams, ShardProfile};
+use atgpu_sim::{even_shards, planned_shards, shard_counts, weighted_shards};
+use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// A multiplier in {1/8, 1/4, 1/2, 1, 2, 4, 8}.
+    fn scale(&mut self) -> f64 {
+        [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0][self.below(7) as usize]
+    }
+}
+
+fn random_cluster(rng: &mut Rng) -> ClusterSpec {
+    let n = 1 + rng.below(4) as usize;
+    let base = [GpuSpec::gtx650_like(), GpuSpec::midrange_like(), GpuSpec::highend_like()];
+    let mut spec = ClusterSpec::homogeneous(n, base[rng.below(3) as usize]);
+    for d in 0..n {
+        let g = base[rng.below(3) as usize];
+        spec.devices[d] = GpuSpec { k_prime: 1 + rng.below(16), ..g };
+        spec.host_links[d] = LinkParams {
+            alpha_ms: g.xfer_alpha_ms * rng.scale(),
+            beta_ms_per_word: g.xfer_beta_ms_per_word * rng.scale(),
+        };
+    }
+    spec
+}
+
+fn random_profile(rng: &mut Rng) -> ShardProfile {
+    let b = 32u64;
+    ShardProfile {
+        time_ops: 1 + rng.below(100_000),
+        io_blocks_per_unit: rng.below(64),
+        inward_words_per_unit: rng.below(8) * b,
+        inward_txns: 1 + rng.below(3),
+        outward_words_per_unit: rng.below(4) * b,
+        outward_txns: 1,
+        broadcast_words: rng.below(2) * 4096,
+        broadcast_txns: 1,
+        shared_words: 3 * b,
+        blocks_per_unit: 1 + rng.below(8),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The planner's modeled round time is ≤ min(even, weighted) — the
+    /// defining guarantee of pricing candidates instead of guessing —
+    /// and its plan partitions the grid contiguously.
+    #[test]
+    fn planned_cost_at_most_even_and_weighted(seed in 0u64..1_000_000_000) {
+        let mut rng = Rng(seed | 1);
+        let cluster = random_cluster(&mut rng);
+        let machine = AtgpuMachine::gtx650_like();
+        let profile = random_profile(&mut rng);
+        let units = 1 + rng.below(5000);
+        let n = cluster.n_devices();
+
+        let planned = planned_shards(units, &cluster, &machine, &profile);
+
+        // A contiguous partition of [0, units).
+        prop_assert_eq!(planned.iter().map(Shard::blocks).sum::<u64>(), units);
+        let mut cursor = 0;
+        for s in &planned {
+            prop_assert_eq!(s.start, cursor, "gap in plan: {:?}", planned);
+            prop_assert!(s.blocks() > 0);
+            prop_assert!((s.device as usize) < n);
+            cursor = s.end;
+        }
+
+        // Modeled round time ≤ both heuristic candidates.
+        let cost = |s: &[Shard]| plan::plan_cost(&cluster, &machine, &profile, &shard_counts(s, n));
+        let c_planned = cost(&planned).expect("planned plan must price");
+        let c_even = cost(&even_shards(units, n as u32)).expect("even plan must price");
+        let c_weighted = cost(&weighted_shards(units, &cluster)).expect("weighted plan must price");
+        prop_assert!(
+            c_planned <= c_even + 1e-9,
+            "planned {} > even {} on {:?}",
+            c_planned, c_even, cluster
+        );
+        prop_assert!(
+            c_planned <= c_weighted + 1e-9,
+            "planned {} > weighted {} on {:?}",
+            c_planned, c_weighted, cluster
+        );
+    }
+
+    /// `plan_shards`' routing invariant: genuinely homogeneous clusters
+    /// (devices AND links) split evenly; link-asymmetric clusters of
+    /// identical devices never hand the slowest link an above-even share.
+    #[test]
+    fn plan_shards_routing(seed in 0u64..1_000_000_000) {
+        let mut rng = Rng(seed | 1);
+        let n = 2 + rng.below(3) as usize;
+        let spec = ClusterSpec::homogeneous(n, GpuSpec::gtx650_like());
+        let units = n as u64 * (1 + rng.below(500));
+        prop_assert_eq!(
+            atgpu_sim::plan_shards(units, &spec),
+            even_shards(units, n as u32)
+        );
+
+        // Slow down one link by ≥ 4x: that device's share must not
+        // exceed the even share.
+        let mut asym = spec.clone();
+        let victim = rng.below(n as u64) as usize;
+        let f = 4.0 * rng.scale().max(1.0);
+        asym.host_links[victim] = LinkParams {
+            alpha_ms: asym.host_links[victim].alpha_ms * f,
+            beta_ms_per_word: asym.host_links[victim].beta_ms_per_word * f,
+        };
+        let shards = atgpu_sim::plan_shards(units, &asym);
+        prop_assert_eq!(shards.iter().map(Shard::blocks).sum::<u64>(), units);
+        let share: u64 = shards
+            .iter()
+            .filter(|s| s.device as usize == victim)
+            .map(Shard::blocks)
+            .sum();
+        prop_assert!(
+            share <= units / n as u64,
+            "slow-link device {} got {} of {} units on {} devices",
+            victim, share, units, n
+        );
+    }
+}

@@ -273,3 +273,82 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every **planned** streamed program — the auto-chunked ooc-vecadd
+    /// and the auto-chunked pipelined sharded matmul — is bit-identical
+    /// to its `destreamed()` serial form across ExecModes × engines,
+    /// with identical component times and a stream total ≤ serial.
+    #[test]
+    fn planned_programs_equal_destreamed(seed in 0u64..1_000_000_000) {
+        let mut rng = Rng(seed | 1);
+        let m = machine(); // b = 4
+        // A transfer-heavy device so the chunk solver genuinely picks a
+        // multi-round ping-pong schedule (cheap α/σ, expensive β).
+        let spec = GpuSpec {
+            xfer_alpha_ms: 0.01,
+            xfer_beta_ms_per_word: 0.01,
+            sync_ms: 0.005,
+            ..spec()
+        };
+
+        // Auto-chunked out-of-core vecadd (partial last chunk allowed).
+        let n = 1024 + rng.below(4) * 512 + rng.below(16);
+        let w = atgpu_algos::ooc::OocVecAdd::new(n, m.b, seed);
+        let planned = w.build_planned(&m, &spec).unwrap();
+        let serial = planned.program.destreamed();
+        for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 2 }] {
+            for use_reference in [false, true] {
+                let cfg = SimConfig { mode, use_reference, ..SimConfig::default() };
+                let a = run_program(&planned.program, planned.inputs.clone(), &m, &spec, &cfg)
+                    .unwrap();
+                let b = run_program(&serial, planned.inputs.clone(), &m, &spec, &cfg).unwrap();
+                prop_assert_eq!(
+                    a.output(planned.outputs[0]),
+                    b.output(planned.outputs[0]),
+                    "ooc outputs diverged: mode={:?} reference={}",
+                    mode,
+                    use_reference
+                );
+                let expect = w.host_reference();
+                prop_assert_eq!(a.output(planned.outputs[0]), expect.as_slice());
+                prop_assert_eq!(a.transfer_ms(), b.transfer_ms());
+                prop_assert_eq!(a.kernel_ms(), b.kernel_ms());
+                prop_assert!(a.total_ms() <= b.total_ms() + 1e-12);
+            }
+        }
+
+        // Auto-chunked pipelined sharded matmul on a slow-link pair.
+        let mm = atgpu_algos::matmul::MatMul::new(8 * m.b, seed ^ 0x77);
+        let mut cluster = ClusterSpec::homogeneous(2, spec);
+        for l in &mut cluster.host_links {
+            l.alpha_ms *= 4.0;
+            l.beta_ms_per_word *= 4.0;
+        }
+        let built = mm.build_sharded_pipelined(&m, &cluster).unwrap();
+        let serial = built.program.destreamed();
+        for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 2 }] {
+            for use_reference in [false, true] {
+                let cfg = SimConfig { mode, use_reference, ..SimConfig::default() };
+                let a =
+                    run_cluster_program(&built.program, built.inputs.clone(), &m, &cluster, &cfg)
+                        .unwrap();
+                let b = run_cluster_program(&serial, built.inputs.clone(), &m, &cluster, &cfg)
+                    .unwrap();
+                prop_assert_eq!(
+                    a.output(built.outputs[0]),
+                    b.output(built.outputs[0]),
+                    "matmul outputs diverged: mode={:?} reference={}",
+                    mode,
+                    use_reference
+                );
+                let expect = mm.host_reference();
+                prop_assert_eq!(a.output(built.outputs[0]), expect.as_slice());
+                prop_assert!(a.total_ms() <= b.total_ms() + 1e-12);
+            }
+        }
+    }
+
+}
