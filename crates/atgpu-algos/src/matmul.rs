@@ -196,8 +196,11 @@ impl MatMul {
     /// download run on **stream 0** (the classic copy/compute-overlap
     /// pipeline, on every device at once).  `B` is broadcast once in a
     /// prologue round.  Outputs are bit-identical to [`Self::build_sharded`]
-    /// and to the serial de-streamed form; requires `n/b` divisible by
-    /// `devices · chunk_rows`.
+    /// and to the serial de-streamed form.  The tile rows need **not**
+    /// divide evenly: the final slab may be ragged (fewer than
+    /// `devices · chunk_rows` rows), in which case its rows are
+    /// re-apportioned evenly over the devices, so a device can even sit
+    /// the ragged slab out entirely.
     pub fn build_sharded_streamed(
         &self,
         machine: &AtgpuMachine,
@@ -222,15 +225,11 @@ impl MatMul {
         }
         let t = n / b;
         let devices = devices.max(1);
-        let slab = u64::from(devices) * chunk_rows; // tile rows per round
-        if chunk_rows == 0 || !t.is_multiple_of(slab) {
-            return Err(AlgosError::InvalidSize {
-                reason: format!(
-                    "tile rows {t} must be a positive multiple of devices·chunk_rows = {slab}"
-                ),
-            });
+        let slab = u64::from(devices) * chunk_rows; // tile rows per full slab
+        if chunk_rows == 0 {
+            return Err(AlgosError::InvalidSize { reason: "chunk_rows must be positive".into() });
         }
-        let slabs = t / slab;
+        let slabs = t.div_ceil(slab);
         let nn = n * n;
 
         let mut pb = ProgramBuilder::new("matmul_sharded_streamed");
@@ -241,14 +240,15 @@ impl MatMul {
         let db = pb.device_alloc("b", nn);
         let dc = pb.device_alloc("c", nn);
 
-        // Device d owns tile rows [k·slab + d·chunk_rows, k·slab + (d+1)·chunk_rows)
-        // of slab k: word offset of its A/C share.
-        let share = |k: u64, d: u64| (k * slab + d * chunk_rows) * b * n;
-        let share_words = chunk_rows * b * n;
+        // Slab k covers tile rows [k·slab, k·slab + slab_rows(k)); the
+        // last slab may be ragged, and its rows are re-apportioned
+        // evenly so no device is handed a phantom share.
+        let slab_rows = |k: u64| slab.min(t - k * slab);
+        let shares = |k: u64| atgpu_sim::even_shards(slab_rows(k), devices);
         let upload = |pb: &mut ProgramBuilder, k: u64, stream: u32| {
-            for d in 0..u64::from(devices) {
-                let off = share(k, d);
-                pb.transfer_in_streamed(d as u32, stream, ha, off, da, off, share_words);
+            for s in shares(k) {
+                let off = (k * slab + s.start) * b * n;
+                pb.transfer_in_streamed(s.device, stream, ha, off, da, off, s.blocks() * b * n);
             }
         };
 
@@ -265,21 +265,27 @@ impl MatMul {
                 // Next slab's A shares ride the copy stream.
                 upload(&mut pb, k + 1, 1);
             }
-            let kernel =
-                tiled_band_kernel(format!("matmul_slab{k}"), n, b, slab, k * slab, da, db, dc);
-            // Device d's band is the contiguous linear block range
-            // [d·chunk_rows·t, (d+1)·chunk_rows·t) of the slab grid.
-            let shards: Vec<atgpu_ir::Shard> = (0..u64::from(devices))
-                .map(|d| atgpu_ir::Shard {
-                    device: d as u32,
-                    start: d * chunk_rows * t,
-                    end: (d + 1) * chunk_rows * t,
-                })
+            let kernel = tiled_band_kernel(
+                format!("matmul_slab{k}"),
+                n,
+                b,
+                slab_rows(k),
+                k * slab,
+                da,
+                db,
+                dc,
+            );
+            // A device's band of rows [s.start, s.end) within the slab
+            // is the contiguous linear block range [s.start·t, s.end·t)
+            // of the slab grid.
+            let shards: Vec<atgpu_ir::Shard> = shares(k)
+                .iter()
+                .map(|s| atgpu_ir::Shard { device: s.device, start: s.start * t, end: s.end * t })
                 .collect();
             pb.launch_sharded(kernel, shards);
-            for d in 0..u64::from(devices) {
-                let off = share(k, d);
-                pb.transfer_out_streamed(d as u32, 0, dc, off, hc, off, share_words);
+            for s in shares(k) {
+                let off = (k * slab + s.start) * b * n;
+                pb.transfer_out_streamed(s.device, 0, dc, off, hc, off, s.blocks() * b * n);
             }
         }
 
@@ -303,9 +309,10 @@ impl MatMul {
     /// and the cheaper modeled program is emitted — on a link-asymmetric
     /// cluster the non-even one-shot plan usually wins (overlap cannot
     /// hide an 8x-slower upload), so pipelining never re-introduces the
-    /// transfer blind spot the planner exists to close.  Also falls back
-    /// to [`Self::build_sharded_planned`] when the tile rows do not
-    /// divide evenly across the devices.
+    /// transfer blind spot the planner exists to close.  Ragged row
+    /// counts are fine — the streamed emitter re-apportions the final
+    /// short slab — so the only fallback left is the degenerate empty
+    /// cluster or empty grid.
     pub fn build_sharded_pipelined(
         &self,
         machine: &AtgpuMachine,
@@ -314,12 +321,13 @@ impl MatMul {
         let b = machine.b.max(1);
         let t = self.n / b;
         let devices = cluster.n_devices() as u64;
-        if devices == 0 || !t.is_multiple_of(devices) || t == devices {
+        if devices == 0 || t == 0 {
             return self.build_sharded_planned(machine, cluster);
         }
         let profile = self.row_profile(machine);
-        let share = t / devices;
-        let even_counts = vec![share; devices as usize];
+        let share = t.div_ceil(devices);
+        let even_counts =
+            atgpu_sim::shard_counts(&atgpu_sim::even_shards(t, devices as u32), devices as usize);
         let candidates: Vec<u64> = (1..=share).filter(|c| share.is_multiple_of(*c)).collect();
         let chunk_rows = atgpu_model::plan::solve_chunk_units(
             cluster,
@@ -738,18 +746,27 @@ mod tests {
             serial.total_ms()
         );
 
-        // t = 3 rows on 2 devices cannot slab evenly: planned fallback.
+        // t = 3 rows on 2 devices slabs raggedly now — no planned
+        // fallback, and the emitted program still verifies.
         let w3 = MatMul::new(96, 5);
         let fb = w3.build_sharded_pipelined(&m, &cluster).unwrap();
         verify_built_on_cluster(&fb, &w3.expected(), &m, &cluster, &SimConfig::default()).unwrap();
     }
 
     #[test]
-    fn streamed_sharded_rejects_bad_chunking() {
+    fn streamed_sharded_handles_ragged_grids() {
+        use crate::workload::verify_built_on_cluster;
         let m = test_machine();
-        let w = MatMul::new(96, 0); // t = 3 tile rows
-        assert!(w.build_sharded_streamed(&m, 2, 1).is_err()); // 3 % 2 != 0
-        assert!(w.build_sharded_streamed(&m, 1, 0).is_err());
-        assert!(w.build_sharded_streamed(&m, 1, 3).is_ok());
+        let w = MatMul::new(96, 7); // t = 3 tile rows
+        assert!(w.build_sharded_streamed(&m, 1, 0).is_err(), "chunk_rows = 0 must be rejected");
+        // 3 rows never divide by 2 or 4 — each case leaves a ragged
+        // final slab (or a single short slab) whose rows re-apportion
+        // over the devices, some of which may sit the slab out.
+        for (devices, chunk) in [(2u32, 1u64), (1, 2), (4, 1)] {
+            let built = w.build_sharded_streamed(&m, devices, chunk).unwrap();
+            let cluster = atgpu_model::ClusterSpec::homogeneous(devices as usize, test_spec());
+            verify_built_on_cluster(&built, &w.expected(), &m, &cluster, &SimConfig::default())
+                .unwrap_or_else(|e| panic!("devices={devices} chunk={chunk}: {e}"));
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! atgpu-exp [COMMANDS] [OPTIONS]
 //!
 //! COMMANDS (any combination; default: all)
-//!   table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 all
+//!   table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 all
 //!   pseudocode NAME   print a workload's program in the paper's notation
 //!                     (vecadd, reduce, matmul, saxpy, dot, scan, stencil,
 //!                      transpose, histogram, bitonic, gemv, spmv)
@@ -91,13 +91,13 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "atgpu-exp — regenerate the ATGPU paper's tables and figures\n\
-                     commands: table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 all\n\
+                     commands: table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 all\n\
                      options:  --quick --full --out DIR --no-noise --parallel N"
                 );
                 std::process::exit(0);
             }
             cmd @ ("table1" | "fig3" | "fig4" | "fig5" | "fig6" | "summary" | "e1" | "e2"
-            | "e3" | "e4" | "e5" | "e6" | "e7" | "e8" | "e9" | "e10" | "all") => {
+            | "e3" | "e4" | "e5" | "e6" | "e7" | "e8" | "e9" | "e10" | "e11" | "all") => {
                 commands.insert(cmd.to_string());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -264,6 +264,11 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if want(args, "e10") {
         eprintln!("[ext] E10 cost-driven pipeline planner …");
         ext_md.push_str(&ext::e10_pipeline_planner(&cfg)?);
+        ext_md.push('\n');
+    }
+    if want(args, "e11") {
+        eprintln!("[ext] E11 fault injection + degraded-mode replanning …");
+        ext_md.push_str(&ext::e11_fault_tolerance(&cfg)?);
         ext_md.push('\n');
     }
     if !ext_md.is_empty() {

@@ -17,7 +17,7 @@
 use crate::error::ModelError;
 use crate::machine::AtgpuMachine;
 use crate::metrics::{AlgoMetrics, RoundMetrics};
-use crate::occupancy::wave_factor;
+use crate::occupancy::{occupancy, wave_factor};
 use crate::params::{ClusterSpec, CostParams, GpuSpec};
 use crate::streams::{RoundSchedule, StreamItem, StreamResource, StreamTimeline};
 
@@ -520,6 +520,214 @@ pub fn cluster_cost_streamed(
     Ok(out)
 }
 
+/// A device-loss scenario for [`cluster_cost_degraded`]: device `device`
+/// dies at the start of round `at_round`, the survivors absorb its shards
+/// in proportions `takeover`, and round `at_round` additionally pays a
+/// checkpoint replay of `replay_words` words in `replay_txns` transactions
+/// on every survivor's host link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedLoss {
+    /// The index of the device that dies.
+    pub device: usize,
+    /// The round at whose start it dies (rounds before run at full
+    /// strength; `at_round ≥ rounds` degrades nothing).
+    pub at_round: usize,
+    /// Words of the dead device's checkpoint journal each survivor
+    /// replays at `at_round`.
+    pub replay_words: u64,
+    /// Transactions that replay is billed as (normally 1).
+    pub replay_txns: u64,
+    /// Fraction of the dead device's per-round work each survivor takes
+    /// over.  Must have one entry per device, be zero at `device`, be
+    /// non-negative, and sum to 1.
+    pub takeover: Vec<f64>,
+}
+
+/// [`cluster_cost`] under a mid-program device loss — the analytic mirror
+/// of the simulator's degraded mode.  Rounds before `loss.at_round` are
+/// priced exactly like [`cluster_cost`].  From `at_round` on:
+///
+/// * the dead device contributes nothing to any round's max;
+/// * every survivor pays the dead device's **full** inward traffic on its
+///   own host link (staged inputs are broadcast so any survivor can run
+///   any recovery shard);
+/// * survivor `d`'s kernel term grows fractionally: `k′_d = k_d +
+///   f_d·k_dead` blocks (waves computed in `f64`), and the DRAM term gets
+///   `q_d + f_d·q_dead`;
+/// * only the heir (lowest surviving index) pays the dead device's
+///   outward traffic;
+/// * peer traffic touching the dead device is re-routed the way the
+///   simulator routes it: a dead source is replaced by the heir, a dead
+///   destination becomes a broadcast to every survivor, and a copy whose
+///   endpoints coincide is a free local move;
+/// * round `at_round` alone adds the checkpoint replay
+///   `replay_txns·α_d + replay_words·β_d` to every survivor.
+///
+/// Each degraded round still costs `σ + max` over the surviving paths.
+pub fn cluster_cost_degraded(
+    cluster: &ClusterSpec,
+    machine: &AtgpuMachine,
+    per_device: &[AlgoMetrics],
+    peer: &[Vec<PeerTraffic>],
+    loss: &DegradedLoss,
+) -> Result<ClusterCostBreakdown, ModelError> {
+    cluster.validate()?;
+    let n = cluster.n_devices();
+    if per_device.len() != n {
+        return Err(ModelError::InvalidParams {
+            reason: format!("{} device metric tables for a {n}-device cluster", per_device.len()),
+        });
+    }
+    if loss.device >= n {
+        return Err(ModelError::InvalidParams {
+            reason: format!("lost device {} outside {n}-device cluster", loss.device),
+        });
+    }
+    if n < 2 {
+        return Err(ModelError::InvalidParams {
+            reason: "a 1-device cluster has no survivors to degrade onto".into(),
+        });
+    }
+    if loss.takeover.len() != n {
+        return Err(ModelError::InvalidParams {
+            reason: format!("{} takeover fractions for a {n}-device cluster", loss.takeover.len()),
+        });
+    }
+    if loss.takeover[loss.device].abs() > 1e-9 || loss.takeover.iter().any(|&f| f < 0.0) {
+        return Err(ModelError::InvalidParams {
+            reason: "takeover fractions must be non-negative and zero at the dead device".into(),
+        });
+    }
+    let f_sum: f64 = loss.takeover.iter().sum();
+    if (f_sum - 1.0).abs() > 1e-6 {
+        return Err(ModelError::InvalidParams {
+            reason: format!("takeover fractions sum to {f_sum}, expected 1"),
+        });
+    }
+    let rounds = per_device.first().map(|m| m.rounds.len()).unwrap_or(0);
+    if per_device.iter().any(|m| m.rounds.len() != rounds) {
+        return Err(ModelError::InvalidParams {
+            reason: "all devices must have the same round count".into(),
+        });
+    }
+    if peer.len() > rounds {
+        return Err(ModelError::InvalidParams {
+            reason: format!("peer traffic for {} rounds but only {rounds} rounds", peer.len()),
+        });
+    }
+
+    let params: Vec<CostParams> = cluster
+        .devices
+        .iter()
+        .zip(&cluster.host_links)
+        .map(|(spec, link)| CostParams {
+            alpha: link.alpha_ms,
+            beta: link.beta_ms_per_word,
+            ..spec.derived_cost_params()
+        })
+        .collect();
+    for (metrics, p) in per_device.iter().zip(&params) {
+        p.validate()?;
+        metrics.check_fits(machine)?;
+    }
+    let heir = (0..n).find(|&d| d != loss.device).expect("n ≥ 2 guarantees a survivor");
+
+    // Peer cost per round per device, with post-death rerouting.
+    let mut peer_cost = vec![vec![0.0f64; n]; rounds];
+    for (i, (costs, round_traffic)) in peer_cost.iter_mut().zip(peer.iter()).enumerate() {
+        for t in round_traffic {
+            let (src, dst) = (t.src as usize, t.dst as usize);
+            if src >= n || dst >= n {
+                return Err(ModelError::InvalidParams {
+                    reason: format!("peer traffic {}→{} outside {n}-device cluster", t.src, t.dst),
+                });
+            }
+            if i < loss.at_round {
+                let c = cluster.peer_links[src][dst].cost_ms(t.txns, t.words);
+                costs[src] += c;
+                costs[dst] += c;
+                continue;
+            }
+            let sp = if src == loss.device { heir } else { src };
+            let receivers: Vec<usize> = if dst == loss.device {
+                (0..n).filter(|&d| d != loss.device).collect()
+            } else {
+                vec![dst]
+            };
+            for r in receivers {
+                if r == sp {
+                    continue; // local copy, free
+                }
+                let c = cluster.peer_links[sp][r].cost_ms(t.txns, t.words);
+                costs[sp] += c;
+                costs[r] += c;
+            }
+        }
+    }
+
+    let mut out = ClusterCostBreakdown {
+        per_device: vec![CostBreakdown::default(); n],
+        peer: vec![0.0; n],
+        total_ms: 0.0,
+        sync_ms: 0.0,
+    };
+    for (i, costs) in peer_cost.iter().enumerate() {
+        let mut slowest = 0.0f64;
+        let dead_round = &per_device[loss.device].rounds[i];
+        for d in 0..n {
+            if i >= loss.at_round && d == loss.device {
+                continue;
+            }
+            let round = &per_device[d].rounds[i];
+            let p = &params[d];
+            let spec = &cluster.devices[d];
+            let b = &mut out.per_device[d];
+            let path = if i < loss.at_round {
+                let kernel = gpu_kernel_term(machine, spec, p, round)?;
+                schedule_round(p, round, kernel, None, costs[d], b)
+            } else {
+                let f = loss.takeover[d];
+                let mut t_in = transfer_in_cost(p, round) + transfer_in_cost(p, dead_round);
+                if i == loss.at_round {
+                    t_in += loss.replay_txns as f64 * p.alpha + loss.replay_words as f64 * p.beta;
+                }
+                let mut t_out = transfer_out_cost(p, round);
+                if d == heir {
+                    t_out += transfer_out_cost(p, dead_round);
+                }
+                // Fractional takeover kernel: waves over the combined
+                // (possibly non-integral) block count.
+                let m_used = round.shared_words.max(dead_round.shared_words);
+                let ell = occupancy(machine, m_used, spec.h_limit);
+                if ell == 0 {
+                    return Err(ModelError::SharedMemoryExceeded {
+                        required: m_used,
+                        available: machine.m,
+                    });
+                }
+                let blocks = round.blocks_launched as f64 + f * dead_round.blocks_launched as f64;
+                let time = round.time.max(dead_round.time);
+                let wave = (blocks / (spec.k_prime * ell) as f64).ceil().max(if time > 0 {
+                    1.0
+                } else {
+                    0.0
+                });
+                let io = round.io_blocks as f64 + f * dead_round.io_blocks as f64;
+                let kernel = (wave * time as f64 + p.lambda * io) / p.gamma;
+                b.transfer_in += t_in;
+                b.transfer_out += t_out;
+                b.kernel += kernel;
+                t_in + kernel + costs[d] + t_out
+            };
+            out.peer[d] += costs[d];
+            slowest = slowest.max(path);
+        }
+        out.total_ms += cluster.sync_ms + slowest;
+        out.sync_ms += cluster.sync_ms;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -793,6 +1001,133 @@ mod tests {
         assert!(cluster_cost(&cluster, &machine(), &[m.clone(), two], &[]).is_err());
         let bad_peer = vec![vec![PeerTraffic { src: 0, dst: 7, words: 1, txns: 1 }]];
         assert!(cluster_cost(&cluster, &machine(), &[m.clone(), m], &bad_peer).is_err());
+    }
+
+    #[test]
+    fn degraded_round_matches_hand_calculation() {
+        // Two devices, two rounds; device 1 dies at the start of round 1
+        // and device 0 takes over all of its work.
+        let cluster = unit_cluster(2);
+        let m = AlgoMetrics::new(vec![shard_round(16, 1000, 200), shard_round(16, 1000, 200)]);
+        let loss = DegradedLoss {
+            device: 1,
+            at_round: 1,
+            replay_words: 100,
+            replay_txns: 1,
+            takeover: vec![1.0, 0.0],
+        };
+        let c = cluster_cost_degraded(&cluster, &machine(), &[m.clone(), m.clone()], &[], &loss)
+            .unwrap();
+        // Round 0 (full strength): T_I = 2 + 500 = 502; kernel =
+        // (⌈16/32⌉·13 + 10·48)/1 = 493; T_O = 2 + 100 = 102 → path 1097.
+        // Round 1 (degraded): T_I = own 502 + dead 502 + replay (2 + 50)
+        // = 1056; kernel over 32 combined blocks = (13 + 10·96)/1 = 973;
+        // T_O = own 102 + heir-borne dead 102 = 204 → path 2233.
+        let expect = (5.0 + 1097.0) + (5.0 + 2233.0);
+        assert!((c.total_ms - expect).abs() < 1e-9, "{} vs {expect}", c.total_ms);
+        assert_eq!(c.sync_ms, 10.0);
+        // The dead device only accumulated round 0.
+        assert!((c.per_device[1].transfer_in - 502.0).abs() < 1e-12);
+        assert!((c.per_device[1].kernel - 493.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_loss_after_last_round_matches_cluster_cost() {
+        let cluster = unit_cluster(2);
+        let m = AlgoMetrics::new(vec![shard_round(16, 1000, 200), shard_round(16, 1000, 200)]);
+        let loss = DegradedLoss {
+            device: 0,
+            at_round: 2,
+            replay_words: 0,
+            replay_txns: 0,
+            takeover: vec![0.0, 1.0],
+        };
+        let full = cluster_cost(&cluster, &machine(), &[m.clone(), m.clone()], &[]).unwrap();
+        let deg = cluster_cost_degraded(&cluster, &machine(), &[m.clone(), m.clone()], &[], &loss)
+            .unwrap();
+        assert!((full.total_ms - deg.total_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_takeover_splits_the_dead_devices_blocks() {
+        // Three devices, one round, device 2 dies immediately; survivors
+        // split its 32 blocks 50/50, so each runs 16 + 16 = 32 blocks →
+        // still one wave, and half the dead DRAM traffic each.
+        let cluster = unit_cluster(3);
+        let live = AlgoMetrics::new(vec![shard_round(16, 0, 0)]);
+        let dead = AlgoMetrics::new(vec![shard_round(32, 0, 0)]);
+        let loss = DegradedLoss {
+            device: 2,
+            at_round: 0,
+            replay_words: 0,
+            replay_txns: 0,
+            takeover: vec![0.5, 0.5, 0.0],
+        };
+        let c =
+            cluster_cost_degraded(&cluster, &machine(), &[live.clone(), live, dead], &[], &loss)
+                .unwrap();
+        // kernel = (⌈32/32⌉·13 + 10·(48 + 0.5·96))/1 = 13 + 960 = 973.
+        assert!((c.per_device[0].kernel - 973.0).abs() < 1e-9);
+        assert!((c.per_device[1].kernel - 973.0).abs() < 1e-9);
+        assert_eq!(c.per_device[2].kernel, 0.0);
+    }
+
+    #[test]
+    fn degraded_rejects_bad_loss_shapes() {
+        let cluster = unit_cluster(2);
+        let m = AlgoMetrics::new(vec![shard_round(16, 0, 0)]);
+        let ok = DegradedLoss {
+            device: 1,
+            at_round: 0,
+            replay_words: 0,
+            replay_txns: 0,
+            takeover: vec![1.0, 0.0],
+        };
+        let pair = [m.clone(), m.clone()];
+        // Dead device outside the cluster.
+        let mut bad = ok.clone();
+        bad.device = 5;
+        assert!(cluster_cost_degraded(&cluster, &machine(), &pair, &[], &bad).is_err());
+        // Takeover fractions that do not sum to 1.
+        let mut bad = ok.clone();
+        bad.takeover = vec![0.5, 0.0];
+        assert!(cluster_cost_degraded(&cluster, &machine(), &pair, &[], &bad).is_err());
+        // A dead device that still claims work.
+        let mut bad = ok.clone();
+        bad.takeover = vec![0.5, 0.5];
+        assert!(cluster_cost_degraded(&cluster, &machine(), &pair, &[], &bad).is_err());
+        // No survivors at all.
+        let one = unit_cluster(1);
+        let solo = DegradedLoss { takeover: vec![0.0], device: 0, ..ok };
+        assert!(
+            cluster_cost_degraded(&one, &machine(), std::slice::from_ref(&m), &[], &solo).is_err()
+        );
+    }
+
+    #[test]
+    fn degraded_reroutes_peer_traffic_around_the_dead_device() {
+        // Device 1 dies at round 0; traffic 0→1 becomes a broadcast to
+        // the survivors, i.e. only the free local copy on device 0 in a
+        // 2-device cluster, while 2-device traffic 1→0 is re-sourced to
+        // the heir (device 0) and also becomes local.
+        let cluster = unit_cluster(2);
+        let m = AlgoMetrics::new(vec![shard_round(16, 0, 0)]);
+        let loss = DegradedLoss {
+            device: 1,
+            at_round: 0,
+            replay_words: 0,
+            replay_txns: 0,
+            takeover: vec![1.0, 0.0],
+        };
+        let traffic = vec![vec![
+            PeerTraffic { src: 0, dst: 1, words: 64, txns: 1 },
+            PeerTraffic { src: 1, dst: 0, words: 64, txns: 1 },
+        ]];
+        let c =
+            cluster_cost_degraded(&cluster, &machine(), &[m.clone(), m.clone()], &traffic, &loss)
+                .unwrap();
+        assert_eq!(c.peer[0], 0.0, "both copies collapse to free local moves");
+        assert_eq!(c.peer[1], 0.0);
     }
 
     #[test]

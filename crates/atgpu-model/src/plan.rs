@@ -225,11 +225,13 @@ fn round_quotas(quotas: &[f64], units: u64) -> Vec<u64> {
         let rb = scaled[b] - scaled[b].floor();
         rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
-    assert!(
-        (leftovers as usize) <= order.len(),
-        "largest-remainder invariant broken: {leftovers} leftovers for {} devices",
-        order.len()
-    );
+    if (leftovers as usize) > order.len() {
+        // Floating-point edge (NaN/inf quotas, extreme magnitude skew can
+        // floor more than n away): fall back to even rather than panic —
+        // planners feed this adversarial shapes during degraded-mode
+        // replanning.
+        return round_quotas(&vec![1.0; quotas.len()], units);
+    }
     for &d in order.iter().take(leftovers as usize) {
         out[d] += 1;
     }

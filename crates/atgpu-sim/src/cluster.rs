@@ -34,12 +34,14 @@
 use crate::device::{apply_write_log, check_log_races, Device, DeviceStats, KernelStats};
 use crate::driver::HostData;
 use crate::error::SimError;
+use crate::fault::{FaultRuntime, LinkEdge};
 use crate::gmem::GlobalMemory;
 use crate::warp::WriteRec;
 use crate::xfer::TransferEngine;
 use crate::{EngineSel, ExecMode, SimConfig};
 use atgpu_ir::{HostStep, Kernel, Program, Shard};
 use atgpu_model::{plan, AtgpuMachine, ClusterSpec, ShardProfile, StreamResource, StreamTimeline};
+use std::collections::HashMap;
 
 /// A simulated multi-GPU system.
 #[derive(Debug)]
@@ -322,6 +324,12 @@ pub struct DeviceRoundObservation {
     /// Kernel statistics of this device's shard(s); zero when the device
     /// ran no blocks this round.
     pub kernel_stats: KernelStats,
+    /// Transfer attempts on this device's links this round that were
+    /// dropped and re-run ([`crate::fault`]); 0 without a fault plan.
+    pub retries: u64,
+    /// Exponential-backoff wait time accumulated this round, already
+    /// included in the transfer times and the stream critical path.
+    pub backoff_ms: f64,
 }
 
 impl DeviceRoundObservation {
@@ -447,6 +455,147 @@ fn two_mems(
     }
 }
 
+/// Per-run fault bookkeeping for the cluster driver: liveness, the
+/// per-device mutation journals that double as host-side checkpoints,
+/// and the recovery counters.  Only constructed when the fault plan is
+/// non-empty — a faultless run never journals and never branches here.
+struct FaultState {
+    rt: FaultRuntime,
+    /// Liveness per device (deaths are permanent).
+    alive: Vec<bool>,
+    /// Per-device journals of every global-memory mutation since the run
+    /// started: `(seq, word address, value)`, with `seq` drawn from one
+    /// cluster-global counter so "latest write" is well-defined across
+    /// devices.  The journal is the checkpoint a dead device is
+    /// recovered from — completed rounds are never re-executed.
+    journals: Vec<Vec<(u64, u64, i64)>>,
+    /// The cluster-global mutation sequence counter.
+    seq: u64,
+    /// Recoveries absorbed per device (one per death it survived).
+    recoveries: Vec<u64>,
+}
+
+impl FaultState {
+    fn new(rt: FaultRuntime, n: usize) -> Self {
+        Self {
+            rt,
+            alive: vec![true; n],
+            journals: vec![Vec::new(); n],
+            seq: 0,
+            recoveries: vec![0; n],
+        }
+    }
+
+    /// Journals one word written on device `d`.
+    fn journal_word(&mut self, d: usize, addr: u64, val: i64) {
+        self.seq += 1;
+        self.journals[d].push((self.seq, addr, val));
+    }
+
+    /// Journals a contiguous write of `vals` at `addr` on device `d`.
+    fn journal_words(&mut self, d: usize, addr: u64, vals: &[i64]) {
+        for (i, &v) in vals.iter().enumerate() {
+            self.journal_word(d, addr + i as u64, v);
+        }
+    }
+
+    /// The lowest-index survivor — the device redirected outputs and
+    /// orphaned peer sources are served from.
+    fn heir(&self) -> usize {
+        self.alive.iter().position(|&a| a).unwrap_or(0)
+    }
+
+    /// The surviving devices, in index order.
+    fn survivors(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&i| self.alive[i]).collect()
+    }
+}
+
+/// The sub-cluster of surviving devices, plus the mapping from
+/// sub-cluster index back to real device index — what the cost-driven
+/// planner re-apportions a dead device's shards over.
+fn surviving_subspec(spec: &ClusterSpec, alive: &[bool]) -> (ClusterSpec, Vec<usize>) {
+    let idx: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+    let sub = ClusterSpec {
+        devices: idx.iter().map(|&i| spec.devices[i]).collect(),
+        host_links: idx.iter().map(|&i| spec.host_links[i]).collect(),
+        peer_links: idx
+            .iter()
+            .map(|&i| idx.iter().map(|&j| spec.peer_links[i][j]).collect())
+            .collect(),
+        sync_ms: spec.sync_ms,
+    };
+    (sub, idx)
+}
+
+/// Handles every death scheduled at the start of `round`: marks the
+/// device dead, errors if nobody survives, and replays its journal onto
+/// each survivor — last-write-wins on the global sequence number, so a
+/// survivor keeps its own later writes and gains exactly the words where
+/// the dead device held the latest value.  Each survivor's replay is
+/// priced as one inward transaction (`α + β·words`) on its own host
+/// link and counted in [`DeviceStats::recoveries`].
+fn process_deaths(
+    fs: &mut FaultState,
+    round: usize,
+    gmems: &mut [GlobalMemory],
+    host_xfer: &mut [TransferEngine],
+    devs: &mut [DeviceRoundObservation],
+    timelines: &mut [StreamTimeline],
+) -> Result<(), SimError> {
+    let n = fs.alive.len();
+    for d in 0..n {
+        if !fs.alive[d] || fs.rt.down_at(d as u32) != Some(round) {
+            continue;
+        }
+        fs.alive[d] = false;
+        if !fs.alive.iter().any(|&a| a) {
+            return Err(SimError::DeviceLost { device: d as u32, round });
+        }
+        let dead_journal = std::mem::take(&mut fs.journals[d]);
+        // addr → (latest seq, value) over the dead device's mutations.
+        let mut dead_last: HashMap<u64, (u64, i64)> = HashMap::new();
+        for &(seq, addr, val) in &dead_journal {
+            let e = dead_last.entry(addr).or_insert((seq, val));
+            if seq > e.0 {
+                *e = (seq, val);
+            }
+        }
+        for s in 0..n {
+            if !fs.alive[s] {
+                continue;
+            }
+            let mut own_last: HashMap<u64, u64> = HashMap::new();
+            for &(seq, addr, _) in &fs.journals[s] {
+                let e = own_last.entry(addr).or_insert(seq);
+                if seq > *e {
+                    *e = seq;
+                }
+            }
+            // Restore exactly the words where the dead device held the
+            // globally latest value.  Distinct addresses commute, so the
+            // map's iteration order cannot matter.
+            let mut applied = 0u64;
+            let heap = gmems[s].words_mut();
+            for (&addr, &(dseq, val)) in &dead_last {
+                if own_last.get(&addr).is_none_or(|&os| dseq > os) {
+                    heap[addr as usize] = val;
+                    applied += 1;
+                }
+            }
+            let t = host_xfer[s].replay_in(applied);
+            devs[s].xfer_in_ms += t;
+            timelines[s].advance(0, StreamResource::HostToDevice, t);
+            fs.recoveries[s] += 1;
+            // The survivor now answers for those words; fold the dead
+            // journal in so a later death of *this* device replays them
+            // too (redundant entries are harmless under max-seq merge).
+            fs.journals[s].extend_from_slice(&dead_journal);
+        }
+    }
+    Ok(())
+}
+
 /// Runs one (possibly sharded) launch on the cluster: each shard
 /// executes against its own device's replica and logs its writes; races
 /// are checked across the whole launch, then every device merges its own
@@ -463,6 +612,7 @@ fn two_mems(
 fn run_sharded_launch(
     cluster: &Cluster,
     cluster_spec: &ClusterSpec,
+    machine: &AtgpuMachine,
     config: &SimConfig,
     engine: EngineSel,
     kernel: &Kernel,
@@ -470,13 +620,47 @@ fn run_sharded_launch(
     gmems: &mut [GlobalMemory],
     devs: &mut [DeviceRoundObservation],
     timelines: &mut [StreamTimeline],
+    fault: &mut Option<FaultState>,
 ) -> Result<(), SimError> {
+    // Under an active fault plan, a dead device's shards are
+    // re-apportioned over the survivors through the cost-driven planner;
+    // the takeover shards' writes are applied to *every* alive device so
+    // redirected outputs (and later recoveries) can be served from any
+    // survivor.  Block indices stay globally unique, so the block-order
+    // merge keeps the result bit-identical to the fault-free plan.
+    let mut plan: Vec<Shard> = Vec::with_capacity(shards.len());
+    let mut is_recovery: Vec<bool> = Vec::with_capacity(shards.len());
+    if let Some(f) = fault.as_ref() {
+        for sh in shards {
+            if f.alive[sh.device as usize] {
+                plan.push(*sh);
+                is_recovery.push(false);
+            } else {
+                let (sub, idx) = surviving_subspec(cluster_spec, &f.alive);
+                let profile = ShardProfile::streaming(machine.b);
+                for rs in planned_shards(sh.blocks(), &sub, machine, &profile) {
+                    plan.push(Shard {
+                        device: idx[rs.device as usize] as u32,
+                        start: sh.start + rs.start,
+                        end: sh.start + rs.end,
+                    });
+                    is_recovery.push(true);
+                }
+            }
+        }
+    } else {
+        plan.extend_from_slice(shards);
+        is_recovery.resize(shards.len(), false);
+    }
+    let shards: &[Shard] = &plan;
+
     // Resolve devices up front so an unknown device errors before any
     // thread spawns.
     let devices: Vec<&Device> =
         shards.iter().map(|s| cluster.device_checked(s.device)).collect::<Result<_, _>>()?;
 
     let mut logs: Vec<Vec<WriteRec>> = (0..gmems.len()).map(|_| Vec::new()).collect();
+    let mut recovery_log: Vec<WriteRec> = Vec::new();
     let mut stats_in_order: Vec<KernelStats> = Vec::with_capacity(shards.len());
     if config.device_threads && shards.len() > 1 {
         // One (stats, log) per shard, folded back in shard-plan order.
@@ -494,21 +678,31 @@ fn run_sharded_launch(
             )?;
             Ok((stats, log))
         };
-        let outcomes: Vec<ShardOutcome> = std::thread::scope(|s| {
-            let handles: Vec<_> = shards
-                .iter()
-                .zip(&devices)
-                .map(|(shard, device)| s.spawn(move || run_one(shard, device)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
-        });
-        for (shard, outcome) in shards.iter().zip(outcomes) {
+        let outcomes: Vec<ShardOutcome> =
+            std::thread::scope(|s| -> Result<Vec<ShardOutcome>, SimError> {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .zip(&devices)
+                    .map(|(shard, device)| s.spawn(move || run_one(shard, device)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().map_err(|_| SimError::WorkerPanic {
+                            context: format!("simulating shards of kernel `{}`", kernel.name),
+                        })
+                    })
+                    .collect()
+            })?;
+        for ((shard, rec), outcome) in shards.iter().zip(&is_recovery).zip(outcomes) {
             let d = shard.device as usize;
             let (stats, mut log) = outcome?;
             // First shard on a device hands its log over; later shards
             // append (several shards per device only happens in
             // hand-written plans).
-            if logs[d].is_empty() {
+            if *rec {
+                recovery_log.append(&mut log);
+            } else if logs[d].is_empty() {
                 logs[d] = log;
             } else {
                 logs[d].append(&mut log);
@@ -518,22 +712,24 @@ fn run_sharded_launch(
     } else {
         // Sequential dispatch logs straight into the per-device logs —
         // no intermediate vectors on the default single-core path.
-        for (shard, device) in shards.iter().zip(&devices) {
+        for ((shard, rec), device) in shards.iter().zip(&is_recovery).zip(&devices) {
             let d = shard.device as usize;
+            let sink = if *rec { &mut recovery_log } else { &mut logs[d] };
             let stats = device.run_shard(
                 kernel,
                 &gmems[d],
                 config.mode,
                 engine,
                 (shard.start, shard.end),
-                &mut logs[d],
+                sink,
             )?;
             stats_in_order.push(stats);
         }
     }
     for (shard, stats) in shards.iter().zip(stats_in_order) {
         let d = shard.device as usize;
-        let ms = stats.cycles as f64 / cluster_spec.devices[d].clock_cycles_per_ms;
+        let slow = fault.as_ref().map_or(1.0, |f| f.rt.clock_factor(shard.device));
+        let ms = stats.cycles as f64 / cluster_spec.devices[d].clock_cycles_per_ms * slow;
         let obs = &mut devs[d];
         obs.kernel_ms += ms;
         obs.kernel_stats.merge_serial(&stats);
@@ -541,12 +737,40 @@ fn run_sharded_launch(
         timelines[d].advance(0, StreamResource::Compute, ms);
     }
     if config.detect_races {
-        let merged: Vec<WriteRec> = logs.iter().flat_map(|l| l.iter().copied()).collect();
+        let merged: Vec<WriteRec> = logs
+            .iter()
+            .chain(std::iter::once(&recovery_log))
+            .flat_map(|l| l.iter().copied())
+            .collect();
         check_log_races(kernel, &merged)?;
     }
-    for (d, log) in logs.into_iter().enumerate() {
-        if !log.is_empty() {
-            apply_write_log(kernel, &mut gmems[d], log, false)?;
+    match fault.as_mut() {
+        None => {
+            for (d, log) in logs.into_iter().enumerate() {
+                if !log.is_empty() {
+                    apply_write_log(kernel, &mut gmems[d], log, false)?;
+                }
+            }
+        }
+        Some(f) => {
+            for (d, mut log) in logs.into_iter().enumerate() {
+                if !f.alive[d] {
+                    continue;
+                }
+                log.extend(recovery_log.iter().copied());
+                if log.is_empty() {
+                    continue;
+                }
+                // Journal the applied writes in block order — sorting
+                // here is the same stable sort `apply_write_log` runs,
+                // so the journal's last-write map matches the device's
+                // final memory word for word.
+                log.sort_by_key(|w| w.block);
+                for w in &log {
+                    f.journal_word(d, w.addr, w.val);
+                }
+                apply_write_log(kernel, &mut gmems[d], log, false)?;
+            }
         }
     }
     Ok(())
@@ -571,6 +795,7 @@ pub fn run_cluster_program(
     let cluster = Cluster::new(*machine, cluster_spec.clone())?;
     for d in &cluster.devices {
         d.configure_cache(config.cache, config.cache_capacity);
+        d.configure_watchdog(config.watchdog_cycles);
     }
     let n = cluster.n_devices();
     let needed = program.max_device() as usize + 1;
@@ -606,20 +831,50 @@ pub fn run_cluster_program(
         .collect();
 
     let engine = if config.use_reference { EngineSel::Reference } else { EngineSel::MicroOp };
+    let mut fs = FaultRuntime::new(&config.fault).map(|rt| FaultState::new(rt, n));
     let mut rounds = Vec::with_capacity(program.rounds.len());
-    for round in &program.rounds {
+    for (round_idx, round) in program.rounds.iter().enumerate() {
         let mut devs = vec![DeviceRoundObservation::default(); n];
         let mut timelines = vec![StreamTimeline::new(); n];
+        if let Some(f) = fs.as_mut() {
+            process_deaths(f, round_idx, &mut gmems, &mut host_xfer, &mut devs, &mut timelines)?;
+        }
         for step in &round.steps {
             match step {
                 HostStep::TransferIn { host: h, host_off, dev, dev_off, words, device, stream } => {
                     let d = *device as usize;
                     let src =
                         &host.bufs[h.0 as usize][*host_off as usize..(*host_off + *words) as usize];
-                    let dst = gmems[d].base(dev.0) + dev_off;
-                    let t = host_xfer[d].to_device(&mut gmems[d], dst, src);
-                    devs[d].xfer_in_ms += t;
-                    timelines[d].advance(*stream, StreamResource::HostToDevice, t);
+                    match fs.as_mut() {
+                        None => {
+                            let dst = gmems[d].base(dev.0) + dev_off;
+                            let t = host_xfer[d].to_device(&mut gmems[d], dst, src);
+                            devs[d].xfer_in_ms += t;
+                            timelines[d].advance(*stream, StreamResource::HostToDevice, t);
+                        }
+                        Some(f) => {
+                            // A dead target's input is broadcast to every
+                            // survivor — any of them may serve the data
+                            // (takeover shards, redirected outputs, later
+                            // recoveries).  Each pays its own link cost.
+                            let targets = if f.alive[d] { vec![d] } else { f.survivors() };
+                            for s in targets {
+                                let dst = gmems[s].base(dev.0) + dev_off;
+                                let obs = &mut devs[s];
+                                let t = f.rt.transfer(
+                                    LinkEdge::Host(s as u32),
+                                    round_idx,
+                                    cluster_spec.sync_ms,
+                                    &mut obs.retries,
+                                    &mut obs.backoff_ms,
+                                    || host_xfer[s].to_device(&mut gmems[s], dst, src),
+                                );
+                                obs.xfer_in_ms += t;
+                                f.journal_words(s, dst, src);
+                                timelines[s].advance(*stream, StreamResource::HostToDevice, t);
+                            }
+                        }
+                    }
                 }
                 HostStep::TransferOut {
                     dev,
@@ -631,31 +886,109 @@ pub fn run_cluster_program(
                     stream,
                 } => {
                     let d = *device as usize;
-                    let src = gmems[d].base(dev.0) + dev_off;
                     let dst = &mut host.bufs[h.0 as usize]
                         [*host_off as usize..(*host_off + *words) as usize];
-                    let t = host_xfer[d].to_host(&gmems[d], src, dst);
-                    devs[d].xfer_out_ms += t;
-                    timelines[d].advance(*stream, StreamResource::DeviceToHost, t);
+                    match fs.as_mut() {
+                        None => {
+                            let src = gmems[d].base(dev.0) + dev_off;
+                            let t = host_xfer[d].to_host(&gmems[d], src, dst);
+                            devs[d].xfer_out_ms += t;
+                            timelines[d].advance(*stream, StreamResource::DeviceToHost, t);
+                        }
+                        Some(f) => {
+                            // A dead source's output is served by the heir
+                            // (lowest-index survivor, which holds the
+                            // recovered data) over the heir's host link.
+                            let s = if f.alive[d] { d } else { f.heir() };
+                            let src = gmems[s].base(dev.0) + dev_off;
+                            let obs = &mut devs[s];
+                            let t = f.rt.transfer(
+                                LinkEdge::Host(s as u32),
+                                round_idx,
+                                cluster_spec.sync_ms,
+                                &mut obs.retries,
+                                &mut obs.backoff_ms,
+                                || host_xfer[s].to_host(&gmems[s], src, dst),
+                            );
+                            obs.xfer_out_ms += t;
+                            timelines[s].advance(*stream, StreamResource::DeviceToHost, t);
+                        }
+                    }
                 }
                 HostStep::SyncStream { device, stream } => {
-                    timelines[*device as usize].sync_stream(*stream);
+                    if fs.as_ref().is_none_or(|f| f.alive[*device as usize]) {
+                        timelines[*device as usize].sync_stream(*stream);
+                    }
                 }
                 HostStep::SyncDevice { device } => {
-                    timelines[*device as usize].sync_device();
+                    if fs.as_ref().is_none_or(|f| f.alive[*device as usize]) {
+                        timelines[*device as usize].sync_device();
+                    }
                 }
                 HostStep::TransferPeer { src, dst, buf, src_off, dst_off, words } => {
-                    let (s, d) = (*src as usize, *dst as usize);
-                    let base = gmems[s].base(buf.0);
-                    let dst_base = gmems[d].base(buf.0);
-                    let (sm, dm) = two_mems(&mut gmems, s, d);
-                    let t =
-                        peer_xfer[s][d].peer(sm, base + src_off, dm, dst_base + dst_off, *words);
-                    devs[s].peer_ms += t;
-                    devs[d].peer_ms += t;
-                    // A peer copy occupies both endpoints' peer engines.
-                    timelines[s].advance(0, StreamResource::Peer, t);
-                    timelines[d].advance(0, StreamResource::Peer, t);
+                    let (s0, d0) = (*src as usize, *dst as usize);
+                    match fs.as_mut() {
+                        None => {
+                            let base = gmems[s0].base(buf.0);
+                            let dst_base = gmems[d0].base(buf.0);
+                            let (sm, dm) = two_mems(&mut gmems, s0, d0);
+                            let t = peer_xfer[s0][d0].peer(
+                                sm,
+                                base + src_off,
+                                dm,
+                                dst_base + dst_off,
+                                *words,
+                            );
+                            devs[s0].peer_ms += t;
+                            devs[d0].peer_ms += t;
+                            // A peer copy occupies both endpoints' peer
+                            // engines.
+                            timelines[s0].advance(0, StreamResource::Peer, t);
+                            timelines[d0].advance(0, StreamResource::Peer, t);
+                        }
+                        Some(f) => {
+                            // Dead source → served by the heir; dead
+                            // destination → broadcast to every survivor.
+                            // When redirection folds both endpoints onto
+                            // one device the copy is local and free.
+                            let sp = if f.alive[s0] { s0 } else { f.heir() };
+                            let receivers = if f.alive[d0] { vec![d0] } else { f.survivors() };
+                            for r in receivers {
+                                let src_addr = gmems[sp].base(buf.0) + src_off;
+                                let dst_addr = gmems[r].base(buf.0) + dst_off;
+                                let w = *words as usize;
+                                if r == sp {
+                                    let heap = gmems[r].words_mut();
+                                    heap.copy_within(
+                                        src_addr as usize..src_addr as usize + w,
+                                        dst_addr as usize,
+                                    );
+                                } else {
+                                    let obs = &mut devs[r];
+                                    let t = f.rt.transfer(
+                                        LinkEdge::Peer(sp as u32, r as u32),
+                                        round_idx,
+                                        cluster_spec.sync_ms,
+                                        &mut obs.retries,
+                                        &mut obs.backoff_ms,
+                                        || {
+                                            let (sm, dm) = two_mems(&mut gmems, sp, r);
+                                            peer_xfer[sp][r]
+                                                .peer(sm, src_addr, dm, dst_addr, *words)
+                                        },
+                                    );
+                                    devs[sp].peer_ms += t;
+                                    devs[r].peer_ms += t;
+                                    timelines[sp].advance(0, StreamResource::Peer, t);
+                                    timelines[r].advance(0, StreamResource::Peer, t);
+                                }
+                                let vals: Vec<i64> = gmems[r].words()
+                                    [dst_addr as usize..dst_addr as usize + w]
+                                    .to_vec();
+                                f.journal_words(r, dst_addr, &vals);
+                            }
+                        }
+                    }
                 }
                 HostStep::Launch(kernel) => {
                     // A plain launch is a one-shard plan on device 0.
@@ -663,6 +996,7 @@ pub fn run_cluster_program(
                     run_sharded_launch(
                         &cluster,
                         cluster_spec,
+                        machine,
                         config,
                         engine,
                         kernel,
@@ -670,12 +1004,14 @@ pub fn run_cluster_program(
                         &mut gmems,
                         &mut devs,
                         &mut timelines,
+                        &mut fs,
                     )?;
                 }
                 HostStep::LaunchSharded { kernel, shards } => {
                     run_sharded_launch(
                         &cluster,
                         cluster_spec,
+                        machine,
                         config,
                         engine,
                         kernel,
@@ -683,6 +1019,7 @@ pub fn run_cluster_program(
                         &mut gmems,
                         &mut devs,
                         &mut timelines,
+                        &mut fs,
                     )?;
                 }
             }
@@ -693,7 +1030,18 @@ pub fn run_cluster_program(
         rounds.push(ClusterRoundObservation { devices: devs, sync_ms: cluster_spec.sync_ms });
     }
 
-    let device_stats = cluster.devices.iter().map(Device::stats).collect();
+    let mut device_stats: Vec<DeviceStats> = cluster.devices.iter().map(Device::stats).collect();
+    for r in &rounds {
+        for (d, o) in r.devices.iter().enumerate() {
+            device_stats[d].retries += o.retries;
+            device_stats[d].backoff_ms += o.backoff_ms;
+        }
+    }
+    if let Some(f) = &fs {
+        for (d, st) in device_stats.iter_mut().enumerate() {
+            st.recoveries = f.recoveries[d];
+        }
+    }
     Ok(ClusterSimReport { rounds, host, device_stats })
 }
 

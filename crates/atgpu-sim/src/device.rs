@@ -113,19 +113,31 @@ impl KernelStats {
 }
 
 /// Per-device observability counters — everything a device knows beyond
-/// individual launches.  Today that is the cross-launch kernel cache;
-/// deliberately separate from [`KernelStats`] so cached and cold
+/// individual launches: the cross-launch kernel cache plus the fault/
+/// recovery counters the drivers accumulate on the device's behalf.
+/// Deliberately separate from [`KernelStats`] so cached and cold
 /// launches stay bit-identical in per-launch statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DeviceStats {
     /// Kernel-cache counters (hits, misses, resident entries).
     pub cache: CacheStats,
+    /// Transfer attempts retried after a fault-injected drop on a link
+    /// touching this device ([`crate::fault::FaultEvent::TransferDrop`]).
+    pub retries: u64,
+    /// Exponential-backoff time those retries charged, in milliseconds.
+    pub backoff_ms: f64,
+    /// Dead-device takeovers this device participated in: incremented
+    /// once per recovery replay it absorbed as a survivor.
+    pub recoveries: u64,
 }
 
 impl DeviceStats {
     /// Folds another device's counters in (cluster-wide totals).
     pub fn merge(&mut self, other: &DeviceStats) {
         self.cache.merge(&other.cache);
+        self.retries += other.retries;
+        self.backoff_ms += other.backoff_ms;
+        self.recoveries += other.recoveries;
     }
 }
 
@@ -137,6 +149,10 @@ pub struct Device {
     /// The cross-launch kernel cache ([`crate::cache`]).  Per-device by
     /// design: threaded cluster dispatch never contends across devices.
     cache: KernelCache,
+    /// Watchdog budget in simulated cycles per launch; 0 = unlimited.
+    /// Atomic (not `Cell`) because the device is shared across scoped
+    /// shard threads; configured once per run like the cache.
+    watchdog: std::sync::atomic::AtomicU64,
 }
 
 impl Device {
@@ -146,7 +162,12 @@ impl Device {
         if machine.b > 64 {
             return Err(SimError::UnsupportedWidth { b: machine.b });
         }
-        Ok(Self { machine, spec, cache: KernelCache::default() })
+        Ok(Self {
+            machine,
+            spec,
+            cache: KernelCache::default(),
+            watchdog: std::sync::atomic::AtomicU64::new(0),
+        })
     }
 
     /// The machine this device implements.
@@ -172,9 +193,20 @@ impl Device {
         &self.cache
     }
 
-    /// Device-level counters: cache hits/misses/entries.
+    /// Sets the per-launch watchdog budget in simulated cycles (see
+    /// [`crate::SimConfig::watchdog_cycles`]); 0 disables the watchdog.
+    /// A launch whose event clock passes the budget aborts with
+    /// [`SimError::Watchdog`] instead of simulating on.
+    pub fn configure_watchdog(&self, cycles: u64) {
+        self.watchdog.store(cycles, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Device-level counters: cache hits/misses/entries.  The fault/
+    /// recovery counters are zero here — transfer engines live in the
+    /// drivers, which fold their retry and recovery totals in when
+    /// building a report.
     pub fn stats(&self) -> DeviceStats {
-        DeviceStats { cache: self.cache.stats() }
+        DeviceStats { cache: self.cache.stats(), ..DeviceStats::default() }
     }
 
     /// Runs one kernel launch to completion with the micro-op engine.
@@ -278,13 +310,23 @@ impl Device {
                 let compiled = &entry.compiled;
                 let make = || BlockExec::new(compiled);
                 let slot = compiled.replayable.then_some(&entry.trace);
-                self.shard_dispatch(gmem, mode, ell, &make, compiled.replayable, slot, range, log)
+                self.shard_dispatch(
+                    &kernel.name,
+                    gmem,
+                    mode,
+                    ell,
+                    &make,
+                    compiled.replayable,
+                    slot,
+                    range,
+                    log,
+                )
             }
             EngineSel::Reference => {
                 let b = self.machine.b as u32;
                 let bases = &bases[..];
                 let make = || WarpExec::new(kernel, bases, b, nregs);
-                self.shard_dispatch(gmem, mode, ell, &make, false, None, range, log)
+                self.shard_dispatch(&kernel.name, gmem, mode, ell, &make, false, None, range, log)
             }
         }
     }
@@ -292,6 +334,7 @@ impl Device {
     #[allow(clippy::too_many_arguments)]
     fn shard_dispatch<E: BlockSim>(
         &self,
+        name: &str,
         gmem: &GlobalMemory,
         mode: ExecMode,
         ell: u64,
@@ -304,11 +347,19 @@ impl Device {
         match mode {
             ExecMode::Sequential => {
                 let mut acc = GmemAccess::Logged { base: gmem, log };
-                self.run_sequential(&mut acc, ell, make, replayable, slot, range)
+                self.run_sequential(name, &mut acc, ell, make, replayable, slot, range)
             }
             ExecMode::Parallel { threads } => {
-                let (stats, l) =
-                    self.run_parallel(gmem, ell, make, replayable, slot, threads.max(1), range)?;
+                let (stats, l) = self.run_parallel(
+                    name,
+                    gmem,
+                    ell,
+                    make,
+                    replayable,
+                    slot,
+                    threads.max(1),
+                    range,
+                )?;
                 log.extend(l);
                 Ok(stats)
             }
@@ -336,26 +387,44 @@ impl Device {
                     let mut log = Vec::new();
                     let stats = {
                         let mut acc = GmemAccess::Logged { base: &*gmem, log: &mut log };
-                        self.run_sequential(&mut acc, ell, make, replayable, slot, range)?
+                        self.run_sequential(
+                            &kernel.name,
+                            &mut acc,
+                            ell,
+                            make,
+                            replayable,
+                            slot,
+                            range,
+                        )?
                     };
                     apply_write_log(kernel, gmem, log, true)?;
                     Ok(stats)
                 } else {
                     let mut acc = GmemAccess::Direct(gmem);
-                    self.run_sequential(&mut acc, ell, make, replayable, slot, range)
+                    self.run_sequential(&kernel.name, &mut acc, ell, make, replayable, slot, range)
                 }
             }
             ExecMode::Parallel { threads } => {
-                let (stats, log) =
-                    self.run_parallel(gmem, ell, make, replayable, slot, threads.max(1), range)?;
+                let (stats, log) = self.run_parallel(
+                    &kernel.name,
+                    gmem,
+                    ell,
+                    make,
+                    replayable,
+                    slot,
+                    threads.max(1),
+                    range,
+                )?;
                 apply_write_log(kernel, gmem, log, detect_races)?;
                 Ok(stats)
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_sequential<E: BlockSim>(
         &self,
+        name: &str,
         acc: &mut GmemAccess<'_>,
         ell: u64,
         make: impl Fn() -> E,
@@ -385,6 +454,7 @@ impl Device {
             }
         }
 
+        let budget = self.watchdog.load(std::sync::atomic::Ordering::Relaxed);
         loop {
             // Pick the MP with the earliest next event (global time order).
             let mut best: Option<(u64, usize)> = None;
@@ -395,7 +465,10 @@ impl Device {
                     }
                 }
             }
-            let Some((_, i)) = best else { break };
+            let Some((t, i)) = best else { break };
+            if budget != 0 && t > budget {
+                return Err(SimError::Watchdog { kernel: name.to_string(), budget });
+            }
             let retired = mps[i].step(acc, &mut dram)?;
             if retired && next_block < end_block {
                 mps[i].admit(next_block, &make);
@@ -428,6 +501,7 @@ impl Device {
     #[allow(clippy::too_many_arguments)]
     fn run_parallel<E: BlockSim>(
         &self,
+        name: &str,
         gmem: &GlobalMemory,
         ell: u64,
         make: &(impl Fn() -> E + Sync),
@@ -436,6 +510,7 @@ impl Device {
         threads: usize,
         range: (u64, u64),
     ) -> Result<(KernelStats, Vec<WriteRec>), SimError> {
+        let budget = self.watchdog.load(std::sync::atomic::Ordering::Relaxed);
         let k_prime = self.spec.k_prime;
         // Each MP gets a 1/k' share of memory bandwidth.
         let issue = self.spec.dram_issue_cycles * k_prime;
@@ -458,6 +533,13 @@ impl Device {
                 pending = blocks.next();
             }
             while !mp.idle() {
+                if budget != 0 {
+                    if let Some(t) = mp.next_event() {
+                        if t > budget {
+                            return Err(SimError::Watchdog { kernel: name.to_string(), budget });
+                        }
+                    }
+                }
                 let mut acc = GmemAccess::Logged { base: gmem, log: &mut log };
                 let retired = mp.step(&mut acc, &mut dram)?;
                 if retired {
@@ -477,7 +559,11 @@ impl Device {
             Ok((mp.stats, mp.last_retire, dram.queue_cycles, log))
         };
 
-        // Partition MPs over worker threads.
+        // Partition MPs over worker threads.  A panicking worker (or an
+        // MP slot it never filled) surfaces as a structured error — the
+        // driver never propagates a simulation panic into the caller.
+        let worker_panic =
+            || SimError::WorkerPanic { context: format!("simulating MPs of kernel `{name}`") };
         let results: Vec<MpOutcome> = if threads <= 1 {
             (0..k_prime).map(sim_mp).collect()
         } else {
@@ -485,7 +571,7 @@ impl Device {
             let chunks: Vec<Vec<u64>> = (0..threads)
                 .map(|t| (0..k_prime).filter(|m| *m as usize % threads == t).collect())
                 .collect();
-            std::thread::scope(|s| {
+            std::thread::scope(|s| -> Result<(), SimError> {
                 let mut handles = Vec::new();
                 for chunk in &chunks {
                     let sim = &sim_mp;
@@ -494,12 +580,13 @@ impl Device {
                     );
                 }
                 for h in handles {
-                    for (m, r) in h.join().expect("simulation thread panicked") {
+                    for (m, r) in h.join().map_err(|_| worker_panic())? {
                         out[m as usize] = Some(r);
                     }
                 }
-            });
-            out.into_iter().map(|o| o.expect("all MPs simulated")).collect()
+                Ok(())
+            })?;
+            out.into_iter().map(|o| o.ok_or_else(worker_panic)).collect::<Result<Vec<_>, _>>()?
         };
 
         let mut stats = KernelStats { occupancy: ell, ..KernelStats::default() };

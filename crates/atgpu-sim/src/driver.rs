@@ -20,6 +20,7 @@
 
 use crate::device::{Device, KernelStats};
 use crate::error::SimError;
+use crate::fault::{FaultPlan, FaultRuntime, LinkEdge};
 use crate::gmem::GlobalMemory;
 use crate::xfer::{TransferEngine, XferNoise};
 use crate::ExecMode;
@@ -27,7 +28,7 @@ use atgpu_ir::{HostBufRole, HostStep, Program};
 use atgpu_model::{AtgpuMachine, GpuSpec, StreamResource, StreamTimeline};
 
 /// Simulation configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Execution strategy.
     pub mode: ExecMode,
@@ -54,6 +55,15 @@ pub struct SimConfig {
     pub cache: bool,
     /// Compiled kernels retained per device before FIFO eviction.
     pub cache_capacity: usize,
+    /// Scheduled fault events ([`crate::fault`]).  The default empty
+    /// plan is free: no injection hooks run, and the simulation is
+    /// bit-identical (memory, stats, timing) to one without fault
+    /// support at all.
+    pub fault: FaultPlan,
+    /// Watchdog budget in simulated device cycles per kernel launch; a
+    /// launch whose event clock passes the budget fails with
+    /// [`SimError::Watchdog`].  `0` (the default) disables the watchdog.
+    pub watchdog_cycles: u64,
 }
 
 impl Default for SimConfig {
@@ -67,6 +77,8 @@ impl Default for SimConfig {
             device_threads: crate::cluster::host_parallelism() > 1,
             cache: true,
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            fault: FaultPlan::default(),
+            watchdog_cycles: 0,
         }
     }
 }
@@ -137,6 +149,12 @@ pub struct RoundObservation {
     pub stream_ms: f64,
     /// Kernel statistics (cycles, transactions, conflicts, …).
     pub kernel_stats: KernelStats,
+    /// Transfer attempts this round that were dropped and re-run
+    /// ([`crate::fault`]); 0 without an active fault plan.
+    pub retries: u64,
+    /// Exponential-backoff wait time accumulated this round, already
+    /// included in the transfer times and the stream critical path.
+    pub backoff_ms: f64,
 }
 
 impl RoundObservation {
@@ -242,13 +260,14 @@ fn run_launch(
     gmem: &mut GlobalMemory,
     spec: &GpuSpec,
     config: &SimConfig,
+    slow: f64,
     obs: &mut RoundObservation,
 ) -> Result<f64, SimError> {
     let engine =
         if config.use_reference { crate::EngineSel::Reference } else { crate::EngineSel::MicroOp };
     let stats = device.run_kernel_with(kernel, gmem, config.mode, config.detect_races, engine)?;
     obs.kernel_stats = stats;
-    let ms = stats.cycles as f64 / spec.clock_cycles_per_ms;
+    let ms = stats.cycles as f64 / spec.clock_cycles_per_ms * slow;
     obs.kernel_ms += ms;
     Ok(ms)
 }
@@ -264,13 +283,23 @@ pub fn run_program(
     check_program_streams(program)?;
     let device = Device::new(*machine, *spec)?;
     device.configure_cache(config.cache, config.cache_capacity);
+    device.configure_watchdog(config.watchdog_cycles);
     let (bases, total_words) = program.buffer_layout(machine.b);
     let mut gmem = GlobalMemory::new(bases, total_words, machine.b, machine.g)?;
     let mut xfer = TransferEngine::new(spec, config.noise, config.seed);
     let mut host = HostData::new(program, inputs)?;
+    let mut frt = FaultRuntime::new(&config.fault);
+    // A single-device run has no survivors to recover on: a scheduled
+    // death of device 0 inside the program is immediately unrecoverable.
+    let slow = frt.as_ref().map_or(1.0, |rt| rt.clock_factor(0));
 
     let mut rounds = Vec::with_capacity(program.rounds.len());
-    for round in &program.rounds {
+    for (round_idx, round) in program.rounds.iter().enumerate() {
+        if let Some(rt) = frt.as_ref() {
+            if rt.down_at(0) == Some(round_idx) {
+                return Err(SimError::DeviceLost { device: 0, round: round_idx });
+            }
+        }
         let mut obs = RoundObservation { sync_ms: spec.sync_ms, ..RoundObservation::default() };
         let mut tl = StreamTimeline::new();
         for step in &round.steps {
@@ -290,7 +319,17 @@ pub fn run_program(
                     let src =
                         &host.bufs[h.0 as usize][*host_off as usize..(*host_off + *words) as usize];
                     let dst = gmem.base(dev.0) + dev_off;
-                    let t = xfer.to_device(&mut gmem, dst, src);
+                    let t = match frt.as_mut() {
+                        Some(rt) => rt.transfer(
+                            LinkEdge::Host(0),
+                            round_idx,
+                            spec.sync_ms,
+                            &mut obs.retries,
+                            &mut obs.backoff_ms,
+                            || xfer.to_device(&mut gmem, dst, src),
+                        ),
+                        None => xfer.to_device(&mut gmem, dst, src),
+                    };
                     obs.xfer_in_ms += t;
                     tl.advance(*stream, StreamResource::HostToDevice, t);
                 }
@@ -312,7 +351,7 @@ pub fn run_program(
                     tl.sync_device();
                 }
                 HostStep::Launch(kernel) => {
-                    let ms = run_launch(kernel, &device, &mut gmem, spec, config, &mut obs)?;
+                    let ms = run_launch(kernel, &device, &mut gmem, spec, config, slow, &mut obs)?;
                     tl.advance(0, StreamResource::Compute, ms);
                 }
                 HostStep::LaunchSharded { kernel, shards } => {
@@ -322,7 +361,7 @@ pub fn run_program(
                     if let Some(s) = shards.iter().find(|s| s.device != 0) {
                         return Err(SimError::NoSuchDevice { device: s.device, devices: 1 });
                     }
-                    let ms = run_launch(kernel, &device, &mut gmem, spec, config, &mut obs)?;
+                    let ms = run_launch(kernel, &device, &mut gmem, spec, config, slow, &mut obs)?;
                     tl.advance(0, StreamResource::Compute, ms);
                 }
                 HostStep::TransferOut {
@@ -340,7 +379,17 @@ pub fn run_program(
                     let src = gmem.base(dev.0) + dev_off;
                     let dst = &mut host.bufs[h.0 as usize]
                         [*host_off as usize..(*host_off + *words) as usize];
-                    let t = xfer.to_host(&gmem, src, dst);
+                    let t = match frt.as_mut() {
+                        Some(rt) => rt.transfer(
+                            LinkEdge::Host(0),
+                            round_idx,
+                            spec.sync_ms,
+                            &mut obs.retries,
+                            &mut obs.backoff_ms,
+                            || xfer.to_host(&gmem, src, dst),
+                        ),
+                        None => xfer.to_host(&gmem, src, dst),
+                    };
                     obs.xfer_out_ms += t;
                     tl.advance(*stream, StreamResource::DeviceToHost, t);
                 }
@@ -350,7 +399,12 @@ pub fn run_program(
         rounds.push(obs);
     }
 
-    Ok(SimReport { rounds, host, device_stats: device.stats() })
+    let mut device_stats = device.stats();
+    for r in &rounds {
+        device_stats.retries += r.retries;
+        device_stats.backoff_ms += r.backoff_ms;
+    }
+    Ok(SimReport { rounds, host, device_stats })
 }
 
 #[cfg(test)]

@@ -81,6 +81,32 @@ pub enum SimError {
         /// Round index of the offending step.
         round: usize,
     },
+    /// A kernel launch exceeded the watchdog's simulated-cycle budget
+    /// ([`crate::SimConfig::watchdog_cycles`]) — a runaway kernel is
+    /// surfaced as a structured error instead of hanging the simulation.
+    Watchdog {
+        /// Kernel name.
+        kernel: String,
+        /// The exceeded budget, in simulated device cycles.
+        budget: u64,
+    },
+    /// A fault-plan `DeviceDown` left the system without a single alive
+    /// device: a single-device run lost its only device, or the last
+    /// surviving cluster device died.  Recovery by re-apportionment
+    /// needs at least one survivor.
+    DeviceLost {
+        /// The device whose death was unrecoverable.
+        device: u32,
+        /// The round at whose start it died.
+        round: usize,
+    },
+    /// An internal simulation worker thread panicked — the driver
+    /// surfaces it as an error rather than propagating the panic into
+    /// the caller.
+    WorkerPanic {
+        /// What was being simulated.
+        context: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -119,6 +145,17 @@ impl fmt::Display for SimError {
                 "round {round} addresses stream {stream}, limit {}",
                 atgpu_ir::MAX_STREAMS
             ),
+            SimError::Watchdog { kernel, budget } => write!(
+                f,
+                "kernel `{kernel}` exceeded the watchdog budget of {budget} simulated cycles"
+            ),
+            SimError::DeviceLost { device, round } => write!(
+                f,
+                "device {device} died at round {round} with no surviving device to recover on"
+            ),
+            SimError::WorkerPanic { context } => {
+                write!(f, "simulation worker thread panicked while {context}")
+            }
         }
     }
 }

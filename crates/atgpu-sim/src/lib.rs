@@ -191,6 +191,57 @@
 //! programs bit-identical to their serial de-streamed forms across
 //! modes and engines.
 //!
+//! ## Fault model & recovery
+//!
+//! [`fault`] injects **seeded, deterministic** fault events into a run
+//! through [`SimConfig::fault`].  A [`fault::FaultPlan`] is data — a
+//! seed plus a list of [`fault::FaultEvent`]s — so every chaos run
+//! replays exactly, and an **empty plan is bit-identical** (memory,
+//! stats, timing) to a build with fault injection absent: the runtime
+//! is only constructed when events exist
+//! (`tests/chaos_differential.rs` pins this).  Four event kinds:
+//!
+//! | event | effect | recovery | pricing |
+//! |---|---|---|---|
+//! | `TransferDrop { edge, nth }` | the nth *attempt* on a link fails | retry with exponential backoff | every attempt pays the full affine transfer cost; waits of `σ·2ᵏ` accumulate as `backoff_ms` |
+//! | `LinkDegraded { edge, factor, window }` | attempts in the round window cost `× factor` | none needed (slow, not wrong) | multiplies each attempt's cost |
+//! | `Straggler { device, clock_factor }` | device's kernels run `× clock_factor` slower | none needed | multiplies kernel milliseconds |
+//! | `DeviceDown { device, at_round }` | device dies at the start of `at_round` | re-apportionment over survivors | journal replay + takeover shards, priced per survivor link |
+//!
+//! Retry counts are **exact and recomputable**: drops are indexed by
+//! attempt number per edge, so a mirror [`fault::FaultRuntime`] predicts
+//! `retries`/`backoff_ms` ([`DeviceStats`], per-round observations) to
+//! the counter.
+//!
+//! **Device loss** is survived by replanning, and the answer provably
+//! does not change.  Every global-memory mutation on every device is
+//! journaled (address, value, cluster-global sequence number) while
+//! faults are active.  When device `d` dies at the start of a round:
+//!
+//! 1. each survivor merges `d`'s journal by **last-write-wins on the
+//!    sequence number** — restoring exactly the words where `d` held the
+//!    latest value — priced as one inward transaction
+//!    (`α + β·words_replayed`) on the survivor's own host link and
+//!    counted in `DeviceStats::recoveries`;
+//! 2. `d`'s unfinished shards are re-apportioned across survivors by the
+//!    PR-5 cost planner ([`cluster::planned_shards`] over the surviving
+//!    sub-spec), and its transfers are redirected (inputs broadcast to
+//!    all survivors, outputs served by the lowest-index survivor);
+//! 3. completed rounds are never re-executed — the journal *is* the
+//!    host-side checkpoint.
+//!
+//! Because sharded launches merge write logs in thread-block order
+//! ([`device::apply_write_log`]), the post-recovery shard plan is
+//! bit-identical to the fault-free one — the same argument that makes
+//! any shard plan bit-identical to single-device execution.  Losing the
+//! last device is unrecoverable and surfaces as
+//! [`SimError::DeviceLost`].  Independently, a **watchdog**
+//! ([`SimConfig::watchdog_cycles`]) bounds each launch's simulated
+//! cycles and turns runaway kernels into structured
+//! [`SimError::Watchdog`] errors instead of hangs.
+//! [`atgpu_model::cost::cluster_cost_degraded`] mirrors the whole
+//! recovery path analytically so predictions track degraded runs too.
+//!
 //! ## Structure
 //!
 //! * [`gmem`] / [`smem`] — global memory (bounded by `G`, canonical buffer
@@ -215,6 +266,8 @@
 //!   ([`ExecMode::Parallel`]);
 //! * [`xfer`] — the per-link transfer engine (`α`, `β`, optional seeded
 //!   noise; host↔device and device↔device peer edges);
+//! * [`fault`] — seeded deterministic fault plans and the runtime that
+//!   injects them (drops, degradation, stragglers, device death);
 //! * [`driver`] — runs whole multi-round programs and reports per-round
 //!   observed times, the simulated counterpart of the paper's "Total" and
 //!   "Kernel" series;
@@ -233,6 +286,7 @@ pub mod dram;
 pub mod driver;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod gmem;
 pub mod mp;
 pub mod smem;
@@ -250,6 +304,7 @@ pub use device::{apply_write_log, Device, DeviceStats, KernelStats};
 pub use driver::{run_program, HostData, RoundObservation, SimConfig, SimReport};
 pub use engine::{BlockExec, BlockSim};
 pub use error::SimError;
+pub use fault::{FaultEvent, FaultPlan, FaultRuntime, LinkEdge};
 pub use uop::CompiledKernel;
 
 /// Which block executor a launch uses.

@@ -69,6 +69,17 @@ impl TransferEngine {
         }
     }
 
+    /// Prices one inward transaction of `words` words without moving any
+    /// data; counted like a regular host→device transfer.  The recovery
+    /// path uses this to charge a survivor for absorbing a dead device's
+    /// host-side checkpoint — the words themselves are restored from the
+    /// checkpoint journal, not copied from a device buffer.
+    pub fn replay_in(&mut self, words: u64) -> f64 {
+        self.words_in += words;
+        self.txns_in += 1;
+        (self.alpha_ms + self.beta_ms_per_word * words as f64) * self.jitter()
+    }
+
     /// Host→device copy; returns elapsed milliseconds.
     pub fn to_device(&mut self, gmem: &mut GlobalMemory, dst: u64, data: &[i64]) -> f64 {
         gmem.copy_in(dst, data);
