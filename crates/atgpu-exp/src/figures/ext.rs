@@ -698,8 +698,17 @@ pub fn e9_kernel_cache(cfg: &ExpConfig) -> Result<String, AlgosError> {
 ///    splits evenly; the cost-driven planner starves the slow link;
 /// 3. **Auto-chunked streaming** — `OocVecAdd::build_planned` derives
 ///    its double-buffered chunk from the model (no hand tuning) and is
-///    measured against its de-streamed serial form.
-pub fn e10_pipeline_planner(cfg: &ExpConfig) -> Result<String, AlgosError> {
+///    measured against its de-streamed serial form;
+/// 4. **Per-span timeline trace** — the planned ooc run re-executed with
+///    [`atgpu_sim::SimConfig::trace`] on (bit-identical, asserted), each
+///    observed span paired with the analytic span
+///    [`atgpu_model::cost::schedule_round_spans`] predicts for the same
+///    round, and the worst per-span error reported.  With `trace`
+///    set, the Chrome `trace_event` JSON is written there.
+pub fn e10_pipeline_planner(
+    cfg: &ExpConfig,
+    trace: Option<&std::path::Path>,
+) -> Result<String, AlgosError> {
     use atgpu_algos::vecadd::VecAdd;
     use atgpu_model::{plan, ClusterSpec, LinkParams, ShardProfile};
     use atgpu_sim::{
@@ -885,6 +894,65 @@ pub fn e10_pipeline_planner(cfg: &ExpConfig) -> Result<String, AlgosError> {
         r_serial.total_ms() / r_planned.total_ms(),
         pred_serial_ooc / pred_planned_ooc
     );
+
+    // -- 4: per-span timeline trace -----------------------------------
+    let traced_cfg = atgpu_sim::SimConfig { trace: true, ..cfg.sim.clone() };
+    let r_traced =
+        run_program(&planned.program, planned.inputs.clone(), machine, &cfg.spec, &traced_cfg)?;
+    let identical = r_traced.output(planned.outputs[0]) == r_planned.output(planned.outputs[0])
+        && r_traced.total_ms().to_bits() == r_planned.total_ms().to_bits();
+    let analysis = analyze_program(&planned.program, machine).map_err(|e| err(&e))?;
+    let metrics = analysis.metrics();
+    let sched = atgpu_analyze::stream_schedule(&planned.program);
+    let spans = &r_traced.trace.as_ref().expect("traced run records spans").spans;
+
+    // Pair observed with predicted spans per (round, lane): both sides
+    // schedule the same host steps in program order through the same
+    // timeline, so lane order matches one-to-one.
+    let mut worst_xfer = 0.0f64;
+    let mut worst_kernel = 0.0f64;
+    let mut paired = 0usize;
+    for (ri, rm) in metrics.rounds.iter().enumerate() {
+        let kernel_ms = atgpu_model::cost::gpu_kernel_term(machine, &cfg.spec, &cfg.params, rm)
+            .map_err(|e| err(&e))?;
+        let (pred, _) =
+            atgpu_model::cost::schedule_round_spans(&cfg.params, rm, kernel_ms, sched.get(ri), 0.0);
+        for lane in 0u8..4 {
+            let obs_lane: Vec<_> = spans
+                .iter()
+                .filter(|s| s.round as usize == ri && s.resource.lane() == lane)
+                .collect();
+            let pred_lane: Vec<_> = pred.iter().filter(|s| s.resource.lane() == lane).collect();
+            for (o, p) in obs_lane.iter().zip(&pred_lane) {
+                let pd = p.end_ms - p.start_ms;
+                if pd <= 1e-9 {
+                    continue;
+                }
+                let e = (o.dur_ms() - pd).abs() / pd;
+                if o.resource == atgpu_model::StreamResource::Compute {
+                    worst_kernel = worst_kernel.max(e);
+                } else {
+                    worst_xfer = worst_xfer.max(e);
+                }
+                paired += 1;
+            }
+        }
+    }
+    if let Some(path) = trace {
+        let json = atgpu_sim::sim_report_trace_json(&r_traced).expect("trace present");
+        std::fs::write(path, json).map_err(|e| err(&e))?;
+        let _ = writeln!(out, "Chrome trace written to {}.", path.display());
+    }
+    let _ = writeln!(
+        out,
+        "Timeline trace: traced run bit-identical to untraced: {}; {} spans recorded, \
+         {paired} paired with analytic spans; worst transfer-span error {:.1}%, worst \
+         kernel-span error {:.1}%.\n",
+        if identical { "yes" } else { "NO" },
+        spans.len(),
+        100.0 * worst_xfer,
+        100.0 * worst_kernel,
+    );
     Ok(out)
 }
 
@@ -898,8 +966,17 @@ pub fn e10_pipeline_planner(cfg: &ExpConfig) -> Result<String, AlgosError> {
 ///    round; the survivors replay its checkpoint journal and absorb its
 ///    shards through the cost-driven planner, and the analytic
 ///    `cluster_cost_degraded` mirror predicts every round's observed
-///    time.
-pub fn e11_fault_tolerance(cfg: &ExpConfig) -> Result<String, AlgosError> {
+///    time;
+/// 3. **Traced chaos run** — drops + the device death re-run with
+///    tracing on (bit-identical, asserted): retry attempts and backoff
+///    waits appear as their own spans, the journal replay lands on the
+///    heir's host lane, and every priced span matches its link-model
+///    prediction within the configured jitter.  With `trace` set, the
+///    Chrome `trace_event` JSON is written there.
+pub fn e11_fault_tolerance(
+    cfg: &ExpConfig,
+    trace: Option<&std::path::Path>,
+) -> Result<String, AlgosError> {
     use atgpu_algos::vecadd::VECADD_TIME_OPS;
     use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, ProgramBuilder};
     use atgpu_model::cost::{cluster_cost_degraded, DegradedLoss};
@@ -1108,6 +1185,55 @@ pub fn e11_fault_tolerance(cfg: &ExpConfig) -> Result<String, AlgosError> {
         100.0 * max_err,
         if max_err <= 0.10 { "yes" } else { "NO" },
     );
+
+    // -- 3: traced chaos run ------------------------------------------
+    // Drops plus the same device death, once untraced and once traced:
+    // tracing must not move a single bit, and the fault machinery must
+    // be *visible* — retry attempts, backoff waits and the heir's
+    // journal replay each as their own span.
+    use atgpu_sim::SpanKind;
+    let mut plan = FaultPlan::random(0xC11A05 + 2, devices, rounds, 0.1);
+    plan.events.retain(|e| matches!(e, FaultEvent::TransferDrop { .. }));
+    plan.push(FaultEvent::DeviceDown { device: dead, at_round });
+    let untraced = run(plan.clone())?;
+    let sim = SimConfig { fault: plan, trace: true, ..cfg.sim.clone() };
+    let traced = run_cluster_program(&program, inputs.clone(), machine, &cluster, &sim)?;
+    let identical = traced.output(hc) == untraced.output(hc)
+        && traced.total_ms().to_bits() == untraced.total_ms().to_bits()
+        && traced.output(hc) == &base_out[..];
+
+    let tr = traced.trace.as_ref().expect("traced run records spans");
+    let heir = (0..devices).find(|&d| d != dead).unwrap_or_default();
+    let backoffs = tr.spans.iter().filter(|s| matches!(s.kind, SpanKind::Backoff)).count();
+    let replay_on_heir =
+        tr.spans.iter().any(|s| matches!(s.kind, SpanKind::Replay) && s.device == heir);
+    // Every span the link model prices (transfers, retry attempts, the
+    // replay — not backoff waits or kernels) against its prediction.
+    let mut worst_span = 0.0f64;
+    let mut priced = 0usize;
+    for s in &tr.spans {
+        if s.predicted_ms > 0.0 && !matches!(s.kind, SpanKind::Backoff) {
+            worst_span = worst_span.max((s.dur_ms() - s.predicted_ms).abs() / s.predicted_ms);
+            priced += 1;
+        }
+    }
+    if let Some(path) = trace {
+        let json = atgpu_sim::cluster_report_trace_json(&traced).expect("trace present");
+        std::fs::write(path, json).map_err(|e| err(&e))?;
+        let _ = writeln!(out, "\nChrome trace written to {}.", path.display());
+    }
+    let _ = writeln!(
+        out,
+        "\nTraced chaos run: bit-identical to untraced: {}; {} spans recorded \
+         ({backoffs} backoff waits visible, {priced} priced by the link model); \
+         replay span on heir device {heir}: {}; worst priced-span error {:.1}% \
+         (within 10%: {}).\n",
+        if identical { "yes" } else { "NO" },
+        tr.spans.len(),
+        if replay_on_heir { "yes" } else { "NO" },
+        100.0 * worst_span,
+        if worst_span <= 0.10 { "yes" } else { "NO" },
+    );
     Ok(out)
 }
 
@@ -1257,7 +1383,7 @@ mod tests {
     /// overlap (≥ 1.5x vs its serial form) without a hand-tuned chunk.
     #[test]
     fn e10_planner_beats_weighted_and_predicts() {
-        let s = e10_pipeline_planner(&cfg()).unwrap();
+        let s = e10_pipeline_planner(&cfg(), None).unwrap();
         let line =
             s.lines().find(|l| l.starts_with("Pipeline-planner speedup")).expect("acceptance line");
         let speedup: f64 = line
@@ -1288,6 +1414,28 @@ mod tests {
         let (obs, pred) = (grab("observed "), grab("predicted "));
         assert!(obs >= 1.5, "auto-chunk overlap {obs} < 1.5\n{s}");
         assert!((obs - pred).abs() < 0.2, "observed {obs} vs predicted {pred}\n{s}");
+
+        // Per-span tracing: bit-identical run, and the worst span-level
+        // prediction error stays within the round-level tolerance.
+        let tline =
+            s.lines().find(|l| l.starts_with("Timeline trace:")).expect("timeline trace line");
+        assert!(tline.contains("bit-identical to untraced: yes"), "{s}");
+        let span_err = |tag: &str| -> f64 {
+            tline
+                .split(tag)
+                .nth(1)
+                .and_then(|t| t.split('%').next())
+                .and_then(|v| v.trim().parse().ok())
+                .expect("span error value")
+        };
+        assert!(
+            span_err("worst transfer-span error ") <= 10.0,
+            "transfer spans off by more than 10%\n{s}"
+        );
+        assert!(
+            span_err("worst kernel-span error ") <= 10.0,
+            "kernel spans off by more than 10%\n{s}"
+        );
     }
 
     /// The PR's acceptance criteria, pinned: every drop rate leaves the
@@ -1296,7 +1444,7 @@ mod tests {
     /// predicts each round within 10%.
     #[test]
     fn e11_chaos_stays_correct_and_predicted() {
-        let s = e11_fault_tolerance(&cfg()).unwrap();
+        let s = e11_fault_tolerance(&cfg(), None).unwrap();
         let drops = s
             .lines()
             .find(|l| l.contains("answers bit-identical across all drop rates"))
@@ -1310,6 +1458,15 @@ mod tests {
         assert!(line.contains("replays onto 3 survivors"), "{s}");
         assert!(line.contains("under 2x: yes"), "{s}");
         assert!(line.contains("within 10%: yes"), "{s}");
+
+        // The traced chaos run: tracing is invisible, retries and the
+        // heir's journal replay are visible, and priced spans match
+        // their link-model predictions.
+        let tline =
+            s.lines().find(|l| l.starts_with("Traced chaos run:")).expect("traced chaos line");
+        assert!(tline.contains("bit-identical to untraced: yes"), "{s}");
+        assert!(tline.contains("replay span on heir device 0: yes"), "{s}");
+        assert!(tline.contains("within 10%: yes"), "{s}");
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!   pseudocode NAME   print a workload's program in the paper's notation
 //!                     (vecadd, reduce, matmul, saxpy, dot, scan, stencil,
 //!                      transpose, histogram, bitonic, gemv, spmv)
+//!   check-trace FILE...
+//!                     validate Chrome trace_event JSON files written by
+//!                     --trace (round-trip parse, monotone non-overlapping
+//!                     spans); nonzero exit on the first invalid file
 //!
 //! OPTIONS
 //!   --quick        small sweep sizes (seconds)
@@ -15,6 +19,9 @@
 //!   --out DIR      write CSV/DAT/JSON files (default: ./experiments)
 //!   --no-noise     disable transfer jitter
 //!   --parallel N   simulate with N worker threads
+//!   --trace PATH   write Chrome trace_event JSON from the traced E10/E11
+//!                  runs; PATH gets the experiment tag inserted before its
+//!                  extension (out.json -> out.e10.json, out.e11.json)
 //! ```
 
 use atgpu_exp::figures::{ext, fig3, fig4, fig5, fig6, summary, table1};
@@ -31,6 +38,33 @@ struct Args {
     noise: bool,
     threads: Option<usize>,
     pseudocode: Option<String>,
+    trace: Option<PathBuf>,
+    check_trace: Option<Vec<String>>,
+}
+
+/// `out.json` → `out.e10.json`: the per-experiment trace file name.
+fn trace_path(base: &std::path::Path, tag: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("json");
+    base.with_file_name(format!("{stem}.{tag}.{ext}"))
+}
+
+/// Parses trace files back and verifies them (structure, required
+/// fields, per-lane monotone non-overlap).  Fails on the first invalid
+/// file.
+fn check_traces(files: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if files.is_empty() {
+        return Err("check-trace needs at least one trace file".into());
+    }
+    for f in files {
+        let s = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        let c = atgpu_sim::validate_chrome_json(&s).map_err(|e| format!("{f}: invalid: {e}"))?;
+        println!(
+            "{f}: ok — {} spans on {} device(s), {} counter samples",
+            c.spans, c.devices, c.counters
+        );
+    }
+    Ok(())
 }
 
 /// Prints a workload's program rendered in the paper's pseudocode.
@@ -68,6 +102,8 @@ fn parse_args() -> Result<Args, String> {
     let mut noise = true;
     let mut threads = None;
     let mut pseudocode = None;
+    let mut trace = None;
+    let mut check_trace = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -76,6 +112,13 @@ fn parse_args() -> Result<Args, String> {
             "--no-noise" => noise = false,
             "--out" => {
                 out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file path")?));
+            }
+            "check-trace" => {
+                // Everything after the subcommand is a trace file.
+                check_trace = Some(it.by_ref().collect::<Vec<String>>());
             }
             "pseudocode" => {
                 pseudocode = Some(it.next().ok_or("pseudocode needs a workload name")?);
@@ -92,7 +135,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "atgpu-exp — regenerate the ATGPU paper's tables and figures\n\
                      commands: table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 all\n\
-                     options:  --quick --full --out DIR --no-noise --parallel N"
+                     \x20          check-trace FILE...\n\
+                     options:  --quick --full --out DIR --no-noise --parallel N --trace PATH"
                 );
                 std::process::exit(0);
             }
@@ -103,10 +147,10 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
-    if commands.is_empty() && pseudocode.is_none() {
+    if commands.is_empty() && pseudocode.is_none() && check_trace.is_none() {
         commands.insert("all".to_string());
     }
-    Ok(Args { commands, scale, out, noise, threads, pseudocode })
+    Ok(Args { commands, scale, out, noise, threads, pseudocode, trace, check_trace })
 }
 
 fn main() -> ExitCode {
@@ -131,6 +175,12 @@ fn want(args: &Args, cmd: &str) -> bool {
 }
 
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(files) = &args.check_trace {
+        check_traces(files)?;
+        if args.commands.is_empty() && args.pseudocode.is_none() {
+            return Ok(());
+        }
+    }
     if let Some(name) = &args.pseudocode {
         print_pseudocode(name)?;
         if args.commands.is_empty() {
@@ -263,12 +313,14 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     if want(args, "e10") {
         eprintln!("[ext] E10 cost-driven pipeline planner …");
-        ext_md.push_str(&ext::e10_pipeline_planner(&cfg)?);
+        let tp = args.trace.as_ref().map(|p| trace_path(p, "e10"));
+        ext_md.push_str(&ext::e10_pipeline_planner(&cfg, tp.as_deref())?);
         ext_md.push('\n');
     }
     if want(args, "e11") {
         eprintln!("[ext] E11 fault injection + degraded-mode replanning …");
-        ext_md.push_str(&ext::e11_fault_tolerance(&cfg)?);
+        let tp = args.trace.as_ref().map(|p| trace_path(p, "e11"));
+        ext_md.push_str(&ext::e11_fault_tolerance(&cfg, tp.as_deref())?);
         ext_md.push('\n');
     }
     if !ext_md.is_empty() {

@@ -96,8 +96,9 @@ pub fn transfer_out_cost(params: &CostParams, round: &RoundMetrics) -> f64 {
 
 /// The GPU-cost kernel term of one round, `(waveᵢ·tᵢ + λ·qᵢ)/γ` —
 /// Expression (2)'s compute component, shared by the serial, streamed and
-/// cluster cost functions.
-fn gpu_kernel_term(
+/// cluster cost functions (and, via [`schedule_round_spans`], by trace
+/// consumers predicting per-span durations).
+pub fn gpu_kernel_term(
     machine: &AtgpuMachine,
     spec: &GpuSpec,
     params: &CostParams,
@@ -113,12 +114,92 @@ fn gpu_kernel_term(
     Ok((wave as f64 * round.time as f64 + params.lambda * round.io_blocks as f64) / params.gamma)
 }
 
+/// One operation of a round's *predicted* timeline, as scheduled by the
+/// same [`StreamTimeline`] the simulator times with — the analytic
+/// counterpart of an observed trace span.  Times are round-relative
+/// milliseconds; `words` is the link traffic (0 for the kernel and for
+/// the aggregate peer term).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedSpan {
+    /// The hardware lane the operation occupies.
+    pub resource: StreamResource,
+    /// The stream it was enqueued on.
+    pub stream: u32,
+    /// Words moved (transfers) or 0 (kernel / peer aggregate).
+    pub words: u64,
+    /// Predicted start, relative to the round start.
+    pub start_ms: f64,
+    /// Predicted end, relative to the round start.
+    pub end_ms: f64,
+}
+
 /// Schedules one round through a [`StreamTimeline`]: transfers priced on
 /// `params`'s link, the kernel term on the compute resource, syncs raising
-/// the floor.  Component sums are folded into `breakdown`; the return
-/// value is the round's stream-aware duration (without `σ`).  An empty
-/// schedule falls back to the round's aggregate metrics, all on stream 0
-/// — exactly the serial `T_I + kernel + T_O`.
+/// the floor.  Component sums are folded into `breakdown`; every scheduled
+/// operation is reported to `sink`; the return value is the round's
+/// stream-aware duration (without `σ`).  An empty schedule falls back to
+/// the round's aggregate metrics, all on stream 0 — exactly the serial
+/// `T_I + kernel + T_O`.
+fn schedule_round_with(
+    params: &CostParams,
+    round: &RoundMetrics,
+    kernel_ms: f64,
+    schedule: Option<&RoundSchedule>,
+    peer_ms: f64,
+    breakdown: &mut CostBreakdown,
+    sink: &mut impl FnMut(PredictedSpan),
+) -> f64 {
+    let mut tl = StreamTimeline::new();
+    let mut emit = |tl: &mut StreamTimeline, stream: u32, res: StreamResource, dur: f64, words| {
+        let (start_ms, end_ms) = tl.advance_spanned(stream, res, dur);
+        sink(PredictedSpan { resource: res, stream, words, start_ms, end_ms });
+    };
+    match schedule {
+        Some(s) if !s.items.is_empty() => {
+            let mut kernel_seen = false;
+            for item in &s.items {
+                match item {
+                    StreamItem::TransferIn { stream, txns, words } => {
+                        let d = *txns as f64 * params.alpha + *words as f64 * params.beta;
+                        emit(&mut tl, *stream, StreamResource::HostToDevice, d, *words);
+                        breakdown.transfer_in += d;
+                    }
+                    StreamItem::TransferOut { stream, txns, words } => {
+                        let d = *txns as f64 * params.alpha + *words as f64 * params.beta;
+                        emit(&mut tl, *stream, StreamResource::DeviceToHost, d, *words);
+                        breakdown.transfer_out += d;
+                    }
+                    StreamItem::Kernel => {
+                        kernel_seen = true;
+                        emit(&mut tl, 0, StreamResource::Compute, kernel_ms, 0);
+                    }
+                    StreamItem::SyncStream { stream } => tl.sync_stream(*stream),
+                    StreamItem::SyncDevice => tl.sync_device(),
+                }
+            }
+            if !kernel_seen && kernel_ms > 0.0 {
+                emit(&mut tl, 0, StreamResource::Compute, kernel_ms, 0);
+            }
+        }
+        _ => {
+            let t_in = transfer_in_cost(params, round);
+            let t_out = transfer_out_cost(params, round);
+            emit(&mut tl, 0, StreamResource::HostToDevice, t_in, round.inward_words);
+            emit(&mut tl, 0, StreamResource::Compute, kernel_ms, 0);
+            emit(&mut tl, 0, StreamResource::DeviceToHost, t_out, round.outward_words);
+            breakdown.transfer_in += t_in;
+            breakdown.transfer_out += t_out;
+        }
+    }
+    if peer_ms > 0.0 {
+        emit(&mut tl, 0, StreamResource::Peer, peer_ms, 0);
+    }
+    breakdown.kernel += kernel_ms;
+    tl.finish()
+}
+
+/// [`schedule_round_with`] discarding the spans — the hot path the cost
+/// functions use.
 fn schedule_round(
     params: &CostParams,
     round: &RoundMetrics,
@@ -127,49 +208,34 @@ fn schedule_round(
     peer_ms: f64,
     breakdown: &mut CostBreakdown,
 ) -> f64 {
-    let mut tl = StreamTimeline::new();
-    match schedule {
-        Some(s) if !s.items.is_empty() => {
-            let mut kernel_seen = false;
-            for item in &s.items {
-                match item {
-                    StreamItem::TransferIn { stream, txns, words } => {
-                        let d = *txns as f64 * params.alpha + *words as f64 * params.beta;
-                        tl.advance(*stream, StreamResource::HostToDevice, d);
-                        breakdown.transfer_in += d;
-                    }
-                    StreamItem::TransferOut { stream, txns, words } => {
-                        let d = *txns as f64 * params.alpha + *words as f64 * params.beta;
-                        tl.advance(*stream, StreamResource::DeviceToHost, d);
-                        breakdown.transfer_out += d;
-                    }
-                    StreamItem::Kernel => {
-                        kernel_seen = true;
-                        tl.advance(0, StreamResource::Compute, kernel_ms);
-                    }
-                    StreamItem::SyncStream { stream } => tl.sync_stream(*stream),
-                    StreamItem::SyncDevice => tl.sync_device(),
-                }
-            }
-            if !kernel_seen && kernel_ms > 0.0 {
-                tl.advance(0, StreamResource::Compute, kernel_ms);
-            }
-        }
-        _ => {
-            let t_in = transfer_in_cost(params, round);
-            let t_out = transfer_out_cost(params, round);
-            tl.advance(0, StreamResource::HostToDevice, t_in);
-            tl.advance(0, StreamResource::Compute, kernel_ms);
-            tl.advance(0, StreamResource::DeviceToHost, t_out);
-            breakdown.transfer_in += t_in;
-            breakdown.transfer_out += t_out;
-        }
-    }
-    if peer_ms > 0.0 {
-        tl.advance(0, StreamResource::Peer, peer_ms);
-    }
-    breakdown.kernel += kernel_ms;
-    tl.finish()
+    schedule_round_with(params, round, kernel_ms, schedule, peer_ms, breakdown, &mut |_| {})
+}
+
+/// Predicts one round's per-operation spans: the same walk
+/// [`streamed_evaluate`] prices a round with, but returning every
+/// operation's `(start, end)` on its lane instead of only the round
+/// total.  Trace consumers (`atgpu-exp --trace`) pair these with the
+/// simulator's observed spans to report worst-*span* prediction error.
+/// Returns `(spans, round_ms)` where `round_ms` excludes `σ`.
+pub fn schedule_round_spans(
+    params: &CostParams,
+    round: &RoundMetrics,
+    kernel_ms: f64,
+    schedule: Option<&RoundSchedule>,
+    peer_ms: f64,
+) -> (Vec<PredictedSpan>, f64) {
+    let mut spans = Vec::new();
+    let mut breakdown = CostBreakdown::default();
+    let total = schedule_round_with(
+        params,
+        round,
+        kernel_ms,
+        schedule,
+        peer_ms,
+        &mut breakdown,
+        &mut |s| spans.push(s),
+    );
+    (spans, total)
 }
 
 /// Rejects schedules addressing streams beyond the model's bound (the
@@ -524,7 +590,7 @@ pub fn cluster_cost_streamed(
 /// dies at the start of round `at_round`, the survivors absorb its shards
 /// in proportions `takeover`, and round `at_round` additionally pays a
 /// checkpoint replay of `replay_words` words in `replay_txns` transactions
-/// on every survivor's host link.
+/// on the heir's host link (once — not per survivor).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DegradedLoss {
     /// The index of the device that dies.
@@ -532,8 +598,8 @@ pub struct DegradedLoss {
     /// The round at whose start it dies (rounds before run at full
     /// strength; `at_round ≥ rounds` degrades nothing).
     pub at_round: usize,
-    /// Words of the dead device's checkpoint journal each survivor
-    /// replays at `at_round`.
+    /// Words of the dead device's checkpoint journal replayed (and
+    /// billed on the heir's link) at `at_round`.
     pub replay_words: u64,
     /// Transactions that replay is billed as (normally 1).
     pub replay_txns: u64,
@@ -561,7 +627,10 @@ pub struct DegradedLoss {
 ///   destination becomes a broadcast to every survivor, and a copy whose
 ///   endpoints coincide is a free local move;
 /// * round `at_round` alone adds the checkpoint replay
-///   `replay_txns·α_d + replay_words·β_d` to every survivor.
+///   `replay_txns·α + replay_words·β` — billed once, on the **heir's**
+///   host link (the simulator restores every survivor's memory from the
+///   journal, but the one-time replay transfer lands in exactly one
+///   device's time columns).
 ///
 /// Each degraded round still costs `σ + max` over the surviving paths.
 pub fn cluster_cost_degraded(
@@ -688,7 +757,7 @@ pub fn cluster_cost_degraded(
             } else {
                 let f = loss.takeover[d];
                 let mut t_in = transfer_in_cost(p, round) + transfer_in_cost(p, dead_round);
-                if i == loss.at_round {
+                if i == loss.at_round && d == heir {
                     t_in += loss.replay_txns as f64 * p.alpha + loss.replay_words as f64 * p.beta;
                 }
                 let mut t_out = transfer_out_cost(p, round);
@@ -1029,6 +1098,35 @@ mod tests {
         // The dead device only accumulated round 0.
         assert!((c.per_device[1].transfer_in - 502.0).abs() < 1e-12);
         assert!((c.per_device[1].kernel - 493.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_replay_is_billed_once_on_the_heir() {
+        // Three devices, device 2 dies at round 0 with survivors splitting
+        // its work 50/50.  Both survivors pay the dead device's broadcast
+        // inward traffic, but the one-time journal replay (1·α + 100·β =
+        // 2 + 50 = 52) lands on the heir's (device 0's) link alone.
+        let cluster = unit_cluster(3);
+        let m = AlgoMetrics::new(vec![shard_round(16, 1000, 200)]);
+        let loss = DegradedLoss {
+            device: 2,
+            at_round: 0,
+            replay_words: 100,
+            replay_txns: 1,
+            takeover: vec![0.5, 0.5, 0.0],
+        };
+        let c = cluster_cost_degraded(
+            &cluster,
+            &machine(),
+            &[m.clone(), m.clone(), m.clone()],
+            &[],
+            &loss,
+        )
+        .unwrap();
+        // Non-heir survivor: own 502 + dead broadcast 502.
+        assert!((c.per_device[1].transfer_in - 1004.0).abs() < 1e-12);
+        // Heir: the same plus the replay, exactly once.
+        assert!((c.per_device[0].transfer_in - 1056.0).abs() < 1e-12);
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub mod params;
 pub mod plan;
 pub mod streams;
 
-pub use cost::{ClusterCostBreakdown, CostBreakdown, DegradedLoss, PeerTraffic, StreamedCost};
+pub use cost::{
+    ClusterCostBreakdown, CostBreakdown, DegradedLoss, PeerTraffic, PredictedSpan, StreamedCost,
+};
 pub use error::ModelError;
 pub use machine::AtgpuMachine;
 pub use metrics::{AlgoMetrics, RoundMetrics};

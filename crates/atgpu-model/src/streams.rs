@@ -55,11 +55,29 @@ pub enum StreamResource {
 impl StreamResource {
     #[inline]
     fn index(self) -> usize {
+        self.lane() as usize
+    }
+
+    /// Stable lane number of this resource (H2D=0, Compute=1, D2H=2,
+    /// Peer=3) — the `tid` a trace exporter files the resource's spans
+    /// under.
+    #[inline]
+    pub fn lane(self) -> u8 {
         match self {
             StreamResource::HostToDevice => 0,
             StreamResource::Compute => 1,
             StreamResource::DeviceToHost => 2,
             StreamResource::Peer => 3,
+        }
+    }
+
+    /// Short human-readable lane name, matching [`Self::lane`] order.
+    pub fn lane_name(self) -> &'static str {
+        match self {
+            StreamResource::HostToDevice => "H2D",
+            StreamResource::Compute => "Compute",
+            StreamResource::DeviceToHost => "D2H",
+            StreamResource::Peer => "Peer",
         }
     }
 }
@@ -95,7 +113,16 @@ impl StreamTimeline {
 
     /// Schedules one operation of duration `dur` on `stream` occupying
     /// `res`; returns its completion time.
+    #[inline]
     pub fn advance(&mut self, stream: u32, res: StreamResource, dur: f64) -> f64 {
+        self.advance_spanned(stream, res, dur).1
+    }
+
+    /// [`Self::advance`] exposing the operation's full `(start, end)`
+    /// span — the primitive the timeline tracer records.  `advance` is a
+    /// thin wrapper, so tracing sees exactly the times the scheduler
+    /// uses.
+    pub fn advance_spanned(&mut self, stream: u32, res: StreamResource, dur: f64) -> (f64, f64) {
         let floor = self.floor;
         let r = self.resources[res.index()];
         let s = self.stream_mut(stream);
@@ -103,7 +130,7 @@ impl StreamTimeline {
         let end = start + dur;
         *s = end;
         self.resources[res.index()] = end;
-        end
+        (start, end)
     }
 
     /// Host-blocking join on one stream: later operations (any stream)

@@ -36,6 +36,7 @@ use crate::driver::HostData;
 use crate::error::SimError;
 use crate::fault::{FaultRuntime, LinkEdge};
 use crate::gmem::GlobalMemory;
+use crate::trace::{SpanKind, Tracer};
 use crate::warp::WriteRec;
 use crate::xfer::TransferEngine;
 use crate::{EngineSel, ExecMode, SimConfig};
@@ -370,6 +371,10 @@ pub struct ClusterSimReport {
     /// Per-device counters after the run (kernel-cache hits/misses),
     /// indexed by device — observability only.
     pub device_stats: Vec<DeviceStats>,
+    /// Recorded timeline spans when [`SimConfig::trace`] was on
+    /// (`None` otherwise); export with
+    /// [`crate::trace::cluster_report_trace_json`].
+    pub trace: Option<crate::trace::Trace>,
 }
 
 impl ClusterSimReport {
@@ -394,11 +399,20 @@ impl ClusterSimReport {
         self.rounds.iter().map(|r| r.devices.iter().map(|d| d.kernel_ms).fold(0.0, f64::max)).sum()
     }
 
+    /// Per-device slots sized to the **max** across rounds: device
+    /// indices are stable identities, so a report whose rounds carry
+    /// different device counts (e.g. across a loss boundary) still
+    /// attributes every round's times to the right device instead of
+    /// panicking or truncating to the first round's width.
+    fn device_slots(&self) -> Vec<f64> {
+        let n = self.rounds.iter().map(|r| r.devices.len()).max().unwrap_or(0);
+        vec![0.0; n]
+    }
+
     /// Per-device transfer time (host link + peer links), summed over
     /// rounds — the per-device transfer cost a sweep reports.
     pub fn transfer_ms_per_device(&self) -> Vec<f64> {
-        let n = self.rounds.first().map(|r| r.devices.len()).unwrap_or(0);
-        let mut out = vec![0.0; n];
+        let mut out = self.device_slots();
         for r in &self.rounds {
             for (d, obs) in r.devices.iter().enumerate() {
                 out[d] += obs.xfer_in_ms + obs.peer_ms + obs.xfer_out_ms;
@@ -409,8 +423,7 @@ impl ClusterSimReport {
 
     /// Per-device kernel time, summed over rounds.
     pub fn kernel_ms_per_device(&self) -> Vec<f64> {
-        let n = self.rounds.first().map(|r| r.devices.len()).unwrap_or(0);
-        let mut out = vec![0.0; n];
+        let mut out = self.device_slots();
         for r in &self.rounds {
             for (d, obs) in r.devices.iter().enumerate() {
                 out[d] += obs.kernel_ms;
@@ -532,9 +545,12 @@ fn surviving_subspec(spec: &ClusterSpec, alive: &[bool]) -> (ClusterSpec, Vec<us
 /// device dead, errors if nobody survives, and replays its journal onto
 /// each survivor — last-write-wins on the global sequence number, so a
 /// survivor keeps its own later writes and gains exactly the words where
-/// the dead device held the latest value.  Each survivor's replay is
-/// priced as one inward transaction (`α + β·words`) on its own host
-/// link and counted in [`DeviceStats::recoveries`].
+/// the dead device held the latest value.  Every survivor's memory is
+/// restored and its [`DeviceStats::recoveries`] counter bumped, but the
+/// one-time replay *transfer* is priced as a single inward transaction
+/// (`α + β·words`) on the **heir's** host link alone — the replay lands
+/// in exactly one device's round columns, never double-charged across
+/// survivors.
 fn process_deaths(
     fs: &mut FaultState,
     round: usize,
@@ -542,6 +558,7 @@ fn process_deaths(
     host_xfer: &mut [TransferEngine],
     devs: &mut [DeviceRoundObservation],
     timelines: &mut [StreamTimeline],
+    tracer: &mut Option<Tracer>,
 ) -> Result<(), SimError> {
     let n = fs.alive.len();
     for d in 0..n {
@@ -583,9 +600,25 @@ fn process_deaths(
                     applied += 1;
                 }
             }
-            let t = host_xfer[s].replay_in(applied);
-            devs[s].xfer_in_ms += t;
-            timelines[s].advance(0, StreamResource::HostToDevice, t);
+            if s == fs.heir() {
+                let t = host_xfer[s].replay_in(applied);
+                devs[s].xfer_in_ms += t;
+                let (t0, t1) = timelines[s].advance_spanned(0, StreamResource::HostToDevice, t);
+                if let Some(tr) = tracer.as_mut() {
+                    let pred = host_xfer[s].link().cost_ms(1, applied);
+                    tr.record(
+                        round,
+                        s as u32,
+                        StreamResource::HostToDevice,
+                        0,
+                        SpanKind::Replay,
+                        applied,
+                        pred,
+                        t0,
+                        t1,
+                    );
+                }
+            }
             fs.recoveries[s] += 1;
             // The survivor now answers for those words; fold the dead
             // journal in so a later death of *this* device replays them
@@ -617,10 +650,12 @@ fn run_sharded_launch(
     engine: EngineSel,
     kernel: &Kernel,
     shards: &[Shard],
+    round: usize,
     gmems: &mut [GlobalMemory],
     devs: &mut [DeviceRoundObservation],
     timelines: &mut [StreamTimeline],
     fault: &mut Option<FaultState>,
+    tracer: &mut Option<Tracer>,
 ) -> Result<(), SimError> {
     // Under an active fault plan, a dead device's shards are
     // re-apportioned over the survivors through the cost-driven planner;
@@ -734,7 +769,21 @@ fn run_sharded_launch(
         obs.kernel_ms += ms;
         obs.kernel_stats.merge_serial(&stats);
         // Shards on one device run back to back on its compute stream.
-        timelines[d].advance(0, StreamResource::Compute, ms);
+        let (t0, t1) = timelines[d].advance_spanned(0, StreamResource::Compute, ms);
+        if let Some(tr) = tracer.as_mut() {
+            let blocks = shard.end - shard.start;
+            tr.record(
+                round,
+                shard.device,
+                StreamResource::Compute,
+                0,
+                SpanKind::Kernel,
+                blocks,
+                -1.0,
+                t0,
+                t1,
+            );
+        }
     }
     if config.detect_races {
         let merged: Vec<WriteRec> = logs
@@ -832,12 +881,21 @@ pub fn run_cluster_program(
 
     let engine = if config.use_reference { EngineSel::Reference } else { EngineSel::MicroOp };
     let mut fs = FaultRuntime::new(&config.fault).map(|rt| FaultState::new(rt, n));
+    let mut tracer = if config.trace { Some(Tracer::new(config.trace_capacity)) } else { None };
     let mut rounds = Vec::with_capacity(program.rounds.len());
     for (round_idx, round) in program.rounds.iter().enumerate() {
         let mut devs = vec![DeviceRoundObservation::default(); n];
         let mut timelines = vec![StreamTimeline::new(); n];
         if let Some(f) = fs.as_mut() {
-            process_deaths(f, round_idx, &mut gmems, &mut host_xfer, &mut devs, &mut timelines)?;
+            process_deaths(
+                f,
+                round_idx,
+                &mut gmems,
+                &mut host_xfer,
+                &mut devs,
+                &mut timelines,
+                &mut tracer,
+            )?;
         }
         for step in &round.steps {
             match step {
@@ -850,7 +908,25 @@ pub fn run_cluster_program(
                             let dst = gmems[d].base(dev.0) + dev_off;
                             let t = host_xfer[d].to_device(&mut gmems[d], dst, src);
                             devs[d].xfer_in_ms += t;
-                            timelines[d].advance(*stream, StreamResource::HostToDevice, t);
+                            let (t0, t1) = timelines[d].advance_spanned(
+                                *stream,
+                                StreamResource::HostToDevice,
+                                t,
+                            );
+                            if let Some(tr) = tracer.as_mut() {
+                                let pred = host_xfer[d].link().cost_ms(1, *words);
+                                tr.record(
+                                    round_idx,
+                                    *device,
+                                    StreamResource::HostToDevice,
+                                    *stream,
+                                    SpanKind::TransferIn,
+                                    *words,
+                                    pred,
+                                    t0,
+                                    t1,
+                                );
+                            }
                         }
                         Some(f) => {
                             // A dead target's input is broadcast to every
@@ -861,17 +937,49 @@ pub fn run_cluster_program(
                             for s in targets {
                                 let dst = gmems[s].base(dev.0) + dev_off;
                                 let obs = &mut devs[s];
-                                let t = f.rt.transfer(
-                                    LinkEdge::Host(s as u32),
-                                    round_idx,
-                                    cluster_spec.sync_ms,
-                                    &mut obs.retries,
-                                    &mut obs.backoff_ms,
-                                    || host_xfer[s].to_device(&mut gmems[s], dst, src),
-                                );
+                                let t = match tracer.as_mut() {
+                                    Some(tr) => {
+                                        let segs = &mut tr.segs;
+                                        f.rt.transfer_segmented(
+                                            LinkEdge::Host(s as u32),
+                                            round_idx,
+                                            cluster_spec.sync_ms,
+                                            &mut obs.retries,
+                                            &mut obs.backoff_ms,
+                                            || host_xfer[s].to_device(&mut gmems[s], dst, src),
+                                            |a, b, w| segs.push(a, b, w),
+                                        )
+                                    }
+                                    None => f.rt.transfer(
+                                        LinkEdge::Host(s as u32),
+                                        round_idx,
+                                        cluster_spec.sync_ms,
+                                        &mut obs.retries,
+                                        &mut obs.backoff_ms,
+                                        || host_xfer[s].to_device(&mut gmems[s], dst, src),
+                                    ),
+                                };
                                 obs.xfer_in_ms += t;
                                 f.journal_words(s, dst, src);
-                                timelines[s].advance(*stream, StreamResource::HostToDevice, t);
+                                let (t0, t1) = timelines[s].advance_spanned(
+                                    *stream,
+                                    StreamResource::HostToDevice,
+                                    t,
+                                );
+                                if let Some(tr) = tracer.as_mut() {
+                                    let pred = host_xfer[s].link().cost_ms(1, *words);
+                                    tr.record(
+                                        round_idx,
+                                        s as u32,
+                                        StreamResource::HostToDevice,
+                                        *stream,
+                                        SpanKind::TransferIn,
+                                        *words,
+                                        pred,
+                                        t0,
+                                        t1,
+                                    );
+                                }
                             }
                         }
                     }
@@ -893,7 +1001,25 @@ pub fn run_cluster_program(
                             let src = gmems[d].base(dev.0) + dev_off;
                             let t = host_xfer[d].to_host(&gmems[d], src, dst);
                             devs[d].xfer_out_ms += t;
-                            timelines[d].advance(*stream, StreamResource::DeviceToHost, t);
+                            let (t0, t1) = timelines[d].advance_spanned(
+                                *stream,
+                                StreamResource::DeviceToHost,
+                                t,
+                            );
+                            if let Some(tr) = tracer.as_mut() {
+                                let pred = host_xfer[d].link().cost_ms(1, *words);
+                                tr.record(
+                                    round_idx,
+                                    *device,
+                                    StreamResource::DeviceToHost,
+                                    *stream,
+                                    SpanKind::TransferOut,
+                                    *words,
+                                    pred,
+                                    t0,
+                                    t1,
+                                );
+                            }
                         }
                         Some(f) => {
                             // A dead source's output is served by the heir
@@ -902,16 +1028,48 @@ pub fn run_cluster_program(
                             let s = if f.alive[d] { d } else { f.heir() };
                             let src = gmems[s].base(dev.0) + dev_off;
                             let obs = &mut devs[s];
-                            let t = f.rt.transfer(
-                                LinkEdge::Host(s as u32),
-                                round_idx,
-                                cluster_spec.sync_ms,
-                                &mut obs.retries,
-                                &mut obs.backoff_ms,
-                                || host_xfer[s].to_host(&gmems[s], src, dst),
-                            );
+                            let t = match tracer.as_mut() {
+                                Some(tr) => {
+                                    let segs = &mut tr.segs;
+                                    f.rt.transfer_segmented(
+                                        LinkEdge::Host(s as u32),
+                                        round_idx,
+                                        cluster_spec.sync_ms,
+                                        &mut obs.retries,
+                                        &mut obs.backoff_ms,
+                                        || host_xfer[s].to_host(&gmems[s], src, dst),
+                                        |a, b, w| segs.push(a, b, w),
+                                    )
+                                }
+                                None => f.rt.transfer(
+                                    LinkEdge::Host(s as u32),
+                                    round_idx,
+                                    cluster_spec.sync_ms,
+                                    &mut obs.retries,
+                                    &mut obs.backoff_ms,
+                                    || host_xfer[s].to_host(&gmems[s], src, dst),
+                                ),
+                            };
                             obs.xfer_out_ms += t;
-                            timelines[s].advance(*stream, StreamResource::DeviceToHost, t);
+                            let (t0, t1) = timelines[s].advance_spanned(
+                                *stream,
+                                StreamResource::DeviceToHost,
+                                t,
+                            );
+                            if let Some(tr) = tracer.as_mut() {
+                                let pred = host_xfer[s].link().cost_ms(1, *words);
+                                tr.record(
+                                    round_idx,
+                                    s as u32,
+                                    StreamResource::DeviceToHost,
+                                    *stream,
+                                    SpanKind::TransferOut,
+                                    *words,
+                                    pred,
+                                    t0,
+                                    t1,
+                                );
+                            }
                         }
                     }
                 }
@@ -943,8 +1101,35 @@ pub fn run_cluster_program(
                             devs[d0].peer_ms += t;
                             // A peer copy occupies both endpoints' peer
                             // engines.
-                            timelines[s0].advance(0, StreamResource::Peer, t);
-                            timelines[d0].advance(0, StreamResource::Peer, t);
+                            let (a0, a1) =
+                                timelines[s0].advance_spanned(0, StreamResource::Peer, t);
+                            let (b0, b1) =
+                                timelines[d0].advance_spanned(0, StreamResource::Peer, t);
+                            if let Some(tr) = tracer.as_mut() {
+                                let pred = peer_xfer[s0][d0].link().cost_ms(1, *words);
+                                tr.record(
+                                    round_idx,
+                                    *src,
+                                    StreamResource::Peer,
+                                    0,
+                                    SpanKind::Peer,
+                                    *words,
+                                    pred,
+                                    a0,
+                                    a1,
+                                );
+                                tr.record(
+                                    round_idx,
+                                    *dst,
+                                    StreamResource::Peer,
+                                    0,
+                                    SpanKind::Peer,
+                                    *words,
+                                    pred,
+                                    b0,
+                                    b1,
+                                );
+                            }
                         }
                         Some(f) => {
                             // Dead source → served by the heir; dead
@@ -965,22 +1150,70 @@ pub fn run_cluster_program(
                                     );
                                 } else {
                                     let obs = &mut devs[r];
-                                    let t = f.rt.transfer(
-                                        LinkEdge::Peer(sp as u32, r as u32),
-                                        round_idx,
-                                        cluster_spec.sync_ms,
-                                        &mut obs.retries,
-                                        &mut obs.backoff_ms,
-                                        || {
-                                            let (sm, dm) = two_mems(&mut gmems, sp, r);
-                                            peer_xfer[sp][r]
-                                                .peer(sm, src_addr, dm, dst_addr, *words)
-                                        },
-                                    );
+                                    let t = match tracer.as_mut() {
+                                        Some(tr) => {
+                                            let segs = &mut tr.segs;
+                                            f.rt.transfer_segmented(
+                                                LinkEdge::Peer(sp as u32, r as u32),
+                                                round_idx,
+                                                cluster_spec.sync_ms,
+                                                &mut obs.retries,
+                                                &mut obs.backoff_ms,
+                                                || {
+                                                    let (sm, dm) = two_mems(&mut gmems, sp, r);
+                                                    peer_xfer[sp][r]
+                                                        .peer(sm, src_addr, dm, dst_addr, *words)
+                                                },
+                                                |a, b, w| segs.push(a, b, w),
+                                            )
+                                        }
+                                        None => f.rt.transfer(
+                                            LinkEdge::Peer(sp as u32, r as u32),
+                                            round_idx,
+                                            cluster_spec.sync_ms,
+                                            &mut obs.retries,
+                                            &mut obs.backoff_ms,
+                                            || {
+                                                let (sm, dm) = two_mems(&mut gmems, sp, r);
+                                                peer_xfer[sp][r]
+                                                    .peer(sm, src_addr, dm, dst_addr, *words)
+                                            },
+                                        ),
+                                    };
                                     devs[sp].peer_ms += t;
                                     devs[r].peer_ms += t;
-                                    timelines[sp].advance(0, StreamResource::Peer, t);
-                                    timelines[r].advance(0, StreamResource::Peer, t);
+                                    let (a0, a1) =
+                                        timelines[r].advance_spanned(0, StreamResource::Peer, t);
+                                    let (b0, b1) =
+                                        timelines[sp].advance_spanned(0, StreamResource::Peer, t);
+                                    if let Some(tr) = tracer.as_mut() {
+                                        let pred = peer_xfer[sp][r].link().cost_ms(1, *words);
+                                        // The receiver's span carries the
+                                        // retry/backoff segments; the
+                                        // source shows the fused copy.
+                                        tr.record(
+                                            round_idx,
+                                            r as u32,
+                                            StreamResource::Peer,
+                                            0,
+                                            SpanKind::Peer,
+                                            *words,
+                                            pred,
+                                            a0,
+                                            a1,
+                                        );
+                                        tr.record(
+                                            round_idx,
+                                            sp as u32,
+                                            StreamResource::Peer,
+                                            0,
+                                            SpanKind::Peer,
+                                            *words,
+                                            pred,
+                                            b0,
+                                            b1,
+                                        );
+                                    }
                                 }
                                 let vals: Vec<i64> = gmems[r].words()
                                     [dst_addr as usize..dst_addr as usize + w]
@@ -1001,10 +1234,12 @@ pub fn run_cluster_program(
                         engine,
                         kernel,
                         &whole,
+                        round_idx,
                         &mut gmems,
                         &mut devs,
                         &mut timelines,
                         &mut fs,
+                        &mut tracer,
                     )?;
                 }
                 HostStep::LaunchSharded { kernel, shards } => {
@@ -1016,10 +1251,12 @@ pub fn run_cluster_program(
                         engine,
                         kernel,
                         shards,
+                        round_idx,
                         &mut gmems,
                         &mut devs,
                         &mut timelines,
                         &mut fs,
+                        &mut tracer,
                     )?;
                 }
             }
@@ -1042,7 +1279,7 @@ pub fn run_cluster_program(
             st.recoveries = f.recoveries[d];
         }
     }
-    Ok(ClusterSimReport { rounds, host, device_stats })
+    Ok(ClusterSimReport { rounds, host, device_stats, trace: tracer.map(Tracer::finish) })
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ use crate::device::{Device, KernelStats};
 use crate::error::SimError;
 use crate::fault::{FaultPlan, FaultRuntime, LinkEdge};
 use crate::gmem::GlobalMemory;
+use crate::trace::{SpanKind, Tracer};
 use crate::xfer::{TransferEngine, XferNoise};
 use crate::ExecMode;
 use atgpu_ir::{HostBufRole, HostStep, Program};
@@ -64,6 +65,15 @@ pub struct SimConfig {
     /// launch whose event clock passes the budget fails with
     /// [`SimError::Watchdog`].  `0` (the default) disables the watchdog.
     pub watchdog_cycles: u64,
+    /// Record per-operation timeline spans ([`crate::trace`]).  Off (the
+    /// default), no tracer exists and every hook is a single null test —
+    /// the same gating idiom as the empty fault plan — and the reported
+    /// rounds are bit-identical either way: tracing observes the
+    /// scheduler's results, it never feeds back into them.
+    pub trace: bool,
+    /// Span-pool capacity when tracing ([`crate::trace::SpanRing`]);
+    /// oldest spans are evicted (and counted) past this bound.
+    pub trace_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -79,6 +89,8 @@ impl Default for SimConfig {
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
             fault: FaultPlan::default(),
             watchdog_cycles: 0,
+            trace: false,
+            trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -180,6 +192,10 @@ pub struct SimReport {
     /// Device-level counters after the run (kernel-cache hits/misses) —
     /// observability only, never part of round observations.
     pub device_stats: crate::device::DeviceStats,
+    /// Recorded timeline spans when [`SimConfig::trace`] was on
+    /// (`None` otherwise); export with
+    /// [`crate::trace::sim_report_trace_json`].
+    pub trace: Option<crate::trace::Trace>,
 }
 
 impl SimReport {
@@ -289,6 +305,7 @@ pub fn run_program(
     let mut xfer = TransferEngine::new(spec, config.noise, config.seed);
     let mut host = HostData::new(program, inputs)?;
     let mut frt = FaultRuntime::new(&config.fault);
+    let mut tracer = if config.trace { Some(Tracer::new(config.trace_capacity)) } else { None };
     // A single-device run has no survivors to recover on: a scheduled
     // death of device 0 inside the program is immediately unrecoverable.
     let slow = frt.as_ref().map_or(1.0, |rt| rt.clock_factor(0));
@@ -319,8 +336,20 @@ pub fn run_program(
                     let src =
                         &host.bufs[h.0 as usize][*host_off as usize..(*host_off + *words) as usize];
                     let dst = gmem.base(dev.0) + dev_off;
-                    let t = match frt.as_mut() {
-                        Some(rt) => rt.transfer(
+                    let t = match (frt.as_mut(), tracer.as_mut()) {
+                        (Some(rt), Some(tr)) => {
+                            let segs = &mut tr.segs;
+                            rt.transfer_segmented(
+                                LinkEdge::Host(0),
+                                round_idx,
+                                spec.sync_ms,
+                                &mut obs.retries,
+                                &mut obs.backoff_ms,
+                                || xfer.to_device(&mut gmem, dst, src),
+                                |a, b, w| segs.push(a, b, w),
+                            )
+                        }
+                        (Some(rt), None) => rt.transfer(
                             LinkEdge::Host(0),
                             round_idx,
                             spec.sync_ms,
@@ -328,10 +357,24 @@ pub fn run_program(
                             &mut obs.backoff_ms,
                             || xfer.to_device(&mut gmem, dst, src),
                         ),
-                        None => xfer.to_device(&mut gmem, dst, src),
+                        (None, _) => xfer.to_device(&mut gmem, dst, src),
                     };
                     obs.xfer_in_ms += t;
-                    tl.advance(*stream, StreamResource::HostToDevice, t);
+                    let (s0, e0) = tl.advance_spanned(*stream, StreamResource::HostToDevice, t);
+                    if let Some(tr) = tracer.as_mut() {
+                        let pred = xfer.link().cost_ms(1, *words);
+                        tr.record(
+                            round_idx,
+                            0,
+                            StreamResource::HostToDevice,
+                            *stream,
+                            SpanKind::TransferIn,
+                            *words,
+                            pred,
+                            s0,
+                            e0,
+                        );
+                    }
                 }
                 HostStep::TransferPeer { src, dst, .. } => {
                     // A peer copy needs a second device; route sharded
@@ -352,7 +395,21 @@ pub fn run_program(
                 }
                 HostStep::Launch(kernel) => {
                     let ms = run_launch(kernel, &device, &mut gmem, spec, config, slow, &mut obs)?;
-                    tl.advance(0, StreamResource::Compute, ms);
+                    let (s0, e0) = tl.advance_spanned(0, StreamResource::Compute, ms);
+                    if let Some(tr) = tracer.as_mut() {
+                        let blocks = kernel.blocks();
+                        tr.record(
+                            round_idx,
+                            0,
+                            StreamResource::Compute,
+                            0,
+                            SpanKind::Kernel,
+                            blocks,
+                            -1.0,
+                            s0,
+                            e0,
+                        );
+                    }
                 }
                 HostStep::LaunchSharded { kernel, shards } => {
                     // A sharded launch on a single device is the whole
@@ -362,7 +419,21 @@ pub fn run_program(
                         return Err(SimError::NoSuchDevice { device: s.device, devices: 1 });
                     }
                     let ms = run_launch(kernel, &device, &mut gmem, spec, config, slow, &mut obs)?;
-                    tl.advance(0, StreamResource::Compute, ms);
+                    let (s0, e0) = tl.advance_spanned(0, StreamResource::Compute, ms);
+                    if let Some(tr) = tracer.as_mut() {
+                        let blocks = kernel.blocks();
+                        tr.record(
+                            round_idx,
+                            0,
+                            StreamResource::Compute,
+                            0,
+                            SpanKind::Kernel,
+                            blocks,
+                            -1.0,
+                            s0,
+                            e0,
+                        );
+                    }
                 }
                 HostStep::TransferOut {
                     dev,
@@ -379,8 +450,20 @@ pub fn run_program(
                     let src = gmem.base(dev.0) + dev_off;
                     let dst = &mut host.bufs[h.0 as usize]
                         [*host_off as usize..(*host_off + *words) as usize];
-                    let t = match frt.as_mut() {
-                        Some(rt) => rt.transfer(
+                    let t = match (frt.as_mut(), tracer.as_mut()) {
+                        (Some(rt), Some(tr)) => {
+                            let segs = &mut tr.segs;
+                            rt.transfer_segmented(
+                                LinkEdge::Host(0),
+                                round_idx,
+                                spec.sync_ms,
+                                &mut obs.retries,
+                                &mut obs.backoff_ms,
+                                || xfer.to_host(&gmem, src, dst),
+                                |a, b, w| segs.push(a, b, w),
+                            )
+                        }
+                        (Some(rt), None) => rt.transfer(
                             LinkEdge::Host(0),
                             round_idx,
                             spec.sync_ms,
@@ -388,10 +471,24 @@ pub fn run_program(
                             &mut obs.backoff_ms,
                             || xfer.to_host(&gmem, src, dst),
                         ),
-                        None => xfer.to_host(&gmem, src, dst),
+                        (None, _) => xfer.to_host(&gmem, src, dst),
                     };
                     obs.xfer_out_ms += t;
-                    tl.advance(*stream, StreamResource::DeviceToHost, t);
+                    let (s0, e0) = tl.advance_spanned(*stream, StreamResource::DeviceToHost, t);
+                    if let Some(tr) = tracer.as_mut() {
+                        let pred = xfer.link().cost_ms(1, *words);
+                        tr.record(
+                            round_idx,
+                            0,
+                            StreamResource::DeviceToHost,
+                            *stream,
+                            SpanKind::TransferOut,
+                            *words,
+                            pred,
+                            s0,
+                            e0,
+                        );
+                    }
                 }
             }
         }
@@ -404,7 +501,7 @@ pub fn run_program(
         device_stats.retries += r.retries;
         device_stats.backoff_ms += r.backoff_ms;
     }
-    Ok(SimReport { rounds, host, device_stats })
+    Ok(SimReport { rounds, host, device_stats, trace: tracer.map(Tracer::finish) })
 }
 
 #[cfg(test)]

@@ -297,19 +297,53 @@ impl FaultRuntime {
         backoff_unit_ms: f64,
         retries: &mut u64,
         backoff_ms: &mut f64,
+        attempt: impl FnMut() -> f64,
+    ) -> f64 {
+        // The no-op segment sink monomorphises away: the untraced retry
+        // loop compiles exactly as before.
+        self.transfer_segmented(
+            edge,
+            round,
+            backoff_unit_ms,
+            retries,
+            backoff_ms,
+            attempt,
+            |_, _, _| {},
+        )
+    }
+
+    /// [`Self::transfer`] additionally reporting each **segment** of the
+    /// transfer to `on_seg(start_off_ms, end_off_ms, is_backoff)`:
+    /// attempt segments (dropped and final) and backoff waits, in time
+    /// order, exactly tiling `[0, total)` relative to the transfer's
+    /// start.  The timeline tracer turns these into per-attempt and
+    /// per-wait spans so retries and backoff are visible in a trace
+    /// instead of fused into one opaque block.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_segmented(
+        &mut self,
+        edge: LinkEdge,
+        round: usize,
+        backoff_unit_ms: f64,
+        retries: &mut u64,
+        backoff_ms: &mut f64,
         mut attempt: impl FnMut() -> f64,
+        mut on_seg: impl FnMut(f64, f64, bool),
     ) -> f64 {
         let factor = self.link_factor(edge, round);
         let mut total = 0.0;
         let mut k = 0u32;
         loop {
             let dropped = self.consume_attempt(edge);
-            total += attempt() * factor;
+            let cost = attempt() * factor;
+            on_seg(total, total + cost, false);
+            total += cost;
             if !dropped {
                 return total;
             }
             *retries += 1;
             let wait = backoff_unit_ms * f64::from(2u32.pow(k.min(20)));
+            on_seg(total, total + wait, true);
             total += wait;
             *backoff_ms += wait;
             k += 1;
@@ -408,6 +442,38 @@ mod tests {
         let u = rt.transfer(edge, 5, 0.5, &mut retries, &mut backoff, || 1.0);
         assert_eq!(retries, 2);
         assert!((u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_segments_tile_the_total_exactly() {
+        let mut plan = FaultPlan::new(0);
+        let edge = LinkEdge::Host(0);
+        plan.push(FaultEvent::TransferDrop { edge, nth: 0 });
+        plan.push(FaultEvent::TransferDrop { edge, nth: 1 });
+        let mut rt = FaultRuntime::new(&plan).unwrap();
+        let (mut retries, mut backoff) = (0u64, 0.0f64);
+        let mut segs: Vec<(f64, f64, bool)> = Vec::new();
+        let t = rt.transfer_segmented(
+            edge,
+            0,
+            0.5,
+            &mut retries,
+            &mut backoff,
+            || 1.0,
+            |a, b, w| segs.push((a, b, w)),
+        );
+        // attempt, wait 0.5, attempt, wait 1.0, attempt — contiguous,
+        // starting at 0 and ending at the returned total.
+        assert_eq!(
+            segs.iter().map(|&(_, _, w)| w).collect::<Vec<_>>(),
+            vec![false, true, false, true, false]
+        );
+        assert_eq!(segs[0].0, 0.0);
+        for pair in segs.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "segments must tile without gaps");
+        }
+        assert_eq!(segs.last().unwrap().1, t);
+        assert!((t - (3.0 + 1.5)).abs() < 1e-12);
     }
 
     #[test]

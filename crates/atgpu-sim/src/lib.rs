@@ -242,6 +242,49 @@
 //! [`atgpu_model::cost::cluster_cost_degraded`] mirrors the whole
 //! recovery path analytically so predictions track degraded runs too.
 //!
+//! ## Timeline tracing
+//!
+//! [`SimConfig::trace`]` = true` (off by default) records every
+//! scheduled operation — each H2D/compute/D2H/peer lane occupancy the
+//! [`atgpu_model::StreamTimeline`] computes — as a [`trace::Span`]
+//! `{round, device, resource lane, stream, kind, words, start, end,
+//! predicted_ms}`.  Tracing *observes* the scheduler's results
+//! (`advance_spanned` returns the same `(start, end)` the untraced
+//! `advance` collapses to a finish time), never feeds back into them,
+//! so a traced run is **bit-identical** in memory, statistics and
+//! timing to an untraced one; with tracing off the only residue is one
+//! `Option` null test per operation, the same gating idiom the fault
+//! plan uses (`atgpu-bench` pins both claims).  Spans land in a
+//! pooled, pre-allocated [`trace::SpanRing`]
+//! ([`SimConfig::trace_capacity`], default
+//! [`trace::DEFAULT_TRACE_CAPACITY`]): the steady state allocates
+//! nothing per span (`tests/engine_alloc.rs`), and when the ring is
+//! full the oldest spans are overwritten and surfaced as a
+//! `spans_dropped` count rather than growing or erroring.
+//!
+//! Fault machinery is traced too: each retry attempt and each
+//! exponential-backoff wait from [`fault::FaultRuntime`] becomes its
+//! own span segment ([`fault::FaultRuntime::transfer_segmented`]
+//! reports segments that tile the fused transfer exactly), and a
+//! degraded-mode journal replay appears as a `Replay` span on the
+//! heir's host lane.
+//!
+//! [`trace::chrome_trace_json`] serialises a finished [`trace::Trace`]
+//! to Chrome `trace_event` JSON (the array form) loadable in
+//! `chrome://tracing` or Perfetto: `pid` = device, `tid` = resource
+//! lane, duration events carry `round`/`stream`/`words`/`observed_ms`
+//! and, where the model prices the operation, `predicted_ms`; counter
+//! tracks plot cumulative retries, backoff milliseconds and kernel
+//! cache hits per device.  [`trace::sim_report_trace_json`] /
+//! [`trace::cluster_report_trace_json`] build the export straight from
+//! a report, and [`trace::validate_chrome_json`] parses it back
+//! (structure, required fields, per-lane monotone non-overlap) — the
+//! round-trip check `atgpu-exp check-trace` and CI run on every traced
+//! smoke artifact.  On the analytic side,
+//! [`atgpu_model::cost::schedule_round_spans`] emits *predicted* spans
+//! from the same `RoundSchedule`s, so the E-series sweeps report
+//! per-span predicted-vs-observed error, not just round totals.
+//!
 //! ## Structure
 //!
 //! * [`gmem`] / [`smem`] — global memory (bounded by `G`, canonical buffer
@@ -268,6 +311,8 @@
 //!   noise; host↔device and device↔device peer edges);
 //! * [`fault`] — seeded deterministic fault plans and the runtime that
 //!   injects them (drops, degradation, stragglers, device death);
+//! * [`trace`] — per-operation span recording (pooled ring), Chrome
+//!   `trace_event` export and the round-trip validator;
 //! * [`driver`] — runs whole multi-round programs and reports per-round
 //!   observed times, the simulated counterpart of the paper's "Total" and
 //!   "Kernel" series;
@@ -290,6 +335,7 @@ pub mod fault;
 pub mod gmem;
 pub mod mp;
 pub mod smem;
+pub mod trace;
 pub mod uop;
 pub mod warp;
 pub mod xfer;
@@ -305,6 +351,10 @@ pub use driver::{run_program, HostData, RoundObservation, SimConfig, SimReport};
 pub use engine::{BlockExec, BlockSim};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultPlan, FaultRuntime, LinkEdge};
+pub use trace::{
+    chrome_trace_json, cluster_report_trace_json, sim_report_trace_json, validate_chrome_json,
+    Span, SpanKind, SpanRing, Trace, Tracer, DEFAULT_TRACE_CAPACITY,
+};
 pub use uop::CompiledKernel;
 
 /// Which block executor a launch uses.

@@ -294,6 +294,81 @@ fn mid_program_loss_on_four_devices_stays_under_2x() {
 }
 
 #[test]
+fn journal_replay_is_billed_once_on_the_heir() {
+    let n = 128u64;
+    let data = inputs(n, 29);
+    let (p, he) = two_round_program(n, 4);
+    let base = run_cluster_program(&p, data.clone(), &machine(), &cspec(4), &SimConfig::default())
+        .unwrap();
+
+    let mut plan = FaultPlan::new(0);
+    plan.push(FaultEvent::DeviceDown { device: 2, at_round: 1 });
+    let r = run_cluster_program(&p, data, &machine(), &cspec(4), &faulted(plan)).unwrap();
+    assert_eq!(base.output(he), r.output(he));
+
+    // Every survivor restores its memory from the journal (three
+    // recoveries), but the replay *transfer* is one host-link
+    // transaction and must be billed exactly once — on the heir, the
+    // lowest-index survivor.  Device 2's round-0 journal covers its A
+    // and B slices (32 words each) plus its 32 words of C: 96 words,
+    // priced at α + β·96 = 0.1 + 0.001·96 on the heir's link.
+    assert_eq!(r.device_stats.iter().map(|s| s.recoveries).sum::<u64>(), 3);
+    let round1 = &r.rounds[1];
+    assert!(
+        (round1.devices[0].xfer_in_ms - 0.196).abs() < 1e-12,
+        "heir billed α + β·96 = 0.196, got {}",
+        round1.devices[0].xfer_in_ms
+    );
+    assert_eq!(round1.devices[1].xfer_in_ms, 0.0, "non-heir survivors pay no replay transfer");
+    assert_eq!(round1.devices[3].xfer_in_ms, 0.0, "non-heir survivors pay no replay transfer");
+    assert_eq!(round1.devices[2].xfer_in_ms, 0.0, "the dead device transfers nothing");
+    // The cluster-wide transfer roll-up therefore grows by exactly one
+    // replay transaction relative to the fault-free run.
+    let billed: f64 = r.transfer_ms_per_device().iter().sum();
+    let fault_free: f64 = base.transfer_ms_per_device().iter().sum();
+    assert!(
+        (billed - fault_free - 0.196).abs() < 1e-9,
+        "replay must be charged once, not per survivor: {billed} vs {fault_free}"
+    );
+}
+
+#[test]
+fn per_device_rollups_survive_ragged_rounds_and_device_loss() {
+    let n = 128u64;
+    let data = inputs(n, 31);
+    let (p, _) = two_round_program(n, 4);
+    let mut plan = FaultPlan::new(0);
+    plan.push(FaultEvent::DeviceDown { device: 2, at_round: 1 });
+    let mut r = run_cluster_program(&p, data, &machine(), &cspec(4), &faulted(plan)).unwrap();
+
+    // Device identity is positional and stable across the loss
+    // boundary: the dead device keeps its column (its round-0 work),
+    // and every column equals the manual per-round roll-up.
+    let kern = r.kernel_ms_per_device();
+    let xfer = r.transfer_ms_per_device();
+    assert_eq!(kern.len(), 4);
+    assert_eq!(xfer.len(), 4);
+    assert_eq!(kern[2], r.rounds[0].devices[2].kernel_ms);
+    assert!(kern[2] > 0.0, "the dead device's pre-loss work must not vanish");
+    for (d, &col) in kern.iter().enumerate() {
+        let manual: f64 = r.rounds.iter().map(|rr| rr.devices[d].kernel_ms).sum();
+        assert_eq!(col, manual);
+    }
+
+    // Regression: the rollups used to size their output from
+    // `rounds.first()`.  A report whose first round is narrower than a
+    // later one (device columns appearing after round 0) must size
+    // from the widest round — the old code panicked indexing past the
+    // first round's width.
+    r.rounds[0].devices.truncate(1);
+    let kern = r.kernel_ms_per_device();
+    let xfer = r.transfer_ms_per_device();
+    assert_eq!(kern.len(), 4, "output must be sized by the widest round, not the first");
+    assert_eq!(xfer.len(), 4);
+    assert_eq!(kern[3], r.rounds[1].devices[3].kernel_ms);
+}
+
+#[test]
 fn losing_every_device_is_a_structured_error() {
     let n = 64u64;
     let data = inputs(n, 19);

@@ -219,4 +219,55 @@ fn steady_state_block_execution_is_allocation_free() {
         assert_eq!(lane.mp.stats.blocks_done, end - start);
         assert!(!lane.log.is_empty());
     }
+
+    // ── Timeline tracing ──────────────────────────────────────────────
+    //
+    // Everything above ran with tracing off — that *is* the tracing-off
+    // allocation contract.  With tracing on, span recording must be
+    // allocation-free in steady state too: the span ring is fully
+    // pre-allocated at construction and recycles its oldest entries
+    // once full, and fault retry/backoff segments use a fixed inline
+    // buffer.
+    use atgpu_model::StreamResource;
+    use atgpu_sim::trace::{SpanKind, Tracer};
+    let cap = 1024usize;
+    let mut tracer = Tracer::new(cap);
+    // Warm-up: one plain and one segmented record.
+    tracer.record(0, 0, StreamResource::HostToDevice, 0, SpanKind::TransferIn, 8, 0.1, 0.0, 0.1);
+    tracer.segs.push(0.0, 0.4, false);
+    tracer.record(0, 0, StreamResource::HostToDevice, 0, SpanKind::TransferIn, 8, 0.4, 0.1, 0.5);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..4096usize {
+        let t = i as f64;
+        // A faulted transfer: attempt + backoff segments, then the
+        // fused record expands them into per-segment spans.
+        tracer.segs.push(0.0, 0.4, false);
+        tracer.segs.push(0.4, 0.5, true);
+        tracer.record(
+            i,
+            0,
+            StreamResource::HostToDevice,
+            0,
+            SpanKind::TransferIn,
+            8,
+            0.5,
+            t,
+            t + 0.5,
+        );
+        tracer.record(i, 0, StreamResource::Compute, 0, SpanKind::Kernel, 64, -1.0, t, t + 1.0);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state span recording must not allocate ({} calls)",
+        after - before
+    );
+
+    // The ring wrapped: it kept the newest `cap` spans and counted the
+    // evictions instead of growing.
+    let trace = tracer.finish();
+    assert_eq!(trace.spans.len(), cap);
+    assert!(trace.dropped > 0, "the probe recorded far more spans than the ring holds");
 }
