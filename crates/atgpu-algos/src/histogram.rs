@@ -6,11 +6,10 @@
 //! race-free without atomics (which the model lacks, like early CUDA);
 //! lanes hitting the same *bin* still collide on the same *bank* — a
 //! genuine, input-dependent bank conflict the simulator measures and the
-//! static analyser can only bound as [`ConflictDegree::DataDependent`].
-//! Each block then column-reduces its `b×b` sub-histogram and writes a
-//! `b`-bin partial; round 2 sums the partials on a single block.
-//!
-//! [`ConflictDegree::DataDependent`]: atgpu_analyze::ConflictDegree
+//! static analyser can only bound as `ConflictDegree::DataDependent`
+//! (atgpu-analyze).  Each block then column-reduces its `b×b`
+//! sub-histogram and writes a `b`-bin partial; round 2 sums the
+//! partials on a single block.
 
 use crate::error::AlgosError;
 use crate::gen;

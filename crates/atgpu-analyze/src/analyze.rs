@@ -7,7 +7,9 @@ use crate::opcount::kernel_time_ops;
 use crate::space::{masked_touched_range, touched_range};
 use atgpu_ir::affine::CompiledAddr;
 use atgpu_ir::{validate, HostStep, Instr, Kernel, Program};
-use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics, RoundSchedule, StreamItem};
+use atgpu_model::{
+    AlgoMetrics, AtgpuMachine, PeerTraffic, RoundMetrics, RoundSchedule, StreamItem,
+};
 
 /// A global or shared memory access site found in a kernel body, together
 /// with the trip counts of its enclosing loops (outermost first).
@@ -296,6 +298,151 @@ pub fn stream_schedules(p: &Program, devices: u32) -> Vec<Vec<RoundSchedule>> {
         }
     }
     out
+}
+
+/// Whole-cluster analysis of a multi-device program: the per-device
+/// metrics tables and per-round peer traffic that
+/// [`atgpu_model::cost::cluster_cost_streamed`] prices.
+#[derive(Debug, Clone)]
+pub struct ClusterProgramAnalysis {
+    /// Per-device metrics tables, every device covering every round.
+    pub per_device: Vec<AlgoMetrics>,
+    /// Peer transfers, `peer[round]` listing that round's copies.
+    pub peer: Vec<Vec<PeerTraffic>>,
+    /// Padded per-replica device-memory footprint.
+    pub global_words: u64,
+    /// Whether every I/O count is exact — sharded launches whose
+    /// transaction count does not divide evenly across shards are
+    /// apportioned by rounding and clear this flag.
+    pub io_exact: bool,
+    /// Whether every kernel is shared-memory bank-conflict free.
+    pub conflict_free: bool,
+}
+
+/// Analyses a **multi-device** program for `devices` devices: the
+/// cluster-aware counterpart of [`analyze_program`], producing exactly
+/// the inputs [`atgpu_model::cost::cluster_cost_streamed`] needs (pair
+/// it with [`stream_schedules`] for the overlap-aware prediction).
+///
+/// Per round and device the analysis attributes:
+///
+/// * **host traffic** — each device-targeted `TransferIn`/`TransferOut`
+///   lands on its own device's metrics row (the single-device analyser
+///   would serialize these concurrent links, which is why it rejects
+///   multi-device programs);
+/// * **kernel work** — a plain `Launch` bills device 0 for the whole
+///   grid; a `LaunchSharded` bills each participating device for its
+///   shard blocks, with the lockstep time metric `t` unchanged (it is
+///   block-invariant) and the transaction metric `q` apportioned by the
+///   device's share of the grid;
+/// * **peer copies** — collected per round as [`PeerTraffic`] for the
+///   peer-link α/β terms.
+///
+/// Single-device programs analyse identically to [`analyze_program`]
+/// (device 0 gets every row), so this is a strict generalisation.
+pub fn analyze_cluster_program(
+    p: &Program,
+    machine: &AtgpuMachine,
+    devices: u32,
+) -> Result<ClusterProgramAnalysis, AnalyzeError> {
+    validate::validate_program(p)?;
+    let n = devices.max(p.max_device() + 1).max(1) as usize;
+    let (bases, global_words) = p.buffer_layout(machine.b);
+    if global_words > machine.g {
+        return Err(atgpu_model::ModelError::GlobalMemoryExceeded {
+            required: global_words,
+            available: machine.g,
+        }
+        .into());
+    }
+
+    let mut per_device: Vec<Vec<RoundMetrics>> = vec![Vec::with_capacity(p.rounds.len()); n];
+    let mut peer: Vec<Vec<PeerTraffic>> = Vec::with_capacity(p.rounds.len());
+    let mut io_exact = true;
+    let mut conflict_free = true;
+
+    for round in &p.rounds {
+        let mut rows = vec![RoundMetrics { global_words, ..RoundMetrics::default() }; n];
+        let mut round_peer = Vec::new();
+        for step in &round.steps {
+            match step {
+                HostStep::TransferIn { words, device, .. } => {
+                    let r = &mut rows[*device as usize];
+                    r.inward_words += words;
+                    r.inward_txns += 1;
+                }
+                HostStep::TransferOut { words, device, .. } => {
+                    let r = &mut rows[*device as usize];
+                    r.outward_words += words;
+                    r.outward_txns += 1;
+                }
+                HostStep::TransferPeer { src, dst, words, .. } => {
+                    round_peer.push(PeerTraffic { src: *src, dst: *dst, words: *words, txns: 1 });
+                }
+                HostStep::Launch(k) => {
+                    let ka = analyze_kernel(k, &bases, machine)?;
+                    check_kernel_fits(&ka, machine)?;
+                    io_exact &= ka.io_exact;
+                    conflict_free &= ka.bank.conflict_free;
+                    let r = &mut rows[0];
+                    r.time += ka.time_ops;
+                    r.io_blocks += ka.io_txns;
+                    r.shared_words = r.shared_words.max(ka.shared_words);
+                    r.blocks_launched += ka.blocks;
+                }
+                HostStep::LaunchSharded { kernel, shards } => {
+                    let ka = analyze_kernel(kernel, &bases, machine)?;
+                    check_kernel_fits(&ka, machine)?;
+                    io_exact &= ka.io_exact;
+                    conflict_free &= ka.bank.conflict_free;
+                    let total = ka.blocks.max(1);
+                    let mut blocks_of = vec![0u64; n];
+                    for s in shards {
+                        blocks_of[s.device as usize] += s.end.saturating_sub(s.start);
+                    }
+                    for (d, &blocks) in blocks_of.iter().enumerate() {
+                        if blocks == 0 {
+                            continue;
+                        }
+                        // `q` splits with the blocks; `t` is lockstep
+                        // per-block work and does not.
+                        let scaled = ka.io_txns as u128 * blocks as u128;
+                        io_exact &= scaled.is_multiple_of(total as u128);
+                        let q = ((scaled as f64) / total as f64).round() as u64;
+                        let r = &mut rows[d];
+                        r.time += ka.time_ops;
+                        r.io_blocks += q;
+                        r.shared_words = r.shared_words.max(ka.shared_words);
+                        r.blocks_launched += blocks;
+                    }
+                }
+                HostStep::SyncStream { .. } | HostStep::SyncDevice { .. } => {}
+            }
+        }
+        for (d, row) in rows.into_iter().enumerate() {
+            per_device[d].push(row);
+        }
+        peer.push(round_peer);
+    }
+
+    Ok(ClusterProgramAnalysis {
+        per_device: per_device.into_iter().map(AlgoMetrics::new).collect(),
+        peer,
+        global_words,
+        io_exact,
+        conflict_free,
+    })
+}
+
+fn check_kernel_fits(ka: &KernelAnalysis, machine: &AtgpuMachine) -> Result<(), AnalyzeError> {
+    if ka.shared_words > machine.m {
+        return Err(atgpu_model::ModelError::SharedMemoryExceeded {
+            required: ka.shared_words,
+            available: machine.m,
+        }
+        .into());
+    }
+    Ok(())
 }
 
 fn analyze_kernel(
@@ -720,6 +867,104 @@ mod tests {
             }
         }
         assert!(analyze_program(&forged, &machine()).is_err());
+    }
+
+    #[test]
+    fn cluster_analysis_degenerates_to_single_device() {
+        // On a single-device program, device 0's table must equal the
+        // single-device analyser's output row for row.
+        let p = vecadd(3200);
+        let solo = analyze_program(&p, &machine()).unwrap();
+        let clu = analyze_cluster_program(&p, &machine(), 1).unwrap();
+        assert_eq!(clu.per_device.len(), 1);
+        assert_eq!(clu.per_device[0].rounds, solo.metrics().rounds);
+        assert!(clu.peer.iter().all(Vec::is_empty));
+        assert_eq!(clu.io_exact, solo.io_exact);
+        assert_eq!(clu.conflict_free, solo.conflict_free);
+    }
+
+    #[test]
+    fn cluster_analysis_splits_sharded_launch() {
+        // 2 devices: per-device transfers, a 3:1 sharded launch, a peer
+        // copy.  Each attribution lands on the right device.
+        let n = 32 * 4; // 4 blocks
+        let mut pb = ProgramBuilder::new("md");
+        let ha = pb.host_input("A", n);
+        let hc = pb.host_output("C", n);
+        let da = pb.device_alloc("a", n);
+        let mut kb = KernelBuilder::new("k", 4, 32);
+        kb.glb_to_shr(AddrExpr::lane(), da, AddrExpr::block() * 32 + AddrExpr::lane());
+        pb.begin_round();
+        pb.transfer_in_to(0, ha, 0, da, 0, n);
+        pb.transfer_in_to(1, ha, 0, da, 0, n);
+        pb.launch_sharded(
+            kb.build(),
+            vec![
+                atgpu_ir::Shard { device: 0, start: 0, end: 3 },
+                atgpu_ir::Shard { device: 1, start: 3, end: 4 },
+            ],
+        );
+        pb.transfer_peer(0, 1, da, 0, 0, 32);
+        pb.transfer_out_from(1, da, 0, hc, 0, n);
+        let p = pb.build().unwrap();
+
+        let a = analyze_cluster_program(&p, &machine(), 2).unwrap();
+        assert_eq!(a.per_device.len(), 2);
+        let (d0, d1) = (&a.per_device[0].rounds[0], &a.per_device[1].rounds[0]);
+        assert_eq!((d0.inward_words, d0.inward_txns), (n, 1));
+        assert_eq!((d1.inward_words, d1.inward_txns), (n, 1));
+        assert_eq!((d0.outward_words, d0.outward_txns), (0, 0));
+        assert_eq!((d1.outward_words, d1.outward_txns), (n, 1));
+        // 4 coalesced transactions split 3:1 with the blocks; the
+        // lockstep time metric is block-invariant.
+        assert_eq!(d0.blocks_launched, 3);
+        assert_eq!(d1.blocks_launched, 1);
+        assert_eq!(d0.io_blocks, 3);
+        assert_eq!(d1.io_blocks, 1);
+        assert_eq!(d0.time, d1.time);
+        assert!(a.io_exact);
+        assert_eq!(a.peer.len(), 1);
+        assert_eq!(a.peer[0], vec![PeerTraffic { src: 0, dst: 1, words: 32, txns: 1 }]);
+    }
+
+    #[test]
+    fn cluster_analysis_prices_through_streamed_cost() {
+        // The analysis output plugs straight into the streamed cluster
+        // cost function alongside the derived schedules.
+        let n = 32 * 8;
+        let mut pb = ProgramBuilder::new("md");
+        let ha = pb.host_input("A", n);
+        let hc = pb.host_output("C", n);
+        let da = pb.device_alloc("a", n);
+        let mut kb = KernelBuilder::new("k", 8, 32);
+        kb.glb_to_shr(AddrExpr::lane(), da, AddrExpr::block() * 32 + AddrExpr::lane());
+        pb.begin_round();
+        pb.transfer_in_to(0, ha, 0, da, 0, n / 2);
+        pb.transfer_in_to(1, ha, n / 2, da, n / 2, n / 2);
+        pb.launch_sharded(
+            kb.build(),
+            vec![
+                atgpu_ir::Shard { device: 0, start: 0, end: 4 },
+                atgpu_ir::Shard { device: 1, start: 4, end: 8 },
+            ],
+        );
+        pb.transfer_out_from(0, da, 0, hc, 0, n / 2);
+        let p = pb.build().unwrap();
+
+        let machine = machine();
+        let a = analyze_cluster_program(&p, &machine, 2).unwrap();
+        let scheds = stream_schedules(&p, 2);
+        let spec = atgpu_model::ClusterSpec::homogeneous(2, atgpu_model::GpuSpec::gtx650_like());
+        let cost = atgpu_model::cost::cluster_cost_streamed(
+            &spec,
+            &machine,
+            &a.per_device,
+            &scheds,
+            &a.peer,
+        )
+        .unwrap();
+        assert!(cost.total_ms > 0.0);
+        assert_eq!(cost.per_device.len(), 2);
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub mod opcount;
 pub mod space;
 
 pub use analyze::{
-    analyze_program, stream_schedule, stream_schedules, KernelAnalysis, ProgramAnalysis,
-    RoundAnalysis,
+    analyze_cluster_program, analyze_program, stream_schedule, stream_schedules,
+    ClusterProgramAnalysis, KernelAnalysis, ProgramAnalysis, RoundAnalysis,
 };
 pub use bankconflict::{BankConflictReport, ConflictDegree};
 pub use error::AnalyzeError;

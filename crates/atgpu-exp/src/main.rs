@@ -4,7 +4,7 @@
 //! atgpu-exp [COMMANDS] [OPTIONS]
 //!
 //! COMMANDS (any combination; default: all)
-//!   table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 all
+//!   table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 all
 //!   pseudocode NAME   print a workload's program in the paper's notation
 //!                     (vecadd, reduce, matmul, saxpy, dot, scan, stencil,
 //!                      transpose, histogram, bitonic, gemv, spmv)
@@ -134,14 +134,15 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "atgpu-exp — regenerate the ATGPU paper's tables and figures\n\
-                     commands: table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 all\n\
+                     commands: table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 all\n\
                      \x20          check-trace FILE...\n\
                      options:  --quick --full --out DIR --no-noise --parallel N --trace PATH"
                 );
                 std::process::exit(0);
             }
             cmd @ ("table1" | "fig3" | "fig4" | "fig5" | "fig6" | "summary" | "e1" | "e2"
-            | "e3" | "e4" | "e5" | "e6" | "e7" | "e8" | "e9" | "e10" | "e11" | "all") => {
+            | "e3" | "e4" | "e5" | "e6" | "e7" | "e8" | "e9" | "e10" | "e11" | "e12"
+            | "all") => {
                 commands.insert(cmd.to_string());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -321,6 +322,11 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("[ext] E11 fault injection + degraded-mode replanning …");
         let tp = args.trace.as_ref().map(|p| trace_path(p, "e11"));
         ext_md.push_str(&ext::e11_fault_tolerance(&cfg, tp.as_deref())?);
+        ext_md.push('\n');
+    }
+    if want(args, "e12") {
+        eprintln!("[ext] E12 multi-tenant pricing service …");
+        ext_md.push_str(&ext::e12_pricing_service(&cfg)?);
         ext_md.push('\n');
     }
     if !ext_md.is_empty() {

@@ -293,6 +293,64 @@ pub struct ClusterSpec {
 }
 
 impl ClusterSpec {
+    /// A stable **structural** hash of the cluster — every quantity that
+    /// can change a cost prediction or a simulated timing: device count,
+    /// each [`GpuSpec`] field, each host link, each *off-diagonal* peer
+    /// link, and the round-synchronisation overhead.
+    ///
+    /// Mirrors `Kernel::cache_key`'s name-exclusion rule (atgpu-ir): just
+    /// as a
+    /// kernel's diagnostic name is excluded because it cannot affect
+    /// compilation, the **unused peer-link diagonal** is excluded here —
+    /// a device never transfers to itself, so two specs differing only in
+    /// `peer_links[d][d]` price every program identically and share a
+    /// key, while any observable mutation (one more device, a slower
+    /// link, a different `H`) changes it.
+    ///
+    /// The hash is unkeyed FNV-1a with `f64` fields hashed by bit
+    /// pattern (`to_bits`), so the same spec hashes identically in every
+    /// process of the same build.  Like `cache_key`, keys are
+    /// per-platform: use them for in-process memoization, not as a
+    /// persistent cross-machine format.
+    pub fn spec_key(&self) -> u64 {
+        // FNV-1a, identical constants to `Kernel::cache_key`'s hasher.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let n = self.devices.len();
+        put(n as u64);
+        for d in &self.devices {
+            put(d.k_prime);
+            put(d.h_limit);
+            put(d.clock_cycles_per_ms.to_bits());
+            put(d.dram_latency_cycles);
+            put(d.dram_issue_cycles);
+            put(d.shared_latency_cycles);
+            put(d.xfer_alpha_ms.to_bits());
+            put(d.xfer_beta_ms_per_word.to_bits());
+            put(d.sync_ms.to_bits());
+        }
+        for l in &self.host_links {
+            put(l.alpha_ms.to_bits());
+            put(l.beta_ms_per_word.to_bits());
+        }
+        for (s, row) in self.peer_links.iter().enumerate() {
+            for (d, l) in row.iter().enumerate() {
+                if s == d {
+                    continue; // unused diagonal: the "name" of a link table
+                }
+                put(l.alpha_ms.to_bits());
+                put(l.beta_ms_per_word.to_bits());
+            }
+        }
+        put(self.sync_ms.to_bits());
+        h
+    }
+
     /// A homogeneous cluster of `n` identical devices.  Host links come
     /// from the device spec; peer links default to 4× the host link speed
     /// in both `α` and `β` (an NVLink-style interconnect).
@@ -456,6 +514,74 @@ mod tests {
         c.peer_links[1].pop();
         assert!(c.validate().is_err());
         assert!(ClusterSpec::homogeneous(0, GpuSpec::gtx650_like()).validate().is_err());
+    }
+
+    #[test]
+    fn spec_key_is_deterministic() {
+        let a = ClusterSpec::homogeneous(4, GpuSpec::gtx650_like());
+        let b = ClusterSpec::homogeneous(4, GpuSpec::gtx650_like());
+        assert_eq!(a.spec_key(), b.spec_key());
+        assert_eq!(a.spec_key(), a.clone().spec_key());
+    }
+
+    #[test]
+    fn spec_key_sees_every_observable_mutation() {
+        let base = ClusterSpec::homogeneous(3, GpuSpec::gtx650_like());
+        let k0 = base.spec_key();
+
+        // Device count.
+        assert_ne!(ClusterSpec::homogeneous(4, GpuSpec::gtx650_like()).spec_key(), k0);
+
+        // Every GpuSpec field, mutated one at a time on one device.
+        type SpecMutation = Box<dyn Fn(&mut GpuSpec)>;
+        let muts: Vec<SpecMutation> = vec![
+            Box::new(|s| s.k_prime += 1),
+            Box::new(|s| s.h_limit += 1),
+            Box::new(|s| s.clock_cycles_per_ms *= 2.0),
+            Box::new(|s| s.dram_latency_cycles += 1),
+            Box::new(|s| s.dram_issue_cycles += 1),
+            Box::new(|s| s.shared_latency_cycles += 1),
+            Box::new(|s| s.xfer_alpha_ms *= 2.0),
+            Box::new(|s| s.xfer_beta_ms_per_word *= 2.0),
+            Box::new(|s| s.sync_ms += 0.01),
+        ];
+        for (i, m) in muts.iter().enumerate() {
+            let mut c = base.clone();
+            m(&mut c.devices[1]);
+            assert_ne!(c.spec_key(), k0, "GpuSpec mutation {i} must change the key");
+        }
+
+        // Host link, off-diagonal peer link, cluster sync.
+        let mut c = base.clone();
+        c.host_links[2].beta_ms_per_word *= 2.0;
+        assert_ne!(c.spec_key(), k0);
+        let mut c = base.clone();
+        c.peer_links[0][2].alpha_ms *= 2.0;
+        assert_ne!(c.spec_key(), k0);
+        let mut c = base.clone();
+        c.sync_ms += 0.5;
+        assert_ne!(c.spec_key(), k0);
+    }
+
+    #[test]
+    fn spec_key_position_sensitive() {
+        // Same multiset of devices in a different order is a different
+        // cluster (shard plans address devices by index).
+        let mut hetero = ClusterSpec::homogeneous(2, GpuSpec::gtx650_like());
+        hetero.devices[1] = GpuSpec::midrange_like();
+        let mut swapped = hetero.clone();
+        swapped.devices.swap(0, 1);
+        assert_ne!(hetero.spec_key(), swapped.spec_key());
+    }
+
+    #[test]
+    fn spec_key_ignores_unused_peer_diagonal() {
+        // The diagonal is semantically dead (a device never transfers to
+        // itself) — like a kernel's name, it is excluded from the key.
+        let base = ClusterSpec::homogeneous(2, GpuSpec::gtx650_like());
+        let mut c = base.clone();
+        c.peer_links[1][1].alpha_ms *= 1000.0;
+        assert_eq!(c.spec_key(), base.spec_key());
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Typed errors of the serving layer.
+
+use std::fmt;
+
+/// Everything that can go wrong serving a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue is full: typed backpressure.  The client
+    /// should retry later (or against another server); nothing was
+    /// enqueued.
+    QueueFull {
+        /// Tenant whose submission was bounced.
+        tenant: String,
+        /// Requests currently waiting across all tenants.
+        waiting: usize,
+        /// The configured waiting-slot bound.
+        capacity: usize,
+    },
+    /// The underlying simulation failed.
+    Sim(atgpu_sim::SimError),
+    /// A model-layer computation (cost function, validation) failed.
+    Model(atgpu_model::ModelError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { tenant, waiting, capacity } => write!(
+                f,
+                "admission queue full ({waiting}/{capacity} waiting): tenant `{tenant}` must back \
+                 off"
+            ),
+            Self::Sim(e) => write!(f, "simulation failed: {e}"),
+            Self::Model(e) => write!(f, "model evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<atgpu_sim::SimError> for ServeError {
+    fn from(e: atgpu_sim::SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<atgpu_model::ModelError> for ServeError {
+    fn from(e: atgpu_model::ModelError) -> Self {
+        Self::Model(e)
+    }
+}

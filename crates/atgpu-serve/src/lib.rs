@@ -1,0 +1,379 @@
+//! # atgpu-serve — the multi-tenant cost-query service
+//!
+//! A long-lived library front-end where many concurrent clients submit
+//! ATGPU programs against one shared simulated [`Cluster`], and ask
+//! "what would this cost?" without paying for a simulation each time.
+//! This is the serving layer the paper's premise invites: the abstract
+//! model prices a program **analytically in microseconds**, so a
+//! service can answer almost every cost query without touching the
+//! (comparatively slow) cycle-accounting simulator.
+//!
+//! The crate has three moving parts:
+//!
+//! | part | type | contract |
+//! |------|------|----------|
+//! | admission | [`AdmissionQueue`] | bounded queue, per-tenant round-robin fairness, occupancy packing |
+//! | execution | [`CostServer::submit`] | runs on the shared cluster, bit-identical to a solo run |
+//! | pricing | [`CostServer::price`] | memo → analytic model → simulation fallback |
+//!
+//! ## The admission contract
+//!
+//! Every [`submit`](CostServer::submit) first passes the admission
+//! queue:
+//!
+//! * **Occupancy packing** — a job's *resident-block demand* is its
+//!   widest launch, priced per device with the model's occupancy bound
+//!   `ℓ = min(⌊M/m⌋, H)` ([`atgpu_model::occupancy()`]): a device can
+//!   hold at most `k′·ℓ` blocks, so admitting more concurrent demand
+//!   than `Σ_d k′_d·ℓ_d` cannot increase throughput.  Jobs are admitted
+//!   while the summed demand of running jobs fits; an over-wide job is
+//!   clamped and runs alone rather than deadlocking.
+//! * **Per-tenant fairness** — requests queue FIFO *within* a tenant,
+//!   and tenants are granted in round-robin rotation, so one tenant
+//!   flooding the queue cannot starve another's single request.
+//!   Rotation is strict: a small job never jumps an earlier tenant's
+//!   turn (fairness beats packing efficiency).
+//! * **Typed backpressure** — at most `queue_capacity` requests wait;
+//!   the next submission returns [`ServeError::QueueFull`] *immediately*
+//!   with the observed queue state, so clients implement backoff
+//!   against data, not timeouts.
+//!
+//! ## The pricing contract
+//!
+//! [`price`](CostServer::price) (and the what-if variant
+//! [`price_what_if`](CostServer::price_what_if), which takes an
+//! arbitrary [`ClusterSpec`]) answers in one of three ways, cheapest
+//! first:
+//!
+//! 1. **Memo** — queries are keyed by [`query_key`]: the program's
+//!    structural shape (kernel `cache_key`s, shard plans, transfer
+//!    tuples — names excluded) × the cluster's
+//!    [`spec_key`](atgpu_model::ClusterSpec::spec_key) × the machine
+//!    shape.  A repeated question is answered from the bounded
+//!    [`PriceMemo`] without recomputation.
+//! 2. **Analytic** — the program is analysed per device
+//!    ([`atgpu_analyze::analyze_cluster_program`]) and priced through
+//!    the streamed cluster cost model
+//!    ([`atgpu_model::cost::cluster_cost_streamed`]) — microseconds,
+//!    no simulation.  The analytic path is only trusted when the
+//!    analysis is **exact** (every transaction count statically known,
+//!    no shared-memory bank conflicts); otherwise the query falls
+//!    through.
+//! 3. **Simulated** — full [`run_cluster_program_on`] of the program
+//!    with zero-filled inputs.  On the server's own cluster the
+//!    fallback takes an admission permit like any tenant (pricing
+//!    cannot starve execution); a what-if spec simulates on a private
+//!    throwaway cluster.
+//!
+//! Every non-memo answer is memoized, so a workload that repeats
+//! queries converges to memo-hit latency.  [`Quote::source`] reports
+//! which path answered; [`PriceStats`] counts all three.  Prices
+//! predict the **noise-free** cost: configure the server with
+//! `noise: None` (the default) when comparing quotes to observations.
+//!
+//! ## Bit-identity
+//!
+//! The shared cluster preserves the repo's differential guarantees:
+//! all per-run state (memory replicas, host buffers, transfer engines,
+//! fault state, tracers) is allocated per call inside
+//! [`run_cluster_program_on`]; the only shared mutable state is each
+//! device's kernel cache, which the cache differential suite proves
+//! result-neutral.  N clients hammering one server concurrently get
+//! reports bit-identical to each running alone — pinned by this
+//! crate's `serve_differential` test.
+//!
+//! ## Worked example
+//!
+//! Two tenants share a 2-device server: one executes, one asks what-if
+//! questions.  (See `examples/multi_client.rs` for the full
+//! multi-threaded version.)
+//!
+//! ```rust
+//! use atgpu_ir::{AddrExpr, KernelBuilder, ProgramBuilder, Shard};
+//! use atgpu_model::{AtgpuMachine, ClusterSpec, GpuSpec};
+//! use atgpu_serve::{CostServer, PriceSource, ServerConfig};
+//!
+//! // A toy sharded program: upload, run one kernel over 4 blocks split
+//! // across 2 devices, download.
+//! let n = 32 * 4;
+//! let mut pb = ProgramBuilder::new("demo");
+//! let ha = pb.host_input("A", n);
+//! let hc = pb.host_output("C", n);
+//! let da = pb.device_alloc("a", n);
+//! let mut kb = KernelBuilder::new("copy", 4, 32);
+//! let g = AddrExpr::block() * 32 + AddrExpr::lane();
+//! kb.glb_to_shr(AddrExpr::lane(), da, g.clone());
+//! kb.shr_to_glb(da, g, AddrExpr::lane());
+//! pb.begin_round();
+//! pb.transfer_in_to(0, ha, 0, da, 0, n);
+//! pb.transfer_in_to(1, ha, 0, da, 0, n);
+//! pb.launch_sharded(
+//!     kb.build(),
+//!     vec![
+//!         Shard { device: 0, start: 0, end: 2 },
+//!         Shard { device: 1, start: 2, end: 4 },
+//!     ],
+//! );
+//! pb.transfer_out_from(0, da, 0, hc, 0, n);
+//! let program = pb.build().unwrap();
+//!
+//! let machine = AtgpuMachine::new(1 << 16, 32, 12_288, 1 << 22).unwrap();
+//! let spec = ClusterSpec::homogeneous(2, GpuSpec::gtx650_like());
+//! let server = CostServer::new(machine, spec, ServerConfig::default()).unwrap();
+//!
+//! // Tenant "alice" runs the program for real…
+//! let inputs = vec![(0..n as i64).collect::<Vec<i64>>()];
+//! let report = server.submit("alice", &program, inputs).unwrap();
+//! assert_eq!(report.output(hc)[7], 7);
+//!
+//! // …while tenant "bob" only wants the price.  First ask: analytic.
+//! let first = server.price(&program).unwrap();
+//! assert_eq!(first.source, PriceSource::Analytic);
+//! // Second ask: memoized, same answer.
+//! let again = server.price(&program).unwrap();
+//! assert_eq!(again.source, PriceSource::Memo);
+//! assert_eq!(again.total_ms, first.total_ms);
+//!
+//! // What-if: the same program on a 2-device cluster with a 10x slower
+//! // second host link costs more.
+//! let mut slow = server.cluster().spec().clone();
+//! slow.host_links[1] = slow.host_links[1].scaled(10.0);
+//! let what_if = server.price_what_if(&program, &slow).unwrap();
+//! assert!(what_if.total_ms > first.total_ms);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admit;
+pub mod error;
+pub mod price;
+
+pub use admit::{AdmissionQueue, AdmissionStats, Permit};
+pub use error::ServeError;
+pub use price::{program_key, query_key, PriceMemo, PriceSource, PriceStats, Quote};
+
+use atgpu_analyze::{analyze_cluster_program, stream_schedules};
+use atgpu_ir::{HostBufRole, HostStep, Program};
+use atgpu_model::cost::cluster_cost_streamed;
+use atgpu_model::occupancy::occupancy;
+use atgpu_model::{AtgpuMachine, ClusterSpec, ModelError};
+use atgpu_sim::{
+    run_cluster_program, run_cluster_program_on, Cluster, ClusterSimReport, SimConfig,
+};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The simulation configuration every run uses.  Device-global
+    /// settings (kernel cache, watchdog) are applied once at
+    /// construction; per-run settings apply to each submission.
+    pub sim: SimConfig,
+    /// Maximum requests waiting in the admission queue before
+    /// submissions bounce with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum memoized price quotes (FIFO eviction).
+    pub memo_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { sim: SimConfig::default(), queue_capacity: 64, memo_capacity: 1024 }
+    }
+}
+
+/// Combined server counters: admission queue + pricing paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeStats {
+    /// Admission-queue state.
+    pub admission: AdmissionStats,
+    /// Pricing-path counters.
+    pub price: PriceStats,
+}
+
+/// The multi-tenant cost-query server: one shared [`Cluster`], an
+/// admission queue in front of it, and a memoized pricing front-end.
+/// All methods take `&self`; share a server across client threads with
+/// `Arc` (or scoped threads).
+#[derive(Debug)]
+pub struct CostServer {
+    cluster: Cluster,
+    sim: SimConfig,
+    admission: AdmissionQueue,
+    memo: PriceMemo,
+}
+
+/// The tenant label the pricing fallback simulates under, so pricing
+/// traffic is visible in admission stats but distinct from any real
+/// tenant (client tenant names have no format restriction — this one
+/// is only distinguishable by convention).
+pub const PRICING_TENANT: &str = "#pricing";
+
+impl CostServer {
+    /// Builds a server over a fresh cluster of `spec` devices sharing
+    /// `machine`, applying `config.sim`'s device-global settings once.
+    pub fn new(
+        machine: AtgpuMachine,
+        spec: ClusterSpec,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        let cluster = Cluster::new(machine, spec)?;
+        cluster.configure_devices(&config.sim);
+        let capacity = cluster
+            .spec()
+            .devices
+            .iter()
+            .map(|d| d.k_prime * occupancy(cluster.machine(), 0, d.h_limit))
+            .sum::<u64>()
+            .max(1);
+        Ok(Self {
+            admission: AdmissionQueue::new(config.queue_capacity, capacity),
+            memo: PriceMemo::new(config.memo_capacity),
+            sim: config.sim,
+            cluster,
+        })
+    }
+
+    /// The shared cluster (for spec/machine introspection).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Runs `program` for `tenant` on the shared cluster, blocking in
+    /// the admission queue until granted.  The report is bit-identical
+    /// to a solo [`run_cluster_program`] of the same program and
+    /// config.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        program: &Program,
+        inputs: Vec<Vec<i64>>,
+    ) -> Result<ClusterSimReport, ServeError> {
+        let demand = self.resident_demand(program);
+        let _permit = self.admission.admit(tenant, demand)?;
+        Ok(run_cluster_program_on(&self.cluster, program, inputs, &self.sim)?)
+    }
+
+    /// Prices `program` on the server's own cluster — memo, then
+    /// analytic model, then simulation fallback (see the crate docs for
+    /// the contract).
+    pub fn price(&self, program: &Program) -> Result<Quote, ServeError> {
+        self.price_on(program, None)
+    }
+
+    /// What-if pricing: prices `program` on an arbitrary cluster
+    /// `spec` (same machine shape).  Quotes are memoized under the
+    /// spec's structural hash, so repeated what-ifs over a fixed
+    /// candidate set all converge to memo hits.
+    pub fn price_what_if(
+        &self,
+        program: &Program,
+        spec: &ClusterSpec,
+    ) -> Result<Quote, ServeError> {
+        self.price_on(program, Some(spec))
+    }
+
+    fn price_on(
+        &self,
+        program: &Program,
+        what_if: Option<&ClusterSpec>,
+    ) -> Result<Quote, ServeError> {
+        let machine = *self.cluster.machine();
+        let spec = what_if.unwrap_or_else(|| self.cluster.spec());
+        spec.validate()?;
+        let n = spec.n_devices();
+        if program.max_device() as usize >= n {
+            return Err(ServeError::Model(ModelError::InvalidParams {
+                reason: format!(
+                    "program addresses device {} but the cluster has {n}",
+                    program.max_device()
+                ),
+            }));
+        }
+        let key = query_key(program, spec, &machine);
+        if let Some(q) = self.memo.get(key) {
+            return Ok(q);
+        }
+
+        // Analytic fast path: only trusted when the analysis is exact.
+        if let Ok(a) = analyze_cluster_program(program, &machine, n as u32) {
+            if a.io_exact && a.conflict_free {
+                let scheds = stream_schedules(program, n as u32);
+                if let Ok(cost) =
+                    cluster_cost_streamed(spec, &machine, &a.per_device, &scheds, &a.peer)
+                {
+                    let q = Quote { total_ms: cost.total_ms, source: PriceSource::Analytic, key };
+                    self.memo.insert(q);
+                    return Ok(q);
+                }
+            }
+        }
+
+        // Simulation fallback with zero-filled inputs.  The program's
+        // timing metrics are data-independent (lockstep SPMD), so zeros
+        // price the same as real data.
+        let inputs: Vec<Vec<i64>> = program
+            .host_bufs
+            .iter()
+            .filter(|b| matches!(b.role, HostBufRole::Input))
+            .map(|b| vec![0i64; b.words as usize])
+            .collect();
+        let report = match what_if {
+            // A foreign spec gets a private throwaway cluster.
+            Some(spec) => run_cluster_program(program, inputs, &machine, spec, &self.sim)?,
+            // The server's own cluster is shared: take a permit like
+            // any tenant so pricing cannot starve execution.
+            None => {
+                let demand = self.resident_demand(program);
+                let _permit = self.admission.admit(PRICING_TENANT, demand)?;
+                run_cluster_program_on(&self.cluster, program, inputs, &self.sim)?
+            }
+        };
+        let q = Quote { total_ms: report.total_ms(), source: PriceSource::Simulated, key };
+        self.memo.insert(q);
+        Ok(q)
+    }
+
+    /// Combined admission + pricing counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats { admission: self.admission.stats(), price: self.memo.stats() }
+    }
+
+    /// A program's resident-block demand: its widest launch, with each
+    /// device's contribution clamped by the occupancy bound `k′·ℓ`.
+    fn resident_demand(&self, program: &Program) -> u64 {
+        let machine = self.cluster.machine();
+        let spec = self.cluster.spec();
+        let device_cap = |d: usize, shared_words: u64| -> u64 {
+            spec.devices
+                .get(d)
+                .map(|s| s.k_prime * occupancy(machine, shared_words, s.h_limit))
+                .unwrap_or(0)
+        };
+        let mut demand = 0u64;
+        for round in &program.rounds {
+            for step in &round.steps {
+                match step {
+                    HostStep::Launch(k) => {
+                        demand = demand.max(k.blocks().min(device_cap(0, k.shared_words)));
+                    }
+                    HostStep::LaunchSharded { kernel, shards } => {
+                        let mut per = vec![0u64; spec.n_devices()];
+                        for s in shards {
+                            if let Some(p) = per.get_mut(s.device as usize) {
+                                *p += s.end.saturating_sub(s.start);
+                            }
+                        }
+                        let total: u64 = per
+                            .iter()
+                            .enumerate()
+                            .map(|(d, &b)| b.min(device_cap(d, kernel.shared_words)))
+                            .sum();
+                        demand = demand.max(total);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        demand.max(1)
+    }
+}

@@ -1,0 +1,177 @@
+//! Concurrent-correctness differential for the serving layer.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Bit-identity under concurrency** — N clients submitting a mix
+//!    of programs through one shared [`CostServer`] get reports
+//!    bit-identical (outputs *and* observed per-round timings) to
+//!    sequential solo [`run_cluster_program`] runs of the same
+//!    programs.  The only shared mutable state is the per-device
+//!    kernel cache, which must never change results.
+//! 2. **Pricing accuracy** — the analytic fast path's quotes match the
+//!    simulator's observed totals within the E-sweep tolerance (10%).
+
+use atgpu_algos::vecadd::VecAdd;
+use atgpu_algos::workload::{test_machine, test_spec, BuiltProgram};
+use atgpu_model::{AtgpuMachine, ClusterSpec};
+use atgpu_serve::{CostServer, PriceSource, ServerConfig};
+use atgpu_sim::{run_cluster_program, ClusterSimReport, SimConfig};
+use proptest::prelude::*;
+
+const TOLERANCE: f64 = 0.10;
+
+fn machine() -> AtgpuMachine {
+    test_machine()
+}
+
+fn spec(devices: usize) -> ClusterSpec {
+    ClusterSpec::homogeneous(devices, test_spec())
+}
+
+/// The program mix clients submit: sharded vector additions of several
+/// sizes plus a single-device (plain-launch) program, exercising both
+/// launch paths through the shared cluster.
+fn program_mix(machine: &AtgpuMachine, devices: u32) -> Vec<BuiltProgram> {
+    let mut mix = Vec::new();
+    for (n, seed) in [(32 * 24, 1u64), (32 * 40, 2), (32 * 12, 3)] {
+        mix.push(VecAdd::new(n, seed).build_sharded(machine, devices).expect("builds"));
+    }
+    // A plain single-device program runs on device 0 of the cluster.
+    mix.push(VecAdd::new(32 * 8, 4).build_sharded(machine, 1).expect("builds"));
+    mix
+}
+
+/// Bit-identity: outputs word for word, and the observed per-round,
+/// per-device millisecond timings exactly.  (Device *cache* counters
+/// legitimately differ — the shared cache is warm — so they are not
+/// compared.)
+fn assert_identical(built: &BuiltProgram, got: &ClusterSimReport, solo: &ClusterSimReport) {
+    assert_eq!(got.rounds, solo.rounds, "observed round timings diverged");
+    for hbuf in &built.outputs {
+        assert_eq!(got.output(*hbuf), solo.output(*hbuf), "output buffer diverged");
+    }
+}
+
+#[test]
+fn concurrent_clients_bit_identical_to_solo() {
+    let machine = machine();
+    let devices = 2;
+    let spec = spec(devices);
+    let config = SimConfig::default();
+    let mix = program_mix(&machine, devices as u32);
+
+    // Sequential solo baselines.
+    let solo: Vec<ClusterSimReport> = mix
+        .iter()
+        .map(|b| {
+            run_cluster_program(&b.program, b.inputs.clone(), &machine, &spec, &config)
+                .expect("solo run")
+        })
+        .collect();
+
+    let server = CostServer::new(machine, spec, ServerConfig::default()).expect("server");
+    // 8 concurrent clients (2 tenants × 4), each submitting every
+    // program in the mix twice — exercising admission, the shared
+    // caches warm and cold, and cross-request interleaving.
+    std::thread::scope(|scope| {
+        for client in 0..8 {
+            let (server, mix, solo) = (&server, &mix, &solo);
+            scope.spawn(move || {
+                let tenant = if client % 2 == 0 { "alpha" } else { "beta" };
+                for _ in 0..2 {
+                    for (built, solo_report) in mix.iter().zip(solo) {
+                        let report = server
+                            .submit(tenant, &built.program, built.inputs.clone())
+                            .expect("submission");
+                        assert_identical(built, &report, solo_report);
+                    }
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.admission.admitted_total, 8 * 2 * 4);
+    assert_eq!(stats.admission.running, 0);
+    assert_eq!(stats.admission.resident_blocks, 0);
+}
+
+#[test]
+fn pricing_matches_observed_totals_within_tolerance() {
+    let machine = machine();
+    let devices = 2;
+    let spec = spec(devices);
+    let config = SimConfig::default();
+    let server = CostServer::new(machine, spec.clone(), ServerConfig::default()).expect("server");
+
+    for built in program_mix(&machine, devices as u32) {
+        let quote = server.price(&built.program).expect("quote");
+        assert_eq!(
+            quote.source,
+            PriceSource::Analytic,
+            "vecadd analyses exactly; it must not fall back to simulation"
+        );
+        let observed =
+            run_cluster_program(&built.program, built.inputs.clone(), &machine, &spec, &config)
+                .expect("observation")
+                .total_ms();
+        let err = (quote.total_ms - observed).abs() / observed;
+        assert!(
+            err <= TOLERANCE,
+            "analytic quote {:.4}ms vs observed {observed:.4}ms: {:.1}% > {:.0}%",
+            quote.total_ms,
+            100.0 * err,
+            100.0 * TOLERANCE
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For any grid size, device count and client count N ≥ 4, N
+    /// concurrent clients submitting the same program through the
+    /// server observe exactly the solo report.
+    #[test]
+    fn any_concurrency_is_bit_identical(
+        blocks in 1u64..48,
+        devices in 1u32..5,
+        clients in 4usize..8,
+    ) {
+        let machine = machine();
+        let spec = spec(devices as usize);
+        let config = SimConfig::default();
+        let built = VecAdd::new(32 * blocks, blocks | 1)
+            .build_sharded(&machine, devices)
+            .expect("builds");
+        let solo = run_cluster_program(&built.program, built.inputs.clone(), &machine, &spec, &config)
+            .expect("solo run");
+
+        let server = CostServer::new(machine, spec, ServerConfig::default()).expect("server");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let (server, built, solo) = (&server, &built, &solo);
+                    scope.spawn(move || {
+                        let tenant = format!("tenant-{}", c % 3);
+                        let report = server
+                            .submit(&tenant, &built.program, built.inputs.clone())
+                            .expect("submission");
+                        assert_identical(built, &report, solo);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("client thread");
+            }
+        });
+
+        // And the analytic quote for this program stays within the
+        // E-sweep tolerance of the solo observation.
+        let quote = server.price(&built.program).expect("quote");
+        let observed = solo.total_ms();
+        prop_assert!(
+            (quote.total_ms - observed).abs() / observed <= TOLERANCE,
+            "quote {}ms vs observed {}ms", quote.total_ms, observed
+        );
+    }
+}

@@ -45,10 +45,22 @@ use atgpu_model::{plan, AtgpuMachine, ClusterSpec, ShardProfile, StreamResource,
 use std::collections::HashMap;
 
 /// A simulated multi-GPU system.
+///
+/// A `Cluster` is **shareable**: every run method takes `&self`, and the
+/// only mutable state a run touches on the cluster itself is each
+/// device's interior-locked [`KernelCache`](crate::KernelCache) and
+/// watchdog — everything else (memory replicas, host data, transfer
+/// engines, fault state, tracers) is allocated per call.  A long-lived
+/// service can therefore hold one `Cluster` and serve many concurrent
+/// [`run_cluster_program_on`] calls from different threads; results stay
+/// bit-identical to solo runs because the shared kernel cache never
+/// changes results (pinned by the cache differential suite) and all
+/// cross-request state is per-call.
 #[derive(Debug)]
 pub struct Cluster {
     devices: Vec<Device>,
     spec: ClusterSpec,
+    machine: AtgpuMachine,
 }
 
 /// One shard's execution record within a sharded launch.
@@ -242,7 +254,7 @@ impl Cluster {
         spec.validate().map_err(|e| SimError::InvalidCluster { reason: e.to_string() })?;
         let devices =
             spec.devices.iter().map(|d| Device::new(machine, *d)).collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { devices, spec })
+        Ok(Self { devices, spec, machine })
     }
 
     /// Number of devices.
@@ -253,6 +265,23 @@ impl Cluster {
     /// The cluster specification.
     pub fn spec(&self) -> &ClusterSpec {
         &self.spec
+    }
+
+    /// The abstract machine shape every device shares.
+    pub fn machine(&self) -> &AtgpuMachine {
+        &self.machine
+    }
+
+    /// Applies a [`SimConfig`]'s device-global settings (kernel-cache
+    /// enable/capacity, watchdog budget) to every device.  Run methods do
+    /// **not** call this: on a shared cluster the owner configures once,
+    /// and per-request configs cannot flip device-global state out from
+    /// under concurrent requests.
+    pub fn configure_devices(&self, config: &SimConfig) {
+        for d in &self.devices {
+            d.configure_cache(config.cache, config.cache_capacity);
+            d.configure_watchdog(config.watchdog_cycles);
+        }
     }
 
     /// One device.
@@ -840,12 +869,36 @@ pub fn run_cluster_program(
     cluster_spec: &ClusterSpec,
     config: &SimConfig,
 ) -> Result<ClusterSimReport, SimError> {
-    crate::driver::check_program_streams(program)?;
     let cluster = Cluster::new(*machine, cluster_spec.clone())?;
-    for d in &cluster.devices {
-        d.configure_cache(config.cache, config.cache_capacity);
-        d.configure_watchdog(config.watchdog_cycles);
-    }
+    cluster.configure_devices(config);
+    run_cluster_program_on(&cluster, program, inputs, config)
+}
+
+/// Simulates `program` against an **existing, possibly shared** cluster.
+///
+/// This is the serving-layer entry point: a long-lived [`Cluster`] keeps
+/// its per-device kernel caches warm across calls, and because every
+/// other piece of run state (memory replicas, host buffers, transfer
+/// engines, fault state, tracer) is allocated here per call, concurrent
+/// invocations from different threads produce reports bit-identical to
+/// running each program alone — the guarantee the serve differential
+/// suite pins.
+///
+/// Unlike [`run_cluster_program`], this does **not** apply `config`'s
+/// device-global settings (cache enable/capacity, watchdog): the
+/// cluster's owner configures those once via
+/// [`Cluster::configure_devices`], so one request cannot reconfigure
+/// devices out from under another.  All per-run settings (`mode`,
+/// `noise`, `seed`, `use_reference`, fault plan, tracing) are honoured.
+pub fn run_cluster_program_on(
+    cluster: &Cluster,
+    program: &Program,
+    inputs: Vec<Vec<i64>>,
+    config: &SimConfig,
+) -> Result<ClusterSimReport, SimError> {
+    crate::driver::check_program_streams(program)?;
+    let machine = &cluster.machine;
+    let cluster_spec = &cluster.spec;
     let n = cluster.n_devices();
     let needed = program.max_device() as usize + 1;
     if needed > n {
@@ -1227,7 +1280,7 @@ pub fn run_cluster_program(
                     // A plain launch is a one-shard plan on device 0.
                     let whole = [Shard { device: 0, start: 0, end: kernel.blocks() }];
                     run_sharded_launch(
-                        &cluster,
+                        cluster,
                         cluster_spec,
                         machine,
                         config,
@@ -1244,7 +1297,7 @@ pub fn run_cluster_program(
                 }
                 HostStep::LaunchSharded { kernel, shards } => {
                     run_sharded_launch(
-                        &cluster,
+                        cluster,
                         cluster_spec,
                         machine,
                         config,

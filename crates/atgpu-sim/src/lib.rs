@@ -142,7 +142,28 @@
 //! soon as the host links differ.  Device-spec equality alone is *not*
 //! homogeneity — identical GPUs behind a fast and a slow PCIe link must
 //! not get an even split for a transfer-bound kernel (the transfer
-//! blind spot this layer exists to close).
+//! blind spot this layer exists to close):
+//!
+//! ```rust
+//! use atgpu_model::{AtgpuMachine, ClusterSpec, GpuSpec, ShardProfile};
+//! use atgpu_sim::{planned_shards, shard_counts, weighted_shards};
+//!
+//! let machine = AtgpuMachine::gtx650_like();
+//! // Identical GPUs, but device 1 sits behind an 8x slower host link —
+//! // "homogeneous" to a compute-weighted planner, not to a priced one.
+//! let mut cluster = ClusterSpec::homogeneous(2, GpuSpec::gtx650_like());
+//! cluster.host_links[1] = cluster.host_links[1].scaled(8.0);
+//!
+//! let blocks = 1024;
+//! let profile = ShardProfile::streaming(machine.b); // transfer-bound
+//! let weighted = shard_counts(&weighted_shards(blocks, &cluster), 2);
+//! let planned =
+//!     shard_counts(&planned_shards(blocks, &cluster, &machine, &profile), 2);
+//! // Compute weighting sees equal `k'·clock` and splits evenly …
+//! assert_eq!(weighted[0], weighted[1]);
+//! // … while the cost-driven planner starves the slow link.
+//! assert!(planned[1] < planned[0]);
+//! ```
 //!
 //! On top of shard planning, the **chunk-size solver**
 //! ([`atgpu_model::plan::solve_chunk_units`]) prices double-buffered
@@ -191,6 +212,24 @@
 //! programs bit-identical to their serial de-streamed forms across
 //! modes and engines.
 //!
+//! ```rust
+//! use atgpu_algos::ooc::OocVecAdd;
+//! use atgpu_model::{AtgpuMachine, GpuSpec};
+//! use atgpu_sim::{run_program, SimConfig};
+//!
+//! let machine = AtgpuMachine::gtx650_like();
+//! let spec = GpuSpec::gtx650_like();
+//! // A hand-written double-buffered ooc vecadd: chunk r+1's upload is
+//! // enqueued on stream 1 under chunk r's kernel + download.
+//! let built = OocVecAdd::new(1 << 14, 1 << 12, 1).build_streamed(&machine).unwrap();
+//! let r = run_program(&built.program, built.inputs.clone(), &machine, &spec,
+//!                     &SimConfig::default()).unwrap();
+//! // The stream-aware critical path beats the serial component sum …
+//! assert!(r.total_ms() < r.serial_ms());
+//! // … and each round reports both, so the overlap is observable.
+//! assert!(r.rounds.iter().all(|o| o.stream_ms <= o.serial_ms() + 1e-12));
+//! ```
+//!
 //! ## Fault model & recovery
 //!
 //! [`fault`] injects **seeded, deterministic** fault events into a run
@@ -211,7 +250,35 @@
 //! Retry counts are **exact and recomputable**: drops are indexed by
 //! attempt number per edge, so a mirror [`fault::FaultRuntime`] predicts
 //! `retries`/`backoff_ms` ([`DeviceStats`], per-round observations) to
-//! the counter.
+//! the counter:
+//!
+//! ```rust
+//! use atgpu_algos::vecadd::VecAdd;
+//! use atgpu_model::{AtgpuMachine, ClusterSpec, GpuSpec};
+//! use atgpu_sim::{run_cluster_program, FaultEvent, FaultPlan, LinkEdge, SimConfig};
+//!
+//! let machine = AtgpuMachine::gtx650_like();
+//! let cluster = ClusterSpec::homogeneous(2, GpuSpec::gtx650_like());
+//! let built = VecAdd::new(32 * 8, 7).build_sharded(&machine, 2).unwrap();
+//! let run = |sim: &SimConfig| {
+//!     run_cluster_program(&built.program, built.inputs.clone(), &machine,
+//!                         &cluster, sim).unwrap()
+//! };
+//! let base = run(&SimConfig::default());
+//!
+//! // Drop device 0's first two host-link transfer attempts: the driver
+//! // retries with exponential backoff and the answer cannot change.
+//! let mut plan = FaultPlan::new(0);
+//! plan.push(FaultEvent::TransferDrop { edge: LinkEdge::Host(0), nth: 0 });
+//! plan.push(FaultEvent::TransferDrop { edge: LinkEdge::Host(0), nth: 1 });
+//! let faulted = run(&SimConfig { fault: plan, ..SimConfig::default() });
+//!
+//! assert_eq!(faulted.output(built.outputs[0]), base.output(built.outputs[0]));
+//! // Two scheduled drops are exactly two retries — not a distribution.
+//! assert_eq!(faulted.device_stats_total().retries, 2);
+//! // Every failed attempt and backoff wait is priced into wall-clock.
+//! assert!(faulted.total_ms() > base.total_ms());
+//! ```
 //!
 //! **Device loss** is survived by replanning, and the answer provably
 //! does not change.  Every global-memory mutation on every device is
@@ -342,9 +409,9 @@ pub mod xfer;
 
 pub use cache::{CacheEntry, CacheKey, CacheStats, KernelCache};
 pub use cluster::{
-    counts_to_shards, even_shards, plan_shards, planned_shards, run_cluster_program, shard_counts,
-    weighted_shards, Cluster, ClusterRoundObservation, ClusterSimReport, DeviceRoundObservation,
-    ShardStats,
+    counts_to_shards, even_shards, plan_shards, planned_shards, run_cluster_program,
+    run_cluster_program_on, shard_counts, weighted_shards, Cluster, ClusterRoundObservation,
+    ClusterSimReport, DeviceRoundObservation, ShardStats,
 };
 pub use device::{apply_write_log, Device, DeviceStats, KernelStats};
 pub use driver::{run_program, HostData, RoundObservation, SimConfig, SimReport};

@@ -162,7 +162,7 @@ const SEG_CAP: usize = 64;
 /// A fixed buffer for one transfer's fault segments — the per-attempt
 /// and per-wait pieces [`crate::fault::FaultRuntime::transfer_segmented`]
 /// reports.  Offsets are relative to the transfer's start; `true` marks
-/// a backoff wait.  Overflow past [`SEG_CAP`] folds into the last
+/// a backoff wait.  Overflow past the 64-segment cap folds into the last
 /// segment (a >64-retry transfer keeps a correct total, losing only
 /// segment granularity) so recording stays allocation-free.
 #[derive(Debug, Clone)]

@@ -19,7 +19,15 @@
 //!   matrix multiplication, and the extension workloads);
 //! * [`calibrate`] — cost-parameter fitting from microbenchmarks;
 //! * [`exp`] — the experiment harness regenerating the paper's tables and
-//!   figures.
+//!   figures;
+//! * [`serve`] — the multi-tenant cost-query service: a shared-cluster
+//!   front-end with fair admission and memoized analytic what-if
+//!   pricing.
+//!
+//! For a guided tour of how these crates fit together — the full
+//! pipeline walk (IR → analyze → model → sim → planner → fault/trace →
+//! serve) and the crate dependency diagram — see `docs/ARCHITECTURE.md`
+//! at the repository root.
 //!
 //! ## Quickstart
 //!
@@ -53,4 +61,5 @@ pub use atgpu_calibrate as calibrate;
 pub use atgpu_exp as exp;
 pub use atgpu_ir as ir;
 pub use atgpu_model as model;
+pub use atgpu_serve as serve;
 pub use atgpu_sim as sim;
