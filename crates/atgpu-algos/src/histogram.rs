@@ -10,41 +10,258 @@
 //! (atgpu-analyze).  Each block then column-reduces its `b×b`
 //! sub-histogram and writes a `b`-bin partial; round 2 sums the
 //! partials on a single block.
+//!
+//! The cluster variant shards round 1's blocks across devices and
+//! **peer-merges the partial bin rows to an owner device** (device 0),
+//! which runs the summation and drains the result — the all-to-one
+//! merge shape [`PeerProfile`] prices via
+//! `merge_words_per_unit`, since every block contributes a `b`-word
+//! partial row that must cross a peer link unless it already lives on
+//! the owner.
 
 use crate::error::AlgosError;
 use crate::gen;
+use crate::vecadd::check_shards_fit;
 use crate::workload::{BuiltProgram, Workload};
-use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, PredExpr, ProgramBuilder};
+use atgpu_ir::{AddrExpr, AluOp, Kernel, KernelBuilder, Operand, PredExpr, ProgramBuilder, Shard};
 use atgpu_model::asymptotics::{BigO, Term};
-use atgpu_model::AtgpuMachine;
+use atgpu_model::{AtgpuMachine, PeerProfile, ShardProfile};
 
-/// A histogram instance over `b` bins.
+/// A histogram instance; `bins` is carried by the instance so host
+/// references and expected outputs never need it re-supplied.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     n: u64,
+    bins: u64,
     data: Vec<i64>,
 }
 
 impl Histogram {
-    /// Random instance of size `n`; values are drawn in `[0, b)` for the
-    /// machine the workload is built on (use 32-bin data for `b = 32`).
+    /// Random instance of size `n` over `bins` bins; values are drawn in
+    /// `[0, bins)`.  The kernel counts `b` bins, so build on a machine
+    /// with `b = bins`.
     pub fn new(n: u64, bins: u64, seed: u64) -> Self {
-        Self { n, data: gen::bin_values(n, bins, seed) }
+        Self { n, bins, data: gen::bin_values(n, bins, seed) }
     }
 
-    /// Instance from explicit data (caller guarantees values in `[0, b)`).
-    pub fn from_data(data: Vec<i64>) -> Self {
-        Self { n: data.len() as u64, data }
+    /// Instance from explicit data (caller guarantees values in
+    /// `[0, bins)`; violations are rejected at build).
+    pub fn from_data(data: Vec<i64>, bins: u64) -> Self {
+        Self { n: data.len() as u64, bins, data }
     }
 
-    /// Host reference for `bins` bins.
-    pub fn host_reference(&self, bins: u64) -> Vec<i64> {
-        let mut h = vec![0i64; bins as usize];
+    /// Bin count this instance was generated for.
+    pub fn bins(&self) -> u64 {
+        self.bins
+    }
+
+    /// Host reference over [`Self::bins`] bins.
+    pub fn host_reference(&self) -> Vec<i64> {
+        let mut h = vec![0i64; self.bins as usize];
         for &v in &self.data {
             h[v as usize] += 1;
         }
         h
     }
+
+    /// Shared validation: sizes, the power-of-two warp constraint, the
+    /// machine/instance bin agreement, and value range.  Returns
+    /// `(k, b, steps)`.
+    fn check(&self, machine: &AtgpuMachine) -> Result<(u64, u64, u32), AlgosError> {
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
+        }
+        let b = machine.b;
+        if !b.is_power_of_two() || b < 2 {
+            return Err(AlgosError::InvalidMachine {
+                reason: format!("histogram needs b a power of two ≥ 2, got {b}"),
+            });
+        }
+        if self.bins != b {
+            return Err(AlgosError::InvalidMachine {
+                reason: format!("instance counts {} bins but the kernel counts b = {b}", self.bins),
+            });
+        }
+        if self.data.iter().any(|&v| v < 0 || v >= b as i64) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("values must lie in [0, bins) = [0, {b})"),
+            });
+        }
+        Ok((machine.blocks_for(self.n), b, b.trailing_zeros()))
+    }
+
+    /// Two-round cluster histogram over an explicit shard plan of the
+    /// block grid: each shard stages its input slice and builds per-block
+    /// partial bin rows on its own device; every shard off the owner
+    /// (device 0) then **peer-merges its partial rows to the owner**,
+    /// which sums all `k` rows in block order — bit-identical to the
+    /// single-device build — and drains the `b`-bin result.
+    pub fn build_sharded_with(
+        &self,
+        machine: &AtgpuMachine,
+        shards: Vec<Shard>,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let (k, b, steps) = self.check(machine)?;
+        check_shards_fit(&shards, k)?;
+        let n = self.n;
+
+        let mut pb = ProgramBuilder::new("histogram-sharded");
+        let hin = pb.host_input("A", n);
+        let hout = pb.host_output("Hist", b);
+        let din = pb.device_alloc("a", n);
+        let dpart = pb.device_alloc("partial", k * b);
+        let dhist = pb.device_alloc("hist", b);
+
+        // Round 1: stage slices, per-block sub-histograms per shard.
+        pb.begin_round();
+        for s in &shards {
+            let lo = s.start * b;
+            pb.transfer_in_to(s.device, hin, lo, din, lo, (s.end * b).min(n) - lo);
+        }
+        pb.launch_sharded(hist_blocks_kernel(n, k, b, steps, din, dpart), shards.clone());
+
+        // Round 2: merge partial rows to the owner, sum, drain.
+        pb.begin_round();
+        for s in &shards {
+            if s.device != 0 {
+                pb.transfer_peer(s.device, 0, dpart, s.start * b, s.start * b, s.blocks() * b);
+            }
+        }
+        pb.launch_sharded(
+            hist_merge_kernel(k, b, dpart, dhist),
+            vec![Shard { device: 0, start: 0, end: 1 }],
+        );
+        pb.transfer_out_from(0, dhist, 0, hout, 0, b);
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.data.clone()],
+            outputs: vec![hout],
+        })
+    }
+
+    /// [`Self::build_sharded_with`] over an even block split.
+    pub fn build_sharded(
+        &self,
+        machine: &AtgpuMachine,
+        devices: u32,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let (k, _, _) = self.check(machine)?;
+        self.build_sharded_with(machine, atgpu_sim::even_shards(k, devices))
+    }
+
+    /// The cost shape of the sharded histogram: a heavy bin-loop kernel
+    /// round plus a merge round (`time_ops` is their mean; the owner's
+    /// `k`-row summation is plan-invariant and left out), `b` input
+    /// words staged per block, and a `b`-word partial row peer-merged
+    /// to the owner per block — the all-to-one traffic the planner
+    /// prices on the directed matrix, steering blocks toward the owner
+    /// when links to it are slow.
+    pub fn shard_profile(machine: &AtgpuMachine) -> ShardProfile {
+        let b = machine.b.max(2);
+        let steps = b.trailing_zeros() as u64;
+        let t1 = 8 + b * (3 + 6 * steps); // prelude + per-bin reduce loop
+        ShardProfile {
+            time_ops: t1.div_ceil(2),
+            io_blocks_per_unit: b + 1,
+            inward_words_per_unit: b,
+            inward_txns: 1,
+            shared_words: b * b + b,
+            rounds: 2,
+            peer: PeerProfile {
+                merge_words_per_unit: b,
+                merge_txns: 1,
+                owner: 0,
+                ..PeerProfile::default()
+            },
+            ..ShardProfile::default()
+        }
+    }
+
+    /// [`Self::build_sharded_with`] with blocks apportioned by the
+    /// peer-aware planner pricing [`Self::shard_profile`] — including
+    /// dropping devices whose merge path to the owner costs more than
+    /// their compute saves.
+    pub fn build_sharded_planned(
+        &self,
+        machine: &AtgpuMachine,
+        cluster: &atgpu_model::ClusterSpec,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let (k, _, _) = self.check(machine)?;
+        let shards = atgpu_sim::planned_shards(k, cluster, machine, &Self::shard_profile(machine));
+        self.build_sharded_with(machine, shards)
+    }
+}
+
+/// Round-1 kernel: per-block `b×b` sub-histogram in shared memory
+/// (private row per lane, race-free without atomics), then a per-bin
+/// column reduction writing a `b`-bin partial row to `dpart`.
+/// Shared: sub-hist `[0, b²)`, scratch `[b², b² + b)`.
+fn hist_blocks_kernel(
+    n: u64,
+    k: u64,
+    b: u64,
+    steps: u32,
+    din: atgpu_ir::DBuf,
+    dpart: atgpu_ir::DBuf,
+) -> Kernel {
+    let bi = b as i64;
+    let scratch = (b * b) as i64;
+    let mut kb = KernelBuilder::new("hist_blocks", k, b * b + b);
+    // Value into scratch then a register.
+    kb.glb_to_shr(AddrExpr::lane() + scratch, din, AddrExpr::block() * bi + AddrExpr::lane());
+    kb.ld_shr(0, AddrExpr::lane() + scratch);
+    // Guard padded lanes: treat out-of-range (padded-zero) values as
+    // bin 0 — they are zeros already, so no guard is needed for the
+    // value itself, but padded lanes of the last block must not count.
+    // We mask them by the global index bound: idx = i·b + j < n.
+    kb.alu(AluOp::Mul, 1, Operand::Block, Operand::Imm(bi));
+    kb.alu(AluOp::Add, 1, Operand::Reg(1), Operand::Lane);
+    kb.when(PredExpr::Lt(Operand::Reg(1), Operand::Imm(n as i64)), |kb| {
+        // _h[j·b + value] += 1  (private row: race-free)
+        kb.ld_shr(2, AddrExpr::lane() * bi + AddrExpr::reg(0));
+        kb.alu(AluOp::Add, 2, Operand::Reg(2), Operand::Imm(1));
+        kb.st_shr(AddrExpr::lane() * bi + AddrExpr::reg(0), Operand::Reg(2));
+    });
+    // Column-reduce each bin across lanes.
+    kb.repeat(b as u32, |kb| {
+        // scratch[j] ← _h[j·b + bin]   (stride-b read: full conflict)
+        kb.ld_shr(3, AddrExpr::lane() * bi + AddrExpr::loop_var(0));
+        kb.st_shr(AddrExpr::lane() + scratch, Operand::Reg(3));
+        kb.repeat(steps, |kb| {
+            kb.alu(AluOp::Shr, 4, Operand::Imm(bi / 2), Operand::LoopVar(1));
+            kb.when(PredExpr::Lt(Operand::Lane, Operand::Reg(4)), |kb| {
+                kb.ld_shr(5, AddrExpr::lane() + scratch);
+                kb.ld_shr(6, AddrExpr::lane() + AddrExpr::reg(4) + scratch);
+                kb.alu(AluOp::Add, 5, Operand::Reg(5), Operand::Reg(6));
+                kb.st_shr(AddrExpr::lane() + scratch, Operand::Reg(5));
+            });
+        });
+        kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(0)), |kb| {
+            kb.shr_to_glb(
+                dpart,
+                AddrExpr::block() * bi + AddrExpr::loop_var(0),
+                AddrExpr::c(scratch),
+            );
+        });
+    });
+    kb.build()
+}
+
+/// Round-2 kernel: a single block sums the `k` partial rows into the
+/// final `b`-bin histogram.
+fn hist_merge_kernel(k: u64, b: u64, dpart: atgpu_ir::DBuf, dhist: atgpu_ir::DBuf) -> Kernel {
+    let bi = b as i64;
+    let mut kb = KernelBuilder::new("hist_merge", 1, b);
+    kb.mov(0, Operand::Imm(0));
+    kb.repeat(k as u32, |kb| {
+        kb.glb_to_shr(AddrExpr::lane(), dpart, AddrExpr::loop_var(0) * bi + AddrExpr::lane());
+        kb.ld_shr(1, AddrExpr::lane());
+        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(1));
+    });
+    kb.st_shr(AddrExpr::lane(), Operand::Reg(0));
+    kb.shr_to_glb(dhist, AddrExpr::lane(), AddrExpr::lane());
+    kb.build()
 }
 
 impl Workload for Histogram {
@@ -57,24 +274,8 @@ impl Workload for Histogram {
     }
 
     fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
-        if self.n == 0 {
-            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
-        }
-        let b = machine.b;
-        let bi = b as i64;
-        if !b.is_power_of_two() || b < 2 {
-            return Err(AlgosError::InvalidMachine {
-                reason: format!("histogram needs b a power of two ≥ 2, got {b}"),
-            });
-        }
-        if self.data.iter().any(|&v| v < 0 || v >= bi) {
-            return Err(AlgosError::InvalidSize {
-                reason: format!("values must lie in [0, b) = [0, {b})"),
-            });
-        }
+        let (k, b, steps) = self.check(machine)?;
         let n = self.n;
-        let k = machine.blocks_for(n);
-        let steps = b.trailing_zeros();
 
         let mut pb = ProgramBuilder::new("histogram");
         let hin = pb.host_input("A", n);
@@ -84,62 +285,13 @@ impl Workload for Histogram {
         let dhist = pb.device_alloc("hist", b);
 
         // Round 1: per-block sub-histograms + column reduction.
-        // Shared: sub-hist [0, b²), scratch [b², b² + b).
-        let scratch = (b * b) as i64;
-        let mut kb = KernelBuilder::new("hist_blocks", k, b * b + b);
-        // Value into scratch then a register.
-        kb.glb_to_shr(AddrExpr::lane() + scratch, din, AddrExpr::block() * bi + AddrExpr::lane());
-        kb.ld_shr(0, AddrExpr::lane() + scratch);
-        // Guard padded lanes: treat out-of-range (padded-zero) values as
-        // bin 0 — they are zeros already, so no guard is needed for the
-        // value itself, but padded lanes of the last block must not count.
-        // We mask them by the global index bound: idx = i·b + j < n.
-        kb.alu(AluOp::Mul, 1, Operand::Block, Operand::Imm(bi));
-        kb.alu(AluOp::Add, 1, Operand::Reg(1), Operand::Lane);
-        kb.when(PredExpr::Lt(Operand::Reg(1), Operand::Imm(n as i64)), |kb| {
-            // _h[j·b + value] += 1  (private row: race-free)
-            kb.ld_shr(2, AddrExpr::lane() * bi + AddrExpr::reg(0));
-            kb.alu(AluOp::Add, 2, Operand::Reg(2), Operand::Imm(1));
-            kb.st_shr(AddrExpr::lane() * bi + AddrExpr::reg(0), Operand::Reg(2));
-        });
-        // Column-reduce each bin across lanes.
-        kb.repeat(b as u32, |kb| {
-            // scratch[j] ← _h[j·b + bin]   (stride-b read: full conflict)
-            kb.ld_shr(3, AddrExpr::lane() * bi + AddrExpr::loop_var(0));
-            kb.st_shr(AddrExpr::lane() + scratch, Operand::Reg(3));
-            kb.repeat(steps, |kb| {
-                kb.alu(AluOp::Shr, 4, Operand::Imm(bi / 2), Operand::LoopVar(1));
-                kb.when(PredExpr::Lt(Operand::Lane, Operand::Reg(4)), |kb| {
-                    kb.ld_shr(5, AddrExpr::lane() + scratch);
-                    kb.ld_shr(6, AddrExpr::lane() + AddrExpr::reg(4) + scratch);
-                    kb.alu(AluOp::Add, 5, Operand::Reg(5), Operand::Reg(6));
-                    kb.st_shr(AddrExpr::lane() + scratch, Operand::Reg(5));
-                });
-            });
-            kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(0)), |kb| {
-                kb.shr_to_glb(
-                    dpart,
-                    AddrExpr::block() * bi + AddrExpr::loop_var(0),
-                    AddrExpr::c(scratch),
-                );
-            });
-        });
         pb.begin_round();
         pb.transfer_in(hin, din, n);
-        pb.launch(kb.build());
+        pb.launch(hist_blocks_kernel(n, k, b, steps, din, dpart));
 
         // Round 2: sum the k partial rows.
-        let mut kb = KernelBuilder::new("hist_merge", 1, b);
-        kb.mov(0, Operand::Imm(0));
-        kb.repeat(k as u32, |kb| {
-            kb.glb_to_shr(AddrExpr::lane(), dpart, AddrExpr::loop_var(0) * bi + AddrExpr::lane());
-            kb.ld_shr(1, AddrExpr::lane());
-            kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(1));
-        });
-        kb.st_shr(AddrExpr::lane(), Operand::Reg(0));
-        kb.shr_to_glb(dhist, AddrExpr::lane(), AddrExpr::lane());
         pb.begin_round();
-        pb.launch(kb.build());
+        pb.launch(hist_merge_kernel(k, b, dpart, dhist));
         pb.transfer_out(dhist, hout, b);
 
         Ok(BuiltProgram {
@@ -150,8 +302,7 @@ impl Workload for Histogram {
     }
 
     fn expected(&self) -> Vec<Vec<i64>> {
-        // Built for b-bin machines; the standard test machine has b = 32.
-        vec![self.host_reference(32)]
+        vec![self.host_reference()]
     }
 
     fn bounds(&self, _machine: &AtgpuMachine) -> Vec<BigO> {
@@ -183,7 +334,7 @@ mod tests {
     #[test]
     fn skewed_data_counts_correctly() {
         // All values identical: the worst bank-conflict case.
-        let w = Histogram::from_data(vec![7; 256]);
+        let w = Histogram::from_data(vec![7; 256], 32);
         let r = verify_on_sim(&w, &test_machine(), &test_spec(), &SimConfig::default()).unwrap();
         let hist = r.output(atgpu_ir::HBuf(1));
         assert_eq!(hist[7], 256);
@@ -209,12 +360,12 @@ mod tests {
         let spec = test_spec();
         // Uniform values: each lane a distinct bin — every increment hits
         // bank (j·b + v) mod b = v: all lanes SAME bank when values equal.
-        let skew = Histogram::from_data(vec![3; 1024]);
+        let skew = Histogram::from_data(vec![3; 1024], 32);
         let r1 = verify_on_sim(&skew, &m, &spec, &SimConfig::default()).unwrap();
         // Distinct values per lane: lane j gets value j → banks all
         // distinct → fewer conflict cycles.
         let spread: Vec<i64> = (0..1024).map(|i| (i % 32) as i64).collect();
-        let spread = Histogram::from_data(spread);
+        let spread = Histogram::from_data(spread, 32);
         let r2 = verify_on_sim(&spread, &m, &spec, &SimConfig::default()).unwrap();
         let c1 = r1.rounds[0].kernel_stats.bank_conflict_cycles;
         let c2 = r2.rounds[0].kernel_stats.bank_conflict_cycles;
@@ -223,7 +374,15 @@ mod tests {
 
     #[test]
     fn out_of_range_values_rejected() {
-        let w = Histogram::from_data(vec![99]);
+        let w = Histogram::from_data(vec![99], 32);
+        assert!(w.build(&test_machine()).is_err());
+    }
+
+    #[test]
+    fn mismatched_bins_rejected() {
+        // The instance carries its bin count: building 8-bin data on a
+        // 32-bin machine must fail loudly, not quietly widen.
+        let w = Histogram::new(256, 8, 0);
         assert!(w.build(&test_machine()).is_err());
     }
 
@@ -231,5 +390,57 @@ mod tests {
     fn two_rounds() {
         let w = Histogram::new(1000, 32, 0);
         assert_eq!(w.build(&test_machine()).unwrap().program.num_rounds(), 2);
+    }
+
+    use crate::workload::verify_built_on_cluster;
+    use atgpu_model::{ClusterSpec, LinkParams};
+
+    fn cluster(n: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(n, test_spec())
+    }
+
+    #[test]
+    fn sharded_peer_merge_matches_host() {
+        let m = test_machine();
+        for devices in [1u32, 2, 3, 4] {
+            for n in [200u64, 1027, 4096] {
+                let w = Histogram::new(n, 32, n + devices as u64);
+                let built = w.build_sharded(&m, devices).unwrap();
+                verify_built_on_cluster(
+                    &built,
+                    &[w.host_reference()],
+                    &m,
+                    &cluster(devices as usize),
+                    &SimConfig::default(),
+                )
+                .unwrap_or_else(|e| panic!("devices={devices} n={n}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn planned_sharding_avoids_expensive_merge_path() {
+        let m = test_machine();
+        let mut spec = cluster(3);
+        // Device 2's directed link *to the owner* is very expensive; its
+        // merge rows would dominate the round, so the planner should
+        // starve it, and the plan must still verify bit-identically.
+        spec.peer_links[2][0] = LinkParams { alpha_ms: 20.0, beta_ms_per_word: 1.0 };
+        let w = Histogram::new(4096, 32, 5);
+        let built = w.build_sharded_planned(&m, &spec).unwrap();
+        let blocks_on_2: u64 = built.program.rounds[0]
+            .shards()
+            .unwrap()
+            .iter()
+            .filter(|s| s.device == 2)
+            .map(Shard::blocks)
+            .sum();
+        let k = m.blocks_for(4096);
+        assert!(
+            blocks_on_2 < k / 3,
+            "device 2 should get a below-even share, got {blocks_on_2} of {k}"
+        );
+        verify_built_on_cluster(&built, &[w.host_reference()], &m, &spec, &SimConfig::default())
+            .unwrap();
     }
 }

@@ -39,6 +39,29 @@
 //!   memory `G` across rounds with different communication schemes
 //!   (paper §V: "data does not fit on the global memory, thereby
 //!   requiring some sort of partitioning").
+//!
+//! ## Clusters and peer traffic — the irregular quartet
+//!
+//! The regular workloads shard trivially (independent slabs, no
+//! cross-device traffic).  Four irregular ones also run on clusters,
+//! each exercising a different peer-communication shape, and each in
+//! three forms: an explicit-plan `build_sharded_with` (the differential
+//! suites feed it random plans), an even-split `build_sharded`, and a
+//! `shard_profile` whose [`atgpu_model::PeerProfile`] makes the
+//! `atgpu-sim` planner's plan pricing **peer-aware**:
+//!
+//! * [`stencil`] — iterated halo exchange: one boundary cell per
+//!   direction over peer links every round;
+//! * [`scan`] — multi-pass gather/scatter: per-device local scans,
+//!   block sums gathered to an owner, prefix offsets scattered back;
+//! * [`spmv`] — row-imbalanced shards: per-unit work and words vary by
+//!   row weight, feeding the profile's per-unit vectors;
+//! * [`histogram`] — all-to-one merge: per-device partial bins
+//!   peer-merged on an owner device.
+//!
+//! All four are bit-identical to their single-device runs under any
+//! shard plan (`tests/cluster_quartet_differential.rs`), including
+//! mid-program device loss.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -103,6 +103,7 @@ impl MatMul {
             broadcast_txns: 1,
             shared_words: 3 * b * b,
             blocks_per_unit: t,
+            ..atgpu_model::ShardProfile::default()
         }
     }
 

@@ -253,9 +253,11 @@ impl Reduce {
     }
 
     /// The per-block cost shape of the sharded first level: `b` input
-    /// words in per block, one partial out per block (gathered over peer
-    /// links, so no per-block host download), and the level-0 kernel's
-    /// time and I/O from [`reduce_round_shapes`].
+    /// words in per block, one partial out per block — gathered to
+    /// device 0 over peer links, which the profile now declares as a
+    /// merge (`merge_words_per_unit: 1` to owner 0), so the planner
+    /// prices the gather on the directed peer matrix instead of
+    /// ignoring it.
     pub fn shard_profile(&self, machine: &AtgpuMachine) -> atgpu_model::ShardProfile {
         let b = machine.b.max(1);
         let shapes = reduce_round_shapes(self.n, machine, self.variant);
@@ -265,21 +267,23 @@ impl Reduce {
             io_blocks_per_unit: io / k1.max(1),
             inward_words_per_unit: b,
             inward_txns: 1,
-            outward_words_per_unit: 0,
-            outward_txns: 0,
-            broadcast_words: 0,
-            broadcast_txns: 0,
             shared_words: b,
-            blocks_per_unit: 1,
+            peer: atgpu_model::PeerProfile {
+                merge_words_per_unit: 1,
+                merge_txns: 1,
+                owner: 0,
+                ..atgpu_model::PeerProfile::default()
+            },
+            ..atgpu_model::ShardProfile::default()
         }
     }
 
     /// [`Self::build_sharded`] with the first level apportioned by the
     /// **cost-driven planner**: candidate plans priced with
     /// [`Self::shard_profile`] through the cluster cost function, so a
-    /// slow host link costs its device first-level blocks.  (The peer
-    /// gather is not in the objective — it is one transaction per
-    /// contributing device and workload-independent.)
+    /// slow host link costs its device first-level blocks and the peer
+    /// gather of partials to device 0 is priced per unit on the
+    /// directed peer matrix.
     pub fn build_sharded_planned(
         &self,
         machine: &AtgpuMachine,

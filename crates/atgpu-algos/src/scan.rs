@@ -18,10 +18,11 @@
 
 use crate::error::AlgosError;
 use crate::gen;
+use crate::vecadd::check_shards_fit;
 use crate::workload::{BuiltProgram, Workload};
-use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, PredExpr, ProgramBuilder};
+use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, PredExpr, ProgramBuilder, Shard};
 use atgpu_model::asymptotics::{BigO, Term};
-use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, PeerProfile, RoundMetrics, ShardProfile};
 
 /// An inclusive-scan instance.
 #[derive(Debug, Clone)]
@@ -51,6 +52,164 @@ impl Scan {
             })
             .collect()
     }
+
+    /// Validates the sharded variant's machine constraint (shared with
+    /// [`Workload::build`]) and returns `(k, b, steps, t2)`.
+    fn check_sharded(&self, machine: &AtgpuMachine) -> Result<(u64, u64, u32, u64), AlgosError> {
+        if self.n == 0 {
+            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
+        }
+        if !machine.b.is_power_of_two() || machine.b < 2 {
+            return Err(AlgosError::InvalidMachine {
+                reason: format!("scan needs b to be a power of two ≥ 2, got {}", machine.b),
+            });
+        }
+        let b = machine.b;
+        let k = machine.blocks_for(self.n);
+        Ok((k, b, b.trailing_zeros(), k.div_ceil(b)))
+    }
+
+    /// Multi-pass cluster scan over an explicit shard plan of the
+    /// round-1 block grid:
+    ///
+    /// 1. each shard stages its slice and block-scans it on its own
+    ///    device;
+    /// 2. every shard off device 0 sends its block totals to device 0
+    ///    over the peer links (the **all-to-one gather**), where the
+    ///    single-block carry scan runs;
+    /// 3. device 0 scatters each shard's scanned predecessor totals
+    ///    back (**one-to-all fix-up**), every shard adds its offset and
+    ///    drains its slice.
+    ///
+    /// Bit-identical to the single-device three-round build: the carry
+    /// scan sees exactly the same `dsums` words in the same order.
+    pub fn build_sharded_with(
+        &self,
+        machine: &AtgpuMachine,
+        shards: Vec<Shard>,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let (k, b, steps, t2) = self.check_sharded(machine)?;
+        check_shards_fit(&shards, k)?;
+        let n = self.n;
+
+        let mut pb = ProgramBuilder::new("scan-sharded");
+        let hin = pb.host_input("A", n);
+        let hout = pb.host_output("Out", n);
+        let din = pb.device_alloc("a", n);
+        let dpart = pb.device_alloc("part", n);
+        let dsums = pb.device_alloc("sums", k);
+        let dout = pb.device_alloc("out", n);
+
+        let slice = |s: &Shard| {
+            let lo = s.start * b;
+            (lo, (s.end * b).min(n) - lo)
+        };
+
+        // Round 1: stage slices, block-scan each shard on its device.
+        pb.begin_round();
+        for s in &shards {
+            let (lo, words) = slice(s);
+            pb.transfer_in_to(s.device, hin, lo, din, lo, words);
+        }
+        pb.launch_sharded(scan_blocks_kernel(k, b, steps, din, dpart, dsums), shards.clone());
+
+        // Round 2: gather block totals to device 0, carry-scan there.
+        pb.begin_round();
+        for s in &shards {
+            if s.device != 0 {
+                pb.transfer_peer(s.device, 0, dsums, s.start, s.start, s.blocks());
+            }
+        }
+        pb.launch_sharded(
+            scan_sums_kernel(b, steps, t2, dsums),
+            vec![Shard { device: 0, start: 0, end: 1 }],
+        );
+
+        // Round 3: scatter the scanned predecessor totals, add offsets,
+        // drain each shard's slice.
+        pb.begin_round();
+        for s in &shards {
+            if s.device == 0 {
+                continue;
+            }
+            // Block `u > 0` reads `dsums[u − 1]`: the shard needs the
+            // scanned totals `[start − 1, end − 1)` (clamped at 0).
+            let lo = s.start.saturating_sub(1);
+            let hi = s.end - 1;
+            if hi > lo {
+                pb.transfer_peer(0, s.device, dsums, lo, lo, hi - lo);
+            }
+        }
+        pb.launch_sharded(scan_offsets_kernel(k, b, dpart, dsums, dout), shards.clone());
+        for s in &shards {
+            let (lo, words) = slice(s);
+            pb.transfer_out_from(s.device, dout, lo, hout, lo, words);
+        }
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.data.clone()],
+            outputs: vec![hout],
+        })
+    }
+
+    /// [`Self::build_sharded_with`] over an even block split.
+    pub fn build_sharded(
+        &self,
+        machine: &AtgpuMachine,
+        devices: u32,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let k = machine.blocks_for(self.n);
+        self.build_sharded_with(machine, atgpu_sim::even_shards(k, devices))
+    }
+
+    /// The per-block cost shape of the sharded scan: two `k`-block
+    /// kernel rounds (block scan + offset fix-up; `time_ops` is their
+    /// mean, the carry scan on device 0 is plan-invariant and left
+    /// out), `b` words staged in and drained out per block, and one
+    /// block total gathered to device 0 plus one scanned total
+    /// scattered back per block — the all-to-one/one-to-all peer pair
+    /// the planner now prices on the directed matrix.
+    pub fn shard_profile(machine: &AtgpuMachine) -> ShardProfile {
+        let b = machine.b.max(1);
+        let steps = b.trailing_zeros() as u64;
+        let hs = hillis_steele_ops(steps);
+        let t1 = 1 + hs + 1 + 2; // round-1 kernel
+        let t3 = 1 + 2 + 4 + 1; // round-3 kernel
+        ShardProfile {
+            time_ops: (t1 + t3).div_ceil(2),
+            io_blocks_per_unit: 3,
+            inward_words_per_unit: b,
+            inward_txns: 1,
+            outward_words_per_unit: b,
+            outward_txns: 1,
+            shared_words: b + 1,
+            rounds: 2,
+            peer: PeerProfile {
+                merge_words_per_unit: 1,
+                merge_txns: 1,
+                scatter_words_per_unit: 1,
+                scatter_txns: 1,
+                owner: 0,
+                ..PeerProfile::default()
+            },
+            ..ShardProfile::default()
+        }
+    }
+
+    /// [`Self::build_sharded_with`] with the round-1 blocks apportioned
+    /// by the **peer-aware cost-driven planner**: candidates are priced
+    /// with [`Self::shard_profile`] — gather/scatter words per block on
+    /// the directed peer matrix included — and the argmin is built.
+    pub fn build_sharded_planned(
+        &self,
+        machine: &AtgpuMachine,
+        cluster: &atgpu_model::ClusterSpec,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let k = machine.blocks_for(self.n);
+        let shards = atgpu_sim::planned_shards(k, cluster, machine, &Self::shard_profile(machine));
+        self.build_sharded_with(machine, shards)
+    }
 }
 
 /// Emits a Hillis–Steele inclusive scan over `_s[region + j]`; `steps`
@@ -72,6 +231,79 @@ fn hillis_steele_ops(steps: u64) -> u64 {
     steps * 6 // shl + pred + 4-op arm
 }
 
+/// Round-1 kernel: block-local scans into `dpart`, block totals into
+/// `dsums`.
+fn scan_blocks_kernel(
+    k: u64,
+    b: u64,
+    steps: u32,
+    din: atgpu_ir::DBuf,
+    dpart: atgpu_ir::DBuf,
+    dsums: atgpu_ir::DBuf,
+) -> atgpu_ir::Kernel {
+    let bi = b as i64;
+    let mut kb = KernelBuilder::new("scan_blocks", k, b);
+    kb.glb_to_shr(AddrExpr::lane(), din, AddrExpr::block() * bi + AddrExpr::lane());
+    emit_hillis_steele(&mut kb, 0, steps);
+    kb.shr_to_glb(dpart, AddrExpr::block() * bi + AddrExpr::lane(), AddrExpr::lane());
+    kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(bi - 1)), |kb| {
+        kb.shr_to_glb(dsums, AddrExpr::block(), AddrExpr::c(bi - 1));
+    });
+    kb.build()
+}
+
+/// Round-2 kernel: a single block scans the `k` block totals in chunks
+/// of `b` with a sequential carry, rewriting `dsums` in place.
+fn scan_sums_kernel(b: u64, steps: u32, t2: u64, dsums: atgpu_ir::DBuf) -> atgpu_ir::Kernel {
+    let bi = b as i64;
+    let mut kb = KernelBuilder::new("scan_sums", 1, b + 1);
+    kb.repeat(t2 as u32, |kb| {
+        kb.glb_to_shr(AddrExpr::lane(), dsums, AddrExpr::loop_var(0) * bi + AddrExpr::lane());
+        // Inner Hillis–Steele: loop depth 1 inside this loop.
+        kb.repeat(steps, |kb| {
+            kb.alu(AluOp::Shl, 0, Operand::Imm(1), Operand::LoopVar(1));
+            kb.when(PredExpr::Le(Operand::Reg(0), Operand::Lane), |kb| {
+                kb.ld_shr(1, AddrExpr::lane() - AddrExpr::reg(0));
+                kb.ld_shr(2, AddrExpr::lane());
+                kb.alu(AluOp::Add, 1, Operand::Reg(1), Operand::Reg(2));
+                kb.st_shr(AddrExpr::lane(), Operand::Reg(1));
+            });
+        });
+        kb.ld_shr(3, AddrExpr::c(bi)); // carry
+        kb.ld_shr(4, AddrExpr::lane());
+        kb.alu(AluOp::Add, 4, Operand::Reg(4), Operand::Reg(3));
+        kb.st_shr(AddrExpr::lane(), Operand::Reg(4));
+        kb.shr_to_glb(dsums, AddrExpr::loop_var(0) * bi + AddrExpr::lane(), AddrExpr::lane());
+        kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(bi - 1)), |kb| {
+            kb.st_shr(AddrExpr::c(bi), Operand::Reg(4));
+        });
+    });
+    kb.build()
+}
+
+/// Round-3 kernel: each block adds the scanned total of the preceding
+/// blocks to its chunk.
+fn scan_offsets_kernel(
+    k: u64,
+    b: u64,
+    dpart: atgpu_ir::DBuf,
+    dsums: atgpu_ir::DBuf,
+    dout: atgpu_ir::DBuf,
+) -> atgpu_ir::Kernel {
+    let bi = b as i64;
+    let mut kb = KernelBuilder::new("scan_offsets", k, b + 1);
+    kb.glb_to_shr(AddrExpr::lane(), dpart, AddrExpr::block() * bi + AddrExpr::lane());
+    kb.when(PredExpr::Lt(Operand::Imm(0), Operand::Block), |kb| {
+        kb.glb_to_shr(AddrExpr::c(bi), dsums, AddrExpr::block() - 1);
+    });
+    kb.ld_shr(0, AddrExpr::lane());
+    kb.ld_shr(1, AddrExpr::c(bi));
+    kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(1));
+    kb.st_shr(AddrExpr::lane(), Operand::Reg(0));
+    kb.shr_to_glb(dout, AddrExpr::block() * bi + AddrExpr::lane(), AddrExpr::lane());
+    kb.build()
+}
+
 impl Workload for Scan {
     fn name(&self) -> &'static str {
         "scan"
@@ -82,20 +314,8 @@ impl Workload for Scan {
     }
 
     fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
-        if self.n == 0 {
-            return Err(AlgosError::InvalidSize { reason: "empty input".into() });
-        }
-        if !machine.b.is_power_of_two() || machine.b < 2 {
-            return Err(AlgosError::InvalidMachine {
-                reason: format!("scan needs b to be a power of two ≥ 2, got {}", machine.b),
-            });
-        }
+        let (k, b, steps, t2) = self.check_sharded(machine)?;
         let n = self.n;
-        let b = machine.b;
-        let bi = b as i64;
-        let k = machine.blocks_for(n);
-        let steps = b.trailing_zeros();
-        let t2 = k.div_ceil(b);
 
         let mut pb = ProgramBuilder::new("scan");
         let hin = pb.host_input("A", n);
@@ -106,56 +326,17 @@ impl Workload for Scan {
         let dout = pb.device_alloc("out", n);
 
         // Round 1: block-local scans.
-        let mut kb = KernelBuilder::new("scan_blocks", k, b);
-        kb.glb_to_shr(AddrExpr::lane(), din, AddrExpr::block() * bi + AddrExpr::lane());
-        emit_hillis_steele(&mut kb, 0, steps);
-        kb.shr_to_glb(dpart, AddrExpr::block() * bi + AddrExpr::lane(), AddrExpr::lane());
-        kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(bi - 1)), |kb| {
-            kb.shr_to_glb(dsums, AddrExpr::block(), AddrExpr::c(bi - 1));
-        });
         pb.begin_round();
         pb.transfer_in(hin, din, n);
-        pb.launch(kb.build());
+        pb.launch(scan_blocks_kernel(k, b, steps, din, dpart, dsums));
 
         // Round 2: scan the block sums with a sequential carry.
-        let mut kb = KernelBuilder::new("scan_sums", 1, b + 1);
-        kb.repeat(t2 as u32, |kb| {
-            kb.glb_to_shr(AddrExpr::lane(), dsums, AddrExpr::loop_var(0) * bi + AddrExpr::lane());
-            // Inner Hillis–Steele: loop depth 1 inside this loop.
-            kb.repeat(steps, |kb| {
-                kb.alu(AluOp::Shl, 0, Operand::Imm(1), Operand::LoopVar(1));
-                kb.when(PredExpr::Le(Operand::Reg(0), Operand::Lane), |kb| {
-                    kb.ld_shr(1, AddrExpr::lane() - AddrExpr::reg(0));
-                    kb.ld_shr(2, AddrExpr::lane());
-                    kb.alu(AluOp::Add, 1, Operand::Reg(1), Operand::Reg(2));
-                    kb.st_shr(AddrExpr::lane(), Operand::Reg(1));
-                });
-            });
-            kb.ld_shr(3, AddrExpr::c(bi)); // carry
-            kb.ld_shr(4, AddrExpr::lane());
-            kb.alu(AluOp::Add, 4, Operand::Reg(4), Operand::Reg(3));
-            kb.st_shr(AddrExpr::lane(), Operand::Reg(4));
-            kb.shr_to_glb(dsums, AddrExpr::loop_var(0) * bi + AddrExpr::lane(), AddrExpr::lane());
-            kb.when(PredExpr::Eq(Operand::Lane, Operand::Imm(bi - 1)), |kb| {
-                kb.st_shr(AddrExpr::c(bi), Operand::Reg(4));
-            });
-        });
         pb.begin_round();
-        pb.launch(kb.build());
+        pb.launch(scan_sums_kernel(b, steps, t2, dsums));
 
         // Round 3: add the preceding blocks' total.
-        let mut kb = KernelBuilder::new("scan_offsets", k, b + 1);
-        kb.glb_to_shr(AddrExpr::lane(), dpart, AddrExpr::block() * bi + AddrExpr::lane());
-        kb.when(PredExpr::Lt(Operand::Imm(0), Operand::Block), |kb| {
-            kb.glb_to_shr(AddrExpr::c(bi), dsums, AddrExpr::block() - 1);
-        });
-        kb.ld_shr(0, AddrExpr::lane());
-        kb.ld_shr(1, AddrExpr::c(bi));
-        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(1));
-        kb.st_shr(AddrExpr::lane(), Operand::Reg(0));
-        kb.shr_to_glb(dout, AddrExpr::block() * bi + AddrExpr::lane(), AddrExpr::lane());
         pb.begin_round();
-        pb.launch(kb.build());
+        pb.launch(scan_offsets_kernel(k, b, dpart, dsums, dout));
         pb.transfer_out(dout, hout, n);
 
         Ok(BuiltProgram {
@@ -273,5 +454,67 @@ mod tests {
         let w = Scan::new(10_000, 0);
         let built = w.build(&test_machine()).unwrap();
         assert_eq!(built.program.num_rounds(), 3);
+    }
+
+    use crate::workload::verify_built_on_cluster;
+    use atgpu_model::{ClusterSpec, LinkParams};
+
+    fn cluster(n: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(n, test_spec())
+    }
+
+    #[test]
+    fn sharded_gather_scatter_matches_host() {
+        let m = test_machine();
+        for devices in [1u32, 2, 3, 4] {
+            for n in [200u64, 2048, 4099] {
+                let w = Scan::new(n, n + devices as u64);
+                let built = w.build_sharded(&m, devices).unwrap();
+                verify_built_on_cluster(
+                    &built,
+                    &[w.host_reference()],
+                    &m,
+                    &cluster(devices as usize),
+                    &SimConfig::default(),
+                )
+                .unwrap_or_else(|e| panic!("devices={devices} n={n}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn planned_sharding_verifies_on_asymmetric_peer_cluster() {
+        let m = test_machine();
+        let mut spec = cluster(3);
+        // The gather/scatter hub is device 0: make its peer edges to
+        // device 2 expensive so the planner reshuffles, and the built
+        // plan must still verify bit-identically.
+        spec.peer_links[0][2] = LinkParams { alpha_ms: 4.0, beta_ms_per_word: 0.25 };
+        spec.peer_links[2][0] = LinkParams { alpha_ms: 4.0, beta_ms_per_word: 0.25 };
+        let w = Scan::new(5000, 17);
+        let built = w.build_sharded_planned(&m, &spec).unwrap();
+        verify_built_on_cluster(&built, &[w.host_reference()], &m, &spec, &SimConfig::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn explicit_uneven_plan_matches_host() {
+        let m = test_machine();
+        let w = Scan::new(3000, 5);
+        let k = m.blocks_for(3000);
+        let shards = vec![
+            Shard { device: 1, start: 0, end: 10 },
+            Shard { device: 0, start: 10, end: 11 },
+            Shard { device: 2, start: 11, end: k },
+        ];
+        let built = w.build_sharded_with(&m, shards).unwrap();
+        verify_built_on_cluster(
+            &built,
+            &[w.host_reference()],
+            &m,
+            &cluster(3),
+            &SimConfig::default(),
+        )
+        .unwrap();
     }
 }

@@ -10,10 +10,11 @@
 //! precisely by the simulator.
 
 use crate::error::AlgosError;
+use crate::vecadd::check_shards_fit;
 use crate::workload::{BuiltProgram, Workload};
-use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, ProgramBuilder};
+use atgpu_ir::{AddrExpr, AluOp, Kernel, KernelBuilder, Operand, ProgramBuilder, Shard};
 use atgpu_model::asymptotics::{BigO, Term};
-use atgpu_model::AtgpuMachine;
+use atgpu_model::{AtgpuMachine, ShardProfile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,6 +69,181 @@ impl SpmvEll {
             })
             .collect()
     }
+
+    fn check(&self, machine: &AtgpuMachine) -> Result<(u64, u64), AlgosError> {
+        let n = self.n;
+        let b = machine.b;
+        if n == 0 || !n.is_multiple_of(b) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!("row count {n} must be a positive multiple of b = {b}"),
+            });
+        }
+        if self.k_slots == 0 {
+            return Err(AlgosError::InvalidSize { reason: "K must be at least 1".into() });
+        }
+        Ok((n / b, b))
+    }
+
+    /// Effective slot count of each `b`-row band: the highest occupied
+    /// slot across the band's rows, where a slot is occupied unless it
+    /// holds the self-referencing zero pad `(col = r, val = 0)`.  Slots
+    /// past the band's count contribute `0·x[r]` and need not be staged
+    /// — the per-unit imbalance the sharded build and its profile feed
+    /// to the planner.
+    pub fn band_slots(&self, machine: &AtgpuMachine) -> Result<Vec<u64>, AlgosError> {
+        let (k, b) = self.check(machine)?;
+        Ok((0..k)
+            .map(|u| {
+                (u * b..(u + 1) * b)
+                    .map(|r| {
+                        (0..self.k_slots)
+                            .rev()
+                            .find(|&t| {
+                                let idx = (t * self.n + r) as usize;
+                                self.cols[idx] != r as i64 || self.vals[idx] != 0
+                            })
+                            .map_or(0, |t| t + 1)
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect())
+    }
+
+    /// Single-round cluster SpMV over an explicit shard plan of the row
+    /// bands: every shard's device receives the **full operand vector**
+    /// (the gather may touch any of it), but the ELL slot arrays are
+    /// staged only up to the shard's effective slot count — unstaged
+    /// slots read the device's zero-initialised memory and contribute
+    /// nothing, exactly like the host padding.  Each shard drains its
+    /// own `y` slice.
+    pub fn build_sharded_with(
+        &self,
+        machine: &AtgpuMachine,
+        shards: Vec<Shard>,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let (k, b) = self.check(machine)?;
+        check_shards_fit(&shards, k)?;
+        let n = self.n;
+        let bands = self.band_slots(machine)?;
+
+        let mut pb = ProgramBuilder::new("spmv-ell-sharded");
+        let hc = pb.host_input("Cols", n * self.k_slots);
+        let hv = pb.host_input("Vals", n * self.k_slots);
+        let hx = pb.host_input("X", n);
+        let hy = pb.host_output("Y", n);
+        let dc = pb.device_alloc("cols", n * self.k_slots);
+        let dv = pb.device_alloc("vals", n * self.k_slots);
+        let dx = pb.device_alloc("x", n);
+        let dy = pb.device_alloc("y", n);
+
+        pb.begin_round();
+        let mut x_staged: Vec<u32> = Vec::new();
+        for s in &shards {
+            if !x_staged.contains(&s.device) {
+                pb.transfer_in_to(s.device, hx, 0, dx, 0, n);
+                x_staged.push(s.device);
+            }
+            let lo = s.start * b;
+            let words = s.blocks() * b;
+            let k_s = bands[s.start as usize..s.end as usize].iter().copied().max().unwrap_or(0);
+            for t in 0..k_s {
+                pb.transfer_in_to(s.device, hc, t * n + lo, dc, t * n + lo, words);
+                pb.transfer_in_to(s.device, hv, t * n + lo, dv, t * n + lo, words);
+            }
+        }
+        pb.launch_sharded(spmv_kernel(k, b, self.k_slots, dc, dv, dx, dy), shards.clone());
+        for s in &shards {
+            let lo = s.start * b;
+            pb.transfer_out_from(s.device, dy, lo, hy, lo, s.blocks() * b);
+        }
+
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.cols.clone(), self.vals.clone(), self.x.clone()],
+            outputs: vec![hy],
+        })
+    }
+
+    /// [`Self::build_sharded_with`] over an even band split.
+    pub fn build_sharded(
+        &self,
+        machine: &AtgpuMachine,
+        devices: u32,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let (k, _) = self.check(machine)?;
+        self.build_sharded_with(machine, atgpu_sim::even_shards(k, devices))
+    }
+
+    /// The **row-imbalanced** cost shape of this instance: staging words
+    /// vary per band (`2·b·K_u` for the band's effective slot count),
+    /// the operand vector is broadcast to every participating device,
+    /// and kernel time/IO follow the uniform `K`-slot loop.  The
+    /// non-empty [`ShardProfile::unit_inward_words`] routes the planner
+    /// onto its contiguous greedy-pack path.
+    pub fn shard_profile(&self, machine: &AtgpuMachine) -> Result<ShardProfile, AlgosError> {
+        let (_, b) = self.check(machine)?;
+        let bands = self.band_slots(machine)?;
+        Ok(ShardProfile {
+            time_ops: 3 + 8 * self.k_slots,
+            io_blocks_per_unit: 3 * self.k_slots + 1,
+            inward_txns: 2,
+            outward_words_per_unit: b,
+            outward_txns: 1,
+            broadcast_words: self.n,
+            broadcast_txns: 1,
+            shared_words: 4 * b,
+            unit_inward_words: bands.iter().map(|&k_u| 2 * b * k_u).collect(),
+            ..ShardProfile::default()
+        })
+    }
+
+    /// [`Self::build_sharded_with`] with the row bands apportioned by
+    /// the cost-driven planner pricing this instance's per-band staging
+    /// profile — heavy bands cost more to feed, so devices behind slow
+    /// host links receive lighter spans, not just fewer rows.
+    pub fn build_sharded_planned(
+        &self,
+        machine: &AtgpuMachine,
+        cluster: &atgpu_model::ClusterSpec,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let (k, _) = self.check(machine)?;
+        let shards = atgpu_sim::planned_shards(k, cluster, machine, &self.shard_profile(machine)?);
+        self.build_sharded_with(machine, shards)
+    }
+}
+
+/// The shared ELL kernel: slot-major loop staging `cols`/`vals`
+/// coalesced, gathering `x` through the column register, accumulating in
+/// a register.  Shared layout: col `[0,b)`, val `[b,2b)`, gathered x
+/// `[2b,3b)`, y `[3b,4b)`.
+fn spmv_kernel(
+    k: u64,
+    b: u64,
+    k_slots: u64,
+    dc: atgpu_ir::DBuf,
+    dv: atgpu_ir::DBuf,
+    dx: atgpu_ir::DBuf,
+    dy: atgpu_ir::DBuf,
+) -> Kernel {
+    let bi = b as i64;
+    let ni = (k * b) as i64;
+    let mut kb = KernelBuilder::new("spmv_kernel", k, 4 * b);
+    kb.mov(0, Operand::Imm(0));
+    kb.repeat(k_slots as u32, |kb| {
+        let slot = AddrExpr::loop_var(0) * ni + AddrExpr::block() * bi + AddrExpr::lane();
+        kb.glb_to_shr(AddrExpr::lane(), dc, slot.clone());
+        kb.glb_to_shr(AddrExpr::lane() + bi, dv, slot);
+        kb.ld_shr(1, AddrExpr::lane()); // column index
+        kb.glb_to_shr(AddrExpr::lane() + 2 * bi, dx, AddrExpr::reg(1)); // gather
+        kb.ld_shr(2, AddrExpr::lane() + 2 * bi);
+        kb.ld_shr(3, AddrExpr::lane() + bi);
+        kb.alu(AluOp::Mul, 4, Operand::Reg(2), Operand::Reg(3));
+        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(4));
+    });
+    kb.st_shr(AddrExpr::lane() + 3 * bi, Operand::Reg(0));
+    kb.shr_to_glb(dy, AddrExpr::block() * bi + AddrExpr::lane(), AddrExpr::lane() + 3 * bi);
+    kb.build()
 }
 
 impl Workload for SpmvEll {
@@ -80,19 +256,8 @@ impl Workload for SpmvEll {
     }
 
     fn build(&self, machine: &AtgpuMachine) -> Result<BuiltProgram, AlgosError> {
+        let (k, b) = self.check(machine)?;
         let n = self.n;
-        let b = machine.b;
-        if n == 0 || !n.is_multiple_of(b) {
-            return Err(AlgosError::InvalidSize {
-                reason: format!("row count {n} must be a positive multiple of b = {b}"),
-            });
-        }
-        if self.k_slots == 0 {
-            return Err(AlgosError::InvalidSize { reason: "K must be at least 1".into() });
-        }
-        let bi = b as i64;
-        let ni = n as i64;
-        let blocks = n / b;
 
         let mut pb = ProgramBuilder::new("spmv-ell");
         let hc = pb.host_input("Cols", n * self.k_slots);
@@ -104,28 +269,11 @@ impl Workload for SpmvEll {
         let dx = pb.device_alloc("x", n);
         let dy = pb.device_alloc("y", n);
 
-        // Shared layout: col [0,b), val [b,2b), gathered x [2b,3b), y [3b,4b).
-        let mut kb = KernelBuilder::new("spmv_kernel", blocks, 4 * b);
-        kb.mov(0, Operand::Imm(0));
-        kb.repeat(self.k_slots as u32, |kb| {
-            let slot = AddrExpr::loop_var(0) * ni + AddrExpr::block() * bi + AddrExpr::lane();
-            kb.glb_to_shr(AddrExpr::lane(), dc, slot.clone());
-            kb.glb_to_shr(AddrExpr::lane() + bi, dv, slot);
-            kb.ld_shr(1, AddrExpr::lane()); // column index
-            kb.glb_to_shr(AddrExpr::lane() + 2 * bi, dx, AddrExpr::reg(1)); // gather
-            kb.ld_shr(2, AddrExpr::lane() + 2 * bi);
-            kb.ld_shr(3, AddrExpr::lane() + bi);
-            kb.alu(AluOp::Mul, 4, Operand::Reg(2), Operand::Reg(3));
-            kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(4));
-        });
-        kb.st_shr(AddrExpr::lane() + 3 * bi, Operand::Reg(0));
-        kb.shr_to_glb(dy, AddrExpr::block() * bi + AddrExpr::lane(), AddrExpr::lane() + 3 * bi);
-
         pb.begin_round();
         pb.transfer_in(hc, dc, n * self.k_slots);
         pb.transfer_in(hv, dv, n * self.k_slots);
         pb.transfer_in(hx, dx, n);
-        pb.launch(kb.build());
+        pb.launch(spmv_kernel(k, b, self.k_slots, dc, dv, dx, dy));
         pb.transfer_out(dy, hy, n);
 
         Ok(BuiltProgram {
@@ -195,5 +343,97 @@ mod tests {
     fn invalid_sizes_rejected() {
         assert!(SpmvEll::new(33, 2, 0).build(&test_machine()).is_err());
         assert!(SpmvEll::new(32, 0, 0).build(&test_machine()).is_err());
+    }
+
+    use crate::workload::verify_built_on_cluster;
+    use atgpu_model::{ClusterSpec, LinkParams};
+
+    fn cluster(n: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(n, test_spec())
+    }
+
+    /// An instance whose first half is dense (all `K` slots real) and
+    /// second half is empty — maximal band imbalance.
+    fn lopsided(n: u64, k_slots: u64) -> SpmvEll {
+        let mut w = SpmvEll::new(n, k_slots, 9);
+        for r in 0..n as usize {
+            for t in 0..k_slots as usize {
+                let idx = t * n as usize + r;
+                if r < n as usize / 2 {
+                    w.cols[idx] = ((r + t) % n as usize) as i64;
+                    w.vals[idx] = 1 + (t as i64 % 5);
+                } else {
+                    w.cols[idx] = r as i64;
+                    w.vals[idx] = 0;
+                }
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn band_slots_sees_imbalance() {
+        let m = test_machine();
+        let w = lopsided(256, 4);
+        let bands = w.band_slots(&m).unwrap();
+        let k = bands.len();
+        assert!(bands[..k / 2].iter().all(|&s| s == 4));
+        assert!(bands[k / 2..].iter().all(|&s| s == 0));
+        let p = w.shard_profile(&m).unwrap();
+        assert_eq!(p.unit_inward_words.len(), k);
+        assert_eq!(p.unit_inward_words[0], 2 * m.b * 4);
+        assert_eq!(p.unit_inward_words[k - 1], 0);
+    }
+
+    #[test]
+    fn sharded_matches_host() {
+        let m = test_machine();
+        for devices in [1u32, 2, 3, 4] {
+            for w in [SpmvEll::new(256, 4, devices as u64), lopsided(256, 3)] {
+                let built = w.build_sharded(&m, devices).unwrap();
+                verify_built_on_cluster(
+                    &built,
+                    &[w.host_reference()],
+                    &m,
+                    &cluster(devices as usize),
+                    &SimConfig::default(),
+                )
+                .unwrap_or_else(|e| panic!("devices={devices}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn planned_sharding_packs_heavy_bands_off_slow_links() {
+        let m = test_machine();
+        let mut spec = cluster(2);
+        // Device 1's host link is 8x slower: the greedy pack should hand
+        // it a lighter span of the lopsided matrix, and the built plan
+        // must still verify.
+        spec.host_links[1] = LinkParams {
+            alpha_ms: spec.host_links[1].alpha_ms * 8.0,
+            beta_ms_per_word: spec.host_links[1].beta_ms_per_word * 8.0,
+        };
+        let w = lopsided(512, 6);
+        let k = m.blocks_for(512);
+        let shards = atgpu_sim::planned_shards(k, &spec, &m, &w.shard_profile(&m).unwrap());
+        let slow_words: u64 = shards
+            .iter()
+            .filter(|s| s.device == 1)
+            .map(|s| {
+                w.band_slots(&m).unwrap()[s.start as usize..s.end as usize]
+                    .iter()
+                    .map(|&ku| 2 * m.b * ku)
+                    .sum::<u64>()
+            })
+            .sum();
+        let total: u64 = w.band_slots(&m).unwrap().iter().map(|&ku| 2 * m.b * ku).sum();
+        assert!(
+            slow_words <= total / 2,
+            "slow-link device staged {slow_words} of {total} matrix words"
+        );
+        let built = w.build_sharded_planned(&m, &spec).unwrap();
+        verify_built_on_cluster(&built, &[w.host_reference()], &m, &spec, &SimConfig::default())
+            .unwrap();
     }
 }

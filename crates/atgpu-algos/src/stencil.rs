@@ -6,13 +6,25 @@
 //! chunk plus a two-word halo (a guarded, partially-masked global access).
 //! One round, transfer-dominated like vector addition but with a slightly
 //! richer access pattern.
+//!
+//! The **iterated** variants ([`Stencil::build_iterated`] and the
+//! sharded family around [`Stencil::build_sharded_with`]) apply the
+//! stencil `rounds` times, ping-ponging between two padded buffers.  On
+//! a cluster each device owns a contiguous slab of cells and, before
+//! every round after the first, exchanges its single boundary cell with
+//! each slab neighbour over the **directed peer links** — the canonical
+//! halo-exchange pattern, and the workload whose peer traffic the
+//! cost-driven planner prices through [`Stencil::shard_profile`].
 
 use crate::error::AlgosError;
 use crate::gen;
+use crate::vecadd::check_shards_fit;
 use crate::workload::{BuiltProgram, Workload};
-use atgpu_ir::{AddrExpr, AluOp, KernelBuilder, Operand, PredExpr, ProgramBuilder};
+use atgpu_ir::{
+    AddrExpr, AluOp, DBuf, Kernel, KernelBuilder, Operand, PredExpr, ProgramBuilder, Shard,
+};
 use atgpu_model::asymptotics::{BigO, Term};
-use atgpu_model::{AlgoMetrics, AtgpuMachine, RoundMetrics};
+use atgpu_model::{AlgoMetrics, AtgpuMachine, PeerProfile, RoundMetrics, ShardProfile};
 
 /// A stencil instance.
 #[derive(Debug, Clone)]
@@ -34,14 +46,247 @@ impl Stencil {
 
     /// Host reference with zero boundaries.
     pub fn host_reference(&self) -> Vec<i64> {
-        let n = self.data.len();
+        Self::step(&self.data)
+    }
+
+    /// One stencil application with zero boundaries.
+    fn step(data: &[i64]) -> Vec<i64> {
+        let n = data.len();
         (0..n)
             .map(|i| {
-                let left = if i == 0 { 0 } else { self.data[i - 1] };
-                let right = if i + 1 == n { 0 } else { self.data[i + 1] };
-                left + self.data[i] + right
+                let left = if i == 0 { 0 } else { data[i - 1] };
+                let right = if i + 1 == n { 0 } else { data[i + 1] };
+                left.wrapping_add(data[i]).wrapping_add(right)
             })
             .collect()
+    }
+
+    /// Host reference of the stencil applied `rounds` times (zero
+    /// boundaries every round) — the truth the iterated and sharded
+    /// builders are verified against.
+    pub fn iterated_reference(&self, rounds: u64) -> Vec<i64> {
+        let mut cur = self.data.clone();
+        for _ in 0..rounds {
+            cur = Self::step(&cur);
+        }
+        cur
+    }
+
+    /// Validates the iterated variants' size constraint: `n` must be a
+    /// positive multiple of `b`, so every lane's store lands on a live
+    /// cell and the zero halo cells are never overwritten — with a
+    /// ragged tail the unguarded store would seed garbage into the pad
+    /// region that the next round's halo loads would read back.
+    fn check_iterated(
+        &self,
+        machine: &AtgpuMachine,
+        rounds: u64,
+    ) -> Result<(u64, u64), AlgosError> {
+        let b = machine.b.max(1);
+        if self.n == 0 || !self.n.is_multiple_of(b) {
+            return Err(AlgosError::InvalidSize {
+                reason: format!(
+                    "iterated stencil needs n a positive multiple of b = {b}, got {}",
+                    self.n
+                ),
+            });
+        }
+        if rounds == 0 {
+            return Err(AlgosError::InvalidSize { reason: "rounds must be at least 1".into() });
+        }
+        Ok((self.n / b, b))
+    }
+
+    /// The step kernel: read the `b + 2`-word window of `src` (one-cell
+    /// halo each side), sum the three neighbours, store the block's `b`
+    /// results into `dst` at pad offset 1 — so cell `i` always lives at
+    /// index `i + 1` of whichever buffer holds the current generation,
+    /// and the two halo words at the ends stay zero forever.
+    fn step_kernel(k: u64, b: u64, src: DBuf, dst: DBuf) -> Kernel {
+        let bi = b as i64;
+        // Shared layout: window [0, b+2), staging [b+2, 2b+2).
+        let mut kb = KernelBuilder::new("stencil_step", k, 2 * b + 2);
+        kb.glb_to_shr(AddrExpr::lane(), src, AddrExpr::block() * bi + AddrExpr::lane());
+        kb.when(PredExpr::Lt(Operand::Lane, Operand::Imm(2)), |kb| {
+            kb.glb_to_shr(
+                AddrExpr::lane() + bi,
+                src,
+                AddrExpr::block() * bi + AddrExpr::lane() + bi,
+            );
+        });
+        kb.ld_shr(0, AddrExpr::lane());
+        kb.ld_shr(1, AddrExpr::lane() + 1);
+        kb.ld_shr(2, AddrExpr::lane() + 2);
+        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(1));
+        kb.alu(AluOp::Add, 0, Operand::Reg(0), Operand::Reg(2));
+        kb.st_shr(AddrExpr::lane() + bi + 2, Operand::Reg(0));
+        kb.shr_to_glb(
+            dst,
+            AddrExpr::block() * bi + AddrExpr::lane() + 1,
+            AddrExpr::lane() + bi + 2,
+        );
+        kb.build()
+    }
+
+    /// Single-device iterated stencil: `rounds` applications ping-pong
+    /// between two padded buffers, one program round per application —
+    /// the baseline the sharded halo-exchange variants are differentially
+    /// tested against.  Requires `n` to be a positive multiple of `b`.
+    pub fn build_iterated(
+        &self,
+        machine: &AtgpuMachine,
+        rounds: u64,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let (k, b) = self.check_iterated(machine, rounds)?;
+        let n = self.n;
+        let mut pb = ProgramBuilder::new("stencil-iterated");
+        let hin = pb.host_input("A", n);
+        let hout = pb.host_output("Out", n);
+        let pads = [pb.device_alloc("pad0", k * b + 2), pb.device_alloc("pad1", k * b + 2)];
+        for r in 0..rounds {
+            let (src, dst) = (pads[(r % 2) as usize], pads[((r + 1) % 2) as usize]);
+            pb.begin_round();
+            if r == 0 {
+                pb.transfer_in_at(hin, 0, src, 1, n);
+            }
+            pb.launch(Self::step_kernel(k, b, src, dst));
+            if r + 1 == rounds {
+                pb.transfer_out_at(dst, 1, hout, 0, n);
+            }
+        }
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.data.clone()],
+            outputs: vec![hout],
+        })
+    }
+
+    /// Iterated stencil over an explicit contiguous shard plan: each
+    /// shard stages its slab (widened by one host word each side, the
+    /// initial halo), runs the step kernel on its own device's replica,
+    /// and — before every round after the first — trades one boundary
+    /// cell with each slab neighbour on a *different* device over the
+    /// directed peer links (`TransferPeer`, both directions per
+    /// boundary).  The last round drains each shard's slab to the host.
+    ///
+    /// The plan must be a contiguous partition of the `n / b`-block
+    /// grid sorted by start (what every planner here emits); adjacent
+    /// shards on the *same* device share a replica and need no halo
+    /// copies.
+    pub fn build_sharded_with(
+        &self,
+        machine: &AtgpuMachine,
+        shards: Vec<Shard>,
+        rounds: u64,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let (k, b) = self.check_iterated(machine, rounds)?;
+        check_shards_fit(&shards, k)?;
+        // Boundary detection walks slabs in cell order regardless of the
+        // order the plan lists them in.
+        let mut ordered = shards.clone();
+        ordered.sort_by_key(|s| s.start);
+        let n = self.n;
+        let mut pb = ProgramBuilder::new("stencil-sharded");
+        let hin = pb.host_input("A", n);
+        let hout = pb.host_output("Out", n);
+        let pads = [pb.device_alloc("pad0", k * b + 2), pb.device_alloc("pad1", k * b + 2)];
+        for r in 0..rounds {
+            let (src, dst) = (pads[(r % 2) as usize], pads[((r + 1) % 2) as usize]);
+            pb.begin_round();
+            if r == 0 {
+                // Stage each slab widened by one word per side: the
+                // initial halo comes from the host, later halos over
+                // peer links.
+                for s in &shards {
+                    let lo = (s.start * b).saturating_sub(1);
+                    let hi = (s.end * b + 1).min(n);
+                    pb.transfer_in_to(s.device, hin, lo, src, lo + 1, hi - lo);
+                }
+            } else {
+                // Halo exchange on the current generation: one cell each
+                // way across every shard boundary that crosses devices.
+                for w in ordered.windows(2) {
+                    if w[0].device == w[1].device {
+                        continue;
+                    }
+                    let c = w[0].end * b;
+                    pb.transfer_peer(w[0].device, w[1].device, src, c, c, 1);
+                    pb.transfer_peer(w[1].device, w[0].device, src, c + 1, c + 1, 1);
+                }
+            }
+            pb.launch_sharded(Self::step_kernel(k, b, src, dst), shards.clone());
+            if r + 1 == rounds {
+                for s in &shards {
+                    pb.transfer_out_from(
+                        s.device,
+                        dst,
+                        s.start * b + 1,
+                        hout,
+                        s.start * b,
+                        s.blocks() * b,
+                    );
+                }
+            }
+        }
+        Ok(BuiltProgram {
+            program: pb.build()?,
+            inputs: vec![self.data.clone()],
+            outputs: vec![hout],
+        })
+    }
+
+    /// [`Self::build_sharded_with`] over an even block split.
+    pub fn build_sharded(
+        &self,
+        machine: &AtgpuMachine,
+        devices: u32,
+        rounds: u64,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let k = self.n / machine.b.max(1);
+        self.build_sharded_with(machine, atgpu_sim::even_shards(k, devices), rounds)
+    }
+
+    /// The per-block cost shape of the iterated sharded stencil — the
+    /// profile that makes the planner **peer-aware**: `rounds` kernel
+    /// rounds, `b` words staged in and drained out per block, and one
+    /// boundary cell exchanged with each slab neighbour per direction
+    /// per halo round (`halo_words: 1`, one transaction per copy — the
+    /// sim's `TransferPeer` accounting).
+    pub fn shard_profile(machine: &AtgpuMachine, rounds: u64) -> ShardProfile {
+        let b = machine.b.max(1);
+        ShardProfile {
+            // load + guarded halo (1+1) + 3 loads + 2 adds + stage + store
+            time_ops: 10,
+            // window load (1) + halo load (1) + off-by-one store (2)
+            io_blocks_per_unit: 4,
+            inward_words_per_unit: b,
+            inward_txns: 1,
+            outward_words_per_unit: b,
+            outward_txns: 1,
+            shared_words: 2 * b + 2,
+            rounds,
+            peer: PeerProfile { halo_words: 1, halo_txns: 1, ..PeerProfile::default() },
+            ..ShardProfile::default()
+        }
+    }
+
+    /// [`Self::build_sharded_with`] with the slabs chosen by the
+    /// **peer-aware cost-driven planner**: candidate plans — including
+    /// the drop-device candidates that idle a device with expensive
+    /// peer edges — are priced with [`Self::shard_profile`] through the
+    /// streamed cluster objective, halo rows and all, and the argmin is
+    /// built.  On an asymmetric peer matrix this is where the argmin
+    /// flips away from every peer-blind plan (see experiment E13).
+    pub fn build_sharded_planned(
+        &self,
+        machine: &AtgpuMachine,
+        cluster: &atgpu_model::ClusterSpec,
+        rounds: u64,
+    ) -> Result<BuiltProgram, AlgosError> {
+        let k = self.n / machine.b.max(1);
+        let shards =
+            atgpu_sim::planned_shards(k, cluster, machine, &Self::shard_profile(machine, rounds));
+        self.build_sharded_with(machine, shards, rounds)
     }
 }
 
@@ -175,5 +420,102 @@ mod tests {
         assert_eq!(out[1], 15);
         assert_eq!(out[62], 15);
         assert_eq!(out[63], 10); // boundary
+    }
+
+    use crate::workload::verify_built_on_cluster;
+    use atgpu_model::{ClusterSpec, LinkParams};
+
+    fn cluster(n: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(n, test_spec())
+    }
+
+    #[test]
+    fn iterated_reference_composes_single_steps() {
+        let w = Stencil::new(96, 7);
+        assert_eq!(w.iterated_reference(1), w.host_reference());
+        let twice = Stencil::from_data(w.host_reference()).host_reference();
+        assert_eq!(w.iterated_reference(2), twice);
+    }
+
+    #[test]
+    fn iterated_build_matches_reference_on_sim() {
+        let m = test_machine();
+        for rounds in [1u64, 2, 5] {
+            let w = Stencil::new(128, rounds + 11);
+            let built = w.build_iterated(&m, rounds).unwrap();
+            verify_built_on_cluster(
+                &built,
+                &[w.iterated_reference(rounds)],
+                &m,
+                &cluster(1),
+                &SimConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("rounds={rounds}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sharded_halo_exchange_matches_reference() {
+        let m = test_machine();
+        for devices in [1u32, 2, 3, 4] {
+            let w = Stencil::new(256, devices as u64);
+            let built = w.build_sharded(&m, devices, 6).unwrap();
+            verify_built_on_cluster(
+                &built,
+                &[w.iterated_reference(6)],
+                &m,
+                &cluster(devices as usize),
+                &SimConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("devices={devices}: {e}"));
+        }
+    }
+
+    #[test]
+    fn planned_sharding_verifies_on_asymmetric_peer_cluster() {
+        let m = test_machine();
+        let mut spec = cluster(3);
+        // Make every peer edge touching device 2 expensive: the planner
+        // may idle it, and the built plan must still verify.
+        for d in 0..3 {
+            if d != 2 {
+                spec.peer_links[d][2] = LinkParams { alpha_ms: 5.0, beta_ms_per_word: 0.5 };
+                spec.peer_links[2][d] = LinkParams { alpha_ms: 5.0, beta_ms_per_word: 0.5 };
+            }
+        }
+        let w = Stencil::new(320, 9);
+        let built = w.build_sharded_planned(&m, &spec, 8).unwrap();
+        verify_built_on_cluster(
+            &built,
+            &[w.iterated_reference(8)],
+            &m,
+            &spec,
+            &SimConfig::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn step_kernel_matches_shard_profile_shape() {
+        // The profile the planner prices must describe the kernel the
+        // builder emits: per-round time and per-block I/O from the
+        // analyzer, staged words from the round metrics.
+        let m = test_machine();
+        let w = Stencil::new(256, 3);
+        let built = w.build_iterated(&m, 3).unwrap();
+        let a = analyze_program(&built.program, &m).unwrap();
+        let profile = Stencil::shard_profile(&m, 3);
+        let k = 256 / m.b;
+        for round in &a.metrics().rounds {
+            assert_eq!(round.time, profile.time_ops);
+            assert_eq!(round.io_blocks, profile.io_blocks_per_unit * k);
+        }
+    }
+
+    #[test]
+    fn iterated_rejects_ragged_sizes() {
+        let m = test_machine();
+        assert!(Stencil::new(33, 0).build_iterated(&m, 2).is_err());
+        assert!(Stencil::new(64, 0).build_iterated(&m, 0).is_err());
     }
 }

@@ -319,6 +319,88 @@ pub struct ClusterProgramAnalysis {
     pub conflict_free: bool,
 }
 
+/// Per-device attribution of a sharded program's peer traffic onto the
+/// planner's unit grid — the measured counterpart of the
+/// [`atgpu_model::PeerProfile`] `*_words_per_unit` terms.
+///
+/// Units are the grid blocks of the program's **widest sharded launch**
+/// (the launch the planner apportioned); each [`PeerTraffic`] row is
+/// charged to its source device (send side) and destination device
+/// (receive side), summed over every round, then spread evenly over the
+/// device's units.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PeerAttribution {
+    /// Units (blocks of the widest sharded launch) held per device.
+    pub units: Vec<u64>,
+    /// Directed peer words sent by each device over the whole program.
+    pub sent_words: Vec<u64>,
+    /// Directed peer words received by each device over the whole program.
+    pub recv_words: Vec<u64>,
+    /// Peer transactions originated by each device (one per copy —
+    /// `TransferEngine::peer` semantics in atgpu-sim).
+    pub sent_txns: Vec<u64>,
+}
+
+impl PeerAttribution {
+    /// Words device `d` sends per held unit, rounded up; 0 for idle
+    /// devices.  This is the number a workload's
+    /// [`atgpu_model::PeerProfile`] `merge_words_per_unit`/`halo` terms
+    /// should reproduce for the plan the program was built with.
+    pub fn sent_per_unit(&self, d: usize) -> u64 {
+        match self.units.get(d) {
+            Some(&u) if u > 0 => self.sent_words[d].div_ceil(u),
+            _ => 0,
+        }
+    }
+
+    /// Words device `d` receives per held unit, rounded up; 0 for idle
+    /// devices.
+    pub fn recv_per_unit(&self, d: usize) -> u64 {
+        match self.units.get(d) {
+            Some(&u) if u > 0 => self.recv_words[d].div_ceil(u),
+            _ => 0,
+        }
+    }
+}
+
+/// Derives the per-unit peer-word attribution of a sharded program for
+/// `devices` devices (see [`PeerAttribution`]).  Programs with no
+/// sharded launch attribute every unit to device 0.
+pub fn attribute_peer_units(p: &Program, devices: u32) -> PeerAttribution {
+    let n = devices.max(p.max_device() + 1).max(1) as usize;
+    let mut att = PeerAttribution {
+        units: vec![0; n],
+        sent_words: vec![0; n],
+        recv_words: vec![0; n],
+        sent_txns: vec![0; n],
+    };
+    // The widest sharded launch defines the unit grid.
+    let widest = p
+        .rounds
+        .iter()
+        .filter_map(|r| r.kernel().map(|k| (k.blocks(), r.shards())))
+        .max_by_key(|&(blocks, _)| blocks);
+    match widest {
+        Some((_, Some(shards))) => {
+            for s in shards {
+                att.units[s.device as usize] += s.end.saturating_sub(s.start);
+            }
+        }
+        Some((blocks, None)) => att.units[0] = blocks,
+        None => {}
+    }
+    for round in &p.rounds {
+        for step in &round.steps {
+            if let HostStep::TransferPeer { src, dst, words, .. } = step {
+                att.sent_words[*src as usize] += words;
+                att.recv_words[*dst as usize] += words;
+                att.sent_txns[*src as usize] += 1;
+            }
+        }
+    }
+    att
+}
+
 /// Analyses a **multi-device** program for `devices` devices: the
 /// cluster-aware counterpart of [`analyze_program`], producing exactly
 /// the inputs [`atgpu_model::cost::cluster_cost_streamed`] needs (pair
@@ -925,6 +1007,69 @@ mod tests {
         assert!(a.io_exact);
         assert_eq!(a.peer.len(), 1);
         assert_eq!(a.peer[0], vec![PeerTraffic { src: 0, dst: 1, words: 32, txns: 1 }]);
+    }
+
+    #[test]
+    fn peer_copy_is_one_transaction_regardless_of_size() {
+        // Pin the paper semantics: `TransferEngine::peer` makes exactly
+        // one transaction per copy — a 1-word halo cell and a 10k-word
+        // merge row both cost one α on their directed link.  The cluster
+        // analysis must never split a copy into per-b transactions.
+        for words in [1u64, 32, 320, 9984] {
+            let mut pb = ProgramBuilder::new("pin");
+            let h = pb.host_input("A", 9984);
+            let o = pb.host_output("C", 32);
+            let d = pb.device_alloc("a", 9984);
+            pb.begin_round();
+            pb.transfer_in_to(1, h, 0, d, 0, words);
+            pb.transfer_peer(1, 0, d, 0, 0, words);
+            pb.transfer_out_from(0, d, 0, o, 0, 32);
+            let p = pb.build().unwrap();
+            let a = analyze_cluster_program(&p, &machine(), 2).unwrap();
+            assert_eq!(a.peer[0], vec![PeerTraffic { src: 1, dst: 0, words, txns: 1 }]);
+        }
+    }
+
+    #[test]
+    fn peer_attribution_recovers_merge_profile() {
+        // A histogram-shaped program: 8 blocks split 3/3/2 across three
+        // devices, each non-owner device merging one 32-word partial row
+        // per block to device 0.  The derived per-unit send rate must
+        // equal the 32 words/unit a PeerProfile would declare.
+        let b = 32u64;
+        let k = 8u64;
+        let mut pb = ProgramBuilder::new("merge");
+        let h = pb.host_input("A", k * b);
+        let o = pb.host_output("C", b);
+        let d = pb.device_alloc("part", k * b);
+        let shards = vec![
+            atgpu_ir::Shard { device: 0, start: 0, end: 3 },
+            atgpu_ir::Shard { device: 1, start: 3, end: 6 },
+            atgpu_ir::Shard { device: 2, start: 6, end: 8 },
+        ];
+        let mut kb = KernelBuilder::new("k", k, b);
+        kb.glb_to_shr(AddrExpr::lane(), d, AddrExpr::block() * b as i64 + AddrExpr::lane());
+        pb.begin_round();
+        for s in &shards {
+            pb.transfer_in_to(s.device, h, s.start * b, d, s.start * b, (s.end - s.start) * b);
+        }
+        pb.launch_sharded(kb.build(), shards.clone());
+        pb.begin_round();
+        for s in &shards[1..] {
+            pb.transfer_peer(s.device, 0, d, s.start * b, s.start * b, (s.end - s.start) * b);
+        }
+        pb.transfer_out_from(0, d, 0, o, 0, b);
+        let p = pb.build().unwrap();
+
+        let att = attribute_peer_units(&p, 3);
+        assert_eq!(att.units, vec![3, 3, 2]);
+        assert_eq!(att.sent_words, vec![0, 3 * b, 2 * b]);
+        assert_eq!(att.recv_words, vec![5 * b, 0, 0]);
+        assert_eq!(att.sent_txns, vec![0, 1, 1]);
+        assert_eq!(att.sent_per_unit(0), 0);
+        assert_eq!(att.sent_per_unit(1), b);
+        assert_eq!(att.sent_per_unit(2), b);
+        assert_eq!(att.recv_per_unit(0), (5 * b).div_ceil(3));
     }
 
     #[test]

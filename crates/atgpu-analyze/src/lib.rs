@@ -31,8 +31,9 @@ pub mod opcount;
 pub mod space;
 
 pub use analyze::{
-    analyze_cluster_program, analyze_program, stream_schedule, stream_schedules,
-    ClusterProgramAnalysis, KernelAnalysis, ProgramAnalysis, RoundAnalysis,
+    analyze_cluster_program, analyze_program, attribute_peer_units, stream_schedule,
+    stream_schedules, ClusterProgramAnalysis, KernelAnalysis, PeerAttribution, ProgramAnalysis,
+    RoundAnalysis,
 };
 pub use bankconflict::{BankConflictReport, ConflictDegree};
 pub use error::AnalyzeError;

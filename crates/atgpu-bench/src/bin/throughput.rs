@@ -6,8 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p atgpu-bench --bin throughput -- \
-//!     [--out BENCH_6.json] [--fast] \
-//!     [--compare BENCH_5.json] [--tolerance 0.85]
+//!     [--out BENCH_7.json] [--fast] \
+//!     [--compare BENCH_6.json] [--tolerance 0.85]
 //! ```
 //!
 //! `--fast` runs one repetition per workload (CI smoke); the default
@@ -38,8 +38,10 @@
 //! same repeated-launch program with the cache on (default) vs the
 //! `SimConfig::cache` kill-switch off.
 
+use atgpu_algos::histogram::Histogram;
 use atgpu_algos::ooc::OocVecAdd;
 use atgpu_algos::reduce::{Reduce, ReduceVariant};
+use atgpu_algos::stencil::Stencil;
 use atgpu_algos::workload::BuiltProgram;
 use atgpu_algos::{matmul::MatMul, vecadd::VecAdd, Workload};
 use atgpu_bench::bench_config;
@@ -139,7 +141,37 @@ fn measure_cluster(n: u64, devices: u32, name: &'static str, reps: usize) -> Mea
     let w = VecAdd::new(n, 1);
     let built = w.build_sharded(&cfg.machine, devices).expect("sharded vecadd builds");
     let cluster = ClusterSpec::homogeneous(devices as usize, cfg.spec);
-    measure_on_cluster(built, cluster, n, name, reps)
+    measure_on_cluster(built, cluster, name, reps)
+}
+
+/// Times the halo-exchange stencil on an N-device cluster: every round
+/// after the first trades boundary cells over the peer links, so this
+/// tracks the `TransferPeer` path plus the multi-round sharded-launch
+/// machinery under sustained peer traffic.
+fn measure_stencil_halo(
+    n: u64,
+    devices: u32,
+    rounds: u64,
+    name: &'static str,
+    reps: usize,
+) -> Measurement {
+    let cfg = bench_config();
+    let w = Stencil::new(n, 1);
+    let built = w.build_sharded(&cfg.machine, devices, rounds).expect("sharded stencil builds");
+    let cluster = ClusterSpec::homogeneous(devices as usize, cfg.spec);
+    measure_on_cluster(built, cluster, name, reps)
+}
+
+/// Times the partial-bin histogram on an N-device cluster: each device
+/// accumulates its shard's per-block bin rows, peer-merges them to the
+/// owner device and a single-shard merge kernel folds them — the
+/// all-to-one gather pattern.
+fn measure_histogram_merge(n: u64, devices: u32, name: &'static str, reps: usize) -> Measurement {
+    let cfg = bench_config();
+    let w = Histogram::new(n, cfg.machine.b, 1);
+    let built = w.build_sharded(&cfg.machine, devices).expect("sharded histogram builds");
+    let cluster = ClusterSpec::homogeneous(devices as usize, cfg.spec);
+    measure_on_cluster(built, cluster, name, reps)
 }
 
 /// Times the **cost-planned** sharded vecadd on a link-asymmetric
@@ -157,7 +189,7 @@ fn measure_cluster_planned(n: u64, name: &'static str, reps: usize) -> Measureme
     let w = VecAdd::new(n, 1);
     let built =
         w.build_sharded_planned(&cfg.machine, &cluster).expect("planned sharded vecadd builds");
-    measure_on_cluster(built, cluster, n, name, reps)
+    measure_on_cluster(built, cluster, name, reps)
 }
 
 /// Concurrent-client serving throughput: `clients` threads each submit
@@ -226,12 +258,11 @@ fn measure_serve(
 fn measure_on_cluster(
     built: BuiltProgram,
     cluster: ClusterSpec,
-    n: u64,
     name: &'static str,
     reps: usize,
 ) -> Measurement {
     let cfg = bench_config();
-    let blocks = cfg.machine.blocks_for(n);
+    let blocks = program_blocks(&built);
 
     let time_mode = |sim: &SimConfig| -> (f64, CacheStats) {
         let mut best = f64::INFINITY;
@@ -256,7 +287,7 @@ fn measure_on_cluster(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut reps = 5usize;
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.85f64;
@@ -329,6 +360,14 @@ fn main() {
         (
             "vecadd_planned_asym2dev",
             Box::new(|r| measure_cluster_planned(200_000, "vecadd_planned_asym2dev", r)),
+        ),
+        (
+            "stencil_halo_4dev",
+            Box::new(|r| measure_stencil_halo(65_536, 4, 8, "stencil_halo_4dev", r)),
+        ),
+        (
+            "histogram_merge_4dev",
+            Box::new(|r| measure_histogram_merge(1 << 16, 4, "histogram_merge_4dev", r)),
         ),
         (
             "ooc_vecadd_streamed",

@@ -4,7 +4,7 @@
 //! atgpu-exp [COMMANDS] [OPTIONS]
 //!
 //! COMMANDS (any combination; default: all)
-//!   table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 all
+//!   table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 all
 //!   pseudocode NAME   print a workload's program in the paper's notation
 //!                     (vecadd, reduce, matmul, saxpy, dot, scan, stencil,
 //!                      transpose, histogram, bitonic, gemv, spmv)
@@ -19,9 +19,9 @@
 //!   --out DIR      write CSV/DAT/JSON files (default: ./experiments)
 //!   --no-noise     disable transfer jitter
 //!   --parallel N   simulate with N worker threads
-//!   --trace PATH   write Chrome trace_event JSON from the traced E10/E11
-//!                  runs; PATH gets the experiment tag inserted before its
-//!                  extension (out.json -> out.e10.json, out.e11.json)
+//!   --trace PATH   write Chrome trace_event JSON from the traced
+//!                  E10/E11/E13 runs; PATH gets the experiment tag inserted
+//!                  before its extension (out.json -> out.e10.json, …)
 //! ```
 
 use atgpu_exp::figures::{ext, fig3, fig4, fig5, fig6, summary, table1};
@@ -134,7 +134,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "atgpu-exp — regenerate the ATGPU paper's tables and figures\n\
-                     commands: table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 all\n\
+                     commands: table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 all\n\
                      \x20          check-trace FILE...\n\
                      options:  --quick --full --out DIR --no-noise --parallel N --trace PATH"
                 );
@@ -142,7 +142,7 @@ fn parse_args() -> Result<Args, String> {
             }
             cmd @ ("table1" | "fig3" | "fig4" | "fig5" | "fig6" | "summary" | "e1" | "e2"
             | "e3" | "e4" | "e5" | "e6" | "e7" | "e8" | "e9" | "e10" | "e11" | "e12"
-            | "all") => {
+            | "e13" | "all") => {
                 commands.insert(cmd.to_string());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -327,6 +327,12 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if want(args, "e12") {
         eprintln!("[ext] E12 multi-tenant pricing service …");
         ext_md.push_str(&ext::e12_pricing_service(&cfg)?);
+        ext_md.push('\n');
+    }
+    if want(args, "e13") {
+        eprintln!("[ext] E13 peer-aware shard planning …");
+        let tp = args.trace.as_ref().map(|p| trace_path(p, "e13"));
+        ext_md.push_str(&ext::e13_peer_aware_planner(&cfg, tp.as_deref())?);
         ext_md.push('\n');
     }
     if !ext_md.is_empty() {

@@ -25,7 +25,8 @@
 //!   function with the transfer terms removed, exactly as the paper's
 //!   evaluation constructs it);
 //! * [`occupancy`](mod@occupancy) — the block-residency function `ℓ = min(⌊M/m⌋, H)`;
-//! * [`plan`] — the planning layer: workload [`plan::ShardProfile`]s,
+//! * [`plan`] — the planning layer: workload [`plan::ShardProfile`]s
+//!   (including their [`plan::PeerProfile`] device↔device traffic),
 //!   cost-driven shard apportionment and the chunk-size solver, all
 //!   priced through the cost functions above;
 //! * [`baselines`] — AGPU-style asymptotic summaries and the classical
@@ -63,5 +64,5 @@ pub use machine::AtgpuMachine;
 pub use metrics::{AlgoMetrics, RoundMetrics};
 pub use occupancy::occupancy;
 pub use params::{ClusterSpec, CostParams, GpuSpec, LinkParams};
-pub use plan::ShardProfile;
+pub use plan::{PeerProfile, ShardProfile};
 pub use streams::{RoundSchedule, StreamItem, StreamResource, StreamTimeline, MAX_STREAMS};

@@ -13,15 +13,23 @@
 //! This module supplies the pieces a cost-driven planner needs:
 //!
 //! * [`ShardProfile`] — the per-planning-unit traffic and compute of one
-//!   launch, the workload-shaped input every pricing function takes;
+//!   launch, the workload-shaped input every pricing function takes,
+//!   including its **peer-link traffic** ([`PeerProfile`]: halo words to
+//!   adjacent shards, all-to-one merge words, one-to-all scatter words)
+//!   and optional per-unit heterogeneity vectors for row-imbalanced
+//!   workloads;
 //! * [`plan_cost`] — prices one candidate apportionment exactly, through
 //!   [`crate::cost::cluster_cost_streamed`] (per-device host-link
-//!   `α`/`β`, wave factors and the shared [`crate::StreamTimeline`]
-//!   scheduler are all in the objective);
+//!   `α`/`β`, wave factors, the shared [`crate::StreamTimeline`]
+//!   scheduler **and** the directed peer-link matrix are all in the
+//!   objective — peer rows are synthesised by [`plan_peer_traffic`], not
+//!   dropped);
 //! * [`balanced_units`] — the min–max waterfill: the continuous
 //!   apportionment equalising per-device round paths
-//!   `T_I(d) + kernel(d) + T_O(d)`, rounded by largest remainder — the
-//!   transfer-aware candidate that compute-weighting cannot produce;
+//!   `T_I(d) + kernel(d) + T_peer(d) + T_O(d)`, rounded by largest
+//!   remainder — the transfer-aware candidate that compute-weighting
+//!   cannot produce.  Peer send/recv terms enter each device's path
+//!   under the *directed* `peer_links[src][dst]` matrix;
 //! * [`pipeline_cost`] — prices a double-buffered chunked schedule (the
 //!   ping-pong shape `build_streamed` hand-writes) via the same
 //!   machinery, per device, with chunk `r + 1`'s upload on stream 1
@@ -35,7 +43,7 @@
 //! not depend on `atgpu-ir`); planners there generate candidate *unit
 //! counts per device*, price them here, and keep the argmin.
 
-use crate::cost::cluster_cost_streamed;
+use crate::cost::{cluster_cost_streamed, PeerTraffic};
 use crate::error::ModelError;
 use crate::machine::AtgpuMachine;
 use crate::metrics::{AlgoMetrics, RoundMetrics};
@@ -43,14 +51,89 @@ use crate::occupancy::occupancy;
 use crate::params::ClusterSpec;
 use crate::streams::{RoundSchedule, StreamItem};
 
+/// The peer-link traffic shape of a sharded launch: which words move
+/// device↔device (not host↔device) and under what pattern.  All fields
+/// zero (the [`Default`]) means a peer-silent workload — vecadd-style
+/// slab streaming with no halo, no merge.
+///
+/// Three neighbour classes cover the irregular quartet:
+///
+/// * **halo** — boundary cells exchanged with each *adjacent occupied*
+///   device (index order), both directions, before every kernel round
+///   after the first (stencil);
+/// * **merge** — all-to-one: every occupied non-owner device sends its
+///   partials to [`owner`](Self::owner) (histogram bins, scan block
+///   sums, reduce partials);
+/// * **scatter** — one-to-all: the owner sends per-unit words back to
+///   each occupied non-owner device (scan's fixed-up block offsets).
+///
+/// Peer transfers cost `α + I·β` over the *directed*
+/// `peer_links[src][dst]` entry and occupy **both** endpoints — exactly
+/// the sim's accounting (`TransferEngine::peer` is one transaction per
+/// copy, charged to the source and destination timelines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeerProfile {
+    /// Words exchanged with each adjacent occupied device, per
+    /// direction, per halo exchange (one exchange before each kernel
+    /// round after the first).
+    pub halo_words: u64,
+    /// Transfer transactions per halo copy (the sim charges 1 per
+    /// `TransferPeer`).
+    pub halo_txns: u64,
+    /// Words each occupied non-owner device sends to the owner, per
+    /// planning unit it holds.
+    pub merge_words_per_unit: u64,
+    /// Fixed words each occupied non-owner device sends to the owner
+    /// regardless of its share (e.g. one partial-bin row per device).
+    pub merge_words_fixed: u64,
+    /// Transfer transactions of the merge, per sending device.
+    pub merge_txns: u64,
+    /// Words the owner sends back to each occupied non-owner device,
+    /// per planning unit that device holds.
+    pub scatter_words_per_unit: u64,
+    /// Transfer transactions of the scatter, per receiving device.
+    pub scatter_txns: u64,
+    /// The device index partials merge to / scatter from (0 for every
+    /// workload in tree; kept explicit so degraded replanning can remap
+    /// it into a surviving sub-cluster).
+    pub owner: u32,
+}
+
+impl PeerProfile {
+    /// True when every traffic field is zero — the profile prices
+    /// identically with or without peer terms.
+    pub fn is_zero(&self) -> bool {
+        self.halo_words == 0
+            && self.halo_txns == 0
+            && self.merge_words_per_unit == 0
+            && self.merge_words_fixed == 0
+            && self.merge_txns == 0
+            && self.scatter_words_per_unit == 0
+            && self.scatter_txns == 0
+    }
+}
+
 /// The per-unit cost shape of a shardable launch: how much traffic and
 /// compute one **planning unit** (usually a thread block; a tile row for
 /// matmul) adds to the device that runs it.
 ///
 /// Fixed per-device terms (transfer transactions, broadcast inputs) are
 /// kept separate from per-unit terms so the planner prices the `α` setup
-/// costs a device pays once, not per block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// costs a device pays once, not per block.  Peer-link traffic lives in
+/// [`peer`](Self::peer); multi-round kernels (stencil iteration) set
+/// [`rounds`](Self::rounds); row-imbalanced workloads (spmv) override
+/// the scalar per-unit terms with the `unit_*` vectors.
+///
+/// Construct with struct-update syntax over [`ShardProfile::default`]
+/// so adding planner dimensions stays non-breaking:
+///
+/// ```
+/// # use atgpu_model::ShardProfile;
+/// let p = ShardProfile { time_ops: 9, io_blocks_per_unit: 2, ..ShardProfile::default() };
+/// assert_eq!(p.rounds, 1);
+/// assert!(!p.has_peer());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardProfile {
     /// Lockstep kernel time `t` of the launch (per-round, block-count
     /// independent — waves multiply it).
@@ -74,6 +157,55 @@ pub struct ShardProfile {
     pub shared_words: u64,
     /// Thread blocks per planning unit (1 when units are blocks).
     pub blocks_per_unit: u64,
+    /// Kernel rounds per run: inputs stage once before round 0, outputs
+    /// drain after the last round, the kernel runs every round, and
+    /// halo traffic (if any) is exchanged before each round after the
+    /// first.  1 for single-pass launches.
+    pub rounds: u64,
+    /// Device↔device traffic shape; [`PeerProfile::default`] (all zero)
+    /// for peer-silent workloads.
+    pub peer: PeerProfile,
+    /// Per-unit staged inward words for row-imbalanced workloads, unit
+    /// `u` of the *global* unit order (empty = homogeneous, use
+    /// [`inward_words_per_unit`](Self::inward_words_per_unit); missing
+    /// tail entries also fall back to the scalar).
+    pub unit_inward_words: Vec<u64>,
+    /// Per-unit global-memory block transactions, same convention as
+    /// [`unit_inward_words`](Self::unit_inward_words).
+    pub unit_io_blocks: Vec<u64>,
+}
+
+impl Default for ShardProfile {
+    /// All-zero traffic, one block per unit, one round, no peer terms,
+    /// homogeneous units — the base for struct-update construction.
+    fn default() -> Self {
+        Self {
+            time_ops: 0,
+            io_blocks_per_unit: 0,
+            inward_words_per_unit: 0,
+            inward_txns: 0,
+            outward_words_per_unit: 0,
+            outward_txns: 0,
+            broadcast_words: 0,
+            broadcast_txns: 0,
+            shared_words: 0,
+            blocks_per_unit: 1,
+            rounds: 1,
+            peer: PeerProfile::default(),
+            unit_inward_words: Vec::new(),
+            unit_io_blocks: Vec::new(),
+        }
+    }
+}
+
+/// Sum of a per-unit override vector over the global unit range
+/// `[lo, hi)`, falling back to `scalar` for units past the vector's end
+/// (and entirely when the vector is empty).
+fn unit_sum(vec: &[u64], scalar: u64, lo: u64, hi: u64) -> u64 {
+    if vec.is_empty() {
+        return scalar * (hi - lo);
+    }
+    (lo..hi).map(|u| vec.get(u as usize).copied().unwrap_or(scalar)).sum()
 }
 
 impl ShardProfile {
@@ -84,6 +216,12 @@ impl ShardProfile {
     /// when it has no workload information — a deliberately
     /// transfer-aware stand-in, since transfer is what generic planning
     /// must not be blind to.
+    ///
+    /// **Zero-peer assumption:** this default deliberately carries no
+    /// [`PeerProfile`] terms — it models slab streaming where shards
+    /// never talk to each other.  Halo/merge workloads (stencil, scan,
+    /// spmv gathers, histogram) must supply their own peer-aware
+    /// profiles or the planner will under-price congested peer links.
     pub fn streaming(b: u64) -> Self {
         Self {
             time_ops: 7,
@@ -92,44 +230,139 @@ impl ShardProfile {
             inward_txns: 2,
             outward_words_per_unit: b,
             outward_txns: 1,
-            broadcast_words: 0,
-            broadcast_txns: 0,
             shared_words: 3 * b,
-            blocks_per_unit: 1,
+            ..Self::default()
         }
     }
 
-    /// The one-round metrics of a device holding `units` planning units
-    /// (all-zero — an idle device — when `units` is 0).
-    fn device_round(&self, units: u64) -> RoundMetrics {
+    /// True when the profile carries any peer-link traffic.
+    pub fn has_peer(&self) -> bool {
+        !self.peer.is_zero()
+    }
+
+    /// This profile with all peer terms dropped — the peer-blind view a
+    /// legacy planner would have priced.
+    pub fn without_peer(&self) -> Self {
+        Self { peer: PeerProfile::default(), ..self.clone() }
+    }
+
+    /// The metric rows of a device holding the global unit range
+    /// `[lo, lo + units)`: [`rounds`](Self::rounds) rows (all-zero — an
+    /// idle device — when `units` is 0), staging on the first row,
+    /// drain on the last, the kernel every row.
+    fn device_rows(&self, units: u64, lo: u64) -> Vec<RoundMetrics> {
+        let r_total = self.rounds.max(1) as usize;
+        let mut rows = vec![RoundMetrics::default(); r_total];
         if units == 0 {
-            return RoundMetrics::default();
+            return rows;
         }
-        RoundMetrics {
-            time: self.time_ops,
-            io_blocks: self.io_blocks_per_unit * units,
-            global_words: 0,
-            shared_words: self.shared_words,
-            inward_words: self.inward_words_per_unit * units + self.broadcast_words,
-            inward_txns: self.inward_txns + self.broadcast_txns,
-            outward_words: self.outward_words_per_unit * units,
-            outward_txns: self.outward_txns,
-            blocks_launched: self.blocks_per_unit * units,
+        let hi = lo + units;
+        let inward = unit_sum(&self.unit_inward_words, self.inward_words_per_unit, lo, hi)
+            + self.broadcast_words;
+        let io_blocks = unit_sum(&self.unit_io_blocks, self.io_blocks_per_unit, lo, hi);
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.time = self.time_ops;
+            row.io_blocks = io_blocks;
+            row.shared_words = self.shared_words;
+            row.blocks_launched = self.blocks_per_unit * units;
+            if i == 0 {
+                row.inward_words = inward;
+                row.inward_txns = self.inward_txns + self.broadcast_txns;
+            }
+            if i == r_total - 1 {
+                row.outward_words = self.outward_words_per_unit * units;
+                row.outward_txns = self.outward_txns;
+            }
         }
+        rows
     }
 }
 
-/// Per-device one-round metric tables for one candidate apportionment.
+/// Per-device metric tables for one candidate apportionment: device `d`
+/// holds the contiguous global unit range starting at
+/// `Σ_{e<d} units_per_device[e]`, with [`ShardProfile::rounds`] rows per
+/// device (staging first, drain last).
 pub fn plan_metrics(profile: &ShardProfile, units_per_device: &[u64]) -> Vec<AlgoMetrics> {
-    units_per_device.iter().map(|&u| AlgoMetrics::new(vec![profile.device_round(u)])).collect()
+    let mut lo = 0u64;
+    units_per_device
+        .iter()
+        .map(|&u| {
+            let rows = profile.device_rows(u, lo);
+            lo += u;
+            AlgoMetrics::new(rows)
+        })
+        .collect()
 }
 
-/// Prices one candidate apportionment: the modeled round time of a
-/// sharded launch handing `units_per_device[d]` units to device `d`,
-/// computed by [`cluster_cost_streamed`] — per-device host-link `α`/`β`,
-/// per-device wave factors, max over devices, plus the cluster `σ`.
-/// (The sharded builders stage transfers serially within the round, so
-/// the per-device schedules are the serial default.)
+/// Synthesises the per-round [`PeerTraffic`] rows of one candidate
+/// apportionment from the profile's [`PeerProfile`]:
+///
+/// * halo rows between consecutive *occupied* devices (index order),
+///   both directions, in every round after the first;
+/// * merge rows (occupied non-owner → owner,
+///   `merge_words_fixed + merge_words_per_unit · units_d`) and scatter
+///   rows (owner → occupied non-owner, `scatter_words_per_unit ·
+///   units_d`) in the last round.
+///
+/// Returns exactly [`ShardProfile::rounds`] rows (all empty for a
+/// zero-peer profile), matching [`plan_metrics`]' round count so the
+/// pair feeds [`cluster_cost_streamed`] directly.
+pub fn plan_peer_traffic(
+    profile: &ShardProfile,
+    units_per_device: &[u64],
+) -> Vec<Vec<PeerTraffic>> {
+    let r_total = profile.rounds.max(1) as usize;
+    let mut rounds: Vec<Vec<PeerTraffic>> = vec![Vec::new(); r_total];
+    let p = profile.peer;
+    if p.is_zero() {
+        return rounds;
+    }
+    let occupied: Vec<usize> =
+        (0..units_per_device.len()).filter(|&d| units_per_device[d] > 0).collect();
+    if p.halo_words > 0 {
+        for w in occupied.windows(2) {
+            let (a, b) = (w[0] as u32, w[1] as u32);
+            for row in rounds.iter_mut().skip(1) {
+                row.push(PeerTraffic { src: a, dst: b, words: p.halo_words, txns: p.halo_txns });
+                row.push(PeerTraffic { src: b, dst: a, words: p.halo_words, txns: p.halo_txns });
+            }
+        }
+    }
+    let last = rounds.last_mut().expect("rounds >= 1");
+    for &d in &occupied {
+        if d as u32 == p.owner {
+            continue;
+        }
+        let merge_words = p.merge_words_fixed + p.merge_words_per_unit * units_per_device[d];
+        if merge_words > 0 {
+            last.push(PeerTraffic {
+                src: d as u32,
+                dst: p.owner,
+                words: merge_words,
+                txns: p.merge_txns,
+            });
+        }
+        let scatter_words = p.scatter_words_per_unit * units_per_device[d];
+        if scatter_words > 0 {
+            last.push(PeerTraffic {
+                src: p.owner,
+                dst: d as u32,
+                words: scatter_words,
+                txns: p.scatter_txns,
+            });
+        }
+    }
+    rounds
+}
+
+/// Prices one candidate apportionment: the modeled time of a sharded
+/// launch handing `units_per_device[d]` units to device `d`, computed by
+/// [`cluster_cost_streamed`] — per-device host-link `α`/`β`, per-device
+/// wave factors, max over devices, plus the cluster `σ` per round — with
+/// the apportionment's peer traffic ([`plan_peer_traffic`]) priced over
+/// the directed peer matrix and charged to both endpoints, exactly as
+/// the sim charges it.  (The sharded builders stage transfers serially
+/// within a round, so the per-device schedules are the serial default.)
 pub fn plan_cost(
     cluster: &ClusterSpec,
     machine: &AtgpuMachine,
@@ -137,28 +370,38 @@ pub fn plan_cost(
     units_per_device: &[u64],
 ) -> Result<f64, ModelError> {
     let metrics = plan_metrics(profile, units_per_device);
-    Ok(cluster_cost_streamed(cluster, machine, &metrics, &[], &[])?.total_ms)
+    let peer = plan_peer_traffic(profile, units_per_device);
+    Ok(cluster_cost_streamed(cluster, machine, &metrics, &[], &peer)?.total_ms)
 }
 
-/// The min–max balanced apportionment: the continuous assignment
-/// `x_d ≥ 0, Σ x_d = units` minimising
-/// `max_d (fixed_d + rate_d · x_d)` — per-device fixed costs are the
-/// transfer-transaction and broadcast terms, per-unit rates combine the
-/// host link's `β` with the linearised compute rate
-/// `(blocks_per_unit · t / (k′ℓ) + λ·q_unit) / γ` — rounded to integers
-/// by largest remainder.  This is the transfer-aware candidate; the
-/// planner still *prices* it (wave quantisation and all) before
-/// preferring it.
-pub fn balanced_units(
+/// The per-device linearised cost terms `fixed_d + rate_d · x_d` the
+/// waterfill equalises: host-link `α`/broadcast terms plus — new with
+/// peer-aware planning — the device's peer send/recv path under the
+/// *directed* `peer_links[src][dst]` matrix:
+///
+/// * **halo**: `(rounds − 1)` exchanges with each index-adjacent device
+///   `nb` (assumed occupied), costing `halo_txns·α + halo_words·β` over
+///   `peer[d][nb]` (send) *and* `peer[nb][d]` (recv) — peer copies
+///   occupy both endpoints;
+/// * **merge/scatter, non-owner `d`**: the fixed `α`/fixed-word terms go
+///   to `fixed_d`; `merge_words_per_unit·β(d→owner) +
+///   scatter_words_per_unit·β(owner→d)` goes to `rate_d`;
+/// * **merge/scatter, owner `o`**: receives every merge and sends every
+///   scatter, so it pays the per-unit `β̄` (mean over the other
+///   devices' directed links) on the `units − x_o` units it does *not*
+///   hold — linearised as `fixed_o += per_unit·units` and
+///   `rate_o −= per_unit` (clamped positive).
+///
+/// Compute and per-unit host traffic multiply by `rounds` and 1
+/// respectively (staging happens once, the kernel every round).
+fn linearised_terms(
     cluster: &ClusterSpec,
     machine: &AtgpuMachine,
     profile: &ShardProfile,
     units: u64,
-) -> Vec<u64> {
+) -> (Vec<f64>, Vec<f64>) {
     let n = cluster.n_devices();
-    if n == 0 || units == 0 {
-        return vec![0; n];
-    }
+    let r_rounds = profile.rounds.max(1) as f64;
     let mut fixed = Vec::with_capacity(n);
     let mut rate = Vec::with_capacity(n);
     for (spec, link) in cluster.devices.iter().zip(&cluster.host_links) {
@@ -172,11 +415,90 @@ pub fn balanced_units(
         let compute = (profile.blocks_per_unit as f64 * profile.time_ops as f64
             / (spec.k_prime * ell) as f64
             + p.lambda * profile.io_blocks_per_unit as f64)
-            / p.gamma;
+            / p.gamma
+            * r_rounds;
         fixed.push(f);
         // A zero rate (free device) would absorb everything; clamp so the
         // waterfill stays finite — pricing decides the rest.
         rate.push((xfer + compute).max(1e-18));
+    }
+    let peer = profile.peer;
+    if !peer.is_zero() && n > 1 {
+        let link_cost = |src: usize, dst: usize, txns: u64, words: u64| -> f64 {
+            cluster.peer_links[src][dst].cost_ms(txns, words)
+        };
+        let exchanges = r_rounds - 1.0;
+        let owner = (peer.owner as usize).min(n - 1);
+        for d in 0..n {
+            if peer.halo_words > 0 && exchanges > 0.0 {
+                for nb in [d.checked_sub(1), (d + 1 < n).then_some(d + 1)].into_iter().flatten() {
+                    fixed[d] += exchanges
+                        * (link_cost(d, nb, peer.halo_txns, peer.halo_words)
+                            + link_cost(nb, d, peer.halo_txns, peer.halo_words));
+                }
+            }
+            if d != owner {
+                fixed[d] += link_cost(d, owner, peer.merge_txns, peer.merge_words_fixed)
+                    + link_cost(owner, d, peer.scatter_txns, 0);
+                rate[d] += peer.merge_words_per_unit as f64
+                    * cluster.peer_links[d][owner].beta_ms_per_word
+                    + peer.scatter_words_per_unit as f64
+                        * cluster.peer_links[owner][d].beta_ms_per_word;
+            }
+        }
+        if peer.merge_words_per_unit > 0
+            || peer.merge_words_fixed > 0
+            || peer.scatter_words_per_unit > 0
+        {
+            let others: Vec<usize> = (0..n).filter(|&d| d != owner).collect();
+            let beta_in =
+                others.iter().map(|&d| cluster.peer_links[d][owner].beta_ms_per_word).sum::<f64>()
+                    / others.len() as f64;
+            let beta_out =
+                others.iter().map(|&d| cluster.peer_links[owner][d].beta_ms_per_word).sum::<f64>()
+                    / others.len() as f64;
+            for &d in &others {
+                fixed[owner] += link_cost(d, owner, peer.merge_txns, peer.merge_words_fixed)
+                    + link_cost(owner, d, peer.scatter_txns, 0);
+            }
+            let per_unit = peer.merge_words_per_unit as f64 * beta_in
+                + peer.scatter_words_per_unit as f64 * beta_out;
+            fixed[owner] += per_unit * units as f64;
+            rate[owner] = (rate[owner] - per_unit).max(1e-18);
+        }
+    }
+    (fixed, rate)
+}
+
+/// The min–max balanced apportionment: the continuous assignment
+/// `x_d ≥ 0, Σ x_d = units` minimising
+/// `max_d (fixed_d + rate_d · x_d)` — per-device fixed costs are the
+/// transfer-transaction, broadcast **and directed peer-path** terms
+/// (see `linearised_terms`), per-unit rates combine the host link's
+/// `β`, the peer merge/scatter `β`, and the linearised compute rate
+/// `rounds · (blocks_per_unit · t / (k′ℓ) + λ·q_unit) / γ` — rounded to
+/// integers by largest remainder.  This is the transfer-aware candidate;
+/// the planner still *prices* it (wave quantisation and all) before
+/// preferring it.
+///
+/// Row-imbalanced profiles (non-empty `unit_inward_words` /
+/// `unit_io_blocks`) take the contiguous greedy-pack path instead: the
+/// same min–max objective, but units keep their global order and each
+/// device takes a prefix of what remains, packed by bisection on the
+/// bottleneck level — contiguity is what the sharded builders require.
+pub fn balanced_units(
+    cluster: &ClusterSpec,
+    machine: &AtgpuMachine,
+    profile: &ShardProfile,
+    units: u64,
+) -> Vec<u64> {
+    let n = cluster.n_devices();
+    if n == 0 || units == 0 {
+        return vec![0; n];
+    }
+    let (fixed, rate) = linearised_terms(cluster, machine, profile, units);
+    if !profile.unit_inward_words.is_empty() || !profile.unit_io_blocks.is_empty() {
+        return balanced_units_hetero(cluster, machine, profile, units, &fixed);
     }
 
     // Waterfill: find the level T with Σ_d max(0, (T − fixed_d)/rate_d)
@@ -199,6 +521,88 @@ pub fn balanced_units(
     let quotas: Vec<f64> =
         fixed.iter().zip(&rate).map(|(&f, &r)| ((level - f) / r).max(0.0)).collect();
     round_quotas(&quotas, units)
+}
+
+/// Contiguous min–max packing for row-imbalanced profiles: device `d`'s
+/// per-unit cost of *global* unit `u` is
+/// `unit_in(u)·β_d + out_per_unit·β_d + rounds·(blocks·t/(k′ℓ) +
+/// λ·unit_io(u))/γ_d`; bisect on the bottleneck level `T` and greedily
+/// pack units in order — device `d` keeps taking the next unit while its
+/// path stays ≤ `T`.  Feasible iff all units are consumed; the counts at
+/// the smallest feasible level are returned (largest-remainder rounding
+/// does not apply — the pack is already integral and contiguous).
+fn balanced_units_hetero(
+    cluster: &ClusterSpec,
+    machine: &AtgpuMachine,
+    profile: &ShardProfile,
+    units: u64,
+    fixed: &[f64],
+) -> Vec<u64> {
+    let n = cluster.n_devices();
+    let r_rounds = profile.rounds.max(1) as f64;
+    // Per-device cost of one global unit `u`.
+    let per_unit: Vec<Vec<f64>> = cluster
+        .devices
+        .iter()
+        .zip(&cluster.host_links)
+        .map(|(spec, link)| {
+            let p = spec.derived_cost_params();
+            let ell = occupancy(machine, profile.shared_words, spec.h_limit).max(1);
+            (0..units)
+                .map(|u| {
+                    let inw = unit_sum(
+                        &profile.unit_inward_words,
+                        profile.inward_words_per_unit,
+                        u,
+                        u + 1,
+                    );
+                    let io =
+                        unit_sum(&profile.unit_io_blocks, profile.io_blocks_per_unit, u, u + 1);
+                    let xfer =
+                        (inw + profile.outward_words_per_unit) as f64 * link.beta_ms_per_word;
+                    let compute = (profile.blocks_per_unit as f64 * profile.time_ops as f64
+                        / (spec.k_prime * ell) as f64
+                        + p.lambda * io as f64)
+                        / p.gamma
+                        * r_rounds;
+                    (xfer + compute).max(1e-18)
+                })
+                .collect()
+        })
+        .collect();
+    // Greedy contiguous pack at level T; returns counts iff feasible.
+    let pack = |t: f64| -> Option<Vec<u64>> {
+        let mut counts = vec![0u64; n];
+        let mut u = 0u64;
+        for d in 0..n {
+            let mut acc = fixed[d];
+            while u < units && acc + per_unit[d][u as usize] <= t {
+                acc += per_unit[d][u as usize];
+                counts[d] += 1;
+                u += 1;
+            }
+        }
+        (u == units).then_some(counts)
+    };
+    let max_fixed = fixed.iter().copied().fold(0.0f64, f64::max);
+    let worst: f64 =
+        (0..units as usize).map(|u| per_unit.iter().map(|row| row[u]).fold(0.0f64, f64::max)).sum();
+    let mut lo = max_fixed;
+    let mut hi = max_fixed + worst;
+    if pack(hi).is_none() {
+        // Even the loosest level fails only on FP pathologies — fall
+        // back to the even split the planner can still price.
+        return round_quotas(&vec![1.0; n], units);
+    }
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if pack(mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    pack(hi).unwrap_or_else(|| round_quotas(&vec![1.0; n], units))
 }
 
 /// Largest-remainder rounding of fractional quotas to integers summing
@@ -244,6 +648,11 @@ fn round_quotas(quotas: &[f64], units: u64) -> Vec<u64> {
 /// round uploads the next chunk on **stream 1** while the current
 /// chunk's kernel and download run on stream 0 — exactly the ping-pong
 /// shape the streamed builders emit.
+///
+/// The pipeline path is deliberately **peer-blind and single-round**: it
+/// models the streamed slab builders, none of which carry peer traffic
+/// or iterate kernels.  A profile's `peer`/`rounds`/`unit_*` extensions
+/// are ignored here; [`plan_cost`] is the peer-aware objective.
 fn pipeline_tables(
     profile: &ShardProfile,
     units_per_device: &[u64],
@@ -414,18 +823,7 @@ mod tests {
         // weighted planner.
         let mut c = cluster(2);
         c.devices[1].k_prime = 6; // 3x device 0
-        let p = ShardProfile {
-            time_ops: 1_000_000,
-            io_blocks_per_unit: 0,
-            inward_words_per_unit: 0,
-            inward_txns: 0,
-            outward_words_per_unit: 0,
-            outward_txns: 0,
-            broadcast_words: 0,
-            broadcast_txns: 0,
-            shared_words: 96,
-            blocks_per_unit: 1,
-        };
+        let p = ShardProfile { time_ops: 1_000_000, shared_words: 96, ..ShardProfile::default() };
         let out = balanced_units(&c, &machine(), &p, 100);
         assert_eq!(out.iter().sum::<u64>(), 100);
         assert!(out[1] > 2 * out[0], "fast device under-assigned: {out:?}");
@@ -470,6 +868,128 @@ mod tests {
         p.outward_txns = 0;
         let best = solve_chunk_units(&c, &machine(), &p, &[1024], &[256, 512]);
         assert_eq!(best, 512);
+    }
+
+    fn stencil_like(rounds: u64) -> ShardProfile {
+        ShardProfile {
+            time_ops: 11,
+            io_blocks_per_unit: 2,
+            inward_words_per_unit: 32,
+            inward_txns: 1,
+            outward_words_per_unit: 32,
+            outward_txns: 1,
+            shared_words: 34,
+            rounds,
+            peer: PeerProfile { halo_words: 2, halo_txns: 1, ..PeerProfile::default() },
+            ..ShardProfile::default()
+        }
+    }
+
+    #[test]
+    fn peer_traffic_rows_match_rounds_and_occupancy() {
+        let p = stencil_like(4);
+        // Device 1 idle: halo pairs skip it — devices 0 and 2 are the
+        // consecutive occupied pair.
+        let rows = plan_peer_traffic(&p, &[10, 0, 10]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].is_empty(), "no halo before the first round");
+        for row in &rows[1..] {
+            assert_eq!(row.len(), 2, "{row:?}");
+            assert!(row.iter().any(|t| t.src == 0 && t.dst == 2 && t.words == 2));
+            assert!(row.iter().any(|t| t.src == 2 && t.dst == 0 && t.words == 2));
+        }
+        // Zero-peer profiles synthesise nothing.
+        assert!(plan_peer_traffic(&p.without_peer(), &[10, 0, 10]).iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn merge_and_scatter_rows_land_in_the_last_round() {
+        let p = ShardProfile {
+            peer: PeerProfile {
+                merge_words_per_unit: 4,
+                merge_words_fixed: 8,
+                merge_txns: 1,
+                scatter_words_per_unit: 2,
+                scatter_txns: 1,
+                owner: 0,
+                ..PeerProfile::default()
+            },
+            rounds: 2,
+            ..ShardProfile::streaming(32)
+        };
+        let rows = plan_peer_traffic(&p, &[5, 3, 0]);
+        assert!(rows[0].is_empty());
+        // Device 1 merges 8 + 4·3 words to owner 0 and receives 2·3 back;
+        // device 2 holds nothing, device 0 is the owner.
+        assert_eq!(rows[1].len(), 2);
+        assert!(rows[1].iter().any(|t| t.src == 1 && t.dst == 0 && t.words == 20 && t.txns == 1));
+        assert!(rows[1].iter().any(|t| t.src == 0 && t.dst == 1 && t.words == 6 && t.txns == 1));
+    }
+
+    #[test]
+    fn plan_cost_prices_peer_traffic() {
+        // The same apportionment must price strictly higher once the
+        // profile declares halo traffic — the rows are no longer dropped.
+        let c = cluster(3);
+        let p = stencil_like(6);
+        let counts = [40u64, 40, 40];
+        let aware = plan_cost(&c, &machine(), &p, &counts).unwrap();
+        let blind = plan_cost(&c, &machine(), &p.without_peer(), &counts).unwrap();
+        assert!(aware > blind, "aware {aware} vs blind {blind}");
+    }
+
+    #[test]
+    fn balanced_units_avoid_expensive_merge_paths() {
+        // Histogram-shaped merge to owner 0; device 2's directed link to
+        // the owner is 50x more expensive per word, so the waterfill must
+        // hand it fewer units than device 1.
+        let mut c = cluster(3);
+        c.peer_links[2][0] = LinkParams {
+            alpha_ms: c.peer_links[2][0].alpha_ms,
+            beta_ms_per_word: c.peer_links[2][0].beta_ms_per_word * 50.0,
+        };
+        let p = ShardProfile {
+            peer: PeerProfile {
+                merge_words_per_unit: 64,
+                merge_txns: 1,
+                owner: 0,
+                ..PeerProfile::default()
+            },
+            ..ShardProfile::streaming(32)
+        };
+        let out = balanced_units(&c, &machine(), &p, 900);
+        assert_eq!(out.iter().sum::<u64>(), 900);
+        assert!(out[2] < out[1], "expensive merge path over-assigned: {out:?}");
+    }
+
+    #[test]
+    fn hetero_pack_is_contiguous_and_weight_aware() {
+        // Units 0..16 are 100x heavier than units 16..64 (front-loaded
+        // row weights): the first device must take fewer units than an
+        // even split, later devices more — while counts stay contiguous
+        // by construction and sum exactly.
+        let c = cluster(4);
+        let mut weights = vec![3200u64; 16];
+        weights.extend(std::iter::repeat_n(32u64, 48));
+        let p = ShardProfile { unit_inward_words: weights, ..ShardProfile::streaming(32) };
+        let out = balanced_units(&c, &machine(), &p, 64);
+        assert_eq!(out.iter().sum::<u64>(), 64);
+        assert!(out[0] < 16, "heavy prefix over-assigned: {out:?}");
+        assert!(out[3] > 16, "light tail under-assigned: {out:?}");
+    }
+
+    #[test]
+    fn multi_round_metrics_stage_once_and_drain_once() {
+        let p = stencil_like(5);
+        let metrics = plan_metrics(&p, &[8, 8]);
+        for m in &metrics {
+            assert_eq!(m.rounds.len(), 5);
+            assert!(m.rounds.iter().skip(1).all(|r| r.inward_words == 0));
+            assert!(m.rounds.iter().take(4).all(|r| r.outward_words == 0));
+            assert_eq!(m.rounds[0].inward_words, 8 * 32);
+            assert_eq!(m.rounds[4].outward_words, 8 * 32);
+            assert!(m.rounds.iter().all(|r| r.time == 11));
+        }
     }
 
     #[test]

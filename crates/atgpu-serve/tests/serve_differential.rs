@@ -11,6 +11,7 @@
 //! 2. **Pricing accuracy** — the analytic fast path's quotes match the
 //!    simulator's observed totals within the E-sweep tolerance (10%).
 
+use atgpu_algos::stencil::Stencil;
 use atgpu_algos::vecadd::VecAdd;
 use atgpu_algos::workload::{test_machine, test_spec, BuiltProgram};
 use atgpu_model::{AtgpuMachine, ClusterSpec};
@@ -123,6 +124,43 @@ fn pricing_matches_observed_totals_within_tolerance() {
             100.0 * TOLERANCE
         );
     }
+}
+
+/// A peer-heavy program through the pricing service: the sharded halo
+/// stencil carries real `TransferPeer` rounds, so the quote exercises
+/// the peer-traffic pricing (analyze's `PeerTraffic` rows priced
+/// through the streamed cluster objective) end to end.  The quote must
+/// land within tolerance of observation whichever tier answers it, and
+/// the repeat must replay bit-identically from the memo.
+#[test]
+fn peer_heavy_stencil_quote_matches_observation() {
+    let machine = machine();
+    let devices = 4;
+    let spec = spec(devices);
+    let config = SimConfig::default();
+    let server = CostServer::new(machine, spec.clone(), ServerConfig::default()).expect("server");
+
+    let built = Stencil::new(64 * machine.b, 11)
+        .build_sharded(&machine, devices as u32, 6)
+        .expect("sharded stencil");
+    let quote = server.price(&built.program).expect("quote");
+    let observed =
+        run_cluster_program(&built.program, built.inputs.clone(), &machine, &spec, &config)
+            .expect("observation")
+            .total_ms();
+    let err = (quote.total_ms - observed).abs() / observed;
+    assert!(
+        err <= TOLERANCE,
+        "{:?} quote {:.4}ms vs observed {observed:.4}ms: {:.1}% > {:.0}%",
+        quote.source,
+        quote.total_ms,
+        100.0 * err,
+        100.0 * TOLERANCE
+    );
+
+    let again = server.price(&built.program).expect("repeat quote");
+    assert_eq!(again.source, PriceSource::Memo, "repeat must be memoized");
+    assert_eq!(again.total_ms.to_bits(), quote.total_ms.to_bits(), "memo must replay the quote");
 }
 
 proptest! {

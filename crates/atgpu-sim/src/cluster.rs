@@ -183,13 +183,22 @@ pub fn shard_counts(shards: &[Shard], n_devices: usize) -> Vec<u64> {
 /// Candidates: the even split, the compute-weighted split
 /// ([`weighted_shards`]'s `k′·clock` apportionment) and the min–max
 /// transfer-balanced waterfill ([`atgpu_model::plan::balanced_units`]).
-/// Each is priced with [`atgpu_model::plan::plan_cost`] — per-device
-/// host-link `α`/`β`, wave factors and the max-over-devices round shape
-/// all in the objective — so the modeled round time of the returned plan
-/// is never above the even or compute-weighted plans'.  Ties keep the
-/// earlier candidate (even before weighted before balanced); candidates
-/// that fail to price (e.g. blocks that cannot fit the machine) are
-/// skipped, and if none price the even split is returned.
+/// **Peer-aware profiles** ([`ShardProfile::has_peer`]) additionally get
+/// one *drop-device* candidate per device: the waterfill over the
+/// sub-cluster with that device idled — on an asymmetric peer matrix the
+/// cheapest plan for a halo or merge workload is often to hand a device
+/// with expensive peer edges *nothing* and eat the extra compute on the
+/// rest, a shape no all-devices waterfill can reach.
+///
+/// Each candidate is priced with [`atgpu_model::plan::plan_cost`] —
+/// per-device host-link `α`/`β`, wave factors, the max-over-devices
+/// round shape **and the candidate's own peer traffic** (halo rows only
+/// between devices that actually hold units) all in the objective — so
+/// the modeled time of the returned plan is never above the even or
+/// compute-weighted plans'.  Ties keep the earlier candidate (even
+/// before weighted before balanced before drop-device); candidates that
+/// fail to price (e.g. blocks that cannot fit the machine) are skipped,
+/// and if none price the even split is returned.
 pub fn planned_shards(
     units: u64,
     spec: &ClusterSpec,
@@ -197,11 +206,40 @@ pub fn planned_shards(
     profile: &ShardProfile,
 ) -> Vec<Shard> {
     let n = spec.n_devices();
-    let candidates = [
+    let mut candidates = vec![
         shard_counts(&even_shards(units, n as u32), n),
         shard_counts(&weighted_shards(units, spec), n),
         plan::balanced_units(spec, machine, profile, units),
     ];
+    if profile.has_peer() && n > 1 {
+        let peer = profile.peer;
+        let has_merge = peer.merge_words_per_unit > 0
+            || peer.merge_words_fixed > 0
+            || peer.scatter_words_per_unit > 0;
+        for skip in 0..n {
+            // The merge owner must stay addressable; every other device
+            // is a candidate to idle.
+            if has_merge && skip == peer.owner as usize {
+                continue;
+            }
+            let mut alive = vec![true; n];
+            alive[skip] = false;
+            let (sub, idx) = surviving_subspec(spec, &alive);
+            let mut sub_profile = profile.clone();
+            if has_merge {
+                let Some(sub_owner) = idx.iter().position(|&o| o == peer.owner as usize) else {
+                    continue;
+                };
+                sub_profile.peer.owner = sub_owner as u32;
+            }
+            let sub_counts = plan::balanced_units(&sub, machine, &sub_profile, units);
+            let mut counts = vec![0u64; n];
+            for (si, &orig) in idx.iter().enumerate() {
+                counts[orig] = sub_counts[si];
+            }
+            candidates.push(counts);
+        }
+    }
     let mut best: Option<(usize, f64)> = None;
     for (i, counts) in candidates.iter().enumerate() {
         let Ok(cost) = plan::plan_cost(spec, machine, profile, counts) else { continue };

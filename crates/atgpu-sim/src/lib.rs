@@ -122,17 +122,80 @@
 //!
 //! [`cluster::planned_shards`] is the cost-driven planner: it generates
 //! candidate apportionments — the even split, the compute-weighted
-//! split, and the transfer-balanced min–max waterfill
-//! ([`atgpu_model::plan::balanced_units`]) — prices each through
-//! [`atgpu_model::plan::plan_cost`] (which runs the same
+//! split, the transfer-balanced min–max waterfill
+//! ([`atgpu_model::plan::balanced_units`]), and (for peer-aware
+//! profiles) one drop-device candidate per idleable device — prices
+//! each through [`atgpu_model::plan::plan_cost`] (which runs the same
 //! `cluster_cost_streamed` objective the predictions use: per-device
 //! host-link `Î·α + I·β`, per-device wave factors, max over devices,
-//! cluster `σ`), and keeps the argmin.  Its modeled round time is
-//! therefore **never worse than either heuristic's** (pinned by
-//! `tests/planner_properties.rs`).  The objective's inputs are a
-//! [`atgpu_model::ShardProfile`] — the workload's per-unit traffic and
-//! compute — supplied by the planned builders in `atgpu-algos`
-//! (`build_sharded_planned` on vecadd/matmul/reduce).
+//! cluster `σ`, and the candidate's own peer-traffic rows), and keeps
+//! the argmin.  Its modeled round time is therefore **never worse than
+//! either heuristic's** (pinned by `tests/planner_properties.rs`).  The
+//! objective's inputs are a [`atgpu_model::ShardProfile`] — the
+//! workload's per-unit traffic and compute — supplied by the planned
+//! builders in `atgpu-algos` (`build_sharded_planned` on
+//! vecadd/matmul/reduce and the irregular quartet below).
+//!
+//! ### Peer-aware planning (halo / gather / scatter / merge)
+//!
+//! [`atgpu_model::ShardProfile::peer`] ([`atgpu_model::PeerProfile`])
+//! makes inter-device traffic a first-class priced quantity: `halo_words`
+//! per device boundary per round (stencil), `merge_words_per_unit` to an
+//! `owner` device (histogram partial bins, scan block sums) and
+//! `scatter_words_per_unit` back out (scan fix-up).
+//! [`atgpu_model::plan::plan_cost`] turns a candidate's per-device unit
+//! counts into directed peer rows, prices each over
+//! `ClusterSpec::peer_links[src][dst]` and charges **both endpoints** —
+//! exactly the sim's `TransferPeer` accounting.  Two consequences the
+//! zero-peer objective cannot reach:
+//!
+//! * halo rows appear only between devices that actually *hold* units,
+//!   so the planner can see that merging two neighbouring slabs onto one
+//!   device deletes their boundary;
+//! * the drop-device candidates make "give the device with expensive
+//!   peer edges *nothing*" expressible — on an asymmetric peer matrix
+//!   this is where the argmin flips away from every peer-blind plan
+//!   (experiment E13 measures the flip at ≥ 1.3x observed):
+//!
+//! ```rust
+//! use atgpu_algos::stencil::Stencil;
+//! use atgpu_model::{AtgpuMachine, ClusterSpec, GpuSpec};
+//! use atgpu_sim::{planned_shards, shard_counts};
+//!
+//! let machine = AtgpuMachine::gtx650_like();
+//! // Four identical devices behind identical host links — but every
+//! // peer edge touching device 3 is two orders of magnitude slower.
+//! let mut cluster = ClusterSpec::homogeneous(4, GpuSpec::gtx650_like());
+//! for d in 0..3 {
+//!     cluster.peer_links[d][3] = cluster.peer_links[d][3].scaled(128.0);
+//!     cluster.peer_links[3][d] = cluster.peer_links[3][d].scaled(128.0);
+//! }
+//!
+//! let blocks = 256;
+//! let profile = Stencil::shard_profile(&machine, 8); // halo_words: 1
+//! // Peer-blind pricing sees a homogeneous cluster and splits evenly …
+//! let blind = shard_counts(
+//!     &planned_shards(blocks, &cluster, &machine, &profile.without_peer()), 4);
+//! assert!(blind.iter().all(|&c| c == 64));
+//! // … the peer-aware argmin idles the expensive device entirely.
+//! let aware = shard_counts(&planned_shards(blocks, &cluster, &machine, &profile), 4);
+//! assert_eq!(aware[3], 0);
+//! assert_eq!(aware.iter().sum::<u64>(), blocks);
+//! ```
+//!
+//! The irregular quartet exercises every peer pattern end to end, each
+//! with a workload-true profile, a `build_sharded_with(plan)` explicit
+//! variant and a peer-aware `build_sharded_planned`: **stencil**
+//! (boundary-cell halo exchange per round), **scan** (block sums
+//! gathered to an owner, scanned, scattered back), **spmv** (row-band
+//! imbalance expressed through `unit_inward_words`, routing the planner
+//! onto the heterogeneous greedy-pack path) and **histogram**
+//! (partial-bin rows merged to the owner).  Random-plan differential
+//! tests (`atgpu-algos/tests/cluster_quartet_differential.rs`) pin all
+//! four bit-identical to the host reference on both engines, through a
+//! mid-program device loss included;
+//! `atgpu_analyze::attribute_peer_units` recovers per-unit peer words
+//! from the built programs.
 //!
 //! [`cluster::plan_shards`] is the zero-knowledge entry point: even on a
 //! genuinely homogeneous cluster (identical devices **and** identical

@@ -6,7 +6,9 @@
 //! objective, and must always be a partition of the grid.
 
 use atgpu_ir::Shard;
-use atgpu_model::{plan, AtgpuMachine, ClusterSpec, GpuSpec, LinkParams, ShardProfile};
+use atgpu_model::{
+    plan, AtgpuMachine, ClusterSpec, GpuSpec, LinkParams, PeerProfile, ShardProfile,
+};
 use atgpu_sim::{even_shards, planned_shards, shard_counts, weighted_shards};
 use proptest::prelude::*;
 
@@ -49,6 +51,22 @@ fn random_cluster(rng: &mut Rng) -> ClusterSpec {
 
 fn random_profile(rng: &mut Rng) -> ShardProfile {
     let b = 32u64;
+    // Half the profiles carry peer traffic (halo and/or merge/scatter to
+    // an owner), exercising the peer-aware candidates and pricing.
+    let peer = if rng.below(2) == 0 {
+        PeerProfile::default()
+    } else {
+        PeerProfile {
+            halo_words: rng.below(3) * b,
+            halo_txns: 1,
+            merge_words_per_unit: rng.below(3),
+            merge_words_fixed: rng.below(2) * b,
+            merge_txns: 1,
+            scatter_words_per_unit: rng.below(2),
+            scatter_txns: 1,
+            owner: 0,
+        }
+    };
     ShardProfile {
         time_ops: 1 + rng.below(100_000),
         io_blocks_per_unit: rng.below(64),
@@ -60,6 +78,9 @@ fn random_profile(rng: &mut Rng) -> ShardProfile {
         broadcast_txns: 1,
         shared_words: 3 * b,
         blocks_per_unit: 1 + rng.below(8),
+        rounds: 1 + rng.below(4),
+        peer,
+        ..ShardProfile::default()
     }
 }
 
