@@ -63,6 +63,7 @@
 //! shard plan (`tests/cluster_quartet_differential.rs`), including
 //! mid-program device loss.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -20,6 +20,7 @@
 //!   of shared addresses;
 //! * [`analyze`] — the top-level [`analyze::analyze_program`] driver.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

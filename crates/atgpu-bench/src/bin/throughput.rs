@@ -38,6 +38,8 @@
 //! same repeated-launch program with the cache on (default) vs the
 //! `SimConfig::cache` kill-switch off.
 
+#![forbid(unsafe_code)]
+
 use atgpu_algos::histogram::Histogram;
 use atgpu_algos::ooc::OocVecAdd;
 use atgpu_algos::reduce::{Reduce, ReduceVariant};
@@ -341,6 +343,47 @@ fn main() {
             .build_relaunched(&cfg.machine, 400)
             .expect("relaunched vecadd builds")
     };
+    // Static-verification smoke: every benched program must verify
+    // sound before it is worth timing — a program with a proven
+    // cross-block write race or out-of-bounds access would be
+    // benchmarking nondeterminism.  Prints one `verify:` line per
+    // program for the CI job summary.
+    {
+        let cfg = bench_config();
+        let check = |name: &str, built: &BuiltProgram| {
+            let report = atgpu_verify::verify_program(&built.program, cfg.machine.b);
+            if let Some(why) = report.first_unsoundness() {
+                eprintln!("verify: {name}: UNSOUND — {why}");
+                std::process::exit(1);
+            }
+            println!(
+                "verify: {name}: sound ({} launch(es), {})",
+                report.launches.len(),
+                if report.all_race_free() { "proven race-free" } else { "race unknown" }
+            );
+        };
+        check("vecadd_200k", &vecadd.build(&cfg.machine).expect("vecadd builds"));
+        check("matmul_128", &matmul.build(&cfg.machine).expect("matmul builds"));
+        check("reduce_64k", &reduce.build(&cfg.machine).expect("reduce builds"));
+        check("reduce_seq_64k", &reduce_seq.build(&cfg.machine).expect("reduce builds"));
+        check(
+            "vecadd_sharded_4dev",
+            &VecAdd::new(200_000, 1).build_sharded(&cfg.machine, 4).expect("sharded builds"),
+        );
+        check(
+            "stencil_halo_4dev",
+            &Stencil::new(65_536, 1).build_sharded(&cfg.machine, 4, 8).expect("stencil builds"),
+        );
+        check(
+            "histogram_merge_4dev",
+            &Histogram::new(1 << 16, cfg.machine.b, 1)
+                .build_sharded(&cfg.machine, 4)
+                .expect("histogram builds"),
+        );
+        check("ooc_vecadd_streamed", &ooc_streamed);
+        check("relaunch_vecadd", &relaunch);
+    }
+
     // Named, re-runnable measurements: the gate re-measures regressed
     // entries instead of trusting one sample.
     type MeasureFn<'a> = Box<dyn Fn(usize) -> Measurement + 'a>;

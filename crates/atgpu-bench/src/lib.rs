@@ -14,6 +14,7 @@
 //!
 //! Shared helpers live here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use atgpu_exp::{ExpConfig, Scale};

@@ -18,6 +18,7 @@
 //! provides the regression machinery (simple lines and small
 //! multi-feature systems via normal equations).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

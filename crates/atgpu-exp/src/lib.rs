@@ -23,6 +23,7 @@
 //! the ATGPU/SWGPU cost functions evaluated on metrics derived from the
 //! same IR by `atgpu-analyze`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

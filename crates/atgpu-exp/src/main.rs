@@ -14,6 +14,10 @@
 //!                     spans); nonzero exit on the first invalid file
 //!
 //! OPTIONS
+//!   --verify       statically verify the whole workload roster (bounds,
+//!                  cross-block write races, host-dataflow lints) and print
+//!                  a verdict table; nonzero exit if any program is proven
+//!                  unsound
 //!   --quick        small sweep sizes (seconds)
 //!   --full         complete paper ranges (minutes)
 //!   --out DIR      write CSV/DAT/JSON files (default: ./experiments)
@@ -23,6 +27,8 @@
 //!                  E10/E11/E13 runs; PATH gets the experiment tag inserted
 //!                  before its extension (out.json -> out.e10.json, …)
 //! ```
+
+#![forbid(unsafe_code)]
 
 use atgpu_exp::figures::{ext, fig3, fig4, fig5, fig6, summary, table1};
 use atgpu_exp::{chart, report};
@@ -40,6 +46,7 @@ struct Args {
     pseudocode: Option<String>,
     trace: Option<PathBuf>,
     check_trace: Option<Vec<String>>,
+    verify: bool,
 }
 
 /// `out.json` → `out.e10.json`: the per-experiment trace file name.
@@ -64,6 +71,77 @@ fn check_traces(files: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             c.spans, c.devices, c.counters
         );
     }
+    Ok(())
+}
+
+/// Statically verifies every workload in the roster and prints a
+/// verdict table: race verdict, proven out-of-bounds count, undecided
+/// sites and host-dataflow lints per program.  Programs with a proven
+/// defect are listed with their `kernel@instr#N` witness and the run
+/// exits nonzero.
+fn verify_workloads() -> Result<(), Box<dyn std::error::Error>> {
+    use atgpu_algos::Workload;
+    use atgpu_verify::RaceVerdict;
+    let machine = atgpu_model::AtgpuMachine::gtx650_like();
+    let roster: Vec<(&str, Box<dyn Workload>)> = vec![
+        ("vecadd", Box::new(atgpu_algos::vecadd::VecAdd::new(1024, 0))),
+        ("saxpy", Box::new(atgpu_algos::saxpy::Saxpy::new(1024, 3, 0))),
+        ("reduce", Box::new(atgpu_algos::reduce::Reduce::new(2048, 0))),
+        ("dot", Box::new(atgpu_algos::dot::Dot::new(1024, 0))),
+        ("scan", Box::new(atgpu_algos::scan::Scan::new(1024, 0))),
+        ("stencil", Box::new(atgpu_algos::stencil::Stencil::new(1024, 0))),
+        ("matmul", Box::new(atgpu_algos::matmul::MatMul::new(64, 0))),
+        (
+            "transpose",
+            Box::new(atgpu_algos::transpose::Transpose::new(
+                64,
+                0,
+                atgpu_algos::transpose::TransposeVariant::Tiled,
+            )),
+        ),
+        ("gemv", Box::new(atgpu_algos::gemv::Gemv::new(64, 0))),
+        ("spmv", Box::new(atgpu_algos::spmv::SpmvEll::new(128, 3, 0))),
+        ("histogram", Box::new(atgpu_algos::histogram::Histogram::new(1024, 32, 0))),
+        ("bitonic", Box::new(atgpu_algos::bitonic::BitonicSort::new(128, 0))),
+    ];
+    println!("== static verification — {} workloads ==\n", roster.len());
+    println!(
+        "{:<12} {:>8}  {:<10} {:>4} {:>8} {:>6}  verdict",
+        "workload", "launches", "race", "oob", "unknown", "lints"
+    );
+    let mut defects = Vec::new();
+    for (name, w) in roster {
+        let built = w.build(&machine)?;
+        let report = atgpu_verify::verify_program(&built.program, machine.b);
+        let race = if report.launches.iter().any(|l| matches!(l.race, RaceVerdict::Racy(_))) {
+            "RACY"
+        } else if report.all_race_free() {
+            "race-free"
+        } else {
+            "unknown"
+        };
+        let oob: usize = report.launches.iter().map(|l| l.oob.len()).sum();
+        let unknown: usize = report.launches.iter().map(|l| l.bounds_unknown).sum();
+        let verdict = if report.is_sound() { "sound" } else { "UNSOUND" };
+        println!(
+            "{name:<12} {:>8}  {race:<10} {oob:>4} {unknown:>8} {:>6}  {verdict}",
+            report.launches.len(),
+            report.lints.len(),
+        );
+        for lint in &report.lints {
+            println!("             lint: {lint}");
+        }
+        if let Some(why) = report.first_unsoundness() {
+            defects.push(format!("{name}: {why}"));
+        }
+    }
+    if !defects.is_empty() {
+        for d in &defects {
+            eprintln!("UNSOUND — {d}");
+        }
+        return Err(format!("{} workload(s) failed static verification", defects.len()).into());
+    }
+    println!("\nall workloads verified: no proven races or out-of-bounds accesses");
     Ok(())
 }
 
@@ -104,9 +182,11 @@ fn parse_args() -> Result<Args, String> {
     let mut pseudocode = None;
     let mut trace = None;
     let mut check_trace = None;
+    let mut verify = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--verify" => verify = true,
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--no-noise" => noise = false,
@@ -136,7 +216,7 @@ fn parse_args() -> Result<Args, String> {
                     "atgpu-exp — regenerate the ATGPU paper's tables and figures\n\
                      commands: table1 fig3 fig4 fig5 fig6 summary e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 all\n\
                      \x20          check-trace FILE...\n\
-                     options:  --quick --full --out DIR --no-noise --parallel N --trace PATH"
+                     options:  --verify --quick --full --out DIR --no-noise --parallel N --trace PATH"
                 );
                 std::process::exit(0);
             }
@@ -148,10 +228,10 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
-    if commands.is_empty() && pseudocode.is_none() && check_trace.is_none() {
+    if commands.is_empty() && pseudocode.is_none() && check_trace.is_none() && !verify {
         commands.insert("all".to_string());
     }
-    Ok(Args { commands, scale, out, noise, threads, pseudocode, trace, check_trace })
+    Ok(Args { commands, scale, out, noise, threads, pseudocode, trace, check_trace, verify })
 }
 
 fn main() -> ExitCode {
@@ -176,6 +256,12 @@ fn want(args: &Args, cmd: &str) -> bool {
 }
 
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if args.verify {
+        verify_workloads()?;
+        if args.commands.is_empty() && args.pseudocode.is_none() && args.check_trace.is_none() {
+            return Ok(());
+        }
+    }
     if let Some(files) = &args.check_trace {
         check_traces(files)?;
         if args.commands.is_empty() && args.pseudocode.is_none() {

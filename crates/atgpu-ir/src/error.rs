@@ -84,8 +84,10 @@ pub enum IrError {
     BadShardPlan {
         /// Kernel name.
         kernel: String,
-        /// What is wrong with the plan.
-        reason: String,
+        /// Round index of the offending launch.
+        round: usize,
+        /// Exactly what is wrong with the plan.
+        detail: ShardPlanError,
     },
     /// A transfer or sync references a stream id `≥ MAX_STREAMS`.
     StreamOutOfRange {
@@ -94,6 +96,66 @@ pub enum IrError {
         /// Round index.
         round: usize,
     },
+}
+
+/// Structured diagnosis of a shard plan that fails to partition the
+/// grid `0..blocks`.  Rather than stopping at the first bad boundary,
+/// the validator sweeps the whole plan and reports *every* missing,
+/// doubly-covered and out-of-grid block range, so a planner bug can be
+/// read off the payload directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPlanError {
+    /// The sharded launch lists no shards at all.
+    NoShards,
+    /// Shards whose range is empty (`end ≤ start`), as
+    /// `(device, start, end)` triples in plan order.
+    EmptyShards {
+        /// The offending shards.
+        shards: Vec<(u32, u64, u64)>,
+    },
+    /// The (individually non-empty) shards do not cover the grid
+    /// exactly once.  Every listed range is half-open and maximal.
+    BadCoverage {
+        /// Blocks the kernel launches (`kernel.blocks()`).
+        blocks: u64,
+        /// Grid ranges no shard covers.
+        missing: Vec<(u64, u64)>,
+        /// Grid ranges covered by two or more shards.
+        overlapping: Vec<(u64, u64)>,
+        /// Shard-claimed ranges past the end of the grid.
+        out_of_grid: Vec<(u64, u64)>,
+    },
+}
+
+fn fmt_ranges(ranges: &[(u64, u64)]) -> String {
+    let parts: Vec<String> = ranges.iter().map(|&(lo, hi)| format!("[{lo}, {hi})")).collect();
+    parts.join(", ")
+}
+
+impl fmt::Display for ShardPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardPlanError::NoShards => write!(f, "sharded launch lists no shards"),
+            ShardPlanError::EmptyShards { shards } => {
+                let parts: Vec<String> =
+                    shards.iter().map(|&(d, lo, hi)| format!("gpu{d}: [{lo}, {hi})")).collect();
+                write!(f, "empty shard range(s): {}", parts.join(", "))
+            }
+            ShardPlanError::BadCoverage { blocks, missing, overlapping, out_of_grid } => {
+                write!(f, "shards must cover blocks [0, {blocks}) exactly once")?;
+                if !missing.is_empty() {
+                    write!(f, "; uncovered: {}", fmt_ranges(missing))?;
+                }
+                if !overlapping.is_empty() {
+                    write!(f, "; covered more than once: {}", fmt_ranges(overlapping))?;
+                }
+                if !out_of_grid.is_empty() {
+                    write!(f, "; past the grid: {}", fmt_ranges(out_of_grid))?;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 impl fmt::Display for IrError {
@@ -127,8 +189,8 @@ impl fmt::Display for IrError {
                 f,
                 "device allocations need {requested} words but global memory has G = {available}"
             ),
-            IrError::BadShardPlan { kernel, reason } => {
-                write!(f, "kernel `{kernel}`: bad shard plan: {reason}")
+            IrError::BadShardPlan { kernel, round, detail } => {
+                write!(f, "round {round}: kernel `{kernel}`: bad shard plan: {detail}")
             }
             IrError::StreamOutOfRange { stream, round } => {
                 write!(

@@ -36,6 +36,7 @@
 //! * [`pretty`] — renders programs back into the paper's pseudocode
 //!   notation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -52,7 +53,7 @@ pub mod validate;
 
 pub use affine::AffineAddr;
 pub use builder::{KernelBuilder, ProgramBuilder};
-pub use error::IrError;
+pub use error::{IrError, ShardPlanError};
 pub use expr::{AddrExpr, Operand, PredExpr};
 pub use instr::{AluOp, GlobalRef, Instr};
 pub use kernel::Kernel;

@@ -35,38 +35,61 @@ impl Renderer {
         self.line += 1;
     }
 
-    fn instrs(&mut self, body: &[Instr], p: &Program, indent: usize, loop_depth: usize) {
+    /// Renders a kernel body.  `idx` is the stable pre-order
+    /// instruction counter: every [`Instr`] node — including `if`/`for`
+    /// headers and `sync` — consumes one index, children numbered after
+    /// their parent.  The `▷ #N` annotations match the `kernel@instr#N`
+    /// indices in verifier and simulator diagnostics, so a reported site
+    /// can be located in the printout by eye.
+    fn instrs(
+        &mut self,
+        body: &[Instr],
+        p: &Program,
+        indent: usize,
+        loop_depth: usize,
+        idx: &mut usize,
+    ) {
         for i in body {
+            let n = *idx;
+            *idx += 1;
             match i {
                 Instr::Pred { pred, then_body, else_body } => {
-                    self.emit(indent, &format!("if {pred} then"));
-                    self.instrs(then_body, p, indent + 1, loop_depth);
+                    self.emit(indent, &format!("if {pred} then  ▷ #{n}"));
+                    self.instrs(then_body, p, indent + 1, loop_depth, idx);
                     if !else_body.is_empty() {
                         self.emit(indent, "else");
-                        self.instrs(else_body, p, indent + 1, loop_depth);
+                        self.instrs(else_body, p, indent + 1, loop_depth, idx);
                     }
                     self.emit(indent, "end if");
                 }
                 Instr::Repeat { count, body } => {
-                    self.emit(indent, &format!("for t{loop_depth} = 0 → {count} do"));
-                    self.instrs(body, p, indent + 1, loop_depth + 1);
+                    self.emit(indent, &format!("for t{loop_depth} = 0 → {count} do  ▷ #{n}"));
+                    self.instrs(body, p, indent + 1, loop_depth + 1, idx);
                     self.emit(indent, "end for");
                 }
                 Instr::GlbToShr { shared, global } => {
                     let name = buf_name(p, global.buf.0);
                     self.emit(
                         indent,
-                        &format!("_s[{}] ⇐ {name}[{}]", AddrText(shared), AddrText(&global.offset)),
+                        &format!(
+                            "_s[{}] ⇐ {name}[{}]  ▷ #{n}",
+                            AddrText(shared),
+                            AddrText(&global.offset)
+                        ),
                     );
                 }
                 Instr::ShrToGlb { global, shared } => {
                     let name = buf_name(p, global.buf.0);
                     self.emit(
                         indent,
-                        &format!("{name}[{}] ⇐ _s[{}]", AddrText(&global.offset), AddrText(shared)),
+                        &format!(
+                            "{name}[{}] ⇐ _s[{}]  ▷ #{n}",
+                            AddrText(&global.offset),
+                            AddrText(shared)
+                        ),
                     );
                 }
-                other => self.emit(indent, &other.to_string()),
+                other => self.emit(indent, &format!("{other}  ▷ #{n}")),
             }
         }
     }
@@ -81,7 +104,8 @@ impl Renderer {
             ),
         );
         self.emit(indent + 1, "for all cρ,ε ∈ Cρ in parallel do");
-        self.instrs(&k.body, p, indent + 2, 0);
+        let mut idx = 0;
+        self.instrs(&k.body, p, indent + 2, 0, &mut idx);
         self.emit(indent + 1, "end for");
         self.emit(indent, "end for");
     }
@@ -341,6 +365,31 @@ mod tests {
         let s = render_kernel(&kb.build(), &p);
         assert!(s.contains("for t0 = 0 → 8 do"), "{s}");
         assert!(s.contains("for t1 = 0 → 4 do"), "{s}");
+    }
+
+    #[test]
+    fn instruction_indices_are_preorder() {
+        let (p, _) = vecadd_like();
+        let mut kb = KernelBuilder::new("k", 1, 64);
+        kb.repeat(2, |kb| {
+            // #1 inside the #0 for-header.
+            kb.ld_shr(0, AddrExpr::lane());
+        });
+        kb.pred(
+            PredExpr::Lt(Operand::Lane, Operand::Imm(16)),
+            |kb| {
+                kb.st_shr(AddrExpr::lane(), Operand::Imm(1)); // #3
+            },
+            |kb| {
+                kb.sync(); // #4
+            },
+        );
+        let s = render_kernel(&kb.build(), &p);
+        assert!(s.contains("for t0 = 0 → 2 do  ▷ #0"), "{s}");
+        assert!(s.contains("▷ #1"), "{s}");
+        assert!(s.contains("if j < 16 then  ▷ #2"), "{s}");
+        assert!(s.contains("▷ #3"), "{s}");
+        assert!(s.contains("▷ #4"), "{s}");
     }
 
     #[test]

@@ -232,39 +232,74 @@ fn check_launch(
 }
 
 /// A shard plan must partition the grid `0..kernel.blocks()` into
-/// non-empty disjoint ranges: sorted by start, each shard ends where the
-/// next begins, the first starts at 0 and the last ends at `blocks`.
+/// non-empty disjoint ranges.  On failure the error carries the full
+/// structured diagnosis from [`shard_plan_error`].
 fn check_shard_plan(
     kernel: &Kernel,
     shards: &[crate::program::Shard],
     round: usize,
 ) -> Result<(), IrError> {
-    let bad = |reason: String| IrError::BadShardPlan { kernel: kernel.name.clone(), reason };
+    match shard_plan_error(kernel.blocks(), shards) {
+        None => Ok(()),
+        Some(detail) => Err(IrError::BadShardPlan { kernel: kernel.name.clone(), round, detail }),
+    }
+}
+
+/// Diagnoses a shard plan against a grid of `blocks` blocks.  Returns
+/// `None` for an exact partition, otherwise the structured reason.
+///
+/// A boundary sweep over every shard edge computes the coverage depth
+/// of each elementary segment, then classifies and coalesces them:
+/// in-grid segments of depth 0 are *missing*, depth ≥ 2 *overlapping*,
+/// and any claimed segment at or past `blocks` is *out of grid* — all
+/// of them reported, not just the first.
+pub fn shard_plan_error(
+    blocks: u64,
+    shards: &[crate::program::Shard],
+) -> Option<crate::error::ShardPlanError> {
+    use crate::error::ShardPlanError;
     if shards.is_empty() {
-        return Err(bad(format!("round {round} has a sharded launch with no shards")));
+        return Some(ShardPlanError::NoShards);
     }
-    let mut sorted: Vec<_> = shards.to_vec();
-    sorted.sort_by_key(|s| s.start);
-    let mut cursor = 0u64;
-    for s in &sorted {
-        if s.end <= s.start {
-            return Err(bad(format!("empty shard {}..{} on device {}", s.start, s.end, s.device)));
+    let empty: Vec<(u32, u64, u64)> =
+        shards.iter().filter(|s| s.end <= s.start).map(|s| (s.device, s.start, s.end)).collect();
+    if !empty.is_empty() {
+        return Some(ShardPlanError::EmptyShards { shards: empty });
+    }
+    // Coverage-depth sweep: +1 at each start, −1 at each end, evaluated
+    // over the elementary segments between consecutive boundaries.
+    let mut bounds: Vec<u64> = vec![0, blocks];
+    for s in shards {
+        bounds.push(s.start);
+        bounds.push(s.end);
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut missing: Vec<(u64, u64)> = Vec::new();
+    let mut overlapping: Vec<(u64, u64)> = Vec::new();
+    let mut out_of_grid: Vec<(u64, u64)> = Vec::new();
+    let extend = |list: &mut Vec<(u64, u64)>, lo: u64, hi: u64| match list.last_mut() {
+        Some(last) if last.1 == lo => last.1 = hi,
+        _ => list.push((lo, hi)),
+    };
+    for w in bounds.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let depth = shards.iter().filter(|s| s.start <= lo && lo < s.end).count();
+        if lo >= blocks {
+            if depth >= 1 {
+                extend(&mut out_of_grid, lo, hi);
+            }
+        } else if depth == 0 {
+            extend(&mut missing, lo, hi);
+        } else if depth >= 2 {
+            extend(&mut overlapping, lo, hi);
         }
-        if s.start != cursor {
-            return Err(bad(format!(
-                "shards leave a gap or overlap at block {cursor} (next shard starts at {})",
-                s.start
-            )));
-        }
-        cursor = s.end;
     }
-    if cursor != kernel.blocks() {
-        return Err(bad(format!(
-            "shards cover blocks 0..{cursor} but the grid launches {} blocks",
-            kernel.blocks()
-        )));
+    if missing.is_empty() && overlapping.is_empty() && out_of_grid.is_empty() {
+        None
+    } else {
+        Some(ShardPlanError::BadCoverage { blocks, missing, overlapping, out_of_grid })
     }
-    Ok(())
 }
 
 fn check_stream(stream: u32, round: usize) -> Result<(), IrError> {
@@ -344,6 +379,101 @@ mod tests {
     #[test]
     fn zero_block_launch_rejected() {
         assert!(matches!(validate_kernel(&trivial_kernel(0)), Err(IrError::ZeroBlocks { .. })));
+    }
+
+    #[test]
+    fn exact_partition_has_no_shard_plan_error() {
+        use crate::program::Shard;
+        let shards = vec![
+            Shard { device: 1, start: 4, end: 8 },
+            Shard { device: 0, start: 0, end: 4 }, // order does not matter
+        ];
+        assert_eq!(shard_plan_error(8, &shards), None);
+    }
+
+    #[test]
+    fn no_shards_diagnosed() {
+        assert_eq!(shard_plan_error(8, &[]), Some(crate::error::ShardPlanError::NoShards));
+    }
+
+    #[test]
+    fn empty_shards_listed_with_devices() {
+        use crate::error::ShardPlanError;
+        use crate::program::Shard;
+        let shards = vec![
+            Shard { device: 0, start: 0, end: 4 },
+            Shard { device: 1, start: 4, end: 4 },
+            Shard { device: 2, start: 6, end: 5 },
+        ];
+        assert_eq!(
+            shard_plan_error(8, &shards),
+            Some(ShardPlanError::EmptyShards { shards: vec![(1, 4, 4), (2, 6, 5)] })
+        );
+    }
+
+    #[test]
+    fn coverage_errors_report_every_bad_range() {
+        use crate::error::ShardPlanError;
+        use crate::program::Shard;
+        // Grid of 12: [0,3) covered once, [3,5) missing, [5,7) covered
+        // once, [7,9) twice, [9,12) missing, and [12,14) past the grid.
+        let shards = vec![
+            Shard { device: 0, start: 0, end: 3 },
+            Shard { device: 1, start: 5, end: 9 },
+            Shard { device: 2, start: 7, end: 9 },
+            Shard { device: 3, start: 12, end: 14 },
+        ];
+        match shard_plan_error(12, &shards) {
+            Some(ShardPlanError::BadCoverage { blocks, missing, overlapping, out_of_grid }) => {
+                assert_eq!(blocks, 12);
+                assert_eq!(missing, vec![(3, 5), (9, 12)]);
+                assert_eq!(overlapping, vec![(7, 9)]);
+                assert_eq!(out_of_grid, vec![(12, 14)]);
+            }
+            other => panic!("expected BadCoverage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_straddling_the_grid_end_splits_into_out_of_grid() {
+        use crate::error::ShardPlanError;
+        use crate::program::Shard;
+        // One shard covers the whole grid and three blocks past it.
+        let shards = vec![Shard { device: 0, start: 0, end: 11 }];
+        match shard_plan_error(8, &shards) {
+            Some(ShardPlanError::BadCoverage { missing, overlapping, out_of_grid, .. }) => {
+                assert!(missing.is_empty());
+                assert!(overlapping.is_empty());
+                assert_eq!(out_of_grid, vec![(8, 11)]);
+            }
+            other => panic!("expected BadCoverage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_shard_plan_error_names_kernel_and_round() {
+        use crate::program::Shard;
+        let mut pb = ProgramBuilder::new("p");
+        let _ = pb.device_alloc("a", 64);
+        pb.begin_round();
+        pb.launch_sharded(
+            KernelBuilder::new("k", 8, 0).build(),
+            vec![Shard { device: 0, start: 0, end: 6 }],
+        );
+        let err = pb.build().unwrap_err();
+        match &err {
+            IrError::BadShardPlan { kernel, round: 0, detail } => {
+                assert_eq!(kernel, "k");
+                assert!(matches!(
+                    detail,
+                    crate::error::ShardPlanError::BadCoverage { missing, .. }
+                        if missing == &vec![(6, 8)]
+                ));
+            }
+            other => panic!("expected BadShardPlan, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("uncovered: [6, 8)"), "{msg}");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! GTX 650), `atgpu-algos` (the evaluated workloads) and `atgpu-exp`
 //! (regenerates every table and figure).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -16,6 +16,16 @@ pub enum ServeError {
         /// The configured waiting-slot bound.
         capacity: usize,
     },
+    /// The static verifier proved the program unsound (a cross-block
+    /// write race or an out-of-bounds access): the server refuses to
+    /// execute or price it.  The payload carries the validated witness.
+    Unsound {
+        /// Name of the rejected program.
+        program: String,
+        /// The proven defect, with its concrete witness (boxed: the
+        /// witness payload would otherwise dominate the error's size).
+        why: Box<atgpu_verify::Unsoundness>,
+    },
     /// The underlying simulation failed.
     Sim(atgpu_sim::SimError),
     /// A model-layer computation (cost function, validation) failed.
@@ -30,6 +40,9 @@ impl fmt::Display for ServeError {
                 "admission queue full ({waiting}/{capacity} waiting): tenant `{tenant}` must back \
                  off"
             ),
+            Self::Unsound { program, why } => {
+                write!(f, "program `{program}` rejected as unsound: {why}")
+            }
             Self::Sim(e) => write!(f, "simulation failed: {e}"),
             Self::Model(e) => write!(f, "model evaluation failed: {e}"),
         }

@@ -12,9 +12,19 @@
 //!
 //! | part | type | contract |
 //! |------|------|----------|
+//! | soundness gate | [`VerifyMemo`] | static verifier rejects proven-unsound programs, memoized by [`program_key`] |
 //! | admission | [`AdmissionQueue`] | bounded queue, per-tenant round-robin fairness, occupancy packing |
 //! | execution | [`CostServer::submit`] | runs on the shared cluster, bit-identical to a solo run |
 //! | pricing | [`CostServer::price`] | memo → analytic model → simulation fallback |
+//!
+//! Before anything else, every submission and every pricing query is
+//! statically verified ([`atgpu_verify::verify_program`]): a program
+//! with a *proven* cross-block write race or out-of-bounds access is
+//! refused with [`ServeError::Unsound`], carrying the concrete
+//! `kernel@instr#N` witness.  Undecidable programs (data-dependent
+//! addressing) pass — the gate only rejects on proof.  Verdicts are
+//! memoized by the structural [`program_key`], so re-submissions of the
+//! same shape skip re-verification ([`VerifyStats`] counts the paths).
 //!
 //! ## The admission contract
 //!
@@ -142,15 +152,20 @@
 //! assert!(what_if.total_ms > first.total_ms);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admit;
 pub mod error;
 pub mod price;
+pub mod verify;
 
 pub use admit::{AdmissionQueue, AdmissionStats, Permit};
 pub use error::ServeError;
-pub use price::{program_key, query_key, PriceMemo, PriceSource, PriceStats, Quote};
+pub use price::{
+    program_key, query_key, query_key_from, PriceMemo, PriceSource, PriceStats, Quote,
+};
+pub use verify::{VerifyMemo, VerifyStats};
 
 use atgpu_analyze::{analyze_cluster_program, stream_schedules};
 use atgpu_ir::{HostBufRole, HostStep, Program};
@@ -181,13 +196,16 @@ impl Default for ServerConfig {
     }
 }
 
-/// Combined server counters: admission queue + pricing paths.
+/// Combined server counters: soundness gate + admission queue +
+/// pricing paths.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeStats {
     /// Admission-queue state.
     pub admission: AdmissionStats,
     /// Pricing-path counters.
     pub price: PriceStats,
+    /// Soundness-gate counters.
+    pub verify: VerifyStats,
 }
 
 /// The multi-tenant cost-query server: one shared [`Cluster`], an
@@ -200,6 +218,7 @@ pub struct CostServer {
     sim: SimConfig,
     admission: AdmissionQueue,
     memo: PriceMemo,
+    verify: VerifyMemo,
 }
 
 /// The tenant label the pricing fallback simulates under, so pricing
@@ -228,6 +247,7 @@ impl CostServer {
         Ok(Self {
             admission: AdmissionQueue::new(config.queue_capacity, capacity),
             memo: PriceMemo::new(config.memo_capacity),
+            verify: VerifyMemo::new(config.memo_capacity),
             sim: config.sim,
             cluster,
         })
@@ -248,9 +268,27 @@ impl CostServer {
         program: &Program,
         inputs: Vec<Vec<i64>>,
     ) -> Result<ClusterSimReport, ServeError> {
+        self.check_sound(program_key(program), program)?;
         let demand = self.resident_demand(program);
         let _permit = self.admission.admit(tenant, demand)?;
         Ok(run_cluster_program_on(&self.cluster, program, inputs, &self.sim)?)
+    }
+
+    /// The soundness gate: statically verifies `program` (memoized by
+    /// its structural [`program_key`], which callers compute once and
+    /// also reuse for the quote memo) and refuses proven-unsound
+    /// programs with the concrete witness.
+    fn check_sound(&self, pkey: u64, program: &Program) -> Result<(), ServeError> {
+        let b = self.cluster.machine().b;
+        let why = self
+            .verify
+            .verdict(pkey, || atgpu_verify::verify_program(program, b).first_unsoundness());
+        match why {
+            None => Ok(()),
+            Some(why) => {
+                Err(ServeError::Unsound { program: program.name.clone(), why: Box::new(why) })
+            }
+        }
     }
 
     /// Prices `program` on the server's own cluster — memo, then
@@ -277,6 +315,8 @@ impl CostServer {
         program: &Program,
         what_if: Option<&ClusterSpec>,
     ) -> Result<Quote, ServeError> {
+        let pkey = program_key(program);
+        self.check_sound(pkey, program)?;
         let machine = *self.cluster.machine();
         let spec = what_if.unwrap_or_else(|| self.cluster.spec());
         spec.validate()?;
@@ -289,7 +329,7 @@ impl CostServer {
                 ),
             }));
         }
-        let key = query_key(program, spec, &machine);
+        let key = query_key_from(pkey, spec, &machine);
         if let Some(q) = self.memo.get(key) {
             return Ok(q);
         }
@@ -333,9 +373,13 @@ impl CostServer {
         Ok(q)
     }
 
-    /// Combined admission + pricing counters.
+    /// Combined soundness-gate + admission + pricing counters.
     pub fn stats(&self) -> ServeStats {
-        ServeStats { admission: self.admission.stats(), price: self.memo.stats() }
+        ServeStats {
+            admission: self.admission.stats(),
+            price: self.memo.stats(),
+            verify: self.verify.stats(),
+        }
     }
 
     /// A program's resident-block demand: its widest launch, with each

@@ -148,8 +148,15 @@ pub fn program_key(p: &Program) -> u64 {
 
 /// The full memo key: program shape × cluster spec × machine shape.
 pub fn query_key(p: &Program, spec: &ClusterSpec, machine: &AtgpuMachine) -> u64 {
+    query_key_from(program_key(p), spec, machine)
+}
+
+/// [`query_key`] from an already-computed [`program_key`] — the pricing
+/// hot path hashes the program once and reuses the key for both the
+/// soundness memo and the quote memo.
+pub fn query_key_from(pkey: u64, spec: &ClusterSpec, machine: &AtgpuMachine) -> u64 {
     let mut h = FNV_OFFSET;
-    fnv(&mut h, program_key(p));
+    fnv(&mut h, pkey);
     fnv(&mut h, spec.spec_key());
     for v in [machine.p, machine.b, machine.m, machine.g] {
         fnv(&mut h, v);

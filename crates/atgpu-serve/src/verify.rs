@@ -1,0 +1,149 @@
+//! The admission-time soundness gate: memoized static-verifier
+//! verdicts.
+//!
+//! Every [`submit`](crate::CostServer::submit) and every pricing query
+//! first passes the static verifier ([`atgpu_verify::verify_program`]):
+//! a program with a *proven* cross-block write race or out-of-bounds
+//! access is rejected with [`ServeError::Unsound`](crate::ServeError)
+//! before it can touch the shared cluster.  Verdicts are memoized by
+//! the program's structural [`program_key`](crate::price::program_key)
+//! — names excluded, same rule as the price memo — so a tenant
+//! re-submitting the same shape pays for verification once.
+//!
+//! The cache mirrors [`PriceMemo`](crate::price::PriceMemo): shared
+//! read lock on the hot path, FIFO eviction under a separate mutex,
+//! relaxed atomic counters.
+
+use atgpu_verify::Unsoundness;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Soundness-gate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyStats {
+    /// Gate checks performed (memo hits included).
+    pub checked: u64,
+    /// Checks answered from the memo.
+    pub memo_hits: u64,
+    /// Checks that rejected the program as unsound.
+    pub rejected: u64,
+    /// Verdicts currently memoized.
+    pub entries: usize,
+}
+
+/// A bounded, thread-safe memo of verify verdicts keyed by structural
+/// program shape.  `None` means the program verified sound; `Some`
+/// carries the proven defect.
+#[derive(Debug)]
+pub struct VerifyMemo {
+    map: RwLock<HashMap<u64, Option<Unsoundness>>>,
+    order: Mutex<VecDeque<u64>>,
+    capacity: usize,
+    checked: AtomicU64,
+    memo_hits: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl VerifyMemo {
+    /// A memo bounded at `capacity` verdicts (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+            order: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            checked: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Gates one program: answers from the memo when its structural key
+    /// has been verified before, otherwise runs `compute` and records
+    /// the verdict.  Returns the defect for unsound programs.
+    pub fn verdict(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Option<Unsoundness>,
+    ) -> Option<Unsoundness> {
+        self.checked.fetch_add(1, Ordering::Relaxed);
+        let hit = self.map.read().expect("verify memo lock").get(&key).cloned();
+        let verdict = match hit {
+            Some(v) => {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                let v = compute();
+                let mut map = self.map.write().expect("verify memo lock");
+                let mut order = self.order.lock().expect("verify memo order lock");
+                if map.insert(key, v.clone()).is_none() {
+                    order.push_back(key);
+                    while order.len() > self.capacity {
+                        if let Some(old) = order.pop_front() {
+                            map.remove(&old);
+                        }
+                    }
+                }
+                v
+            }
+        };
+        if verdict.is_some() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        verdict
+    }
+
+    /// Counter + occupancy snapshot.
+    pub fn stats(&self) -> VerifyStats {
+        VerifyStats {
+            checked: self.checked.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            entries: self.map.read().expect("verify memo lock").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgpu_verify::bounds::OobWitness;
+
+    fn defect() -> Unsoundness {
+        Unsoundness::OutOfBounds {
+            round: 0,
+            kernel: "k".into(),
+            instr: 1,
+            witness: OobWitness { block: (0, 0), lane: 0, loops: vec![], addr: 64, limit: 64 },
+        }
+    }
+
+    #[test]
+    fn memoizes_and_counts() {
+        let memo = VerifyMemo::new(8);
+        let mut computed = 0;
+        for _ in 0..3 {
+            assert!(memo
+                .verdict(7, || {
+                    computed += 1;
+                    None
+                })
+                .is_none());
+        }
+        assert_eq!(computed, 1, "sound verdict computed once, then memoized");
+        assert!(memo.verdict(9, || Some(defect())).is_some());
+        assert!(memo.verdict(9, || unreachable!("memoized")).is_some());
+        let st = memo.stats();
+        assert_eq!((st.checked, st.memo_hits, st.rejected, st.entries), (5, 3, 2, 2));
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_entries() {
+        let memo = VerifyMemo::new(2);
+        for key in 0..5u64 {
+            memo.verdict(key, || None);
+        }
+        assert_eq!(memo.stats().entries, 2);
+    }
+}

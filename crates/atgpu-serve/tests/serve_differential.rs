@@ -163,6 +163,74 @@ fn peer_heavy_stencil_quote_matches_observation() {
     assert_eq!(again.total_ms.to_bits(), quote.total_ms.to_bits(), "memo must replay the quote");
 }
 
+/// A program whose kernel's cross-block write stride makes distinct
+/// blocks collide on the same global words: the static verifier proves
+/// it racy, and the server must refuse to execute *or* price it.
+fn racy_program(name: &str) -> (atgpu_ir::Program, Vec<Vec<i64>>) {
+    use atgpu_ir::{AddrExpr, KernelBuilder, ProgramBuilder};
+    let mut pb = ProgramBuilder::new(name);
+    let h = pb.host_input("A", 128);
+    let o = pb.host_output("C", 128);
+    let da = pb.device_alloc("a", 128);
+    let dc = pb.device_alloc("c", 128);
+    let mut kb = KernelBuilder::new("collide", 4, 32);
+    kb.glb_to_shr(AddrExpr::lane(), da, AddrExpr::block() * 32 + AddrExpr::lane());
+    // Stride 16 < warp width: blocks k and k+1 overlap on 16 words.
+    kb.shr_to_glb(dc, AddrExpr::block() * 16 + AddrExpr::lane(), AddrExpr::lane());
+    pb.begin_round();
+    pb.transfer_in(h, da, 128);
+    pb.launch(kb.build());
+    pb.transfer_out(dc, o, 128);
+    (pb.build().expect("builds — validation does not check races"), vec![vec![0; 128]])
+}
+
+#[test]
+fn unsound_program_refused_with_witness_and_memoized() {
+    use atgpu_serve::ServeError;
+    let machine = machine();
+    let server = CostServer::new(machine, spec(2), ServerConfig::default()).expect("server");
+
+    let (program, inputs) = racy_program("racy");
+    let err = server.submit("mallory", &program, inputs.clone()).expect_err("must be refused");
+    match &err {
+        ServeError::Unsound { program: name, why } => {
+            assert_eq!(name, "racy");
+            let msg = why.to_string();
+            assert!(msg.contains("collide@instr#1"), "witness names the write site: {msg}");
+        }
+        other => panic!("expected Unsound, got {other:?}"),
+    }
+    // Pricing is gated by the same verdict — and answered from the
+    // verify memo (same structural key), not re-verified.
+    assert!(matches!(server.price(&program), Err(ServeError::Unsound { .. })));
+    let stats = server.stats();
+    assert_eq!(stats.verify.checked, 2);
+    assert_eq!(stats.verify.memo_hits, 1);
+    assert_eq!(stats.verify.rejected, 2);
+    assert_eq!(stats.admission.admitted_total, 0, "never reached the admission queue");
+
+    // A renamed copy has the same structural key: still a memo hit.
+    let (renamed, _) = racy_program("racy_again");
+    assert!(matches!(server.submit("mallory", &renamed, inputs), Err(ServeError::Unsound { .. })));
+    assert_eq!(server.stats().verify.memo_hits, 2);
+}
+
+#[test]
+fn sound_submissions_count_verify_checks() {
+    let machine = machine();
+    let devices = 2;
+    let server = CostServer::new(machine, spec(devices), ServerConfig::default()).expect("server");
+    let built = VecAdd::new(32 * 8, 5).build_sharded(&machine, devices as u32).expect("builds");
+    for _ in 0..3 {
+        server.submit("alice", &built.program, built.inputs.clone()).expect("sound");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.verify.checked, 3);
+    assert_eq!(stats.verify.memo_hits, 2, "verified once, memoized twice");
+    assert_eq!(stats.verify.rejected, 0);
+    assert_eq!(stats.admission.admitted_total, 3);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 

@@ -451,6 +451,7 @@
 //!   [`cluster::run_cluster_program`] with per-device round
 //!   observations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

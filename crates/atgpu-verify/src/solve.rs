@@ -1,0 +1,454 @@
+//! Bounded linear-Diophantine feasibility.
+//!
+//! The race detector reduces "can two distinct thread blocks write the
+//! same address?" to the feasibility of one linear equation
+//! `Σ coefᵢ·xᵢ = target` over finite integer domains (block indices,
+//! active lanes of a folded mask, loop counters).  [`solve`] decides it
+//! three-valued:
+//!
+//! * [`Feas::Yes`] — a witness assignment (values aligned with the
+//!   input variables);
+//! * [`Feas::No`] — *proven* infeasible; this is the answer soundness
+//!   rests on, so `No` is only returned when the search space was
+//!   covered exactly (interval/gcd pruning, closed forms — never
+//!   sampling);
+//! * [`Feas::Maybe`] — the node budget ran out or a domain was too
+//!   large to cover; callers must degrade to an `Unknown` verdict.
+//!
+//! The search enumerates small domains first (lanes and loop counters
+//! are tiny), pruning each prefix with interval bounds and a gcd
+//! divisibility test of the remaining suffix, and finishes pairs of
+//! large interval domains (block indices can be millions) with the
+//! extended-gcd closed form for `a·x + b·y = t` over boxes — so a
+//! million-block launch is decided without enumerating blocks.
+
+/// A finite variable domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dom {
+    /// The inclusive integer interval `[lo, hi]`.
+    Range(i64, i64),
+    /// An explicit subset of `[0, 64)`: the value set `{i : bit i set}`
+    /// (lane domains come from folded predicate masks).
+    Bits(u64),
+}
+
+impl Dom {
+    fn is_empty(&self) -> bool {
+        match *self {
+            Dom::Range(lo, hi) => lo > hi,
+            Dom::Bits(m) => m == 0,
+        }
+    }
+
+    fn min(&self) -> i64 {
+        match *self {
+            Dom::Range(lo, _) => lo,
+            Dom::Bits(m) => m.trailing_zeros() as i64,
+        }
+    }
+
+    fn max(&self) -> i64 {
+        match *self {
+            Dom::Range(_, hi) => hi,
+            Dom::Bits(m) => 63 - m.leading_zeros() as i64,
+        }
+    }
+
+    fn size(&self) -> u64 {
+        match *self {
+            Dom::Range(lo, hi) => (hi - lo + 1).max(0) as u64,
+            Dom::Bits(m) => u64::from(m.count_ones()),
+        }
+    }
+
+    fn contains(&self, v: i64) -> bool {
+        match *self {
+            Dom::Range(lo, hi) => lo <= v && v <= hi,
+            Dom::Bits(m) => (0..64).contains(&v) && m & (1u64 << v) != 0,
+        }
+    }
+
+    fn values(&self) -> impl Iterator<Item = i64> + '_ {
+        let (range, bits) = match *self {
+            Dom::Range(lo, hi) => (Some(lo..=hi), None),
+            Dom::Bits(m) => (None, Some((0..64).filter(move |i| m & (1u64 << i) != 0))),
+        };
+        range.into_iter().flatten().chain(bits.into_iter().flatten())
+    }
+}
+
+/// One term `coef · x` with `x` ranging over `dom`.
+#[derive(Debug, Clone, Copy)]
+pub struct Var {
+    /// The coefficient (may be zero or negative).
+    pub coef: i64,
+    /// The variable's domain.
+    pub dom: Dom,
+}
+
+/// The three-valued feasibility answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Feas {
+    /// Feasible; the values are aligned with the input `vars` slice.
+    Yes(Vec<i64>),
+    /// Proven infeasible over the given domains.
+    No,
+    /// Undecided (budget exhausted or domains too large to cover).
+    Maybe,
+}
+
+/// Largest domain the recursive search will enumerate directly.
+const ENUM_CAP: u64 = 4096;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Extended gcd: returns `(g, u, v)` with `a·u + b·v = g = gcd(|a|, |b|)`
+/// (`g ≥ 0`; `a`, `b` not both zero).
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        if a >= 0 {
+            (a, 1, 0)
+        } else {
+            (-a, -1, 0)
+        }
+    } else {
+        let (g, u, v) = egcd(b, a.rem_euclid(b));
+        (g, v, u - a.div_euclid(b) * v)
+    }
+}
+
+fn term_bounds(v: &Var) -> (i128, i128) {
+    let c = v.coef as i128;
+    let (a, b) = (c * v.dom.min() as i128, c * v.dom.max() as i128);
+    (a.min(b), a.max(b))
+}
+
+/// Decides `Σ coefᵢ·xᵢ = target` over the variables' domains.
+pub fn solve(vars: &[Var], target: i64, budget: &mut u64) -> Feas {
+    if vars.iter().any(|v| v.dom.is_empty()) {
+        return Feas::No;
+    }
+    // Zero-coefficient variables take any domain value; pin them to the
+    // minimum so the witness is fully assigned.
+    let mut values: Vec<i64> = vars.iter().map(|v| v.dom.min()).collect();
+    let mut order: Vec<usize> =
+        (0..vars.len()).filter(|&i| vars.get(i).map(|v| v.coef != 0).unwrap_or(false)).collect();
+    // Small domains first: lanes/loops are enumerated, leaving the big
+    // block-index intervals for the two-variable closed form.
+    order.sort_by_key(|&i| vars.get(i).map(|v| v.dom.size()).unwrap_or(0));
+
+    // Suffix interval bounds and gcds over the ordered tail, so each
+    // recursion step prunes in O(1).
+    let mut suffix: Vec<(i128, i128, u64)> = vec![(0, 0, 0)];
+    for &i in order.iter().rev() {
+        let var = vars.get(i);
+        let (lo, hi) = var.map(term_bounds).unwrap_or((0, 0));
+        let c = var.map(|v| v.coef.unsigned_abs()).unwrap_or(0);
+        let &(slo, shi, sg) = suffix.last().unwrap_or(&(0, 0, 0));
+        suffix.push((slo + lo, shi + hi, gcd(c, sg)));
+    }
+    suffix.reverse();
+    let suffix_lo: Vec<i128> = suffix.iter().map(|s| s.0).collect();
+    let suffix_hi: Vec<i128> = suffix.iter().map(|s| s.1).collect();
+    let suffix_gcd: Vec<u64> = suffix.iter().map(|s| s.2).collect();
+
+    struct Search<'a> {
+        vars: &'a [Var],
+        order: &'a [usize],
+        suffix_lo: &'a [i128],
+        suffix_hi: &'a [i128],
+        suffix_gcd: &'a [u64],
+        values: &'a mut [i64],
+        budget: &'a mut u64,
+    }
+
+    enum R {
+        Found,
+        No,
+        Maybe,
+    }
+
+    impl Search<'_> {
+        fn var(&self, k: usize) -> Option<&Var> {
+            self.order.get(k).and_then(|&i| self.vars.get(i))
+        }
+
+        fn assign(&mut self, k: usize, v: i64) {
+            if let Some(&i) = self.order.get(k) {
+                if let Some(slot) = self.values.get_mut(i) {
+                    *slot = v;
+                }
+            }
+        }
+
+        fn go(&mut self, k: usize, t: i128) -> R {
+            if *self.budget == 0 {
+                return R::Maybe;
+            }
+            *self.budget -= 1;
+            let remaining = self.order.len() - k;
+            // Interval prune: the suffix terms can only sum into
+            // [suffix_lo, suffix_hi].
+            let (lo, hi) = (
+                self.suffix_lo.get(k).copied().unwrap_or(0),
+                self.suffix_hi.get(k).copied().unwrap_or(0),
+            );
+            if t < lo || t > hi {
+                return R::No;
+            }
+            // Divisibility prune: gcd of the suffix coefficients must
+            // divide the residual target.
+            let g = self.suffix_gcd.get(k).copied().unwrap_or(0);
+            if remaining == 0 {
+                return if t == 0 { R::Found } else { R::No };
+            }
+            if g != 0 && (t % g as i128) != 0 {
+                return R::No;
+            }
+            if remaining == 1 {
+                let Some(var) = self.var(k).copied() else { return R::Maybe };
+                let c = var.coef as i128;
+                if t % c != 0 {
+                    return R::No;
+                }
+                let q = t / c;
+                let Ok(q64) = i64::try_from(q) else { return R::No };
+                if var.dom.contains(q64) {
+                    self.assign(k, q64);
+                    return R::Found;
+                }
+                return R::No;
+            }
+            if remaining == 2 {
+                let (a, b) = (self.var(k).copied(), self.var(k + 1).copied());
+                if let (Some(a), Some(b)) = (a, b) {
+                    if let (Dom::Range(xlo, xhi), Dom::Range(ylo, yhi)) = (a.dom, b.dom) {
+                        return match two_var(a.coef, (xlo, xhi), b.coef, (ylo, yhi), t) {
+                            Some((x, y)) => {
+                                self.assign(k, x);
+                                self.assign(k + 1, y);
+                                R::Found
+                            }
+                            None => R::No,
+                        };
+                    }
+                }
+                // Bits domains fall through to enumeration (≤ 64 values).
+            }
+            let Some(var) = self.var(k).copied() else { return R::Maybe };
+            if var.dom.size() > ENUM_CAP {
+                return R::Maybe;
+            }
+            let mut saw_maybe = false;
+            for v in var.dom.values() {
+                match self.go(k + 1, t - var.coef as i128 * v as i128) {
+                    R::Found => {
+                        self.assign(k, v);
+                        return R::Found;
+                    }
+                    R::Maybe => saw_maybe = true,
+                    R::No => {}
+                }
+            }
+            if saw_maybe {
+                R::Maybe
+            } else {
+                R::No
+            }
+        }
+    }
+
+    let mut s = Search {
+        vars,
+        order: &order,
+        suffix_lo: &suffix_lo,
+        suffix_hi: &suffix_hi,
+        suffix_gcd: &suffix_gcd,
+        values: &mut values,
+        budget,
+    };
+    match s.go(0, target as i128) {
+        R::Found => Feas::Yes(values),
+        R::No => Feas::No,
+        R::Maybe => Feas::Maybe,
+    }
+}
+
+/// Closed form for `a·x + b·y = t` over `x ∈ [xlo, xhi]`, `y ∈ [ylo,
+/// yhi]` (`a, b ≠ 0`): parametrize the solution line through the
+/// extended gcd and intersect the parameter ranges both box edges
+/// induce.  O(1) regardless of interval width.
+fn two_var(
+    a: i64,
+    (xlo, xhi): (i64, i64),
+    b: i64,
+    (ylo, yhi): (i64, i64),
+    t: i128,
+) -> Option<(i64, i64)> {
+    let (a, b) = (a as i128, b as i128);
+    let (g, u, v) = egcd(a, b);
+    if g == 0 || t % g != 0 {
+        return None;
+    }
+    let scale = t / g;
+    let (x0, y0) = (u * scale, v * scale);
+    // General solution: x = x0 + (b/g)·k, y = y0 − (a/g)·k.
+    let (sx, sy) = (b / g, -a / g);
+    let kx = param_range(x0, sx, xlo as i128, xhi as i128)?;
+    let ky = param_range(y0, sy, ylo as i128, yhi as i128)?;
+    let (klo, khi) = (kx.0.max(ky.0), kx.1.min(ky.1));
+    if klo > khi {
+        return None;
+    }
+    let (x, y) = (x0 + sx * klo, y0 + sy * klo);
+    Some((i64::try_from(x).ok()?, i64::try_from(y).ok()?))
+}
+
+/// The `k` interval for which `base + step·k ∈ [lo, hi]` (`step ≠ 0`).
+fn param_range(base: i128, step: i128, lo: i128, hi: i128) -> Option<(i128, i128)> {
+    let (a, b) = (lo - base, hi - base);
+    let (klo, khi) = if step > 0 {
+        (div_ceil(a, step), div_floor(b, step))
+    } else {
+        (div_ceil(b, step), div_floor(a, step))
+    };
+    (klo <= khi).then_some((klo, khi))
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    // `div_euclid` floors for positive divisors but rounds up for
+    // negative ones (its remainder is always non-negative).
+    a.div_euclid(b) - if b < 0 && a.rem_euclid(b) != 0 { 1 } else { 0 }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    div_floor(a, b) + if a % b != 0 { 1 } else { 0 }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn check(vars: &[Var], t: i64) -> Feas {
+        let mut budget = 1_000_000;
+        let r = solve(vars, t, &mut budget);
+        if let Feas::Yes(ref vals) = r {
+            // Every witness must actually satisfy the equation and the
+            // domains.
+            let sum: i128 = vars.iter().zip(vals).map(|(v, &x)| v.coef as i128 * x as i128).sum();
+            assert_eq!(sum, t as i128, "witness violates the equation");
+            for (v, &x) in vars.iter().zip(vals) {
+                assert!(v.dom.contains(x), "witness {x} outside {:?}", v.dom);
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(check(&[], 0), Feas::Yes(vec![]));
+        assert_eq!(check(&[], 5), Feas::No);
+        assert!(matches!(check(&[Var { coef: 3, dom: Dom::Range(0, 10) }], 9), Feas::Yes(_)));
+        assert_eq!(check(&[Var { coef: 3, dom: Dom::Range(0, 10) }], 7), Feas::No);
+        assert_eq!(check(&[Var { coef: 3, dom: Dom::Range(0, 2) }], 9), Feas::No);
+    }
+
+    #[test]
+    fn empty_domain_is_infeasible() {
+        assert_eq!(check(&[Var { coef: 1, dom: Dom::Bits(0) }], 0), Feas::No);
+        assert_eq!(check(&[Var { coef: 1, dom: Dom::Range(3, 2) }], 0), Feas::No);
+    }
+
+    #[test]
+    fn two_var_closed_form_over_huge_ranges() {
+        // 32·x − 32·y = 64 with x, y in a million-wide box: x = y + 2.
+        let vars = [
+            Var { coef: 32, dom: Dom::Range(0, 1 << 20) },
+            Var { coef: -32, dom: Dom::Range(0, 1 << 20) },
+        ];
+        assert!(matches!(check(&vars, 64), Feas::Yes(_)));
+        // 32·x − 32·y = 31 is a parity miss no matter the ranges.
+        assert_eq!(check(&vars, 31), Feas::No);
+    }
+
+    #[test]
+    fn slab_partition_is_infeasible() {
+        // The vecadd shape: 32·d + la − lb = 0 with d ≥ 1 and lanes in
+        // [0, 32): the smallest positive value of 32·d + la − lb is 1.
+        let vars = [
+            Var { coef: 32, dom: Dom::Range(1, 100_000) },
+            Var { coef: 1, dom: Dom::Bits(u64::MAX >> 32) },
+            Var { coef: -1, dom: Dom::Bits(u64::MAX >> 32) },
+        ];
+        assert_eq!(check(&vars, 0), Feas::No);
+    }
+
+    #[test]
+    fn overlapping_stride_found() {
+        // 16·d + la − lb = 0, lanes in [0, 32): d = 1, la = 0, lb = 16.
+        let vars = [
+            Var { coef: 16, dom: Dom::Range(1, 100_000) },
+            Var { coef: 1, dom: Dom::Bits(u64::MAX >> 32) },
+            Var { coef: -1, dom: Dom::Bits(u64::MAX >> 32) },
+        ];
+        assert!(matches!(check(&vars, 0), Feas::Yes(_)));
+    }
+
+    #[test]
+    fn masked_lane_domain_respected() {
+        // Only lane 5 is active on either side: la − lb = 0 trivially,
+        // but la − lb = 3 is impossible.
+        let vars =
+            [Var { coef: 1, dom: Dom::Bits(1 << 5) }, Var { coef: -1, dom: Dom::Bits(1 << 5) }];
+        assert!(matches!(check(&vars, 0), Feas::Yes(_)));
+        assert_eq!(check(&vars, 3), Feas::No);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_maybe_not_no() {
+        let vars = [
+            Var { coef: 7, dom: Dom::Range(0, 4000) },
+            Var { coef: 11, dom: Dom::Bits(u64::MAX) },
+            Var { coef: -13, dom: Dom::Bits(u64::MAX) },
+            Var { coef: 17, dom: Dom::Bits(u64::MAX) },
+        ];
+        let mut budget = 1;
+        assert!(!matches!(solve(&vars, 1, &mut budget), Feas::No));
+    }
+
+    #[test]
+    fn zero_coefficient_vars_get_witness_values() {
+        let vars = [Var { coef: 0, dom: Dom::Range(4, 9) }, Var { coef: 2, dom: Dom::Range(0, 5) }];
+        match check(&vars, 6) {
+            Feas::Yes(vals) => assert_eq!(vals, vec![4, 3]),
+            other => panic!("expected Yes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matmul_tile_shape_is_infeasible() {
+        // (b·n)·Δy + n·Δt + b·d + Δl = 0 for the 128×128 tiled matmul
+        // write: block y rows are n·b apart, loop rows n apart, block x
+        // tiles b apart, lanes 1 apart — no combination collides.
+        let (b, n) = (32i64, 128i64);
+        let lanes = Dom::Bits(u64::MAX >> 32);
+        let vars = [
+            Var { coef: b * n, dom: Dom::Range(-3, 3) },
+            Var { coef: n, dom: Dom::Range(0, 31) },
+            Var { coef: -n, dom: Dom::Range(0, 31) },
+            Var { coef: b, dom: Dom::Range(1, 3) },
+            Var { coef: 1, dom: lanes },
+            Var { coef: -1, dom: lanes },
+        ];
+        assert_eq!(check(&vars, 0), Feas::No);
+    }
+}

@@ -22,7 +22,11 @@
 //!   figures;
 //! * [`serve`] — the multi-tenant cost-query service: a shared-cluster
 //!   front-end with fair admission and memoized analytic what-if
-//!   pricing.
+//!   pricing, gated by the static verifier;
+//! * [`verify`] — the static soundness verifier: affine bounds
+//!   checking, cross-block write-race detection with concrete
+//!   `kernel@instr#N` witnesses, shared-memory hazard checks and
+//!   host-dataflow lints — all without running the program.
 //!
 //! For a guided tour of how these crates fit together — the full
 //! pipeline walk (IR → analyze → model → sim → planner → fault/trace →
@@ -55,6 +59,8 @@
 //! assert!(report.total_ms() > report.kernel_ms());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use atgpu_algos as algos;
 pub use atgpu_analyze as analyze;
 pub use atgpu_calibrate as calibrate;
@@ -63,3 +69,4 @@ pub use atgpu_ir as ir;
 pub use atgpu_model as model;
 pub use atgpu_serve as serve;
 pub use atgpu_sim as sim;
+pub use atgpu_verify as verify;
